@@ -1,0 +1,211 @@
+//! Fused-Layer baseline model [Alwani et al., MICRO 2016].
+//!
+//! Fused-Layer is a *dense* CNN accelerator that pipelines multiple layers
+//! with a tiled output-stationary dataflow (paper Fig. 2): output tiles of
+//! the last fused layer are produced from progressively larger input tiles
+//! of earlier layers, with the overlapping *input halos* recomputed at tile
+//! boundaries and growing with pipeline depth. It runs uncompressed data,
+//! so it performs all dense MACs and moves dense weights — which is what
+//! makes it compute-bound (paper Fig. 15/16: ~100% MAC utilization, <50%
+//! bandwidth utilization). Configured per Sec. V: same MACs and bandwidth
+//! as ISOSceles, 2.5 MB filter buffer.
+
+use isos_nn::graph::{Network, NodeId};
+
+use isosceles::metrics::{NetworkMetrics, RunMetrics};
+use serde::{Deserialize, Serialize};
+
+/// Fused-Layer system configuration (paper Sec. V).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FusedLayerConfig {
+    /// Total MAC units.
+    pub total_macs: usize,
+    /// Filter buffer bytes (holds the dense weights of all fused layers).
+    pub filter_buffer_bytes: u64,
+    /// DRAM bandwidth in bytes/cycle.
+    pub dram_bytes_per_cycle: f64,
+    /// Output tile edge length in the 2-D tiled dataflow.
+    pub tile: usize,
+    /// Sustained fraction of peak MAC throughput (dense dataflows come
+    /// close to 1.0).
+    pub compute_efficiency: f64,
+}
+
+impl Default for FusedLayerConfig {
+    fn default() -> Self {
+        Self {
+            total_macs: 4096,
+            filter_buffer_bytes: 5 << 19, // 2.5 MB
+            dram_bytes_per_cycle: 128.0,
+            tile: 32,
+            compute_efficiency: 0.95,
+        }
+    }
+}
+
+/// Greedy fusion: consecutive conv layers are fused while their *dense*
+/// weights fit the filter buffer; pools/FC are boundaries (the original
+/// paper fuses only convolutional stages).
+fn fuse_groups(net: &Network, cfg: &FusedLayerConfig) -> Vec<Vec<NodeId>> {
+    let mut groups: Vec<Vec<NodeId>> = Vec::new();
+    let mut current: Vec<NodeId> = Vec::new();
+    let mut current_bytes = 0.0f64;
+    for id in 0..net.len() {
+        let layer = net.layer(id);
+        let fusable = layer.kind.is_pipelineable();
+        let w = layer.weight_dense_bytes();
+        if !fusable {
+            if !current.is_empty() {
+                groups.push(std::mem::take(&mut current));
+                current_bytes = 0.0;
+            }
+            groups.push(vec![id]);
+            continue;
+        }
+        if !current.is_empty() && current_bytes + w > cfg.filter_buffer_bytes as f64 {
+            groups.push(std::mem::take(&mut current));
+            current_bytes = 0.0;
+        }
+        current.push(id);
+        current_bytes += w;
+    }
+    if !current.is_empty() {
+        groups.push(current);
+    }
+    groups
+}
+
+/// Simulates one fused group.
+fn simulate_group(net: &Network, group: &[NodeId], cfg: &FusedLayerConfig) -> RunMetrics {
+    let mut m = RunMetrics::default();
+    let first = net.layer(group[0]);
+    let last = net.layer(*group.last().unwrap());
+
+    // Dense traffic: group input once per tile (including the input halo
+    // ring each tile re-fetches, which grows with fusion depth — the
+    // central cost of Fig. 2), group output once, dense weights of every
+    // fused layer once.
+    let tile = cfg.tile as f64;
+    let group_ext: usize = group
+        .iter()
+        .map(|&j| net.layer(j).kind.kernel().0.saturating_sub(1))
+        .sum();
+    let input_halo_factor = ((tile + group_ext as f64) / tile).powi(2);
+    let input_bytes = first.in_act_dense_bytes() * input_halo_factor;
+    let output_bytes = last.out_act_dense_bytes();
+    let weight_bytes: f64 = group
+        .iter()
+        .map(|&id| net.layer(id).weight_dense_bytes())
+        .sum();
+    m.act_traffic = input_bytes + output_bytes;
+    m.weight_traffic = weight_bytes;
+
+    // Dense compute with halo recomputation: a layer at depth d in the
+    // group recomputes the halo ring needed by the layers after it. The
+    // ring grows by (R-1) per remaining downstream layer (paper Fig. 2).
+    let mut macs = 0.0;
+    for (pos, &id) in group.iter().enumerate() {
+        let layer = net.layer(id);
+        let ext: usize = group[pos + 1..]
+            .iter()
+            .map(|&j| net.layer(j).kind.kernel().0.saturating_sub(1))
+            .sum();
+        let halo_factor = ((tile + ext as f64) / tile).powi(2);
+        macs += layer.dense_macs() * halo_factor;
+    }
+    m.effectual_macs = macs;
+
+    let compute_cycles = macs / (cfg.total_macs as f64 * cfg.compute_efficiency);
+    let memory_cycles = m.total_traffic() / cfg.dram_bytes_per_cycle;
+    m.cycles = compute_cycles.max(memory_cycles).ceil().max(1.0) as u64;
+    m.mac_util.add(
+        (macs / cfg.total_macs as f64).min(m.cycles as f64),
+        m.cycles,
+    );
+    m.bw_util
+        .add(m.total_traffic() / cfg.dram_bytes_per_cycle, m.cycles);
+    m.activity.dram_bytes = m.total_traffic();
+    m.activity.shared_sram_bytes = macs;
+    m.activity.local_sram_bytes = macs * 4.0;
+    m.activity.macs = macs;
+    m
+}
+
+/// Simulates a whole network under Fused-Layer.
+pub fn simulate_fused_layer(net: &Network, cfg: &FusedLayerConfig) -> NetworkMetrics {
+    let mut out = NetworkMetrics::default();
+    for group in fuse_groups(net, cfg) {
+        let m = simulate_group(net, &group, cfg);
+        out.total.accumulate(&m);
+        let name = net.layer(group[0]).name.clone();
+        out.groups.push((name, m));
+    }
+    out
+}
+
+/// Layer ids per fused group, exposed for per-pipeline comparisons
+/// (Fig. 18 aggregates baselines over ISOSceles's pipeline extents).
+pub fn fused_groups(net: &Network, cfg: &FusedLayerConfig) -> Vec<Vec<NodeId>> {
+    fuse_groups(net, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isos_nn::models::{resnet50, vgg16};
+
+    #[test]
+    fn fused_layer_is_compute_bound_on_dense_nets() {
+        let net = resnet50(0.96, 1); // sparsity ignored: dense execution
+        let r = simulate_fused_layer(&net, &FusedLayerConfig::default());
+        // Paper Fig. 16: ~100% MAC utilization; Fig. 15: ~47% BW.
+        assert!(
+            r.total.mac_util.ratio() > 0.8,
+            "mac {}",
+            r.total.mac_util.ratio()
+        );
+        assert!(
+            r.total.bw_util.ratio() < 0.8,
+            "bw {}",
+            r.total.bw_util.ratio()
+        );
+    }
+
+    #[test]
+    fn weight_traffic_dominates_activations() {
+        // Paper Fig. 14c: Fused-Layer is dominated by (dense) weights.
+        let net = resnet50(0.9, 1);
+        let r = simulate_fused_layer(&net, &FusedLayerConfig::default());
+        assert!(r.total.weight_traffic > r.total.act_traffic);
+    }
+
+    #[test]
+    fn dense_macs_are_performed_regardless_of_sparsity() {
+        let sparse = resnet50(0.99, 1);
+        let r = simulate_fused_layer(&sparse, &FusedLayerConfig::default());
+        // Halo recomputation makes MACs >= the dense count.
+        assert!(r.total.effectual_macs >= sparse.total_dense_macs());
+    }
+
+    #[test]
+    fn groups_partition_the_network() {
+        let net = vgg16(0.68, 1);
+        let groups = fused_groups(&net, &FusedLayerConfig::default());
+        let covered: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(covered, net.len());
+        // VGG's big conv layers exceed 2.5 MB quickly: several groups.
+        assert!(groups.len() > 5);
+    }
+
+    #[test]
+    fn deeper_fusion_costs_more_halo_macs() {
+        let net = resnet50(0.9, 1);
+        let cfg = FusedLayerConfig::default();
+        let deep = simulate_group(&net, &[2, 3, 4], &cfg);
+        let shallow: f64 = [2usize, 3, 4]
+            .iter()
+            .map(|&id| simulate_group(&net, &[id], &cfg).effectual_macs)
+            .sum();
+        assert!(deep.effectual_macs > shallow);
+    }
+}

@@ -1,0 +1,36 @@
+//! Baseline accelerator models for the ISOSceles reproduction.
+//!
+//! The paper compares ISOSceles against two accelerators (Sec. V) plus one
+//! ablation, all re-implemented here from their papers' dataflow
+//! descriptions and sized to the same MAC count and memory bandwidth:
+//!
+//! - [`sparten`]: SparTen, the state-of-the-art sparse single-layer
+//!   accelerator (output-stationary, bitmask intersection), enhanced with
+//!   GoSPA's activation filtering (Table III configuration);
+//! - [`fused_layer`]: Fused-Layer, the dense inter-layer-pipelining
+//!   accelerator (tiled dataflow with growing input halos, 2.5 MB filter
+//!   buffer);
+//! - [`single`]: ISOSceles-single — IS-OS hardware run layer by layer
+//!   (Fig. 18 ablation).
+//!
+//! # Examples
+//!
+//! ```
+//! use isos_baselines::{simulate_fused_layer, simulate_sparten};
+//! use isos_baselines::{FusedLayerConfig, SpartenConfig};
+//! let net = isos_nn::models::googlenet_inception3a(0.58, 1);
+//! let ft = simulate_fused_layer(&net, &FusedLayerConfig::default());
+//! let sp = simulate_sparten(&net, &SpartenConfig::default());
+//! assert!(ft.total.cycles > 0 && sp.total.cycles > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod fused_layer;
+pub mod single;
+pub mod sparten;
+
+pub use fused_layer::{fused_groups, simulate_fused_layer, FusedLayerConfig};
+pub use single::simulate_isosceles_single;
+pub use sparten::{simulate_sparten, SpartenConfig};

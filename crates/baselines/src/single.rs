@@ -1,0 +1,58 @@
+//! ISOSceles-single: the IS-OS dataflow without inter-layer pipelining.
+//!
+//! The Fig. 18 ablation: same hardware, same dataflow, but every layer runs
+//! as its own "pipeline" of one, spilling activations between layers. The
+//! gap between this and SparTen isolates the IS-OS dataflow's benefit; the
+//! gap between this and full ISOSceles isolates inter-layer pipelining's.
+
+use isos_nn::graph::Network;
+use isosceles::arch::simulate_network;
+use isosceles::mapping::ExecMode;
+use isosceles::metrics::NetworkMetrics;
+use isosceles::IsoscelesConfig;
+
+/// Simulates a network on ISOSceles hardware, layer by layer.
+pub fn simulate_isosceles_single(
+    net: &Network,
+    cfg: &IsoscelesConfig,
+    seed: u64,
+) -> NetworkMetrics {
+    simulate_network(net, cfg, ExecMode::SingleLayer, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isos_nn::models::resnet50;
+    use isosceles::mapping::ExecMode;
+
+    #[test]
+    fn single_mode_has_one_weighted_layer_per_group() {
+        let net = resnet50(0.96, 1);
+        let r = simulate_isosceles_single(&net, &IsoscelesConfig::default(), 1);
+        // Adds fuse into the conv feeding them, so groups number fewer
+        // than layers but at least one per conv/pool/FC.
+        let adds = net
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.layer.kind, isos_nn::layer::LayerKind::Add))
+            .count();
+        assert_eq!(r.groups.len(), net.len() - adds);
+    }
+
+    #[test]
+    fn pipelining_beats_single_on_r96() {
+        // The headline Fig. 18 relationship, at network scale.
+        let net = resnet50(0.96, 1);
+        let cfg = IsoscelesConfig::default();
+        let single = simulate_isosceles_single(&net, &cfg, 1);
+        let full = simulate_network(&net, &cfg, ExecMode::Pipelined, 1);
+        assert!(
+            full.total.cycles < single.total.cycles,
+            "full {} vs single {}",
+            full.total.cycles,
+            single.total.cycles
+        );
+        assert!(full.total.total_traffic() < single.total.total_traffic());
+    }
+}

@@ -1,0 +1,252 @@
+//! SparTen baseline model [Gondimalla et al., MICRO 2019], enhanced with
+//! GoSPA's activation filtering [Deng et al., ISCA 2021] as in the paper's
+//! methodology (Sec. V).
+//!
+//! SparTen is a state-of-the-art *single-layer* sparse CNN accelerator: an
+//! output-stationary dataflow over bitmask-compressed weights and
+//! activations, executed layer by layer. Every layer therefore spills its
+//! output activations to DRAM and re-fetches them as the next layer's
+//! input; on top of that, the OS dataflow re-reads inputs once per group of
+//! output channels that fits the clusters (paper Sec. VI-C: "SparTen's OS
+//! dataflow has poor reuse of input activations and may read them multiple
+//! times"). Sized per Table III to match ISOSceles's MACs and bandwidth
+//! with 5 MB of on-chip storage.
+
+use isos_nn::graph::Network;
+use isos_nn::layer::{Layer, LayerKind};
+use isosceles::metrics::{NetworkMetrics, RunMetrics};
+use serde::{Deserialize, Serialize};
+
+/// SparTen system configuration (paper Table III).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpartenConfig {
+    /// Compute clusters.
+    pub clusters: usize,
+    /// MAC units per cluster.
+    pub macs_per_cluster: usize,
+    /// Per-cluster buffer bytes.
+    pub cluster_buffer_bytes: u64,
+    /// Shared filter buffer bytes.
+    pub filter_buffer_bytes: u64,
+    /// DRAM bandwidth in bytes/cycle.
+    pub dram_bytes_per_cycle: f64,
+    /// Output channels processed per input pass (the OS-dataflow tiling
+    /// width; inputs are re-read once per pass).
+    pub k_per_pass: usize,
+    /// Fraction of peak MAC throughput sustained on effectual work
+    /// (intersection and load-balance overheads).
+    pub compute_efficiency: f64,
+    /// Whether GoSPA's implicit activation filtering is enabled.
+    pub gospa_filtering: bool,
+}
+
+impl Default for SpartenConfig {
+    fn default() -> Self {
+        Self {
+            clusters: 64,
+            macs_per_cluster: 64,
+            cluster_buffer_bytes: 64 << 10,
+            filter_buffer_bytes: 1 << 20,
+            dram_bytes_per_cycle: 128.0,
+            k_per_pass: 64,
+            compute_efficiency: 0.35,
+            gospa_filtering: true,
+        }
+    }
+}
+
+impl SpartenConfig {
+    /// Total MAC units (Table III: 4096).
+    pub fn total_macs(&self) -> usize {
+        self.clusters * self.macs_per_cluster
+    }
+
+    /// Total on-chip storage (Table III: 5 MB).
+    pub fn total_sram_bytes(&self) -> u64 {
+        self.filter_buffer_bytes + self.clusters as u64 * self.cluster_buffer_bytes
+    }
+}
+
+/// Bytes of a bitmask-compressed activation tensor: one mask bit per
+/// element plus one byte per nonzero (SparTen's format).
+fn bitmask_act_bytes(elements: f64, density: f64) -> f64 {
+    elements / 8.0 + elements * density
+}
+
+/// Bytes of bitmask-compressed weights.
+fn bitmask_weight_bytes(layer: &Layer) -> f64 {
+    let dense = layer.dense_weights() as f64;
+    dense / 8.0 + dense * layer.weight_density
+}
+
+/// Per-layer traffic and cycles under the SparTen model.
+fn simulate_layer(layer: &Layer, cfg: &SpartenConfig) -> RunMetrics {
+    let mut m = RunMetrics::default();
+    let in_elems = layer.input.volume() as f64;
+    let out_elems = layer.output.volume() as f64;
+
+    match layer.kind {
+        LayerKind::Add => {
+            // The paper fuses the skip connection into the preceding conv:
+            // the skip operand is fetched once more from DRAM, the sum is
+            // written as that conv's output (already counted there).
+            m.act_traffic = bitmask_act_bytes(in_elems, layer.in_act_density);
+            m.cycles = (m.act_traffic / cfg.dram_bytes_per_cycle).ceil() as u64;
+            m.bw_util.add(m.cycles as f64, m.cycles.max(1));
+            m.activity.dram_bytes = m.act_traffic;
+            return m;
+        }
+        LayerKind::MaxPool { .. } | LayerKind::GlobalAvgPool => {
+            // Streaming pass: read input, write output.
+            let read = bitmask_act_bytes(in_elems, layer.in_act_density);
+            let write = bitmask_act_bytes(out_elems, layer.out_act_density);
+            m.act_traffic = read + write;
+            m.cycles = (m.act_traffic / cfg.dram_bytes_per_cycle).ceil() as u64;
+            m.bw_util.add(m.cycles as f64, m.cycles.max(1));
+            m.activity.dram_bytes = m.act_traffic;
+            return m;
+        }
+        _ => {}
+    }
+
+    // Weighted layers (conv / dw-conv / FC).
+    let k = layer.output.c.max(1);
+    let input_passes = match layer.kind {
+        // FC weights stream once; the (tiny) input vector stays on chip.
+        LayerKind::FullyConnected => 1.0,
+        _ => (k as f64 / cfg.k_per_pass as f64).ceil().max(1.0),
+    };
+    // GoSPA's implicit intersection skips fetching input activations whose
+    // positions can never meet a nonzero weight. An input element is
+    // useful only if any of the R*S*k_pass weight positions it touches is
+    // nonzero.
+    let gospa_factor = if cfg.gospa_filtering {
+        let (r, s) = layer.kind.kernel();
+        let positions = (r * s * k.min(cfg.k_per_pass)) as f64;
+        (1.0 - (1.0 - layer.weight_density).powf(positions)).clamp(0.05, 1.0)
+    } else {
+        1.0
+    };
+
+    let input_read =
+        bitmask_act_bytes(in_elems, layer.in_act_density) * input_passes * gospa_factor;
+    let output_write = bitmask_act_bytes(out_elems, layer.out_act_density);
+    let weight_read = bitmask_weight_bytes(layer);
+
+    m.act_traffic = input_read + output_write;
+    m.weight_traffic = weight_read;
+    m.effectual_macs = layer.effectual_macs();
+
+    let compute_cycles = m.effectual_macs / (cfg.total_macs() as f64 * cfg.compute_efficiency);
+    let memory_cycles = m.total_traffic() / cfg.dram_bytes_per_cycle;
+    let cycles = compute_cycles.max(memory_cycles).ceil().max(1.0);
+    m.cycles = cycles as u64;
+    m.mac_util
+        .add(m.effectual_macs / cfg.total_macs() as f64, m.cycles);
+    m.bw_util
+        .add(m.total_traffic() / cfg.dram_bytes_per_cycle, m.cycles);
+    m.activity.dram_bytes = m.total_traffic();
+    m.activity.shared_sram_bytes = m.effectual_macs;
+    m.activity.local_sram_bytes = m.effectual_macs * 4.0;
+    m.activity.macs = m.effectual_macs;
+    m
+}
+
+/// Simulates a whole network layer by layer under SparTen.
+pub fn simulate_sparten(net: &Network, cfg: &SpartenConfig) -> NetworkMetrics {
+    let mut out = NetworkMetrics::default();
+    for node in net.nodes() {
+        let m = simulate_layer(&node.layer, cfg);
+        out.total.accumulate(&m);
+        out.groups.push((node.layer.name.clone(), m));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isos_nn::layer::ActShape;
+    use isos_nn::models::resnet50;
+
+    #[test]
+    fn table3_summary() {
+        let cfg = SpartenConfig::default();
+        assert_eq!(cfg.total_macs(), 4096);
+        assert_eq!(cfg.total_sram_bytes(), 5 * 1024 * 1024);
+    }
+
+    #[test]
+    fn wide_layers_reread_inputs() {
+        let mk = |k: usize| {
+            Layer::new(
+                "c",
+                LayerKind::Conv {
+                    r: 3,
+                    s: 3,
+                    stride: 1,
+                    pad: 1,
+                },
+                ActShape::new(14, 14, 256),
+                k,
+            )
+            .with_weight_density(0.04)
+            .with_act_density(0.5, 0.5)
+        };
+        let cfg = SpartenConfig::default();
+        let narrow = simulate_layer(&mk(128), &cfg);
+        let wide = simulate_layer(&mk(512), &cfg);
+        // 4 passes vs 1: the input-read share of traffic scales.
+        assert!(wide.act_traffic > 2.0 * narrow.act_traffic);
+    }
+
+    #[test]
+    fn gospa_filtering_cuts_input_traffic_for_very_sparse_weights() {
+        let mk = |gospa: bool| {
+            let layer = Layer::new(
+                "c",
+                LayerKind::Conv {
+                    r: 1,
+                    s: 1,
+                    stride: 1,
+                    pad: 0,
+                },
+                ActShape::new(14, 14, 256),
+                8,
+            )
+            .with_weight_density(0.01)
+            .with_act_density(0.5, 0.5);
+            let cfg = SpartenConfig {
+                gospa_filtering: gospa,
+                ..Default::default()
+            };
+            simulate_layer(&layer, &cfg)
+        };
+        let with = mk(true);
+        let without = mk(false);
+        assert!(with.act_traffic < without.act_traffic);
+    }
+
+    #[test]
+    fn resnet_is_memory_bound() {
+        let net = resnet50(0.96, 1);
+        let r = simulate_sparten(&net, &SpartenConfig::default());
+        // Paper Fig. 15: SparTen always saturates memory bandwidth.
+        assert!(
+            r.total.bw_util.ratio() > 0.8,
+            "bw {}",
+            r.total.bw_util.ratio()
+        );
+        // Paper Fig. 14c: activation traffic dominates weight traffic.
+        assert!(r.total.act_traffic > r.total.weight_traffic);
+    }
+
+    #[test]
+    fn per_layer_results_cover_network() {
+        let net = resnet50(0.9, 1);
+        let r = simulate_sparten(&net, &SpartenConfig::default());
+        assert_eq!(r.groups.len(), net.len());
+        let sum: u64 = r.groups.iter().map(|(_, m)| m.cycles).sum();
+        assert_eq!(sum, r.total.cycles);
+    }
+}

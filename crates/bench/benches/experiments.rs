@@ -1,0 +1,95 @@
+//! Criterion benches that run every paper experiment end-to-end and print
+//! the paper-vs-measured summary rows as they go, so `cargo bench`
+//! regenerates the evaluation alongside wall-time measurements.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use isos_sim::stats::geometric_mean;
+use isosceles_bench::suite::{run_suite, run_workload, SEED};
+
+fn bench_fig14_suite(c: &mut Criterion) {
+    // Print the headline summary once, then measure the sweep's wall time.
+    let rows = run_suite(SEED);
+    let vs_sparten: Vec<f64> = rows.iter().map(|r| r.speedup_vs_sparten()).collect();
+    let vs_fused: Vec<f64> = rows.iter().map(|r| r.speedup_vs_fused()).collect();
+    let traffic: Vec<f64> = rows.iter().map(|r| r.sparten_traffic_ratio()).collect();
+    println!(
+        "[fig14] gmean speedup vs SparTen: {:.2}x (paper 4.3x)",
+        geometric_mean(&vs_sparten)
+    );
+    println!(
+        "[fig14] gmean speedup vs Fused-Layer: {:.2}x (paper 7.5x)",
+        geometric_mean(&vs_fused)
+    );
+    println!(
+        "[fig14] gmean traffic vs SparTen: {:.2}x (paper 4.7x)",
+        geometric_mean(&traffic)
+    );
+
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    let suite = isos_nn::models::paper_suite(SEED);
+    // One representative per family keeps the measured set fast while the
+    // printed summary above covers all 11.
+    for id in ["R96", "V68", "M75", "G58"] {
+        let w = suite.iter().find(|w| w.id == id).unwrap().clone();
+        g.bench_function(format!("fig14_{id}_all_models"), |b| {
+            b.iter(|| black_box(run_workload(black_box(&w), SEED)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig18_ablation(c: &mut Criterion) {
+    let cfg = isosceles::IsoscelesConfig::default();
+    let net = isos_nn::models::resnet50(0.96, SEED);
+    let single = isos_baselines::simulate_isosceles_single(&net, &cfg, SEED);
+    let full = isosceles::arch::simulate_network(&net, &cfg, isosceles::ExecMode::Pipelined, SEED);
+    let sparten = isos_baselines::simulate_sparten(&net, &isos_baselines::SpartenConfig::default());
+    println!(
+        "[fig18] single vs SparTen {:.2}x (paper 1.9x); full vs single {:.2}x (paper 2.6x)",
+        sparten.total.cycles as f64 / single.total.cycles as f64,
+        single.total.cycles as f64 / full.total.cycles as f64
+    );
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("fig18_r96_single_mode", |b| {
+        b.iter(|| {
+            black_box(isos_baselines::simulate_isosceles_single(
+                black_box(&net),
+                &cfg,
+                SEED,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_table04_mapping(c: &mut Criterion) {
+    let cfg = isosceles::IsoscelesConfig::default();
+    let net = isos_nn::models::resnet50(0.96, SEED);
+    let mapping = isosceles::map_network(&net, &cfg, isosceles::ExecMode::Pipelined);
+    println!(
+        "[table04] R96: {} groups, deepest pipeline {} layers (paper: 13 pipelines of 3-6 convs)",
+        mapping.groups.len(),
+        mapping.max_group_len()
+    );
+    let mut g = c.benchmark_group("experiments");
+    g.bench_function("table04_map_r96", |b| {
+        b.iter(|| {
+            black_box(isosceles::map_network(
+                black_box(&net),
+                &cfg,
+                isosceles::ExecMode::Pipelined,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig14_suite,
+    bench_fig18_ablation,
+    bench_table04_mapping
+);
+criterion_main!(benches);

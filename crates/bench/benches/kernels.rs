@@ -1,0 +1,127 @@
+//! Criterion micro-benchmarks for the substrate kernels the simulator is
+//! built on: CSF construction/traversal, the two merger designs, the
+//! functional IS-OS layer executor, and the cycle-level group simulator.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use isos_tensor::merge::{HeapMerger, TournamentMerger};
+use isos_tensor::{gen, Csf};
+use isosceles::dataflow::{execute_conv, Pou};
+
+fn bench_csf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("csf");
+    for &density in &[0.05, 0.5] {
+        let dense = gen::random_dense(vec![64, 64, 16].into(), density, 42);
+        g.bench_with_input(
+            BenchmarkId::new("from_dense", format!("d{density}")),
+            &dense,
+            |b, d| b.iter(|| Csf::from_dense(black_box(d))),
+        );
+        let csf = Csf::from_dense(&dense);
+        g.bench_with_input(
+            BenchmarkId::new("concordant_iter", format!("d{density}")),
+            &csf,
+            |b, t| {
+                b.iter(|| {
+                    let mut sum = 0.0f32;
+                    for (_, v) in t.iter() {
+                        sum += v;
+                    }
+                    black_box(sum)
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("discordant_find", format!("d{density}")),
+            &csf,
+            |b, t| {
+                b.iter(|| {
+                    let mut hits = 0u32;
+                    for h in 0..64u32 {
+                        if let Some(f) = t.root().find(h) {
+                            hits += f.len() as u32;
+                        }
+                    }
+                    black_box(hits)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_mergers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mergers");
+    for &radix in &[4usize, 64, 256] {
+        let streams: Vec<Vec<(u32, f32)>> = (0..radix)
+            .map(|i| {
+                (0..256u32)
+                    .map(|j| (j * radix as u32 + i as u32, 1.0f32))
+                    .collect()
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("tournament", radix), &streams, |b, s| {
+            b.iter(|| {
+                let m = TournamentMerger::new(
+                    s.iter().map(|v| v.clone().into_iter()).collect::<Vec<_>>(),
+                );
+                black_box(m.count())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("heap", radix), &streams, |b, s| {
+            b.iter(|| {
+                let m =
+                    HeapMerger::new(s.iter().map(|v| v.clone().into_iter()).collect::<Vec<_>>());
+                black_box(m.count())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_isos_layer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("isos_dataflow");
+    g.sample_size(20);
+    for &(density, label) in &[(0.5, "moderate"), (0.1, "sparse")] {
+        let input = gen::random_csf(vec![28, 28, 32].into(), density, 1);
+        let filter = gen::random_csf(vec![32, 3, 32, 3].into(), density * 0.4, 2);
+        g.bench_function(BenchmarkId::new("conv_28x28x32", label), |b| {
+            b.iter(|| {
+                black_box(execute_conv(
+                    black_box(&input),
+                    black_box(&filter),
+                    1,
+                    1,
+                    &Pou::relu(32),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_group_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cycle_sim");
+    g.sample_size(10);
+    let net = isos_nn::models::resnet50(0.96, 42);
+    let cfg = isosceles::IsoscelesConfig::default();
+    g.bench_function("resnet50_r96_full_network", |b| {
+        b.iter(|| {
+            black_box(isosceles::arch::simulate_network(
+                black_box(&net),
+                &cfg,
+                isosceles::ExecMode::Pipelined,
+                42,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_csf,
+    bench_mergers,
+    bench_isos_layer,
+    bench_group_sim
+);
+criterion_main!(benches);

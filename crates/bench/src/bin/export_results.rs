@@ -1,0 +1,84 @@
+//! Exports the full evaluation as CSV files under `results/`, one per
+//! paper figure, for external plotting.
+
+use isos_sim::energy::{energy_of, EnergyParams};
+use isosceles_bench::report::CsvTable;
+use isosceles_bench::suite::{run_suite, SEED};
+use std::path::Path;
+
+fn main() {
+    let rows = run_suite(SEED);
+    let dir = Path::new("results");
+
+    let mut fig14a = CsvTable::new(&["net", "sparten_speedup", "isosceles_speedup"]);
+    let mut fig14b = CsvTable::new(&["net", "fused_cycles", "sparten_cycles", "isosceles_cycles"]);
+    let mut fig14c = CsvTable::new(&[
+        "net",
+        "fused_w",
+        "fused_a",
+        "sparten_w",
+        "sparten_a",
+        "isos_w",
+        "isos_a",
+    ]);
+    let mut fig15 = CsvTable::new(&["net", "fused_bw", "sparten_bw", "isosceles_bw"]);
+    let mut fig16 = CsvTable::new(&["net", "fused_mac", "sparten_mac", "isosceles_mac"]);
+    let mut fig17 = CsvTable::new(&["net", "dram_mj", "sram_mj", "compute_mj", "other_mj"]);
+
+    let params = EnergyParams::default();
+    for r in &rows {
+        let f = r.fused.total.total_traffic();
+        fig14a.push_row(vec![
+            r.id.into(),
+            format!("{:.3}", r.sparten_speedup_vs_fused()),
+            format!("{:.3}", r.speedup_vs_fused()),
+        ]);
+        fig14b.push_row(vec![
+            r.id.into(),
+            r.fused.total.cycles.to_string(),
+            r.sparten.total.cycles.to_string(),
+            r.isosceles.total.cycles.to_string(),
+        ]);
+        fig14c.push_row(vec![
+            r.id.into(),
+            format!("{:.4}", r.fused.total.weight_traffic / f),
+            format!("{:.4}", r.fused.total.act_traffic / f),
+            format!("{:.4}", r.sparten.total.weight_traffic / f),
+            format!("{:.4}", r.sparten.total.act_traffic / f),
+            format!("{:.4}", r.isosceles.total.weight_traffic / f),
+            format!("{:.4}", r.isosceles.total.act_traffic / f),
+        ]);
+        fig15.push_row(vec![
+            r.id.into(),
+            format!("{:.3}", r.fused.total.bw_util.ratio()),
+            format!("{:.3}", r.sparten.total.bw_util.ratio()),
+            format!("{:.3}", r.isosceles.total.bw_util.ratio()),
+        ]);
+        fig16.push_row(vec![
+            r.id.into(),
+            format!("{:.3}", r.fused.total.mac_util.ratio()),
+            format!("{:.3}", r.sparten.total.mac_util.ratio()),
+            format!("{:.3}", r.isosceles.total.mac_util.ratio()),
+        ]);
+        let e = energy_of(&r.isosceles.total.activity, &params);
+        fig17.push_row(vec![
+            r.id.into(),
+            format!("{:.4}", e.dram_mj),
+            format!("{:.4}", e.sram_mj),
+            format!("{:.4}", e.compute_mj),
+            format!("{:.4}", e.other_mj),
+        ]);
+    }
+
+    for (name, table) in [
+        ("fig14a_speedup", &fig14a),
+        ("fig14b_cycles", &fig14b),
+        ("fig14c_traffic", &fig14c),
+        ("fig15_bandwidth", &fig15),
+        ("fig16_mac_util", &fig16),
+        ("fig17_energy", &fig17),
+    ] {
+        let path = table.write(dir, name).expect("write CSV");
+        println!("wrote {} ({} rows)", path.display(), table.len());
+    }
+}

@@ -1,0 +1,32 @@
+//! Figure 13: mapping a ResNet block onto ISOSceles's programmable
+//! interconnect. Prints the src → dst → queue configuration table for the
+//! first pipelined ResNet block of R96, plus one for a GoogLeNet branch
+//! pair (the other graph shape the paper maps).
+
+use isos_nn::models::{googlenet_inception3a, resnet50};
+use isosceles::interconnect::configure;
+use isosceles::mapping::{map_network, ExecMode};
+use isosceles::IsoscelesConfig;
+use isosceles_bench::suite::SEED;
+
+fn main() {
+    let cfg = IsoscelesConfig::default();
+
+    let net = resnet50(0.96, SEED);
+    let mapping = map_network(&net, &cfg, ExecMode::Pipelined);
+    let block = mapping
+        .groups
+        .iter()
+        .find(|g| g.layers.len() >= 4)
+        .expect("a pipelined ResNet block");
+    println!("# Figure 13: ResNet block on the programmable interconnect");
+    println!("{}", configure(&net, block).to_table());
+    println!("# paper: each inter-layer connection becomes a unit connection;");
+    println!("#        the skip join runs on the merger path\n");
+
+    let g = googlenet_inception3a(0.58, SEED);
+    let gmap = map_network(&g, &cfg, ExecMode::Pipelined);
+    for group in gmap.groups.iter().filter(|gr| gr.is_pipelined()) {
+        println!("{}", configure(&g, group).to_table());
+    }
+}

@@ -1,0 +1,83 @@
+//! Figure 14: speedups (a), cycles (b), and off-chip traffic (c) across
+//! the 11-CNN suite for Fused-Layer, SparTen(+GoSPA), and ISOSceles.
+
+use isos_sim::stats::geometric_mean;
+use isosceles_bench::suite::{run_suite, SEED};
+
+fn main() {
+    let rows = run_suite(SEED);
+
+    println!("# Figure 14a: speedup over Fused-Layer (higher is better)");
+    println!("{:<5} {:>10} {:>10}", "net", "SparTen", "ISOSceles");
+    for r in &rows {
+        println!(
+            "{:<5} {:>10.2} {:>10.2}",
+            r.id,
+            r.sparten_speedup_vs_fused(),
+            r.speedup_vs_fused()
+        );
+    }
+    let gm_isos: Vec<f64> = rows.iter().map(|r| r.speedup_vs_fused()).collect();
+    let gm_spar: Vec<f64> = rows.iter().map(|r| r.speedup_vs_sparten()).collect();
+    println!(
+        "gmean ISOSceles vs Fused-Layer: {:.2}x  (paper: 7.5x, up to 18.0x; measured max {:.1}x)",
+        geometric_mean(&gm_isos),
+        gm_isos.iter().cloned().fold(0.0, f64::max)
+    );
+    println!(
+        "gmean ISOSceles vs SparTen:     {:.2}x  (paper: 4.3x, up to 6.7x; measured max {:.1}x)",
+        geometric_mean(&gm_spar),
+        gm_spar.iter().cloned().fold(0.0, f64::max)
+    );
+
+    println!();
+    println!("# Figure 14b: execution cycles (millions, lower is better)");
+    println!(
+        "{:<5} {:>12} {:>12} {:>12}",
+        "net", "Fused-Layer", "SparTen", "ISOSceles"
+    );
+    for r in &rows {
+        println!(
+            "{:<5} {:>12.3} {:>12.3} {:>12.3}",
+            r.id,
+            r.fused.total.cycles as f64 / 1e6,
+            r.sparten.total.cycles as f64 / 1e6,
+            r.isosceles.total.cycles as f64 / 1e6
+        );
+    }
+
+    println!();
+    println!("# Figure 14c: off-chip traffic normalized to Fused-Layer,");
+    println!("#             split into weight (W) and activation (A) traffic");
+    println!(
+        "{:<5} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
+        "net", "F_W", "F_A", "F_tot", "S_W", "S_A", "S_tot", "I_W", "I_A", "I_tot"
+    );
+    for r in &rows {
+        let f = r.fused.total.total_traffic();
+        println!(
+            "{:<5} {:>8.2} {:>8.2} {:>8.2} | {:>8.2} {:>8.2} {:>8.2} | {:>8.2} {:>8.2} {:>8.2}",
+            r.id,
+            r.fused.total.weight_traffic / f,
+            r.fused.total.act_traffic / f,
+            1.0,
+            r.sparten.total.weight_traffic / f,
+            r.sparten.total.act_traffic / f,
+            r.sparten.total.total_traffic() / f,
+            r.isosceles.total.weight_traffic / f,
+            r.isosceles.total.act_traffic / f,
+            r.isosceles.total.total_traffic() / f
+        );
+    }
+    let tr_f: Vec<f64> = rows.iter().map(|r| 1.0 / r.traffic_vs_fused()).collect();
+    let tr_s: Vec<f64> = rows.iter().map(|r| r.sparten_traffic_ratio()).collect();
+    println!(
+        "gmean traffic reduction vs Fused-Layer: {:.2}x (paper: 3.6x)",
+        geometric_mean(&tr_f)
+    );
+    println!(
+        "gmean traffic reduction vs SparTen:     {:.2}x (paper: 4.7x, up to 8.5x; measured max {:.1}x)",
+        geometric_mean(&tr_s),
+        tr_s.iter().cloned().fold(0.0, f64::max)
+    );
+}

@@ -1,0 +1,42 @@
+//! Figure 15: memory bandwidth utilization of the three accelerators.
+//!
+//! Paper: Fused-Layer uses only ~47% of bandwidth (compute-bound); SparTen
+//! always saturates it (memory-bound); ISOSceles frees bandwidth on some
+//! networks.
+
+use isosceles_bench::suite::{run_suite, SEED};
+
+fn main() {
+    let rows = run_suite(SEED);
+    println!("# Figure 15: memory bandwidth utilization (1.0 = saturated)");
+    println!(
+        "{:<5} {:>12} {:>10} {:>10}",
+        "net", "Fused-Layer", "SparTen", "ISOSceles"
+    );
+    let mut fused_sum = 0.0;
+    let mut sparten_min: f64 = 1.0;
+    let mut freed = 0;
+    for r in &rows {
+        let f = r.fused.total.bw_util.ratio();
+        let s = r.sparten.total.bw_util.ratio();
+        let i = r.isosceles.total.bw_util.ratio();
+        println!("{:<5} {:>12.2} {:>10.2} {:>10.2}", r.id, f, s, i);
+        fused_sum += f;
+        sparten_min = sparten_min.min(s);
+        if i < 0.9 {
+            freed += 1;
+        }
+    }
+    println!();
+    println!(
+        "Fused-Layer mean: {:.2} (paper: 0.47, compute-bound)",
+        fused_sum / rows.len() as f64
+    );
+    println!(
+        "SparTen minimum:  {:.2} (paper: ~1.0, always memory-bound)",
+        sparten_min
+    );
+    println!(
+        "ISOSceles: {freed}/11 networks below 90% bandwidth (paper: 3 of 11 no longer need full bandwidth)"
+    );
+}

@@ -1,0 +1,43 @@
+//! Figure 16: MAC array utilization of the three accelerators.
+//!
+//! Paper: Fused-Layer ~100% (dense, compute-bound); ISOSceles averages 35%
+//! (3.4x SparTen); VGG exceeds 50%; utilization drops as ResNet gets
+//! sparser (more memory-bound).
+
+use isosceles_bench::suite::{run_suite, SEED};
+
+fn main() {
+    let rows = run_suite(SEED);
+    println!("# Figure 16: MAC array utilization");
+    println!(
+        "{:<5} {:>12} {:>10} {:>10}",
+        "net", "Fused-Layer", "SparTen", "ISOSceles"
+    );
+    let mut isos = Vec::new();
+    let mut sparten = Vec::new();
+    for r in &rows {
+        let f = r.fused.total.mac_util.ratio();
+        let s = r.sparten.total.mac_util.ratio();
+        let i = r.isosceles.total.mac_util.ratio();
+        println!("{:<5} {:>12.2} {:>10.2} {:>10.2}", r.id, f, s, i);
+        isos.push(i);
+        sparten.push(s);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!();
+    println!(
+        "ISOSceles mean: {:.2} (paper: 0.35); SparTen mean: {:.2}; ratio {:.1}x (paper: 3.4x)",
+        mean(&isos),
+        mean(&sparten),
+        mean(&isos) / mean(&sparten)
+    );
+    // Sparser ResNet -> lower ISOSceles utilization (more memory-bound).
+    let r81 = isos[0];
+    let r99 = isos[5];
+    println!(
+        "R81 {:.2} -> R99 {:.2}: utilization falls with sparsity (paper: same trend)",
+        r81, r99
+    );
+    let v68 = isos[6];
+    println!("V68 {:.2} (paper: VGG over 0.50)", v68);
+}

@@ -1,0 +1,72 @@
+//! Figure 17: energy per end-to-end inference, broken down by component.
+//!
+//! Paper: 0.2-1.9 mJ per image across ResNet-50 and MobileNetV1 variants;
+//! DRAM dominates and dominates harder as networks get sparser; VGG-16
+//! consumes 10.1 mJ (V68) and 3.7 mJ (V90).
+
+use isos_sim::energy::{energy_of, EnergyParams};
+use isosceles_bench::suite::{run_suite, SEED};
+
+fn main() {
+    let rows = run_suite(SEED);
+    let params = EnergyParams::default();
+    println!("# Figure 17: ISOSceles energy per inference (mJ)");
+    println!(
+        "{:<5} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6}",
+        "net", "DRAM", "SRAM", "compute", "other", "total", "DRAM%"
+    );
+    let mut resnet_mobilenet = Vec::new();
+    for r in &rows {
+        let e = energy_of(&r.isosceles.total.activity, &params);
+        println!(
+            "{:<5} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>6.0}",
+            r.id,
+            e.dram_mj,
+            e.sram_mj,
+            e.compute_mj,
+            e.other_mj,
+            e.total_mj(),
+            e.dram_fraction() * 100.0
+        );
+        if r.id.starts_with('R') || r.id.starts_with('M') {
+            resnet_mobilenet.push((r.id, e));
+        }
+    }
+    println!();
+    let min = resnet_mobilenet
+        .iter()
+        .map(|(_, e)| e.total_mj())
+        .fold(f64::MAX, f64::min);
+    let max = resnet_mobilenet
+        .iter()
+        .map(|(_, e)| e.total_mj())
+        .fold(0.0, f64::max);
+    println!("ResNet/MobileNet range: {min:.2}-{max:.2} mJ (paper: 0.2-1.9 mJ)");
+    let v68 = energy_of(&rows[6].isosceles.total.activity, &params);
+    let v90 = energy_of(&rows[7].isosceles.total.activity, &params);
+    println!(
+        "VGG-16: V68 {:.1} mJ (paper: 10.1), V90 {:.1} mJ (paper: 3.7)",
+        v68.total_mj(),
+        v90.total_mj()
+    );
+    // DRAM share grows with sparsity on ResNet.
+    let e81 = energy_of(&rows[0].isosceles.total.activity, &params);
+    let e99 = energy_of(&rows[5].isosceles.total.activity, &params);
+    println!(
+        "DRAM share R81 {:.0}% -> R99 {:.0}% (paper: DRAM dominates, more so when sparser)",
+        e81.dram_fraction() * 100.0,
+        e99.dram_fraction() * 100.0
+    );
+    // Paper Sec. VI-B: "due to their much higher traffic, the other
+    // accelerators will be even more severely dominated by DRAM energy".
+    let r96 = &rows[3];
+    let e_isos = energy_of(&r96.isosceles.total.activity, &params);
+    let e_sp = energy_of(&r96.sparten.total.activity, &params);
+    println!(
+        "R96 DRAM energy: SparTen {:.2} mJ vs ISOSceles {:.2} mJ ({:.1}x more, from {:.1}x traffic)",
+        e_sp.dram_mj,
+        e_isos.dram_mj,
+        e_sp.dram_mj / e_isos.dram_mj,
+        r96.sparten_traffic_ratio()
+    );
+}

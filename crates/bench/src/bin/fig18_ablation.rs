@@ -1,0 +1,89 @@
+//! Figure 18: effect of pipelining — per-pipeline cycles on R96 for
+//! SparTen, ISOSceles-single (IS-OS dataflow without pipelining), and full
+//! ISOSceles.
+//!
+//! Paper: ISOSceles-single is 1.9x faster than SparTen (the dataflow's own
+//! benefit); full ISOSceles is another 2.6x over single (pipelining), with
+//! matching traffic reductions because R96 is memory-bound; unpipelined
+//! layers account for ~16% of single-mode time.
+
+use isos_baselines::{simulate_isosceles_single, simulate_sparten, SpartenConfig};
+use isos_nn::models::resnet50;
+use isosceles::arch::simulate_network;
+use isosceles::mapping::{map_network, ExecMode};
+use isosceles::IsoscelesConfig;
+use isosceles_bench::suite::SEED;
+use std::collections::HashMap;
+
+fn main() {
+    let cfg = IsoscelesConfig::default();
+    let net = resnet50(0.96, SEED);
+    let mapping = map_network(&net, &cfg, ExecMode::Pipelined);
+
+    let isos = simulate_network(&net, &cfg, ExecMode::Pipelined, SEED);
+    let single = simulate_isosceles_single(&net, &cfg, SEED);
+    let sparten = simulate_sparten(&net, &SpartenConfig::default());
+
+    // Aggregate the layer-granular baselines over each ISOSceles pipeline's
+    // extent ("their equivalent group of layers", Sec. VI-C).
+    let mut layer_cycles_single: HashMap<&str, u64> = HashMap::new();
+    for (name, m) in &single.groups {
+        *layer_cycles_single.entry(name.as_str()).or_default() += m.cycles;
+    }
+    let mut layer_cycles_sparten: HashMap<&str, u64> = HashMap::new();
+    for (name, m) in &sparten.groups {
+        *layer_cycles_sparten.entry(name.as_str()).or_default() += m.cycles;
+    }
+
+    println!("# Figure 18: execution cycles (K) per layer group on R96");
+    println!(
+        "{:<24} {:>10} {:>12} {:>10}",
+        "pipeline", "SparTen", "ISOS-single", "ISOSceles"
+    );
+    for (gi, group) in mapping.groups.iter().enumerate() {
+        let member_names: Vec<&str> = group
+            .layers
+            .iter()
+            .map(|&id| net.layer(id).name.as_str())
+            .collect();
+        let sp: u64 = member_names
+            .iter()
+            .filter_map(|n| layer_cycles_sparten.get(n))
+            .sum();
+        let sg: u64 = member_names
+            .iter()
+            .filter_map(|n| layer_cycles_single.get(n))
+            .sum();
+        let is = isos.groups[gi].1.cycles;
+        println!(
+            "{:<24} {:>10.1} {:>12.1} {:>10.1}",
+            group.name,
+            sp as f64 / 1e3,
+            sg as f64 / 1e3,
+            is as f64 / 1e3
+        );
+    }
+    println!();
+    let s_vs_sp = sparten.total.cycles as f64 / single.total.cycles as f64;
+    let i_vs_s = single.total.cycles as f64 / isos.total.cycles as f64;
+    let t_vs_s = single.total.total_traffic() / isos.total.total_traffic();
+    println!(
+        "ISOSceles-single vs SparTen: {s_vs_sp:.2}x cycles (paper: 1.9x), traffic {:.2}x (paper: matches speedup)",
+        sparten.total.total_traffic() / single.total.total_traffic()
+    );
+    println!(
+        "ISOSceles vs ISOSceles-single: {i_vs_s:.2}x cycles (paper: 2.6x), traffic {t_vs_s:.2}x (paper: 2.7x)"
+    );
+    // Unpipelined share of single-mode time.
+    let unpipelined: u64 = mapping
+        .groups
+        .iter()
+        .filter(|g| g.conv_count(&net) < 2)
+        .flat_map(|g| g.layers.iter())
+        .filter_map(|&id| layer_cycles_single.get(net.layer(id).name.as_str()))
+        .sum();
+    println!(
+        "Unpipelined layers are {:.0}% of ISOSceles-single time (paper: 16%)",
+        100.0 * unpipelined as f64 / single.total.cycles as f64
+    );
+}

@@ -1,0 +1,72 @@
+//! The introduction's motivating numbers (paper Sec. I):
+//! - 90% sparse weights+activations: footprint falls ~10x but MACs ~100x;
+//! - sparsifying ResNet-50 drops arithmetic intensity from 128 to 11
+//!   operations per byte;
+//! - at 90% weight sparsity an accelerator can hold ~10 layers' weights in
+//!   the space one dense layer needs.
+
+use isos_nn::models::resnet50;
+use isosceles_bench::suite::SEED;
+
+fn main() {
+    println!("# Intro claim 1: 90%/90% sparsity -> ~10x footprint, ~100x MACs");
+    let dense = resnet50(0.0, SEED);
+    let sparse = resnet50(0.90, SEED);
+    let mac_ratio = dense.total_dense_macs() / sparse.total_effectual_macs();
+    println!(
+        "ResNet-50 dense {:.2}G MACs vs R90 effectual {:.2}G: {:.0}x fewer",
+        dense.total_dense_macs() / 1e9,
+        sparse.total_effectual_macs() / 1e9,
+        mac_ratio
+    );
+    println!("(paper Sec. VI-B: sparse CNNs have ~15x fewer MACs than dense)");
+
+    println!();
+    println!("# Intro claim 2: arithmetic intensity falls from 128 to 11 ops/byte");
+    for (label, net, dense_exec) in [
+        ("dense ResNet-50", &dense, true),
+        ("sparse R90", &sparse, false),
+    ] {
+        let (macs, bytes): (f64, f64) = net
+            .nodes()
+            .iter()
+            .map(|n| {
+                let l = &n.layer;
+                if dense_exec {
+                    (
+                        l.dense_macs(),
+                        l.weight_dense_bytes() + l.in_act_dense_bytes() + l.out_act_dense_bytes(),
+                    )
+                } else {
+                    (
+                        l.effectual_macs(),
+                        l.weight_csf_bytes() + l.in_act_csf_bytes() + l.out_act_csf_bytes(),
+                    )
+                }
+            })
+            .fold((0.0, 0.0), |(m, b), (dm, db)| (m + dm, b + db));
+        println!(
+            "{label:<18} {:>8.2}G ops / {:>7.1} MB compulsory = {:>6.1} ops/byte",
+            2.0 * macs / 1e9, // MAC = multiply + add
+            bytes / 1e6,
+            2.0 * macs / bytes
+        );
+    }
+    println!("(paper: 128 -> 11 ops/byte)");
+
+    println!();
+    println!("# Intro claim 3: at 90% weight sparsity, ~10 layers fit where 1 dense layer did");
+    let l = sparse
+        .nodes()
+        .iter()
+        .find(|n| n.layer.name == "layer3.1.conv2")
+        .unwrap();
+    let dense_bytes = l.layer.weight_dense_bytes();
+    let sparse_bytes = l.layer.weight_csf_bytes();
+    println!(
+        "layer3.1.conv2: dense {:.0} KB vs compressed {:.0} KB -> {:.1} layers per dense-layer budget",
+        dense_bytes / 1e3,
+        sparse_bytes / 1e3,
+        dense_bytes / sparse_bytes
+    );
+}

@@ -1,0 +1,99 @@
+//! Microarchitecture ablations for the component models of Sec. IV-A/B:
+//! coarse-grain PE packing vs fixed-S PEs, filter-buffer coalescing, and
+//! the fetcher byte schedule.
+
+use isos_nn::models::resnet50;
+use isos_tensor::{gen, Coord};
+use isosceles::arch::fetcher::arrival_schedule;
+use isosceles::arch::filter_buffer::FilterBuffer;
+use isosceles::arch::pe::{fixed_s_efficiency, CoarsePe, WeightOp};
+use isosceles_bench::suite::SEED;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // --- PE packing: coarse-grain vs fixed-S across the kernel mix. ---
+    println!("# PE design: MAC packing efficiency by layer kernel width S");
+    println!(
+        "{:<8} {:>14} {:>18}",
+        "S", "fixed-S=5 PE", "coarse 8-wide PE"
+    );
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    for s in [1usize, 3, 5] {
+        // Simulate a coarse PE fed with realistic compressed vectors: the
+        // filter fetcher sends nnz(F_c) weights per input, spanning r/k.
+        let mut pe = CoarsePe::new(8);
+        for _ in 0..2000 {
+            let nnz = rng.gen_range(1..=(s * 16));
+            let vector: Vec<WeightOp> = (0..nnz)
+                .map(|i| WeightOp {
+                    r: (i % 3) as u16,
+                    k: (i / 3) as u16,
+                    s: (i % s) as u16,
+                    value: 1.0,
+                })
+                .collect();
+            pe.issue(1.0, &vector);
+        }
+        println!(
+            "{:<8} {:>13.0}% {:>17.0}%",
+            s,
+            fixed_s_efficiency(5, s) * 100.0,
+            pe.stats().packing_efficiency() * 100.0
+        );
+    }
+    println!("# paper: an S=1 layer on an S=5 PE idles 80% of MACs; coarse-grain");
+    println!("#        PEs keep packing high regardless of S (Sec. IV-B)\n");
+
+    // --- Filter buffer: coalescing and banking under lane contention. ---
+    println!("# Filter buffer: serving 64 lanes/cycle (R96 layer2.1.conv2 filter)");
+    let net = resnet50(0.96, SEED);
+    let layer = net
+        .nodes()
+        .iter()
+        .find(|n| n.layer.name == "layer2.1.conv2")
+        .unwrap();
+    let filter = gen::random_csf(
+        vec![layer.layer.input.c, 3, layer.layer.output.c, 3].into(),
+        layer.layer.weight_density,
+        SEED,
+    );
+    for (label, spread) in [
+        ("lockstep lanes (same channel)", 1u32),
+        ("skewed lanes", 64),
+    ] {
+        let mut fb = FilterBuffer::new(1 << 20, 64, 32);
+        let alloc = fb.load(&filter, 1.5).expect("fits");
+        let mut cycles = 0u64;
+        let mut coalesced = 0u64;
+        let mut rng = SmallRng::seed_from_u64(SEED + spread as u64);
+        for step in 0..1000u32 {
+            let lanes: Vec<Coord> = (0..64)
+                .map(|_| (step + rng.gen_range(0..spread)) % layer.layer.input.c as u32)
+                .collect();
+            let r = fb.serve(&alloc, &lanes);
+            cycles += r.cycles;
+            coalesced += r.coalesced;
+        }
+        println!(
+            "  {label:<30} {cycles:>6} SRAM cycles / 1000 issue cycles, {coalesced} coalesced"
+        );
+    }
+    println!("# paper: wide words + banking + request coalescing make one shared");
+    println!("#        buffer sustain all lanes (Sec. IV-A)\n");
+
+    // --- Fetcher: the byte schedule of one activation row. ---
+    println!("# Fetcher FSM: arrival schedule of one 56-wide activation row");
+    let acts = gen::random_csf(vec![56, 56, 64].into(), 0.5, SEED);
+    for bw in [2.0f64, 8.0] {
+        let sched = arrival_schedule(&acts, 28, bw);
+        let last = sched.last().map(|&(_, c)| c).unwrap_or(0);
+        println!(
+            "  {:>4} B/cycle/lane: {} elements over {} cycles",
+            bw,
+            sched.len(),
+            last
+        );
+    }
+    println!("# decoupling queues absorb this schedule so lanes never see DRAM latency");
+}

@@ -1,0 +1,17 @@
+//! Prints the raw pipeline mapping of R96 (see table04_pipelines for the
+//! paper-formatted view).
+fn main() {
+    let net = isos_nn::models::resnet50(0.96, 1);
+    let cfg = isosceles::IsoscelesConfig::default();
+    let m = isosceles::map_network(&net, &cfg, isosceles::ExecMode::Pipelined);
+    for g in &m.groups {
+        println!(
+            "{:<24} layers={:2} convs={} p_tiles={} k_tiles={}",
+            g.name,
+            g.layers.len(),
+            g.conv_count(&net),
+            g.p_tiles,
+            g.k_tiles
+        );
+    }
+}

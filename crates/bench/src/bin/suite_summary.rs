@@ -1,0 +1,35 @@
+//! One-screen summary of the full evaluation: per-workload speedups,
+//! traffic, and utilizations, with the paper's headline gmeans.
+use isos_sim::stats::geometric_mean;
+use isosceles_bench::suite::{run_suite, SEED};
+
+fn main() {
+    let rows = run_suite(SEED);
+    println!(
+        "{:<5} {:>8} {:>8} {:>8} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8}",
+        "net", "IvsS", "IvsF", "SvsF", "I_MB", "S_MB", "F_MB", "I_bw", "I_mac", "S/I_tr"
+    );
+    let mut vs_sparten = vec![];
+    let mut vs_fused = vec![];
+    let mut traffic = vec![];
+    for r in &rows {
+        println!(
+            "{:<5} {:>8.2} {:>8.2} {:>8.2} {:>9.1} {:>9.1} {:>9.1} {:>8.2} {:>8.2} {:>8.2}",
+            r.id,
+            r.speedup_vs_sparten(),
+            r.speedup_vs_fused(),
+            r.sparten_speedup_vs_fused(),
+            r.isosceles.total.total_traffic() / 1e6,
+            r.sparten.total.total_traffic() / 1e6,
+            r.fused.total.total_traffic() / 1e6,
+            r.isosceles.total.bw_util.ratio(),
+            r.isosceles.total.mac_util.ratio(),
+            r.sparten_traffic_ratio()
+        );
+        vs_sparten.push(r.speedup_vs_sparten());
+        vs_fused.push(r.speedup_vs_fused());
+        traffic.push(r.sparten_traffic_ratio());
+    }
+    println!("gmean IvsSparTen={:.2} (paper 4.3)  IvsFused={:.2} (paper 7.5)  traffic S/I={:.2} (paper 4.7)",
+        geometric_mean(&vs_sparten), geometric_mean(&vs_fused), geometric_mean(&traffic));
+}

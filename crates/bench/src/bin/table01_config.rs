@@ -1,0 +1,45 @@
+//! Table I: configuration of the ISOSceles system.
+
+use isosceles::IsoscelesConfig;
+
+fn main() {
+    let cfg = IsoscelesConfig::default();
+    println!("# Table I: ISOSceles configuration (paper values in parentheses)");
+    println!("Lane parameters");
+    println!("  Multiplier width     {:>8} b   (8b)", cfg.multiplier_bits);
+    println!(
+        "  Accumulator width    {:>8} b   (16b)",
+        cfg.accumulator_bits
+    );
+    println!("  # MAC units          {:>8}     (64)", cfg.macs_per_lane);
+    println!(
+        "  Context array        {:>8} KB  (8KB)",
+        cfg.context_bytes_per_lane >> 10
+    );
+    println!(
+        "  Queues               {:>8} KB  (8KB)",
+        cfg.queue_bytes_per_lane >> 10
+    );
+    println!(
+        "  # Mergers            {:>8}     (16)",
+        cfg.mergers_per_lane
+    );
+    println!("  Merger radix         {:>8}     (256)", cfg.merger_radix);
+    println!("System parameters");
+    println!("  # Lanes              {:>8}     (64)", cfg.lanes);
+    println!(
+        "  Filter buffer        {:>8} MB  (1MB)",
+        cfg.filter_buffer_bytes >> 20
+    );
+    println!(
+        "  DRAM bandwidth       {:>8} GB/s (128GB/s)",
+        (cfg.dram_bytes_per_cycle * cfg.frequency_ghz) as u64
+    );
+    println!("Summary");
+    println!("  Total # MAC units    {:>8}     (4096)", cfg.total_macs());
+    println!(
+        "  Total memory size    {:>8} MB  (2MB)",
+        cfg.total_sram_bytes() >> 20
+    );
+    println!("  Frequency            {:>8} GHz (1GHz)", cfg.frequency_ghz);
+}

@@ -1,0 +1,51 @@
+//! Table II: area breakdown of ISOSceles (45 nm).
+
+use isos_sim::area::{area_of, sparten_area_mm2, AreaConfig, AreaParams};
+
+fn main() {
+    let params = AreaParams::default();
+    let cfg = AreaConfig::isosceles_default();
+    let a = area_of(&cfg, &params);
+    println!("# Table II: area breakdown (paper values in parentheses)");
+    println!("ISOSceles                          Per lane");
+    println!(
+        "  64 lanes        {:>6.1} mm2 (18.4)   64 MAC units {:>6.3} mm2 (0.069)",
+        a.lanes_mm2(),
+        a.macs_mm2 / cfg.lanes as f64
+    );
+    println!(
+        "  Filter buffer   {:>6.1} mm2 (7.5)    Mergers      {:>6.3} mm2 (0.060)",
+        a.filter_buffer_mm2,
+        a.mergers_mm2 / cfg.lanes as f64
+    );
+    println!(
+        "                                      Buffers      {:>6.3} mm2 (0.121)",
+        a.lane_buffers_mm2 / cfg.lanes as f64
+    );
+    println!(
+        "                                      Fetcher      {:>6.3} mm2 (0.010)",
+        a.fetchers_mm2 / cfg.lanes as f64
+    );
+    println!(
+        "                                      Crossbar     {:>6.3} mm2 (0.021)",
+        a.crossbar_mm2 / cfg.lanes as f64
+    );
+    println!(
+        "                                      Others       {:>6.3} mm2 (0.007)",
+        a.others_mm2 / cfg.lanes as f64
+    );
+    println!(
+        "  Total           {:>6.1} mm2 (26.0)   Total        {:>6.3} mm2 (0.288)",
+        a.total_mm2(),
+        a.per_lane_mm2(cfg.lanes)
+    );
+    println!();
+    println!(
+        "Scaled to 16 nm: {:.1} mm2 (paper: 4.7 mm2)",
+        a.total_mm2() * params.scale_to_16nm
+    );
+    println!(
+        "SparTen-class comparator at matched MACs + 5 MB SRAM: {:.1} mm2 (\"significantly less area\")",
+        sparten_area_mm2(&params)
+    );
+}

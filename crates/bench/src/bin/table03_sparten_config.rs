@@ -1,0 +1,36 @@
+//! Table III: configuration of the SparTen baseline system.
+
+use isos_baselines::SpartenConfig;
+
+fn main() {
+    let cfg = SpartenConfig::default();
+    println!("# Table III: SparTen configuration (paper values in parentheses)");
+    println!("Cluster parameters");
+    println!("  Multiplier width     {:>8} b   (8b)", 8);
+    println!("  Accumulator width    {:>8} b   (16b)", 16);
+    println!(
+        "  # MAC units          {:>8}     (64)",
+        cfg.macs_per_cluster
+    );
+    println!(
+        "  Buffers              {:>8} KB  (64KB)",
+        cfg.cluster_buffer_bytes >> 10
+    );
+    println!("System parameters");
+    println!("  # Clusters           {:>8}     (64)", cfg.clusters);
+    println!(
+        "  Filter buffer        {:>8} MB  (1MB)",
+        cfg.filter_buffer_bytes >> 20
+    );
+    println!(
+        "  DRAM bandwidth       {:>8} GB/s (128GB/s)",
+        cfg.dram_bytes_per_cycle as u64
+    );
+    println!("Summary");
+    println!("  Total # MAC units    {:>8}     (4096)", cfg.total_macs());
+    println!(
+        "  Total memory size    {:>8} MB  (5MB)",
+        cfg.total_sram_bytes() >> 20
+    );
+    println!("  GoSPA activation filtering: {}", cfg.gospa_filtering);
+}

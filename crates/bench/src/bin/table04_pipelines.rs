@@ -1,0 +1,61 @@
+//! Table IV: pipelineable workloads in ResNet-50 with 96% weight sparsity.
+//!
+//! Prints the pipeline groups the greedy mapper builds for R96 — each row
+//! is one pipeline with its layer count (L, counting convs as the paper
+//! does) and member layers — and checks the paper-level properties: only
+//! the first conv and FC run unpipelined, pipelines span 3-7 convs, and
+//! sparser variants pipeline more layers.
+
+use isos_nn::models::resnet50;
+use isosceles::mapping::{map_network, ExecMode};
+use isosceles::IsoscelesConfig;
+use isosceles_bench::suite::SEED;
+
+fn main() {
+    let cfg = IsoscelesConfig::default();
+    let net = resnet50(0.96, SEED);
+    let mapping = map_network(&net, &cfg, ExecMode::Pipelined);
+
+    println!("# Table IV: pipelineable workloads in R96");
+    println!("{:<24} {:>2}  layers", "workload", "L");
+    for g in &mapping.groups {
+        let convs = g.conv_count(&net);
+        if convs < 2 {
+            continue; // unpipelined singles listed below
+        }
+        let members: Vec<&str> = g
+            .layers
+            .iter()
+            .map(|&id| net.layer(id).name.as_str())
+            .filter(|n| !n.ends_with(".add"))
+            .collect();
+        println!("{:<24} {:>2}  {}", g.name, convs, members.join(", "));
+    }
+    println!();
+    let single: Vec<&str> = mapping
+        .groups
+        .iter()
+        .filter(|g| g.conv_count(&net) < 2)
+        .map(|g| g.name.as_str())
+        .collect();
+    println!("unpipelined: {}", single.join(", "));
+    println!();
+    println!("# paper: pipelines of 3-6 convs; only conv1 and fc unpipelined (R96);");
+    println!("#        R98/R99 pipeline 9-15 layers");
+    for sparsity in [0.96, 0.98, 0.99] {
+        let net = resnet50(sparsity, SEED);
+        let m = map_network(&net, &cfg, ExecMode::Pipelined);
+        let max_convs = m
+            .pipelined_groups()
+            .map(|g| g.conv_count(&net))
+            .max()
+            .unwrap_or(0);
+        println!(
+            "R{:.0}: {} pipelines, deepest {} convs ({} units incl. adds)",
+            sparsity * 100.0,
+            m.pipelined_groups().count(),
+            max_convs,
+            m.max_group_len()
+        );
+    }
+}

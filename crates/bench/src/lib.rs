@@ -1,0 +1,11 @@
+//! Benchmark harness for the ISOSceles reproduction.
+//!
+//! [`suite`] runs the paper's 11-CNN evaluation suite on ISOSceles,
+//! ISOSceles-single, SparTen(+GoSPA), and Fused-Layer; the binaries under
+//! `src/bin/` each regenerate one table or figure from those results (see
+//! DESIGN.md's experiment index).
+
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod suite;

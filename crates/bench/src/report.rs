@@ -1,0 +1,123 @@
+//! CSV export of experiment results.
+//!
+//! Every figure harness prints human-readable tables; this module writes
+//! the same data as CSV under `results/` so plots can be regenerated with
+//! any external tool (`cargo run -p isosceles-bench --bin export_results`).
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A CSV table in memory.
+#[derive(Clone, Debug, Default)]
+pub struct CsvTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Convenience: appends a row of displayable cells.
+    pub fn push<D: std::fmt::Display>(&mut self, cells: &[D]) {
+        self.push_row(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders RFC-4180-ish CSV (quotes cells containing separators).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            let line = cells
+                .iter()
+                .map(|c| {
+                    if c.contains([',', '"', '\n']) {
+                        format!("\"{}\"", c.replace('"', "\"\""))
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            let _ = writeln!(out, "{line}");
+        };
+        write_row(&mut out, &self.headers);
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Writes the table to `dir/name.csv`, creating `dir` if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, dir: &Path, name: &str) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_headers_and_rows() {
+        let mut t = CsvTable::new(&["net", "speedup"]);
+        t.push(&["R96".to_string(), "4.9".to_string()]);
+        assert_eq!(t.to_csv(), "net,speedup\nR96,4.9\n");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn quotes_cells_with_separators() {
+        let mut t = CsvTable::new(&["a"]);
+        t.push_row(vec!["x,y \"z\"".into()]);
+        assert_eq!(t.to_csv(), "a\n\"x,y \"\"z\"\"\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = CsvTable::new(&["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn writes_to_disk() {
+        let dir = std::env::temp_dir().join("isos-report-test");
+        let mut t = CsvTable::new(&["x"]);
+        t.push(&[1]);
+        let path = t.write(&dir, "t").unwrap();
+        assert_eq!(std::fs::read_to_string(path).unwrap(), "x\n1\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,124 @@
+//! Shared experiment driver: runs the paper's 11-CNN suite on all three
+//! accelerator models and collects the numbers every figure draws from.
+
+use isos_baselines::{
+    simulate_fused_layer, simulate_isosceles_single, simulate_sparten, FusedLayerConfig,
+    SpartenConfig,
+};
+use isos_nn::models::{paper_suite, Workload};
+use isosceles::arch::simulate_network;
+use isosceles::mapping::ExecMode;
+use isosceles::metrics::NetworkMetrics;
+use isosceles::IsoscelesConfig;
+
+/// Default RNG seed for all synthetic sparsity profiles.
+pub const SEED: u64 = 20230225; // HPCA 2023 conference date
+
+/// One workload's results on every accelerator.
+#[derive(Clone, Debug)]
+pub struct SuiteRow {
+    /// Workload id (`R96`, `M75`, ...).
+    pub id: &'static str,
+    /// Full ISOSceles (inter-layer pipelining).
+    pub isosceles: NetworkMetrics,
+    /// ISOSceles-single (Fig. 18 ablation).
+    pub single: NetworkMetrics,
+    /// SparTen + GoSPA filtering.
+    pub sparten: NetworkMetrics,
+    /// Fused-Layer (dense).
+    pub fused: NetworkMetrics,
+}
+
+impl SuiteRow {
+    /// Speedup of ISOSceles over Fused-Layer (Fig. 14a, right bars).
+    pub fn speedup_vs_fused(&self) -> f64 {
+        self.fused.total.cycles as f64 / self.isosceles.total.cycles as f64
+    }
+
+    /// Speedup of SparTen over Fused-Layer (Fig. 14a, left bars).
+    pub fn sparten_speedup_vs_fused(&self) -> f64 {
+        self.fused.total.cycles as f64 / self.sparten.total.cycles as f64
+    }
+
+    /// Speedup of ISOSceles over SparTen (the headline gmean 4.3x).
+    pub fn speedup_vs_sparten(&self) -> f64 {
+        self.sparten.total.cycles as f64 / self.isosceles.total.cycles as f64
+    }
+
+    /// Traffic of ISOSceles normalized to Fused-Layer (Fig. 14c).
+    pub fn traffic_vs_fused(&self) -> f64 {
+        self.isosceles.total.total_traffic() / self.fused.total.total_traffic()
+    }
+
+    /// Traffic of SparTen normalized to ISOSceles (the headline 4.7x).
+    pub fn sparten_traffic_ratio(&self) -> f64 {
+        self.sparten.total.total_traffic() / self.isosceles.total.total_traffic()
+    }
+}
+
+/// Runs one workload on all four models.
+pub fn run_workload(w: &Workload, seed: u64) -> SuiteRow {
+    let cfg = IsoscelesConfig::default();
+    SuiteRow {
+        id: w.id,
+        isosceles: simulate_network(&w.network, &cfg, ExecMode::Pipelined, seed),
+        single: simulate_isosceles_single(&w.network, &cfg, seed),
+        sparten: simulate_sparten(&w.network, &SpartenConfig::default()),
+        fused: simulate_fused_layer(&w.network, &FusedLayerConfig::default()),
+    }
+}
+
+/// Runs the full 11-CNN suite, in the paper's figure order.
+pub fn run_suite(seed: u64) -> Vec<SuiteRow> {
+    paper_suite(seed)
+        .iter()
+        .map(|w| run_workload(w, seed))
+        .collect()
+}
+
+/// Formats a bar-style text row for harness output.
+pub fn fmt_row(label: &str, values: &[(&str, f64)]) -> String {
+    let mut s = format!("{label:<28}");
+    for (id, v) in values {
+        s.push_str(&format!(" {id}={v:<8.2}"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isos_nn::models::suite_workload;
+
+    #[test]
+    fn workload_row_has_consistent_relations() {
+        let w = suite_workload("G58", SEED);
+        let row = run_workload(&w, SEED);
+        // Cross-metric identities.
+        assert!(
+            (row.speedup_vs_fused() / row.sparten_speedup_vs_fused() - row.speedup_vs_sparten())
+                .abs()
+                < 1e-9
+        );
+        assert!(row.isosceles.total.cycles > 0);
+        assert!(row.single.total.cycles >= row.isosceles.total.cycles);
+    }
+
+    #[test]
+    fn suite_order_matches_paper_figures() {
+        let rows = run_suite(SEED);
+        let ids: Vec<&str> = rows.iter().map(|r| r.id).collect();
+        assert_eq!(
+            ids,
+            vec!["R81", "R90", "R95", "R96", "R98", "R99", "V68", "V90", "G58", "M75", "M89"]
+        );
+    }
+
+    #[test]
+    fn fmt_row_aligns_labels() {
+        let s = fmt_row("label", &[("a", 1.0), ("b", 2.5)]);
+        assert!(s.starts_with("label"));
+        assert!(s.contains("a=1"));
+        assert!(s.contains("b=2.5"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Activation fetchers and writers (paper Sec. IV-A, "Main memory
+//! accesses").
+//!
+//! Because the IS-OS dataflow traverses activations concordantly, the
+//! off-chip interface needs no address generation logic beyond a simple
+//! FSM that walks a compressed row: each per-lane fetcher streams one
+//! input activation row `[W, C]` fiber by fiber, and each writer streams
+//! one output row. Both are decoupled from the lanes by queues to hide
+//! memory latency. This module models the FSM byte-exactly over a CSF row
+//! so the byte schedule (which cycle each element becomes available at a
+//! given bandwidth) can be charged.
+
+use isos_tensor::{Coord, Csf, Fiber};
+use serde::{Deserialize, Serialize};
+
+/// One streamed activation element with its fetch cost.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StreamedElem {
+    /// Column (`W` for inputs, `Q` for outputs).
+    pub col: Coord,
+    /// Channel.
+    pub channel: Coord,
+    /// Value.
+    pub value: f32,
+    /// Bytes consumed from the memory stream for this element (value +
+    /// amortized metadata; column boundaries carry the fiber header).
+    pub bytes: u32,
+}
+
+/// A fetcher FSM walking one compressed activation row.
+///
+/// Iterate it to obtain the exact element/byte schedule; the cumulative
+/// byte count divided by per-lane bandwidth gives each element's earliest
+/// arrival cycle.
+#[derive(Debug)]
+pub struct RowFetcher<'a> {
+    cols: std::vec::IntoIter<(Coord, Fiber<'a>)>,
+    current: Option<(Coord, std::vec::IntoIter<(Coord, f32)>)>,
+    bytes_streamed: u64,
+    elements: u64,
+}
+
+/// Bytes of metadata at each column (fiber) boundary: coordinate + offset.
+const COL_HEADER_BYTES: u32 = 2;
+/// Bytes per element: 8-bit value + channel coordinate.
+const ELEM_BYTES: u32 = 2;
+
+impl<'a> RowFetcher<'a> {
+    /// Creates a fetcher over row `h` of an `[H, W, C]` activation tensor.
+    ///
+    /// Rows are independent sub-tensors, so per-row traversal stays
+    /// concordant even when the row dimension is tiled (Sec. IV-C notes
+    /// halo rows remain concordant for the same reason).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 3.
+    pub fn new(acts: &'a Csf, h: Coord) -> Self {
+        assert_eq!(acts.ndim(), 3, "activations must be [H,W,C]");
+        let cols = acts
+            .root()
+            .find(h)
+            .map(|row| row.iter_children().collect::<Vec<_>>())
+            .unwrap_or_default();
+        Self {
+            cols: cols.into_iter(),
+            current: None,
+            bytes_streamed: 0,
+            elements: 0,
+        }
+    }
+
+    /// Total bytes streamed so far.
+    pub fn bytes_streamed(&self) -> u64 {
+        self.bytes_streamed
+    }
+
+    /// Elements delivered so far.
+    pub fn elements(&self) -> u64 {
+        self.elements
+    }
+}
+
+impl Iterator for RowFetcher<'_> {
+    type Item = StreamedElem;
+
+    fn next(&mut self) -> Option<StreamedElem> {
+        loop {
+            if let Some((col, ref mut leaf)) = self.current {
+                if let Some((channel, value)) = leaf.next() {
+                    self.bytes_streamed += ELEM_BYTES as u64;
+                    self.elements += 1;
+                    return Some(StreamedElem {
+                        col,
+                        channel,
+                        value,
+                        bytes: ELEM_BYTES,
+                    });
+                }
+                self.current = None;
+            }
+            let (col, fiber) = self.cols.next()?;
+            self.bytes_streamed += COL_HEADER_BYTES as u64;
+            let mut leaf = fiber.iter_leaf().collect::<Vec<_>>().into_iter();
+            // The first element of a column carries its header cost.
+            if let Some((channel, value)) = leaf.next() {
+                self.bytes_streamed += ELEM_BYTES as u64;
+                self.elements += 1;
+                self.current = Some((col, leaf));
+                return Some(StreamedElem {
+                    col,
+                    channel,
+                    value,
+                    bytes: ELEM_BYTES + COL_HEADER_BYTES,
+                });
+            }
+        }
+    }
+}
+
+/// Computes each element's earliest availability cycle for one row at
+/// `bytes_per_cycle` of streaming bandwidth: the arrival schedule the
+/// decoupling queue absorbs.
+pub fn arrival_schedule(acts: &Csf, h: Coord, bytes_per_cycle: f64) -> Vec<(StreamedElem, u64)> {
+    assert!(bytes_per_cycle > 0.0, "bandwidth must be positive");
+    let mut cum_bytes = 0u64;
+    RowFetcher::new(acts, h)
+        .map(|e| {
+            cum_bytes += e.bytes as u64;
+            let cycle = (cum_bytes as f64 / bytes_per_cycle).ceil() as u64;
+            (e, cycle)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isos_tensor::{gen, Point};
+
+    fn acts() -> Csf {
+        Csf::from_entries(
+            vec![2, 4, 3].into(),
+            vec![
+                (Point::from_slice(&[0, 1, 0]), 1.0),
+                (Point::from_slice(&[0, 1, 2]), 2.0),
+                (Point::from_slice(&[0, 3, 1]), 3.0),
+                (Point::from_slice(&[1, 0, 0]), 4.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn fetcher_streams_row_in_wavefront_order() {
+        let t = acts();
+        let elems: Vec<StreamedElem> = RowFetcher::new(&t, 0).collect();
+        assert_eq!(elems.len(), 3);
+        // (w=1,c=0), (w=1,c=2), (w=3,c=1): column-then-channel order.
+        assert_eq!((elems[0].col, elems[0].channel), (1, 0));
+        assert_eq!((elems[1].col, elems[1].channel), (1, 2));
+        assert_eq!((elems[2].col, elems[2].channel), (3, 1));
+    }
+
+    #[test]
+    fn byte_accounting_charges_headers_once_per_column() {
+        let t = acts();
+        let mut f = RowFetcher::new(&t, 0);
+        let first = f.next().unwrap();
+        assert_eq!(first.bytes, ELEM_BYTES + COL_HEADER_BYTES);
+        let second = f.next().unwrap();
+        assert_eq!(second.bytes, ELEM_BYTES);
+        let third = f.next().unwrap();
+        assert_eq!(third.bytes, ELEM_BYTES + COL_HEADER_BYTES);
+        assert!(f.next().is_none());
+        assert_eq!(
+            f.bytes_streamed(),
+            (3 * ELEM_BYTES + 2 * COL_HEADER_BYTES) as u64
+        );
+        assert_eq!(f.elements(), 3);
+    }
+
+    #[test]
+    fn missing_row_streams_nothing() {
+        let t = acts();
+        assert_eq!(RowFetcher::new(&t, 7).count(), 0);
+    }
+
+    #[test]
+    fn arrival_schedule_is_monotone_and_bandwidth_scaled() {
+        let t = gen::random_csf(vec![4, 16, 8].into(), 0.5, 9);
+        let slow = arrival_schedule(&t, 1, 1.0);
+        let fast = arrival_schedule(&t, 1, 4.0);
+        assert_eq!(slow.len(), fast.len());
+        assert!(slow.windows(2).all(|w| w[0].1 <= w[1].1));
+        for (s, f) in slow.iter().zip(&fast) {
+            assert!(f.1 <= s.1, "4x bandwidth cannot be slower");
+        }
+        // Last arrival ~ total bytes / bandwidth.
+        let total: u64 = slow.iter().map(|(e, _)| e.bytes as u64).sum();
+        assert_eq!(slow.last().unwrap().1, total);
+    }
+
+    #[test]
+    fn per_row_streams_cover_the_tensor() {
+        let t = gen::random_csf(vec![6, 10, 4].into(), 0.4, 10);
+        let total: usize = (0..6).map(|h| RowFetcher::new(&t, h).count()).sum();
+        assert_eq!(total, t.nnz());
+    }
+}

@@ -1,0 +1,247 @@
+//! The shared filter buffer (paper Sec. IV-A).
+//!
+//! All lanes fetch weights from one 1 MB buffer that must sustain up to
+//! 4096 elements per cycle. The paper makes that affordable with three
+//! techniques, all modeled here: (1) wide words supply many weights per
+//! access, (2) heavy banking along input channels spreads concurrent
+//! requests, and (3) requests from different lanes for the *same* input
+//! channel coalesce into one access — common because lanes march through
+//! the same activation columns together.
+
+use isos_sim::sram::{Sram, SramStats};
+use isos_tensor::{Coord, Csf};
+use serde::{Deserialize, Serialize};
+
+/// Per-layer placement of a filter tensor in the buffer.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FilterAllocation {
+    /// Offset of the layer's region, in bytes.
+    pub base: u64,
+    /// Bytes occupied (compressed, with allocation overhead).
+    pub bytes: u64,
+    /// Word offset of each input channel's fiber within the region
+    /// (index = channel).
+    channel_words: Vec<u64>,
+    /// Words each channel's fiber occupies.
+    channel_len_words: Vec<u64>,
+}
+
+impl FilterAllocation {
+    /// The `(bank-selection key, word address, word count)` of channel
+    /// `c`'s weights, or `None` if the channel is empty.
+    pub fn locate(&self, c: Coord) -> Option<(u32, u64, u64)> {
+        let c = c as usize;
+        if c >= self.channel_words.len() || self.channel_len_words[c] == 0 {
+            return None;
+        }
+        let word = self.base / 64 + self.channel_words[c];
+        Some((c as u32, word, self.channel_len_words[c]))
+    }
+}
+
+/// Result of serving one cycle of lane requests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeResult {
+    /// SRAM cycles consumed (1 unless bank conflicts serialized).
+    pub cycles: u64,
+    /// Requests satisfied from an access another lane triggered.
+    pub coalesced: u64,
+}
+
+/// The shared, banked, wide-word filter buffer.
+///
+/// # Examples
+///
+/// ```
+/// use isosceles::arch::filter_buffer::FilterBuffer;
+/// use isos_tensor::gen;
+/// let mut fb = FilterBuffer::new(1 << 20, 64, 32);
+/// let filter = gen::random_csf(vec![8, 3, 16, 3].into(), 0.2, 1);
+/// let alloc = fb.load(&filter, 1.5).expect("fits");
+/// assert!(alloc.bytes > 0);
+/// // Three lanes asking for channel 0 in the same cycle coalesce.
+/// let r = fb.serve(&alloc, &[0, 0, 0]);
+/// assert_eq!(r.coalesced, 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FilterBuffer {
+    sram: Sram,
+    banks: u32,
+    next_free: u64,
+}
+
+impl FilterBuffer {
+    /// Creates a buffer of `capacity_bytes` with `word_bytes`-wide words
+    /// across `banks` banks.
+    pub fn new(capacity_bytes: u64, word_bytes: u32, banks: u32) -> Self {
+        Self {
+            sram: Sram::new("filter-buffer", capacity_bytes, word_bytes, banks),
+            banks,
+            next_free: 0,
+        }
+    }
+
+    /// Bytes still unallocated.
+    pub fn free_bytes(&self) -> u64 {
+        self.sram.capacity_bytes() - self.next_free
+    }
+
+    /// Allocates and "loads" a layer's compressed filter (`[C, R, K, S]`),
+    /// laying channel fibers at word granularity so a channel fetch is one
+    /// contiguous wide read.
+    ///
+    /// `alloc_overhead` is the wide-word padding factor
+    /// ([`crate::IsoscelesConfig::filter_buffer_alloc_overhead`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bytes that did not fit when capacity is exhausted
+    /// (the mapper should have K-tiled the layer).
+    pub fn load(&mut self, filter: &Csf, alloc_overhead: f64) -> Result<FilterAllocation, u64> {
+        assert_eq!(filter.ndim(), 4, "filter must be [C,R,K,S]");
+        let word = self.sram.word_bytes() as u64;
+        let c_dim = filter.shape()[0];
+        let mut channel_words = vec![0u64; c_dim];
+        let mut channel_len_words = vec![0u64; c_dim];
+        let mut cursor_words = 0u64;
+        for (c, fiber) in filter.root().iter_children() {
+            let nnz = fiber.nnz_below() as u64;
+            // value byte + ~1.5 B metadata per nonzero, padded to words and
+            // scaled by the allocation overhead.
+            let bytes = ((nnz as f64 * 2.5 * alloc_overhead).ceil() as u64).max(word);
+            let words = bytes.div_ceil(word);
+            channel_words[c as usize] = cursor_words;
+            channel_len_words[c as usize] = words;
+            cursor_words += words;
+        }
+        let total_bytes = cursor_words * word;
+        if total_bytes > self.free_bytes() {
+            return Err(total_bytes - self.free_bytes());
+        }
+        let base = self.next_free;
+        self.next_free += total_bytes;
+        self.sram.write_bytes(total_bytes);
+        Ok(FilterAllocation {
+            base,
+            bytes: total_bytes,
+            channel_words,
+            channel_len_words,
+        })
+    }
+
+    /// Frees everything (a new pipeline group begins).
+    pub fn reset(&mut self) {
+        self.next_free = 0;
+    }
+
+    /// Serves one cycle of per-lane channel requests against `alloc`,
+    /// coalescing duplicates and serializing bank conflicts.
+    pub fn serve(&mut self, alloc: &FilterAllocation, lane_channels: &[Coord]) -> ServeResult {
+        let mut requests: Vec<(u32, u64)> = Vec::with_capacity(lane_channels.len());
+        let mut seen: Vec<(u32, u64)> = Vec::new();
+        let mut coalesced = 0u64;
+        for &c in lane_channels {
+            let Some((bank_key, word, _len)) = alloc.locate(c) else {
+                continue;
+            };
+            let req = (bank_key % self.banks, word);
+            if seen.contains(&req) {
+                coalesced += 1;
+            } else {
+                seen.push(req);
+                requests.push(req);
+            }
+        }
+        // Sram::serve_banked also detects coalescing; we pre-dedup so its
+        // conflict accounting sees distinct requests only.
+        let cycles = self.sram.serve_banked(&requests).max(1);
+        ServeResult { cycles, coalesced }
+    }
+
+    /// Access counters of the underlying SRAM.
+    pub fn stats(&self) -> SramStats {
+        self.sram.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isos_tensor::gen;
+
+    fn filter(c: usize, density: f64, seed: u64) -> Csf {
+        gen::random_csf(vec![c, 3, 8, 3].into(), density, seed)
+    }
+
+    #[test]
+    fn load_places_channels_contiguously() {
+        let mut fb = FilterBuffer::new(1 << 20, 64, 32);
+        let f = filter(8, 0.3, 1);
+        let alloc = fb.load(&f, 1.0).unwrap();
+        let mut last_end = 0u64;
+        for c in 0..8u32 {
+            if let Some((_, word, len)) = alloc.locate(c) {
+                assert!(word >= last_end, "channels must not overlap");
+                last_end = word + len;
+            }
+        }
+        assert_eq!(alloc.bytes % 64, 0, "word-granular allocation");
+    }
+
+    #[test]
+    fn empty_channels_locate_none() {
+        let mut fb = FilterBuffer::new(1 << 20, 64, 32);
+        // Density 0 except one channel.
+        let f = Csf::from_entries(
+            vec![4, 1, 1, 1].into(),
+            vec![(isos_tensor::Point::from_slice(&[2, 0, 0, 0]), 1.0)],
+        );
+        let alloc = fb.load(&f, 1.0).unwrap();
+        assert!(alloc.locate(0).is_none());
+        assert!(alloc.locate(2).is_some());
+        assert!(alloc.locate(9).is_none());
+    }
+
+    #[test]
+    fn overfull_load_reports_shortfall() {
+        let mut fb = FilterBuffer::new(4 << 10, 64, 8);
+        let f = filter(64, 0.9, 2);
+        let err = fb.load(&f, 4.0).unwrap_err();
+        assert!(err > 0);
+        // After reset it still fails (the filter is just too big).
+        fb.reset();
+        assert!(fb.load(&f, 4.0).is_err());
+    }
+
+    #[test]
+    fn coalescing_collapses_same_channel_requests() {
+        let mut fb = FilterBuffer::new(1 << 20, 64, 32);
+        let f = filter(8, 0.5, 3);
+        let alloc = fb.load(&f, 1.0).unwrap();
+        // 64 lanes all on channel 3: one access, 63 coalesced.
+        let r = fb.serve(&alloc, &vec![3; 64]);
+        assert_eq!(r.coalesced, 63);
+        assert_eq!(r.cycles, 1);
+    }
+
+    #[test]
+    fn distinct_channels_spread_across_banks() {
+        let mut fb = FilterBuffer::new(1 << 20, 64, 32);
+        let f = filter(32, 0.5, 4);
+        let alloc = fb.load(&f, 1.0).unwrap();
+        // 32 distinct channels on 32 banks: ideally 1 cycle, certainly
+        // far fewer than serialized.
+        let lanes: Vec<u32> = (0..32).collect();
+        let r = fb.serve(&alloc, &lanes);
+        assert!(r.cycles <= 4, "cycles {}", r.cycles);
+        assert_eq!(r.coalesced, 0);
+    }
+
+    #[test]
+    fn multiple_layers_share_the_buffer() {
+        let mut fb = FilterBuffer::new(256 << 10, 64, 32);
+        let a = fb.load(&filter(8, 0.3, 5), 1.5).unwrap();
+        let b = fb.load(&filter(8, 0.3, 6), 1.5).unwrap();
+        assert!(b.base >= a.base + a.bytes, "regions must not overlap");
+    }
+}

@@ -1,0 +1,449 @@
+//! Cycle-level simulation of inter-layer pipelined execution.
+//!
+//! One [`PipelineGroup`] at a time is resident on the single time-
+//! multiplexed IS-OS block (paper Sec. IV-B). The simulation advances in
+//! scheduler intervals (100 cycles): each interval, layers post MAC demand
+//! for the output columns whose wavefront dependencies are satisfied, the
+//! dynamic scheduler divides the 4096 MACs proportionally to the previous
+//! interval's demand, and the DRAM grants weight-fetch / input-fetch /
+//! output-writeback bandwidth. Compute-bound and memory-bound phases — and
+//! the fragmentation loss of periodic scheduling — emerge from this
+//! contention rather than being assumed.
+
+use super::scheduler::DynamicScheduler;
+use crate::config::IsoscelesConfig;
+use crate::mapping::{map_network, ExecMode, Mapping, PipelineGroup};
+use crate::metrics::{NetworkMetrics, RunMetrics};
+use isos_nn::graph::{Network, NodeId};
+use isos_nn::work::{layer_work, LayerWork};
+use isos_sim::dram::{arbitrate, Dram};
+
+/// Where a simulated layer's input comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Source {
+    /// Fetched from DRAM (producer outside the group, or network input).
+    External(usize),
+    /// Streamed on-chip from another layer in the group.
+    Local(usize),
+}
+
+/// Per-layer execution state.
+#[derive(Debug)]
+struct SimLayer {
+    work: LayerWork,
+    /// Prefix sums of `macs_per_col` for O(1) demand queries.
+    cum_macs: Vec<f64>,
+    producers: Vec<Source>,
+    writes_extern: bool,
+    weight_left: f64,
+    cols_done: usize,
+    col_progress: f64,
+    produced_bytes: f64,
+    written_bytes: f64,
+    macs_executed: f64,
+    /// Columns of decoupling allowed past the slowest consumer.
+    ahead_cols: usize,
+}
+
+/// An input tensor streamed from DRAM.
+#[derive(Debug)]
+struct ExtStream {
+    bytes_per_col: Vec<f64>,
+    fetched_cols: usize,
+    byte_progress: f64,
+    /// Traffic multiplier: K-tiling re-reads and P-tiling halos.
+    scale: f64,
+}
+
+impl ExtStream {
+    fn remaining_bytes_to(&self, target_col: usize) -> f64 {
+        let target = target_col.min(self.bytes_per_col.len());
+        if self.fetched_cols >= target {
+            return 0.0;
+        }
+        let raw: f64 = self.bytes_per_col[self.fetched_cols..target].iter().sum();
+        let rem = raw * self.scale - self.byte_progress;
+        if rem < 1e-6 {
+            0.0
+        } else {
+            rem
+        }
+    }
+
+    fn advance(&mut self, granted: f64) {
+        self.byte_progress += granted;
+        while self.fetched_cols < self.bytes_per_col.len() {
+            let need = self.bytes_per_col[self.fetched_cols] * self.scale;
+            if self.byte_progress + 1e-6 < need {
+                break;
+            }
+            self.byte_progress -= need;
+            self.fetched_cols += 1;
+        }
+    }
+}
+
+/// Simulates one pipeline group to completion.
+///
+/// # Panics
+///
+/// Panics if the simulation deadlocks (a model bug) or exceeds a safety
+/// bound of cycles.
+pub fn simulate_group(
+    net: &Network,
+    cfg: &IsoscelesConfig,
+    group: &PipelineGroup,
+    seed: u64,
+) -> RunMetrics {
+    let (mut layers, mut ext_streams) = build_group_state(net, cfg, group, seed);
+    let interval = cfg.scheduler_interval;
+    let total_macs = cfg.total_macs() as f64;
+    let mut dram = Dram::new(cfg.dram_bytes_per_cycle);
+    let mut sched = DynamicScheduler::new(total_macs);
+    let mut metrics = RunMetrics::default();
+    let mut weight_read = 0.0f64;
+    let mut act_read = 0.0f64;
+    let mut act_write = 0.0f64;
+
+    let safety_cycles: u64 = 500_000_000_000;
+    let mut stalled_intervals = 0u32;
+    loop {
+        // 1. Wavefront-dependency analysis: how far may each layer run?
+        let n = layers.len();
+        let mut ready = vec![0usize; n];
+        for i in 0..n {
+            let avail_in = layers[i]
+                .producers
+                .iter()
+                .map(|s| match *s {
+                    Source::External(e) => ext_streams[e].fetched_cols,
+                    Source::Local(j) => layers[j].cols_done,
+                })
+                .min()
+                .unwrap_or(layers[i].work.in_cols);
+            let mut r = max_out_cols(&layers[i].work, avail_in);
+            // Backpressure: don't run more than `ahead_cols` past the
+            // slowest in-group consumer.
+            for j in 0..n {
+                if layers[j].producers.contains(&Source::Local(i)) {
+                    let consumed = if layers[j].cols_done >= layers[j].work.out_cols {
+                        usize::MAX
+                    } else {
+                        layers[j].cols_done * layers[j].work.stride
+                    };
+                    r = r.min(consumed.saturating_add(layers[i].ahead_cols));
+                }
+            }
+            if layers[i].weight_left > 0.0 {
+                r = layers[i].cols_done;
+            }
+            ready[i] = r.clamp(layers[i].cols_done, layers[i].work.out_cols);
+        }
+
+        // 2. MAC demand and dynamic allocation.
+        let demand: Vec<f64> = (0..n)
+            .map(|i| {
+                let l = &layers[i];
+                (l.cum_macs[ready[i]] - l.cum_macs[l.cols_done] - l.col_progress).max(0.0)
+            })
+            .collect();
+        let alloc = sched.allocate(&demand);
+        let interval_capacity = interval as f64 * cfg.pe_efficiency;
+        let mut executed_total = 0.0;
+        let mut leftover_pes = 0.0;
+        let mut unmet: Vec<f64> = vec![0.0; n];
+        for i in 0..n {
+            let budget = demand[i].min(alloc[i] * interval_capacity);
+            let used = advance_layer(&mut layers[i], budget, ready[i]);
+            executed_total += used;
+            leftover_pes += (alloc[i] * interval_capacity - used) / interval_capacity;
+            unmet[i] = (demand[i] - used).max(0.0);
+        }
+        // Work-conserving pass: PEs freed by layers whose demand shrank
+        // since the last interval pick up queued work from other contexts
+        // (the scheduler reallocates shares only every interval, but idle
+        // PEs still drain whatever is in their context queues).
+        if leftover_pes > 0.0 {
+            let extra = arbitrate(&unmet, leftover_pes * interval_capacity);
+            for i in 0..n {
+                if extra[i] > 0.0 {
+                    executed_total += advance_layer(&mut layers[i], extra[i], ready[i]);
+                }
+            }
+        }
+
+        // 3. DRAM: weight fetches, input prefetch, output writeback.
+        let mut read_demands: Vec<f64> = Vec::new();
+        // Weight streams first (same order every interval).
+        for l in &layers {
+            read_demands.push(l.weight_left.min(dram.capacity(interval)));
+        }
+        // External input streams: prefetch a few columns ahead of the
+        // consumers (the decoupled fetcher FSMs of Sec. IV-A).
+        let prefetch = 8usize;
+        for s in &ext_streams {
+            let target = s.fetched_cols + prefetch;
+            read_demands.push(s.remaining_bytes_to(target).min(dram.capacity(interval)));
+        }
+        let write_demand: f64 = layers
+            .iter()
+            .filter(|l| l.writes_extern)
+            .map(|l| l.produced_bytes - l.written_bytes)
+            .sum();
+        let total_read: f64 = read_demands.iter().sum();
+        let (granted_read, granted_write) = dram.grant(
+            total_read,
+            write_demand.min(dram.capacity(interval)),
+            interval,
+        );
+        let shares = arbitrate(&read_demands, granted_read);
+        for (i, l) in layers.iter_mut().enumerate() {
+            l.weight_left = (l.weight_left - shares[i]).max(0.0);
+            weight_read += shares[i];
+        }
+        for (e, s) in ext_streams.iter_mut().enumerate() {
+            let g = shares[layers.len() + e];
+            s.advance(g);
+            act_read += g;
+        }
+        // Writeback distributed proportionally across sinks.
+        let write_pending: Vec<f64> = layers
+            .iter()
+            .map(|l| {
+                if l.writes_extern {
+                    l.produced_bytes - l.written_bytes
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let wshares = arbitrate(&write_pending, granted_write);
+        for (l, w) in layers.iter_mut().zip(&wshares) {
+            l.written_bytes += w;
+            act_write += w;
+        }
+
+        // 4. Bookkeeping.
+        metrics.cycles += interval;
+        metrics.mac_util.add(executed_total / total_macs, interval);
+        metrics.effectual_macs += executed_total;
+
+        let done = layers.iter().all(|l| {
+            l.cols_done >= l.work.out_cols
+                && (!l.writes_extern || l.produced_bytes - l.written_bytes < 1.0)
+        });
+        if done {
+            break;
+        }
+        // The proportional scheduler follows the *previous* interval's
+        // demand, so a layer that just became ready legitimately idles for
+        // one interval (the fragmentation loss of Sec. VI-B). Only a
+        // sustained stall is a model bug.
+        let moved = executed_total > 1e-9 || granted_read > 1e-6 || granted_write > 1e-6;
+        stalled_intervals = if moved { 0 } else { stalled_intervals + 1 };
+        assert!(
+            stalled_intervals <= 3,
+            "pipeline deadlock in group {}: ready {ready:?} demand {demand:?} layers {:?} ext {:?}",
+            group.name,
+            layers
+                .iter()
+                .map(|l| (
+                    l.work.name.clone(),
+                    l.cols_done,
+                    l.work.out_cols,
+                    l.weight_left
+                ))
+                .collect::<Vec<_>>(),
+            ext_streams
+                .iter()
+                .map(|s| (s.fetched_cols, s.bytes_per_col.len(), s.byte_progress))
+                .collect::<Vec<_>>()
+        );
+        assert!(metrics.cycles < safety_cycles, "runaway simulation");
+    }
+
+    metrics.bw_util = dram.utilization();
+    metrics.weight_traffic = weight_read;
+    metrics.act_traffic = act_read + act_write;
+    metrics.activity.dram_bytes = metrics.total_traffic();
+    // Each MAC reads one weight byte from the shared filter buffer
+    // (amortized over wide words) and read-modify-writes a 16-bit partial
+    // in the lane-local context array.
+    metrics.activity.shared_sram_bytes = metrics.effectual_macs;
+    metrics.activity.local_sram_bytes =
+        metrics.effectual_macs * 2.0 * cfg.accumulator_bytes() as f64;
+    metrics.activity.macs = metrics.effectual_macs;
+    metrics
+}
+
+/// Simulates a whole network: maps it into groups and runs them in order
+/// on the shared IS-OS block.
+pub fn simulate_network(
+    net: &Network,
+    cfg: &IsoscelesConfig,
+    mode: ExecMode,
+    seed: u64,
+) -> NetworkMetrics {
+    let mapping = map_network(net, cfg, mode);
+    simulate_mapping(net, cfg, &mapping, seed)
+}
+
+/// Simulates a network under a precomputed mapping.
+pub fn simulate_mapping(
+    net: &Network,
+    cfg: &IsoscelesConfig,
+    mapping: &Mapping,
+    seed: u64,
+) -> NetworkMetrics {
+    let mut out = NetworkMetrics::default();
+    for group in &mapping.groups {
+        let m = simulate_group(net, cfg, group, seed);
+        out.total.accumulate(&m);
+        out.groups.push((group.name.clone(), m));
+    }
+    out
+}
+
+/// Largest output-column count producible from `avail_in` input columns.
+fn max_out_cols(work: &LayerWork, avail_in: usize) -> usize {
+    if avail_in >= work.in_cols {
+        return work.out_cols;
+    }
+    if avail_in < work.s_kernel {
+        return 0;
+    }
+    (((avail_in - work.s_kernel) / work.stride) + 1).min(work.out_cols)
+}
+
+/// Spends `budget` MACs advancing columns up to `ready`; returns MACs
+/// actually consumed.
+fn advance_layer(layer: &mut SimLayer, budget: f64, ready: usize) -> f64 {
+    let mut left = budget;
+    let mut used = 0.0;
+    while layer.cols_done < ready {
+        let col = layer.cols_done;
+        let need = layer.work.macs_per_col[col] - layer.col_progress;
+        // The 1e-4 slack absorbs float drift between the prefix-sum demand
+        // and the per-column values (a 1e-4 MAC is far below model noise).
+        if left + 1e-4 >= need {
+            left -= need;
+            used += need.max(0.0);
+            layer.col_progress = 0.0;
+            layer.cols_done += 1;
+            layer.produced_bytes += layer.work.out_bytes_per_col[col];
+        } else {
+            layer.col_progress += left;
+            used += left;
+            break;
+        }
+    }
+    layer.macs_executed += used;
+    used
+}
+
+/// Builds the simulation state for one group.
+fn build_group_state(
+    net: &Network,
+    cfg: &IsoscelesConfig,
+    group: &PipelineGroup,
+    seed: u64,
+) -> (Vec<SimLayer>, Vec<ExtStream>) {
+    let local_index: std::collections::HashMap<NodeId, usize> = group
+        .layers
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, i))
+        .collect();
+    let mut ext_streams: Vec<ExtStream> = Vec::new();
+    let mut ext_index: std::collections::HashMap<NodeId, usize> = std::collections::HashMap::new();
+    let mut layers: Vec<SimLayer> = Vec::new();
+
+    for &id in &group.layers {
+        let layer = net.layer(id);
+        let work = layer_work(layer, seed ^ (id as u64).wrapping_mul(0x9E37_79B9));
+        let (r_kernel, _) = layer.kind.kernel();
+        // Traffic multipliers for this layer's external input: K-tiling
+        // re-reads the input per tile; P-tiling re-reads halo rows at each
+        // tile boundary (Sec. IV-C).
+        let halo_frac = if group.p_tiles > 1 && layer.input.h > 0 {
+            ((group.p_tiles - 1) * r_kernel.saturating_sub(1)) as f64 / layer.input.h as f64
+        } else {
+            0.0
+        };
+        let scale = group.k_tiles as f64 * (1.0 + halo_frac);
+
+        let inputs = &net.nodes()[id].inputs;
+        let mut producers: Vec<Source> = Vec::new();
+        if inputs.is_empty() {
+            // Network input: one stream shaped like this layer's input.
+            let e = *ext_index.entry(id + 1_000_000).or_insert_with(|| {
+                ext_streams.push(ExtStream {
+                    bytes_per_col: work.in_bytes_per_col.clone(),
+                    fetched_cols: 0,
+                    byte_progress: 0.0,
+                    scale,
+                });
+                ext_streams.len() - 1
+            });
+            producers.push(Source::External(e));
+        }
+        for &p in inputs {
+            if let Some(&j) = local_index.get(&p) {
+                producers.push(Source::Local(j));
+            } else {
+                let e = *ext_index.entry(p).or_insert_with(|| {
+                    ext_streams.push(ExtStream {
+                        bytes_per_col: work.in_bytes_per_col.clone(),
+                        fetched_cols: 0,
+                        byte_progress: 0.0,
+                        scale,
+                    });
+                    ext_streams.len() - 1
+                });
+                producers.push(Source::External(e));
+            }
+        }
+        let writes_extern = net
+            .consumers(id)
+            .iter()
+            .any(|c| !local_index.contains_key(c))
+            || net.consumers(id).is_empty();
+
+        // Decoupling depth from the per-lane queue budget. The floor must
+        // exceed the longest pipeline lag inside a group (a skip
+        // connection's queue buffers the whole main branch's wavefront
+        // lag, Sec. IV-A / Fig. 13), or the group livelocks.
+        let min_ahead: usize = 1 + group
+            .layers
+            .iter()
+            .map(|&j| net.layer(j).kind.kernel().1)
+            .sum::<usize>();
+        let rows = work.out_rows.max(1) as f64;
+        let mean_col_bytes = (work.out_csf_bytes() / work.out_cols.max(1) as f64 / rows).max(1.0);
+        let ahead_cols =
+            ((cfg.queue_bytes_per_lane as f64 / mean_col_bytes) as usize).clamp(min_ahead, 128);
+
+        let mut cum_macs = Vec::with_capacity(work.out_cols + 1);
+        let mut am = 0.0;
+        cum_macs.push(0.0);
+        for c in 0..work.out_cols {
+            am += work.macs_per_col[c];
+            cum_macs.push(am);
+        }
+        let weight_left = work.weight_csf_bytes;
+        layers.push(SimLayer {
+            work,
+            cum_macs,
+            producers,
+            writes_extern,
+            weight_left,
+            cols_done: 0,
+            col_progress: 0.0,
+            produced_bytes: 0.0,
+            written_bytes: 0.0,
+            macs_executed: 0.0,
+            ahead_cols,
+        });
+    }
+    (layers, ext_streams)
+}

@@ -1,0 +1,115 @@
+//! The dynamic PE scheduler (paper Sec. IV-B).
+//!
+//! Sparsity makes per-layer work vary quickly, so a static PE partition
+//! would load-imbalance. ISOSceles instead reallocates PEs every
+//! `scheduler_interval` (100) cycles, proportionally to each layer's MAC
+//! demand measured over the *previous* interval. That one-interval lag is
+//! the source of the fragmentation underutilization the paper discusses in
+//! Sec. VI-B, and this model keeps it.
+
+use serde::{Deserialize, Serialize};
+
+/// Periodic proportional-share PE allocator.
+///
+/// # Examples
+///
+/// ```
+/// use isosceles::arch::DynamicScheduler;
+/// let mut sched = DynamicScheduler::new(4096.0);
+/// // First interval: no history, equal shares.
+/// let a = sched.allocate(&[100.0, 300.0]);
+/// assert_eq!(a, vec![2048.0, 2048.0]);
+/// // Second interval: shares follow the previous demand (1:3).
+/// let b = sched.allocate(&[100.0, 300.0]);
+/// assert_eq!(b, vec![1024.0, 3072.0]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DynamicScheduler {
+    total_pes: f64,
+    prev_demand: Option<Vec<f64>>,
+}
+
+impl DynamicScheduler {
+    /// Creates a scheduler managing `total_pes` MAC units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_pes` is not positive.
+    pub fn new(total_pes: f64) -> Self {
+        assert!(total_pes > 0.0, "need at least one PE");
+        Self {
+            total_pes,
+            prev_demand: None,
+        }
+    }
+
+    /// Allocates PEs for the next interval given each layer's current
+    /// demand (in MACs), using the previous interval's demand as the
+    /// proportional-share key. Layers with zero historic demand receive
+    /// zero PEs unless *all* history is zero, in which case shares are
+    /// equal.
+    pub fn allocate(&mut self, demand: &[f64]) -> Vec<f64> {
+        let shares = match &self.prev_demand {
+            Some(prev) if prev.len() == demand.len() && prev.iter().sum::<f64>() > 0.0 => {
+                let total: f64 = prev.iter().sum();
+                prev.iter().map(|d| self.total_pes * d / total).collect()
+            }
+            _ => {
+                let n = demand.len().max(1) as f64;
+                vec![self.total_pes / n; demand.len()]
+            }
+        };
+        self.prev_demand = Some(demand.to_vec());
+        shares
+    }
+
+    /// Total PEs under management.
+    pub fn total_pes(&self) -> f64 {
+        self.total_pes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_interval_splits_equally() {
+        let mut s = DynamicScheduler::new(100.0);
+        assert_eq!(s.allocate(&[5.0, 5.0, 5.0, 5.0]), vec![25.0; 4]);
+    }
+
+    #[test]
+    fn allocation_follows_previous_demand() {
+        let mut s = DynamicScheduler::new(100.0);
+        s.allocate(&[90.0, 10.0]);
+        let a = s.allocate(&[50.0, 50.0]);
+        assert_eq!(a, vec![90.0, 10.0]);
+        // Next interval reflects the 50/50 demand.
+        let b = s.allocate(&[0.0, 0.0]);
+        assert_eq!(b, vec![50.0, 50.0]);
+    }
+
+    #[test]
+    fn zero_history_falls_back_to_equal() {
+        let mut s = DynamicScheduler::new(60.0);
+        s.allocate(&[0.0, 0.0, 0.0]);
+        assert_eq!(s.allocate(&[1.0, 2.0, 3.0]), vec![20.0; 3]);
+    }
+
+    #[test]
+    fn layer_count_change_resets_shares() {
+        let mut s = DynamicScheduler::new(100.0);
+        s.allocate(&[10.0, 90.0]);
+        // Group changed size: equal shares again.
+        assert_eq!(s.allocate(&[1.0, 1.0, 1.0, 1.0]), vec![25.0; 4]);
+    }
+
+    #[test]
+    fn allocations_sum_to_total() {
+        let mut s = DynamicScheduler::new(4096.0);
+        s.allocate(&[3.0, 1.0, 7.0]);
+        let a = s.allocate(&[1.0, 1.0, 1.0]);
+        assert!((a.iter().sum::<f64>() - 4096.0).abs() < 1e-9);
+    }
+}

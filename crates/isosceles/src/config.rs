@@ -1,0 +1,129 @@
+//! ISOSceles system configuration (paper Table I).
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of an ISOSceles accelerator instance.
+///
+/// Defaults reproduce Table I: 64 lanes of 64 8-bit MACs (4096 total), a
+/// 1 MB shared filter buffer, 8 KB context arrays and 8 KB queues per lane,
+/// 16 radix-256 mergers per lane, 128 GB/s HBM at 1 GHz.
+///
+/// # Examples
+///
+/// ```
+/// use isosceles::IsoscelesConfig;
+/// let cfg = IsoscelesConfig::default();
+/// assert_eq!(cfg.total_macs(), 4096);
+/// assert_eq!(cfg.total_sram_bytes(), 2 * 1024 * 1024);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IsoscelesConfig {
+    /// Number of frontend/backend lane pairs.
+    pub lanes: usize,
+    /// MAC units per lane (coarse-grain PEs; Sec. IV-B).
+    pub macs_per_lane: usize,
+    /// Multiplier precision in bits.
+    pub multiplier_bits: u32,
+    /// Accumulator precision in bits.
+    pub accumulator_bits: u32,
+    /// Shared filter buffer capacity in bytes.
+    pub filter_buffer_bytes: u64,
+    /// Context array capacity per lane in bytes.
+    pub context_bytes_per_lane: u64,
+    /// Queue capacity per lane in bytes.
+    pub queue_bytes_per_lane: u64,
+    /// Mergers per lane.
+    pub mergers_per_lane: usize,
+    /// Merger radix (the K-merger; Sec. IV-A).
+    pub merger_radix: usize,
+    /// DRAM bandwidth in bytes per cycle (128 GB/s at 1 GHz = 128 B/cyc).
+    pub dram_bytes_per_cycle: f64,
+    /// Clock frequency in GHz (for converting cycles to time).
+    pub frequency_ghz: f64,
+    /// Maximum layers time-multiplexed on the single IS-OS block
+    /// (contexts; Sec. IV-B supports 2-16).
+    pub max_contexts: usize,
+    /// Dynamic scheduling interval in cycles (Sec. IV-B: every 100 cycles
+    /// PEs are reallocated proportionally to demand).
+    pub scheduler_interval: u64,
+    /// PE efficiency under coarse-grain packing: fraction of allocated MAC
+    /// slots doing effectual work (fragmentation from vector packing and
+    /// scheduling quantization; Sec. VI-B).
+    pub pe_efficiency: f64,
+    /// Effective filter-buffer bytes consumed per stored compressed weight
+    /// byte (wide-word padding and bank alignment of the heavily banked
+    /// buffer; calibrated so R96 pipelines 1-2 ResNet blocks and R99 many
+    /// more, as in Sec. V).
+    pub filter_buffer_alloc_overhead: f64,
+}
+
+impl Default for IsoscelesConfig {
+    fn default() -> Self {
+        Self {
+            lanes: 64,
+            macs_per_lane: 64,
+            multiplier_bits: 8,
+            accumulator_bits: 16,
+            filter_buffer_bytes: 1 << 20,
+            context_bytes_per_lane: 8 << 10,
+            queue_bytes_per_lane: 8 << 10,
+            mergers_per_lane: 16,
+            merger_radix: 256,
+            dram_bytes_per_cycle: 128.0,
+            frequency_ghz: 1.0,
+            max_contexts: 16,
+            scheduler_interval: 100,
+            pe_efficiency: 0.95,
+            filter_buffer_alloc_overhead: 1.5,
+        }
+    }
+}
+
+impl IsoscelesConfig {
+    /// Total MAC units (Table I: 4096).
+    pub fn total_macs(&self) -> usize {
+        self.lanes * self.macs_per_lane
+    }
+
+    /// Total on-chip SRAM in bytes (Table I: 2 MB).
+    pub fn total_sram_bytes(&self) -> u64 {
+        self.filter_buffer_bytes
+            + self.lanes as u64 * (self.context_bytes_per_lane + self.queue_bytes_per_lane)
+    }
+
+    /// Accumulator width in bytes.
+    pub fn accumulator_bytes(&self) -> u64 {
+        (self.accumulator_bits as u64).div_ceil(8)
+    }
+
+    /// Filter-buffer bytes a layer's compressed weights occupy, including
+    /// allocation overhead.
+    pub fn filter_buffer_occupancy(&self, weight_csf_bytes: f64) -> f64 {
+        weight_csf_bytes * self.filter_buffer_alloc_overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_summary_values() {
+        let cfg = IsoscelesConfig::default();
+        assert_eq!(cfg.lanes, 64);
+        assert_eq!(cfg.total_macs(), 4096);
+        assert_eq!(cfg.total_sram_bytes(), 2 * 1024 * 1024);
+        assert_eq!(cfg.accumulator_bytes(), 2);
+        assert_eq!(cfg.dram_bytes_per_cycle, 128.0);
+    }
+
+    #[test]
+    fn occupancy_applies_overhead() {
+        let cfg = IsoscelesConfig::default();
+        assert_eq!(
+            cfg.filter_buffer_occupancy(100.0),
+            100.0 * cfg.filter_buffer_alloc_overhead
+        );
+        assert!(cfg.filter_buffer_occupancy(100.0) > 100.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! The output-stationary (OS) backend.
+//!
+//! Each backend lane produces one output activation row: it (1) consumes
+//! partial-result streams from the `R` surrounding frontend lanes, (2)
+//! R-merges them so the reduction dimension becomes innermost (the sparse
+//! transpose), (3) reduces along `R` to complete the convolution, (4)
+//! K-merges the per-channel streams so the output leaves the lane in
+//! `(q, k)` order — exactly the order the next layer's frontend consumes —
+//! and (5) applies the POU (paper Sec. IV-A, Fig. 11).
+
+use super::frontend::PartialStreams;
+use super::pou::Pou;
+use isos_tensor::merge::{merge_reduce, HeapMerger, MergerStats};
+use isos_tensor::{Coord, Csf, Point, Shape};
+use serde::{Deserialize, Serialize};
+
+/// Work counters for a backend pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackendStats {
+    /// Partial results consumed from frontend queues.
+    pub partials_consumed: u64,
+    /// Elements emitted by R-mergers (cycles on the merge path).
+    pub r_merged: u64,
+    /// Reduction additions performed.
+    pub reductions: u64,
+    /// Elements emitted by K-mergers.
+    pub k_merged: u64,
+    /// Output activations after the POU (nonzero only).
+    pub outputs_emitted: u64,
+    /// Comparator activations across all mergers.
+    pub merger_comparisons: u64,
+}
+
+/// The result of running the OS backend: the layer's compressed output and
+/// work counters.
+#[derive(Clone, Debug)]
+pub struct BackendOutput {
+    /// Output activations `[P, Q, K]` in CSF.
+    pub output: Csf,
+    /// Work counters.
+    pub stats: BackendStats,
+}
+
+/// Runs the OS backend over all output rows.
+///
+/// `partials` comes from [`super::frontend::run_frontend`]. The output
+/// shape is `[p_dim, q_dim, k_dim]`; `r_dim` is the vertical kernel
+/// extent; `h_dim` bounds the frontend lanes; `stride`/`pad` follow the
+/// convolution arithmetic (backend lane `p` sources frontend lanes
+/// `h = p*stride + r - pad`).
+///
+/// # Panics
+///
+/// Panics if `pou` has fewer channels than `k_dim`.
+#[allow(clippy::too_many_arguments)] // mirrors the hardware's port list
+pub fn run_backend(
+    partials: &PartialStreams,
+    p_dim: usize,
+    q_dim: usize,
+    k_dim: usize,
+    r_dim: usize,
+    h_dim: usize,
+    stride: usize,
+    pad: usize,
+    pou: &Pou,
+) -> BackendOutput {
+    assert!(pou.channels() >= k_dim, "POU channels < k_dim");
+    let mut stats = BackendStats::default();
+    let mut entries: Vec<(Point, f32)> = Vec::new();
+
+    for p in 0..p_dim {
+        // Per output channel: R-merge + reduce.
+        let mut per_k_streams: Vec<std::vec::IntoIter<(u64, f32)>> = Vec::with_capacity(k_dim);
+        for k in 0..k_dim {
+            // Collect the R partial streams feeding this (p, k).
+            let mut r_streams: Vec<std::vec::IntoIter<(Coord, f32)>> = Vec::with_capacity(r_dim);
+            for r in 0..r_dim {
+                let Some(h) = (p * stride + r).checked_sub(pad).filter(|&h| h < h_dim) else {
+                    continue;
+                };
+                let s = partials.stream(h as Coord, r as Coord, k as Coord);
+                if !s.is_empty() {
+                    stats.partials_consumed += s.len() as u64;
+                    r_streams.push(Vec::from(s).into_iter());
+                }
+            }
+            if r_streams.is_empty() {
+                per_k_streams.push(Vec::new().into_iter());
+                continue;
+            }
+            // R-merger (comparator tree) + reducer: complete the
+            // convolution for row p, channel k.
+            let mut merger = merge_reduce(r_streams);
+            let mut reduced: Vec<(u64, f32)> = Vec::new();
+            for (q, v) in merger.by_ref() {
+                if v != 0.0 {
+                    // Key packs (q, k) so the K-merger emits K innermost.
+                    reduced.push(((q as u64) << 24 | k as u64, v));
+                }
+            }
+            let mstats: MergerStats = merger.into_inner().stats();
+            stats.r_merged += mstats.emitted;
+            stats.merger_comparisons += mstats.comparisons;
+            stats.reductions += mstats.emitted.saturating_sub(reduced.len() as u64);
+            per_k_streams.push(reduced.into_iter());
+        }
+
+        // K-merger (pipelined min-heap, radix K): serialize channels so K
+        // is the innermost output rank.
+        let mut k_merger = HeapMerger::new(per_k_streams);
+        for (key, v) in k_merger.by_ref() {
+            let q = (key >> 24) as Coord;
+            let k = (key & 0xFF_FFFF) as Coord;
+            let activated = pou.apply(k as usize, v);
+            if activated != 0.0 {
+                stats.outputs_emitted += 1;
+                entries.push((Point::from_slice(&[p as Coord, q, k]), activated));
+            }
+        }
+        let kstats = k_merger.stats();
+        stats.k_merged += kstats.emitted;
+        stats.merger_comparisons += kstats.comparisons;
+    }
+
+    let output = Csf::from_sorted_unique(Shape::new(vec![p_dim, q_dim, k_dim]), entries);
+    BackendOutput { output, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::frontend::run_frontend;
+    use isos_tensor::gen;
+
+    #[test]
+    fn backend_completes_simple_convolution() {
+        // 1x3 input row of ones, 1x2 kernel of ones -> outputs [2, 2].
+        let input = Csf::from_dense(&isos_tensor::Dense::from_vec(
+            vec![1, 3, 1].into(),
+            vec![1.0, 1.0, 1.0],
+        ));
+        let filter = Csf::from_dense(&isos_tensor::Dense::from_vec(
+            vec![1, 1, 1, 2].into(),
+            vec![1.0, 1.0],
+        ));
+        let partials = run_frontend(&input, &filter, 2, 1, 0);
+        let out = run_backend(&partials, 1, 2, 1, 1, 1, 1, 0, &Pou::relu(1));
+        let dense = out.output.to_dense();
+        assert_eq!(dense.data(), &[2.0, 2.0]);
+        assert_eq!(out.stats.outputs_emitted, 2);
+    }
+
+    #[test]
+    fn backend_output_is_q_then_k_ordered() {
+        let input = Csf::from_dense(&gen::random_dense(vec![3, 6, 2].into(), 0.7, 1));
+        let filter = Csf::from_dense(&gen::random_dense(vec![2, 3, 4, 3].into(), 0.5, 2));
+        let partials = run_frontend(&input, &filter, 4, 1, 0);
+        let out = run_backend(&partials, 1, 4, 4, 3, 3, 1, 0, &Pou::relu(4));
+        // CSF order [P,Q,K] is exactly (p, q, k) lexicographic.
+        let pts: Vec<_> = out.output.iter().map(|(p, _)| p).collect();
+        assert!(pts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn relu_drops_negative_outputs() {
+        // Kernel -1 on a positive input: all outputs negative -> empty.
+        let input = Csf::from_dense(&isos_tensor::Dense::from_vec(
+            vec![1, 2, 1].into(),
+            vec![1.0, 2.0],
+        ));
+        let filter = Csf::from_dense(&isos_tensor::Dense::from_vec(
+            vec![1, 1, 1, 1].into(),
+            vec![-1.0],
+        ));
+        let partials = run_frontend(&input, &filter, 2, 1, 0);
+        let out = run_backend(&partials, 1, 2, 1, 1, 1, 1, 0, &Pou::relu(1));
+        assert_eq!(out.output.nnz(), 0);
+        // But a linear POU keeps them.
+        let out2 = run_backend(&partials, 1, 2, 1, 1, 1, 1, 0, &Pou::linear(1));
+        assert_eq!(out2.output.nnz(), 2);
+    }
+
+    #[test]
+    fn merger_stats_are_populated() {
+        let input = Csf::from_dense(&gen::random_dense(vec![4, 8, 3].into(), 0.6, 3));
+        let filter = Csf::from_dense(&gen::random_dense(vec![3, 3, 8, 3].into(), 0.4, 4));
+        let partials = run_frontend(&input, &filter, 6, 1, 0);
+        let out = run_backend(&partials, 2, 6, 8, 3, 4, 1, 0, &Pou::relu(8));
+        assert!(out.stats.r_merged > 0);
+        assert!(out.stats.k_merged > 0);
+        assert!(out.stats.merger_comparisons > 0);
+        // Streams whose (h, r) pairing falls outside [0, P) go unconsumed,
+        // so consumption is bounded by emission but must be substantial.
+        assert!(out.stats.partials_consumed > 0);
+        assert!(out.stats.partials_consumed <= partials.stats().partials_emitted);
+    }
+}

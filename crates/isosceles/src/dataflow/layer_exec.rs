@@ -1,0 +1,404 @@
+//! End-to-end functional execution of one layer under the IS-OS dataflow.
+//!
+//! Combines the IS frontend and OS backend into a layer executor for every
+//! layer kind ISOSceles supports (Sec. IV-C): standard convolution,
+//! depth-wise convolution, fully-connected (SpMV, frontend-only), and the
+//! point-wise add of skip connections. Outputs are bit-equivalent to the
+//! dense golden model up to float accumulation order.
+
+use super::backend::{run_backend, BackendStats};
+use super::frontend::{run_frontend, FrontendStats};
+use super::pou::Pou;
+use isos_tensor::{Coord, Csf, Point, Shape};
+use serde::{Deserialize, Serialize};
+
+/// Combined work counters for one layer execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerExecStats {
+    /// Frontend counters.
+    pub frontend: FrontendStats,
+    /// Backend counters.
+    pub backend: BackendStats,
+}
+
+/// A layer's functional output plus its work counters.
+#[derive(Clone, Debug)]
+pub struct LayerExec {
+    /// Output activations in CSF (`[P, Q, K]`, or `[1, 1, K]` for FC).
+    pub output: Csf,
+    /// Work counters.
+    pub stats: LayerExecStats,
+}
+
+/// Executes a standard convolution under IS-OS.
+///
+/// `input` is `[H, W, C]`, `filter` is `[C, R, K, S]`. The output is
+/// `[P, Q, K]` with the usual stride/pad arithmetic; `pou` is applied per
+/// output element.
+///
+/// # Panics
+///
+/// Panics if ranks mismatch or the kernel exceeds the padded input.
+pub fn execute_conv(input: &Csf, filter: &Csf, stride: usize, pad: usize, pou: &Pou) -> LayerExec {
+    let (h, w, _c) = dims3(input.shape());
+    let fd = filter.shape().dims();
+    let (r, k, s) = (fd[1], fd[2], fd[3]);
+    assert_eq!(fd[0], input.shape()[2], "channel mismatch");
+    assert!(h + 2 * pad >= r && w + 2 * pad >= s, "kernel too large");
+    let p_dim = (h + 2 * pad - r) / stride + 1;
+    let q_dim = (w + 2 * pad - s) / stride + 1;
+
+    let partials = run_frontend(input, filter, q_dim, stride, pad);
+    let out = run_backend(&partials, p_dim, q_dim, k, r, h, stride, pad, pou);
+    LayerExec {
+        output: out.output,
+        stats: LayerExecStats {
+            frontend: partials.stats(),
+            backend: out.stats,
+        },
+    }
+}
+
+/// Executes a depth-wise convolution under IS-OS.
+///
+/// `filter` is `[C, R, S]`. Per Sec. IV-C, depth-wise convolution disables
+/// cross-channel accumulation and fetches only output channel `k = c` per
+/// input activation — modeled by expanding the filter to `[C, R, K=C, S]`
+/// with a single nonzero output channel per input channel, then running
+/// the standard path (the expansion is sparse, so it costs nothing extra).
+///
+/// # Panics
+///
+/// Panics if ranks mismatch.
+pub fn execute_dwconv(
+    input: &Csf,
+    filter: &Csf,
+    stride: usize,
+    pad: usize,
+    pou: &Pou,
+) -> LayerExec {
+    assert_eq!(filter.ndim(), 3, "depth-wise filter must be [C,R,S]");
+    let c = filter.shape()[0];
+    let entries = filter
+        .iter()
+        .map(|(p, v)| {
+            let (ci, r, s) = (p[0], p[1], p[2]);
+            (Point::from_slice(&[ci, r, ci, s]), v)
+        })
+        .collect();
+    let expanded = Csf::from_entries(
+        Shape::new(vec![c, filter.shape()[1], c, filter.shape()[2]]),
+        entries,
+    );
+    execute_conv(input, &expanded, stride, pad, pou)
+}
+
+/// Executes a fully-connected layer as SpMV, reusing the frontend
+/// structure and bypassing the backend (Sec. IV-C).
+///
+/// `input` is any-rank (flattened in concordant order); `weights` is
+/// `[N, K]` with `N` the flattened input size. No non-linearity is applied
+/// when `pou` is [`Pou::linear`].
+///
+/// # Panics
+///
+/// Panics if sizes disagree.
+pub fn execute_fc(input: &Csf, weights: &Csf, pou: &Pou) -> LayerExec {
+    let n = input.shape().volume();
+    assert_eq!(weights.ndim(), 2, "weights must be [N,K]");
+    assert_eq!(weights.shape()[0], n, "input size mismatch");
+    let k_dim = weights.shape()[1];
+    let mut stats = LayerExecStats::default();
+    let mut acc = vec![0.0f32; k_dim];
+    let wroot = weights.root();
+    // Flatten the input concordantly; each nonzero fetches one weight
+    // sub-column, exactly like the FC mode where all lanes share the input.
+    let in_shape = input.shape().clone();
+    for (p, x) in input.iter() {
+        stats.frontend.inputs_consumed += 1;
+        let flat = in_shape.linear_index(&p) as Coord;
+        let Some(row) = wroot.find(flat) else {
+            continue;
+        };
+        stats.frontend.filter_fetches += 1;
+        for (k, wv) in row.iter_leaf() {
+            stats.frontend.macs += 1;
+            acc[k as usize] += x * wv;
+        }
+    }
+    let entries: Vec<(Point, f32)> = acc
+        .into_iter()
+        .enumerate()
+        .filter_map(|(k, v)| {
+            let v = pou.apply(k, v);
+            (v != 0.0).then(|| (Point::from_slice(&[0, 0, k as Coord]), v))
+        })
+        .collect();
+    stats.backend.outputs_emitted = entries.len() as u64;
+    LayerExec {
+        output: Csf::from_sorted_unique(Shape::new(vec![1, 1, k_dim]), entries),
+        stats,
+    }
+}
+
+/// Element-wise addition of two activation tensors (`[P, Q, K]`), with the
+/// POU applied to the sum — the skip-connection join of Fig. 13, executed
+/// on the merger path.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn execute_add(a: &Csf, b: &Csf, pou: &Pou) -> LayerExec {
+    assert_eq!(a.shape(), b.shape(), "add shape mismatch");
+    let mut stats = LayerExecStats::default();
+    // A 2-way merge + reduce over identical coordinate spaces.
+    let merged = isos_tensor::merge::merge_reduce(vec![
+        a.iter().collect::<Vec<_>>().into_iter(),
+        b.iter().collect::<Vec<_>>().into_iter(),
+    ]);
+    let k_rank = a.ndim() - 1;
+    let entries: Vec<(Point, f32)> = merged
+        .filter_map(|(p, v)| {
+            stats.backend.reductions += 1;
+            let v = pou.apply(p[k_rank] as usize, v);
+            (v != 0.0).then_some((p, v))
+        })
+        .collect();
+    stats.backend.outputs_emitted = entries.len() as u64;
+    LayerExec {
+        output: Csf::from_sorted_unique(a.shape().clone(), entries),
+        stats,
+    }
+}
+
+fn dims3(shape: &Shape) -> (usize, usize, usize) {
+    assert_eq!(shape.ndim(), 3, "activations must be [H,W,C]");
+    (shape[0], shape[1], shape[2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isos_nn::reference;
+    use isos_tensor::{gen, Dense};
+
+    /// IS-OS conv must match the golden dense conv + BN/ReLU.
+    #[allow(clippy::too_many_arguments)]
+    fn check_conv(
+        h: usize,
+        w: usize,
+        c: usize,
+        r: usize,
+        s: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        in_density: f64,
+        w_density: f64,
+        seed: u64,
+    ) {
+        let input = gen::random_dense(vec![h, w, c].into(), in_density, seed);
+        let filter = gen::random_dense(vec![c, r, k, s].into(), w_density, seed + 1);
+        let golden_pre = reference::conv2d(&input, &filter, stride, pad);
+        let scale = vec![1.0; k];
+        let bias = vec![0.0; k];
+        let golden = reference::bn_relu(&golden_pre, &scale, &bias);
+
+        let exec = execute_conv(
+            &Csf::from_dense(&input),
+            &Csf::from_dense(&filter),
+            stride,
+            pad,
+            &Pou::relu(k),
+        );
+        let got = exec.output.to_dense();
+        assert_eq!(got.shape(), golden.shape());
+        assert!(
+            got.max_abs_diff(&golden) < 1e-3,
+            "mismatch {h}x{w}x{c} k{r}x{s}x{k} stride{stride} pad{pad}: {}",
+            got.max_abs_diff(&golden)
+        );
+    }
+
+    #[test]
+    fn conv_matches_reference_basic() {
+        check_conv(6, 8, 3, 3, 3, 4, 1, 0, 0.5, 0.3, 10);
+    }
+
+    #[test]
+    fn conv_matches_reference_padded() {
+        check_conv(6, 8, 3, 3, 3, 4, 1, 1, 0.5, 0.3, 20);
+    }
+
+    #[test]
+    fn conv_matches_reference_strided() {
+        check_conv(9, 11, 2, 3, 3, 5, 2, 1, 0.6, 0.4, 30);
+    }
+
+    #[test]
+    fn conv_matches_reference_1x1() {
+        check_conv(5, 5, 8, 1, 1, 16, 1, 0, 0.4, 0.2, 40);
+    }
+
+    #[test]
+    fn conv_matches_reference_dense() {
+        check_conv(4, 6, 2, 2, 2, 3, 1, 0, 1.0, 1.0, 50);
+    }
+
+    #[test]
+    fn conv_matches_reference_very_sparse() {
+        check_conv(8, 8, 4, 3, 3, 4, 1, 1, 0.1, 0.05, 60);
+    }
+
+    #[test]
+    fn conv_matches_reference_wide_kernel() {
+        check_conv(8, 10, 2, 5, 5, 3, 1, 2, 0.5, 0.3, 70);
+    }
+
+    #[test]
+    fn dwconv_matches_reference() {
+        let input = gen::random_dense(vec![6, 7, 4].into(), 0.6, 80);
+        let filter = gen::random_dense(vec![4, 3, 3].into(), 0.5, 81);
+        let golden_pre = reference::dwconv2d(&input, &filter, 1, 1);
+        let golden = reference::bn_relu(&golden_pre, &[1.0; 4], &[0.0; 4]);
+        let exec = execute_dwconv(
+            &Csf::from_dense(&input),
+            &Csf::from_dense(&filter),
+            1,
+            1,
+            &Pou::relu(4),
+        );
+        assert!(exec.output.to_dense().max_abs_diff(&golden) < 1e-4);
+    }
+
+    #[test]
+    fn dwconv_strided_matches_reference() {
+        let input = gen::random_dense(vec![8, 8, 3].into(), 0.7, 90);
+        let filter = gen::random_dense(vec![3, 3, 3].into(), 0.8, 91);
+        let golden_pre = reference::dwconv2d(&input, &filter, 2, 1);
+        let golden = reference::bn_relu(&golden_pre, &[1.0; 3], &[0.0; 3]);
+        let exec = execute_dwconv(
+            &Csf::from_dense(&input),
+            &Csf::from_dense(&filter),
+            2,
+            1,
+            &Pou::relu(3),
+        );
+        assert!(exec.output.to_dense().max_abs_diff(&golden) < 1e-4);
+    }
+
+    #[test]
+    fn fc_matches_reference() {
+        let input = gen::random_dense(vec![1, 1, 32].into(), 0.5, 100);
+        let weights = gen::random_dense(vec![32, 10].into(), 0.3, 101);
+        let golden = reference::fully_connected(&input, &weights);
+        let exec = execute_fc(
+            &Csf::from_dense(&input),
+            &Csf::from_dense(&weights),
+            &Pou::linear(10),
+        );
+        assert!(exec.output.to_dense().max_abs_diff(&golden) < 1e-4);
+        // SpMV MAC count: every (nonzero input, nonzero row weight) pair.
+        assert!(exec.stats.frontend.macs <= (input.nnz() * weights.nnz()) as u64);
+    }
+
+    #[test]
+    fn add_matches_reference() {
+        let a = gen::random_dense(vec![3, 4, 5].into(), 0.5, 110);
+        let b = gen::random_dense(vec![3, 4, 5].into(), 0.5, 111);
+        let golden = reference::bn_relu(&reference::add(&a, &b), &[1.0; 5], &[0.0; 5]);
+        let exec = execute_add(&Csf::from_dense(&a), &Csf::from_dense(&b), &Pou::relu(5));
+        assert!(exec.output.to_dense().max_abs_diff(&golden) < 1e-5);
+    }
+
+    #[test]
+    fn conv_bn_parameters_flow_through() {
+        let input = gen::random_dense(vec![4, 4, 2].into(), 0.8, 120);
+        let filter = gen::random_dense(vec![2, 3, 3, 3].into(), 0.6, 121);
+        let scale: Vec<f32> = vec![0.5, 2.0, 1.5];
+        let bias: Vec<f32> = vec![0.1, -0.2, 0.3];
+        let golden = reference::bn_relu(&reference::conv2d(&input, &filter, 1, 1), &scale, &bias);
+        let exec = execute_conv(
+            &Csf::from_dense(&input),
+            &Csf::from_dense(&filter),
+            1,
+            1,
+            &Pou::new(scale, bias),
+        );
+        assert!(exec.output.to_dense().max_abs_diff(&golden) < 1e-4);
+    }
+
+    #[test]
+    fn mac_count_matches_effectual_expectation() {
+        // Every (nonzero input, matching-channel nonzero weight) pair that
+        // lands in-range is one MAC; compare against a direct count.
+        let input = gen::random_dense(vec![5, 6, 3].into(), 0.5, 130);
+        let filter = gen::random_dense(vec![3, 2, 4, 2].into(), 0.5, 131);
+        let exec = execute_conv(
+            &Csf::from_dense(&input),
+            &Csf::from_dense(&filter),
+            1,
+            0,
+            &Pou::relu(4),
+        );
+        let mut expected = 0u64;
+        let fcsf = Csf::from_dense(&filter);
+        for (p, _) in Csf::from_dense(&input).iter() {
+            let (w, c) = (p[1] as usize, p[2]);
+            if let Some(fc) = fcsf.root().find(c) {
+                for (_r, kf) in fc.iter_children() {
+                    for (_k, sf) in kf.iter_children() {
+                        for (s, _) in sf.iter_leaf() {
+                            let s = s as usize;
+                            if w >= s && w - s < 5 {
+                                expected += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(exec.stats.frontend.macs, expected);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let input = Csf::empty(vec![4, 4, 2].into());
+        let filter = Csf::from_dense(&gen::random_dense(vec![2, 3, 3, 3].into(), 0.5, 140));
+        let exec = execute_conv(&input, &filter, 1, 1, &Pou::relu(3));
+        assert_eq!(exec.output.nnz(), 0);
+        assert_eq!(exec.stats.frontend.macs, 0);
+    }
+
+    #[test]
+    fn output_chains_into_next_layer() {
+        // The defining IS-OS property: outputs are produced in exactly the
+        // order the next frontend consumes ([P,Q,K] == next layer's
+        // [H,W,C]).
+        let input = gen::random_dense(vec![6, 6, 2].into(), 0.7, 150);
+        let f1 = gen::random_dense(vec![2, 3, 4, 3].into(), 0.5, 151);
+        let f2 = gen::random_dense(vec![4, 3, 3, 3].into(), 0.5, 152);
+        let l1 = execute_conv(
+            &Csf::from_dense(&input),
+            &Csf::from_dense(&f1),
+            1,
+            1,
+            &Pou::relu(4),
+        );
+        let l2 = execute_conv(&l1.output, &Csf::from_dense(&f2), 1, 1, &Pou::relu(3));
+
+        let g1 = reference::bn_relu(&reference::conv2d(&input, &f1, 1, 1), &[1.0; 4], &[0.0; 4]);
+        let g2 = reference::bn_relu(&reference::conv2d(&g1, &f2, 1, 1), &[1.0; 3], &[0.0; 3]);
+        assert!(l2.output.to_dense().max_abs_diff(&g2) < 1e-3);
+    }
+
+    #[test]
+    fn dense_dims_helper_rejects_wrong_rank() {
+        let d = Dense::zeros(vec![2, 2].into());
+        let f = Csf::from_dense(&gen::random_dense(vec![2, 1, 1, 1].into(), 1.0, 1));
+        let result = std::panic::catch_unwind(|| {
+            execute_conv(&Csf::from_dense(&d), &f, 1, 0, &Pou::relu(1))
+        });
+        assert!(result.is_err());
+    }
+}

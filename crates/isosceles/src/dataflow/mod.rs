@@ -1,0 +1,29 @@
+//! The IS-OS dataflow, functional implementation (paper Sec. III).
+//!
+//! The input-stationary–output-stationary dataflow is ISOSceles's core
+//! contribution: it consumes input activations and produces output
+//! activations *in the same order* (channel-then-column wavefronts), which
+//! is what makes deep inter-layer pipelining possible with tiny
+//! intermediate state. It is written as two pipelined loop nests (Fig. 8):
+//!
+//! - [`frontend::run_frontend`] — the IS frontend: one lane per input row,
+//!   each multiplying input nonzeros against the `R x K x S` filter
+//!   nonzeros of the matching channel and accumulating along `S`;
+//! - [`backend::run_backend`] — the OS backend: one lane per output row,
+//!   R-merging partials from the `R` surrounding frontend lanes (a sparse
+//!   transpose), reducing along `R`, K-merging so channels interleave
+//!   innermost, and applying the POU;
+//! - [`layer_exec`] — whole-layer executors for conv / depth-wise / FC /
+//!   add, validated against the golden model in `isos-nn`.
+
+pub mod backend;
+pub mod frontend;
+pub mod layer_exec;
+mod pou;
+
+pub use backend::{BackendOutput, BackendStats};
+pub use frontend::{FrontendStats, PartialStreams};
+pub use layer_exec::{
+    execute_add, execute_conv, execute_dwconv, execute_fc, LayerExec, LayerExecStats,
+};
+pub use pou::Pou;

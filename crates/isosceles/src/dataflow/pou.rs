@@ -1,0 +1,111 @@
+//! Point-wise Operation Unit (POU): batch normalization + ReLU.
+//!
+//! Each backend lane ends in a POU that applies BN and the non-linearity
+//! before the output wavefront leaves the lane (paper Sec. IV-A). ReLU is
+//! where output activation sparsity is created.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-channel scale/bias followed by ReLU.
+///
+/// # Examples
+///
+/// ```
+/// use isosceles::dataflow::Pou;
+/// let pou = Pou::new(vec![2.0, 1.0], vec![0.0, -5.0]);
+/// assert_eq!(pou.apply(0, 3.0), 6.0);
+/// assert_eq!(pou.apply(1, 3.0), 0.0); // 3 - 5 < 0 -> ReLU clamps
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Pou {
+    scale: Vec<f32>,
+    bias: Vec<f32>,
+}
+
+impl Pou {
+    /// Creates a POU with per-output-channel `scale` and `bias`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ or are zero.
+    pub fn new(scale: Vec<f32>, bias: Vec<f32>) -> Self {
+        assert_eq!(scale.len(), bias.len(), "scale/bias length mismatch");
+        assert!(!scale.is_empty(), "POU needs at least one channel");
+        Self { scale, bias }
+    }
+
+    /// The identity POU (scale 1, bias 0) over `channels` channels: pure
+    /// ReLU.
+    pub fn relu(channels: usize) -> Self {
+        Self::new(vec![1.0; channels], vec![0.0; channels])
+    }
+
+    /// A pass-through POU that applies no non-linearity (used for the last
+    /// layer of a pipeline when the paper's layer has no ReLU, e.g. the
+    /// conv before a skip-connection add).
+    pub fn linear(channels: usize) -> Self {
+        Self {
+            scale: vec![1.0; channels],
+            bias: vec![f32::NEG_INFINITY; channels], // sentinel, see apply
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.scale.len()
+    }
+
+    /// Applies BN + ReLU for output channel `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn apply(&self, k: usize, value: f32) -> f32 {
+        let bias = self.bias[k];
+        if bias == f32::NEG_INFINITY {
+            // Linear pass-through (no BN, no ReLU).
+            return value * self.scale[k];
+        }
+        (value * self.scale[k] + bias).max(0.0)
+    }
+
+    /// Per-channel scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scale
+    }
+
+    /// Per-channel biases (`-inf` marks the linear pass-through).
+    pub fn biases(&self) -> &[f32] {
+        &self.bias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negative() {
+        let pou = Pou::relu(2);
+        assert_eq!(pou.apply(0, -1.5), 0.0);
+        assert_eq!(pou.apply(1, 1.5), 1.5);
+    }
+
+    #[test]
+    fn bn_applies_scale_then_bias() {
+        let pou = Pou::new(vec![3.0], vec![1.0]);
+        assert_eq!(pou.apply(0, 2.0), 7.0);
+    }
+
+    #[test]
+    fn linear_passes_negatives() {
+        let pou = Pou::linear(1);
+        assert_eq!(pou.apply(0, -2.0), -2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = Pou::new(vec![1.0], vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,459 @@
+//! The pipeline mapper: greedy layer grouping under on-chip resource
+//! constraints (paper Sec. V, "Benchmarks"; Table IV).
+//!
+//! ISOSceles pipelines layers greedily from the start of the network until
+//! the filter buffer, context arrays, or queues would overflow. Pooling and
+//! FC layers are pipeline boundaries; ResNet is grouped at bottleneck-block
+//! granularity (a block's skip connection must stay inside its group).
+//! Layers whose activation height exceeds the lane count are tiled on `P`;
+//! single layers whose weights exceed the filter buffer are tiled on `K`
+//! (Sec. IV-C).
+
+use crate::config::IsoscelesConfig;
+use isos_nn::graph::{Network, NodeId};
+use isos_nn::layer::LayerKind;
+use serde::{Deserialize, Serialize};
+
+/// How the mapper schedules the network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// Inter-layer pipelining (full ISOSceles).
+    Pipelined,
+    /// Layer-by-layer execution with the IS-OS dataflow
+    /// (ISOSceles-single, the Fig. 18 ablation).
+    SingleLayer,
+}
+
+/// One pipeline: a set of layers co-resident on the IS-OS block.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PipelineGroup {
+    /// Group name: the paper's convention is the first conv layer's name
+    /// (Table IV: `l1.0.conv1`).
+    pub name: String,
+    /// Member layers, topological.
+    pub layers: Vec<NodeId>,
+    /// Tiles along the output-row dimension `P` (1 = untiled).
+    pub p_tiles: usize,
+    /// Tiles along the output-channel dimension `K` (single-layer groups
+    /// only; 1 = untiled).
+    pub k_tiles: usize,
+}
+
+impl PipelineGroup {
+    /// Number of convolutional layers in the group (the paper's "L"
+    /// column in Table IV counts convs, not adds).
+    pub fn conv_count(&self, net: &Network) -> usize {
+        self.layers
+            .iter()
+            .filter(|&&id| {
+                matches!(
+                    net.layer(id).kind,
+                    LayerKind::Conv { .. } | LayerKind::DwConv { .. }
+                )
+            })
+            .count()
+    }
+
+    /// Whether the group actually pipelines multiple layers.
+    pub fn is_pipelined(&self) -> bool {
+        self.layers.len() > 1
+    }
+}
+
+/// The full execution plan for a network.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Mapping {
+    /// Pipeline groups, in execution order.
+    pub groups: Vec<PipelineGroup>,
+}
+
+impl Mapping {
+    /// Maximum number of layers pipelined together.
+    pub fn max_group_len(&self) -> usize {
+        self.groups
+            .iter()
+            .map(|g| g.layers.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Groups that pipeline at least two layers.
+    pub fn pipelined_groups(&self) -> impl Iterator<Item = &PipelineGroup> {
+        self.groups.iter().filter(|g| g.is_pipelined())
+    }
+}
+
+/// A schedulable unit: either one block (with its skip connection) or a
+/// single uncovered layer.
+#[derive(Clone, Debug)]
+struct Unit {
+    name: String,
+    members: Vec<NodeId>,
+    pipelineable: bool,
+}
+
+/// Builds the execution plan for `net` under `cfg`.
+pub fn map_network(net: &Network, cfg: &IsoscelesConfig, mode: ExecMode) -> Mapping {
+    let units = collect_units(net);
+    let mut groups: Vec<PipelineGroup> = Vec::new();
+    let mut current: Vec<Unit> = Vec::new();
+
+    let flush = |current: &mut Vec<Unit>, groups: &mut Vec<PipelineGroup>| {
+        if current.is_empty() {
+            return;
+        }
+        let layers: Vec<NodeId> = current.iter().flat_map(|u| u.members.clone()).collect();
+        let name = current[0].name.clone();
+        let (p_tiles, k_tiles) = tiling_for(net, cfg, &layers);
+        groups.push(PipelineGroup {
+            name,
+            layers,
+            p_tiles,
+            k_tiles,
+        });
+        current.clear();
+    };
+
+    for unit in units {
+        let single_only = mode == ExecMode::SingleLayer;
+        if !unit.pipelineable || single_only {
+            flush(&mut current, &mut groups);
+            push_decomposed(net, cfg, &unit.members, &mut groups);
+            continue;
+        }
+        // Would appending this unit violate a resource constraint?
+        let mut candidate: Vec<NodeId> = current.iter().flat_map(|u| u.members.clone()).collect();
+        candidate.extend_from_slice(&unit.members);
+        if !current.is_empty() && !fits(net, cfg, &candidate) {
+            flush(&mut current, &mut groups);
+        }
+        // A unit that doesn't even fit alone runs as single layers
+        // (weights tiled on K as needed).
+        if !fits(net, cfg, &unit.members) && unit.members.len() > 1 {
+            push_decomposed(net, cfg, &unit.members, &mut groups);
+            continue;
+        }
+        current.push(unit);
+    }
+    flush(&mut current, &mut groups);
+    Mapping { groups }
+}
+
+/// Emits layer-by-layer groups for `members`, fusing each `Add` with the
+/// conv that feeds it (the paper models skip-connection adds fused into
+/// the preceding conv when layers run unpipelined, Sec. V).
+fn push_decomposed(
+    net: &Network,
+    cfg: &IsoscelesConfig,
+    members: &[NodeId],
+    groups: &mut Vec<PipelineGroup>,
+) {
+    for &id in members {
+        let is_add = matches!(net.layer(id).kind, LayerKind::Add);
+        let feeds_last = groups
+            .last()
+            .is_some_and(|g| net.nodes()[id].inputs.iter().any(|p| g.layers.contains(p)));
+        if is_add && feeds_last {
+            let g = groups.last_mut().expect("checked above");
+            g.layers.push(id);
+            continue;
+        }
+        let layers = vec![id];
+        let (p_tiles, k_tiles) = tiling_for(net, cfg, &layers);
+        groups.push(PipelineGroup {
+            name: net.layer(id).name.clone(),
+            layers,
+            p_tiles,
+            k_tiles,
+        });
+    }
+}
+
+/// Partitions the network into blocks (from the graph's hints) plus
+/// singleton units for uncovered layers, in topological order.
+#[allow(clippy::needless_range_loop)] // id doubles as the NodeId
+fn collect_units(net: &Network) -> Vec<Unit> {
+    let mut covered = vec![false; net.len()];
+    let mut units: Vec<(NodeId, Unit)> = Vec::new();
+    for block in net.blocks() {
+        for &m in &block.members {
+            covered[m] = true;
+        }
+        let pipelineable = block
+            .members
+            .iter()
+            .all(|&m| net.layer(m).kind.is_pipelineable());
+        units.push((
+            block.members[0],
+            Unit {
+                name: block_display_name(net, block.members[0], &block.name),
+                members: block.members.clone(),
+                pipelineable,
+            },
+        ));
+    }
+    for id in 0..net.len() {
+        if !covered[id] {
+            units.push((
+                id,
+                Unit {
+                    name: net.layer(id).name.clone(),
+                    members: vec![id],
+                    pipelineable: net.layer(id).kind.is_pipelineable(),
+                },
+            ));
+        }
+    }
+    units.sort_by_key(|&(first, _)| first);
+    units.into_iter().map(|(_, u)| u).collect()
+}
+
+/// Table IV names pipelines after the first conv layer of the group.
+fn block_display_name(net: &Network, first: NodeId, fallback: &str) -> String {
+    let name = &net.layer(first).name;
+    if name.is_empty() {
+        fallback.to_owned()
+    } else {
+        name.clone()
+    }
+}
+
+/// Checks the three on-chip constraints for co-residency: filter buffer,
+/// per-lane context arrays, and context (layer) count.
+fn fits(net: &Network, cfg: &IsoscelesConfig, layers: &[NodeId]) -> bool {
+    if layers.len() > cfg.max_contexts {
+        return false;
+    }
+    let fb: f64 = layers
+        .iter()
+        .map(|&id| cfg.filter_buffer_occupancy(net.layer(id).weight_csf_bytes()))
+        .sum();
+    if fb > cfg.filter_buffer_bytes as f64 {
+        return false;
+    }
+    // Context arrays: assume maximal P tiling is allowed to shrink the
+    // requirement; check at the tiling the group would actually use.
+    let (p_tiles, _) = tiling_for(net, cfg, layers);
+    let ctx: f64 = layers
+        .iter()
+        .map(|&id| context_bytes_per_lane(net, cfg, id, p_tiles))
+        .sum();
+    ctx <= cfg.context_bytes_per_lane as f64
+}
+
+/// Per-lane context requirement of one layer (paper Sec. III-A: partial
+/// state is ~`K x R x S` accumulators per lane, double-buffered;
+/// Sec. IV-C: small layers split `K` across lanes, large layers stack
+/// rows per lane).
+fn context_bytes_per_lane(net: &Network, cfg: &IsoscelesConfig, id: NodeId, p_tiles: usize) -> f64 {
+    let layer = net.layer(id);
+    let k = layer.output.c;
+    let p = layer.output.h;
+    let rows_per_tile = p.div_ceil(p_tiles).max(1);
+    let rows_per_lane = rows_per_tile.div_ceil(cfg.lanes).max(1);
+    let k_split = if rows_per_tile < cfg.lanes {
+        (cfg.lanes / rows_per_tile).max(1)
+    } else {
+        1
+    };
+    let k_per_lane = k.div_ceil(k_split).max(1);
+    let acc = cfg.accumulator_bytes() as f64;
+    if matches!(layer.kind, LayerKind::Add) {
+        // Adds run on the merger path; they only stage one output
+        // wavefront.
+        return (k_per_lane as f64) * acc;
+    }
+    let (r, s) = layer.kind.kernel();
+    // Partial results are stored *compressed* in the context array
+    // (Sec. IV-A: T1 is never materialized dense). An accumulator slot
+    // (r, k, s) is live only if any of the C input channels contributes a
+    // nonzero product, so occupancy falls with weight/activation sparsity —
+    // this is what lets sparser networks pipeline more layers (Sec. VI-A).
+    let c = layer.input.c.max(1) as f64;
+    let p_hit = (layer.weight_density * layer.in_act_density).clamp(0.0, 1.0);
+    let occupancy = (1.0 - (1.0 - p_hit).powf(c)).clamp(0.05, 1.0);
+    // 1.5x covers coordinate metadata and staging slack.
+    1.5 * occupancy * (k_per_lane * r * s * rows_per_lane) as f64 * acc
+}
+
+/// Chooses the `P` and `K` tiling for a group.
+fn tiling_for(net: &Network, cfg: &IsoscelesConfig, layers: &[NodeId]) -> (usize, usize) {
+    // P tiling: required when rows exceed lanes, or to shrink contexts.
+    let max_p = layers
+        .iter()
+        .map(|&id| net.layer(id).output.h)
+        .max()
+        .unwrap_or(1);
+    let mut p_tiles = max_p.div_ceil(cfg.lanes).max(1);
+    // For single layers, grow P tiling until the context fits (V90-style
+    // mid-network tiling), bounded to avoid infinite loops on impossible
+    // configs. Multi-layer groups must fit at their natural tiling — the
+    // greedy mapper shrinks the group instead.
+    if layers.len() == 1 {
+        for _ in 0..8 {
+            let ctx: f64 = layers
+                .iter()
+                .map(|&id| context_bytes_per_lane(net, cfg, id, p_tiles))
+                .sum();
+            if ctx <= cfg.context_bytes_per_lane as f64 {
+                break;
+            }
+            p_tiles *= 2;
+        }
+    }
+    // K tiling: only for single layers whose weights overflow the buffer.
+    let k_tiles = if layers.len() == 1 {
+        let occ = cfg.filter_buffer_occupancy(net.layer(layers[0]).weight_csf_bytes());
+        (occ / cfg.filter_buffer_bytes as f64).ceil().max(1.0) as usize
+    } else {
+        1
+    };
+    (p_tiles, k_tiles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isos_nn::models::{mobilenet_v1, resnet50, vgg16};
+
+    fn cfg() -> IsoscelesConfig {
+        IsoscelesConfig::default()
+    }
+
+    #[test]
+    fn resnet96_pipelines_at_block_granularity() {
+        let net = resnet50(0.96, 1);
+        let mapping = map_network(&net, &cfg(), ExecMode::Pipelined);
+        // The paper: only the first conv and FC are not pipelined in R96;
+        // pipelines are 3-6 convs (1-2 blocks).
+        let pipelined: Vec<_> = mapping.pipelined_groups().collect();
+        assert!(!pipelined.is_empty());
+        for g in &pipelined {
+            let convs = g.conv_count(&net);
+            assert!(
+                (3..=9).contains(&convs),
+                "group {} has {convs} convs",
+                g.name
+            );
+        }
+        // conv1 must be its own group, tiled on P (112 rows > 64 lanes).
+        let conv1 = mapping.groups.iter().find(|g| g.name == "conv1").unwrap();
+        assert_eq!(conv1.layers.len(), 1);
+        assert!(conv1.p_tiles >= 2);
+    }
+
+    #[test]
+    fn sparser_resnet_pipelines_more_layers() {
+        let m96 = map_network(&resnet50(0.96, 1), &cfg(), ExecMode::Pipelined);
+        let m99 = map_network(&resnet50(0.99, 1), &cfg(), ExecMode::Pipelined);
+        assert!(
+            m99.max_group_len() >= m96.max_group_len(),
+            "R99 groups {} vs R96 {}",
+            m99.max_group_len(),
+            m96.max_group_len()
+        );
+        // R99 should pipeline more than one block somewhere (9+ layers in
+        // the paper).
+        let convs_99 = m99
+            .pipelined_groups()
+            .map(|g| g.conv_count(&resnet50(0.99, 1)))
+            .max()
+            .unwrap();
+        assert!(convs_99 >= 6, "R99 max convs {convs_99}");
+    }
+
+    #[test]
+    fn single_layer_mode_never_pipelines_convs() {
+        let net = resnet50(0.96, 1);
+        let mapping = map_network(&net, &cfg(), ExecMode::SingleLayer);
+        // At most one conv per group (adds fuse into the conv feeding
+        // them, as the paper does for unpipelined skip connections).
+        for g in &mapping.groups {
+            assert!(g.conv_count(&net) <= 1, "group {} pipelines convs", g.name);
+            assert!(g.layers.len() <= 2);
+        }
+        // Every layer appears exactly once.
+        let total: usize = mapping.groups.iter().map(|g| g.layers.len()).sum();
+        assert_eq!(total, net.len());
+    }
+
+    #[test]
+    fn every_layer_mapped_exactly_once() {
+        for net in [resnet50(0.9, 1), mobilenet_v1(0.75, 1), vgg16(0.68, 1)] {
+            let mapping = map_network(&net, &cfg(), ExecMode::Pipelined);
+            let mut seen = vec![0u32; net.len()];
+            for g in &mapping.groups {
+                for &id in &g.layers {
+                    seen[id] += 1;
+                }
+            }
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "{}: layer mapped {:?}",
+                net.name,
+                seen
+            );
+        }
+    }
+
+    #[test]
+    fn pools_and_fc_are_boundaries() {
+        let net = vgg16(0.68, 1);
+        let mapping = map_network(&net, &cfg(), ExecMode::Pipelined);
+        for g in &mapping.groups {
+            if g.layers.len() > 1 {
+                for &id in &g.layers {
+                    assert!(
+                        net.layer(id).kind.is_pipelineable(),
+                        "non-pipelineable layer {} inside pipeline",
+                        net.layer(id).name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vgg_first_layers_tiled_on_p() {
+        let net = vgg16(0.68, 1);
+        let mapping = map_network(&net, &cfg(), ExecMode::Pipelined);
+        // features.0 has 224 rows > 64 lanes: must be tiled on P.
+        let g = mapping
+            .groups
+            .iter()
+            .find(|g| {
+                g.layers
+                    .iter()
+                    .any(|&id| net.layer(id).name == "features.0")
+            })
+            .unwrap();
+        assert!(g.p_tiles >= 4, "p_tiles {}", g.p_tiles);
+    }
+
+    #[test]
+    fn vgg_fc_layers_tile_on_k() {
+        let net = vgg16(0.68, 1);
+        let mapping = map_network(&net, &cfg(), ExecMode::Pipelined);
+        // classifier.0 is 25088x4096 at 68% sparsity: ~80 MB of weights,
+        // far beyond the 1 MB buffer.
+        let g = mapping
+            .groups
+            .iter()
+            .find(|g| net.layer(g.layers[0]).name == "classifier.0")
+            .unwrap();
+        assert!(g.k_tiles > 1, "k_tiles {}", g.k_tiles);
+    }
+
+    #[test]
+    fn mobilenet_pipelines_several_blocks() {
+        let net = mobilenet_v1(0.89, 1);
+        let mapping = map_network(&net, &cfg(), ExecMode::Pipelined);
+        // Paper: 3-7 layers pipelined for MobileNet.
+        let best = mapping
+            .pipelined_groups()
+            .map(|g| g.conv_count(&net))
+            .max()
+            .unwrap_or(0);
+        assert!(best >= 3, "max pipelined convs {best}");
+    }
+}

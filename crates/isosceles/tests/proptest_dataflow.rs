@@ -1,0 +1,171 @@
+//! Property-based tests: the IS-OS dataflow is equivalent to the dense
+//! golden model over randomized shapes, sparsities, strides, and padding.
+
+use isos_nn::reference;
+use isos_tensor::{gen, Csf};
+use isosceles::dataflow::{execute_add, execute_conv, execute_dwconv, execute_fc, Pou};
+use isosceles::spgemm::spgemm;
+use proptest::prelude::*;
+
+/// Random conv problem: (h, w, c, r, s, k, stride, pad, in_density,
+/// w_density, seed).
+#[allow(clippy::type_complexity)]
+fn conv_problem() -> impl Strategy<
+    Value = (
+        usize,
+        usize,
+        usize,
+        usize,
+        usize,
+        usize,
+        usize,
+        usize,
+        f64,
+        f64,
+        u64,
+    ),
+> {
+    (
+        4usize..10,
+        4usize..12,
+        1usize..5,
+        1usize..4,
+        1usize..4,
+        1usize..6,
+        1usize..3,
+        0usize..2,
+        0.05f64..1.0,
+        0.05f64..1.0,
+        0u64..10_000,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn conv_equals_reference((h, w, c, r, s, k, stride, pad, din, dw, seed) in conv_problem()) {
+        prop_assume!(h + 2 * pad >= r && w + 2 * pad >= s);
+        let input = gen::random_dense(vec![h, w, c].into(), din, seed);
+        let filter = gen::random_dense(vec![c, r, k, s].into(), dw, seed + 1);
+        let exec = execute_conv(
+            &Csf::from_dense(&input),
+            &Csf::from_dense(&filter),
+            stride,
+            pad,
+            &Pou::relu(k),
+        );
+        let golden = reference::bn_relu(
+            &reference::conv2d(&input, &filter, stride, pad),
+            &vec![1.0; k],
+            &vec![0.0; k],
+        );
+        prop_assert!(
+            exec.output.to_dense().max_abs_diff(&golden) < 1e-3,
+            "h{h} w{w} c{c} r{r} s{s} k{k} stride{stride} pad{pad}"
+        );
+        // Output is concordant by construction.
+        let pts: Vec<_> = exec.output.iter().map(|(p, _)| p).collect();
+        prop_assert!(pts.windows(2).all(|x| x[0] < x[1]));
+    }
+
+    #[test]
+    fn dwconv_equals_reference(
+        (h, w, c) in (4usize..10, 4usize..10, 1usize..6),
+        stride in 1usize..3,
+        din in 0.1f64..1.0,
+        dwd in 0.1f64..1.0,
+        seed in 0u64..10_000,
+    ) {
+        let input = gen::random_dense(vec![h, w, c].into(), din, seed);
+        let filter = gen::random_dense(vec![c, 3, 3].into(), dwd, seed + 1);
+        prop_assume!(h + 2 >= 3 && w + 2 >= 3);
+        let exec = execute_dwconv(
+            &Csf::from_dense(&input),
+            &Csf::from_dense(&filter),
+            stride,
+            1,
+            &Pou::relu(c),
+        );
+        let golden = reference::bn_relu(
+            &reference::dwconv2d(&input, &filter, stride, 1),
+            &vec![1.0; c],
+            &vec![0.0; c],
+        );
+        prop_assert!(exec.output.to_dense().max_abs_diff(&golden) < 1e-3);
+    }
+
+    #[test]
+    fn fc_equals_reference(
+        n in 1usize..64,
+        k in 1usize..32,
+        din in 0.05f64..1.0,
+        dwd in 0.05f64..1.0,
+        seed in 0u64..10_000,
+    ) {
+        let input = gen::random_dense(vec![1, 1, n].into(), din, seed);
+        let weights = gen::random_dense(vec![n, k].into(), dwd, seed + 1);
+        let exec = execute_fc(
+            &Csf::from_dense(&input),
+            &Csf::from_dense(&weights),
+            &Pou::linear(k),
+        );
+        let golden = reference::fully_connected(&input, &weights);
+        prop_assert!(exec.output.to_dense().max_abs_diff(&golden) < 1e-3);
+    }
+
+    #[test]
+    fn add_equals_reference(
+        dims in (1usize..6, 1usize..6, 1usize..6),
+        da in 0.1f64..1.0,
+        db in 0.1f64..1.0,
+        seed in 0u64..10_000,
+    ) {
+        let (h, w, c) = dims;
+        let a = gen::random_dense(vec![h, w, c].into(), da, seed);
+        let b = gen::random_dense(vec![h, w, c].into(), db, seed + 1);
+        let exec = execute_add(&Csf::from_dense(&a), &Csf::from_dense(&b), &Pou::relu(c));
+        let golden = reference::bn_relu(&reference::add(&a, &b), &vec![1.0; c], &vec![0.0; c]);
+        prop_assert!(exec.output.to_dense().max_abs_diff(&golden) < 1e-4);
+    }
+
+    #[test]
+    fn spgemm_equals_dense_matmul(
+        (m, k, n) in (1usize..12, 1usize..12, 1usize..12),
+        da in 0.05f64..0.8,
+        db in 0.05f64..0.8,
+        seed in 0u64..10_000,
+    ) {
+        let a = gen::random_dense(vec![m, k].into(), da, seed);
+        let b = gen::random_dense(vec![k, n].into(), db, seed + 1);
+        let out = spgemm(&Csf::from_dense(&a), &Csf::from_dense(&b));
+        let mut golden = isos_tensor::Dense::zeros(vec![m, n].into());
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a.data()[i * k + kk];
+                if av == 0.0 { continue; }
+                for j in 0..n {
+                    golden.data_mut()[i * n + j] += av * b.data()[kk * n + j];
+                }
+            }
+        }
+        prop_assert!(out.output.to_dense().max_abs_diff(&golden) < 1e-3);
+    }
+
+    #[test]
+    fn conv_mac_count_bounded_by_products(
+        (h, w, c, r, s, k, stride, pad, din, dw, seed) in conv_problem()
+    ) {
+        prop_assume!(h + 2 * pad >= r && w + 2 * pad >= s);
+        let input = gen::random_csf(vec![h, w, c].into(), din, seed);
+        let filter = gen::random_csf(vec![c, r, k, s].into(), dw, seed + 1);
+        let exec = execute_conv(&input, &filter, stride, pad, &Pou::relu(k));
+        // Every MAC pairs a nonzero input with a nonzero filter weight of
+        // the same channel.
+        prop_assert!(exec.stats.frontend.macs <= (input.nnz() * filter.nnz()) as u64);
+        // And the backend consumes no more partials than the frontend made.
+        prop_assert!(
+            exec.stats.backend.partials_consumed <= exec.stats.frontend.partials_emitted
+        );
+    }
+}

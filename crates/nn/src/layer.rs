@@ -1,0 +1,435 @@
+//! CNN layer descriptors.
+//!
+//! A [`Layer`] captures everything the accelerator models need to know
+//! about one network layer: its kind, shapes, and sparsity targets. The
+//! tensor layouts follow the paper's rank orders: input activations
+//! `[H, W, C]`, filters `[C, R, K, S]`, output activations `[P, Q, K]`
+//! (Fig. 8, Fig. 10).
+
+use serde::{Deserialize, Serialize};
+
+/// Activation tensor dimensions (one image, `N = 1` as in the paper's
+/// batch-1 inference).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ActShape {
+    /// Height (rows).
+    pub h: usize,
+    /// Width (columns).
+    pub w: usize,
+    /// Channels.
+    pub c: usize,
+}
+
+impl ActShape {
+    /// Creates a shape.
+    pub fn new(h: usize, w: usize, c: usize) -> Self {
+        Self { h, w, c }
+    }
+
+    /// Number of elements.
+    pub fn volume(&self) -> usize {
+        self.h * self.w * self.c
+    }
+}
+
+/// The operator a layer performs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Standard convolution with `R x S` kernels.
+    Conv {
+        /// Kernel height.
+        r: usize,
+        /// Kernel width.
+        s: usize,
+        /// Stride (same in both dimensions).
+        stride: usize,
+        /// Zero padding (same on all sides).
+        pad: usize,
+    },
+    /// Depth-wise convolution: one kernel per channel, no cross-channel
+    /// accumulation (paper Sec. IV-C).
+    DwConv {
+        /// Kernel height.
+        r: usize,
+        /// Kernel width.
+        s: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+    },
+    /// Fully-connected layer, executed as SpMV (paper Sec. IV-C).
+    FullyConnected,
+    /// Max pooling (not pipelineable; a pipeline boundary per Sec. V).
+    MaxPool {
+        /// Window size (square).
+        size: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+    },
+    /// Global average pooling, treated as a convolution whose kernel
+    /// matches the input size (Sec. IV-C).
+    GlobalAvgPool,
+    /// Element-wise addition of two inputs (ResNet skip connections).
+    Add,
+}
+
+impl LayerKind {
+    /// Kernel extent `(r, s)`; `(1, 1)` for kinds without a spatial kernel.
+    pub fn kernel(&self) -> (usize, usize) {
+        match *self {
+            LayerKind::Conv { r, s, .. } | LayerKind::DwConv { r, s, .. } => (r, s),
+            LayerKind::MaxPool { size, .. } => (size, size),
+            _ => (1, 1),
+        }
+    }
+
+    /// Stride; 1 for kinds without one.
+    pub fn stride(&self) -> usize {
+        match *self {
+            LayerKind::Conv { stride, .. }
+            | LayerKind::DwConv { stride, .. }
+            | LayerKind::MaxPool { stride, .. } => stride,
+            _ => 1,
+        }
+    }
+
+    /// Padding; 0 for kinds without one.
+    pub fn pad(&self) -> usize {
+        match *self {
+            LayerKind::Conv { pad, .. }
+            | LayerKind::DwConv { pad, .. }
+            | LayerKind::MaxPool { pad, .. } => pad,
+            _ => 0,
+        }
+    }
+
+    /// Whether this kind carries weights.
+    pub fn has_weights(&self) -> bool {
+        matches!(
+            self,
+            LayerKind::Conv { .. } | LayerKind::DwConv { .. } | LayerKind::FullyConnected
+        )
+    }
+
+    /// Whether ISOSceles can include this layer in an inter-layer pipeline
+    /// (pooling layers and FC layers are boundaries; Sec. V).
+    pub fn is_pipelineable(&self) -> bool {
+        matches!(
+            self,
+            LayerKind::Conv { .. } | LayerKind::DwConv { .. } | LayerKind::Add
+        )
+    }
+}
+
+/// One layer of a CNN, with shapes and sparsity targets.
+///
+/// Each conv layer is implicitly followed by batch-norm + ReLU (the POU in
+/// ISOSceles); `out_act_density` is the post-ReLU nonzero fraction.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Layer {
+    /// Human-readable name, following torchvision naming where applicable
+    /// (e.g. `layer1.0.conv2`).
+    pub name: String,
+    /// The operator.
+    pub kind: LayerKind,
+    /// Input activation shape.
+    pub input: ActShape,
+    /// Output activation shape (`h`=P, `w`=Q, `c`=K).
+    pub output: ActShape,
+    /// Fraction of *nonzero* weights (1.0 = dense). Ignored for weightless
+    /// kinds.
+    pub weight_density: f64,
+    /// Fraction of nonzero input activations.
+    pub in_act_density: f64,
+    /// Fraction of nonzero output activations (post-ReLU).
+    pub out_act_density: f64,
+}
+
+impl Layer {
+    /// Creates a layer, computing the output shape from the input shape
+    /// and kind.
+    ///
+    /// `out_channels` is `K` for convs/FC; ignored (forced to match input)
+    /// for depth-wise, pooling, and add.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the (padded) input.
+    pub fn new(name: &str, kind: LayerKind, input: ActShape, out_channels: usize) -> Self {
+        let (r, s) = kind.kernel();
+        let stride = kind.stride();
+        let pad = kind.pad();
+        let output = match kind {
+            LayerKind::FullyConnected => ActShape::new(1, 1, out_channels),
+            LayerKind::GlobalAvgPool => ActShape::new(1, 1, input.c),
+            LayerKind::Add => input,
+            _ => {
+                let hp = input.h + 2 * pad;
+                let wp = input.w + 2 * pad;
+                assert!(
+                    hp >= r && wp >= s,
+                    "kernel {r}x{s} larger than padded input"
+                );
+                let p = (hp - r) / stride + 1;
+                let q = (wp - s) / stride + 1;
+                let k = match kind {
+                    LayerKind::Conv { .. } => out_channels,
+                    _ => input.c,
+                };
+                ActShape::new(p, q, k)
+            }
+        };
+        Self {
+            name: name.to_owned(),
+            kind,
+            input,
+            output,
+            weight_density: 1.0,
+            in_act_density: 1.0,
+            out_act_density: 1.0,
+        }
+    }
+
+    /// Sets the weight density (builder style).
+    pub fn with_weight_density(mut self, density: f64) -> Self {
+        assert!((0.0..=1.0).contains(&density), "density out of range");
+        self.weight_density = density;
+        self
+    }
+
+    /// Sets input/output activation densities (builder style).
+    pub fn with_act_density(mut self, input: f64, output: f64) -> Self {
+        assert!((0.0..=1.0).contains(&input) && (0.0..=1.0).contains(&output));
+        self.in_act_density = input;
+        self.out_act_density = output;
+        self
+    }
+
+    /// Number of weight elements when dense.
+    pub fn dense_weights(&self) -> usize {
+        let (r, s) = self.kind.kernel();
+        match self.kind {
+            LayerKind::Conv { .. } => self.input.c * r * s * self.output.c,
+            LayerKind::DwConv { .. } => self.input.c * r * s,
+            LayerKind::FullyConnected => self.input.volume() * self.output.c,
+            _ => 0,
+        }
+    }
+
+    /// Expected number of nonzero weights after pruning.
+    pub fn nnz_weights(&self) -> f64 {
+        self.dense_weights() as f64 * self.weight_density
+    }
+
+    /// Multiply-accumulates for a dense execution of this layer.
+    pub fn dense_macs(&self) -> f64 {
+        let (r, s) = self.kind.kernel();
+        match self.kind {
+            LayerKind::Conv { .. } => {
+                (self.output.h * self.output.w * self.output.c) as f64
+                    * (self.input.c * r * s) as f64
+            }
+            LayerKind::DwConv { .. } => {
+                (self.output.h * self.output.w * self.output.c) as f64 * (r * s) as f64
+            }
+            LayerKind::FullyConnected => self.dense_weights() as f64,
+            LayerKind::GlobalAvgPool => self.input.volume() as f64,
+            LayerKind::Add => self.input.volume() as f64,
+            LayerKind::MaxPool { .. } => 0.0,
+        }
+    }
+
+    /// Expected effectual MACs under unstructured sparsity: only nonzero
+    /// input × nonzero weight pairs are multiplied (paper Sec. I: work
+    /// scales with the *product* of densities).
+    pub fn effectual_macs(&self) -> f64 {
+        match self.kind {
+            LayerKind::Conv { .. } | LayerKind::DwConv { .. } | LayerKind::FullyConnected => {
+                self.dense_macs() * self.in_act_density * self.weight_density
+            }
+            LayerKind::Add | LayerKind::GlobalAvgPool => self.dense_macs() * self.in_act_density,
+            LayerKind::MaxPool { .. } => 0.0,
+        }
+    }
+
+    /// Expected nonzero input activations.
+    pub fn nnz_inputs(&self) -> f64 {
+        self.input.volume() as f64 * self.in_act_density
+    }
+
+    /// Expected nonzero output activations.
+    pub fn nnz_outputs(&self) -> f64 {
+        self.output.volume() as f64 * self.out_act_density
+    }
+
+    /// Compressed (CSF-style) byte footprint of the input activations.
+    pub fn in_act_csf_bytes(&self) -> f64 {
+        compressed_bytes(self.nnz_inputs(), self.input.volume() as f64)
+    }
+
+    /// Compressed byte footprint of the output activations.
+    pub fn out_act_csf_bytes(&self) -> f64 {
+        compressed_bytes(self.nnz_outputs(), self.output.volume() as f64)
+    }
+
+    /// Compressed byte footprint of the weights.
+    pub fn weight_csf_bytes(&self) -> f64 {
+        compressed_bytes(self.nnz_weights(), self.dense_weights() as f64)
+    }
+
+    /// Dense byte footprint of the weights (8-bit values).
+    pub fn weight_dense_bytes(&self) -> f64 {
+        self.dense_weights() as f64
+    }
+
+    /// Dense byte footprint of the input activations (8-bit values).
+    pub fn in_act_dense_bytes(&self) -> f64 {
+        self.input.volume() as f64
+    }
+
+    /// Dense byte footprint of the output activations (8-bit values).
+    pub fn out_act_dense_bytes(&self) -> f64 {
+        self.output.volume() as f64
+    }
+}
+
+/// Compressed footprint in bytes of a sparse tensor with `nnz` nonzeros
+/// out of `dense` positions: one 8-bit value per nonzero plus rank
+/// metadata, encoded as whichever of a position bitmap (`dense/8`) or a
+/// coordinate/offset list (`1.5 B` per nonzero, covering all ranks) is
+/// smaller — the format-abstraction freedom of Chou et al. that CSF-style
+/// designs exploit per tensor.
+pub fn compressed_bytes(nnz: f64, dense: f64) -> f64 {
+    nnz * 1.0 + (dense / 8.0).min(nnz * 1.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_output_shape() {
+        let l = Layer::new(
+            "c",
+            LayerKind::Conv {
+                r: 3,
+                s: 3,
+                stride: 1,
+                pad: 0,
+            },
+            ActShape::new(8, 10, 4),
+            16,
+        );
+        assert_eq!(l.output, ActShape::new(6, 8, 16));
+    }
+
+    #[test]
+    fn conv_with_stride_and_pad() {
+        // ResNet conv1: 224x224x3, 7x7/2 pad 3 -> 112x112x64.
+        let l = Layer::new(
+            "conv1",
+            LayerKind::Conv {
+                r: 7,
+                s: 7,
+                stride: 2,
+                pad: 3,
+            },
+            ActShape::new(224, 224, 3),
+            64,
+        );
+        assert_eq!(l.output, ActShape::new(112, 112, 64));
+    }
+
+    #[test]
+    fn dwconv_preserves_channels() {
+        let l = Layer::new(
+            "dw",
+            LayerKind::DwConv {
+                r: 3,
+                s: 3,
+                stride: 1,
+                pad: 1,
+            },
+            ActShape::new(14, 14, 256),
+            999, // ignored
+        );
+        assert_eq!(l.output, ActShape::new(14, 14, 256));
+        assert_eq!(l.dense_weights(), 256 * 9);
+    }
+
+    #[test]
+    fn fc_shapes_and_macs() {
+        let l = Layer::new(
+            "fc",
+            LayerKind::FullyConnected,
+            ActShape::new(1, 1, 2048),
+            1000,
+        );
+        assert_eq!(l.output, ActShape::new(1, 1, 1000));
+        assert_eq!(l.dense_weights(), 2048 * 1000);
+        assert_eq!(l.dense_macs(), 2048.0 * 1000.0);
+    }
+
+    #[test]
+    fn effectual_macs_scale_with_density_product() {
+        let l = Layer::new(
+            "c",
+            LayerKind::Conv {
+                r: 3,
+                s: 3,
+                stride: 1,
+                pad: 1,
+            },
+            ActShape::new(16, 16, 32),
+            32,
+        )
+        .with_weight_density(0.1)
+        .with_act_density(0.5, 0.5);
+        assert!((l.effectual_macs() - l.dense_macs() * 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn maxpool_halves_dims() {
+        let l = Layer::new(
+            "pool",
+            LayerKind::MaxPool {
+                size: 2,
+                stride: 2,
+                pad: 0,
+            },
+            ActShape::new(112, 112, 64),
+            0,
+        );
+        assert_eq!(l.output, ActShape::new(56, 56, 64));
+        assert_eq!(l.dense_weights(), 0);
+        assert!(!l.kind.is_pipelineable());
+    }
+
+    #[test]
+    fn gap_collapses_spatial() {
+        let l = Layer::new(
+            "gap",
+            LayerKind::GlobalAvgPool,
+            ActShape::new(7, 7, 2048),
+            0,
+        );
+        assert_eq!(l.output, ActShape::new(1, 1, 2048));
+    }
+
+    #[test]
+    fn pipelineable_kinds() {
+        assert!(LayerKind::Conv {
+            r: 1,
+            s: 1,
+            stride: 1,
+            pad: 0
+        }
+        .is_pipelineable());
+        assert!(LayerKind::Add.is_pipelineable());
+        assert!(!LayerKind::FullyConnected.is_pipelineable());
+        assert!(!LayerKind::GlobalAvgPool.is_pipelineable());
+    }
+}

@@ -1,0 +1,185 @@
+//! GoogLeNet Inception-3a block [Szegedy et al., CVPR 2015].
+//!
+//! The paper evaluates "a subset of representative layers" of GoogLeNet:
+//! the Inception 3a block, with branches 2 and 3 (two layers each)
+//! pipelined and the single-layer branches 1 and 4 executed separately
+//! (Sec. V). The block's four branches run on a 28x28x192 input; we model
+//! them as four independent sinks, matching the paper's per-branch
+//! execution.
+
+use crate::graph::Network;
+use crate::layer::{ActShape, Layer, LayerKind};
+use crate::sparsity::{apply_activation_profile, apply_weight_profile, WeightProfile};
+
+/// Builds the GoogLeNet Inception-3a block, magnitude-pruned uniformly to
+/// `weight_sparsity` (58% in the paper).
+///
+/// # Panics
+///
+/// Panics if `weight_sparsity` is not in `[0, 1)`.
+pub fn googlenet_inception3a(weight_sparsity: f64, seed: u64) -> Network {
+    let mut net = Network::new(&format!(
+        "GoogLeNet 3a ({}% weight sparsity)",
+        (weight_sparsity * 100.0).round()
+    ));
+    let input = ActShape::new(28, 28, 192);
+
+    // Branch 1: 1x1 conv, 64 channels.
+    let b1 = net.add(
+        Layer::new(
+            "3a.branch1.conv",
+            LayerKind::Conv {
+                r: 1,
+                s: 1,
+                stride: 1,
+                pad: 0,
+            },
+            input,
+            64,
+        ),
+        &[],
+    );
+    net.add_block("3a.branch1", vec![b1]);
+
+    // Branch 2: 1x1 reduce to 96, then 3x3 to 128.
+    let b2a = net.add(
+        Layer::new(
+            "3a.branch2.reduce",
+            LayerKind::Conv {
+                r: 1,
+                s: 1,
+                stride: 1,
+                pad: 0,
+            },
+            input,
+            96,
+        ),
+        &[],
+    );
+    let b2b = net.add(
+        Layer::new(
+            "3a.branch2.conv",
+            LayerKind::Conv {
+                r: 3,
+                s: 3,
+                stride: 1,
+                pad: 1,
+            },
+            net.layer(b2a).output,
+            128,
+        ),
+        &[b2a],
+    );
+    net.add_block("3a.branch2", vec![b2a, b2b]);
+
+    // Branch 3: 1x1 reduce to 16, then 5x5 to 32.
+    let b3a = net.add(
+        Layer::new(
+            "3a.branch3.reduce",
+            LayerKind::Conv {
+                r: 1,
+                s: 1,
+                stride: 1,
+                pad: 0,
+            },
+            input,
+            16,
+        ),
+        &[],
+    );
+    let b3b = net.add(
+        Layer::new(
+            "3a.branch3.conv",
+            LayerKind::Conv {
+                r: 5,
+                s: 5,
+                stride: 1,
+                pad: 2,
+            },
+            net.layer(b3a).output,
+            32,
+        ),
+        &[b3a],
+    );
+    net.add_block("3a.branch3", vec![b3a, b3b]);
+
+    // Branch 4: 3x3 max pool then 1x1 conv to 32.
+    let b4a = net.add(
+        Layer::new(
+            "3a.branch4.pool",
+            LayerKind::MaxPool {
+                size: 3,
+                stride: 1,
+                pad: 1,
+            },
+            input,
+            0,
+        ),
+        &[],
+    );
+    let b4b = net.add(
+        Layer::new(
+            "3a.branch4.conv",
+            LayerKind::Conv {
+                r: 1,
+                s: 1,
+                stride: 1,
+                pad: 0,
+            },
+            net.layer(b4a).output,
+            32,
+        ),
+        &[b4a],
+    );
+    net.add_block("3a.branch4", vec![b4a, b4b]);
+
+    apply_weight_profile(
+        &mut net,
+        WeightProfile::Uniform {
+            sparsity: weight_sparsity,
+        },
+    );
+    apply_activation_profile(&mut net, seed);
+    // The 3a block sits mid-network: its input is a post-ReLU activation
+    // tensor (~45% sparse), not a dense image. Override the sources, which
+    // the generic profile marks dense.
+    for id in net.sources() {
+        net.layer_mut(id).in_act_density = 0.55;
+    }
+    debug_assert!(net.validate().is_ok());
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inception3a_structure() {
+        let net = googlenet_inception3a(0.58, 1);
+        net.validate().expect("valid graph");
+        assert_eq!(net.blocks().len(), 4);
+        // 6 convs + 1 pool.
+        assert_eq!(net.conv_ids().len(), 6);
+        assert_eq!(net.len(), 7);
+        // Four independent branches -> four sinks.
+        assert_eq!(net.sinks().len(), 4);
+    }
+
+    #[test]
+    fn branch_output_channels_sum_to_256() {
+        let net = googlenet_inception3a(0.58, 1);
+        let total: usize = net.sinks().iter().map(|&s| net.layer(s).output.c).sum();
+        assert_eq!(total, 64 + 128 + 32 + 32);
+        for &s in &net.sinks() {
+            assert_eq!(net.layer(s).output.h, 28);
+            assert_eq!(net.layer(s).output.w, 28);
+        }
+    }
+
+    #[test]
+    fn uniform_sparsity_applied() {
+        let net = googlenet_inception3a(0.58, 1);
+        assert!((net.weight_sparsity() - 0.58).abs() < 1e-9);
+    }
+}

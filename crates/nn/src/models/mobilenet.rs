@@ -1,0 +1,165 @@
+//! MobileNetV1 [Howard et al., 2017] with STR-style pruning.
+//!
+//! Thirteen depth-wise separable blocks; the paper evaluates 75% and 89%
+//! weight sparsity and highlights the depth-wise convolutions' low compute
+//! intensity (Sec. VI-A: SparTen loses to Fused-Layer here, ISOSceles wins
+//! by the largest margin).
+
+use crate::graph::Network;
+use crate::layer::{ActShape, Layer, LayerKind};
+use crate::sparsity::{apply_activation_profile, apply_weight_profile, WeightProfile};
+
+/// Builds MobileNetV1 (width multiplier 1.0) for 224x224x3 inputs.
+///
+/// # Panics
+///
+/// Panics if `weight_sparsity` is not in `[0, 1)`.
+pub fn mobilenet_v1(weight_sparsity: f64, seed: u64) -> Network {
+    let mut net = Network::new(&format!(
+        "MobileNetV1 ({}% weight sparsity)",
+        (weight_sparsity * 100.0).round()
+    ));
+
+    let mut prev = net.add(
+        Layer::new(
+            "conv0",
+            LayerKind::Conv {
+                r: 3,
+                s: 3,
+                stride: 2,
+                pad: 1,
+            },
+            ActShape::new(224, 224, 3),
+            32,
+        ),
+        &[],
+    );
+
+    // (output channels of the point-wise conv, depth-wise stride).
+    let blocks: [(usize, usize); 13] = [
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (1024, 2),
+        (1024, 1),
+    ];
+    for (i, &(out_c, stride)) in blocks.iter().enumerate() {
+        let dw = net.add(
+            Layer::new(
+                &format!("block{}.dw", i + 1),
+                LayerKind::DwConv {
+                    r: 3,
+                    s: 3,
+                    stride,
+                    pad: 1,
+                },
+                net.layer(prev).output,
+                0,
+            ),
+            &[prev],
+        );
+        let pw = net.add(
+            Layer::new(
+                &format!("block{}.pw", i + 1),
+                LayerKind::Conv {
+                    r: 1,
+                    s: 1,
+                    stride: 1,
+                    pad: 0,
+                },
+                net.layer(dw).output,
+                out_c,
+            ),
+            &[dw],
+        );
+        net.add_block(&format!("block{}", i + 1), vec![dw, pw]);
+        prev = pw;
+    }
+
+    let gap = net.add(
+        Layer::new(
+            "avgpool",
+            LayerKind::GlobalAvgPool,
+            net.layer(prev).output,
+            0,
+        ),
+        &[prev],
+    );
+    net.add(
+        Layer::new("fc", LayerKind::FullyConnected, net.layer(gap).output, 1000),
+        &[gap],
+    );
+
+    apply_weight_profile(
+        &mut net,
+        WeightProfile::StrLike {
+            sparsity: weight_sparsity,
+        },
+    );
+    apply_activation_profile(&mut net, seed);
+    debug_assert!(net.validate().is_ok());
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mobilenet_structure() {
+        let net = mobilenet_v1(0.75, 1);
+        net.validate().expect("valid graph");
+        // 1 stem + 13 dw + 13 pw = 27 spatial convs.
+        assert_eq!(net.conv_ids().len(), 27);
+        assert_eq!(net.blocks().len(), 13);
+    }
+
+    #[test]
+    fn mobilenet_scale_matches_published() {
+        let net = mobilenet_v1(0.0, 1);
+        let gmacs = net.total_dense_macs() / 1e9;
+        // MobileNetV1 is ~0.57 GMACs, ~4.2M params.
+        assert!((0.4..0.7).contains(&gmacs), "got {gmacs} GMACs");
+        let m = net.total_dense_weights() as f64 / 1e6;
+        assert!((3.5..5.0).contains(&m), "got {m}M weights");
+    }
+
+    #[test]
+    fn final_feature_map_is_7x7x1024() {
+        let net = mobilenet_v1(0.89, 1);
+        let l = net
+            .nodes()
+            .iter()
+            .find(|n| n.layer.name == "block13.pw")
+            .unwrap();
+        assert_eq!(l.layer.output, ActShape::new(7, 7, 1024));
+    }
+
+    #[test]
+    fn depthwise_layers_have_tiny_weights() {
+        let net = mobilenet_v1(0.75, 1);
+        let dw = net
+            .nodes()
+            .iter()
+            .find(|n| n.layer.name == "block6.dw")
+            .unwrap();
+        // Depth-wise: C * 9 weights only.
+        assert_eq!(dw.layer.dense_weights(), 256 * 9);
+        // Its compute intensity (MACs per weight byte) is far below the
+        // adjacent point-wise layer's.
+        let pw = net
+            .nodes()
+            .iter()
+            .find(|n| n.layer.name == "block6.pw")
+            .unwrap();
+        assert!(pw.layer.dense_macs() > 10.0 * dw.layer.dense_macs());
+    }
+}

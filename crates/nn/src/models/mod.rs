@@ -1,0 +1,104 @@
+//! The model zoo: the paper's four CNN families and its 11-workload suite.
+
+mod googlenet;
+mod mobilenet;
+mod resnet50;
+mod resnet_family;
+mod vgg16;
+
+pub use googlenet::googlenet_inception3a;
+pub use mobilenet::mobilenet_v1;
+pub use resnet50::resnet50;
+pub use resnet_family::{resnet, ResNetDepth};
+pub use vgg16::vgg16;
+
+use crate::graph::Network;
+
+/// A named workload from the paper's evaluation suite.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Short id used in the figures (`R96`, `M75`, `V68`, `G58`).
+    pub id: &'static str,
+    /// The network with sparsity profiles applied.
+    pub network: Network,
+}
+
+/// Builds the paper's full 11-CNN evaluation suite (Sec. V):
+/// six ResNet-50 sparsities, two MobileNetV1, two VGG-16, one GoogLeNet.
+///
+/// `seed` controls the synthetic activation-sparsity profiles.
+pub fn paper_suite(seed: u64) -> Vec<Workload> {
+    let mut suite = Vec::new();
+    for (id, s) in [
+        ("R81", 0.81),
+        ("R90", 0.90),
+        ("R95", 0.95),
+        ("R96", 0.96),
+        ("R98", 0.98),
+        ("R99", 0.99),
+    ] {
+        suite.push(Workload {
+            id,
+            network: resnet50(s, seed),
+        });
+    }
+    for (id, s) in [("V68", 0.68), ("V90", 0.90)] {
+        suite.push(Workload {
+            id,
+            network: vgg16(s, seed),
+        });
+    }
+    suite.push(Workload {
+        id: "G58",
+        network: googlenet_inception3a(0.58, seed),
+    });
+    for (id, s) in [("M75", 0.75), ("M89", 0.89)] {
+        suite.push(Workload {
+            id,
+            network: mobilenet_v1(s, seed),
+        });
+    }
+    suite
+}
+
+/// Looks up one suite workload by its short id.
+///
+/// # Panics
+///
+/// Panics if `id` is not one of the 11 suite ids.
+pub fn suite_workload(id: &str, seed: u64) -> Workload {
+    paper_suite(seed)
+        .into_iter()
+        .find(|w| w.id == id)
+        .unwrap_or_else(|| panic!("unknown workload id {id}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_eleven_workloads_in_paper_order() {
+        let suite = paper_suite(1);
+        let ids: Vec<&str> = suite.iter().map(|w| w.id).collect();
+        assert_eq!(
+            ids,
+            vec!["R81", "R90", "R95", "R96", "R98", "R99", "V68", "V90", "G58", "M75", "M89"]
+        );
+        for w in &suite {
+            w.network.validate().expect("valid network");
+        }
+    }
+
+    #[test]
+    fn suite_workload_lookup() {
+        let w = suite_workload("R96", 1);
+        assert!((w.network.weight_sparsity() - 0.96).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_id_panics() {
+        suite_workload("X42", 1);
+    }
+}

@@ -1,0 +1,244 @@
+//! ResNet-50 [He et al., CVPR 2016] with STR-style pruning.
+//!
+//! Layer names follow torchvision (`layer1.0.conv2`, `layer3.0.downsample`)
+//! so that pipeline listings line up with the paper's Table IV. The paper
+//! evaluates six weight sparsities: 81%, 90%, 95%, 96%, 98%, 99% (Sec. V).
+
+use crate::graph::Network;
+use crate::layer::{ActShape, Layer, LayerKind};
+use crate::sparsity::{apply_activation_profile, apply_weight_profile, WeightProfile};
+
+/// Builds ResNet-50 for 224x224x3 inputs with STR-like pruning to
+/// `weight_sparsity` and a seeded activation profile.
+///
+/// # Panics
+///
+/// Panics if `weight_sparsity` is not in `[0, 1)`.
+pub fn resnet50(weight_sparsity: f64, seed: u64) -> Network {
+    let mut net = Network::new(&format!(
+        "ResNet-50 ({}% weight sparsity)",
+        (weight_sparsity * 100.0).round()
+    ));
+
+    let conv1 = net.add(
+        Layer::new(
+            "conv1",
+            LayerKind::Conv {
+                r: 7,
+                s: 7,
+                stride: 2,
+                pad: 3,
+            },
+            ActShape::new(224, 224, 3),
+            64,
+        ),
+        &[],
+    );
+    let pool = net.add(
+        Layer::new(
+            "maxpool",
+            LayerKind::MaxPool {
+                size: 3,
+                stride: 2,
+                pad: 1,
+            },
+            net.layer(conv1).output,
+            0,
+        ),
+        &[conv1],
+    );
+
+    // Stage definitions: (bottleneck width, output channels, blocks, stride
+    // of the first block).
+    let stages: [(usize, usize, usize, usize); 4] = [
+        (64, 256, 3, 1),
+        (128, 512, 4, 2),
+        (256, 1024, 6, 2),
+        (512, 2048, 3, 2),
+    ];
+
+    let mut prev = pool;
+    for (stage_idx, &(width, out_c, blocks, first_stride)) in stages.iter().enumerate() {
+        for block_idx in 0..blocks {
+            let stride = if block_idx == 0 { first_stride } else { 1 };
+            let block_name = format!("layer{}.{}", stage_idx + 1, block_idx);
+            let in_shape = net.layer(prev).output;
+            let mut members = Vec::new();
+
+            let c1 = net.add(
+                Layer::new(
+                    &format!("{block_name}.conv1"),
+                    LayerKind::Conv {
+                        r: 1,
+                        s: 1,
+                        stride: 1,
+                        pad: 0,
+                    },
+                    in_shape,
+                    width,
+                ),
+                &[prev],
+            );
+            members.push(c1);
+            let c2 = net.add(
+                Layer::new(
+                    &format!("{block_name}.conv2"),
+                    LayerKind::Conv {
+                        r: 3,
+                        s: 3,
+                        stride,
+                        pad: 1,
+                    },
+                    net.layer(c1).output,
+                    width,
+                ),
+                &[c1],
+            );
+            members.push(c2);
+            let c3 = net.add(
+                Layer::new(
+                    &format!("{block_name}.conv3"),
+                    LayerKind::Conv {
+                        r: 1,
+                        s: 1,
+                        stride: 1,
+                        pad: 0,
+                    },
+                    net.layer(c2).output,
+                    out_c,
+                ),
+                &[c2],
+            );
+            members.push(c3);
+
+            // Skip path: identity, or a 1x1 downsample conv when shapes
+            // change (first block of every stage).
+            let skip = if block_idx == 0 {
+                let ds = net.add(
+                    Layer::new(
+                        &format!("{block_name}.downsample"),
+                        LayerKind::Conv {
+                            r: 1,
+                            s: 1,
+                            stride,
+                            pad: 0,
+                        },
+                        in_shape,
+                        out_c,
+                    ),
+                    &[prev],
+                );
+                members.push(ds);
+                ds
+            } else {
+                prev
+            };
+
+            let add = net.add(
+                Layer::new(
+                    &format!("{block_name}.add"),
+                    LayerKind::Add,
+                    net.layer(c3).output,
+                    0,
+                ),
+                &[c3, skip],
+            );
+            members.push(add);
+            net.add_block(&block_name, members);
+            prev = add;
+        }
+    }
+
+    let gap = net.add(
+        Layer::new(
+            "avgpool",
+            LayerKind::GlobalAvgPool,
+            net.layer(prev).output,
+            0,
+        ),
+        &[prev],
+    );
+    net.add(
+        Layer::new("fc", LayerKind::FullyConnected, net.layer(gap).output, 1000),
+        &[gap],
+    );
+
+    apply_weight_profile(
+        &mut net,
+        WeightProfile::StrLike {
+            sparsity: weight_sparsity,
+        },
+    );
+    apply_activation_profile(&mut net, seed);
+    debug_assert!(net.validate().is_ok());
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_has_right_structure() {
+        let net = resnet50(0.96, 1);
+        net.validate().expect("valid graph");
+        // 1 stem conv + 16 blocks x (3 convs) + 4 downsamples = 53 convs.
+        assert_eq!(net.conv_ids().len(), 53);
+        // 16 bottleneck blocks registered.
+        assert_eq!(net.blocks().len(), 16);
+        // conv1 + maxpool + 16 blocks * (3..5 nodes) + gap + fc.
+        assert_eq!(net.sinks().len(), 1);
+    }
+
+    #[test]
+    fn resnet50_dense_macs_match_published_scale() {
+        let net = resnet50(0.0, 1);
+        // ResNet-50 is ~4.1 GMACs.
+        let gmacs = net.total_dense_macs() / 1e9;
+        assert!((3.5..4.5).contains(&gmacs), "got {gmacs} GMACs");
+        // ~25.5M params total; conv+fc weights ~25M.
+        let m = net.total_dense_weights() as f64 / 1e6;
+        assert!((23.0..27.0).contains(&m), "got {m}M weights");
+    }
+
+    #[test]
+    fn resnet50_shapes_match_torchvision() {
+        let net = resnet50(0.9, 1);
+        // Find layer4.2.conv3: output should be 7x7x2048.
+        let l = net
+            .nodes()
+            .iter()
+            .find(|n| n.layer.name == "layer4.2.conv3")
+            .unwrap();
+        assert_eq!(l.layer.output, ActShape::new(7, 7, 2048));
+        // layer1 spatial size is 56x56.
+        let l1 = net
+            .nodes()
+            .iter()
+            .find(|n| n.layer.name == "layer1.0.conv2")
+            .unwrap();
+        assert_eq!(l1.layer.output, ActShape::new(56, 56, 64));
+    }
+
+    #[test]
+    fn sparsity_target_is_hit_globally() {
+        for target in [0.81, 0.96, 0.99] {
+            let net = resnet50(target, 1);
+            assert!(
+                (net.weight_sparsity() - target).abs() < 0.02,
+                "target {target}, got {}",
+                net.weight_sparsity()
+            );
+        }
+    }
+
+    #[test]
+    fn skip_connections_join_correct_shapes() {
+        let net = resnet50(0.9, 1);
+        for (id, node) in net.nodes().iter().enumerate() {
+            if matches!(node.layer.kind, LayerKind::Add) {
+                assert_eq!(node.inputs.len(), 2, "add {id} needs two inputs");
+            }
+        }
+    }
+}

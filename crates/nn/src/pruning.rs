@@ -1,0 +1,123 @@
+//! Functional weight pruning on materialized tensors.
+//!
+//! [`crate::sparsity`] assigns statistical density targets for the
+//! performance models; this module prunes *actual* weight tensors for the
+//! functional executors (reference model and the IS-OS dataflow), so
+//! correctness tests exercise genuinely unstructured sparsity.
+
+use isos_tensor::Dense;
+
+/// Zeroes the smallest-magnitude weights until `target_sparsity` of the
+/// elements are zero (unstructured magnitude pruning [Han et al.]).
+///
+/// Existing zeros count toward the target. If the tensor is already at or
+/// above the target sparsity, nothing changes.
+///
+/// # Panics
+///
+/// Panics if `target_sparsity` is not in `[0, 1]`.
+pub fn magnitude_prune(weights: &mut Dense, target_sparsity: f64) {
+    assert!(
+        (0.0..=1.0).contains(&target_sparsity),
+        "sparsity out of range"
+    );
+    let total = weights.data().len();
+    let target_zeros = (total as f64 * target_sparsity).round() as usize;
+    let current_zeros = total - weights.nnz();
+    if current_zeros >= target_zeros {
+        return;
+    }
+    let to_prune = target_zeros - current_zeros;
+    // Find the magnitude threshold: the to_prune-th smallest nonzero.
+    let mut magnitudes: Vec<f32> = weights
+        .data()
+        .iter()
+        .filter(|&&v| v != 0.0)
+        .map(|v| v.abs())
+        .collect();
+    magnitudes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let threshold = magnitudes[to_prune - 1];
+    // Zero values strictly below threshold, then zero ties until the count
+    // is exact (ties broken in storage order, like a stable argsort).
+    let mut pruned = 0usize;
+    for v in weights.data_mut().iter_mut() {
+        if *v != 0.0 && v.abs() < threshold {
+            *v = 0.0;
+            pruned += 1;
+        }
+    }
+    for v in weights.data_mut().iter_mut() {
+        if pruned >= to_prune {
+            break;
+        }
+        if *v != 0.0 && v.abs() == threshold {
+            *v = 0.0;
+            pruned += 1;
+        }
+    }
+    debug_assert_eq!(pruned, to_prune);
+}
+
+/// Applies ReLU in place and returns the resulting density.
+pub fn relu(acts: &mut Dense) -> f64 {
+    for v in acts.data_mut().iter_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+    1.0 - acts.sparsity()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isos_tensor::gen::random_dense;
+
+    #[test]
+    fn prune_hits_exact_target() {
+        let mut w = random_dense(vec![16, 16].into(), 1.0, 3);
+        magnitude_prune(&mut w, 0.9);
+        let zeros = 256 - w.nnz();
+        assert_eq!(zeros, (256.0_f64 * 0.9).round() as usize);
+    }
+
+    #[test]
+    fn prune_keeps_largest_magnitudes() {
+        let mut w = Dense::from_vec(vec![5].into(), vec![0.1, -0.9, 0.5, -0.05, 0.7]);
+        magnitude_prune(&mut w, 0.6);
+        assert_eq!(w.data(), &[0.0, -0.9, 0.0, 0.0, 0.7]);
+    }
+
+    #[test]
+    fn prune_is_idempotent_at_target() {
+        let mut w = random_dense(vec![10, 10].into(), 1.0, 9);
+        magnitude_prune(&mut w, 0.5);
+        let snapshot = w.clone();
+        magnitude_prune(&mut w, 0.5);
+        assert_eq!(w, snapshot);
+    }
+
+    #[test]
+    fn prune_counts_existing_zeros() {
+        let mut w = random_dense(vec![10, 10].into(), 0.5, 4);
+        // Already ~50% sparse; target 0.3 should be a no-op.
+        let snapshot = w.clone();
+        magnitude_prune(&mut w, 0.3);
+        assert_eq!(w, snapshot);
+    }
+
+    #[test]
+    fn prune_handles_ties() {
+        let mut w = Dense::from_vec(vec![4].into(), vec![0.5, 0.5, 0.5, 0.5]);
+        magnitude_prune(&mut w, 0.5);
+        assert_eq!(w.nnz(), 2);
+    }
+
+    #[test]
+    fn relu_zeroes_negatives_only() {
+        let mut a = Dense::from_vec(vec![4].into(), vec![-1.0, 2.0, -3.0, 0.0]);
+        let density = relu(&mut a);
+        assert_eq!(a.data(), &[0.0, 2.0, 0.0, 0.0]);
+        assert!((density - 0.25).abs() < 1e-9);
+    }
+}

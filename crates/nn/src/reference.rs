@@ -1,0 +1,351 @@
+//! Golden reference executors (dense, direct-loop implementations).
+//!
+//! These are the trusted oracles against which the sparse IS-OS dataflow is
+//! validated bit-for-bit (up to float accumulation order). Tensor layouts
+//! follow the paper: input activations `[H, W, C]`, filters `[C, R, K, S]`,
+//! output activations `[P, Q, K]`.
+
+use isos_tensor::{Dense, Point};
+
+/// Direct 2-D convolution.
+///
+/// `input` is `[H, W, C]`; `filter` is `[C, R, K, S]`; the result is
+/// `[P, Q, K]` with `P = (H + 2*pad - R)/stride + 1` and likewise for `Q`.
+/// Zero padding is implicit (out-of-range inputs contribute nothing).
+///
+/// # Panics
+///
+/// Panics if the channel counts disagree or the kernel does not fit.
+pub fn conv2d(input: &Dense, filter: &Dense, stride: usize, pad: usize) -> Dense {
+    let (h, w, c) = dims3(input);
+    let fd = filter.shape().dims();
+    assert_eq!(fd.len(), 4, "filter must be [C,R,K,S]");
+    let (fc, r, k, s) = (fd[0], fd[1], fd[2], fd[3]);
+    assert_eq!(fc, c, "input channels {c} != filter channels {fc}");
+    assert!(
+        h + 2 * pad >= r && w + 2 * pad >= s,
+        "kernel larger than input"
+    );
+    let p_dim = (h + 2 * pad - r) / stride + 1;
+    let q_dim = (w + 2 * pad - s) / stride + 1;
+    let mut out = Dense::zeros(vec![p_dim, q_dim, k].into());
+    for p in 0..p_dim {
+        for q in 0..q_dim {
+            for ko in 0..k {
+                let mut acc = 0.0f32;
+                for ci in 0..c {
+                    for ri in 0..r {
+                        let hi = (p * stride + ri).checked_sub(pad);
+                        let Some(hi) = hi.filter(|&v| v < h) else {
+                            continue;
+                        };
+                        for si in 0..s {
+                            let wi = (q * stride + si).checked_sub(pad);
+                            let Some(wi) = wi.filter(|&v| v < w) else {
+                                continue;
+                            };
+                            let iv = input[&pt3(hi, wi, ci)];
+                            if iv == 0.0 {
+                                continue;
+                            }
+                            let fv = filter[&pt4(ci, ri, ko, si)];
+                            acc += iv * fv;
+                        }
+                    }
+                }
+                out[&pt3(p, q, ko)] = acc;
+            }
+        }
+    }
+    out
+}
+
+/// Depth-wise 2-D convolution: channel `c` of the input convolves only
+/// with kernel `c`.
+///
+/// `input` is `[H, W, C]`; `filter` is `[C, R, S]`; the result is
+/// `[P, Q, C]`.
+///
+/// # Panics
+///
+/// Panics if channel counts disagree or the kernel does not fit.
+pub fn dwconv2d(input: &Dense, filter: &Dense, stride: usize, pad: usize) -> Dense {
+    let (h, w, c) = dims3(input);
+    let fd = filter.shape().dims();
+    assert_eq!(fd.len(), 3, "filter must be [C,R,S]");
+    let (fc, r, s) = (fd[0], fd[1], fd[2]);
+    assert_eq!(fc, c, "input channels {c} != filter channels {fc}");
+    let p_dim = (h + 2 * pad - r) / stride + 1;
+    let q_dim = (w + 2 * pad - s) / stride + 1;
+    let mut out = Dense::zeros(vec![p_dim, q_dim, c].into());
+    for p in 0..p_dim {
+        for q in 0..q_dim {
+            for ci in 0..c {
+                let mut acc = 0.0f32;
+                for ri in 0..r {
+                    let Some(hi) = (p * stride + ri).checked_sub(pad).filter(|&v| v < h) else {
+                        continue;
+                    };
+                    for si in 0..s {
+                        let Some(wi) = (q * stride + si).checked_sub(pad).filter(|&v| v < w) else {
+                            continue;
+                        };
+                        acc += input[&pt3(hi, wi, ci)]
+                            * filter[&Point::from_slice(&[ci as u32, ri as u32, si as u32])];
+                    }
+                }
+                out[&pt3(p, q, ci)] = acc;
+            }
+        }
+    }
+    out
+}
+
+/// Fully-connected layer as a matrix-vector product.
+///
+/// `input` is any shape (flattened); `weights` is `[N, K]` where `N` is the
+/// flattened input size. The result is `[1, 1, K]` to stay in activation
+/// layout.
+///
+/// # Panics
+///
+/// Panics if sizes disagree.
+pub fn fully_connected(input: &Dense, weights: &Dense) -> Dense {
+    let n = input.shape().volume();
+    let wd = weights.shape().dims();
+    assert_eq!(wd.len(), 2, "weights must be [N,K]");
+    assert_eq!(wd[0], n, "input size {n} != weight rows {}", wd[0]);
+    let k = wd[1];
+    let mut out = Dense::zeros(vec![1, 1, k].into());
+    for (i, &x) in input.data().iter().enumerate() {
+        if x == 0.0 {
+            continue;
+        }
+        for ko in 0..k {
+            out.data_mut()[ko] += x * weights.data()[i * k + ko];
+        }
+    }
+    out
+}
+
+/// Max pooling over `size x size` windows.
+///
+/// `input` is `[H, W, C]`; result is `[P, Q, C]`.
+pub fn max_pool(input: &Dense, size: usize, stride: usize, pad: usize) -> Dense {
+    let (h, w, c) = dims3(input);
+    let p_dim = (h + 2 * pad - size) / stride + 1;
+    let q_dim = (w + 2 * pad - size) / stride + 1;
+    let mut out = Dense::zeros(vec![p_dim, q_dim, c].into());
+    for p in 0..p_dim {
+        for q in 0..q_dim {
+            for ci in 0..c {
+                let mut best = f32::NEG_INFINITY;
+                for ri in 0..size {
+                    let Some(hi) = (p * stride + ri).checked_sub(pad).filter(|&v| v < h) else {
+                        best = best.max(0.0);
+                        continue;
+                    };
+                    for si in 0..size {
+                        let Some(wi) = (q * stride + si).checked_sub(pad).filter(|&v| v < w) else {
+                            best = best.max(0.0);
+                            continue;
+                        };
+                        best = best.max(input[&pt3(hi, wi, ci)]);
+                    }
+                }
+                out[&pt3(p, q, ci)] = best;
+            }
+        }
+    }
+    out
+}
+
+/// Global average pooling: `[H, W, C]` to `[1, 1, C]`.
+pub fn global_avg_pool(input: &Dense) -> Dense {
+    let (h, w, c) = dims3(input);
+    let mut out = Dense::zeros(vec![1, 1, c].into());
+    for hi in 0..h {
+        for wi in 0..w {
+            for ci in 0..c {
+                out.data_mut()[ci] += input[&pt3(hi, wi, ci)];
+            }
+        }
+    }
+    let scale = 1.0 / (h * w) as f32;
+    for v in out.data_mut() {
+        *v *= scale;
+    }
+    out
+}
+
+/// Element-wise addition (skip-connection join).
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn add(a: &Dense, b: &Dense) -> Dense {
+    assert_eq!(a.shape(), b.shape(), "add shape mismatch");
+    let data = a.data().iter().zip(b.data()).map(|(x, y)| x + y).collect();
+    Dense::from_vec(a.shape().clone(), data)
+}
+
+/// Batch-norm (per-channel scale and bias on the innermost rank) followed
+/// by ReLU — the POU of an ISOSceles backend lane.
+///
+/// `acts` is `[.., C]`; `scale`/`bias` have length `C`.
+///
+/// # Panics
+///
+/// Panics if `scale`/`bias` length differs from the innermost extent.
+pub fn bn_relu(acts: &Dense, scale: &[f32], bias: &[f32]) -> Dense {
+    let dims = acts.shape().dims();
+    let c = *dims.last().unwrap();
+    assert_eq!(scale.len(), c, "scale length mismatch");
+    assert_eq!(bias.len(), c, "bias length mismatch");
+    let data = acts
+        .data()
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v * scale[i % c] + bias[i % c]).max(0.0))
+        .collect();
+    Dense::from_vec(acts.shape().clone(), data)
+}
+
+fn dims3(t: &Dense) -> (usize, usize, usize) {
+    let d = t.shape().dims();
+    assert_eq!(d.len(), 3, "activation tensor must be [H,W,C]");
+    (d[0], d[1], d[2])
+}
+
+fn pt3(a: usize, b: usize, c: usize) -> Point {
+    Point::from_slice(&[a as u32, b as u32, c as u32])
+}
+
+fn pt4(a: usize, b: usize, c: usize, d: usize) -> Point {
+    Point::from_slice(&[a as u32, b as u32, c as u32, d as u32])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isos_tensor::gen::random_dense;
+
+    #[test]
+    fn conv_identity_kernel_passes_through() {
+        // 1x1 kernel, one channel, weight 1: output == input.
+        let input = random_dense(vec![4, 5, 1].into(), 1.0, 1);
+        let filter = Dense::from_vec(vec![1, 1, 1, 1].into(), vec![1.0]);
+        let out = conv2d(&input, &filter, 1, 0);
+        assert_eq!(out.shape().dims(), &[4, 5, 1]);
+        assert!(out.max_abs_diff(&input) < 1e-6);
+    }
+
+    #[test]
+    fn conv_known_values() {
+        // 2x2 input, 2x2 kernel of ones: single output = sum of inputs.
+        let input = Dense::from_vec(vec![2, 2, 1].into(), vec![1.0, 2.0, 3.0, 4.0]);
+        let filter = Dense::from_vec(vec![1, 2, 1, 2].into(), vec![1.0; 4]);
+        let out = conv2d(&input, &filter, 1, 0);
+        assert_eq!(out.shape().dims(), &[1, 1, 1]);
+        assert_eq!(out.data()[0], 10.0);
+    }
+
+    #[test]
+    fn conv_padding_grows_output() {
+        let input = random_dense(vec![4, 4, 2].into(), 1.0, 2);
+        let filter = random_dense(vec![2, 3, 3, 3].into(), 1.0, 3);
+        let out = conv2d(&input, &filter, 1, 1);
+        assert_eq!(out.shape().dims(), &[4, 4, 3]);
+    }
+
+    #[test]
+    fn conv_stride_two() {
+        let input = random_dense(vec![8, 8, 1].into(), 1.0, 4);
+        let filter = random_dense(vec![1, 2, 1, 2].into(), 1.0, 5);
+        let out = conv2d(&input, &filter, 2, 0);
+        assert_eq!(out.shape().dims(), &[4, 4, 1]);
+        // Spot-check one output against a hand computation.
+        let expect = input[&pt3(2, 2, 0)] * filter[&pt4(0, 0, 0, 0)]
+            + input[&pt3(2, 3, 0)] * filter[&pt4(0, 0, 0, 1)]
+            + input[&pt3(3, 2, 0)] * filter[&pt4(0, 1, 0, 0)]
+            + input[&pt3(3, 3, 0)] * filter[&pt4(0, 1, 0, 1)];
+        assert!((out[&pt3(1, 1, 0)] - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dwconv_channels_do_not_mix() {
+        let mut input = Dense::zeros(vec![3, 3, 2].into());
+        input[&pt3(1, 1, 0)] = 1.0; // only channel 0 active
+        let mut filter = Dense::zeros(vec![2, 3, 3].into());
+        // Channel 1's kernel is all ones; channel 0's is zero.
+        for r in 0..3 {
+            for s in 0..3 {
+                filter[&Point::from_slice(&[1, r, s])] = 1.0;
+            }
+        }
+        let out = dwconv2d(&input, &filter, 1, 1);
+        // Channel 0 kernel is zero, channel 1 input is zero: all-zero out.
+        assert_eq!(out.nnz(), 0);
+    }
+
+    #[test]
+    fn dwconv_matches_grouped_conv() {
+        // Depth-wise == full conv with block-diagonal filter.
+        let input = random_dense(vec![5, 5, 3].into(), 0.8, 6);
+        let dw = random_dense(vec![3, 3, 3].into(), 1.0, 7);
+        let mut full = Dense::zeros(vec![3, 3, 3, 3].into());
+        for c in 0..3u32 {
+            for r in 0..3u32 {
+                for s in 0..3u32 {
+                    full[&Point::from_slice(&[c, r, c, s])] = dw[&Point::from_slice(&[c, r, s])];
+                }
+            }
+        }
+        let a = dwconv2d(&input, &dw, 1, 1);
+        let b = conv2d(&input, &full, 1, 1);
+        assert!(a.max_abs_diff(&b) < 1e-5);
+    }
+
+    #[test]
+    fn fc_matches_manual_matvec() {
+        let input = Dense::from_vec(vec![1, 1, 3].into(), vec![1.0, 2.0, 3.0]);
+        let weights = Dense::from_vec(vec![3, 2].into(), vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let out = fully_connected(&input, &weights);
+        assert_eq!(out.data(), &[1.0 + 3.0, 2.0 + 3.0]);
+    }
+
+    #[test]
+    fn max_pool_takes_window_max() {
+        let input = Dense::from_vec(vec![2, 2, 1].into(), vec![1.0, -5.0, 3.0, 2.0]);
+        let out = max_pool(&input, 2, 2, 0);
+        assert_eq!(out.data(), &[3.0]);
+    }
+
+    #[test]
+    fn max_pool_pad_treats_border_as_zero() {
+        let input = Dense::from_vec(vec![1, 1, 1].into(), vec![-2.0]);
+        let out = max_pool(&input, 3, 1, 1);
+        // Window is mostly padding (0) vs -2: max is 0.
+        assert_eq!(out.data(), &[0.0]);
+    }
+
+    #[test]
+    fn gap_averages() {
+        let input = Dense::from_vec(vec![2, 2, 1].into(), vec![1.0, 2.0, 3.0, 6.0]);
+        assert_eq!(global_avg_pool(&input).data(), &[3.0]);
+    }
+
+    #[test]
+    fn bn_relu_scales_biases_clamps() {
+        let acts = Dense::from_vec(vec![1, 1, 2].into(), vec![2.0, -1.0]);
+        let out = bn_relu(&acts, &[2.0, 3.0], &[1.0, 1.0]);
+        assert_eq!(out.data(), &[5.0, 0.0]);
+    }
+
+    #[test]
+    fn add_sums_elementwise() {
+        let a = Dense::from_vec(vec![2].into(), vec![1.0, 2.0]);
+        let b = Dense::from_vec(vec![2].into(), vec![10.0, 20.0]);
+        assert_eq!(add(&a, &b).data(), &[11.0, 22.0]);
+    }
+}

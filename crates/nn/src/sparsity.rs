@@ -1,0 +1,247 @@
+//! Sparsity profiles: assigning weight and activation densities to layers.
+//!
+//! The paper's workloads (Sec. V) come from trained checkpoints: STR
+//! pruning for ResNet-50/MobileNetV1 and magnitude pruning for
+//! VGG-16/GoogLeNet, with activation sparsity induced by ReLU on ImageNet
+//! inputs (Fig. 4: 20-80% sparse, weights ~90% sparse). This module
+//! substitutes seeded statistical profiles with the same shape (DESIGN.md
+//! §4): per-layer activation densities in the Fig. 4 band, trending sparser
+//! with depth, and per-layer weight densities that either match a uniform
+//! target or vary with layer size like STR.
+
+use crate::graph::Network;
+use crate::layer::LayerKind;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How weights are pruned across layers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WeightProfile {
+    /// Every weighted layer pruned to the same sparsity.
+    Uniform {
+        /// Fraction of weights that are zero.
+        sparsity: f64,
+    },
+    /// STR-like non-uniform pruning: larger layers are pruned harder,
+    /// calibrated so the *network-wide* sparsity matches `sparsity`.
+    StrLike {
+        /// Network-wide fraction of weights that are zero.
+        sparsity: f64,
+    },
+}
+
+/// Assigns per-layer weight densities according to `profile`.
+///
+/// # Panics
+///
+/// Panics if the target sparsity is not in `[0, 1)`.
+pub fn apply_weight_profile(net: &mut Network, profile: WeightProfile) {
+    let (target, nonuniform) = match profile {
+        WeightProfile::Uniform { sparsity } => (sparsity, false),
+        WeightProfile::StrLike { sparsity } => (sparsity, true),
+    };
+    assert!((0.0..1.0).contains(&target), "sparsity must be in [0, 1)");
+    let ids: Vec<usize> = (0..net.len())
+        .filter(|&i| net.layer(i).kind.has_weights())
+        .collect();
+    if ids.is_empty() {
+        return;
+    }
+    if !nonuniform {
+        for &i in &ids {
+            net.layer_mut(i).weight_density = 1.0 - target;
+        }
+        return;
+    }
+    // STR-like: density_l ∝ (median_size / size_l)^alpha, rescaled so the
+    // weighted mean density hits the target, then clamped.
+    const ALPHA: f64 = 0.25;
+    let sizes: Vec<f64> = ids
+        .iter()
+        .map(|&i| net.layer(i).dense_weights() as f64)
+        .collect();
+    let total: f64 = sizes.iter().sum();
+    let mut sorted = sizes.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = sorted[sorted.len() / 2].max(1.0);
+    let raw: Vec<f64> = sizes
+        .iter()
+        .map(|&s| (median / s.max(1.0)).powf(ALPHA))
+        .collect();
+    let raw_weighted: f64 = raw.iter().zip(&sizes).map(|(r, s)| r * s).sum();
+    let scale = (1.0 - target) * total / raw_weighted;
+    // STR keeps small layers denser than large ones, but never leaves a
+    // layer near-dense: cap at 2.5x the global density so MAC-heavy early
+    // layers (tiny weights, huge activations) still prune meaningfully.
+    let cap = (2.5 * (1.0 - target)).min(1.0);
+    for (&i, r) in ids.iter().zip(&raw) {
+        net.layer_mut(i).weight_density = (r * scale).clamp(0.005, cap);
+    }
+}
+
+/// Assigns activation densities through the network.
+///
+/// The network input is dense (an image). Each weighted layer's post-ReLU
+/// output density is drawn from the Fig. 4 band `[0.2, 0.8]`, trending
+/// sparser with depth; pooling and add layers derive their densities from
+/// their inputs. Each layer's input density is its producer's output
+/// density.
+pub fn apply_activation_profile(net: &mut Network, seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x0001_505C_E1E5);
+    let n = net.len().max(1) as f64;
+    for id in 0..net.len() {
+        // Input density = producer's output density (max over producers for
+        // multi-input nodes; densities are then combined per-kind below).
+        let in_density = {
+            let inputs = net.nodes()[id].inputs.clone();
+            if inputs.is_empty() {
+                1.0
+            } else {
+                inputs
+                    .iter()
+                    .map(|&p| net.layer(p).out_act_density)
+                    .fold(0.0, f64::max)
+            }
+        };
+        let depth_frac = id as f64 / n;
+        let layer = net.layer_mut(id);
+        layer.in_act_density = in_density;
+        layer.out_act_density = match layer.kind {
+            LayerKind::Conv { .. } | LayerKind::DwConv { .. } => {
+                // Post-BN+ReLU density: denser early, sparser deep, with
+                // per-layer noise (Fig. 4 scatter).
+                let base = 0.65 - 0.35 * depth_frac;
+                (base + rng.gen_range(-0.10..0.10)).clamp(0.2, 0.8)
+            }
+            LayerKind::MaxPool { .. } => {
+                // Output nonzero iff any window element is nonzero; zeros
+                // cluster spatially in real activations, so pooling
+                // densifies but far less than independence would predict.
+                (in_density * 1.6).clamp(0.2, 0.95)
+            }
+            LayerKind::GlobalAvgPool => 1.0,
+            LayerKind::Add => {
+                // Union of two branches, then ReLU trims a little.
+                let d2 = in_density; // branches have similar densities
+                ((in_density + d2 - in_density * d2) * 0.9).clamp(0.2, 1.0)
+            }
+            LayerKind::FullyConnected => {
+                // Final FC emits dense logits; hidden FCs are ReLU'd.
+                0.95
+            }
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{ActShape, Layer};
+
+    fn chain(n: usize) -> Network {
+        let mut net = Network::new("chain");
+        let mut prev: Option<usize> = None;
+        for i in 0..n {
+            let l = Layer::new(
+                &format!("c{i}"),
+                LayerKind::Conv {
+                    r: 3,
+                    s: 3,
+                    stride: 1,
+                    pad: 1,
+                },
+                ActShape::new(16, 16, 8),
+                8,
+            );
+            let inputs: Vec<usize> = prev.into_iter().collect();
+            prev = Some(net.add(l, &inputs));
+        }
+        net
+    }
+
+    #[test]
+    fn uniform_profile_sets_every_layer() {
+        let mut net = chain(5);
+        apply_weight_profile(&mut net, WeightProfile::Uniform { sparsity: 0.9 });
+        for node in net.nodes() {
+            assert!((node.layer.weight_density - 0.1).abs() < 1e-12);
+        }
+        assert!((net.weight_sparsity() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn str_like_hits_global_target() {
+        let mut net = Network::new("mix");
+        // One small and one large layer.
+        let a = net.add(
+            Layer::new(
+                "small",
+                LayerKind::Conv {
+                    r: 1,
+                    s: 1,
+                    stride: 1,
+                    pad: 0,
+                },
+                ActShape::new(16, 16, 8),
+                8,
+            ),
+            &[],
+        );
+        net.add(
+            Layer::new(
+                "large",
+                LayerKind::Conv {
+                    r: 3,
+                    s: 3,
+                    stride: 1,
+                    pad: 1,
+                },
+                ActShape::new(16, 16, 8),
+                512,
+            ),
+            &[a],
+        );
+        apply_weight_profile(&mut net, WeightProfile::StrLike { sparsity: 0.95 });
+        assert!(
+            (net.weight_sparsity() - 0.95).abs() < 0.01,
+            "global {}",
+            net.weight_sparsity()
+        );
+        // Larger layer must be sparser.
+        assert!(net.layer(1).weight_density < net.layer(0).weight_density);
+    }
+
+    #[test]
+    fn activation_profile_is_in_fig4_band_and_flows() {
+        let mut net = chain(10);
+        apply_activation_profile(&mut net, 42);
+        assert_eq!(net.layer(0).in_act_density, 1.0, "image input is dense");
+        for id in 1..net.len() {
+            let prev_out = net.layer(id - 1).out_act_density;
+            assert_eq!(net.layer(id).in_act_density, prev_out);
+            let d = net.layer(id).out_act_density;
+            assert!((0.2..=0.8).contains(&d), "density {d} outside Fig. 4 band");
+        }
+    }
+
+    #[test]
+    fn activation_profile_is_deterministic() {
+        let mut a = chain(6);
+        let mut b = chain(6);
+        apply_activation_profile(&mut a, 7);
+        apply_activation_profile(&mut b, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deeper_layers_trend_sparser() {
+        let mut net = chain(30);
+        apply_activation_profile(&mut net, 1);
+        let early: f64 = (0..5).map(|i| net.layer(i).out_act_density).sum::<f64>() / 5.0;
+        let late: f64 = (25..30).map(|i| net.layer(i).out_act_density).sum::<f64>() / 5.0;
+        assert!(
+            early > late,
+            "early {early} should be denser than late {late}"
+        );
+    }
+}

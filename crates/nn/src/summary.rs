@@ -1,0 +1,151 @@
+//! Per-layer network summaries: the numbers an accelerator architect reads
+//! first (shapes, MACs, footprints, arithmetic intensity), renderable as a
+//! text table.
+
+use crate::graph::Network;
+use serde::{Deserialize, Serialize};
+
+/// One layer's summary row.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LayerSummary {
+    /// Layer name.
+    pub name: String,
+    /// Output shape as `PxQxK`.
+    pub out_shape: String,
+    /// Dense MACs.
+    pub dense_macs: f64,
+    /// Expected effectual MACs.
+    pub effectual_macs: f64,
+    /// Compressed weight bytes.
+    pub weight_bytes: f64,
+    /// Compressed input + output activation bytes.
+    pub act_bytes: f64,
+    /// Ops (2 per MAC) per compulsory byte — the arithmetic intensity the
+    /// paper's intro argues collapses under sparsity.
+    pub intensity: f64,
+}
+
+/// Whole-network summary.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSummary {
+    /// Network name.
+    pub name: String,
+    /// Per-layer rows, topological.
+    pub layers: Vec<LayerSummary>,
+}
+
+impl NetworkSummary {
+    /// Builds the summary of `net` (sparse/compressed accounting).
+    pub fn of(net: &Network) -> Self {
+        let layers = net
+            .nodes()
+            .iter()
+            .map(|n| {
+                let l = &n.layer;
+                let weight_bytes = l.weight_csf_bytes();
+                let act_bytes = l.in_act_csf_bytes() + l.out_act_csf_bytes();
+                let total_bytes = (weight_bytes + act_bytes).max(1.0);
+                LayerSummary {
+                    name: l.name.clone(),
+                    out_shape: format!("{}x{}x{}", l.output.h, l.output.w, l.output.c),
+                    dense_macs: l.dense_macs(),
+                    effectual_macs: l.effectual_macs(),
+                    weight_bytes,
+                    act_bytes,
+                    intensity: 2.0 * l.effectual_macs() / total_bytes,
+                }
+            })
+            .collect();
+        Self {
+            name: net.name.clone(),
+            layers,
+        }
+    }
+
+    /// Network-wide arithmetic intensity (ops per compulsory byte).
+    pub fn intensity(&self) -> f64 {
+        let macs: f64 = self.layers.iter().map(|l| l.effectual_macs).sum();
+        let bytes: f64 = self
+            .layers
+            .iter()
+            .map(|l| l.weight_bytes + l.act_bytes)
+            .sum();
+        2.0 * macs / bytes.max(1.0)
+    }
+
+    /// The `n` layers with the most effectual work.
+    pub fn hottest(&self, n: usize) -> Vec<&LayerSummary> {
+        let mut refs: Vec<&LayerSummary> = self.layers.iter().collect();
+        refs.sort_by(|a, b| b.effectual_macs.partial_cmp(&a.effectual_macs).unwrap());
+        refs.truncate(n);
+        refs
+    }
+
+    /// Renders a fixed-width text table.
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "{:<24} {:>12} {:>10} {:>10} {:>9} {:>9} {:>8}\n",
+            "layer", "out", "MMACs", "eff MMACs", "w KB", "act KB", "ops/B"
+        );
+        for l in &self.layers {
+            out.push_str(&format!(
+                "{:<24} {:>12} {:>10.1} {:>10.1} {:>9.1} {:>9.1} {:>8.1}\n",
+                l.name,
+                l.out_shape,
+                l.dense_macs / 1e6,
+                l.effectual_macs / 1e6,
+                l.weight_bytes / 1e3,
+                l.act_bytes / 1e3,
+                l.intensity
+            ));
+        }
+        out.push_str(&format!(
+            "network arithmetic intensity: {:.1} ops/byte\n",
+            self.intensity()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{mobilenet_v1, resnet50};
+
+    #[test]
+    fn summary_covers_every_layer() {
+        let net = resnet50(0.96, 1);
+        let s = NetworkSummary::of(&net);
+        assert_eq!(s.layers.len(), net.len());
+        assert!(s.intensity() > 0.0);
+    }
+
+    #[test]
+    fn sparsity_collapses_intensity() {
+        // The paper's intro: sparsification slashes ops/byte.
+        let dense = NetworkSummary::of(&resnet50(0.0, 1)).intensity();
+        let sparse = NetworkSummary::of(&resnet50(0.90, 1)).intensity();
+        assert!(
+            dense > 3.0 * sparse,
+            "dense {dense:.1} vs sparse {sparse:.1} ops/byte"
+        );
+    }
+
+    #[test]
+    fn hottest_returns_heaviest_layers_sorted() {
+        let s = NetworkSummary::of(&mobilenet_v1(0.75, 1));
+        let hot = s.hottest(5);
+        assert_eq!(hot.len(), 5);
+        assert!(hot
+            .windows(2)
+            .all(|w| w[0].effectual_macs >= w[1].effectual_macs));
+    }
+
+    #[test]
+    fn table_renders_one_line_per_layer() {
+        let net = mobilenet_v1(0.75, 1);
+        let table = NetworkSummary::of(&net).to_table();
+        assert_eq!(table.lines().count(), net.len() + 2);
+        assert!(table.contains("block13.pw"));
+    }
+}

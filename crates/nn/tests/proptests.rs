@@ -1,0 +1,182 @@
+//! Property-based tests for the CNN substrate: shape arithmetic, sparsity
+//! profiles, pruning, and work-profile conservation.
+
+use isos_nn::graph::Network;
+use isos_nn::layer::{ActShape, Layer, LayerKind};
+use isos_nn::pruning::magnitude_prune;
+use isos_nn::sparsity::{apply_activation_profile, apply_weight_profile, WeightProfile};
+use isos_nn::work::layer_work;
+use isos_tensor::gen::random_dense;
+use proptest::prelude::*;
+
+fn random_chain(dims: (usize, usize, usize), kinds: Vec<u8>) -> Network {
+    let (h, w, c) = dims;
+    let mut net = Network::new("prop-chain");
+    let mut prev: Option<usize> = None;
+    let mut shape = ActShape::new(h.max(4), w.max(4), c.max(1));
+    for (i, kind) in kinds.into_iter().enumerate() {
+        let layer_kind = match kind % 4 {
+            0 => LayerKind::Conv {
+                r: 3,
+                s: 3,
+                stride: 1,
+                pad: 1,
+            },
+            1 => LayerKind::Conv {
+                r: 1,
+                s: 1,
+                stride: 1,
+                pad: 0,
+            },
+            2 => LayerKind::DwConv {
+                r: 3,
+                s: 3,
+                stride: 1,
+                pad: 1,
+            },
+            _ => LayerKind::MaxPool {
+                size: 2,
+                stride: 2,
+                pad: 0,
+            },
+        };
+        if matches!(layer_kind, LayerKind::MaxPool { .. }) && (shape.h < 2 || shape.w < 2) {
+            continue;
+        }
+        let layer = Layer::new(&format!("l{i}"), layer_kind, shape, 8);
+        shape = layer.output;
+        let inputs: Vec<usize> = prev.into_iter().collect();
+        prev = Some(net.add(layer, &inputs));
+    }
+    net
+}
+
+proptest! {
+    #[test]
+    fn conv_shape_arithmetic_matches_reference_executor(
+        h in 3usize..12,
+        w in 3usize..12,
+        c in 1usize..4,
+        k in 1usize..6,
+        r in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+    ) {
+        prop_assume!(h + 2 * pad >= r && w + 2 * pad >= r);
+        let layer = Layer::new(
+            "c",
+            LayerKind::Conv { r, s: r, stride, pad },
+            ActShape::new(h, w, c),
+            k,
+        );
+        // The descriptor's output shape must equal the executor's.
+        let input = random_dense(vec![h, w, c].into(), 1.0, 1);
+        let filter = random_dense(vec![c, r, k, r].into(), 1.0, 2);
+        let out = isos_nn::reference::conv2d(&input, &filter, stride, pad);
+        prop_assert_eq!(
+            out.shape().dims(),
+            &[layer.output.h, layer.output.w, layer.output.c]
+        );
+    }
+
+    #[test]
+    fn chains_always_validate(
+        dims in (4usize..16, 4usize..16, 1usize..8),
+        kinds in prop::collection::vec(0u8..4, 1..8),
+    ) {
+        let net = random_chain(dims, kinds);
+        prop_assert!(net.validate().is_ok(), "{:?}", net.validate());
+    }
+
+    #[test]
+    fn uniform_profile_hits_any_target(
+        dims in (8usize..16, 8usize..16, 2usize..6),
+        kinds in prop::collection::vec(0u8..3, 2..6),
+        sparsity in 0.0f64..0.99,
+    ) {
+        let mut net = random_chain(dims, kinds);
+        prop_assume!(net.total_dense_weights() > 0);
+        apply_weight_profile(&mut net, WeightProfile::Uniform { sparsity });
+        prop_assert!((net.weight_sparsity() - sparsity).abs() < 1e-9);
+    }
+
+    #[test]
+    fn str_profile_is_close_to_target_and_bounded(
+        sparsity in 0.5f64..0.995,
+        seed in 0u64..100,
+    ) {
+        let mut net = isos_nn::models::resnet50(0.0, seed);
+        apply_weight_profile(&mut net, WeightProfile::StrLike { sparsity });
+        // Global target within 3 points even with per-layer caps.
+        prop_assert!((net.weight_sparsity() - sparsity).abs() < 0.03);
+        for node in net.nodes() {
+            if node.layer.kind.has_weights() {
+                prop_assert!((0.005..=1.0).contains(&node.layer.weight_density));
+            }
+        }
+    }
+
+    #[test]
+    fn activation_profile_flows_and_stays_in_band(
+        dims in (8usize..16, 8usize..16, 2usize..6),
+        kinds in prop::collection::vec(0u8..3, 2..8),
+        seed in 0u64..1000,
+    ) {
+        let mut net = random_chain(dims, kinds);
+        apply_activation_profile(&mut net, seed);
+        for id in 0..net.len() {
+            let l = net.layer(id);
+            prop_assert!((0.0..=1.0).contains(&l.in_act_density));
+            prop_assert!((0.0..=1.0).contains(&l.out_act_density));
+            for &p in &net.nodes()[id].inputs {
+                prop_assert!(net.layer(p).out_act_density >= l.in_act_density - 1e-9
+                    || net.nodes()[id].inputs.len() > 1);
+            }
+        }
+    }
+
+    #[test]
+    fn work_profile_conserves_totals(
+        h in 4usize..20,
+        w in 4usize..20,
+        c in 1usize..8,
+        k in 1usize..8,
+        dw in 0.05f64..1.0,
+        da in 0.05f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let layer = Layer::new(
+            "c",
+            LayerKind::Conv { r: 3, s: 3, stride: 1, pad: 1 },
+            ActShape::new(h, w, c),
+            k,
+        )
+        .with_weight_density(dw)
+        .with_act_density(da, da);
+        let work = layer_work(&layer, seed);
+        let expect = layer.effectual_macs();
+        prop_assert!((work.total_macs() - expect).abs() <= 1e-6 * expect.max(1.0));
+        prop_assert!(work.macs_per_col.iter().all(|&m| m >= 0.0));
+        prop_assert_eq!(work.macs_per_col.len(), layer.output.w);
+        // Wavefront dependency is monotone and bounded.
+        let mut last = 0;
+        for q in 0..work.out_cols {
+            let need = work.input_cols_for_output(q);
+            prop_assert!(need >= last && need <= work.in_cols);
+            last = need;
+        }
+    }
+
+    #[test]
+    fn magnitude_prune_reaches_any_target(
+        n in 1usize..200,
+        target in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let mut t = random_dense(vec![n].into(), 1.0, seed);
+        magnitude_prune(&mut t, target);
+        let zeros = n - t.nnz();
+        let expect = (n as f64 * target).round() as usize;
+        prop_assert!(zeros >= expect, "zeros {zeros} < target {expect}");
+    }
+}

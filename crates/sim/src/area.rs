@@ -1,0 +1,198 @@
+//! Area model (paper Table II).
+//!
+//! The paper synthesizes ISOSceles's RTL in 45 nm (FreePDK) at 1 GHz and
+//! reports the per-component breakdown of Table II. We reproduce that table
+//! with an analytic model anchored to the paper's own numbers, with each
+//! component scaled by its architectural parameter so the ablation benches
+//! can sweep lane count, MACs per lane, and buffer sizes.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-component area constants at 45 nm, in mm², anchored to Table II.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AreaParams {
+    /// One 8-bit MAC unit with its accumulator (Table II: 64 MACs =
+    /// 0.069 mm²).
+    pub mac_mm2: f64,
+    /// One radix-256 throughput-1 merger (Table II: 16 mergers =
+    /// 0.060 mm²).
+    pub merger_mm2: f64,
+    /// Lane-local SRAM per KB (Table II: 16 KB of context + queues =
+    /// 0.121 mm²).
+    pub lane_sram_mm2_per_kb: f64,
+    /// One per-lane fetcher FSM.
+    pub fetcher_mm2: f64,
+    /// One per-lane crossbar port.
+    pub crossbar_mm2: f64,
+    /// Per-lane miscellaneous (POU, control).
+    pub others_mm2: f64,
+    /// Shared filter buffer per KB (Table II: 1 MB = 7.5 mm²).
+    pub shared_sram_mm2_per_kb: f64,
+    /// Linear scaling factor from 45 nm to 16 nm (paper: 26.0 → 4.7 mm²).
+    pub scale_to_16nm: f64,
+}
+
+impl Default for AreaParams {
+    fn default() -> Self {
+        Self {
+            mac_mm2: 0.069 / 64.0,
+            merger_mm2: 0.060 / 16.0,
+            lane_sram_mm2_per_kb: 0.121 / 16.0,
+            fetcher_mm2: 0.010,
+            crossbar_mm2: 0.021,
+            others_mm2: 0.007,
+            shared_sram_mm2_per_kb: 7.5 / 1024.0,
+            scale_to_16nm: 4.7 / 26.0,
+        }
+    }
+}
+
+/// Architectural knobs that determine area.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AreaConfig {
+    /// Number of frontend/backend lane pairs.
+    pub lanes: u32,
+    /// MAC units per lane.
+    pub macs_per_lane: u32,
+    /// Mergers per lane.
+    pub mergers_per_lane: u32,
+    /// Lane-local SRAM (context arrays + queues) per lane, in KB.
+    pub lane_sram_kb: u32,
+    /// Shared filter buffer size, in KB.
+    pub filter_buffer_kb: u32,
+}
+
+impl AreaConfig {
+    /// The paper's ISOSceles configuration (Tables I and II).
+    pub fn isosceles_default() -> Self {
+        Self {
+            lanes: 64,
+            macs_per_lane: 64,
+            mergers_per_lane: 16,
+            lane_sram_kb: 16,
+            filter_buffer_kb: 1024,
+        }
+    }
+}
+
+/// Area broken down per component, in mm² at 45 nm.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AreaBreakdown {
+    /// MAC units, all lanes.
+    pub macs_mm2: f64,
+    /// Mergers, all lanes.
+    pub mergers_mm2: f64,
+    /// Lane-local SRAM, all lanes.
+    pub lane_buffers_mm2: f64,
+    /// Fetchers, all lanes.
+    pub fetchers_mm2: f64,
+    /// Crossbar ports, all lanes.
+    pub crossbar_mm2: f64,
+    /// Per-lane miscellaneous, all lanes.
+    pub others_mm2: f64,
+    /// Shared filter buffer.
+    pub filter_buffer_mm2: f64,
+}
+
+impl AreaBreakdown {
+    /// Area of a single lane (Table II right column).
+    pub fn per_lane_mm2(&self, lanes: u32) -> f64 {
+        (self.macs_mm2
+            + self.mergers_mm2
+            + self.lane_buffers_mm2
+            + self.fetchers_mm2
+            + self.crossbar_mm2
+            + self.others_mm2)
+            / lanes as f64
+    }
+
+    /// All lanes, excluding the shared filter buffer.
+    pub fn lanes_mm2(&self) -> f64 {
+        self.macs_mm2
+            + self.mergers_mm2
+            + self.lane_buffers_mm2
+            + self.fetchers_mm2
+            + self.crossbar_mm2
+            + self.others_mm2
+    }
+
+    /// Total accelerator area at 45 nm.
+    pub fn total_mm2(&self) -> f64 {
+        self.lanes_mm2() + self.filter_buffer_mm2
+    }
+}
+
+/// Computes the area breakdown for a configuration.
+pub fn area_of(config: &AreaConfig, params: &AreaParams) -> AreaBreakdown {
+    let lanes = config.lanes as f64;
+    AreaBreakdown {
+        macs_mm2: lanes * config.macs_per_lane as f64 * params.mac_mm2,
+        mergers_mm2: lanes * config.mergers_per_lane as f64 * params.merger_mm2,
+        lane_buffers_mm2: lanes * config.lane_sram_kb as f64 * params.lane_sram_mm2_per_kb,
+        fetchers_mm2: lanes * params.fetcher_mm2,
+        crossbar_mm2: lanes * params.crossbar_mm2,
+        others_mm2: lanes * params.others_mm2,
+        filter_buffer_mm2: config.filter_buffer_kb as f64 * params.shared_sram_mm2_per_kb,
+    }
+}
+
+/// Rough area of a SparTen-class accelerator with the same MAC count but
+/// 5 MB of on-chip buffers (Table III), for the "less area" comparison.
+pub fn sparten_area_mm2(params: &AreaParams) -> f64 {
+    let macs = 4096.0 * params.mac_mm2;
+    let buffers = 5.0 * 1024.0 * params.shared_sram_mm2_per_kb;
+    // Prefix-sum/intersection logic in SparTen PEs is charged like the
+    // merger+crossbar budget of an ISOSceles lane.
+    let logic = 64.0 * (params.merger_mm2 * 16.0 + params.crossbar_mm2 + params.others_mm2);
+    macs + buffers + logic
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_reproduces_table2() {
+        let a = area_of(&AreaConfig::isosceles_default(), &AreaParams::default());
+        // Table II: lanes 18.4, filter buffer 7.5, total 26.0 mm².
+        assert!(
+            (a.lanes_mm2() - 18.4).abs() < 0.1,
+            "lanes {}",
+            a.lanes_mm2()
+        );
+        assert!((a.filter_buffer_mm2 - 7.5).abs() < 0.01);
+        assert!(
+            (a.total_mm2() - 26.0).abs() < 0.2,
+            "total {}",
+            a.total_mm2()
+        );
+        // Per-lane 0.288 mm².
+        assert!((a.per_lane_mm2(64) - 0.288).abs() < 0.01);
+    }
+
+    #[test]
+    fn scaled_to_16nm_matches_paper() {
+        let p = AreaParams::default();
+        let a = area_of(&AreaConfig::isosceles_default(), &p);
+        let scaled = a.total_mm2() * p.scale_to_16nm;
+        assert!((scaled - 4.7).abs() < 0.1, "16nm area {scaled}");
+    }
+
+    #[test]
+    fn sparten_uses_more_area() {
+        let p = AreaParams::default();
+        let isos = area_of(&AreaConfig::isosceles_default(), &p).total_mm2();
+        assert!(sparten_area_mm2(&p) > isos, "SparTen should be larger");
+    }
+
+    #[test]
+    fn area_scales_with_lanes() {
+        let p = AreaParams::default();
+        let mut cfg = AreaConfig::isosceles_default();
+        let base = area_of(&cfg, &p);
+        cfg.lanes = 128;
+        let big = area_of(&cfg, &p);
+        assert!((big.lanes_mm2() - 2.0 * base.lanes_mm2()).abs() < 1e-9);
+        assert_eq!(big.filter_buffer_mm2, base.filter_buffer_mm2);
+    }
+}

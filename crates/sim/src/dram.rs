@@ -1,0 +1,175 @@
+//! Off-chip memory (HBM) bandwidth model.
+//!
+//! ISOSceles and both baselines attach to a 128 GB/s HBM interface (paper
+//! Table I/III). At 1 GHz that is 128 bytes per cycle. The model is
+//! bandwidth-oriented: per scheduling interval, requesters post read/write
+//! demand in bytes and the DRAM grants up to its capacity, proportionally
+//! when oversubscribed. Latency is assumed hidden by the decoupling queues
+//! (paper Sec. IV-A, "fetchers ... are decoupled from the main execution
+//! pipeline using queues"), which matches the paper's memory-bound /
+//! compute-bound analysis.
+
+use crate::stats::Utilization;
+use serde::{Deserialize, Serialize};
+
+/// Traffic totals accumulated by a [`Dram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DramTraffic {
+    /// Bytes read from DRAM.
+    pub read_bytes: f64,
+    /// Bytes written to DRAM.
+    pub write_bytes: f64,
+}
+
+impl DramTraffic {
+    /// Total bytes moved in either direction.
+    pub fn total(&self) -> f64 {
+        self.read_bytes + self.write_bytes
+    }
+}
+
+/// A bandwidth-modeled DRAM interface.
+///
+/// # Examples
+///
+/// ```
+/// use isos_sim::dram::Dram;
+/// let mut dram = Dram::new(128.0); // 128 B/cycle = 128 GB/s at 1 GHz
+/// // One 100-cycle interval with 6400 B demanded reads, 12800 B capacity:
+/// let granted = dram.grant(6400.0, 0.0, 100);
+/// assert_eq!(granted.0, 6400.0);
+/// assert!((dram.utilization().ratio() - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Dram {
+    bytes_per_cycle: f64,
+    traffic: DramTraffic,
+    utilization: Utilization,
+}
+
+impl Dram {
+    /// Creates a DRAM with the given peak bandwidth in bytes per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_cycle` is not positive.
+    pub fn new(bytes_per_cycle: f64) -> Self {
+        assert!(bytes_per_cycle > 0.0, "bandwidth must be positive");
+        Self {
+            bytes_per_cycle,
+            traffic: DramTraffic::default(),
+            utilization: Utilization::new(),
+        }
+    }
+
+    /// Peak bandwidth in bytes per cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.bytes_per_cycle
+    }
+
+    /// Maximum bytes transferable in `cycles`.
+    pub fn capacity(&self, cycles: u64) -> f64 {
+        self.bytes_per_cycle * cycles as f64
+    }
+
+    /// Posts `read`/`write` byte demand for one interval of `cycles` and
+    /// returns `(granted_read, granted_write)`.
+    ///
+    /// When demand exceeds capacity, reads and writes are scaled down
+    /// proportionally (fair arbitration across directions).
+    pub fn grant(&mut self, read: f64, write: f64, cycles: u64) -> (f64, f64) {
+        let capacity = self.capacity(cycles);
+        let demand = read + write;
+        let scale = if demand > capacity && demand > 0.0 {
+            capacity / demand
+        } else {
+            1.0
+        };
+        let gr = read * scale;
+        let gw = write * scale;
+        self.traffic.read_bytes += gr;
+        self.traffic.write_bytes += gw;
+        let busy = ((gr + gw) / self.bytes_per_cycle).min(cycles as f64);
+        self.utilization.add(busy, cycles);
+        (gr, gw)
+    }
+
+    /// Records elapsed cycles with no transfers (keeps utilization honest
+    /// during compute-bound phases).
+    pub fn idle(&mut self, cycles: u64) {
+        self.utilization.add(0.0, cycles);
+    }
+
+    /// Total traffic so far.
+    pub fn traffic(&self) -> DramTraffic {
+        self.traffic
+    }
+
+    /// Bandwidth utilization so far (paper Fig. 15).
+    pub fn utilization(&self) -> Utilization {
+        self.utilization
+    }
+}
+
+/// Splits `capacity` among `demands` proportionally, never granting more
+/// than demanded.
+///
+/// This is the arbitration the pipeline model uses when several layers or
+/// engines compete for the same interface in one interval.
+pub fn arbitrate(demands: &[f64], capacity: f64) -> Vec<f64> {
+    let total: f64 = demands.iter().sum();
+    if total <= capacity || total == 0.0 {
+        return demands.to_vec();
+    }
+    let scale = capacity / total;
+    demands.iter().map(|d| d * scale).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_under_capacity_is_full() {
+        let mut d = Dram::new(128.0);
+        let (r, w) = d.grant(1000.0, 500.0, 100);
+        assert_eq!((r, w), (1000.0, 500.0));
+        assert_eq!(d.traffic().total(), 1500.0);
+    }
+
+    #[test]
+    fn grant_over_capacity_scales_proportionally() {
+        let mut d = Dram::new(10.0);
+        // Capacity 1000; demand 3000 read + 1000 write.
+        let (r, w) = d.grant(3000.0, 1000.0, 100);
+        assert!((r - 750.0).abs() < 1e-9);
+        assert!((w - 250.0).abs() < 1e-9);
+        assert_eq!(d.utilization().ratio(), 1.0);
+    }
+
+    #[test]
+    fn utilization_tracks_idle_intervals() {
+        let mut d = Dram::new(10.0);
+        d.grant(500.0, 0.0, 100);
+        d.idle(100);
+        assert!((d.utilization().ratio() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arbitrate_fair_share() {
+        let grants = arbitrate(&[300.0, 100.0], 200.0);
+        assert!((grants[0] - 150.0).abs() < 1e-9);
+        assert!((grants[1] - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arbitrate_no_demand() {
+        assert_eq!(arbitrate(&[0.0, 0.0], 100.0), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn arbitrate_never_overgrants() {
+        let grants = arbitrate(&[10.0, 20.0], 1000.0);
+        assert_eq!(grants, vec![10.0, 20.0]);
+    }
+}

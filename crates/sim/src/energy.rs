@@ -1,0 +1,161 @@
+//! Energy model (paper Fig. 17).
+//!
+//! The paper reports energy per end-to-end inference from a 14/12 nm
+//! commercial flow, broken into DRAM / SRAM / compute / other. We substitute
+//! an analytic per-operation model with standard technology constants
+//! (DESIGN.md §4): what the figure demonstrates — DRAM energy dominates and
+//! grows relative to the rest as networks get sparser — depends on the
+//! *ratios* of these constants, which are well-established.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-operation energy constants, in picojoules.
+///
+/// Defaults approximate a 14/12 nm logic process with an HBM2 interface.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// DRAM transfer energy per byte (HBM2 ≈ 3.9 pJ/bit).
+    pub dram_pj_per_byte: f64,
+    /// Large shared SRAM (filter buffer) energy per byte accessed.
+    pub shared_sram_pj_per_byte: f64,
+    /// Small lane-local SRAM (context arrays, queues) energy per byte.
+    pub local_sram_pj_per_byte: f64,
+    /// One 8-bit multiply-accumulate.
+    pub mac_pj: f64,
+    /// Fraction of dynamic energy added for everything else (NoC, control,
+    /// mergers, clocking).
+    pub other_fraction: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self {
+            dram_pj_per_byte: 31.2,
+            // Wide-word arrays amortize decode/sense energy across 64-byte
+            // accesses, so the per-byte cost is well below a narrow SRAM's.
+            shared_sram_pj_per_byte: 0.45,
+            local_sram_pj_per_byte: 0.20,
+            mac_pj: 0.25,
+            other_fraction: 0.10,
+        }
+    }
+}
+
+/// Accumulated activity to be converted into energy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Activity {
+    /// Bytes moved over DRAM (both directions).
+    pub dram_bytes: f64,
+    /// Bytes accessed in the shared filter buffer.
+    pub shared_sram_bytes: f64,
+    /// Bytes accessed in lane-local SRAM (contexts, queues).
+    pub local_sram_bytes: f64,
+    /// Effectual multiply-accumulates performed.
+    pub macs: f64,
+}
+
+impl Activity {
+    /// Sums two activity records.
+    pub fn merge(&mut self, other: &Activity) {
+        self.dram_bytes += other.dram_bytes;
+        self.shared_sram_bytes += other.shared_sram_bytes;
+        self.local_sram_bytes += other.local_sram_bytes;
+        self.macs += other.macs;
+    }
+}
+
+/// Energy per inference broken down by component, in millijoules.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Off-chip DRAM transfer energy.
+    pub dram_mj: f64,
+    /// On-chip SRAM access energy (filter buffer + contexts + queues).
+    pub sram_mj: f64,
+    /// MAC array energy.
+    pub compute_mj: f64,
+    /// Everything else (NoC, mergers, control).
+    pub other_mj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.dram_mj + self.sram_mj + self.compute_mj + self.other_mj
+    }
+
+    /// DRAM fraction of the total.
+    pub fn dram_fraction(&self) -> f64 {
+        if self.total_mj() == 0.0 {
+            0.0
+        } else {
+            self.dram_mj / self.total_mj()
+        }
+    }
+}
+
+/// Converts accumulated [`Activity`] into an [`EnergyBreakdown`].
+pub fn energy_of(activity: &Activity, params: &EnergyParams) -> EnergyBreakdown {
+    const PJ_TO_MJ: f64 = 1e-9;
+    let dram = activity.dram_bytes * params.dram_pj_per_byte;
+    let sram = activity.shared_sram_bytes * params.shared_sram_pj_per_byte
+        + activity.local_sram_bytes * params.local_sram_pj_per_byte;
+    let compute = activity.macs * params.mac_pj;
+    let other = (sram + compute) * params.other_fraction;
+    EnergyBreakdown {
+        dram_mj: dram * PJ_TO_MJ,
+        sram_mj: sram * PJ_TO_MJ,
+        compute_mj: compute * PJ_TO_MJ,
+        other_mj: other * PJ_TO_MJ,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_scales_linearly_with_activity() {
+        let params = EnergyParams::default();
+        let a = Activity {
+            dram_bytes: 1e6,
+            shared_sram_bytes: 1e6,
+            local_sram_bytes: 1e6,
+            macs: 1e6,
+        };
+        let mut b = a;
+        b.merge(&a);
+        let ea = energy_of(&a, &params);
+        let eb = energy_of(&b, &params);
+        assert!((eb.total_mj() - 2.0 * ea.total_mj()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dram_dominates_traffic_heavy_inference() {
+        // ~10 MB traffic, ~100 M MACs: the sparse-CNN operating point.
+        let a = Activity {
+            dram_bytes: 10e6,
+            shared_sram_bytes: 50e6,
+            local_sram_bytes: 20e6,
+            macs: 100e6,
+        };
+        let e = energy_of(&a, &EnergyParams::default());
+        assert!(
+            e.dram_fraction() > 0.5,
+            "dram fraction {}",
+            e.dram_fraction()
+        );
+        // Per-image energy should land in the paper's 0.2-1.9 mJ band.
+        assert!(
+            e.total_mj() > 0.2 && e.total_mj() < 1.9,
+            "total {}",
+            e.total_mj()
+        );
+    }
+
+    #[test]
+    fn zero_activity_is_zero_energy() {
+        let e = energy_of(&Activity::default(), &EnergyParams::default());
+        assert_eq!(e.total_mj(), 0.0);
+        assert_eq!(e.dram_fraction(), 0.0);
+    }
+}

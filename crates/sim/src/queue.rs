@@ -1,0 +1,182 @@
+//! Bounded decoupling queues.
+//!
+//! Every producer/consumer pair in ISOSceles is decoupled by a FIFO queue
+//! to tolerate load imbalance and memory latency (paper Sec. IV-A). The
+//! functional dataflow uses [`BoundedQueue`] directly; the performance
+//! model uses its occupancy statistics to size the 8 KB queue budget per
+//! lane.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Occupancy and flow statistics for a queue.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueStats {
+    /// Elements enqueued.
+    pub pushes: u64,
+    /// Elements dequeued.
+    pub pops: u64,
+    /// Highest occupancy observed.
+    pub max_occupancy: usize,
+    /// Push attempts rejected because the queue was full.
+    pub full_rejections: u64,
+}
+
+/// A bounded FIFO with occupancy accounting.
+///
+/// # Examples
+///
+/// ```
+/// use isos_sim::queue::BoundedQueue;
+/// let mut q = BoundedQueue::new(2);
+/// assert!(q.try_push(1).is_ok());
+/// assert!(q.try_push(2).is_ok());
+/// assert!(q.try_push(3).is_err()); // full: backpressure
+/// assert_eq!(q.pop(), Some(1));
+/// assert_eq!(q.stats().max_occupancy, 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    stats: QueueStats,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            items: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Maximum number of elements.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the queue is full (pushes would be rejected).
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Remaining free slots.
+    pub fn free(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Attempts to enqueue `item`; returns it back on a full queue
+    /// (modeling backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` if the queue is full.
+    pub fn try_push(&mut self, item: T) -> Result<(), T> {
+        if self.is_full() {
+            self.stats.full_rejections += 1;
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.stats.pushes += 1;
+        self.stats.max_occupancy = self.stats.max_occupancy.max(self.items.len());
+        Ok(())
+    }
+
+    /// Dequeues the oldest element, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        let item = self.items.pop_front();
+        if item.is_some() {
+            self.stats.pops += 1;
+        }
+        item
+    }
+
+    /// Peeks at the oldest element without removing it.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Flow statistics.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    /// Drains all elements in FIFO order.
+    pub fn drain_all(&mut self) -> impl Iterator<Item = T> + '_ {
+        self.stats.pops += self.items.len() as u64;
+        self.items.drain(..)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        let out: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn backpressure_counts_rejections() {
+        let mut q = BoundedQueue::new(1);
+        q.try_push('a').unwrap();
+        assert_eq!(q.try_push('b'), Err('b'));
+        assert_eq!(q.try_push('c'), Err('c'));
+        assert_eq!(q.stats().full_rejections, 2);
+        assert!(q.is_full());
+        q.pop();
+        assert!(q.try_push('b').is_ok());
+    }
+
+    #[test]
+    fn stats_track_flow_and_peak() {
+        let mut q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.pop();
+        q.try_push(3).unwrap();
+        let s = q.stats();
+        assert_eq!(s.pushes, 3);
+        assert_eq!(s.pops, 1);
+        assert_eq!(s.max_occupancy, 2);
+    }
+
+    #[test]
+    fn drain_all_empties_queue() {
+        let mut q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.drain_all().collect::<Vec<_>>(), vec![1, 2]);
+        assert!(q.is_empty());
+        assert_eq!(q.stats().pops, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = BoundedQueue::<u8>::new(0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Bitmask sparse vectors (the SparTen representation).
+//!
+//! SparTen represents sparse weight and activation vectors as a dense
+//! bitmask plus packed nonzero values, and computes sparse dot products by
+//! ANDing bitmasks and prefix-summing to locate operand pairs (paper
+//! Sec. II-B). The SparTen baseline model uses this module both functionally
+//! and to count intersection work.
+
+use serde::{Deserialize, Serialize};
+
+/// A sparse vector stored as bitmask + packed values.
+///
+/// # Examples
+///
+/// ```
+/// use isos_tensor::bitmask::BitmaskVec;
+/// let v = BitmaskVec::from_dense(&[0.0, 2.0, 0.0, 3.0]);
+/// assert_eq!(v.nnz(), 2);
+/// assert_eq!(v.get(3), Some(3.0));
+/// assert_eq!(v.get(0), None);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BitmaskVec {
+    len: usize,
+    bits: Vec<u64>,
+    vals: Vec<f32>,
+}
+
+impl BitmaskVec {
+    /// Builds from a dense slice, keeping only nonzeros.
+    pub fn from_dense(dense: &[f32]) -> Self {
+        let mut bits = vec![0u64; dense.len().div_ceil(64)];
+        let mut vals = Vec::new();
+        for (i, &v) in dense.iter().enumerate() {
+            if v != 0.0 {
+                bits[i / 64] |= 1 << (i % 64);
+                vals.push(v);
+            }
+        }
+        Self {
+            len: dense.len(),
+            bits,
+            vals,
+        }
+    }
+
+    /// Builds from `(index, value)` pairs (any order, unique indices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range or duplicated.
+    pub fn from_pairs(len: usize, pairs: &[(usize, f32)]) -> Self {
+        let mut dense = vec![0.0; len];
+        for &(i, v) in pairs {
+            assert!(i < len, "index {i} out of range {len}");
+            assert_eq!(dense[i], 0.0, "duplicate index {i}");
+            dense[i] = v;
+        }
+        Self::from_dense(&dense)
+    }
+
+    /// Logical length (dense extent).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the logical length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of nonzero values stored.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// The value at `index`, or `None` if zero/absent.
+    pub fn get(&self, index: usize) -> Option<f32> {
+        if index >= self.len || self.bits[index / 64] & (1 << (index % 64)) == 0 {
+            return None;
+        }
+        Some(self.vals[self.rank_of(index)])
+    }
+
+    /// Footprint in bytes: one mask bit per logical element plus
+    /// `value_bytes` per nonzero (SparTen's storage model).
+    pub fn compressed_bytes(&self, value_bytes: usize) -> u64 {
+        (self.len as u64).div_ceil(8) + (self.nnz() * value_bytes) as u64
+    }
+
+    /// Sparse dot product via bitmask intersection.
+    ///
+    /// Returns `(dot, effectual_pairs)`: the result and the number of
+    /// multiply-accumulates actually performed (mask AND population count),
+    /// which is the work metric of a SparTen PE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dot(&self, other: &BitmaskVec) -> (f32, u64) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        let mut dot = 0.0;
+        let mut pairs = 0u64;
+        for (w, (&a, &b)) in self.bits.iter().zip(&other.bits).enumerate() {
+            let mut common = a & b;
+            pairs += common.count_ones() as u64;
+            while common != 0 {
+                let bit = common.trailing_zeros() as usize;
+                let idx = w * 64 + bit;
+                dot += self.vals[self.rank_of(idx)] * other.vals[other.rank_of(idx)];
+                common &= common - 1;
+            }
+        }
+        (dot, pairs)
+    }
+
+    /// Number of effectual pairs with `other` without computing values
+    /// (used for fast work estimation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn intersection_count(&self, other: &BitmaskVec) -> u64 {
+        assert_eq!(self.len, other.len, "length mismatch");
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .map(|(&a, &b)| (a & b).count_ones() as u64)
+            .sum()
+    }
+
+    /// Iterates `(index, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let mut word = 0usize;
+        let mut current = self.bits.first().copied().unwrap_or(0);
+        let mut vi = 0usize;
+        std::iter::from_fn(move || loop {
+            if current != 0 {
+                let bit = current.trailing_zeros() as usize;
+                current &= current - 1;
+                let v = self.vals[vi];
+                vi += 1;
+                return Some((word * 64 + bit, v));
+            }
+            word += 1;
+            if word >= self.bits.len() {
+                return None;
+            }
+            current = self.bits[word];
+        })
+    }
+
+    /// Number of set bits strictly below `index` (prefix-sum; the hardware
+    /// uses a popcount-based prefix circuit for the same job).
+    fn rank_of(&self, index: usize) -> usize {
+        let word = index / 64;
+        let mut rank = 0usize;
+        for &w in &self.bits[..word] {
+            rank += w.count_ones() as usize;
+        }
+        let mask = (1u64 << (index % 64)) - 1;
+        rank + (self.bits[word] & mask).count_ones() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_dense_roundtrips_through_get() {
+        let dense = [0.0, 1.0, 0.0, 0.0, 4.0, 5.0];
+        let v = BitmaskVec::from_dense(&dense);
+        for (i, &d) in dense.iter().enumerate() {
+            assert_eq!(v.get(i), (d != 0.0).then_some(d), "index {i}");
+        }
+    }
+
+    #[test]
+    fn dot_counts_effectual_pairs_only() {
+        let a = BitmaskVec::from_dense(&[1.0, 2.0, 0.0, 4.0]);
+        let b = BitmaskVec::from_dense(&[0.0, 3.0, 5.0, 2.0]);
+        let (dot, pairs) = a.dot(&b);
+        assert_eq!(dot, 2.0 * 3.0 + 4.0 * 2.0);
+        assert_eq!(pairs, 2);
+        assert_eq!(a.intersection_count(&b), 2);
+    }
+
+    #[test]
+    fn dot_across_word_boundaries() {
+        let mut x = vec![0.0; 130];
+        let mut y = vec![0.0; 130];
+        x[0] = 1.0;
+        x[64] = 2.0;
+        x[129] = 3.0;
+        y[64] = 4.0;
+        y[129] = 5.0;
+        let (dot, pairs) = BitmaskVec::from_dense(&x).dot(&BitmaskVec::from_dense(&y));
+        assert_eq!(dot, 8.0 + 15.0);
+        assert_eq!(pairs, 2);
+    }
+
+    #[test]
+    fn iter_yields_in_index_order() {
+        let v = BitmaskVec::from_pairs(200, &[(150, 1.5), (3, 0.3), (64, 6.4)]);
+        let got: Vec<_> = v.iter().collect();
+        assert_eq!(got, vec![(3, 0.3), (64, 6.4), (150, 1.5)]);
+    }
+
+    #[test]
+    fn compressed_bytes_mask_plus_values() {
+        let v = BitmaskVec::from_pairs(128, &[(0, 1.0), (100, 2.0)]);
+        assert_eq!(v.compressed_bytes(1), 16 + 2);
+    }
+
+    #[test]
+    fn empty_vector() {
+        let v = BitmaskVec::from_dense(&[]);
+        assert!(v.is_empty());
+        assert_eq!(v.nnz(), 0);
+        assert_eq!(v.iter().count(), 0);
+    }
+}

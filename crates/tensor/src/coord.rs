@@ -1,0 +1,314 @@
+//! Coordinates, points, and shapes for sparse and dense tensors.
+//!
+//! A tensor element is addressed by a [`Point`]: one [`Coord`] per rank, in
+//! rank order. Rank order is significant throughout this crate — CSF tensors
+//! ([`crate::Csf`]) can only be traversed concordantly, i.e. in the
+//! lexicographic order of their points.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A coordinate along a single tensor rank.
+///
+/// 32 bits comfortably covers every dimension in the CNNs the ISOSceles
+/// paper evaluates (the largest rank is an FC layer's 4096-wide channel
+/// dimension).
+pub type Coord = u32;
+
+/// Maximum number of ranks supported by [`Point`] without allocation.
+///
+/// The deepest tensor in the IS-OS dataflow is the 4-D filter `[C, R, K, S]`
+/// and the 4-D partial-result tensor `[H, R, K, Q]`; 6 leaves headroom for
+/// batched variants.
+pub const MAX_RANKS: usize = 6;
+
+/// A fixed-capacity point: one coordinate per rank.
+///
+/// Points order lexicographically in rank order, which is exactly the
+/// concordant traversal order of a CSF tensor with the same rank order.
+///
+/// # Examples
+///
+/// ```
+/// use isos_tensor::Point;
+/// let a = Point::from_slice(&[0, 3, 1]);
+/// let b = Point::from_slice(&[0, 3, 2]);
+/// assert!(a < b);
+/// assert_eq!(a[1], 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Point {
+    len: u8,
+    coords: [Coord; MAX_RANKS],
+}
+
+impl Point {
+    /// Creates a point from a slice of coordinates, one per rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords.len() > MAX_RANKS`.
+    pub fn from_slice(coords: &[Coord]) -> Self {
+        assert!(
+            coords.len() <= MAX_RANKS,
+            "point has {} ranks, max is {MAX_RANKS}",
+            coords.len()
+        );
+        let mut buf = [0; MAX_RANKS];
+        buf[..coords.len()].copy_from_slice(coords);
+        Self {
+            len: coords.len() as u8,
+            coords: buf,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn ndim(&self) -> usize {
+        self.len as usize
+    }
+
+    /// The coordinates as a slice, outermost rank first.
+    pub fn as_slice(&self) -> &[Coord] {
+        &self.coords[..self.len as usize]
+    }
+
+    /// Returns a new point with `coord` appended as a new innermost rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point already has [`MAX_RANKS`] ranks.
+    pub fn pushed(&self, coord: Coord) -> Self {
+        assert!((self.len as usize) < MAX_RANKS, "point is full");
+        let mut out = *self;
+        out.coords[out.len as usize] = coord;
+        out.len += 1;
+        out
+    }
+
+    /// Returns a new point with ranks permuted so that output rank `i` is
+    /// input rank `perm[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm.len() != self.ndim()` or `perm` contains an index out
+    /// of range.
+    pub fn permuted(&self, perm: &[usize]) -> Self {
+        assert_eq!(perm.len(), self.ndim(), "permutation rank mismatch");
+        let mut out = [0; MAX_RANKS];
+        for (i, &p) in perm.iter().enumerate() {
+            out[i] = self.coords[p];
+        }
+        Self {
+            len: self.len,
+            coords: out,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Point {
+    type Output = Coord;
+
+    fn index(&self, rank: usize) -> &Coord {
+        &self.as_slice()[rank]
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Point{:?}", self.as_slice())
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_slice())
+    }
+}
+
+impl From<&[Coord]> for Point {
+    fn from(coords: &[Coord]) -> Self {
+        Self::from_slice(coords)
+    }
+}
+
+/// The extent of each rank of a tensor, outermost first.
+///
+/// # Examples
+///
+/// ```
+/// use isos_tensor::Shape;
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.volume(), 24);
+/// assert_eq!(s[1], 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from per-rank extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extent is zero or if there are more than [`MAX_RANKS`]
+    /// ranks.
+    pub fn new(dims: Vec<usize>) -> Self {
+        assert!(
+            !dims.is_empty() && dims.len() <= MAX_RANKS,
+            "bad rank count"
+        );
+        assert!(dims.iter().all(|&d| d > 0), "zero-extent rank");
+        Self(dims)
+    }
+
+    /// Number of ranks.
+    pub fn ndim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Extents as a slice, outermost rank first.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Total number of elements in the dense tensor of this shape.
+    pub fn volume(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Whether `point` addresses an element inside this shape.
+    pub fn contains(&self, point: &Point) -> bool {
+        point.ndim() == self.ndim()
+            && point
+                .as_slice()
+                .iter()
+                .zip(&self.0)
+                .all(|(&c, &d)| (c as usize) < d)
+    }
+
+    /// The linear (row-major) offset of `point` in a dense tensor of this
+    /// shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point` is out of range.
+    pub fn linear_index(&self, point: &Point) -> usize {
+        assert!(self.contains(point), "{point} out of shape {self:?}");
+        let mut idx = 0;
+        for (&c, &d) in point.as_slice().iter().zip(&self.0) {
+            idx = idx * d + c as usize;
+        }
+        idx
+    }
+
+    /// Returns the shape with ranks permuted so that output rank `i` is
+    /// input rank `perm[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..self.ndim()`.
+    pub fn permuted(&self, perm: &[usize]) -> Self {
+        assert_eq!(perm.len(), self.ndim(), "permutation rank mismatch");
+        let mut seen = [false; MAX_RANKS];
+        for &p in perm {
+            assert!(p < self.ndim() && !seen[p], "invalid permutation");
+            seen[p] = true;
+        }
+        Shape::new(perm.iter().map(|&p| self.0[p]).collect())
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl std::ops::Index<usize> for Shape {
+    type Output = usize;
+
+    fn index(&self, rank: usize) -> &usize {
+        &self.0[rank]
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_ordering_is_lexicographic() {
+        let a = Point::from_slice(&[1, 2, 3]);
+        let b = Point::from_slice(&[1, 2, 4]);
+        let c = Point::from_slice(&[1, 3, 0]);
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn point_pushed_appends_innermost() {
+        let p = Point::from_slice(&[5]).pushed(7).pushed(1);
+        assert_eq!(p.as_slice(), &[5, 7, 1]);
+    }
+
+    #[test]
+    fn point_permuted_reorders_ranks() {
+        let p = Point::from_slice(&[10, 20, 30, 40]);
+        // [H, R, K, Q] -> [K, Q, H, R] (the IS-OS tmp1 transpose).
+        let t = p.permuted(&[2, 3, 0, 1]);
+        assert_eq!(t.as_slice(), &[30, 40, 10, 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "point is full")]
+    fn point_pushed_past_capacity_panics() {
+        let mut p = Point::from_slice(&[0; MAX_RANKS]);
+        p = p.pushed(1);
+        let _ = p;
+    }
+
+    #[test]
+    fn shape_linear_index_row_major() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.linear_index(&Point::from_slice(&[0, 0, 0])), 0);
+        assert_eq!(s.linear_index(&Point::from_slice(&[0, 0, 3])), 3);
+        assert_eq!(s.linear_index(&Point::from_slice(&[0, 1, 0])), 4);
+        assert_eq!(s.linear_index(&Point::from_slice(&[1, 2, 3])), 23);
+    }
+
+    #[test]
+    fn shape_contains_rejects_out_of_range() {
+        let s = Shape::new(vec![2, 2]);
+        assert!(s.contains(&Point::from_slice(&[1, 1])));
+        assert!(!s.contains(&Point::from_slice(&[2, 0])));
+        assert!(!s.contains(&Point::from_slice(&[0])));
+    }
+
+    #[test]
+    fn shape_permuted_roundtrip() {
+        let s = Shape::new(vec![2, 3, 4, 5]);
+        let perm = [2, 3, 0, 1];
+        let t = s.permuted(&perm);
+        assert_eq!(t.dims(), &[4, 5, 2, 3]);
+        // Applying the inverse permutation restores the original.
+        let inv = [2, 3, 0, 1];
+        assert_eq!(t.permuted(&inv), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-extent rank")]
+    fn shape_rejects_zero_extent() {
+        let _ = Shape::new(vec![2, 0]);
+    }
+}

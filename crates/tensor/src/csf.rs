@@ -1,0 +1,651 @@
+//! Compressed Sparse Fiber (CSF) tensors.
+//!
+//! CSF is the concrete sparse format used by every data structure in
+//! ISOSceles (paper Sec. II-B, Fig. 5). It generalizes CSR/CSC to arbitrary
+//! rank: each rank stores a coordinate array plus segment offsets
+//! delimiting, for each parent node, the range of its children in the next
+//! rank's arrays. Only nonzero values are stored.
+//!
+//! CSF can be traversed efficiently only in rank order (a *concordant*
+//! traversal); random access requires a per-rank binary search (a
+//! *discordant* access). [`Fiber::find`] counts as discordant and is what a
+//! hardware design must avoid on its hot path — the IS-OS dataflow is
+//! constructed so that every traversal of activations, filters, and partial
+//! results is concordant.
+
+use crate::{Coord, Dense, Point, Shape};
+use serde::{Deserialize, Serialize};
+
+/// One rank of a CSF tensor.
+///
+/// `segs` has one entry per parent node plus one: the children of parent
+/// `i` (a *fiber*) occupy `coords[segs[i]..segs[i+1]]`. For rank 0 the
+/// single parent is the tensor root, so `segs == [0, n0]`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CsfRank {
+    segs: Vec<u32>,
+    coords: Vec<Coord>,
+}
+
+impl CsfRank {
+    /// Segment offsets (one per parent node, plus a terminator).
+    pub fn segs(&self) -> &[u32] {
+        &self.segs
+    }
+
+    /// Coordinates of every node at this rank, fiber by fiber.
+    pub fn coords(&self) -> &[Coord] {
+        &self.coords
+    }
+}
+
+/// A Compressed Sparse Fiber tensor of `f32` values.
+///
+/// Construct with [`Csf::from_entries`] (sorted or unsorted nonzeros) or
+/// [`Csf::from_dense`]. Traverse with [`Csf::iter`] (concordant) or navigate
+/// the fibertree with [`Csf::root`].
+///
+/// # Examples
+///
+/// ```
+/// use isos_tensor::{Csf, Point};
+/// let t = Csf::from_entries(
+///     vec![2, 4].into(),
+///     vec![
+///         (Point::from_slice(&[0, 1]), 2.0),
+///         (Point::from_slice(&[1, 3]), 5.0),
+///     ],
+/// );
+/// assert_eq!(t.nnz(), 2);
+/// let elems: Vec<_> = t.iter().collect();
+/// assert_eq!(elems[1], (Point::from_slice(&[1, 3]), 5.0));
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Csf {
+    shape: Shape,
+    ranks: Vec<CsfRank>,
+    vals: Vec<f32>,
+}
+
+impl Csf {
+    /// Builds a CSF tensor from nonzero entries.
+    ///
+    /// Entries may be in any order; they are sorted concordantly. Duplicate
+    /// points are accumulated (summed), matching how partial results merge.
+    /// Entries whose value is exactly zero are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any point is outside `shape` or has the wrong rank count.
+    pub fn from_entries(shape: Shape, mut entries: Vec<(Point, f32)>) -> Self {
+        for (p, _) in &entries {
+            assert!(shape.contains(p), "entry {p} outside shape {shape:?}");
+        }
+        entries.sort_unstable_by_key(|(p, _)| *p);
+        // Accumulate duplicates, drop zeros.
+        let mut dedup: Vec<(Point, f32)> = Vec::with_capacity(entries.len());
+        for (p, v) in entries {
+            match dedup.last_mut() {
+                Some((lp, lv)) if *lp == p => *lv += v,
+                _ => dedup.push((p, v)),
+            }
+        }
+        dedup.retain(|(_, v)| *v != 0.0);
+        Self::from_sorted_unique(shape, dedup)
+    }
+
+    /// Builds a CSF tensor from entries that are already sorted and unique.
+    ///
+    /// This is the fast path used by streaming producers (e.g. the OS
+    /// backend, which emits outputs in concordant order by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if entries are not strictly increasing, contain zeros, or lie
+    /// outside `shape`.
+    #[allow(clippy::needless_range_loop)] // parallel arrays indexed by rank
+    pub fn from_sorted_unique(shape: Shape, entries: Vec<(Point, f32)>) -> Self {
+        let ndim = shape.ndim();
+        let mut ranks: Vec<CsfRank> = (0..ndim)
+            .map(|_| CsfRank {
+                segs: vec![0],
+                coords: Vec::new(),
+            })
+            .collect();
+        let mut vals = Vec::with_capacity(entries.len());
+        let mut prev: Option<Point> = None;
+        for (p, v) in entries {
+            assert!(shape.contains(&p), "entry {p} outside shape {shape:?}");
+            assert!(v != 0.0, "zero value at {p}");
+            if let Some(q) = prev {
+                assert!(q < p, "entries not strictly increasing at {p}");
+            }
+            // Find the first rank where this point diverges from the last.
+            let first = prev.is_none();
+            let diverge = match prev {
+                None => 0,
+                Some(q) => (0..ndim).find(|&d| q[d] != p[d]).expect("duplicate point"),
+            };
+            for d in diverge..ndim {
+                ranks[d].coords.push(p[d]);
+            }
+            // Each new node at rank d-1 opens a fresh fiber at rank d; its
+            // start is the child coordinate just pushed. The very first
+            // entry's fibers all start at 0, already covered by the initial
+            // segment array.
+            if !first {
+                for d in (diverge + 1)..ndim {
+                    let start = ranks[d].coords.len() as u32 - 1;
+                    ranks[d].segs.push(start);
+                }
+            }
+            vals.push(v);
+            prev = Some(p);
+        }
+        // Terminate segment arrays: rank d needs (#nodes at rank d-1) + 1
+        // entries. An empty tensor leaves inner ranks with zero parents, in
+        // which case the initial `[0]` already suffices.
+        let mut parents = 1usize;
+        for d in 0..ndim {
+            let end = ranks[d].coords.len() as u32;
+            if ranks[d].segs.len() < parents + 1 {
+                ranks[d].segs.push(end);
+            }
+            parents = ranks[d].coords.len();
+        }
+        debug_assert!(Self::check_invariants(&shape, &ranks, &vals).is_ok());
+        Self { shape, ranks, vals }
+    }
+
+    /// Builds a CSF tensor holding the nonzeros of a dense tensor.
+    pub fn from_dense(dense: &Dense) -> Self {
+        Self::from_sorted_unique(dense.shape().clone(), dense.iter_nonzero().collect())
+    }
+
+    /// Expands to a dense tensor.
+    pub fn to_dense(&self) -> Dense {
+        let mut out = Dense::zeros(self.shape.clone());
+        for (p, v) in self.iter() {
+            out[&p] = v;
+        }
+        out
+    }
+
+    /// An empty tensor of the given shape.
+    pub fn empty(shape: Shape) -> Self {
+        Self::from_sorted_unique(shape, Vec::new())
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of ranks.
+    pub fn ndim(&self) -> usize {
+        self.shape.ndim()
+    }
+
+    /// Number of stored (nonzero) values.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Fraction of elements that are nonzero, in `[0, 1]`.
+    pub fn density(&self) -> f64 {
+        self.nnz() as f64 / self.shape.volume() as f64
+    }
+
+    /// Fraction of elements that are zero, in `[0, 1]`.
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.density()
+    }
+
+    /// The per-rank arrays (outermost first).
+    pub fn ranks(&self) -> &[CsfRank] {
+        &self.ranks
+    }
+
+    /// The stored values, aligned with the innermost rank's coordinates.
+    pub fn values(&self) -> &[f32] {
+        &self.vals
+    }
+
+    /// Footprint of this tensor in the paper's CSF encoding, in bytes.
+    ///
+    /// Each node at every rank stores a `(coordinate, offset)` tuple
+    /// (Fig. 5); leaf nodes store `(coordinate, value)`. `coord_bytes` and
+    /// `value_bytes` parameterize the precision (ISOSceles uses 8-bit
+    /// values; coordinates and offsets are sized to the rank).
+    pub fn compressed_bytes(&self, coord_bytes: usize, value_bytes: usize) -> u64 {
+        let mut bytes = 0u64;
+        let ndim = self.ndim();
+        for (d, rank) in self.ranks.iter().enumerate() {
+            let per_node = if d + 1 == ndim {
+                coord_bytes + value_bytes
+            } else {
+                coord_bytes * 2 // coordinate + offset into the next rank
+            };
+            bytes += (rank.coords.len() * per_node) as u64;
+        }
+        bytes
+    }
+
+    /// The root fiber: the single fiber at rank 0.
+    pub fn root(&self) -> Fiber<'_> {
+        Fiber {
+            csf: self,
+            rank: 0,
+            start: 0,
+            end: self.ranks[0].coords.len(),
+        }
+    }
+
+    /// Concordant traversal of all nonzeros, in lexicographic point order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter::new(self)
+    }
+
+    /// Returns a copy with ranks permuted (a sparse transpose).
+    ///
+    /// The result is re-sorted into the new rank order — the software
+    /// equivalent of the merger-based transposes in the OS backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..self.ndim()`.
+    pub fn permuted(&self, perm: &[usize]) -> Csf {
+        let shape = self.shape.permuted(perm);
+        let entries = self.iter().map(|(p, v)| (p.permuted(perm), v)).collect();
+        Csf::from_entries(shape, entries)
+    }
+
+    fn check_invariants(shape: &Shape, ranks: &[CsfRank], vals: &[f32]) -> Result<(), String> {
+        if ranks.len() != shape.ndim() {
+            return Err("rank count mismatch".into());
+        }
+        let mut parents = 1usize;
+        for (d, rank) in ranks.iter().enumerate() {
+            if rank.segs.len() != parents + 1 {
+                return Err(format!(
+                    "rank {d}: segs len {} != parents+1 {}",
+                    rank.segs.len(),
+                    parents + 1
+                ));
+            }
+            if rank.segs[0] != 0 || *rank.segs.last().unwrap() as usize != rank.coords.len() {
+                return Err(format!("rank {d}: bad segment bounds"));
+            }
+            if rank.segs.windows(2).any(|w| w[0] > w[1]) {
+                return Err(format!("rank {d}: non-monotonic segments"));
+            }
+            // Coordinates strictly increase within each fiber.
+            for w in rank.segs.windows(2) {
+                let fiber = &rank.coords[w[0] as usize..w[1] as usize];
+                if fiber.windows(2).any(|c| c[0] >= c[1]) {
+                    return Err(format!("rank {d}: unsorted fiber"));
+                }
+                if fiber.iter().any(|&c| c as usize >= shape[d]) {
+                    return Err(format!("rank {d}: coordinate out of range"));
+                }
+            }
+            parents = rank.coords.len();
+        }
+        if vals.len() != parents {
+            return Err("values misaligned with leaf rank".into());
+        }
+        Ok(())
+    }
+}
+
+/// A fiber: the set of sibling nodes under one parent at a given rank.
+///
+/// Leaf-rank fibers carry values ([`Fiber::iter_leaf`]); interior fibers
+/// carry child fibers ([`Fiber::iter_children`]).
+#[derive(Clone, Copy, Debug)]
+pub struct Fiber<'a> {
+    csf: &'a Csf,
+    rank: usize,
+    start: usize,
+    end: usize,
+}
+
+impl<'a> Fiber<'a> {
+    /// The rank this fiber lives at (0 = outermost).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of nodes in this fiber.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the fiber has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether this fiber is at the innermost rank (its nodes carry values).
+    pub fn is_leaf(&self) -> bool {
+        self.rank + 1 == self.csf.ndim()
+    }
+
+    /// The coordinates of the nodes in this fiber.
+    pub fn coords(&self) -> &'a [Coord] {
+        &self.csf.ranks[self.rank].coords[self.start..self.end]
+    }
+
+    /// Iterates `(coordinate, child fiber)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a leaf fiber; use [`Fiber::iter_leaf`] instead.
+    pub fn iter_children(&self) -> impl Iterator<Item = (Coord, Fiber<'a>)> + 'a {
+        assert!(!self.is_leaf(), "leaf fiber has no children");
+        let csf = self.csf;
+        let rank = self.rank;
+        (self.start..self.end).map(move |i| {
+            let coord = csf.ranks[rank].coords[i];
+            let child = &csf.ranks[rank + 1];
+            (
+                coord,
+                Fiber {
+                    csf,
+                    rank: rank + 1,
+                    start: child.segs[i] as usize,
+                    end: child.segs[i + 1] as usize,
+                },
+            )
+        })
+    }
+
+    /// Iterates `(coordinate, value)` pairs of a leaf fiber.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not a leaf fiber.
+    pub fn iter_leaf(&self) -> impl Iterator<Item = (Coord, f32)> + 'a {
+        assert!(self.is_leaf(), "interior fiber has no values");
+        let csf = self.csf;
+        let rank = self.rank;
+        (self.start..self.end).map(move |i| (csf.ranks[rank].coords[i], csf.vals[i]))
+    }
+
+    /// Looks up the child fiber at `coord` by binary search.
+    ///
+    /// This is a *discordant* access (paper Sec. II-B): hardware pays a
+    /// bisection, so callers on modeled hot paths should count it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a leaf fiber.
+    pub fn find(&self, coord: Coord) -> Option<Fiber<'a>> {
+        assert!(!self.is_leaf(), "use find_value on leaf fibers");
+        let coords = self.coords();
+        let i = coords.binary_search(&coord).ok()? + self.start;
+        let child = &self.csf.ranks[self.rank + 1];
+        Some(Fiber {
+            csf: self.csf,
+            rank: self.rank + 1,
+            start: child.segs[i] as usize,
+            end: child.segs[i + 1] as usize,
+        })
+    }
+
+    /// Looks up a value in a leaf fiber by binary search (discordant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not a leaf fiber.
+    pub fn find_value(&self, coord: Coord) -> Option<f32> {
+        assert!(self.is_leaf(), "use find on interior fibers");
+        let coords = self.coords();
+        let i = coords.binary_search(&coord).ok()? + self.start;
+        Some(self.csf.vals[i])
+    }
+
+    /// Total number of leaf values beneath this fiber.
+    pub fn nnz_below(&self) -> usize {
+        if self.is_leaf() {
+            return self.len();
+        }
+        // Spans are contiguous, so the subtree is delimited by the first
+        // child's start and the last child's end at the leaf rank.
+        let mut start = self.start;
+        let mut end = self.end;
+        for d in self.rank + 1..self.csf.ndim() {
+            let segs = &self.csf.ranks[d].segs;
+            start = segs[start] as usize;
+            end = segs[end] as usize;
+        }
+        end - start
+    }
+}
+
+/// Concordant iterator over a CSF tensor's nonzeros.
+///
+/// Produced by [`Csf::iter`]; yields `(Point, f32)` in strictly increasing
+/// point order.
+#[derive(Clone, Debug)]
+pub struct Iter<'a> {
+    csf: &'a Csf,
+    /// Per-rank cursor into the rank's coords array; `pos[d]` is the next
+    /// node to visit at rank d. `None` once exhausted.
+    pos: usize,
+    stack: Vec<(usize, usize)>, // (index at rank d, fiber end at rank d)
+}
+
+impl<'a> Iter<'a> {
+    fn new(csf: &'a Csf) -> Self {
+        Self {
+            csf,
+            pos: 0,
+            stack: Vec::new(),
+        }
+    }
+}
+
+impl Iterator for Iter<'_> {
+    type Item = (Point, f32);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.csf.vals.len() {
+            return None;
+        }
+        let i = self.pos;
+        self.pos += 1;
+        // Reconstruct the full point for leaf index i by walking parents.
+        // Parent of leaf node i at rank d is found via segs upper bound.
+        // To keep iteration O(1) amortized we maintain a stack of current
+        // fiber positions; rebuild lazily when a fiber is exhausted.
+        let ndim = self.csf.ndim();
+        if self.stack.is_empty() {
+            // Initialize: descend to the leaf containing index 0.
+            let mut idx = vec![0usize; ndim];
+            let mut node = 0usize;
+            for d in 0..ndim {
+                if d == 0 {
+                    idx[0] = 0;
+                    node = 0;
+                } else {
+                    node = self.csf.ranks[d].segs[node] as usize;
+                    idx[d] = node;
+                }
+            }
+            self.stack = idx.iter().map(|&j| (j, 0)).collect();
+            // ends computed below on demand
+            for d in 0..ndim {
+                let parent = if d == 0 { 0 } else { self.stack[d - 1].0 };
+                self.stack[d].1 = self.csf.ranks[d].segs[parent + 1] as usize;
+            }
+        } else {
+            // Advance leaf; on overflow, advance parents.
+            let mut d = ndim - 1;
+            loop {
+                self.stack[d].0 += 1;
+                if self.stack[d].0 < self.stack[d].1 {
+                    break;
+                }
+                debug_assert!(d > 0, "iterator overran tensor");
+                d -= 1;
+            }
+            // Re-descend to the first child under the advanced node.
+            for dd in d + 1..ndim {
+                let parent = self.stack[dd - 1].0;
+                self.stack[dd].0 = self.csf.ranks[dd].segs[parent] as usize;
+                self.stack[dd].1 = self.csf.ranks[dd].segs[parent + 1] as usize;
+            }
+        }
+        let mut point = Point::from_slice(&[]);
+        for d in 0..ndim {
+            point = point.pushed(self.csf.ranks[d].coords[self.stack[d].0]);
+        }
+        debug_assert_eq!(self.stack[ndim - 1].0, i);
+        Some((point, self.csf.vals[i]))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.csf.vals.len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(c: &[Coord]) -> Point {
+        Point::from_slice(c)
+    }
+
+    fn sample_3d() -> Csf {
+        // The sparse filter from paper Fig. 5, flattened to 3 ranks [C,R,K]
+        // for brevity: F[1,2,4], F[1,2,7], F[1,4,0], F[3,0,2].
+        Csf::from_entries(
+            vec![4, 5, 8].into(),
+            vec![
+                (p(&[3, 0, 2]), 4.0),
+                (p(&[1, 2, 4]), 1.0),
+                (p(&[1, 4, 0]), 3.0),
+                (p(&[1, 2, 7]), 2.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn from_entries_sorts_and_builds_segments() {
+        let t = sample_3d();
+        assert_eq!(t.nnz(), 4);
+        assert_eq!(t.ranks()[0].coords(), &[1, 3]);
+        assert_eq!(t.ranks()[1].coords(), &[2, 4, 0]);
+        assert_eq!(t.ranks()[1].segs(), &[0, 2, 3]);
+        assert_eq!(t.ranks()[2].coords(), &[4, 7, 0, 2]);
+        assert_eq!(t.ranks()[2].segs(), &[0, 2, 3, 4]);
+        assert_eq!(t.values(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn iter_is_concordant() {
+        let t = sample_3d();
+        let pts: Vec<Point> = t.iter().map(|(pt, _)| pt).collect();
+        assert_eq!(
+            pts,
+            vec![p(&[1, 2, 4]), p(&[1, 2, 7]), p(&[1, 4, 0]), p(&[3, 0, 2])]
+        );
+    }
+
+    #[test]
+    fn duplicates_accumulate() {
+        let t = Csf::from_entries(
+            vec![2, 2].into(),
+            vec![(p(&[0, 1]), 1.0), (p(&[0, 1]), 2.5)],
+        );
+        assert_eq!(t.nnz(), 1);
+        assert_eq!(t.values(), &[3.5]);
+    }
+
+    #[test]
+    fn zeros_are_dropped() {
+        let t = Csf::from_entries(
+            vec![2, 2].into(),
+            vec![
+                (p(&[0, 0]), 0.0),
+                (p(&[1, 1]), 1.0),
+                (p(&[0, 1]), 2.0),
+                (p(&[0, 1]), -2.0),
+            ],
+        );
+        assert_eq!(t.nnz(), 1);
+        assert_eq!(t.iter().next().unwrap().0, p(&[1, 1]));
+    }
+
+    #[test]
+    fn fiber_navigation_matches_paper_example() {
+        let t = sample_3d();
+        let root = t.root();
+        assert_eq!(root.coords(), &[1, 3]);
+        let f1 = root.find(1).expect("channel 1 present");
+        assert_eq!(f1.coords(), &[2, 4]);
+        assert!(root.find(2).is_none(), "channel 2 is empty");
+        let f12 = f1.find(2).unwrap();
+        assert!(f12.is_leaf());
+        assert_eq!(f12.find_value(7), Some(2.0));
+        assert_eq!(f12.find_value(5), None);
+        assert_eq!(f1.nnz_below(), 3);
+        assert_eq!(root.find(3).unwrap().nnz_below(), 1);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let t = sample_3d();
+        let d = t.to_dense();
+        let t2 = Csf::from_dense(&d);
+        assert_eq!(t, t2);
+        assert_eq!(d.nnz(), 4);
+    }
+
+    #[test]
+    fn permuted_transposes() {
+        let t = sample_3d();
+        let tt = t.permuted(&[2, 0, 1]);
+        assert_eq!(tt.shape().dims(), &[8, 4, 5]);
+        assert_eq!(tt.to_dense().get(&p(&[4, 1, 2])), Some(1.0));
+        // Double permute restores.
+        assert_eq!(tt.permuted(&[1, 2, 0]), t);
+    }
+
+    #[test]
+    fn compressed_bytes_counts_tuples() {
+        let t = sample_3d();
+        // Ranks hold 2 + 3 + 4 nodes; interior nodes cost 2*coord_bytes,
+        // leaves cost coord_bytes + value_bytes.
+        let bytes = t.compressed_bytes(2, 1);
+        assert_eq!(bytes, (2 + 3) as u64 * 4 + 4 * 3);
+    }
+
+    #[test]
+    fn empty_tensor_iterates_nothing() {
+        let t = Csf::empty(vec![3, 3].into());
+        assert_eq!(t.nnz(), 0);
+        assert_eq!(t.iter().count(), 0);
+        assert!(t.root().is_empty());
+    }
+
+    #[test]
+    fn single_rank_tensor() {
+        let t = Csf::from_entries(vec![10].into(), vec![(p(&[7]), 1.0), (p(&[2]), 2.0)]);
+        assert!(t.root().is_leaf());
+        assert_eq!(t.root().find_value(7), Some(1.0));
+        let elems: Vec<_> = t.iter().collect();
+        assert_eq!(elems, vec![(p(&[2]), 2.0), (p(&[7]), 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside shape")]
+    fn out_of_shape_entry_panics() {
+        let _ = Csf::from_entries(vec![2, 2].into(), vec![(p(&[2, 0]), 1.0)]);
+    }
+}

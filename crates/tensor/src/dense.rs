@@ -1,0 +1,199 @@
+//! Dense (uncompressed) tensors.
+//!
+//! [`Dense`] is the row-major uncompressed counterpart of [`crate::Csf`].
+//! The golden-model executors in `isos-nn` compute on dense tensors, and the
+//! conversion tests in [`crate::convert`] check that CSF round-trips through
+//! dense form losslessly.
+
+use crate::{Coord, Point, Shape};
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major tensor of `f32` values.
+///
+/// # Examples
+///
+/// ```
+/// use isos_tensor::{Dense, Point};
+/// let mut t = Dense::zeros(vec![2, 3].into());
+/// t[&Point::from_slice(&[1, 2])] = 4.0;
+/// assert_eq!(t[&Point::from_slice(&[1, 2])], 4.0);
+/// assert_eq!(t.nnz(), 1);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Dense {
+    /// Creates an all-zero tensor of the given shape.
+    pub fn zeros(shape: Shape) -> Self {
+        let volume = shape.volume();
+        Self {
+            shape,
+            data: vec![0.0; volume],
+        }
+    }
+
+    /// Creates a tensor from a shape and row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != shape.volume()`.
+    pub fn from_vec(shape: Shape, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), shape.volume(), "data length != shape volume");
+        Self { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The raw row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the raw row-major data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// The value at `point`, or `None` if out of range.
+    pub fn get(&self, point: &Point) -> Option<f32> {
+        if self.shape.contains(point) {
+            Some(self.data[self.shape.linear_index(point)])
+        } else {
+            None
+        }
+    }
+
+    /// Number of nonzero elements.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0.0).count()
+    }
+
+    /// Fraction of elements that are zero, in `[0, 1]`.
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.nnz() as f64 / self.data.len() as f64
+    }
+
+    /// Iterates over the nonzero elements in row-major (concordant) order.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (Point, f32)> + '_ {
+        let dims: Vec<usize> = self.shape.dims().to_vec();
+        self.data.iter().enumerate().filter_map(move |(i, &v)| {
+            if v == 0.0 {
+                return None;
+            }
+            let mut rem = i;
+            let mut coords = [0 as Coord; crate::MAX_RANKS];
+            for (r, &d) in dims.iter().enumerate().rev() {
+                coords[r] = (rem % d) as Coord;
+                rem /= d;
+            }
+            Some((Point::from_slice(&coords[..dims.len()]), v))
+        })
+    }
+
+    /// Returns a copy with ranks permuted so that output rank `i` is input
+    /// rank `perm[i]` (a generalized transpose).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..self.ndim()`.
+    pub fn permuted(&self, perm: &[usize]) -> Dense {
+        let out_shape = self.shape.permuted(perm);
+        let mut out = Dense::zeros(out_shape);
+        for (point, value) in self.iter_nonzero() {
+            let p = point.permuted(perm);
+            let idx = out.shape.linear_index(&p);
+            out.data[idx] = value;
+        }
+        out
+    }
+
+    /// Element-wise maximum absolute difference against `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Dense) -> f32 {
+        assert_eq!(self.shape, other.shape, "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+impl std::ops::Index<&Point> for Dense {
+    type Output = f32;
+
+    fn index(&self, point: &Point) -> &f32 {
+        &self.data[self.shape.linear_index(point)]
+    }
+}
+
+impl std::ops::IndexMut<&Point> for Dense {
+    fn index_mut(&mut self, point: &Point) -> &mut f32 {
+        let idx = self.shape.linear_index(point);
+        &mut self.data[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(c: &[Coord]) -> Point {
+        Point::from_slice(c)
+    }
+
+    #[test]
+    fn zeros_has_no_nonzeros() {
+        let t = Dense::zeros(vec![3, 3].into());
+        assert_eq!(t.nnz(), 0);
+        assert_eq!(t.sparsity(), 1.0);
+    }
+
+    #[test]
+    fn iter_nonzero_is_row_major_ordered() {
+        let mut t = Dense::zeros(vec![2, 3].into());
+        t[&p(&[1, 0])] = 1.0;
+        t[&p(&[0, 2])] = 2.0;
+        t[&p(&[1, 2])] = 3.0;
+        let points: Vec<Point> = t.iter_nonzero().map(|(pt, _)| pt).collect();
+        assert_eq!(points, vec![p(&[0, 2]), p(&[1, 0]), p(&[1, 2])]);
+        let mut sorted = points.clone();
+        sorted.sort();
+        assert_eq!(points, sorted);
+    }
+
+    #[test]
+    fn permuted_transposes_2d() {
+        let t = Dense::from_vec(vec![2, 3].into(), vec![1., 2., 3., 4., 5., 6.]);
+        let tt = t.permuted(&[1, 0]);
+        assert_eq!(tt.shape().dims(), &[3, 2]);
+        assert_eq!(tt[&p(&[2, 1])], t[&p(&[1, 2])]);
+        assert_eq!(tt[&p(&[0, 0])], 1.0);
+        assert_eq!(tt[&p(&[0, 1])], 4.0);
+    }
+
+    #[test]
+    fn permuted_roundtrip_identity() {
+        let mut t = Dense::zeros(vec![2, 3, 4].into());
+        t[&p(&[1, 2, 3])] = 9.0;
+        t[&p(&[0, 1, 0])] = -1.0;
+        let round = t.permuted(&[2, 0, 1]).permuted(&[1, 2, 0]);
+        assert_eq!(round, t);
+    }
+
+    #[test]
+    fn get_out_of_range_is_none() {
+        let t = Dense::zeros(vec![2, 2].into());
+        assert_eq!(t.get(&p(&[2, 0])), None);
+        assert_eq!(t.get(&p(&[1, 1])), Some(0.0));
+    }
+}

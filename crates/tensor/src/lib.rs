@@ -1,0 +1,41 @@
+//! Sparse tensor substrate for the ISOSceles reproduction.
+//!
+//! ISOSceles (HPCA 2023) stores every tensor — input/output activations,
+//! filters, and partial results — in compressed form and is co-designed so
+//! that all traversals are *concordant* (sequential in the storage order).
+//! This crate provides the data structures that design rests on:
+//!
+//! - [`Csf`]: Compressed Sparse Fiber tensors with fibertree navigation
+//!   ([`Fiber`]) and concordant iteration,
+//! - [`Dense`]: the uncompressed counterpart for golden models,
+//! - [`merge`]: hardware-style k-way mergers (comparator tree and pipelined
+//!   min-heap) plus the merge-reduce pattern of the OS backend,
+//! - [`bitmask`]: SparTen-style bitmask vectors for the baseline model,
+//! - [`gen`]: seeded random sparse tensor generation.
+//!
+//! # Examples
+//!
+//! ```
+//! use isos_tensor::{gen, Csf};
+//! let t = gen::random_csf(vec![8, 8, 16].into(), 0.1, 42);
+//! assert!(t.sparsity() > 0.5);
+//! // Concordant traversal yields strictly increasing points.
+//! let pts: Vec<_> = t.iter().map(|(p, _)| p).collect();
+//! assert!(pts.windows(2).all(|w| w[0] < w[1]));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod coord;
+mod csf;
+mod dense;
+
+pub mod bitmask;
+pub mod gen;
+pub mod merge;
+pub mod wavefront;
+
+pub use coord::{Coord, Point, Shape, MAX_RANKS};
+pub use csf::{Csf, CsfRank, Fiber, Iter};
+pub use dense::Dense;

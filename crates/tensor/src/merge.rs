@@ -1,0 +1,384 @@
+//! Hardware-style streaming mergers.
+//!
+//! The OS backend of ISOSceles transposes and serializes sparse partial
+//! results with k-way mergers (paper Sec. IV-A): low-radix *R-mergers*
+//! implemented as combinational comparator trees, and radix-256 *K-mergers*
+//! implemented as pipelined min-heaps. Both consume `k` streams sorted by
+//! key and emit one sorted stream at one element per cycle.
+//!
+//! This module implements both as iterator adapters with cost accounting
+//! ([`MergerStats`]), so the architecture model can charge cycles and the
+//! functional dataflow can reuse the exact same structures.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Cost counters for a merger.
+///
+/// `cycles` models the throughput-1 output port: one element emitted per
+/// cycle. `comparisons` counts comparator activations (energy proxy).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MergerStats {
+    /// Elements emitted (equals cycles for a throughput-1 merger).
+    pub emitted: u64,
+    /// Key comparisons performed.
+    pub comparisons: u64,
+}
+
+/// A k-way merger built as a tournament (comparator) tree.
+///
+/// Models the low-radix R-mergers: the tree is combinational, so each
+/// emitted element costs `ceil(log2(k))` comparisons and one cycle.
+/// Ties between inputs break toward the lower input index, making the merge
+/// stable.
+///
+/// # Examples
+///
+/// ```
+/// use isos_tensor::merge::TournamentMerger;
+/// let a = vec![(1u32, 1.0f32), (4, 4.0)];
+/// let b = vec![(2u32, 2.0f32), (3, 3.0)];
+/// let merged: Vec<_> =
+///     TournamentMerger::new(vec![a.into_iter(), b.into_iter()]).collect();
+/// assert_eq!(merged, vec![(1, 1.0), (2, 2.0), (3, 3.0), (4, 4.0)]);
+/// ```
+#[derive(Debug)]
+pub struct TournamentMerger<K, I>
+where
+    I: Iterator<Item = (K, f32)>,
+{
+    inputs: Vec<I>,
+    heads: Vec<Option<(K, f32)>>,
+    stats: MergerStats,
+    levels: u32,
+}
+
+impl<K, I> TournamentMerger<K, I>
+where
+    K: Ord + Copy,
+    I: Iterator<Item = (K, f32)>,
+{
+    /// Creates a merger over `inputs`, each of which must be sorted by key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn new(inputs: Vec<I>) -> Self {
+        assert!(!inputs.is_empty(), "merger needs at least one input");
+        let mut inputs = inputs;
+        let heads = inputs.iter_mut().map(Iterator::next).collect::<Vec<_>>();
+        let levels = (inputs.len().max(2) as u32)
+            .next_power_of_two()
+            .trailing_zeros();
+        Self {
+            inputs,
+            heads,
+            stats: MergerStats::default(),
+            levels,
+        }
+    }
+
+    /// The merger's cost counters so far.
+    pub fn stats(&self) -> MergerStats {
+        self.stats
+    }
+
+    /// The radix (number of input streams).
+    pub fn radix(&self) -> usize {
+        self.inputs.len()
+    }
+}
+
+impl<K, I> Iterator for TournamentMerger<K, I>
+where
+    K: Ord + Copy,
+    I: Iterator<Item = (K, f32)>,
+{
+    type Item = (K, f32);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        // Find the minimum head (the tournament winner). A real comparator
+        // tree does this in log2(k) levels; we charge that cost.
+        let mut winner: Option<usize> = None;
+        for (i, head) in self.heads.iter().enumerate() {
+            if let Some((k, _)) = head {
+                match winner {
+                    None => winner = Some(i),
+                    Some(w) => {
+                        let (wk, _) = self.heads[w].as_ref().unwrap();
+                        if k < wk {
+                            winner = Some(i);
+                        }
+                    }
+                }
+            }
+        }
+        let w = winner?;
+        self.stats.comparisons += self.levels as u64;
+        self.stats.emitted += 1;
+        let item = self.heads[w].take().unwrap();
+        self.heads[w] = self.inputs[w].next();
+        Some(item)
+    }
+}
+
+/// A k-way merger built as a pipelined min-heap.
+///
+/// Models the radix-256 K-mergers [Bhagwan & Lin]: each emitted element
+/// costs one cycle (the heap is pipelined) and `ceil(log2(k))` comparisons
+/// along the sift path.
+///
+/// # Examples
+///
+/// ```
+/// use isos_tensor::merge::HeapMerger;
+/// let streams: Vec<Vec<(u32, f32)>> =
+///     (0..8).map(|i| vec![(i, i as f32), (i + 8, 0.0)]).collect();
+/// let merged: Vec<u32> = HeapMerger::new(
+///     streams.into_iter().map(Vec::into_iter).collect::<Vec<_>>(),
+/// )
+/// .map(|(k, _)| k)
+/// .collect();
+/// assert_eq!(merged, (0..16).collect::<Vec<u32>>());
+/// ```
+#[derive(Debug)]
+pub struct HeapMerger<K, I>
+where
+    K: Ord,
+    I: Iterator<Item = (K, f32)>,
+{
+    inputs: Vec<I>,
+    // Reverse for a min-heap; (key, input index) orders ties stably by
+    // input index.
+    heap: BinaryHeap<Reverse<(K, usize, FloatBits)>>,
+    stats: MergerStats,
+    levels: u32,
+}
+
+/// f32 carried through the heap as bits (f32 is not `Ord`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct FloatBits(u32);
+
+impl<K, I> HeapMerger<K, I>
+where
+    K: Ord + Copy,
+    I: Iterator<Item = (K, f32)>,
+{
+    /// Creates a merger over `inputs`, each of which must be sorted by key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn new(inputs: Vec<I>) -> Self {
+        assert!(!inputs.is_empty(), "merger needs at least one input");
+        let mut inputs = inputs;
+        let mut heap = BinaryHeap::with_capacity(inputs.len());
+        for (i, input) in inputs.iter_mut().enumerate() {
+            if let Some((k, v)) = input.next() {
+                heap.push(Reverse((k, i, FloatBits(v.to_bits()))));
+            }
+        }
+        let levels = (inputs.len().max(2) as u32)
+            .next_power_of_two()
+            .trailing_zeros();
+        Self {
+            inputs,
+            heap,
+            stats: MergerStats::default(),
+            levels,
+        }
+    }
+
+    /// The merger's cost counters so far.
+    pub fn stats(&self) -> MergerStats {
+        self.stats
+    }
+
+    /// The radix (number of input streams).
+    pub fn radix(&self) -> usize {
+        self.inputs.len()
+    }
+}
+
+impl<K, I> Iterator for HeapMerger<K, I>
+where
+    K: Ord + Copy,
+    I: Iterator<Item = (K, f32)>,
+{
+    type Item = (K, f32);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let Reverse((k, i, bits)) = self.heap.pop()?;
+        if let Some((nk, nv)) = self.inputs[i].next() {
+            self.heap.push(Reverse((nk, i, FloatBits(nv.to_bits()))));
+        }
+        self.stats.emitted += 1;
+        self.stats.comparisons += self.levels as u64;
+        Some((k, f32::from_bits(bits.0)))
+    }
+}
+
+/// Sums consecutive items with equal keys in a sorted stream.
+///
+/// This is the *reducer* that follows the R-merger in each backend lane: it
+/// completes the convolution by accumulating partial results that share an
+/// output coordinate.
+///
+/// # Examples
+///
+/// ```
+/// use isos_tensor::merge::reduce_sorted;
+/// let s = vec![(2u32, 1.0f32), (2, 2.0), (5, 4.0)];
+/// let r: Vec<_> = reduce_sorted(s.into_iter()).collect();
+/// assert_eq!(r, vec![(2, 3.0), (5, 4.0)]);
+/// ```
+pub fn reduce_sorted<K, I>(input: I) -> ReduceSorted<K, I>
+where
+    K: Ord + Copy,
+    I: Iterator<Item = (K, f32)>,
+{
+    ReduceSorted {
+        input,
+        pending: None,
+    }
+}
+
+/// Iterator returned by [`reduce_sorted`].
+#[derive(Debug)]
+pub struct ReduceSorted<K, I>
+where
+    I: Iterator<Item = (K, f32)>,
+{
+    input: I,
+    pending: Option<(K, f32)>,
+}
+
+impl<K, I> ReduceSorted<K, I>
+where
+    I: Iterator<Item = (K, f32)>,
+{
+    /// Consumes the reducer and returns the underlying stream (e.g. to
+    /// read a merger's [`MergerStats`] after draining).
+    pub fn into_inner(self) -> I {
+        self.input
+    }
+}
+
+impl<K, I> Iterator for ReduceSorted<K, I>
+where
+    K: Ord + Copy,
+    I: Iterator<Item = (K, f32)>,
+{
+    type Item = (K, f32);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let (key, mut acc) = self.pending.take().or_else(|| self.input.next())?;
+        loop {
+            match self.input.next() {
+                Some((k, v)) if k == key => acc += v,
+                Some((k, v)) => {
+                    debug_assert!(k > key, "reduce_sorted input not sorted");
+                    self.pending = Some((k, v));
+                    return Some((key, acc));
+                }
+                None => return Some((key, acc)),
+            }
+        }
+    }
+}
+
+/// Merges and reduces in one pass: the R-merger + reducer pair of a backend
+/// lane.
+pub fn merge_reduce<K, I>(inputs: Vec<I>) -> ReduceSorted<K, TournamentMerger<K, I>>
+where
+    K: Ord + Copy,
+    I: Iterator<Item = (K, f32)>,
+{
+    reduce_sorted(TournamentMerger::new(inputs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn streams() -> Vec<std::vec::IntoIter<(u32, f32)>> {
+        vec![
+            vec![(0u32, 1.0f32), (3, 3.0), (9, 9.0)].into_iter(),
+            vec![(1, 1.5), (3, 0.5)].into_iter(),
+            vec![].into_iter(),
+            vec![(2, 2.0)].into_iter(),
+        ]
+    }
+
+    #[test]
+    fn tournament_merges_sorted() {
+        let out: Vec<u32> = TournamentMerger::new(streams()).map(|(k, _)| k).collect();
+        assert_eq!(out, vec![0, 1, 2, 3, 3, 9]);
+    }
+
+    #[test]
+    fn heap_merges_sorted() {
+        let out: Vec<u32> = HeapMerger::new(streams()).map(|(k, _)| k).collect();
+        assert_eq!(out, vec![0, 1, 2, 3, 3, 9]);
+    }
+
+    #[test]
+    fn mergers_agree() {
+        let a: Vec<_> = TournamentMerger::new(streams()).collect();
+        let b: Vec<_> = HeapMerger::new(streams()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tournament_stats_count_emissions_and_comparisons() {
+        let mut m = TournamentMerger::new(streams());
+        assert_eq!(m.radix(), 4);
+        while m.next().is_some() {}
+        let stats = m.stats();
+        assert_eq!(stats.emitted, 6);
+        // radix 4 -> 2 comparator levels per emission.
+        assert_eq!(stats.comparisons, 12);
+    }
+
+    #[test]
+    fn heap_radix_256_emits_everything() {
+        let streams: Vec<Vec<(u32, f32)>> = (0..256u32)
+            .map(|i| (0..4).map(|j| (j * 256 + i, 1.0f32)).collect())
+            .collect();
+        let mut m = HeapMerger::new(streams.into_iter().map(Vec::into_iter).collect::<Vec<_>>());
+        assert_eq!(m.radix(), 256);
+        let out: Vec<u32> = m.by_ref().map(|(k, _)| k).collect();
+        assert_eq!(out.len(), 1024);
+        assert!(out.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(m.stats().emitted, 1024);
+    }
+
+    #[test]
+    fn reduce_sums_equal_keys() {
+        let out: Vec<_> = merge_reduce(streams()).collect();
+        assert_eq!(out, vec![(0, 1.0), (1, 1.5), (2, 2.0), (3, 3.5), (9, 9.0)]);
+    }
+
+    #[test]
+    fn reduce_of_empty_is_empty() {
+        let empty: Vec<(u32, f32)> = Vec::new();
+        assert_eq!(reduce_sorted(empty.into_iter()).count(), 0);
+    }
+
+    #[test]
+    fn merge_with_point_keys() {
+        use crate::Point;
+        let a = vec![(Point::from_slice(&[0, 2]), 1.0f32)];
+        let b = vec![(Point::from_slice(&[0, 1]), 2.0f32)];
+        let out: Vec<_> = TournamentMerger::new(vec![a.into_iter(), b.into_iter()]).collect();
+        assert_eq!(out[0].0, Point::from_slice(&[0, 1]));
+        assert_eq!(out[1].0, Point::from_slice(&[0, 2]));
+    }
+
+    #[test]
+    fn single_input_merger_is_identity() {
+        let s = vec![(1u32, 1.0f32), (2, 2.0)];
+        let out: Vec<_> = TournamentMerger::new(vec![s.clone().into_iter()]).collect();
+        assert_eq!(out, s);
+    }
+}

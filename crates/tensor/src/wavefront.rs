@@ -1,0 +1,206 @@
+//! Wavefront views of activation tensors (paper Sec. III, Fig. 6/7).
+//!
+//! A *wavefront* is the unit the IS-OS dataflow produces and consumes: one
+//! column of one activation plane, traversed channel-innermost. In the
+//! sparse case wavefronts become *wavy lines* (Sec. III-B): each lane sits
+//! at the earliest unprocessed nonzero of its row, so different rows run
+//! at slightly different columns with synchronization dictated only by
+//! data dependences. This module provides both views over a CSF
+//! `[H, W, C]` tensor:
+//!
+//! - [`wavefronts`]: the per-column element stream of one row, in exactly
+//!   the order a frontend lane consumes it;
+//! - [`WavyLine`]: the cross-row frontier, advanced row by row, as the
+//!   hardware's decoupled lanes would.
+
+use crate::{Coord, Csf};
+
+/// One element of a wavefront: `(column, channel, value)`.
+pub type WavefrontElem = (Coord, Coord, f32);
+
+/// Iterates row `h`'s nonzeros in wavefront (column-then-channel) order.
+///
+/// This is the concordant traversal of the `[W, C]` sub-fibertree — the
+/// exact consumption order of an IS frontend lane.
+///
+/// # Panics
+///
+/// Panics if `acts` is not rank 3.
+pub fn wavefronts(acts: &Csf, h: Coord) -> impl Iterator<Item = WavefrontElem> + '_ {
+    assert_eq!(acts.ndim(), 3, "activations must be [H,W,C]");
+    let cols: Vec<(Coord, Vec<(Coord, f32)>)> = acts
+        .root()
+        .find(h)
+        .map(|row| {
+            row.iter_children()
+                .map(|(w, f)| (w, f.iter_leaf().collect()))
+                .collect()
+        })
+        .unwrap_or_default();
+    cols.into_iter()
+        .flat_map(|(w, leaf)| leaf.into_iter().map(move |(c, v)| (w, c, v)))
+}
+
+/// The sparse execution frontier: per row, the index of the next
+/// unprocessed nonzero, with the *wavy line* being each row's current
+/// column.
+///
+/// # Examples
+///
+/// ```
+/// use isos_tensor::{gen, wavefront::WavyLine};
+/// let t = gen::random_csf(vec![4, 8, 2].into(), 0.4, 1);
+/// let mut line = WavyLine::new(&t);
+/// let mut consumed = 0;
+/// while let Some((_h, _elem)) = line.consume_earliest() {
+///     consumed += 1;
+/// }
+/// assert_eq!(consumed, t.nnz());
+/// ```
+#[derive(Debug)]
+pub struct WavyLine {
+    rows: Vec<Vec<WavefrontElem>>,
+    cursor: Vec<usize>,
+}
+
+impl WavyLine {
+    /// Builds the frontier at the start of a `[H, W, C]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acts` is not rank 3.
+    pub fn new(acts: &Csf) -> Self {
+        assert_eq!(acts.ndim(), 3, "activations must be [H,W,C]");
+        let h_dim = acts.shape()[0];
+        let rows = (0..h_dim as Coord)
+            .map(|h| wavefronts(acts, h).collect::<Vec<_>>())
+            .collect::<Vec<_>>();
+        Self {
+            cursor: vec![0; rows.len()],
+            rows,
+        }
+    }
+
+    /// The current column of each row's frontier (`None` once a row is
+    /// exhausted) — the paper's wavy line, made inspectable.
+    pub fn frontier(&self) -> Vec<Option<Coord>> {
+        self.rows
+            .iter()
+            .zip(&self.cursor)
+            .map(|(row, &c)| row.get(c).map(|&(w, _, _)| w))
+            .collect()
+    }
+
+    /// Consumes one element from row `h`, if any remain.
+    pub fn consume_row(&mut self, h: usize) -> Option<WavefrontElem> {
+        let elem = *self.rows.get(h)?.get(self.cursor[h])?;
+        self.cursor[h] += 1;
+        Some(elem)
+    }
+
+    /// Consumes the globally earliest element (lowest column, ties broken
+    /// by row) — the most synchronized schedule possible.
+    pub fn consume_earliest(&mut self) -> Option<(usize, WavefrontElem)> {
+        let h = self
+            .frontier()
+            .into_iter()
+            .enumerate()
+            .filter_map(|(h, w)| w.map(|w| (h, w)))
+            .min_by_key(|&(h, w)| (w, h))?
+            .0;
+        self.consume_row(h).map(|e| (h, e))
+    }
+
+    /// How far apart the fastest and slowest unfinished rows are, in
+    /// columns — the "waviness" that queues must absorb.
+    pub fn skew(&self) -> Coord {
+        let cols: Vec<Coord> = self.frontier().into_iter().flatten().collect();
+        match (cols.iter().min(), cols.iter().max()) {
+            (Some(&lo), Some(&hi)) => hi - lo,
+            _ => 0,
+        }
+    }
+
+    /// Elements not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.rows
+            .iter()
+            .zip(&self.cursor)
+            .map(|(row, &c)| row.len() - c)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, Point};
+
+    fn tensor() -> Csf {
+        Csf::from_entries(
+            vec![3, 5, 2].into(),
+            vec![
+                (Point::from_slice(&[0, 0, 1]), 1.0),
+                (Point::from_slice(&[0, 4, 0]), 2.0),
+                (Point::from_slice(&[1, 2, 0]), 3.0),
+                (Point::from_slice(&[1, 2, 1]), 4.0),
+                (Point::from_slice(&[2, 3, 1]), 5.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn wavefront_order_is_column_then_channel() {
+        let t = tensor();
+        let row1: Vec<WavefrontElem> = wavefronts(&t, 1).collect();
+        assert_eq!(row1, vec![(2, 0, 3.0), (2, 1, 4.0)]);
+        let row0: Vec<WavefrontElem> = wavefronts(&t, 0).collect();
+        assert_eq!(row0[0], (0, 1, 1.0));
+        assert_eq!(row0[1], (4, 0, 2.0));
+    }
+
+    #[test]
+    fn frontier_starts_at_first_nonzeros() {
+        let line = WavyLine::new(&tensor());
+        assert_eq!(line.frontier(), vec![Some(0), Some(2), Some(3)]);
+        assert_eq!(line.skew(), 3);
+    }
+
+    #[test]
+    fn consume_earliest_is_globally_sorted_by_column() {
+        let mut line = WavyLine::new(&tensor());
+        let mut cols = Vec::new();
+        while let Some((_, (w, _, _))) = line.consume_earliest() {
+            cols.push(w);
+        }
+        assert_eq!(cols, vec![0, 2, 2, 3, 4]);
+        assert_eq!(line.remaining(), 0);
+        assert_eq!(line.skew(), 0);
+    }
+
+    #[test]
+    fn rows_advance_independently() {
+        let mut line = WavyLine::new(&tensor());
+        // Drain row 0 completely while others sit still: skew grows.
+        assert!(line.consume_row(0).is_some());
+        assert!(line.consume_row(0).is_some());
+        assert!(line.consume_row(0).is_none());
+        assert_eq!(line.frontier()[0], None);
+        assert_eq!(line.remaining(), 3);
+    }
+
+    #[test]
+    fn dense_tensor_has_zero_initial_skew() {
+        let t = gen::random_csf(vec![4, 6, 3].into(), 1.0, 2);
+        let line = WavyLine::new(&t);
+        assert_eq!(line.skew(), 0);
+        assert_eq!(line.remaining(), t.nnz());
+    }
+
+    #[test]
+    fn wavefronts_cover_whole_tensor() {
+        let t = gen::random_csf(vec![5, 7, 3].into(), 0.5, 3);
+        let total: usize = (0..5).map(|h| wavefronts(&t, h).count()).sum();
+        assert_eq!(total, t.nnz());
+    }
+}

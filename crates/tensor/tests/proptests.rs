@@ -1,0 +1,156 @@
+//! Property-based tests for the sparse tensor substrate.
+
+use isos_tensor::merge::{reduce_sorted, HeapMerger, TournamentMerger};
+use isos_tensor::{bitmask::BitmaskVec, Csf, Dense, Point, Shape};
+use proptest::prelude::*;
+
+/// A random small shape with 1..=4 ranks.
+fn shape_strategy() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..8, 1..=4)
+}
+
+/// Random entries within a shape (indices may repeat; values may be zero).
+fn entries_strategy(dims: Vec<usize>) -> impl Strategy<Value = Vec<(Vec<u32>, f32)>> {
+    let coord = dims
+        .iter()
+        .map(|&d| (0u32..d as u32).boxed())
+        .collect::<Vec<_>>();
+    prop::collection::vec((coord, -4.0f32..4.0), 0..64)
+}
+
+proptest! {
+    #[test]
+    fn csf_roundtrips_through_dense(dims in shape_strategy()) {
+        let shape = Shape::new(dims.clone());
+        let runner = dims.iter().map(|&d| d as u64).product::<u64>();
+        // Deterministic pseudo-dense content from the shape itself.
+        let data: Vec<f32> = (0..runner)
+            .map(|i| if i % 3 == 0 { (i % 7) as f32 - 3.0 } else { 0.0 })
+            .collect();
+        let dense = Dense::from_vec(shape, data);
+        let csf = Csf::from_dense(&dense);
+        prop_assert_eq!(csf.to_dense(), dense);
+    }
+
+    #[test]
+    fn csf_iter_is_strictly_increasing_and_matches_nnz(
+        dims in shape_strategy().prop_flat_map(|d| (Just(d.clone()), entries_strategy(d)))
+    ) {
+        let (dims, raw) = dims;
+        let shape = Shape::new(dims);
+        let entries: Vec<(Point, f32)> = raw
+            .into_iter()
+            .map(|(c, v)| (Point::from_slice(&c), v))
+            .collect();
+        let csf = Csf::from_entries(shape, entries);
+        let pts: Vec<Point> = csf.iter().map(|(p, _)| p).collect();
+        prop_assert_eq!(pts.len(), csf.nnz());
+        prop_assert!(pts.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(csf.values().iter().filter(|&&v| v == 0.0).count(), 0);
+    }
+
+    #[test]
+    fn csf_from_entries_accumulates_like_dense(
+        dims in shape_strategy().prop_flat_map(|d| (Just(d.clone()), entries_strategy(d)))
+    ) {
+        let (dims, raw) = dims;
+        let shape = Shape::new(dims);
+        let mut dense = Dense::zeros(shape.clone());
+        for (c, v) in &raw {
+            dense[&Point::from_slice(c)] += *v;
+        }
+        let entries: Vec<(Point, f32)> = raw
+            .into_iter()
+            .map(|(c, v)| (Point::from_slice(&c), v))
+            .collect();
+        let csf = Csf::from_entries(shape, entries);
+        // Accumulation order differs, so allow float tolerance.
+        prop_assert!(csf.to_dense().max_abs_diff(&dense) < 1e-4);
+    }
+
+    #[test]
+    fn csf_permute_roundtrip(
+        dims in prop::collection::vec(1usize..6, 3..=3),
+        seed in 0u64..1000,
+    ) {
+        let shape = Shape::new(dims);
+        let csf = isos_tensor::gen::random_csf(shape, 0.3, seed);
+        let perm = [2usize, 0, 1];
+        let inv = [1usize, 2, 0];
+        prop_assert_eq!(csf.permuted(&perm).permuted(&inv), csf);
+    }
+
+    #[test]
+    fn mergers_equal_global_sort(
+        streams in prop::collection::vec(
+            prop::collection::vec((0u32..64, -2.0f32..2.0), 0..20),
+            1..6
+        )
+    ) {
+        let sorted: Vec<Vec<(u32, f32)>> = streams
+            .into_iter()
+            .map(|mut s| {
+                s.sort_by_key(|&(k, _)| k);
+                s
+            })
+            .collect();
+        let mut expected: Vec<u32> = sorted.iter().flatten().map(|&(k, _)| k).collect();
+        expected.sort_unstable();
+
+        let t: Vec<u32> = TournamentMerger::new(
+            sorted.iter().map(|s| s.clone().into_iter()).collect::<Vec<_>>(),
+        )
+        .map(|(k, _)| k)
+        .collect();
+        let h: Vec<u32> = HeapMerger::new(
+            sorted.iter().map(|s| s.clone().into_iter()).collect::<Vec<_>>(),
+        )
+        .map(|(k, _)| k)
+        .collect();
+        prop_assert_eq!(&t, &expected);
+        prop_assert_eq!(&h, &expected);
+    }
+
+    #[test]
+    fn reduce_preserves_sum_and_dedups(
+        mut items in prop::collection::vec((0u32..16, -2.0f32..2.0), 0..64)
+    ) {
+        items.sort_by_key(|&(k, _)| k);
+        let total: f32 = items.iter().map(|&(_, v)| v).sum();
+        let reduced: Vec<(u32, f32)> = reduce_sorted(items.into_iter()).collect();
+        let rtotal: f32 = reduced.iter().map(|&(_, v)| v).sum();
+        prop_assert!((total - rtotal).abs() < 1e-3);
+        prop_assert!(reduced.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn bitmask_dot_matches_dense_dot(
+        a in prop::collection::vec(prop::option::weighted(0.3, -2.0f32..2.0), 0..200),
+        b_seed in 0u64..100,
+    ) {
+        let a: Vec<f32> = a.into_iter().map(|o| o.unwrap_or(0.0)).collect();
+        let b: Vec<f32> = a
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if (i as u64 + b_seed).is_multiple_of(3) { 1.5 } else { 0.0 })
+            .collect();
+        let dense_dot: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let (sparse_dot, pairs) = BitmaskVec::from_dense(&a).dot(&BitmaskVec::from_dense(&b));
+        prop_assert!((dense_dot - sparse_dot).abs() < 1e-4);
+        let true_pairs = a.iter().zip(&b).filter(|(x, y)| **x != 0.0 && **y != 0.0).count();
+        prop_assert_eq!(pairs as usize, true_pairs);
+    }
+
+    #[test]
+    fn fiber_nnz_below_sums_to_total(seed in 0u64..200) {
+        let csf = isos_tensor::gen::random_csf(vec![6, 6, 6].into(), 0.2, seed);
+        if csf.ndim() > 1 {
+            let total: usize = csf
+                .root()
+                .iter_children()
+                .map(|(_, f)| f.nnz_below())
+                .sum();
+            prop_assert_eq!(total, csf.nnz());
+        }
+    }
+}

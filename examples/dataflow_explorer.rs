@@ -1,0 +1,105 @@
+//! Dataflow explorer: makes the IS-OS dataflow's defining properties
+//! visible on a small layer — wavefront ordering, concordant traversal,
+//! effectual-work scaling with the sparsity product, and the merger work
+//! behind the sparse transposes.
+//!
+//! ```sh
+//! cargo run --example dataflow_explorer
+//! ```
+
+use isos_tensor::{gen, Csf};
+use isosceles::dataflow::{execute_conv, Pou};
+
+fn main() {
+    // --- Property 1: outputs leave in exactly the order the next layer's
+    // frontend consumes (channel innermost, then column, then row). ---
+    let input = gen::random_csf(vec![4, 8, 3].into(), 0.6, 11);
+    let filter = gen::random_csf(vec![3, 3, 4, 3].into(), 0.4, 12);
+    let l1 = execute_conv(&input, &filter, 1, 1, &Pou::relu(4));
+    println!("first output wavefronts (row p, column q, channel k):");
+    for (point, value) in l1.output.iter().take(8) {
+        println!("  O[{}, {}, {}] = {value:.3}", point[0], point[1], point[2]);
+    }
+    let points: Vec<_> = l1.output.iter().map(|(p, _)| p).collect();
+    assert!(
+        points.windows(2).all(|w| w[0] < w[1]),
+        "production order must be concordant"
+    );
+    println!("  -> strictly increasing in (p, q, k): consumable as-is by the next layer\n");
+
+    // --- Property 2: a second layer consumes that stream directly; no
+    // transposition or re-sorting between layers. ---
+    let filter2 = gen::random_csf(vec![4, 3, 2, 3].into(), 0.4, 13);
+    let l2 = execute_conv(&l1.output, &filter2, 1, 1, &Pou::relu(2));
+    println!(
+        "chained second layer: {} outputs from {} intermediate nonzeros\n",
+        l2.output.nnz(),
+        l1.output.nnz()
+    );
+
+    // --- Property 3: effectual MACs scale with the *product* of input and
+    // weight density (the reason sparse CNNs are memory-bound, Sec. I). ---
+    println!(
+        "{:<12} {:>12} {:>16} {:>10}",
+        "density", "MACs", "dense-equiv", "ratio"
+    );
+    let shape_in = vec![16, 16, 8];
+    let shape_f = vec![8, 3, 8, 3];
+    let dense_macs = {
+        let i = gen::random_csf(shape_in.clone().into(), 1.0, 1);
+        let f = gen::random_csf(shape_f.clone().into(), 1.0, 2);
+        execute_conv(&i, &f, 1, 1, &Pou::linear(8))
+            .stats
+            .frontend
+            .macs
+    };
+    for d in [1.0, 0.5, 0.25, 0.1] {
+        let i = gen::random_csf(shape_in.clone().into(), d, 1);
+        let f = gen::random_csf(shape_f.clone().into(), d, 2);
+        let macs = execute_conv(&i, &f, 1, 1, &Pou::linear(8))
+            .stats
+            .frontend
+            .macs;
+        println!(
+            "{:<12} {:>12} {:>16} {:>9.3}",
+            format!("{d:.2}x{d:.2}"),
+            macs,
+            dense_macs,
+            macs as f64 / dense_macs as f64
+        );
+    }
+    println!("  -> work falls ~quadratically while footprint falls linearly\n");
+
+    // --- Property 4: the mergers do the sparse transposes. ---
+    let stats = l1.stats.backend;
+    println!("merger work for the first layer:");
+    println!(
+        "  R-mergers emitted {} elements ({} reductions); K-mergers emitted {}",
+        stats.r_merged, stats.reductions, stats.k_merged
+    );
+    println!(
+        "  {} comparator activations total",
+        stats.merger_comparisons
+    );
+
+    // --- Property 5: intermediate (partial-result) state stays small. ---
+    let partial_peak = filter.shape()[2] * filter.shape()[1] * filter.shape()[3];
+    println!(
+        "\nper-lane partial-result bound: K*R*S = {partial_peak} accumulators \
+         ({} B at 16-bit) — the 'thin wavefront' that makes deep pipelines cheap",
+        partial_peak * 2
+    );
+
+    // Keep the example honest.
+    let golden = isos_nn::reference::bn_relu(
+        &isos_nn::reference::conv2d(&input.to_dense(), &filter.to_dense(), 1, 1),
+        &[1.0; 4],
+        &[0.0; 4],
+    );
+    assert!(
+        Csf::from_dense(&golden)
+            .to_dense()
+            .max_abs_diff(&l1.output.to_dense())
+            < 1e-3
+    );
+}

@@ -1,0 +1,103 @@
+//! Quickstart: run one sparse convolution through the IS-OS dataflow,
+//! check it against the dense golden model, then simulate a small pruned
+//! network on the cycle-level ISOSceles model.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use isos_nn::graph::Network;
+use isos_nn::layer::{ActShape, Layer, LayerKind};
+use isos_nn::reference;
+use isos_nn::sparsity::{apply_activation_profile, apply_weight_profile, WeightProfile};
+use isos_tensor::gen;
+use isosceles::arch::simulate_network;
+use isosceles::dataflow::{execute_conv, Pou};
+use isosceles::mapping::ExecMode;
+use isosceles::IsoscelesConfig;
+
+fn main() {
+    // --- 1. Functional: a sparse 3x3 convolution under IS-OS. ---
+    // Input activations [H, W, C] and filters [C, R, K, S] in CSF; 50%
+    // activation sparsity, 90% weight sparsity.
+    let input = gen::random_csf(vec![16, 16, 8].into(), 0.5, 1);
+    let filter = gen::random_csf(vec![8, 3, 16, 3].into(), 0.1, 2);
+    println!(
+        "input: {} nonzeros ({:.0}% sparse); filter: {} nonzeros ({:.0}% sparse)",
+        input.nnz(),
+        input.sparsity() * 100.0,
+        filter.nnz(),
+        filter.sparsity() * 100.0
+    );
+
+    let exec = execute_conv(&input, &filter, 1, 1, &Pou::relu(16));
+    println!(
+        "IS-OS frontend: {} effectual MACs, {} partials emitted",
+        exec.stats.frontend.macs, exec.stats.frontend.partials_emitted
+    );
+    println!(
+        "OS backend: {} R-merged, {} K-merged, {} outputs after ReLU",
+        exec.stats.backend.r_merged,
+        exec.stats.backend.k_merged,
+        exec.stats.backend.outputs_emitted
+    );
+
+    // Validate against the dense golden model.
+    let golden = reference::bn_relu(
+        &reference::conv2d(&input.to_dense(), &filter.to_dense(), 1, 1),
+        &[1.0; 16],
+        &[0.0; 16],
+    );
+    let err = exec.output.to_dense().max_abs_diff(&golden);
+    println!("max |IS-OS - golden| = {err:.2e}");
+    assert!(err < 1e-3, "IS-OS output must match the reference");
+
+    // --- 2. Performance: a 6-layer pruned CNN on the Table-I machine. ---
+    let mut net = Network::new("quickstart-cnn");
+    let mut prev = None;
+    for (i, k) in [32usize, 32, 64, 64, 128, 128].into_iter().enumerate() {
+        let in_shape = match prev {
+            None => ActShape::new(32, 32, 16),
+            Some(p) => net.layer(p).output,
+        };
+        let stride = if i == 2 || i == 4 { 2 } else { 1 };
+        let inputs: Vec<usize> = prev.into_iter().collect();
+        prev = Some(net.add(
+            Layer::new(
+                &format!("conv{i}"),
+                LayerKind::Conv {
+                    r: 3,
+                    s: 3,
+                    stride,
+                    pad: 1,
+                },
+                in_shape,
+                k,
+            ),
+            &inputs,
+        ));
+    }
+    apply_weight_profile(&mut net, WeightProfile::Uniform { sparsity: 0.9 });
+    apply_activation_profile(&mut net, 42);
+
+    let cfg = IsoscelesConfig::default();
+    let pipelined = simulate_network(&net, &cfg, ExecMode::Pipelined, 42);
+    let single = simulate_network(&net, &cfg, ExecMode::SingleLayer, 42);
+    println!();
+    println!(
+        "pipelined:   {:>8} cycles, {:>8.1} KB off-chip, MAC util {:.0}%",
+        pipelined.total.cycles,
+        pipelined.total.total_traffic() / 1e3,
+        pipelined.total.mac_util.ratio() * 100.0
+    );
+    println!(
+        "layer-by-layer: {:>5} cycles, {:>8.1} KB off-chip",
+        single.total.cycles,
+        single.total.total_traffic() / 1e3
+    );
+    println!(
+        "inter-layer pipelining: {:.2}x faster, {:.2}x less traffic",
+        single.total.cycles as f64 / pipelined.total.cycles as f64,
+        single.total.total_traffic() / pipelined.total.total_traffic()
+    );
+}

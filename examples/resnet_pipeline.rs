@@ -1,0 +1,92 @@
+//! End-to-end ResNet-50 walkthrough: build the pruned model, inspect how
+//! the greedy mapper pipelines it (Table IV), run the cycle-level model,
+//! and compare against the SparTen and Fused-Layer baselines.
+//!
+//! ```sh
+//! cargo run --example resnet_pipeline -- 0.96
+//! ```
+//! The optional argument is the weight sparsity (default 0.96).
+
+use isos_baselines::{simulate_fused_layer, simulate_sparten, FusedLayerConfig, SpartenConfig};
+use isos_nn::models::resnet50;
+use isos_sim::energy::{energy_of, EnergyParams};
+use isosceles::arch::simulate_network;
+use isosceles::mapping::{map_network, ExecMode};
+use isosceles::IsoscelesConfig;
+
+fn main() {
+    let sparsity: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.96);
+    let net = resnet50(sparsity, 20230225);
+    println!(
+        "{}: {} layers, {:.1}M weights ({:.1}M nonzero), {:.2}G dense MACs, {:.0}M effectual",
+        net.name,
+        net.len(),
+        net.total_dense_weights() as f64 / 1e6,
+        net.total_nnz_weights() / 1e6,
+        net.total_dense_macs() / 1e9,
+        net.total_effectual_macs() / 1e6
+    );
+
+    let cfg = IsoscelesConfig::default();
+    let mapping = map_network(&net, &cfg, ExecMode::Pipelined);
+    println!("\npipeline mapping ({} groups):", mapping.groups.len());
+    for g in &mapping.groups {
+        let tag = if g.is_pipelined() {
+            "pipeline"
+        } else {
+            "single "
+        };
+        println!(
+            "  [{tag}] {:<22} {} layers{}{}",
+            g.name,
+            g.layers.len(),
+            if g.p_tiles > 1 {
+                format!(", P-tiled x{}", g.p_tiles)
+            } else {
+                String::new()
+            },
+            if g.k_tiles > 1 {
+                format!(", K-tiled x{}", g.k_tiles)
+            } else {
+                String::new()
+            },
+        );
+    }
+
+    let isos = simulate_network(&net, &cfg, ExecMode::Pipelined, 20230225);
+    let sparten = simulate_sparten(&net, &SpartenConfig::default());
+    let fused = simulate_fused_layer(&net, &FusedLayerConfig::default());
+
+    println!(
+        "\n{:<14} {:>12} {:>12} {:>10} {:>10}",
+        "model", "cycles", "traffic MB", "MAC util", "BW util"
+    );
+    for (name, m) in [
+        ("Fused-Layer", &fused.total),
+        ("SparTen", &sparten.total),
+        ("ISOSceles", &isos.total),
+    ] {
+        println!(
+            "{:<14} {:>12} {:>12.1} {:>9.0}% {:>9.0}%",
+            name,
+            m.cycles,
+            m.total_traffic() / 1e6,
+            m.mac_util.ratio() * 100.0,
+            m.bw_util.ratio() * 100.0
+        );
+    }
+    println!(
+        "\nISOSceles is {:.1}x faster than SparTen and {:.1}x faster than Fused-Layer",
+        sparten.total.cycles as f64 / isos.total.cycles as f64,
+        fused.total.cycles as f64 / isos.total.cycles as f64
+    );
+    let e = energy_of(&isos.total.activity, &EnergyParams::default());
+    println!(
+        "energy per inference: {:.2} mJ ({:.0}% DRAM)",
+        e.total_mj(),
+        e.dram_fraction() * 100.0
+    );
+}

@@ -1,0 +1,17 @@
+//! Umbrella crate for the ISOSceles reproduction workspace.
+//!
+//! This package hosts the cross-crate examples (`examples/`) and
+//! integration tests (`tests/`); the functionality lives in the member
+//! crates, re-exported here for convenience:
+//!
+//! - [`isos_tensor`]: CSF tensors, mergers, bitmask vectors;
+//! - [`isos_nn`]: the CNN model zoo, pruning, golden reference;
+//! - [`isos_sim`]: DRAM/SRAM/queue models, energy, area;
+//! - [`isosceles`]: the IS-OS dataflow and the accelerator model;
+//! - [`isos_baselines`]: SparTen(+GoSPA) and Fused-Layer.
+
+pub use isos_baselines;
+pub use isos_nn;
+pub use isos_sim;
+pub use isos_tensor;
+pub use isosceles;

@@ -1,0 +1,146 @@
+//! Integration tests: multi-layer functional execution under the IS-OS
+//! dataflow, validated end-to-end against the dense golden model.
+
+use isos_nn::reference;
+use isos_tensor::{gen, Csf, Dense};
+use isosceles::dataflow::{execute_add, execute_conv, execute_dwconv, execute_fc, Pou};
+
+/// ReLU-including reference conv.
+fn golden_conv(input: &Dense, filter: &Dense, stride: usize, pad: usize, k: usize) -> Dense {
+    reference::bn_relu(
+        &reference::conv2d(input, filter, stride, pad),
+        &vec![1.0; k],
+        &vec![0.0; k],
+    )
+}
+
+#[test]
+fn three_layer_cnn_matches_reference() {
+    // conv3x3 -> conv3x3(stride 2) -> conv1x1, all sparse, chained through
+    // the IS-OS output order without any re-sorting.
+    let input = gen::random_dense(vec![12, 12, 4].into(), 0.6, 1);
+    let f1 = gen::random_dense(vec![4, 3, 8, 3].into(), 0.3, 2);
+    let f2 = gen::random_dense(vec![8, 3, 8, 3].into(), 0.3, 3);
+    let f3 = gen::random_dense(vec![8, 1, 16, 1].into(), 0.3, 4);
+
+    let l1 = execute_conv(
+        &Csf::from_dense(&input),
+        &Csf::from_dense(&f1),
+        1,
+        1,
+        &Pou::relu(8),
+    );
+    let l2 = execute_conv(&l1.output, &Csf::from_dense(&f2), 2, 1, &Pou::relu(8));
+    let l3 = execute_conv(&l2.output, &Csf::from_dense(&f3), 1, 0, &Pou::relu(16));
+
+    let g1 = golden_conv(&input, &f1, 1, 1, 8);
+    let g2 = golden_conv(&g1, &f2, 2, 1, 8);
+    let g3 = golden_conv(&g2, &f3, 1, 0, 16);
+
+    assert_eq!(l3.output.shape().dims(), g3.shape().dims());
+    assert!(
+        l3.output.to_dense().max_abs_diff(&g3) < 1e-3,
+        "three-layer chain diverged"
+    );
+}
+
+#[test]
+fn resnet_style_block_with_skip_matches_reference() {
+    // conv1x1 -> conv3x3 -> conv1x1, plus identity skip, joined by an add
+    // with ReLU — a bottleneck block shaped like ResNet's.
+    let input = gen::random_dense(vec![8, 8, 8].into(), 0.5, 10);
+    let f1 = gen::random_dense(vec![8, 1, 4, 1].into(), 0.4, 11);
+    let f2 = gen::random_dense(vec![4, 3, 4, 3].into(), 0.4, 12);
+    let f3 = gen::random_dense(vec![4, 1, 8, 1].into(), 0.4, 13);
+
+    let icsf = Csf::from_dense(&input);
+    let l1 = execute_conv(&icsf, &Csf::from_dense(&f1), 1, 0, &Pou::relu(4));
+    let l2 = execute_conv(&l1.output, &Csf::from_dense(&f2), 1, 1, &Pou::relu(4));
+    // Last conv is linear: the non-linearity comes after the add.
+    let l3 = execute_conv(&l2.output, &Csf::from_dense(&f3), 1, 0, &Pou::linear(8));
+    let out = execute_add(&l3.output, &icsf, &Pou::relu(8));
+
+    let g1 = golden_conv(&input, &f1, 1, 0, 4);
+    let g2 = golden_conv(&g1, &f2, 1, 1, 4);
+    let g3 = reference::conv2d(&g2, &f3, 1, 0);
+    let golden = reference::bn_relu(&reference::add(&g3, &input), &[1.0; 8], &[0.0; 8]);
+    assert!(
+        out.output.to_dense().max_abs_diff(&golden) < 1e-3,
+        "bottleneck block diverged"
+    );
+}
+
+#[test]
+fn mobilenet_style_separable_block_matches_reference() {
+    // Depth-wise 3x3 then point-wise 1x1, the MobileNet building block.
+    let input = gen::random_dense(vec![10, 10, 6].into(), 0.55, 20);
+    let dw = gen::random_dense(vec![6, 3, 3].into(), 0.5, 21);
+    let pw = gen::random_dense(vec![6, 1, 12, 1].into(), 0.3, 22);
+
+    let l1 = execute_dwconv(
+        &Csf::from_dense(&input),
+        &Csf::from_dense(&dw),
+        1,
+        1,
+        &Pou::relu(6),
+    );
+    let l2 = execute_conv(&l1.output, &Csf::from_dense(&pw), 1, 0, &Pou::relu(12));
+
+    let g1 = reference::bn_relu(
+        &reference::dwconv2d(&input, &dw, 1, 1),
+        &[1.0; 6],
+        &[0.0; 6],
+    );
+    let g2 = golden_conv(&g1, &pw, 1, 0, 12);
+    assert!(l2.output.to_dense().max_abs_diff(&g2) < 1e-3);
+}
+
+#[test]
+fn classifier_head_matches_reference() {
+    // GAP output (1x1xC) into an FC layer executed as SpMV.
+    let features = gen::random_dense(vec![4, 4, 16].into(), 0.4, 30);
+    let gap = reference::global_avg_pool(&features);
+    let weights = gen::random_dense(vec![16, 10].into(), 0.5, 31);
+
+    let fc = execute_fc(
+        &Csf::from_dense(&gap),
+        &Csf::from_dense(&weights),
+        &Pou::linear(10),
+    );
+    let golden = reference::fully_connected(&gap, &weights);
+    assert!(fc.output.to_dense().max_abs_diff(&golden) < 1e-4);
+}
+
+#[test]
+fn extreme_sparsity_end_to_end() {
+    // 99% sparse everything: outputs may be empty; nothing panics and
+    // whatever survives matches the reference.
+    let input = gen::random_dense(vec![16, 16, 8].into(), 0.05, 40);
+    let f = gen::random_dense(vec![8, 3, 8, 3].into(), 0.02, 41);
+    let l = execute_conv(
+        &Csf::from_dense(&input),
+        &Csf::from_dense(&f),
+        1,
+        1,
+        &Pou::relu(8),
+    );
+    let g = golden_conv(&input, &f, 1, 1, 8);
+    assert!(l.output.to_dense().max_abs_diff(&g) < 1e-4);
+}
+
+#[test]
+fn dense_execution_end_to_end() {
+    // Fully dense inputs exercise the same machinery (IS-OS supports dense
+    // as the degenerate case).
+    let input = gen::random_dense(vec![6, 6, 3].into(), 1.0, 50);
+    let f = gen::random_dense(vec![3, 3, 5, 3].into(), 1.0, 51);
+    let l = execute_conv(
+        &Csf::from_dense(&input),
+        &Csf::from_dense(&f),
+        1,
+        0,
+        &Pou::relu(5),
+    );
+    let g = golden_conv(&input, &f, 1, 0, 5);
+    assert!(l.output.to_dense().max_abs_diff(&g) < 1e-3);
+}

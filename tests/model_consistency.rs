@@ -1,0 +1,204 @@
+//! Integration tests: cross-model invariants that must hold regardless of
+//! calibration — conservation of work, mapping coverage, determinism, and
+//! dominance relations between execution modes.
+
+use isos_baselines::{simulate_isosceles_single, simulate_sparten, SpartenConfig};
+use isos_nn::models::{googlenet_inception3a, mobilenet_v1, paper_suite, resnet50, vgg16};
+use isosceles::arch::{simulate_mapping, simulate_network};
+use isosceles::mapping::{map_network, ExecMode};
+use isosceles::IsoscelesConfig;
+
+const SEED: u64 = 7;
+
+#[test]
+fn whole_suite_simulates_on_all_models() {
+    let cfg = IsoscelesConfig::default();
+    for w in paper_suite(SEED) {
+        let isos = simulate_network(&w.network, &cfg, ExecMode::Pipelined, SEED);
+        assert!(isos.total.cycles > 0, "{}", w.id);
+        assert!(isos.total.total_traffic() > 0.0, "{}", w.id);
+        let sp = simulate_sparten(&w.network, &SpartenConfig::default());
+        assert!(sp.total.cycles > 0, "{}", w.id);
+    }
+}
+
+#[test]
+fn executed_macs_match_expected_effectual_work() {
+    // The cycle model must execute exactly the network's effectual MACs
+    // (modulo the per-column wobble's float rounding): no work lost, none
+    // invented.
+    let cfg = IsoscelesConfig::default();
+    for net in [
+        resnet50(0.95, SEED),
+        mobilenet_v1(0.89, SEED),
+        googlenet_inception3a(0.58, SEED),
+    ] {
+        let expected: f64 = net.total_effectual_macs();
+        let r = simulate_network(&net, &cfg, ExecMode::Pipelined, SEED);
+        let err = (r.total.effectual_macs - expected).abs() / expected;
+        assert!(
+            err < 0.01,
+            "{}: executed {} vs expected {}",
+            net.name,
+            r.total.effectual_macs,
+            expected
+        );
+    }
+}
+
+#[test]
+fn pipelined_never_worse_than_single_layer() {
+    let cfg = IsoscelesConfig::default();
+    for net in [
+        resnet50(0.96, SEED),
+        mobilenet_v1(0.75, SEED),
+        vgg16(0.9, SEED),
+    ] {
+        let pipe = simulate_network(&net, &cfg, ExecMode::Pipelined, SEED);
+        let single = simulate_isosceles_single(&net, &cfg, SEED);
+        assert!(
+            pipe.total.cycles <= single.total.cycles,
+            "{}: pipelined {} > single {}",
+            net.name,
+            pipe.total.cycles,
+            single.total.cycles
+        );
+        assert!(
+            pipe.total.total_traffic() <= single.total.total_traffic() * 1.001,
+            "{}: pipelining must not add traffic",
+            net.name
+        );
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let cfg = IsoscelesConfig::default();
+    let net = resnet50(0.96, SEED);
+    let a = simulate_network(&net, &cfg, ExecMode::Pipelined, SEED);
+    let b = simulate_network(&net, &cfg, ExecMode::Pipelined, SEED);
+    assert_eq!(a.total.cycles, b.total.cycles);
+    assert_eq!(a.total.total_traffic(), b.total.total_traffic());
+}
+
+#[test]
+fn mapping_covers_every_layer_once_for_all_workloads() {
+    let cfg = IsoscelesConfig::default();
+    for w in paper_suite(SEED) {
+        for mode in [ExecMode::Pipelined, ExecMode::SingleLayer] {
+            let mapping = map_network(&w.network, &cfg, mode);
+            let mut seen = vec![0u32; w.network.len()];
+            for g in &mapping.groups {
+                for &id in &g.layers {
+                    seen[id] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "{} {:?}", w.id, mode);
+        }
+    }
+}
+
+#[test]
+fn per_group_metrics_sum_to_totals() {
+    let cfg = IsoscelesConfig::default();
+    let net = resnet50(0.9, SEED);
+    let mapping = map_network(&net, &cfg, ExecMode::Pipelined);
+    let r = simulate_mapping(&net, &cfg, &mapping, SEED);
+    let cyc: u64 = r.groups.iter().map(|(_, m)| m.cycles).sum();
+    assert_eq!(cyc, r.total.cycles);
+    let traffic: f64 = r.groups.iter().map(|(_, m)| m.total_traffic()).sum();
+    assert!((traffic - r.total.total_traffic()).abs() < 1.0);
+}
+
+#[test]
+fn more_bandwidth_never_slows_execution() {
+    let net = mobilenet_v1(0.75, SEED);
+    let mut cfg = IsoscelesConfig::default();
+    let base = simulate_network(&net, &cfg, ExecMode::Pipelined, SEED);
+    cfg.dram_bytes_per_cycle = 256.0;
+    let fast = simulate_network(&net, &cfg, ExecMode::Pipelined, SEED);
+    assert!(fast.total.cycles <= base.total.cycles);
+}
+
+#[test]
+fn more_macs_never_slow_execution() {
+    let net = vgg16(0.68, SEED);
+    let mut cfg = IsoscelesConfig::default();
+    let base = simulate_network(&net, &cfg, ExecMode::Pipelined, SEED);
+    cfg.macs_per_lane = 128;
+    let fat = simulate_network(&net, &cfg, ExecMode::Pipelined, SEED);
+    assert!(fat.total.cycles <= base.total.cycles);
+}
+
+#[test]
+fn spatial_microsim_agrees_with_interval_model() {
+    // The element-level spatial design has #layers x the MACs of the
+    // time-multiplexed machine; when compute-bound, the interval model's
+    // cycles should sit between 1x and ~(#layers + preload slack) x the
+    // spatial cycles.
+    use isos_nn::layer::{ActShape, Layer, LayerKind};
+    use isos_tensor::{gen, Csf};
+    use isosceles::arch::{build_chain, simulate_micro};
+
+    let cfg = IsoscelesConfig {
+        lanes: 32,
+        macs_per_lane: 32,
+        ..Default::default()
+    };
+    let n_layers = 3usize;
+    let input = gen::random_csf(vec![24, 32, 8].into(), 0.6, 1);
+    let filters: Vec<(Csf, usize, usize)> = (0..n_layers)
+        .map(|i| {
+            (
+                gen::random_csf(vec![8, 3, 8, 3].into(), 0.4, 80 + i as u64),
+                1,
+                1,
+            )
+        })
+        .collect();
+    let chain = build_chain(input, &filters);
+    let micro = simulate_micro(&chain, &cfg);
+
+    let mut net = isos_nn::graph::Network::new("twin");
+    let mut prev: Option<usize> = None;
+    for (i, layer) in chain.iter().enumerate() {
+        let d = layer.input.shape().dims();
+        let l = Layer::new(
+            &format!("c{i}"),
+            LayerKind::Conv {
+                r: 3,
+                s: 3,
+                stride: 1,
+                pad: 1,
+            },
+            ActShape::new(d[0], d[1], d[2]),
+            8,
+        )
+        .with_weight_density(layer.filter.density())
+        .with_act_density(layer.input.density(), layer.input.density());
+        let inputs: Vec<usize> = prev.into_iter().collect();
+        prev = Some(net.add(l, &inputs));
+    }
+    let interval = simulate_network(&net, &cfg, ExecMode::Pipelined, 9);
+    let ratio = interval.total.cycles as f64 / micro.cycles as f64;
+    assert!(
+        (0.8..=8.0).contains(&ratio),
+        "interval {} vs spatial {} (ratio {ratio:.2})",
+        interval.total.cycles,
+        micro.cycles
+    );
+}
+
+#[test]
+fn utilizations_are_well_formed_everywhere() {
+    let cfg = IsoscelesConfig::default();
+    for w in paper_suite(SEED) {
+        let r = simulate_network(&w.network, &cfg, ExecMode::Pipelined, SEED);
+        for (name, m) in &r.groups {
+            let mac = m.mac_util.ratio();
+            let bw = m.bw_util.ratio();
+            assert!((0.0..=1.0).contains(&mac), "{}/{name}: mac {mac}", w.id);
+            assert!((0.0..=1.0).contains(&bw), "{}/{name}: bw {bw}", w.id);
+        }
+    }
+}

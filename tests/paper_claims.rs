@@ -1,0 +1,191 @@
+//! Integration tests asserting the paper's headline claims hold in shape:
+//! who wins, by roughly what factor, and which resource binds. Tolerances
+//! are deliberately wide — this is a reproduction on synthetic sparsity,
+//! not a bit-exact replay (see EXPERIMENTS.md for the measured numbers).
+
+use isos_baselines::{
+    simulate_fused_layer, simulate_isosceles_single, simulate_sparten, FusedLayerConfig,
+    SpartenConfig,
+};
+use isos_nn::models::{paper_suite, resnet50};
+use isos_sim::stats::geometric_mean;
+use isosceles::arch::simulate_network;
+use isosceles::mapping::ExecMode;
+use isosceles::IsoscelesConfig;
+
+const SEED: u64 = 20230225;
+
+#[test]
+fn headline_gmeans_match_paper_shape() {
+    let cfg = IsoscelesConfig::default();
+    let mut vs_sparten = Vec::new();
+    let mut vs_fused = Vec::new();
+    let mut traffic_ratio = Vec::new();
+    for w in paper_suite(SEED) {
+        let isos = simulate_network(&w.network, &cfg, ExecMode::Pipelined, SEED);
+        let sparten = simulate_sparten(&w.network, &SpartenConfig::default());
+        let fused = simulate_fused_layer(&w.network, &FusedLayerConfig::default());
+        let s = sparten.total.cycles as f64 / isos.total.cycles as f64;
+        assert!(s > 1.0, "{}: ISOSceles must beat SparTen ({s:.2}x)", w.id);
+        vs_sparten.push(s);
+        vs_fused.push(fused.total.cycles as f64 / isos.total.cycles as f64);
+        traffic_ratio.push(sparten.total.total_traffic() / isos.total.total_traffic());
+    }
+    let g_sparten = geometric_mean(&vs_sparten);
+    let g_fused = geometric_mean(&vs_fused);
+    let g_traffic = geometric_mean(&traffic_ratio);
+    // Paper: 4.3x, 7.5x, 4.7x.
+    assert!(
+        (2.5..=6.5).contains(&g_sparten),
+        "gmean vs SparTen {g_sparten:.2}"
+    );
+    assert!(
+        (5.0..=13.0).contains(&g_fused),
+        "gmean vs Fused {g_fused:.2}"
+    );
+    assert!(
+        (3.0..=6.5).contains(&g_traffic),
+        "gmean traffic ratio {g_traffic:.2}"
+    );
+}
+
+#[test]
+fn speedup_grows_with_resnet_sparsity() {
+    // Paper Fig. 14a: ResNet speedups over Fused-Layer grow monotonically
+    // from R81 to R99 (5.9x -> 18.0x).
+    let cfg = IsoscelesConfig::default();
+    let mut prev = 0.0;
+    for sparsity in [0.81, 0.90, 0.96, 0.99] {
+        let net = resnet50(sparsity, SEED);
+        let isos = simulate_network(&net, &cfg, ExecMode::Pipelined, SEED);
+        let fused = simulate_fused_layer(&net, &FusedLayerConfig::default());
+        let speedup = fused.total.cycles as f64 / isos.total.cycles as f64;
+        assert!(
+            speedup > prev,
+            "speedup must grow with sparsity: {speedup:.1} after {prev:.1}"
+        );
+        prev = speedup;
+    }
+    assert!(
+        prev > 10.0,
+        "R99 speedup {prev:.1} should be >10x (paper 18x)"
+    );
+}
+
+#[test]
+fn fused_layer_is_compute_bound_sparten_is_memory_bound() {
+    // Paper Figs. 15/16.
+    let net = resnet50(0.96, SEED);
+    let sparten = simulate_sparten(&net, &SpartenConfig::default());
+    let fused = simulate_fused_layer(&net, &FusedLayerConfig::default());
+    assert!(
+        fused.total.mac_util.ratio() > 0.8,
+        "Fused-Layer compute-bound"
+    );
+    assert!(fused.total.bw_util.ratio() < 0.5, "Fused-Layer BW is slack");
+    assert!(sparten.total.bw_util.ratio() > 0.9, "SparTen saturates BW");
+    assert!(sparten.total.mac_util.ratio() < 0.3, "SparTen MACs idle");
+}
+
+#[test]
+fn isosceles_util_exceeds_sparten_and_falls_with_sparsity() {
+    // Paper Fig. 16: ISOSceles ~3.4x SparTen's MAC utilization, and its
+    // own utilization drops as ResNet gets sparser (more memory-bound).
+    let cfg = IsoscelesConfig::default();
+    let mut isos_utils = Vec::new();
+    for sparsity in [0.81, 0.96, 0.99] {
+        let net = resnet50(sparsity, SEED);
+        let isos = simulate_network(&net, &cfg, ExecMode::Pipelined, SEED);
+        let sparten = simulate_sparten(&net, &SpartenConfig::default());
+        assert!(
+            isos.total.mac_util.ratio() > 1.5 * sparten.total.mac_util.ratio(),
+            "sparsity {sparsity}: ISOSceles util should clearly exceed SparTen's"
+        );
+        isos_utils.push(isos.total.mac_util.ratio());
+    }
+    assert!(isos_utils[0] > isos_utils[2], "util falls with sparsity");
+}
+
+#[test]
+fn fig18_pipelining_decomposition() {
+    // Paper Sec. VI-C on R96: IS-OS dataflow alone beats SparTen ~1.9x;
+    // pipelining adds ~2.6x more; traffic tracks cycles (memory-bound).
+    let cfg = IsoscelesConfig::default();
+    let net = resnet50(0.96, SEED);
+    let sparten = simulate_sparten(&net, &SpartenConfig::default());
+    let single = simulate_isosceles_single(&net, &cfg, SEED);
+    let full = simulate_network(&net, &cfg, ExecMode::Pipelined, SEED);
+
+    let dataflow_gain = sparten.total.cycles as f64 / single.total.cycles as f64;
+    let pipeline_gain = single.total.cycles as f64 / full.total.cycles as f64;
+    assert!(
+        (1.3..=3.0).contains(&dataflow_gain),
+        "dataflow gain {dataflow_gain:.2} (paper 1.9)"
+    );
+    assert!(
+        (1.8..=3.5).contains(&pipeline_gain),
+        "pipeline gain {pipeline_gain:.2} (paper 2.6)"
+    );
+
+    let traffic_gain = single.total.total_traffic() / full.total.total_traffic();
+    assert!(
+        (traffic_gain / pipeline_gain - 1.0).abs() < 0.5,
+        "traffic gain {traffic_gain:.2} should track cycle gain {pipeline_gain:.2}"
+    );
+}
+
+#[test]
+fn traffic_split_matches_fig14c() {
+    // Fused-Layer dominated by weights, SparTen by activations, ISOSceles
+    // low on both.
+    let cfg = IsoscelesConfig::default();
+    for w in paper_suite(SEED) {
+        if w.id == "G58" {
+            continue; // tiny block: activations dominate everything
+        }
+        let fused = simulate_fused_layer(&w.network, &FusedLayerConfig::default());
+        let sparten = simulate_sparten(&w.network, &SpartenConfig::default());
+        assert!(
+            fused.total.weight_traffic > fused.total.act_traffic,
+            "{}: Fused-Layer should be weight-dominated",
+            w.id
+        );
+        assert!(
+            sparten.total.act_traffic > sparten.total.weight_traffic,
+            "{}: SparTen should be activation-dominated",
+            w.id
+        );
+        let isos = simulate_network(&w.network, &cfg, ExecMode::Pipelined, SEED);
+        assert!(
+            isos.total.act_traffic < 0.6 * sparten.total.act_traffic,
+            "{}: pipelining must slash activation traffic",
+            w.id
+        );
+    }
+}
+
+#[test]
+fn energy_band_matches_fig17() {
+    use isos_sim::energy::{energy_of, EnergyParams};
+    let cfg = IsoscelesConfig::default();
+    let params = EnergyParams::default();
+    let mut fractions = Vec::new();
+    for sparsity in [0.81, 0.99] {
+        let net = resnet50(sparsity, SEED);
+        let isos = simulate_network(&net, &cfg, ExecMode::Pipelined, SEED);
+        let e = energy_of(&isos.total.activity, &params);
+        // Paper band: 0.2-1.9 mJ per ResNet inference.
+        assert!(
+            (0.1..=2.5).contains(&e.total_mj()),
+            "sparsity {sparsity}: {:.2} mJ out of band",
+            e.total_mj()
+        );
+        fractions.push(e.dram_fraction());
+    }
+    assert!(
+        fractions[1] > fractions[0],
+        "DRAM share must grow with sparsity ({:.2} -> {:.2})",
+        fractions[0],
+        fractions[1]
+    );
+}
