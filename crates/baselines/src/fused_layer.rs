@@ -12,6 +12,7 @@
 
 use isos_nn::graph::{Network, NodeId};
 
+use isosceles::accel::{stable_key, Accelerator};
 use isosceles::metrics::{NetworkMetrics, RunMetrics};
 use serde::{Deserialize, Serialize};
 
@@ -131,16 +132,36 @@ fn simulate_group(net: &Network, group: &[NodeId], cfg: &FusedLayerConfig) -> Ru
     m
 }
 
-/// Simulates a whole network under Fused-Layer.
-pub fn simulate_fused_layer(net: &Network, cfg: &FusedLayerConfig) -> NetworkMetrics {
-    let mut out = NetworkMetrics::default();
-    for group in fuse_groups(net, cfg) {
-        let m = simulate_group(net, &group, cfg);
-        out.total.accumulate(&m);
-        let name = net.layer(group[0]).name.clone();
-        out.groups.push((name, m));
+impl Accelerator for FusedLayerConfig {
+    fn name(&self) -> &str {
+        "fused-layer"
     }
-    out
+
+    fn cache_key(&self) -> u64 {
+        stable_key(Accelerator::name(self), self)
+    }
+
+    /// Simulates a whole network under Fused-Layer. The model is analytic,
+    /// so the seed does not enter.
+    fn simulate(&self, net: &Network, _seed: u64) -> NetworkMetrics {
+        let mut out = NetworkMetrics::default();
+        for group in fuse_groups(net, self) {
+            let m = simulate_group(net, &group, self);
+            out.total.accumulate(&m);
+            let name = net.layer(group[0]).name.clone();
+            out.groups.push((name, m));
+        }
+        out
+    }
+}
+
+/// Simulates a whole network under Fused-Layer.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `Accelerator` impl on `FusedLayerConfig`"
+)]
+pub fn simulate_fused_layer(net: &Network, cfg: &FusedLayerConfig) -> NetworkMetrics {
+    cfg.simulate(net, 0)
 }
 
 /// Layer ids per fused group, exposed for per-pipeline comparisons
@@ -157,7 +178,7 @@ mod tests {
     #[test]
     fn fused_layer_is_compute_bound_on_dense_nets() {
         let net = resnet50(0.96, 1); // sparsity ignored: dense execution
-        let r = simulate_fused_layer(&net, &FusedLayerConfig::default());
+        let r = FusedLayerConfig::default().simulate(&net, 0);
         // Paper Fig. 16: ~100% MAC utilization; Fig. 15: ~47% BW.
         assert!(
             r.total.mac_util.ratio() > 0.8,
@@ -175,14 +196,14 @@ mod tests {
     fn weight_traffic_dominates_activations() {
         // Paper Fig. 14c: Fused-Layer is dominated by (dense) weights.
         let net = resnet50(0.9, 1);
-        let r = simulate_fused_layer(&net, &FusedLayerConfig::default());
+        let r = FusedLayerConfig::default().simulate(&net, 0);
         assert!(r.total.weight_traffic > r.total.act_traffic);
     }
 
     #[test]
     fn dense_macs_are_performed_regardless_of_sparsity() {
         let sparse = resnet50(0.99, 1);
-        let r = simulate_fused_layer(&sparse, &FusedLayerConfig::default());
+        let r = FusedLayerConfig::default().simulate(&sparse, 0);
         // Halo recomputation makes MACs >= the dense count.
         assert!(r.total.effectual_macs >= sparse.total_dense_macs());
     }

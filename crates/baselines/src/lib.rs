@@ -13,14 +13,18 @@
 //! - [`single`]: ISOSceles-single — IS-OS hardware run layer by layer
 //!   (Fig. 18 ablation).
 //!
+//! Every baseline is a config struct implementing
+//! [`isosceles::accel::Accelerator`], so the bench suite drives them
+//! uniformly through trait objects.
+//!
 //! # Examples
 //!
 //! ```
-//! use isos_baselines::{simulate_fused_layer, simulate_sparten};
 //! use isos_baselines::{FusedLayerConfig, SpartenConfig};
+//! use isosceles::accel::Accelerator;
 //! let net = isos_nn::models::googlenet_inception3a(0.58, 1);
-//! let ft = simulate_fused_layer(&net, &FusedLayerConfig::default());
-//! let sp = simulate_sparten(&net, &SpartenConfig::default());
+//! let ft = FusedLayerConfig::default().simulate(&net, 1);
+//! let sp = SpartenConfig::default().simulate(&net, 1);
 //! assert!(ft.total.cycles > 0 && sp.total.cycles > 0);
 //! ```
 
@@ -31,6 +35,13 @@ pub mod fused_layer;
 pub mod single;
 pub mod sparten;
 
-pub use fused_layer::{fused_groups, simulate_fused_layer, FusedLayerConfig};
+pub use fused_layer::{fused_groups, FusedLayerConfig};
+pub use single::IsoscelesSingleConfig;
+pub use sparten::SpartenConfig;
+
+#[allow(deprecated)]
+pub use fused_layer::simulate_fused_layer;
+#[allow(deprecated)]
 pub use single::simulate_isosceles_single;
-pub use sparten::{simulate_sparten, SpartenConfig};
+#[allow(deprecated)]
+pub use sparten::simulate_sparten;

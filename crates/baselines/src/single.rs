@@ -6,18 +6,47 @@
 //! gap between this and full ISOSceles isolates inter-layer pipelining's.
 
 use isos_nn::graph::Network;
-use isosceles::arch::simulate_network;
+use isosceles::accel::{stable_key, Accelerator};
+use isosceles::arch::run_network;
 use isosceles::mapping::ExecMode;
 use isosceles::metrics::NetworkMetrics;
 use isosceles::IsoscelesConfig;
+use serde::{Deserialize, Serialize};
+
+/// ISOSceles hardware constrained to layer-by-layer execution.
+///
+/// A newtype over [`IsoscelesConfig`]: identical Table I hardware, but the
+/// mapper is forced into [`ExecMode::SingleLayer`]. Kept distinct from the
+/// pipelined model so the two register as different accelerators (with
+/// different cache keys) in the suite engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct IsoscelesSingleConfig(pub IsoscelesConfig);
+
+impl Accelerator for IsoscelesSingleConfig {
+    fn name(&self) -> &str {
+        "isosceles-single"
+    }
+
+    fn cache_key(&self) -> u64 {
+        stable_key(Accelerator::name(self), self)
+    }
+
+    fn simulate(&self, net: &Network, seed: u64) -> NetworkMetrics {
+        run_network(net, &self.0, ExecMode::SingleLayer, seed)
+    }
+}
 
 /// Simulates a network on ISOSceles hardware, layer by layer.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `Accelerator` impl on `IsoscelesSingleConfig`"
+)]
 pub fn simulate_isosceles_single(
     net: &Network,
     cfg: &IsoscelesConfig,
     seed: u64,
 ) -> NetworkMetrics {
-    simulate_network(net, cfg, ExecMode::SingleLayer, seed)
+    IsoscelesSingleConfig(*cfg).simulate(net, seed)
 }
 
 #[cfg(test)]
@@ -29,7 +58,7 @@ mod tests {
     #[test]
     fn single_mode_has_one_weighted_layer_per_group() {
         let net = resnet50(0.96, 1);
-        let r = simulate_isosceles_single(&net, &IsoscelesConfig::default(), 1);
+        let r = IsoscelesSingleConfig::default().simulate(&net, 1);
         // Adds fuse into the conv feeding them, so groups number fewer
         // than layers but at least one per conv/pool/FC.
         let adds = net
@@ -45,8 +74,8 @@ mod tests {
         // The headline Fig. 18 relationship, at network scale.
         let net = resnet50(0.96, 1);
         let cfg = IsoscelesConfig::default();
-        let single = simulate_isosceles_single(&net, &cfg, 1);
-        let full = simulate_network(&net, &cfg, ExecMode::Pipelined, 1);
+        let single = IsoscelesSingleConfig(cfg).simulate(&net, 1);
+        let full = run_network(&net, &cfg, ExecMode::Pipelined, 1);
         assert!(
             full.total.cycles < single.total.cycles,
             "full {} vs single {}",
@@ -54,5 +83,15 @@ mod tests {
             single.total.cycles
         );
         assert!(full.total.total_traffic() < single.total.total_traffic());
+    }
+
+    #[test]
+    fn single_config_key_differs_from_pipelined() {
+        // Same underlying hardware struct, different model identity.
+        let cfg = IsoscelesConfig::default();
+        assert_ne!(
+            IsoscelesSingleConfig(cfg).cache_key(),
+            Accelerator::cache_key(&cfg)
+        );
     }
 }

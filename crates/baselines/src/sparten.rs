@@ -14,6 +14,7 @@
 
 use isos_nn::graph::Network;
 use isos_nn::layer::{Layer, LayerKind};
+use isosceles::accel::{stable_key, Accelerator};
 use isosceles::metrics::{NetworkMetrics, RunMetrics};
 use serde::{Deserialize, Serialize};
 
@@ -152,15 +153,35 @@ fn simulate_layer(layer: &Layer, cfg: &SpartenConfig) -> RunMetrics {
     m
 }
 
-/// Simulates a whole network layer by layer under SparTen.
-pub fn simulate_sparten(net: &Network, cfg: &SpartenConfig) -> NetworkMetrics {
-    let mut out = NetworkMetrics::default();
-    for node in net.nodes() {
-        let m = simulate_layer(&node.layer, cfg);
-        out.total.accumulate(&m);
-        out.groups.push((node.layer.name.clone(), m));
+impl Accelerator for SpartenConfig {
+    fn name(&self) -> &str {
+        "sparten"
     }
-    out
+
+    fn cache_key(&self) -> u64 {
+        stable_key(Accelerator::name(self), self)
+    }
+
+    /// Simulates a whole network layer by layer under SparTen. The model
+    /// is analytic, so the seed does not enter.
+    fn simulate(&self, net: &Network, _seed: u64) -> NetworkMetrics {
+        let mut out = NetworkMetrics::default();
+        for node in net.nodes() {
+            let m = simulate_layer(&node.layer, self);
+            out.total.accumulate(&m);
+            out.groups.push((node.layer.name.clone(), m));
+        }
+        out
+    }
+}
+
+/// Simulates a whole network layer by layer under SparTen.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `Accelerator` impl on `SpartenConfig`"
+)]
+pub fn simulate_sparten(net: &Network, cfg: &SpartenConfig) -> NetworkMetrics {
+    cfg.simulate(net, 0)
 }
 
 #[cfg(test)]
@@ -230,7 +251,7 @@ mod tests {
     #[test]
     fn resnet_is_memory_bound() {
         let net = resnet50(0.96, 1);
-        let r = simulate_sparten(&net, &SpartenConfig::default());
+        let r = SpartenConfig::default().simulate(&net, 0);
         // Paper Fig. 15: SparTen always saturates memory bandwidth.
         assert!(
             r.total.bw_util.ratio() > 0.8,
@@ -244,7 +265,7 @@ mod tests {
     #[test]
     fn per_layer_results_cover_network() {
         let net = resnet50(0.9, 1);
-        let r = simulate_sparten(&net, &SpartenConfig::default());
+        let r = SpartenConfig::default().simulate(&net, 0);
         assert_eq!(r.groups.len(), net.len());
         let sum: u64 = r.groups.iter().map(|(_, m)| m.cycles).sum();
         assert_eq!(sum, r.total.cycles);

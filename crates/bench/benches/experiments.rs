@@ -4,11 +4,25 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use isos_sim::stats::geometric_mean;
-use isosceles_bench::suite::{run_suite, run_workload, SEED};
+use isosceles::accel::Accelerator;
+use isosceles_bench::engine::{EngineOptions, SuiteEngine};
+use isosceles_bench::suite::SEED;
+
+/// Serial, cache-less, quiet engine: criterion must measure simulation
+/// time, not disk reads or thread-pool jitter.
+fn measured_engine() -> SuiteEngine {
+    SuiteEngine::new(EngineOptions {
+        threads: 1,
+        use_cache: false,
+        quiet: true,
+        ..EngineOptions::default()
+    })
+}
 
 fn bench_fig14_suite(c: &mut Criterion) {
-    // Print the headline summary once, then measure the sweep's wall time.
-    let rows = run_suite(SEED);
+    // Print the headline summary once (through the shared engine, cached
+    // and parallel as configured), then measure the sweep's wall time.
+    let rows = SuiteEngine::from_env().run_suite(SEED).rows;
     let vs_sparten: Vec<f64> = rows.iter().map(|r| r.speedup_vs_sparten()).collect();
     let vs_fused: Vec<f64> = rows.iter().map(|r| r.speedup_vs_fused()).collect();
     let traffic: Vec<f64> = rows.iter().map(|r| r.sparten_traffic_ratio()).collect();
@@ -28,12 +42,18 @@ fn bench_fig14_suite(c: &mut Criterion) {
     let mut g = c.benchmark_group("experiments");
     g.sample_size(10);
     let suite = isos_nn::models::paper_suite(SEED);
+    let engine = measured_engine();
+    let isosceles = isosceles::IsoscelesConfig::default();
+    let single = isos_baselines::IsoscelesSingleConfig::default();
+    let sparten = isos_baselines::SpartenConfig::default();
+    let fused = isos_baselines::FusedLayerConfig::default();
+    let accels: [&dyn Accelerator; 4] = [&isosceles, &single, &sparten, &fused];
     // One representative per family keeps the measured set fast while the
     // printed summary above covers all 11.
     for id in ["R96", "V68", "M75", "G58"] {
-        let w = suite.iter().find(|w| w.id == id).unwrap().clone();
+        let w = vec![suite.iter().find(|w| w.id == id).unwrap().clone()];
         g.bench_function(format!("fig14_{id}_all_models"), |b| {
-            b.iter(|| black_box(run_workload(black_box(&w), SEED)))
+            b.iter(|| black_box(engine.run_matrix(black_box(&w), &accels, SEED)))
         });
     }
     g.finish();
@@ -41,10 +61,11 @@ fn bench_fig14_suite(c: &mut Criterion) {
 
 fn bench_fig18_ablation(c: &mut Criterion) {
     let cfg = isosceles::IsoscelesConfig::default();
+    let single_cfg = isos_baselines::IsoscelesSingleConfig(cfg);
     let net = isos_nn::models::resnet50(0.96, SEED);
-    let single = isos_baselines::simulate_isosceles_single(&net, &cfg, SEED);
-    let full = isosceles::arch::simulate_network(&net, &cfg, isosceles::ExecMode::Pipelined, SEED);
-    let sparten = isos_baselines::simulate_sparten(&net, &isos_baselines::SpartenConfig::default());
+    let single = single_cfg.simulate(&net, SEED);
+    let full = cfg.simulate(&net, SEED);
+    let sparten = isos_baselines::SpartenConfig::default().simulate(&net, SEED);
     println!(
         "[fig18] single vs SparTen {:.2}x (paper 1.9x); full vs single {:.2}x (paper 2.6x)",
         sparten.total.cycles as f64 / single.total.cycles as f64,
@@ -53,13 +74,7 @@ fn bench_fig18_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("experiments");
     g.sample_size(10);
     g.bench_function("fig18_r96_single_mode", |b| {
-        b.iter(|| {
-            black_box(isos_baselines::simulate_isosceles_single(
-                black_box(&net),
-                &cfg,
-                SEED,
-            ))
-        })
+        b.iter(|| black_box(single_cfg.simulate(black_box(&net), SEED)))
     });
     g.finish();
 }

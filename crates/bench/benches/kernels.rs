@@ -106,12 +106,8 @@ fn bench_group_sim(c: &mut Criterion) {
     let cfg = isosceles::IsoscelesConfig::default();
     g.bench_function("resnet50_r96_full_network", |b| {
         b.iter(|| {
-            black_box(isosceles::arch::simulate_network(
-                black_box(&net),
-                &cfg,
-                isosceles::ExecMode::Pipelined,
-                42,
-            ))
+            use isosceles::accel::Accelerator;
+            black_box(cfg.simulate(black_box(&net), 42))
         })
     });
     g.finish();

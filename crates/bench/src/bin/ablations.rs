@@ -7,13 +7,12 @@
 
 use isos_nn::graph::Network;
 use isos_nn::models::{mobilenet_v1, resnet50};
-use isosceles::arch::simulate_network;
-use isosceles::mapping::ExecMode;
+use isosceles::accel::Accelerator;
 use isosceles::IsoscelesConfig;
 use isosceles_bench::suite::SEED;
 
 fn row(net: &Network, cfg: &IsoscelesConfig) -> (u64, f64, f64) {
-    let r = simulate_network(net, cfg, ExecMode::Pipelined, SEED);
+    let r = cfg.simulate(net, SEED);
     (
         r.total.cycles,
         r.total.total_traffic() / 1e6,

@@ -2,12 +2,13 @@
 //! paper figure, for external plotting.
 
 use isos_sim::energy::{energy_of, EnergyParams};
+use isosceles_bench::engine::SuiteEngine;
 use isosceles_bench::report::CsvTable;
-use isosceles_bench::suite::{run_suite, SEED};
+use isosceles_bench::suite::SEED;
 use std::path::Path;
 
 fn main() {
-    let rows = run_suite(SEED);
+    let rows = SuiteEngine::from_env().run_suite(SEED).rows;
     let dir = Path::new("results");
 
     let mut fig14a = CsvTable::new(&["net", "sparten_speedup", "isosceles_speedup"]);
@@ -29,18 +30,18 @@ fn main() {
     for r in &rows {
         let f = r.fused.total.total_traffic();
         fig14a.push_row(vec![
-            r.id.into(),
+            r.id.to_string(),
             format!("{:.3}", r.sparten_speedup_vs_fused()),
             format!("{:.3}", r.speedup_vs_fused()),
         ]);
         fig14b.push_row(vec![
-            r.id.into(),
+            r.id.to_string(),
             r.fused.total.cycles.to_string(),
             r.sparten.total.cycles.to_string(),
             r.isosceles.total.cycles.to_string(),
         ]);
         fig14c.push_row(vec![
-            r.id.into(),
+            r.id.to_string(),
             format!("{:.4}", r.fused.total.weight_traffic / f),
             format!("{:.4}", r.fused.total.act_traffic / f),
             format!("{:.4}", r.sparten.total.weight_traffic / f),
@@ -49,20 +50,20 @@ fn main() {
             format!("{:.4}", r.isosceles.total.act_traffic / f),
         ]);
         fig15.push_row(vec![
-            r.id.into(),
+            r.id.to_string(),
             format!("{:.3}", r.fused.total.bw_util.ratio()),
             format!("{:.3}", r.sparten.total.bw_util.ratio()),
             format!("{:.3}", r.isosceles.total.bw_util.ratio()),
         ]);
         fig16.push_row(vec![
-            r.id.into(),
+            r.id.to_string(),
             format!("{:.3}", r.fused.total.mac_util.ratio()),
             format!("{:.3}", r.sparten.total.mac_util.ratio()),
             format!("{:.3}", r.isosceles.total.mac_util.ratio()),
         ]);
         let e = energy_of(&r.isosceles.total.activity, &params);
         fig17.push_row(vec![
-            r.id.into(),
+            r.id.to_string(),
             format!("{:.4}", e.dram_mj),
             format!("{:.4}", e.sram_mj),
             format!("{:.4}", e.compute_mj),

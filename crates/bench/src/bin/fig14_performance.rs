@@ -2,10 +2,11 @@
 //! the 11-CNN suite for Fused-Layer, SparTen(+GoSPA), and ISOSceles.
 
 use isos_sim::stats::geometric_mean;
-use isosceles_bench::suite::{run_suite, SEED};
+use isosceles_bench::engine::SuiteEngine;
+use isosceles_bench::suite::SEED;
 
 fn main() {
-    let rows = run_suite(SEED);
+    let rows = SuiteEngine::from_env().run_suite(SEED).rows;
 
     println!("# Figure 14a: speedup over Fused-Layer (higher is better)");
     println!("{:<5} {:>10} {:>10}", "net", "SparTen", "ISOSceles");

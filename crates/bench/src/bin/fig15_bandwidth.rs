@@ -4,10 +4,11 @@
 //! always saturates it (memory-bound); ISOSceles frees bandwidth on some
 //! networks.
 
-use isosceles_bench::suite::{run_suite, SEED};
+use isosceles_bench::engine::SuiteEngine;
+use isosceles_bench::suite::SEED;
 
 fn main() {
-    let rows = run_suite(SEED);
+    let rows = SuiteEngine::from_env().run_suite(SEED).rows;
     println!("# Figure 15: memory bandwidth utilization (1.0 = saturated)");
     println!(
         "{:<5} {:>12} {:>10} {:>10}",

@@ -4,10 +4,11 @@
 //! (3.4x SparTen); VGG exceeds 50%; utilization drops as ResNet gets
 //! sparser (more memory-bound).
 
-use isosceles_bench::suite::{run_suite, SEED};
+use isosceles_bench::engine::SuiteEngine;
+use isosceles_bench::suite::SEED;
 
 fn main() {
-    let rows = run_suite(SEED);
+    let rows = SuiteEngine::from_env().run_suite(SEED).rows;
     println!("# Figure 16: MAC array utilization");
     println!(
         "{:<5} {:>12} {:>10} {:>10}",

@@ -5,10 +5,11 @@
 //! consumes 10.1 mJ (V68) and 3.7 mJ (V90).
 
 use isos_sim::energy::{energy_of, EnergyParams};
-use isosceles_bench::suite::{run_suite, SEED};
+use isosceles_bench::engine::SuiteEngine;
+use isosceles_bench::suite::SEED;
 
 fn main() {
-    let rows = run_suite(SEED);
+    let rows = SuiteEngine::from_env().run_suite(SEED).rows;
     let params = EnergyParams::default();
     println!("# Figure 17: ISOSceles energy per inference (mJ)");
     println!(
@@ -28,8 +29,8 @@ fn main() {
             e.total_mj(),
             e.dram_fraction() * 100.0
         );
-        if r.id.starts_with('R') || r.id.starts_with('M') {
-            resnet_mobilenet.push((r.id, e));
+        if r.id.as_str().starts_with('R') || r.id.as_str().starts_with('M') {
+            resnet_mobilenet.push((r.id.as_str(), e));
         }
     }
     println!();

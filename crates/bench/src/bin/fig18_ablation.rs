@@ -7,9 +7,9 @@
 //! matching traffic reductions because R96 is memory-bound; unpipelined
 //! layers account for ~16% of single-mode time.
 
-use isos_baselines::{simulate_isosceles_single, simulate_sparten, SpartenConfig};
+use isos_baselines::{IsoscelesSingleConfig, SpartenConfig};
 use isos_nn::models::resnet50;
-use isosceles::arch::simulate_network;
+use isosceles::accel::Accelerator;
 use isosceles::mapping::{map_network, ExecMode};
 use isosceles::IsoscelesConfig;
 use isosceles_bench::suite::SEED;
@@ -20,9 +20,9 @@ fn main() {
     let net = resnet50(0.96, SEED);
     let mapping = map_network(&net, &cfg, ExecMode::Pipelined);
 
-    let isos = simulate_network(&net, &cfg, ExecMode::Pipelined, SEED);
-    let single = simulate_isosceles_single(&net, &cfg, SEED);
-    let sparten = simulate_sparten(&net, &SpartenConfig::default());
+    let isos = cfg.simulate(&net, SEED);
+    let single = IsoscelesSingleConfig(cfg).simulate(&net, SEED);
+    let sparten = SpartenConfig::default().simulate(&net, SEED);
 
     // Aggregate the layer-granular baselines over each ISOSceles pipeline's
     // extent ("their equivalent group of layers", Sec. VI-C).

@@ -10,8 +10,8 @@
 use isos_nn::graph::Network;
 use isos_nn::layer::{ActShape, Layer, LayerKind};
 use isos_tensor::{gen, Csf};
-use isosceles::arch::{build_chain, simulate_micro, simulate_network};
-use isosceles::mapping::ExecMode;
+use isosceles::accel::Accelerator;
+use isosceles::arch::{build_chain, simulate_micro};
 use isosceles::IsoscelesConfig;
 
 fn main() {
@@ -62,7 +62,7 @@ fn main() {
             let inputs: Vec<usize> = prev.into_iter().collect();
             prev = Some(net.add(l, &inputs));
         }
-        let interval = simulate_network(&net, &cfg, ExecMode::Pipelined, 9);
+        let interval = cfg.simulate(&net, 9);
 
         let ratio = interval.total.cycles as f64 / micro.cycles as f64;
         println!(

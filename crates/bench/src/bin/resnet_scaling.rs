@@ -2,9 +2,9 @@
 //! at 90% weight sparsity — does the inter-layer-pipelining advantage
 //! generalize beyond the paper's ResNet-50?
 
-use isos_baselines::{simulate_sparten, SpartenConfig};
+use isos_baselines::SpartenConfig;
 use isos_nn::models::{resnet, ResNetDepth};
-use isosceles::arch::simulate_network;
+use isosceles::accel::Accelerator;
 use isosceles::mapping::{map_network, ExecMode};
 use isosceles::IsoscelesConfig;
 use isosceles_bench::suite::SEED;
@@ -24,8 +24,8 @@ fn main() {
         ResNetDepth::D152,
     ] {
         let net = resnet(depth, 0.90, SEED);
-        let isos = simulate_network(&net, &cfg, ExecMode::Pipelined, SEED);
-        let spar = simulate_sparten(&net, &SpartenConfig::default());
+        let isos = cfg.simulate(&net, SEED);
+        let spar = SpartenConfig::default().simulate(&net, SEED);
         let mapping = map_network(&net, &cfg, ExecMode::Pipelined);
         println!(
             "ResNet-{:<5} {:>10.2} {:>12.1} {:>12.1} {:>9.2}x {:>10}",

@@ -1,10 +1,11 @@
 //! One-screen summary of the full evaluation: per-workload speedups,
 //! traffic, and utilizations, with the paper's headline gmeans.
 use isos_sim::stats::geometric_mean;
-use isosceles_bench::suite::{run_suite, SEED};
+use isosceles_bench::engine::SuiteEngine;
+use isosceles_bench::suite::SEED;
 
 fn main() {
-    let rows = run_suite(SEED);
+    let rows = SuiteEngine::from_env().run_suite(SEED).rows;
     println!(
         "{:<5} {:>8} {:>8} {:>8} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8}",
         "net", "IvsS", "IvsF", "SvsF", "I_MB", "S_MB", "F_MB", "I_bw", "I_mac", "S/I_tr"

@@ -1,0 +1,704 @@
+//! The parallel, cached suite engine.
+//!
+//! Every harness binary used to call an ad-hoc serial `run_suite()`; they
+//! now share this engine, which fans the 11-workload × 4-accelerator job
+//! matrix out over a scoped worker pool and memoizes finished
+//! [`NetworkMetrics`] in a content-addressed on-disk cache:
+//!
+//! - **Parallelism**: jobs are independent `(workload, accelerator)`
+//!   pairs pulled from a shared counter by `--threads` /
+//!   `ISOS_THREADS` worker threads (default: available parallelism).
+//!   Results are assembled by job index, so output is bit-identical to a
+//!   serial run regardless of completion order.
+//! - **Caching**: each job's metrics land in
+//!   `results/cache/<hash>.json`, keyed by a stable FNV-1a hash of the
+//!   accelerator's [`cache_key`](Accelerator::cache_key), the workload
+//!   id, the seed, and [`SCHEMA_VERSION`]. Entries self-describe those
+//!   key fields and are revalidated on load; corrupt or stale files are
+//!   recomputed and rewritten. Disable with `--no-cache` /
+//!   `ISOS_NO_CACHE`, relocate with `ISOS_CACHE_DIR`.
+//! - **Accounting**: per-job wall time plus hit/miss counters, printed
+//!   as a one-line summary on stderr after each run.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use isosceles_bench::engine::SuiteEngine;
+//! use isosceles_bench::suite::SEED;
+//! let run = SuiteEngine::from_env().run_suite(SEED);
+//! assert_eq!(run.rows.len(), 11);
+//! eprintln!("{}", run.stats.summary());
+//! ```
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use isos_baselines::{FusedLayerConfig, IsoscelesSingleConfig, SpartenConfig};
+use isos_nn::models::{paper_suite, Workload};
+use isosceles::accel::Accelerator;
+use isosceles::metrics::NetworkMetrics;
+use isosceles::IsoscelesConfig;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::suite::SuiteRow;
+
+/// Version of the cache entry layout. Bump on any change to
+/// [`NetworkMetrics`] serialization or to the key derivation; old entries
+/// then read as stale and are recomputed.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Owned workload identifier (`"R96"`, `"M75"`, ...).
+///
+/// Replaces the `&'static str` ids threaded through earlier suite code so
+/// rows (and cache entries) can be serialized and deserialized without
+/// leaking strings.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WorkloadId(String);
+
+impl WorkloadId {
+    /// Creates an id from any string-ish value.
+    pub fn new(id: impl Into<String>) -> Self {
+        Self(id.into())
+    }
+
+    /// The id as a plain string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for WorkloadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for WorkloadId {
+    fn from(s: &str) -> Self {
+        Self::new(s)
+    }
+}
+
+impl From<WorkloadId> for String {
+    fn from(id: WorkloadId) -> Self {
+        id.0
+    }
+}
+
+impl AsRef<str> for WorkloadId {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+/// Runtime options for the engine, resolved from CLI flags and
+/// environment variables.
+#[derive(Clone, Debug)]
+pub struct EngineOptions {
+    /// Worker threads (>= 1).
+    pub threads: usize,
+    /// Whether the on-disk result cache is consulted and written.
+    pub use_cache: bool,
+    /// Cache directory (default `results/cache`).
+    pub cache_dir: PathBuf,
+    /// Suppress the end-of-run summary line on stderr.
+    pub quiet: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self {
+            threads: default_threads(),
+            use_cache: true,
+            cache_dir: PathBuf::from("results/cache"),
+            quiet: false,
+        }
+    }
+}
+
+/// Available parallelism, falling back to 1 when undetectable.
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+impl EngineOptions {
+    /// Resolves options from process arguments and environment.
+    ///
+    /// Flags win over environment variables:
+    ///
+    /// - `--threads N` / `--threads=N`, else `ISOS_THREADS`, else
+    ///   available parallelism;
+    /// - `--no-cache`, else `ISOS_NO_CACHE` (any value but `0` or empty);
+    /// - `ISOS_CACHE_DIR` overrides the `results/cache` location.
+    ///
+    /// Unrecognized arguments are ignored so binaries keep their own
+    /// flags.
+    pub fn from_env() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut opts = Self::default();
+
+        if let Ok(v) = std::env::var("ISOS_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                opts.threads = n.max(1);
+            }
+        }
+        if let Ok(v) = std::env::var("ISOS_NO_CACHE") {
+            if !v.is_empty() && v != "0" {
+                opts.use_cache = false;
+            }
+        }
+        if let Ok(dir) = std::env::var("ISOS_CACHE_DIR") {
+            if !dir.is_empty() {
+                opts.cache_dir = PathBuf::from(dir);
+            }
+        }
+
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            if arg == "--no-cache" {
+                opts.use_cache = false;
+            } else if arg == "--threads" {
+                if let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) {
+                    opts.threads = n.max(1);
+                }
+            } else if let Some(v) = arg.strip_prefix("--threads=") {
+                if let Ok(n) = v.parse::<usize>() {
+                    opts.threads = n.max(1);
+                }
+            }
+        }
+        opts
+    }
+}
+
+/// Timing and cache accounting for one finished job.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Accelerator model name.
+    pub accel: String,
+    /// Workload the job simulated.
+    pub workload: WorkloadId,
+    /// Wall time of this job in milliseconds (near zero on a cache hit).
+    pub millis: f64,
+    /// Whether the result came from the cache.
+    pub cache_hit: bool,
+}
+
+/// Aggregated accounting for one engine run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Jobs served from the cache.
+    pub hits: usize,
+    /// Jobs simulated.
+    pub misses: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// End-to-end wall time in milliseconds.
+    pub wall_millis: f64,
+    /// Per-job records, in job order (workload-major, accelerator-minor).
+    pub jobs: Vec<JobRecord>,
+}
+
+impl EngineStats {
+    /// Total job count.
+    pub fn jobs_total(&self) -> usize {
+        self.hits + self.misses
+    }
+
+    /// The one-line human summary the harness binaries print.
+    pub fn summary(&self) -> String {
+        let slowest = self
+            .jobs
+            .iter()
+            .max_by(|a, b| a.millis.total_cmp(&b.millis));
+        let tail = match slowest {
+            Some(j) => format!(", slowest {}/{} {:.0} ms", j.accel, j.workload, j.millis),
+            None => String::new(),
+        };
+        format!(
+            "suite engine: {} jobs ({} cache hits, {} misses) on {} thread{} in {:.0} ms{}",
+            self.jobs_total(),
+            self.hits,
+            self.misses,
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+            self.wall_millis,
+            tail
+        )
+    }
+}
+
+/// Result of a full-suite engine run.
+#[derive(Clone, Debug)]
+pub struct SuiteRun {
+    /// One row per workload, in paper figure order.
+    pub rows: Vec<SuiteRow>,
+    /// Timing and cache accounting.
+    pub stats: EngineStats,
+}
+
+/// One memoized job result as stored on disk.
+///
+/// The key fields are stored alongside the metrics and revalidated on
+/// load, so a hash collision, a schema bump, or a hand-edited file all
+/// degrade to a recompute instead of silently wrong numbers.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct CacheEntry {
+    schema: u32,
+    accel: String,
+    accel_key: u64,
+    workload: WorkloadId,
+    seed: u64,
+    metrics: NetworkMetrics,
+}
+
+/// FNV-1a fold, matching [`isosceles::accel::stable_key`]'s primitive.
+fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+    bytes.iter().fold(state, |h, &b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+/// Content hash addressing one `(accelerator, workload, seed)` job under
+/// the current schema version.
+pub fn job_key(accel: &dyn Accelerator, workload: &WorkloadId, seed: u64) -> u64 {
+    let h = fnv1a(0xcbf2_9ce4_8422_2325, &SCHEMA_VERSION.to_le_bytes());
+    let h = fnv1a(h, &accel.cache_key().to_le_bytes());
+    let h = fnv1a(h, workload.as_str().as_bytes());
+    fnv1a(h, &seed.to_le_bytes())
+}
+
+/// The parallel, cached suite driver. See the [module docs](self).
+#[derive(Clone, Debug, Default)]
+pub struct SuiteEngine {
+    opts: EngineOptions,
+}
+
+impl SuiteEngine {
+    /// Creates an engine with explicit options.
+    pub fn new(opts: EngineOptions) -> Self {
+        Self { opts }
+    }
+
+    /// Creates an engine configured from CLI flags and environment
+    /// variables (see [`EngineOptions::from_env`]).
+    pub fn from_env() -> Self {
+        Self::new(EngineOptions::from_env())
+    }
+
+    /// The resolved options.
+    pub fn options(&self) -> &EngineOptions {
+        &self.opts
+    }
+
+    /// Runs the paper's 11-CNN suite on all four accelerator models and
+    /// assembles the standard [`SuiteRow`]s.
+    pub fn run_suite(&self, seed: u64) -> SuiteRun {
+        let workloads = paper_suite(seed);
+        let isosceles = IsoscelesConfig::default();
+        let single = IsoscelesSingleConfig::default();
+        let sparten = SpartenConfig::default();
+        let fused = FusedLayerConfig::default();
+        let accels: [&dyn Accelerator; 4] = [&isosceles, &single, &sparten, &fused];
+
+        let (mut grid, stats) = self.run_matrix(&workloads, &accels, seed);
+        let rows = workloads
+            .iter()
+            .zip(grid.drain(..))
+            .map(|(w, mut per_accel)| {
+                // Reverse-order pops take the Vec apart without clones.
+                let fused = per_accel.pop().expect("fused metrics");
+                let sparten = per_accel.pop().expect("sparten metrics");
+                let single = per_accel.pop().expect("single metrics");
+                let isosceles = per_accel.pop().expect("isosceles metrics");
+                SuiteRow {
+                    id: WorkloadId::new(w.id),
+                    isosceles,
+                    single,
+                    sparten,
+                    fused,
+                }
+            })
+            .collect();
+        SuiteRun { rows, stats }
+    }
+
+    /// Runs an arbitrary `workloads` × `accels` job matrix and returns
+    /// the metrics grid indexed `[workload][accelerator]` plus run stats.
+    ///
+    /// Jobs execute on a scoped worker pool; the grid is assembled by job
+    /// index, so the output is independent of thread count and
+    /// scheduling.
+    pub fn run_matrix(
+        &self,
+        workloads: &[Workload],
+        accels: &[&dyn Accelerator],
+        seed: u64,
+    ) -> (Vec<Vec<NetworkMetrics>>, EngineStats) {
+        let started = Instant::now();
+        let jobs: Vec<(usize, usize)> = (0..workloads.len())
+            .flat_map(|w| (0..accels.len()).map(move |a| (w, a)))
+            .collect();
+
+        if self.opts.use_cache {
+            // Best-effort: a failure here surfaces naturally on write.
+            let _ = std::fs::create_dir_all(&self.opts.cache_dir);
+        }
+
+        let slots: Mutex<Vec<Option<(NetworkMetrics, JobRecord)>>> =
+            Mutex::new((0..jobs.len()).map(|_| None).collect());
+        let next = AtomicUsize::new(0);
+        let threads = self.opts.threads.clamp(1, jobs.len().max(1));
+
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(w, a)) = jobs.get(i) else { break };
+                    let done = self.run_job(&workloads[w], accels[a], seed);
+                    slots.lock()[i] = Some(done);
+                });
+            }
+        })
+        .expect("suite engine worker panicked");
+
+        let mut stats = EngineStats {
+            threads,
+            ..EngineStats::default()
+        };
+        let mut grid: Vec<Vec<NetworkMetrics>> = (0..workloads.len())
+            .map(|_| Vec::with_capacity(accels.len()))
+            .collect();
+        for (slot, &(w, _)) in slots.into_inner().into_iter().zip(&jobs) {
+            let (metrics, record) = slot.expect("all jobs completed");
+            if record.cache_hit {
+                stats.hits += 1;
+            } else {
+                stats.misses += 1;
+            }
+            stats.jobs.push(record);
+            grid[w].push(metrics);
+        }
+        stats.wall_millis = started.elapsed().as_secs_f64() * 1e3;
+        if !self.opts.quiet {
+            eprintln!("{}", stats.summary());
+        }
+        (grid, stats)
+    }
+
+    /// Runs (or recalls) a single job.
+    fn run_job(
+        &self,
+        workload: &Workload,
+        accel: &dyn Accelerator,
+        seed: u64,
+    ) -> (NetworkMetrics, JobRecord) {
+        let id = WorkloadId::new(workload.id);
+        let job_started = Instant::now();
+        let path = self.entry_path(accel, &id, seed);
+
+        if let Some(path) = &path {
+            if let Some(metrics) = load_entry(path, accel, &id, seed) {
+                let record = JobRecord {
+                    accel: accel.name().to_string(),
+                    workload: id,
+                    millis: job_started.elapsed().as_secs_f64() * 1e3,
+                    cache_hit: true,
+                };
+                return (metrics, record);
+            }
+        }
+
+        let metrics = accel.simulate(&workload.network, seed);
+        if let Some(path) = &path {
+            store_entry(path, accel, &id, seed, &metrics);
+        }
+        let record = JobRecord {
+            accel: accel.name().to_string(),
+            workload: id,
+            millis: job_started.elapsed().as_secs_f64() * 1e3,
+            cache_hit: false,
+        };
+        (metrics, record)
+    }
+
+    /// Cache file for a job, or `None` when caching is off.
+    fn entry_path(
+        &self,
+        accel: &dyn Accelerator,
+        workload: &WorkloadId,
+        seed: u64,
+    ) -> Option<PathBuf> {
+        self.opts.use_cache.then(|| {
+            self.opts
+                .cache_dir
+                .join(format!("{:016x}.json", job_key(accel, workload, seed)))
+        })
+    }
+}
+
+/// Loads and validates a cache entry; any mismatch or parse failure is a
+/// miss.
+fn load_entry(
+    path: &Path,
+    accel: &dyn Accelerator,
+    workload: &WorkloadId,
+    seed: u64,
+) -> Option<NetworkMetrics> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let entry: CacheEntry = serde::json::from_str(&text).ok()?;
+    let valid = entry.schema == SCHEMA_VERSION
+        && entry.accel == accel.name()
+        && entry.accel_key == accel.cache_key()
+        && entry.workload == *workload
+        && entry.seed == seed;
+    valid.then_some(entry.metrics)
+}
+
+/// Persists a finished job. Written to a temp file then renamed, so a
+/// concurrent reader never sees a half-written entry; failures are
+/// ignored (the cache is an optimization, not a correctness requirement).
+fn store_entry(
+    path: &Path,
+    accel: &dyn Accelerator,
+    workload: &WorkloadId,
+    seed: u64,
+    metrics: &NetworkMetrics,
+) {
+    let entry = CacheEntry {
+        schema: SCHEMA_VERSION,
+        accel: accel.name().to_string(),
+        accel_key: accel.cache_key(),
+        workload: workload.clone(),
+        seed,
+        metrics: metrics.clone(),
+    };
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    if std::fs::write(&tmp, serde::json::to_string(&entry)).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::SEED;
+    use isos_nn::models::suite_workload;
+    use std::sync::atomic::AtomicU32;
+
+    /// Unique per-test cache dir under the system temp dir.
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static NONCE: AtomicU32 = AtomicU32::new(0);
+        let n = NONCE.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("isos-engine-{}-{}-{}", std::process::id(), tag, n));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    fn quiet_engine(cache_dir: PathBuf, threads: usize, use_cache: bool) -> SuiteEngine {
+        SuiteEngine::new(EngineOptions {
+            threads,
+            use_cache,
+            cache_dir,
+            quiet: true,
+        })
+    }
+
+    /// Small matrix (1 workload × 2 models) that keeps tests fast.
+    fn small_inputs() -> (Vec<Workload>, SpartenConfig, FusedLayerConfig) {
+        (
+            vec![suite_workload("G58", SEED)],
+            SpartenConfig::default(),
+            FusedLayerConfig::default(),
+        )
+    }
+
+    #[test]
+    fn second_run_hits_cache_with_identical_metrics() {
+        let dir = scratch_dir("hit");
+        let (workloads, sparten, fused) = small_inputs();
+        let accels: [&dyn Accelerator; 2] = [&sparten, &fused];
+
+        let eng = quiet_engine(dir.clone(), 1, true);
+        let (cold, s1) = eng.run_matrix(&workloads, &accels, SEED);
+        assert_eq!((s1.hits, s1.misses), (0, 2));
+
+        let (warm, s2) = eng.run_matrix(&workloads, &accels, SEED);
+        assert_eq!((s2.hits, s2.misses), (2, 0));
+        assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn cache_hit_short_circuits_simulation() {
+        // Plant a doctored entry: if the engine *returns* it, the job was
+        // served from disk rather than re-simulated.
+        let dir = scratch_dir("shortcircuit");
+        let (workloads, sparten, _) = small_inputs();
+        let accels: [&dyn Accelerator; 1] = [&sparten];
+        let eng = quiet_engine(dir.clone(), 1, true);
+
+        let (real, _) = eng.run_matrix(&workloads, &accels, SEED);
+        let path = eng
+            .entry_path(&sparten, &WorkloadId::new("G58"), SEED)
+            .unwrap();
+        let mut doctored = real[0][0].clone();
+        doctored.total.cycles += 12345;
+        store_entry(&path, &sparten, &WorkloadId::new("G58"), SEED, &doctored);
+
+        let (again, stats) = eng.run_matrix(&workloads, &accels, SEED);
+        assert_eq!((stats.hits, stats.misses), (1, 0));
+        assert_eq!(again[0][0].total.cycles, real[0][0].total.cycles + 12345);
+    }
+
+    #[test]
+    fn config_seed_and_schema_changes_invalidate() {
+        let dir = scratch_dir("invalidate");
+        let (workloads, sparten, _) = small_inputs();
+        let accels: [&dyn Accelerator; 1] = [&sparten];
+        let eng = quiet_engine(dir.clone(), 1, true);
+        let (_, s) = eng.run_matrix(&workloads, &accels, SEED);
+        assert_eq!(s.misses, 1);
+
+        // Different seed: different key, so a miss.
+        let (_, s) = eng.run_matrix(&workloads, &accels, SEED + 1);
+        assert_eq!((s.hits, s.misses), (0, 1));
+
+        // Different config: different key, so a miss.
+        let tweaked = SpartenConfig {
+            compute_efficiency: 0.5,
+            ..Default::default()
+        };
+        let accels2: [&dyn Accelerator; 1] = [&tweaked];
+        let (_, s) = eng.run_matrix(&workloads, &accels2, SEED);
+        assert_eq!((s.hits, s.misses), (0, 1));
+
+        // Stale schema version in an otherwise-matching file: the key
+        // matches (same path) but validation rejects it.
+        let path = eng
+            .entry_path(&sparten, &WorkloadId::new("G58"), SEED)
+            .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let stale = text.replacen(
+            &format!("\"schema\":{SCHEMA_VERSION}"),
+            &format!("\"schema\":{}", SCHEMA_VERSION + 1),
+            1,
+        );
+        assert_ne!(stale, text, "schema field not found in cache entry");
+        std::fs::write(&path, stale).unwrap();
+        let (_, s) = eng.run_matrix(&workloads, &accels, SEED);
+        assert_eq!((s.hits, s.misses), (0, 1));
+    }
+
+    #[test]
+    fn corrupt_cache_file_falls_back_to_recompute() {
+        let dir = scratch_dir("corrupt");
+        let (workloads, sparten, _) = small_inputs();
+        let accels: [&dyn Accelerator; 1] = [&sparten];
+        let eng = quiet_engine(dir.clone(), 1, true);
+        let (clean, _) = eng.run_matrix(&workloads, &accels, SEED);
+
+        let path = eng
+            .entry_path(&sparten, &WorkloadId::new("G58"), SEED)
+            .unwrap();
+        std::fs::write(&path, "{ not json !!").unwrap();
+
+        let (recomputed, s) = eng.run_matrix(&workloads, &accels, SEED);
+        assert_eq!((s.hits, s.misses), (0, 1));
+        assert_eq!(recomputed, clean);
+        // The corrupt file was replaced by a valid entry.
+        let (_, s) = eng.run_matrix(&workloads, &accels, SEED);
+        assert_eq!((s.hits, s.misses), (1, 0));
+    }
+
+    #[test]
+    fn no_cache_mode_writes_nothing() {
+        let dir = scratch_dir("nocache");
+        let (workloads, sparten, _) = small_inputs();
+        let accels: [&dyn Accelerator; 1] = [&sparten];
+        let eng = quiet_engine(dir.clone(), 2, false);
+        let (_, s) = eng.run_matrix(&workloads, &accels, SEED);
+        assert_eq!((s.hits, s.misses), (0, 1));
+        let entries = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(entries, 0);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let dir = scratch_dir("determinism");
+        let (workloads, sparten, fused) = small_inputs();
+        let single = IsoscelesSingleConfig::default();
+        let accels: [&dyn Accelerator; 3] = [&single, &sparten, &fused];
+
+        // Caches off so both runs actually simulate.
+        let serial = quiet_engine(dir.clone(), 1, false);
+        let parallel = quiet_engine(dir, 4, false);
+        let (a, s1) = serial.run_matrix(&workloads, &accels, SEED);
+        let (b, s2) = parallel.run_matrix(&workloads, &accels, SEED);
+        assert_eq!(s1.threads, 1);
+        assert_eq!(s2.threads, 3); // 4 requested, clamped to the job count
+        assert_eq!(
+            serde::json::to_string(&a),
+            serde::json::to_string(&b),
+            "parallel run diverged from serial"
+        );
+    }
+
+    #[test]
+    fn job_keys_are_unique_across_the_standard_matrix() {
+        let isosceles = IsoscelesConfig::default();
+        let single = IsoscelesSingleConfig::default();
+        let sparten = SpartenConfig::default();
+        let fused = FusedLayerConfig::default();
+        let accels: [&dyn Accelerator; 4] = [&isosceles, &single, &sparten, &fused];
+        let ids = [
+            "R81", "R90", "R95", "R96", "R98", "R99", "V68", "V90", "G58", "M75", "M89",
+        ];
+        let mut keys: Vec<u64> = Vec::new();
+        for a in accels {
+            for id in ids {
+                keys.push(job_key(a, &WorkloadId::new(id), SEED));
+            }
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 44, "cache key collision in standard matrix");
+    }
+
+    #[test]
+    fn options_default_to_available_parallelism_and_cache_on() {
+        let opts = EngineOptions::default();
+        assert!(opts.threads >= 1);
+        assert!(opts.use_cache);
+        assert_eq!(opts.cache_dir, PathBuf::from("results/cache"));
+    }
+
+    #[test]
+    fn summary_line_reports_counts() {
+        let stats = EngineStats {
+            hits: 40,
+            misses: 4,
+            threads: 8,
+            wall_millis: 1234.5,
+            jobs: vec![JobRecord {
+                accel: "isosceles".into(),
+                workload: WorkloadId::new("R99"),
+                millis: 600.0,
+                cache_hit: false,
+            }],
+        };
+        let line = stats.summary();
+        assert!(line.contains("44 jobs"));
+        assert!(line.contains("40 cache hits"));
+        assert!(line.contains("4 misses"));
+        assert!(line.contains("8 threads"));
+        assert!(line.contains("isosceles/R99"));
+        assert!(!line.contains('\n'));
+    }
+}

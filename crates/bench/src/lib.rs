@@ -1,11 +1,14 @@
 //! Benchmark harness for the ISOSceles reproduction.
 //!
-//! [`suite`] runs the paper's 11-CNN evaluation suite on ISOSceles,
-//! ISOSceles-single, SparTen(+GoSPA), and Fused-Layer; the binaries under
-//! `src/bin/` each regenerate one table or figure from those results (see
-//! DESIGN.md's experiment index).
+//! [`engine`] is the shared suite driver: it fans the paper's 11-CNN ×
+//! 4-accelerator evaluation matrix (ISOSceles, ISOSceles-single,
+//! SparTen(+GoSPA), Fused-Layer) out over a worker pool and memoizes
+//! results in an on-disk cache; [`suite`] holds the result data model.
+//! The binaries under `src/bin/` each regenerate one table or figure from
+//! those results (see DESIGN.md's experiment index).
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod report;
 pub mod suite;

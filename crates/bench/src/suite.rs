@@ -1,24 +1,21 @@
-//! Shared experiment driver: runs the paper's 11-CNN suite on all three
-//! accelerator models and collects the numbers every figure draws from.
+//! Shared experiment data model: the paper's 11-CNN suite results on all
+//! four accelerator models, as produced by the
+//! [`engine`](crate::engine)'s parallel, cached driver.
 
-use isos_baselines::{
-    simulate_fused_layer, simulate_isosceles_single, simulate_sparten, FusedLayerConfig,
-    SpartenConfig,
-};
-use isos_nn::models::{paper_suite, Workload};
-use isosceles::arch::simulate_network;
-use isosceles::mapping::ExecMode;
+use isosceles::accel::Accelerator;
 use isosceles::metrics::NetworkMetrics;
-use isosceles::IsoscelesConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{EngineOptions, SuiteEngine, WorkloadId};
 
 /// Default RNG seed for all synthetic sparsity profiles.
 pub const SEED: u64 = 20230225; // HPCA 2023 conference date
 
 /// One workload's results on every accelerator.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SuiteRow {
     /// Workload id (`R96`, `M75`, ...).
-    pub id: &'static str,
+    pub id: WorkloadId,
     /// Full ISOSceles (inter-layer pipelining).
     pub isosceles: NetworkMetrics,
     /// ISOSceles-single (Fig. 18 ablation).
@@ -56,24 +53,42 @@ impl SuiteRow {
     }
 }
 
+/// A serial, cache-less engine for the deprecated wrappers: keeps the old
+/// free functions pure (no disk writes, no threads) while routing them
+/// through the same code path as everything else.
+fn compat_engine() -> SuiteEngine {
+    SuiteEngine::new(EngineOptions {
+        threads: 1,
+        use_cache: false,
+        quiet: true,
+        ..EngineOptions::default()
+    })
+}
+
 /// Runs one workload on all four models.
-pub fn run_workload(w: &Workload, seed: u64) -> SuiteRow {
-    let cfg = IsoscelesConfig::default();
+#[deprecated(
+    since = "0.1.0",
+    note = "use `engine::SuiteEngine` (parallel, cached, and instrumented)"
+)]
+pub fn run_workload(w: &isos_nn::models::Workload, seed: u64) -> SuiteRow {
+    use isos_baselines::{FusedLayerConfig, IsoscelesSingleConfig, SpartenConfig};
+    use isosceles::IsoscelesConfig;
     SuiteRow {
-        id: w.id,
-        isosceles: simulate_network(&w.network, &cfg, ExecMode::Pipelined, seed),
-        single: simulate_isosceles_single(&w.network, &cfg, seed),
-        sparten: simulate_sparten(&w.network, &SpartenConfig::default()),
-        fused: simulate_fused_layer(&w.network, &FusedLayerConfig::default()),
+        id: WorkloadId::new(w.id),
+        isosceles: IsoscelesConfig::default().simulate(&w.network, seed),
+        single: IsoscelesSingleConfig::default().simulate(&w.network, seed),
+        sparten: SpartenConfig::default().simulate(&w.network, seed),
+        fused: FusedLayerConfig::default().simulate(&w.network, seed),
     }
 }
 
 /// Runs the full 11-CNN suite, in the paper's figure order.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `engine::SuiteEngine::run_suite` (parallel, cached, and instrumented)"
+)]
 pub fn run_suite(seed: u64) -> Vec<SuiteRow> {
-    paper_suite(seed)
-        .iter()
-        .map(|w| run_workload(w, seed))
-        .collect()
+    compat_engine().run_suite(seed).rows
 }
 
 /// Formats a bar-style text row for harness output.
@@ -86,6 +101,7 @@ pub fn fmt_row(label: &str, values: &[(&str, f64)]) -> String {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use isos_nn::models::suite_workload;
@@ -107,11 +123,36 @@ mod tests {
     #[test]
     fn suite_order_matches_paper_figures() {
         let rows = run_suite(SEED);
-        let ids: Vec<&str> = rows.iter().map(|r| r.id).collect();
+        let ids: Vec<&str> = rows.iter().map(|r| r.id.as_str()).collect();
         assert_eq!(
             ids,
             vec!["R81", "R90", "R95", "R96", "R98", "R99", "V68", "V90", "G58", "M75", "M89"]
         );
+    }
+
+    #[test]
+    fn deprecated_wrapper_matches_engine_row() {
+        let w = suite_workload("G58", SEED);
+        let direct = run_workload(&w, SEED);
+        let engine = compat_engine().run_suite(SEED);
+        let from_engine = engine
+            .rows
+            .iter()
+            .find(|r| r.id.as_str() == "G58")
+            .expect("G58 in suite");
+        assert_eq!(
+            serde::json::to_string(&direct),
+            serde::json::to_string(from_engine)
+        );
+    }
+
+    #[test]
+    fn suite_row_roundtrips_through_json() {
+        let w = suite_workload("G58", SEED);
+        let row = run_workload(&w, SEED);
+        let text = serde::json::to_string(&row);
+        let back: SuiteRow = serde::json::from_str(&text).expect("parse");
+        assert_eq!(text, serde::json::to_string(&back));
     }
 
     #[test]

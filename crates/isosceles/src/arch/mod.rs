@@ -12,7 +12,9 @@ pub mod pipeline;
 pub mod scheduler;
 
 pub use microsim::{build_chain, simulate_micro, MicroLayer, MicroResult};
-pub use pipeline::{simulate_group, simulate_mapping, simulate_network};
+#[allow(deprecated)]
+pub use pipeline::simulate_network;
+pub use pipeline::{run_network, simulate_group, simulate_mapping};
 pub use scheduler::DynamicScheduler;
 
 #[cfg(test)]
@@ -57,7 +59,7 @@ mod tests {
     fn simulation_terminates_and_counts_work() {
         let net = small_chain(4, 0.2);
         let cfg = IsoscelesConfig::default();
-        let result = simulate_network(&net, &cfg, ExecMode::Pipelined, 1);
+        let result = run_network(&net, &cfg, ExecMode::Pipelined, 1);
         assert!(result.total.cycles > 0);
         // All effectual MACs were executed (within wobble rounding).
         let expected = net.total_effectual_macs();
@@ -72,8 +74,8 @@ mod tests {
     fn pipelined_traffic_is_lower_than_single_layer() {
         let net = small_chain(6, 0.2);
         let cfg = IsoscelesConfig::default();
-        let pipe = simulate_network(&net, &cfg, ExecMode::Pipelined, 1);
-        let single = simulate_network(&net, &cfg, ExecMode::SingleLayer, 1);
+        let pipe = run_network(&net, &cfg, ExecMode::Pipelined, 1);
+        let single = run_network(&net, &cfg, ExecMode::SingleLayer, 1);
         // Pipelining keeps intermediate activations on-chip.
         assert!(
             pipe.total.act_traffic < 0.7 * single.total.act_traffic,
@@ -94,7 +96,7 @@ mod tests {
         // memory-bound single-layer run.
         let net = small_chain(2, 0.02);
         let cfg = IsoscelesConfig::default();
-        let single = simulate_network(&net, &cfg, ExecMode::SingleLayer, 1);
+        let single = run_network(&net, &cfg, ExecMode::SingleLayer, 1);
         assert!(
             single.total.bw_util.ratio() > 0.5,
             "bw util {}",
@@ -105,8 +107,8 @@ mod tests {
     #[test]
     fn denser_network_needs_more_cycles() {
         let cfg = IsoscelesConfig::default();
-        let sparse = simulate_network(&small_chain(3, 0.1), &cfg, ExecMode::Pipelined, 1);
-        let dense = simulate_network(&small_chain(3, 0.8), &cfg, ExecMode::Pipelined, 1);
+        let sparse = run_network(&small_chain(3, 0.1), &cfg, ExecMode::Pipelined, 1);
+        let dense = run_network(&small_chain(3, 0.8), &cfg, ExecMode::Pipelined, 1);
         assert!(dense.total.cycles > sparse.total.cycles);
     }
 
@@ -114,7 +116,7 @@ mod tests {
     fn resnet_r96_end_to_end_simulates() {
         let net = models::resnet50(0.96, 1);
         let cfg = IsoscelesConfig::default();
-        let result = simulate_network(&net, &cfg, ExecMode::Pipelined, 1);
+        let result = run_network(&net, &cfg, ExecMode::Pipelined, 1);
         assert!(result.total.cycles > 10_000);
         assert!(result.total.total_traffic() > 1e6, "R96 should move MBs");
         // Groups cover the whole network.
@@ -141,7 +143,7 @@ mod tests {
     fn mac_utilization_is_bounded() {
         let net = small_chain(4, 0.3);
         let cfg = IsoscelesConfig::default();
-        let r = simulate_network(&net, &cfg, ExecMode::Pipelined, 1);
+        let r = run_network(&net, &cfg, ExecMode::Pipelined, 1);
         let u = r.total.mac_util.ratio();
         assert!(u > 0.0 && u <= 1.0, "util {u}");
     }

@@ -278,7 +278,11 @@ pub fn simulate_group(
 
 /// Simulates a whole network: maps it into groups and runs them in order
 /// on the shared IS-OS block.
-pub fn simulate_network(
+///
+/// This is the mode-parameterized core behind the
+/// [`Accelerator`](crate::accel::Accelerator) impls; callers that just
+/// want "run this model" should go through the trait instead.
+pub fn run_network(
     net: &Network,
     cfg: &IsoscelesConfig,
     mode: ExecMode,
@@ -286,6 +290,20 @@ pub fn simulate_network(
 ) -> NetworkMetrics {
     let mapping = map_network(net, cfg, mode);
     simulate_mapping(net, cfg, &mapping, seed)
+}
+
+/// Simulates a whole network in the given execution mode.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `accel::Accelerator` trait (or `run_network` when an explicit `ExecMode` is needed)"
+)]
+pub fn simulate_network(
+    net: &Network,
+    cfg: &IsoscelesConfig,
+    mode: ExecMode,
+    seed: u64,
+) -> NetworkMetrics {
+    run_network(net, cfg, mode, seed)
 }
 
 /// Simulates a network under a precomputed mapping.

@@ -31,15 +31,16 @@
 //! Cycle-level simulation of a pruned network:
 //!
 //! ```
-//! use isosceles::{arch::simulate_network, mapping::ExecMode, IsoscelesConfig};
+//! use isosceles::{accel::Accelerator, IsoscelesConfig};
 //! let net = isos_nn::models::googlenet_inception3a(0.58, 1);
-//! let result = simulate_network(&net, &IsoscelesConfig::default(), ExecMode::Pipelined, 1);
+//! let result = IsoscelesConfig::default().simulate(&net, 1);
 //! assert!(result.total.cycles > 0);
 //! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod accel;
 pub mod arch;
 pub mod config;
 pub mod dataflow;
@@ -48,6 +49,7 @@ pub mod mapping;
 pub mod metrics;
 pub mod spgemm;
 
+pub use accel::Accelerator;
 pub use config::IsoscelesConfig;
 pub use mapping::{map_network, ExecMode, Mapping, PipelineGroup};
 pub use metrics::{NetworkMetrics, RunMetrics};

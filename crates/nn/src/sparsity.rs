@@ -111,7 +111,7 @@ pub fn apply_activation_profile(net: &mut Network, seed: u64) {
                 // Post-BN+ReLU density: denser early, sparser deep, with
                 // per-layer noise (Fig. 4 scatter).
                 let base = 0.65 - 0.35 * depth_frac;
-                (base + rng.gen_range(-0.10..0.10)).clamp(0.2, 0.8)
+                (base + rng.gen_range(-0.10f64..0.10)).clamp(0.2, 0.8)
             }
             LayerKind::MaxPool { .. } => {
                 // Output nonzero iff any window element is nonzero; zeros

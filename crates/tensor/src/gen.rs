@@ -24,7 +24,7 @@ pub fn random_dense(shape: Shape, density: f64, seed: u64) -> Dense {
             // Draw until nonzero so density is exact in expectation.
             let mut x = 0.0f32;
             while x == 0.0 {
-                x = rng.gen_range(-1.0..1.0);
+                x = rng.gen_range(-1.0f32..1.0);
             }
             *v = x;
         }
@@ -65,7 +65,7 @@ pub fn random_csf_exact_nnz(shape: Shape, nnz: usize, seed: u64) -> Csf {
             }
             let mut x = 0.0f32;
             while x == 0.0 {
-                x = rng.gen_range(-1.0..1.0);
+                x = rng.gen_range(-1.0f32..1.0);
             }
             (crate::Point::from_slice(&coords[..dims.len()]), x)
         })

@@ -11,7 +11,7 @@ use isos_nn::layer::{ActShape, Layer, LayerKind};
 use isos_nn::reference;
 use isos_nn::sparsity::{apply_activation_profile, apply_weight_profile, WeightProfile};
 use isos_tensor::gen;
-use isosceles::arch::simulate_network;
+use isosceles::arch::run_network;
 use isosceles::dataflow::{execute_conv, Pou};
 use isosceles::mapping::ExecMode;
 use isosceles::IsoscelesConfig;
@@ -81,8 +81,8 @@ fn main() {
     apply_activation_profile(&mut net, 42);
 
     let cfg = IsoscelesConfig::default();
-    let pipelined = simulate_network(&net, &cfg, ExecMode::Pipelined, 42);
-    let single = simulate_network(&net, &cfg, ExecMode::SingleLayer, 42);
+    let pipelined = run_network(&net, &cfg, ExecMode::Pipelined, 42);
+    let single = run_network(&net, &cfg, ExecMode::SingleLayer, 42);
     println!();
     println!(
         "pipelined:   {:>8} cycles, {:>8.1} KB off-chip, MAC util {:.0}%",

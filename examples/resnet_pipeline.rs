@@ -7,10 +7,10 @@
 //! ```
 //! The optional argument is the weight sparsity (default 0.96).
 
-use isos_baselines::{simulate_fused_layer, simulate_sparten, FusedLayerConfig, SpartenConfig};
+use isos_baselines::{FusedLayerConfig, SpartenConfig};
 use isos_nn::models::resnet50;
 use isos_sim::energy::{energy_of, EnergyParams};
-use isosceles::arch::simulate_network;
+use isosceles::accel::Accelerator;
 use isosceles::mapping::{map_network, ExecMode};
 use isosceles::IsoscelesConfig;
 
@@ -56,9 +56,9 @@ fn main() {
         );
     }
 
-    let isos = simulate_network(&net, &cfg, ExecMode::Pipelined, 20230225);
-    let sparten = simulate_sparten(&net, &SpartenConfig::default());
-    let fused = simulate_fused_layer(&net, &FusedLayerConfig::default());
+    let isos = cfg.simulate(&net, 20230225);
+    let sparten = SpartenConfig::default().simulate(&net, 20230225);
+    let fused = FusedLayerConfig::default().simulate(&net, 20230225);
 
     println!(
         "\n{:<14} {:>12} {:>12} {:>10} {:>10}",

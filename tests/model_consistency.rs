@@ -2,9 +2,10 @@
 //! calibration — conservation of work, mapping coverage, determinism, and
 //! dominance relations between execution modes.
 
-use isos_baselines::{simulate_isosceles_single, simulate_sparten, SpartenConfig};
+use isos_baselines::{IsoscelesSingleConfig, SpartenConfig};
 use isos_nn::models::{googlenet_inception3a, mobilenet_v1, paper_suite, resnet50, vgg16};
-use isosceles::arch::{simulate_mapping, simulate_network};
+use isosceles::accel::Accelerator;
+use isosceles::arch::simulate_mapping;
 use isosceles::mapping::{map_network, ExecMode};
 use isosceles::IsoscelesConfig;
 
@@ -14,10 +15,10 @@ const SEED: u64 = 7;
 fn whole_suite_simulates_on_all_models() {
     let cfg = IsoscelesConfig::default();
     for w in paper_suite(SEED) {
-        let isos = simulate_network(&w.network, &cfg, ExecMode::Pipelined, SEED);
+        let isos = cfg.simulate(&w.network, SEED);
         assert!(isos.total.cycles > 0, "{}", w.id);
         assert!(isos.total.total_traffic() > 0.0, "{}", w.id);
-        let sp = simulate_sparten(&w.network, &SpartenConfig::default());
+        let sp = SpartenConfig::default().simulate(&w.network, SEED);
         assert!(sp.total.cycles > 0, "{}", w.id);
     }
 }
@@ -34,7 +35,7 @@ fn executed_macs_match_expected_effectual_work() {
         googlenet_inception3a(0.58, SEED),
     ] {
         let expected: f64 = net.total_effectual_macs();
-        let r = simulate_network(&net, &cfg, ExecMode::Pipelined, SEED);
+        let r = cfg.simulate(&net, SEED);
         let err = (r.total.effectual_macs - expected).abs() / expected;
         assert!(
             err < 0.01,
@@ -54,8 +55,8 @@ fn pipelined_never_worse_than_single_layer() {
         mobilenet_v1(0.75, SEED),
         vgg16(0.9, SEED),
     ] {
-        let pipe = simulate_network(&net, &cfg, ExecMode::Pipelined, SEED);
-        let single = simulate_isosceles_single(&net, &cfg, SEED);
+        let pipe = cfg.simulate(&net, SEED);
+        let single = IsoscelesSingleConfig(cfg).simulate(&net, SEED);
         assert!(
             pipe.total.cycles <= single.total.cycles,
             "{}: pipelined {} > single {}",
@@ -75,8 +76,8 @@ fn pipelined_never_worse_than_single_layer() {
 fn simulation_is_deterministic() {
     let cfg = IsoscelesConfig::default();
     let net = resnet50(0.96, SEED);
-    let a = simulate_network(&net, &cfg, ExecMode::Pipelined, SEED);
-    let b = simulate_network(&net, &cfg, ExecMode::Pipelined, SEED);
+    let a = cfg.simulate(&net, SEED);
+    let b = cfg.simulate(&net, SEED);
     assert_eq!(a.total.cycles, b.total.cycles);
     assert_eq!(a.total.total_traffic(), b.total.total_traffic());
 }
@@ -114,9 +115,9 @@ fn per_group_metrics_sum_to_totals() {
 fn more_bandwidth_never_slows_execution() {
     let net = mobilenet_v1(0.75, SEED);
     let mut cfg = IsoscelesConfig::default();
-    let base = simulate_network(&net, &cfg, ExecMode::Pipelined, SEED);
+    let base = cfg.simulate(&net, SEED);
     cfg.dram_bytes_per_cycle = 256.0;
-    let fast = simulate_network(&net, &cfg, ExecMode::Pipelined, SEED);
+    let fast = cfg.simulate(&net, SEED);
     assert!(fast.total.cycles <= base.total.cycles);
 }
 
@@ -124,9 +125,9 @@ fn more_bandwidth_never_slows_execution() {
 fn more_macs_never_slow_execution() {
     let net = vgg16(0.68, SEED);
     let mut cfg = IsoscelesConfig::default();
-    let base = simulate_network(&net, &cfg, ExecMode::Pipelined, SEED);
+    let base = cfg.simulate(&net, SEED);
     cfg.macs_per_lane = 128;
-    let fat = simulate_network(&net, &cfg, ExecMode::Pipelined, SEED);
+    let fat = cfg.simulate(&net, SEED);
     assert!(fat.total.cycles <= base.total.cycles);
 }
 
@@ -179,7 +180,7 @@ fn spatial_microsim_agrees_with_interval_model() {
         let inputs: Vec<usize> = prev.into_iter().collect();
         prev = Some(net.add(l, &inputs));
     }
-    let interval = simulate_network(&net, &cfg, ExecMode::Pipelined, 9);
+    let interval = cfg.simulate(&net, 9);
     let ratio = interval.total.cycles as f64 / micro.cycles as f64;
     assert!(
         (0.8..=8.0).contains(&ratio),
@@ -193,7 +194,7 @@ fn spatial_microsim_agrees_with_interval_model() {
 fn utilizations_are_well_formed_everywhere() {
     let cfg = IsoscelesConfig::default();
     for w in paper_suite(SEED) {
-        let r = simulate_network(&w.network, &cfg, ExecMode::Pipelined, SEED);
+        let r = cfg.simulate(&w.network, SEED);
         for (name, m) in &r.groups {
             let mac = m.mac_util.ratio();
             let bw = m.bw_util.ratio();

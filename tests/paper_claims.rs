@@ -3,14 +3,10 @@
 //! are deliberately wide — this is a reproduction on synthetic sparsity,
 //! not a bit-exact replay (see EXPERIMENTS.md for the measured numbers).
 
-use isos_baselines::{
-    simulate_fused_layer, simulate_isosceles_single, simulate_sparten, FusedLayerConfig,
-    SpartenConfig,
-};
+use isos_baselines::{FusedLayerConfig, IsoscelesSingleConfig, SpartenConfig};
 use isos_nn::models::{paper_suite, resnet50};
 use isos_sim::stats::geometric_mean;
-use isosceles::arch::simulate_network;
-use isosceles::mapping::ExecMode;
+use isosceles::accel::Accelerator;
 use isosceles::IsoscelesConfig;
 
 const SEED: u64 = 20230225;
@@ -22,9 +18,9 @@ fn headline_gmeans_match_paper_shape() {
     let mut vs_fused = Vec::new();
     let mut traffic_ratio = Vec::new();
     for w in paper_suite(SEED) {
-        let isos = simulate_network(&w.network, &cfg, ExecMode::Pipelined, SEED);
-        let sparten = simulate_sparten(&w.network, &SpartenConfig::default());
-        let fused = simulate_fused_layer(&w.network, &FusedLayerConfig::default());
+        let isos = cfg.simulate(&w.network, SEED);
+        let sparten = SpartenConfig::default().simulate(&w.network, SEED);
+        let fused = FusedLayerConfig::default().simulate(&w.network, SEED);
         let s = sparten.total.cycles as f64 / isos.total.cycles as f64;
         assert!(s > 1.0, "{}: ISOSceles must beat SparTen ({s:.2}x)", w.id);
         vs_sparten.push(s);
@@ -57,8 +53,8 @@ fn speedup_grows_with_resnet_sparsity() {
     let mut prev = 0.0;
     for sparsity in [0.81, 0.90, 0.96, 0.99] {
         let net = resnet50(sparsity, SEED);
-        let isos = simulate_network(&net, &cfg, ExecMode::Pipelined, SEED);
-        let fused = simulate_fused_layer(&net, &FusedLayerConfig::default());
+        let isos = cfg.simulate(&net, SEED);
+        let fused = FusedLayerConfig::default().simulate(&net, SEED);
         let speedup = fused.total.cycles as f64 / isos.total.cycles as f64;
         assert!(
             speedup > prev,
@@ -76,8 +72,8 @@ fn speedup_grows_with_resnet_sparsity() {
 fn fused_layer_is_compute_bound_sparten_is_memory_bound() {
     // Paper Figs. 15/16.
     let net = resnet50(0.96, SEED);
-    let sparten = simulate_sparten(&net, &SpartenConfig::default());
-    let fused = simulate_fused_layer(&net, &FusedLayerConfig::default());
+    let sparten = SpartenConfig::default().simulate(&net, SEED);
+    let fused = FusedLayerConfig::default().simulate(&net, SEED);
     assert!(
         fused.total.mac_util.ratio() > 0.8,
         "Fused-Layer compute-bound"
@@ -95,8 +91,8 @@ fn isosceles_util_exceeds_sparten_and_falls_with_sparsity() {
     let mut isos_utils = Vec::new();
     for sparsity in [0.81, 0.96, 0.99] {
         let net = resnet50(sparsity, SEED);
-        let isos = simulate_network(&net, &cfg, ExecMode::Pipelined, SEED);
-        let sparten = simulate_sparten(&net, &SpartenConfig::default());
+        let isos = cfg.simulate(&net, SEED);
+        let sparten = SpartenConfig::default().simulate(&net, SEED);
         assert!(
             isos.total.mac_util.ratio() > 1.5 * sparten.total.mac_util.ratio(),
             "sparsity {sparsity}: ISOSceles util should clearly exceed SparTen's"
@@ -112,9 +108,9 @@ fn fig18_pipelining_decomposition() {
     // pipelining adds ~2.6x more; traffic tracks cycles (memory-bound).
     let cfg = IsoscelesConfig::default();
     let net = resnet50(0.96, SEED);
-    let sparten = simulate_sparten(&net, &SpartenConfig::default());
-    let single = simulate_isosceles_single(&net, &cfg, SEED);
-    let full = simulate_network(&net, &cfg, ExecMode::Pipelined, SEED);
+    let sparten = SpartenConfig::default().simulate(&net, SEED);
+    let single = IsoscelesSingleConfig(cfg).simulate(&net, SEED);
+    let full = cfg.simulate(&net, SEED);
 
     let dataflow_gain = sparten.total.cycles as f64 / single.total.cycles as f64;
     let pipeline_gain = single.total.cycles as f64 / full.total.cycles as f64;
@@ -143,8 +139,8 @@ fn traffic_split_matches_fig14c() {
         if w.id == "G58" {
             continue; // tiny block: activations dominate everything
         }
-        let fused = simulate_fused_layer(&w.network, &FusedLayerConfig::default());
-        let sparten = simulate_sparten(&w.network, &SpartenConfig::default());
+        let fused = FusedLayerConfig::default().simulate(&w.network, SEED);
+        let sparten = SpartenConfig::default().simulate(&w.network, SEED);
         assert!(
             fused.total.weight_traffic > fused.total.act_traffic,
             "{}: Fused-Layer should be weight-dominated",
@@ -155,7 +151,7 @@ fn traffic_split_matches_fig14c() {
             "{}: SparTen should be activation-dominated",
             w.id
         );
-        let isos = simulate_network(&w.network, &cfg, ExecMode::Pipelined, SEED);
+        let isos = cfg.simulate(&w.network, SEED);
         assert!(
             isos.total.act_traffic < 0.6 * sparten.total.act_traffic,
             "{}: pipelining must slash activation traffic",
@@ -172,7 +168,7 @@ fn energy_band_matches_fig17() {
     let mut fractions = Vec::new();
     for sparsity in [0.81, 0.99] {
         let net = resnet50(sparsity, SEED);
-        let isos = simulate_network(&net, &cfg, ExecMode::Pipelined, SEED);
+        let isos = cfg.simulate(&net, SEED);
         let e = energy_of(&isos.total.activity, &params);
         // Paper band: 0.2-1.9 mJ per ResNet inference.
         assert!(

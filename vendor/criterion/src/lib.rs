@@ -1,0 +1,205 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access, so this crate
+//! provides the macro/API shape the workspace's benches use
+//! ([`criterion_group!`], [`criterion_main!`], [`Criterion`],
+//! benchmark groups, [`black_box`], [`BenchmarkId`]) backed by a
+//! simple best-of-N wall-clock timer instead of criterion's
+//! statistical machinery. Output is one line per benchmark:
+//!
+//! ```text
+//! bench csf/from_dense/d0.05 ... best 12.3µs over 20 iters
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+/// Identifier combining a function name and a parameter label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Builds a parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u32,
+    best: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, keeping the best (minimum) duration over the sample
+    /// count configured on the group.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call outside timing.
+        black_box(f());
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(f());
+            let dt = start.elapsed();
+            if dt < self.best {
+                self.best = dt;
+            }
+        }
+    }
+}
+
+fn run_one(name: &str, iters: u32, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters,
+        best: Duration::MAX,
+    };
+    let wall = Instant::now();
+    f(&mut b);
+    if b.best == Duration::MAX {
+        println!(
+            "bench {name} ... completed in {:.1?} (no iter() call)",
+            wall.elapsed()
+        );
+    } else {
+        println!("bench {name} ... best {:.3?} over {} iters", b.best, iters);
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            iters: 10,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, 10, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    iters: u32,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measured-iteration count (upstream: target sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u32).clamp(1, 1000);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.iters, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.iters, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+        g.bench_with_input(BenchmarkId::new("with_input", 5), &5u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(1)));
+    }
+
+    #[test]
+    fn harness_runs_every_closure() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn ids_format_like_upstream() {
+        assert_eq!(BenchmarkId::new("f", "p").to_string(), "f/p");
+        assert_eq!(BenchmarkId::from_parameter(3).to_string(), "3");
+    }
+}

@@ -1,0 +1,67 @@
+//! `Option<T>` strategies (upstream: `proptest::option`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy producing `Option<S::Value>`; see [`of`].
+#[derive(Clone, Debug)]
+pub struct OptionStrategy<S> {
+    inner: S,
+    some_probability: f64,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        // Decide Some/None first so the inner strategy only consumes
+        // randomness when a value is actually produced.
+        if rng.gen_bool(self.some_probability) {
+            Some(self.inner.sample(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// Produces `Some` of the inner strategy's value half the time, `None`
+/// otherwise (upstream's default probability).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    weighted(0.5, inner)
+}
+
+/// Produces `Some` with probability `some_probability`.
+pub fn weighted<S: Strategy>(some_probability: f64, inner: S) -> OptionStrategy<S> {
+    OptionStrategy {
+        inner,
+        some_probability,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn of_mixes_some_and_none() {
+        let strat = of(0u32..100);
+        let mut rng = TestRng::for_test("of_mixes_some_and_none");
+        let samples: Vec<Option<u32>> = (0..200).map(|_| strat.sample(&mut rng)).collect();
+        let somes = samples.iter().filter(|s| s.is_some()).count();
+        assert!((50..150).contains(&somes), "somes {somes}");
+        assert!(samples.iter().flatten().all(|&v| v < 100));
+    }
+
+    #[test]
+    fn weighted_extremes() {
+        let mut rng = TestRng::for_test("weighted_extremes");
+        let never = weighted(0.0, 0u32..10);
+        let always = weighted(1.0, 0u32..10);
+        for _ in 0..50 {
+            assert!(never.sample(&mut rng).is_none());
+            assert!(always.sample(&mut rng).is_some());
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Offline vendored stand-in for `serde` (+ `serde_json`).
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the slice of serde the workspace uses: `#[derive(Serialize,
+//! Deserialize)]` on concrete structs/enums, plus a JSON module
+//! ([`json`]) playing the role of `serde_json` for the suite engine's
+//! on-disk result cache and the exporters.
+//!
+//! Unlike upstream serde there is no generic `Serializer`/`Deserializer`
+//! data model: [`Serialize`] converts directly into a [`json::Value`]
+//! tree and [`Deserialize`] reads one back. That is all the workspace
+//! needs, and it keeps the vendored surface tiny and auditable.
+
+#![warn(missing_docs)]
+
+// The derive macros emit absolute `::serde::` paths; make those resolve
+// inside this crate's own tests too.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+/// Types convertible into a [`json::Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a JSON value.
+    fn to_value(&self) -> json::Value;
+}
+
+/// Types reconstructible from a [`json::Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`json::Error`] naming the first mismatch encountered.
+    fn from_value(v: &json::Value) -> Result<Self, json::Error>;
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> json::Value {
+                json::Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+                let n = v.as_u64()?;
+                <$t>::try_from(n)
+                    .map_err(|_| json::Error::new(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> json::Value {
+                json::Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+                let n = v.as_i64()?;
+                <$t>::try_from(n)
+                    .map_err(|_| json::Error::new(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> json::Value {
+        json::Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        v.as_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> json::Value {
+        json::Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        Ok(v.as_f64()? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        v.as_bool()
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> json::Value {
+        json::Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| json::Error::new(format!("expected string, got {}", v.kind())))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> json::Value {
+        json::Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> json::Value {
+        json::Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        v.as_arr()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> json::Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => json::Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> json::Value {
+        json::Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        let items = v.as_arr()?;
+        if items.len() != N {
+            return Err(json::Error::new(format!(
+                "expected array of {N}, got {}",
+                items.len()
+            )));
+        }
+        let vec: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        Ok(<[T; N]>::try_from(vec).expect("length checked"))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> json::Value {
+        (**self).to_value()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> json::Value {
+        // Keys may be non-string (e.g. coordinate tuples), so maps
+        // serialize as arrays of [key, value] pairs.
+        json::Value::Arr(
+            self.iter()
+                .map(|(k, v)| json::Value::Arr(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        v.as_arr()?
+            .iter()
+            .map(|pair| {
+                Ok((
+                    K::from_value(pair.index(0)?)?,
+                    V::from_value(pair.index(1)?)?,
+                ))
+            })
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> json::Value {
+                json::Value::Arr(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+                Ok(($($t::from_value(v.index($n)?)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{json, Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Inner {
+        x: u64,
+        y: f64,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Outer {
+        name: String,
+        items: Vec<(String, Inner)>,
+        flag: bool,
+        opt: Option<u32>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Kind {
+        Unit,
+        Newtype(String),
+        Struct { a: usize, b: f32 },
+    }
+
+    #[test]
+    fn struct_roundtrip() {
+        let v = Outer {
+            name: "r96".into(),
+            items: vec![("g".into(), Inner { x: 7, y: -0.25 })],
+            flag: true,
+            opt: None,
+        };
+        let s = json::to_string(&v);
+        let back: Outer = json::from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn enum_roundtrip_all_shapes() {
+        for k in [
+            Kind::Unit,
+            Kind::Newtype("abc \"quoted\" \n".into()),
+            Kind::Struct { a: 3, b: 0.5 },
+        ] {
+            let s = json::to_string(&k);
+            let back: Kind = json::from_str(&s).unwrap();
+            assert_eq!(back, k);
+        }
+    }
+
+    #[test]
+    fn f64_roundtrips_exactly() {
+        for x in [0.1f64, 1.0 / 3.0, 1e300, -2.5e-17, 0.0, 12345.678901234567] {
+            let s = json::to_string(&x);
+            let back: f64 = json::from_str(&s).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{s}");
+        }
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let r: Result<Inner, _> = json::from_str("{\"x\": 3}");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn btreemap_with_tuple_keys_roundtrips() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert((1u16, 2u16, 3u16), 1.5f32);
+        m.insert((9u16, 0u16, 0u16), -2.0f32);
+        let s = json::to_string(&m);
+        let back: std::collections::BTreeMap<(u16, u16, u16), f32> = json::from_str(&s).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,388 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! The build environment has no crates.io access, so this proc-macro
+//! crate re-implements the two derives the workspace uses, without
+//! `syn`/`quote`: the item is tokenized by hand and the impls are
+//! emitted as source strings. Supported shapes (everything the
+//! workspace derives on):
+//!
+//! - structs with named fields (including empty ones);
+//! - tuple structs (newtypes serialize transparently);
+//! - enums with unit, tuple, and struct variants (externally tagged,
+//!   like upstream serde's default representation).
+//!
+//! Generic types and serde attributes (`#[serde(...)]`) are not
+//! supported and produce a compile error, keeping misuse loud.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Shape)>,
+    },
+}
+
+/// Field layout of a struct or enum variant.
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Advances past `#[...]` attributes and doc comments.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < toks.len()
+        && is_punct(&toks[i], '#')
+        && matches!(&toks[i + 1], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+    {
+        i += 2;
+    }
+    i
+}
+
+/// Advances past `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if i < toks.len() && is_ident(&toks[i], "pub") {
+        i += 1;
+        if i < toks.len()
+            && matches!(&toks[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Advances past a type (or expression) until a top-level comma,
+/// tracking `<...>` nesting so `Vec<(A, B)>` and `BTreeMap<K, V>` split
+/// correctly. Returns the index just past the comma (or `toks.len()`).
+fn skip_to_next_comma(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut angle = 0i64;
+    while i < toks.len() {
+        if is_punct(&toks[i], '<') {
+            angle += 1;
+        } else if is_punct(&toks[i], '>') {
+            angle -= 1;
+        } else if is_punct(&toks[i], ',') && angle == 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses `{ field: Ty, ... }` contents into field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_vis(&toks, skip_attrs(&toks, i));
+        if i >= toks.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!("serde_derive: expected field name, got {}", toks[i]);
+        };
+        fields.push(name.to_string());
+        i += 1;
+        assert!(
+            i < toks.len() && is_punct(&toks[i], ':'),
+            "serde_derive: expected `:` after field `{}`",
+            fields.last().unwrap()
+        );
+        i = skip_to_next_comma(&toks, i + 1);
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut n = 0;
+    while i < toks.len() {
+        i = skip_vis(&toks, skip_attrs(&toks, i));
+        if i >= toks.len() {
+            break;
+        }
+        n += 1;
+        i = skip_to_next_comma(&toks, i);
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Shape)> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!("serde_derive: expected variant name, got {}", toks[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        variants.push((name, shape));
+        // Skip optional discriminant and the separating comma.
+        i = skip_to_next_comma(&toks, i);
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&toks, skip_attrs(&toks, 0));
+    let is_enum = if is_ident(&toks[i], "struct") {
+        false
+    } else if is_ident(&toks[i], "enum") {
+        true
+    } else {
+        panic!("serde_derive: only structs and enums are supported");
+    };
+    i += 1;
+    let TokenTree::Ident(name) = &toks[i] else {
+        panic!("serde_derive: expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    assert!(
+        i >= toks.len() || !is_punct(&toks[i], '<'),
+        "serde_derive: generic types are not supported (type `{name}`)"
+    );
+    if is_enum {
+        let TokenTree::Group(g) = &toks[i] else {
+            panic!("serde_derive: expected enum body");
+        };
+        Item::Enum {
+            name,
+            variants: parse_variants(g.stream()),
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                shape: Shape::Named(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Struct {
+                name,
+                shape: Shape::Tuple(count_tuple_fields(g.stream())),
+            },
+            _ => Item::Struct {
+                name,
+                shape: Shape::Unit,
+            },
+        }
+    }
+}
+
+/// Derives `serde::Serialize` (vendored JSON data model).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::json::Value::Null".to_string(),
+                Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let elems: Vec<String> = (0..n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!(
+                        "::serde::json::Value::Arr(::std::vec![{}])",
+                        elems.join(", ")
+                    )
+                }
+                Shape::Named(fields) => obj_literal(&fields, "self."),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::json::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, shape) in &variants {
+                match shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::json::Value::Str(\"{v}\".to_string()),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "::serde::json::Value::Arr(::std::vec![{}])",
+                                elems.join(", ")
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({}) => ::serde::json::Value::tagged(\"{v}\", {inner}),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let inner = obj_literal(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::json::Value::tagged(\"{v}\", {inner}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::json::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("serde_derive: generated impl parses")
+}
+
+/// `Value::Obj` literal from field names; `prefix` is `self.` for
+/// structs and empty for destructured enum bindings (which borrow).
+fn obj_literal(fields: &[String], prefix: &str) -> String {
+    let pairs: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let amp = if prefix.is_empty() { "" } else { "&" };
+            format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({amp}{prefix}{f}))")
+        })
+        .collect();
+    format!(
+        "::serde::json::Value::Obj(::std::vec![{}])",
+        pairs.join(", ")
+    )
+}
+
+/// Derives `serde::Deserialize` (vendored JSON data model).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("::std::result::Result::Ok({name})"),
+                Shape::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Shape::Tuple(n) => {
+                    let elems: Vec<String> = (0..n)
+                        .map(|i| format!("::serde::Deserialize::from_value(v.index({i})?)?"))
+                        .collect();
+                    format!("::std::result::Result::Ok({name}({}))", elems.join(", "))
+                }
+                Shape::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?")
+                        })
+                        .collect();
+                    format!(
+                        "::std::result::Result::Ok({name} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+            };
+            deserialize_impl(&name, &body)
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (v, shape) in &variants {
+                match shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "\"{v}\" => return ::std::result::Result::Ok({name}::{v}),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let ctor = if *n == 1 {
+                            format!("{name}::{v}(::serde::Deserialize::from_value(inner)?)")
+                        } else {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(inner.index({i})?)?")
+                                })
+                                .collect();
+                            format!("{name}::{v}({})", elems.join(", "))
+                        };
+                        tagged_arms
+                            .push_str(&format!("\"{v}\" => ::std::result::Result::Ok({ctor}),\n"));
+                    }
+                    Shape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(inner.field(\"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "if let ::std::option::Option::Some(s) = v.as_str() {{\n\
+                     match s {{ {unit_arms} _ => {{}} }}\n\
+                 }}\n\
+                 let (tag, inner) = v.as_tagged()?;\n\
+                 match tag {{\n\
+                     {tagged_arms}\n\
+                     other => ::std::result::Result::Err(::serde::json::Error::new(\
+                         format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                 }}"
+            );
+            deserialize_impl(&name, &body)
+        }
+    };
+    out.parse().expect("serde_derive: generated impl parses")
+}
+
+fn deserialize_impl(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::json::Value) \
+                 -> ::std::result::Result<Self, ::serde::json::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
