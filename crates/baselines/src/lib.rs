@@ -39,9 +39,7 @@ pub use fused_layer::{fused_groups, FusedLayerConfig};
 pub use single::IsoscelesSingleConfig;
 pub use sparten::SpartenConfig;
 
-#[allow(deprecated)]
-pub use fused_layer::simulate_fused_layer;
-#[allow(deprecated)]
-pub use single::simulate_isosceles_single;
-#[allow(deprecated)]
-pub use sparten::simulate_sparten;
+// The deprecated `simulate_*` free functions are intentionally NOT
+// re-exported at the crate root: all internal call sites use the
+// `Accelerator` trait, and only the compatibility test (`tests/compat.rs`)
+// exercises the wrappers at their defining paths.

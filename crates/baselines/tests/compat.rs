@@ -1,0 +1,37 @@
+//! Compatibility test: the deprecated `simulate_*` free functions remain
+//! callable at their defining paths and agree exactly with the
+//! [`Accelerator`] trait they wrap. This is the only place that still
+//! exercises them; everything else goes through the trait.
+
+#![allow(deprecated)]
+
+use isos_baselines::{FusedLayerConfig, IsoscelesSingleConfig, SpartenConfig};
+use isos_nn::models::googlenet_inception3a;
+use isosceles::accel::Accelerator;
+use isosceles::IsoscelesConfig;
+
+#[test]
+fn deprecated_wrappers_match_the_trait() {
+    let net = googlenet_inception3a(0.58, 1);
+    let seed = 7;
+
+    // SparTen and Fused-Layer are seed-independent models; the wrappers
+    // pin seed 0.
+    let sparten = SpartenConfig::default();
+    assert_eq!(
+        isos_baselines::sparten::simulate_sparten(&net, &sparten),
+        sparten.simulate(&net, 0)
+    );
+
+    let fused = FusedLayerConfig::default();
+    assert_eq!(
+        isos_baselines::fused_layer::simulate_fused_layer(&net, &fused),
+        fused.simulate(&net, 0)
+    );
+
+    let isos = IsoscelesConfig::default();
+    assert_eq!(
+        isos_baselines::single::simulate_isosceles_single(&net, &isos, seed),
+        IsoscelesSingleConfig(isos).simulate(&net, seed)
+    );
+}

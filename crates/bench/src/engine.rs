@@ -33,6 +33,7 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use isos_baselines::{FusedLayerConfig, IsoscelesSingleConfig, SpartenConfig};
@@ -189,6 +190,51 @@ pub struct JobRecord {
     pub cache_hit: bool,
 }
 
+/// Cache hit/miss counters, either for one run ([`EngineStats::cache`])
+/// or accumulated over an engine's lifetime
+/// ([`SuiteEngine::lifetime_cache`]).
+///
+/// Search drivers (the `dse` binary) use the lifetime view to assert
+/// that repeated evaluations of the same design points are served from
+/// the cache instead of re-simulated.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Jobs served from the on-disk cache.
+    pub hits: usize,
+    /// Jobs that had to simulate.
+    pub misses: usize,
+}
+
+impl CacheStats {
+    /// Total jobs accounted for.
+    pub fn total(&self) -> usize {
+        self.hits + self.misses
+    }
+
+    /// Fraction of jobs served from the cache (0 when no jobs ran).
+    pub fn hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+
+    /// Sums two counter sets.
+    pub fn merge(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} hits / {} misses", self.hits, self.misses)
+    }
+}
+
 /// Aggregated accounting for one engine run.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct EngineStats {
@@ -208,6 +254,14 @@ impl EngineStats {
     /// Total job count.
     pub fn jobs_total(&self) -> usize {
         self.hits + self.misses
+    }
+
+    /// This run's cache counters as a standalone struct.
+    pub fn cache(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+        }
     }
 
     /// The one-line human summary the harness binaries print.
@@ -273,16 +327,31 @@ pub fn job_key(accel: &dyn Accelerator, workload: &WorkloadId, seed: u64) -> u64
     fnv1a(h, &seed.to_le_bytes())
 }
 
+/// Cumulative cache counters shared by an engine and all its clones.
+#[derive(Debug, Default)]
+struct LifetimeCounters {
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
 /// The parallel, cached suite driver. See the [module docs](self).
+///
+/// Cloning an engine shares its lifetime cache counters, so a driver can
+/// hand clones to helpers and still read one cumulative
+/// [`lifetime_cache`](Self::lifetime_cache) total.
 #[derive(Clone, Debug, Default)]
 pub struct SuiteEngine {
     opts: EngineOptions,
+    lifetime: Arc<LifetimeCounters>,
 }
 
 impl SuiteEngine {
     /// Creates an engine with explicit options.
     pub fn new(opts: EngineOptions) -> Self {
-        Self { opts }
+        Self {
+            opts,
+            lifetime: Arc::default(),
+        }
     }
 
     /// Creates an engine configured from CLI flags and environment
@@ -294,6 +363,15 @@ impl SuiteEngine {
     /// The resolved options.
     pub fn options(&self) -> &EngineOptions {
         &self.opts
+    }
+
+    /// Cache counters accumulated over every `run_*` call on this engine
+    /// and its clones.
+    pub fn lifetime_cache(&self) -> CacheStats {
+        CacheStats {
+            hits: self.lifetime.hits.load(Ordering::Relaxed),
+            misses: self.lifetime.misses.load(Ordering::Relaxed),
+        }
     }
 
     /// Runs the paper's 11-CNN suite on all four accelerator models and
@@ -385,6 +463,10 @@ impl SuiteEngine {
             grid[w].push(metrics);
         }
         stats.wall_millis = started.elapsed().as_secs_f64() * 1e3;
+        self.lifetime.hits.fetch_add(stats.hits, Ordering::Relaxed);
+        self.lifetime
+            .misses
+            .fetch_add(stats.misses, Ordering::Relaxed);
         if !self.opts.quiet {
             eprintln!("{}", stats.summary());
         }
@@ -669,6 +751,41 @@ mod tests {
         keys.sort_unstable();
         keys.dedup();
         assert_eq!(keys.len(), 44, "cache key collision in standard matrix");
+    }
+
+    #[test]
+    fn lifetime_cache_accumulates_across_runs_and_clones() {
+        let dir = scratch_dir("lifetime");
+        let (workloads, sparten, fused) = small_inputs();
+        let accels: [&dyn Accelerator; 2] = [&sparten, &fused];
+
+        let eng = quiet_engine(dir, 1, true);
+        assert_eq!(eng.lifetime_cache(), CacheStats::default());
+
+        let (_, s1) = eng.run_matrix(&workloads, &accels, SEED);
+        assert_eq!(s1.cache(), CacheStats { hits: 0, misses: 2 });
+        assert_eq!(eng.lifetime_cache(), s1.cache());
+
+        // A clone shares the counters, and its runs hit the same cache.
+        let clone = eng.clone();
+        let (_, s2) = clone.run_matrix(&workloads, &accels, SEED);
+        assert_eq!(s2.cache(), CacheStats { hits: 2, misses: 0 });
+        let total = eng.lifetime_cache();
+        assert_eq!(total, CacheStats { hits: 2, misses: 2 });
+        assert_eq!(total, clone.lifetime_cache());
+        assert_eq!(total.total(), 4);
+        assert!((total.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_stats_merge_and_rates() {
+        let a = CacheStats { hits: 3, misses: 1 };
+        let b = CacheStats { hits: 1, misses: 3 };
+        assert_eq!(a.merge(b), CacheStats { hits: 4, misses: 4 });
+        assert_eq!(a.merge(b), b.merge(a));
+        assert!((a.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        assert_eq!(a.to_string(), "3 hits / 1 misses");
     }
 
     #[test]

@@ -83,6 +83,51 @@ impl CsvTable {
         std::fs::write(&path, self.to_csv())?;
         Ok(path)
     }
+
+    /// Renders a GitHub-flavored markdown table (pipes in cells are
+    /// escaped so column boundaries survive).
+    pub fn to_markdown(&self) -> String {
+        let escape = |c: &String| c.replace('|', "\\|").replace('\n', " ");
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "| {} |",
+            self.headers
+                .iter()
+                .map(&escape)
+                .collect::<Vec<_>>()
+                .join(" | ")
+        );
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers
+                .iter()
+                .map(|_| " --- ")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "| {} |",
+                row.iter().map(&escape).collect::<Vec<_>>().join(" | ")
+            );
+        }
+        out
+    }
+
+    /// Writes the table to `dir/name.md`, creating `dir` if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_markdown(&self, dir: &Path, name: &str) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.md"));
+        std::fs::write(&path, self.to_markdown())?;
+        Ok(path)
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +154,34 @@ mod tests {
     fn arity_mismatch_panics() {
         let mut t = CsvTable::new(&["a", "b"]);
         t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn markdown_renders_header_separator_and_escapes_pipes() {
+        let mut t = CsvTable::new(&["net", "speedup"]);
+        t.push(&["R96", "4.9"]);
+        t.push_row(vec!["a|b".into(), "multi\nline".into()]);
+        assert_eq!(
+            t.to_markdown(),
+            "| net | speedup |\n\
+             | --- | --- |\n\
+             | R96 | 4.9 |\n\
+             | a\\|b | multi line |\n"
+        );
+    }
+
+    #[test]
+    fn writes_markdown_to_disk() {
+        let dir = std::env::temp_dir().join("isos-report-md-test");
+        let mut t = CsvTable::new(&["x"]);
+        t.push(&[1]);
+        let path = t.write_markdown(&dir, "t").unwrap();
+        assert!(path.ends_with("t.md"));
+        assert_eq!(
+            std::fs::read_to_string(path).unwrap(),
+            "| x |\n| --- |\n| 1 |\n"
+        );
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -1,0 +1,33 @@
+//! Prints the analytical model's per-workload cycle error against the
+//! cycle-level simulator at the default configuration — the calibration
+//! view behind the constants in `explore::model` and the 25% gate in
+//! `tests/validation.rs`.
+//!
+//! ```text
+//! cargo run --release -p isos-explore --example model_error
+//! ```
+
+use isos_explore::model::estimate_network;
+use isos_nn::models::paper_suite;
+use isosceles::accel::Accelerator;
+use isosceles::IsoscelesConfig;
+
+fn main() {
+    let cfg = IsoscelesConfig::default();
+    let seed = 20230225;
+    println!(
+        "{:<4} {:>12} {:>12} {:>8}",
+        "net", "sim cycles", "est cycles", "error"
+    );
+    for w in paper_suite(seed) {
+        let sim = cfg.simulate(&w.network, seed).total.cycles as f64;
+        let est = estimate_network(&w.network, &cfg).cycles;
+        println!(
+            "{:<4} {:>12.0} {:>12.0} {:>7.1}%",
+            w.id,
+            sim,
+            est,
+            (est - sim).abs() / sim * 100.0
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Design-space exploration driver.
+//!
+//! Screens the full design space analytically, simulates the top-K
+//! survivors cycle-level through the parallel cached suite engine, and
+//! writes the (cycles, mm², mJ) Pareto frontier as JSON + CSV + markdown.
+//!
+//! ```text
+//! cargo run --release -p isos-explore --bin dse -- [flags]
+//!   --net ID          workload to explore (default R96)
+//!   --top-k N         survivors to simulate cycle-level (default 8)
+//!   --budget-mm2 F    discard screened points above F mm² at 45 nm
+//!   --smoke           tiny 4-point space for CI
+//!   --out DIR         output directory (default results/dse)
+//!   --seed N          simulation seed (default the suite seed)
+//!   --threads N       engine worker threads (also ISOS_THREADS)
+//!   --no-cache        disable the engine result cache (also ISOS_NO_CACHE)
+//! ```
+
+use isos_explore::report::{to_markdown, write_all};
+use isos_explore::search::{search, SearchOptions};
+use isos_explore::space::DesignSpace;
+use isos_nn::models::suite_workload;
+use isosceles_bench::engine::SuiteEngine;
+use isosceles_bench::suite::SEED;
+use std::path::PathBuf;
+
+fn main() {
+    let mut net = "R96".to_string();
+    let mut opts = SearchOptions::default();
+    let mut smoke = false;
+    let mut out = PathBuf::from("results/dse");
+    let mut seed = SEED;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+                .clone()
+        };
+        match arg.as_str() {
+            "--net" => net = value("--net"),
+            "--top-k" => opts.top_k = value("--top-k").parse().expect("--top-k N"),
+            "--budget-mm2" => {
+                opts.budget_mm2 = Some(value("--budget-mm2").parse().expect("--budget-mm2 F"));
+            }
+            "--smoke" => smoke = true,
+            "--out" => out = PathBuf::from(value("--out")),
+            "--seed" => seed = value("--seed").parse().expect("--seed N"),
+            // Engine flags (--threads, --no-cache) are parsed by
+            // EngineOptions::from_env; everything else is rejected.
+            "--threads" => {
+                let _ = value("--threads");
+            }
+            "--no-cache" => {}
+            other => panic!("unknown flag {other}; see the module docs"),
+        }
+    }
+
+    let workload = suite_workload(&net, seed);
+    let space = if smoke {
+        DesignSpace::smoke()
+    } else {
+        DesignSpace::default()
+    };
+    eprintln!(
+        "dse: exploring {} over {} points (top-{} simulated{})",
+        workload.id,
+        space.len(),
+        opts.top_k,
+        opts.budget_mm2
+            .map(|b| format!(", budget {b} mm\u{b2}"))
+            .unwrap_or_default()
+    );
+
+    let engine = SuiteEngine::from_env();
+    let result = search(&engine, &workload, &space, &opts, seed);
+    println!("{}", to_markdown(&result));
+    match write_all(&result, &out) {
+        Ok(paths) => {
+            for p in paths {
+                eprintln!("dse: wrote {}", p.display());
+            }
+        }
+        Err(e) => {
+            eprintln!("dse: failed to write reports under {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Pareto-frontier extraction over minimized objectives.
+
+/// Indices of the non-dominated rows of `objectives`, in input order.
+///
+/// Every objective is minimized. Row `a` dominates row `b` when `a` is no
+/// worse in every objective and strictly better in at least one; rows
+/// equal in all objectives do not dominate each other (both survive).
+///
+/// # Panics
+///
+/// Panics if rows have differing lengths.
+pub fn pareto_indices(objectives: &[Vec<f64>]) -> Vec<usize> {
+    if let Some(first) = objectives.first() {
+        let width = first.len();
+        assert!(
+            objectives.iter().all(|r| r.len() == width),
+            "ragged objective rows"
+        );
+    }
+    (0..objectives.len())
+        .filter(|&i| {
+            !objectives
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && dominates(other, &objectives[i]))
+        })
+        .collect()
+}
+
+/// Whether `a` dominates `b` (all objectives minimized).
+fn dominates(a: &[f64], b: &[f64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x <= y) && a.iter().zip(b).any(|(x, y)| x < y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_is_its_own_frontier() {
+        assert_eq!(pareto_indices(&[vec![1.0, 2.0]]), vec![0]);
+    }
+
+    #[test]
+    fn dominated_points_are_dropped() {
+        // (1,1) dominates (2,2); (0,3) and (3,0) trade off.
+        let rows = vec![
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+            vec![0.0, 3.0],
+            vec![3.0, 0.0],
+        ];
+        assert_eq!(pareto_indices(&rows), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn duplicates_both_survive() {
+        let rows = vec![vec![1.0, 1.0], vec![1.0, 1.0], vec![2.0, 1.0]];
+        assert_eq!(pareto_indices(&rows), vec![0, 1]);
+    }
+
+    #[test]
+    fn three_objectives() {
+        // Worse on two axes but best on the third stays non-dominated.
+        let rows = vec![
+            vec![1.0, 1.0, 5.0],
+            vec![2.0, 2.0, 1.0],
+            vec![2.0, 2.0, 6.0], // dominated by both
+        ];
+        assert_eq!(pareto_indices(&rows), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_input_empty_frontier() {
+        assert!(pareto_indices(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        pareto_indices(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

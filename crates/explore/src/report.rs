@@ -1,0 +1,135 @@
+//! Exporting search results: JSON for tooling, markdown + CSV tables for
+//! humans, via the bench crate's [`CsvTable`].
+
+use crate::search::SearchResult;
+use isosceles_bench::report::CsvTable;
+use std::path::{Path, PathBuf};
+
+/// Builds the per-point results table (one row per simulated point,
+/// frontier membership marked).
+pub fn result_table(result: &SearchResult) -> CsvTable {
+    let mut t = CsvTable::new(&[
+        "label",
+        "cycles",
+        "speedup_vs_default",
+        "area_mm2",
+        "energy_mj",
+        "est_cycles",
+        "model_error",
+        "pareto",
+    ]);
+    for (i, e) in result.evaluated.iter().enumerate() {
+        t.push_row(vec![
+            e.label.clone(),
+            e.cycles.to_string(),
+            format!("{:.3}", e.speedup_vs_default),
+            format!("{:.3}", e.area_mm2),
+            format!("{:.4}", e.energy_mj),
+            format!("{:.0}", e.est_cycles),
+            format!("{:.1}%", e.model_error() * 100.0),
+            if result.frontier.contains(&i) {
+                "*"
+            } else {
+                ""
+            }
+            .to_string(),
+        ]);
+    }
+    t
+}
+
+/// Renders the full markdown report: summary paragraph plus the table.
+pub fn to_markdown(result: &SearchResult) -> String {
+    format!(
+        "# Design-space exploration: {}\n\n\
+         Screened {} points analytically ({} over the area budget), \
+         simulated {} cycle-level; {} on the (cycles, mm\u{b2}, mJ) Pareto \
+         frontier. Simulation batch: {:.0} ms, cache {}.\n\n{}",
+        result.workload,
+        result.screened,
+        result.over_budget,
+        result.evaluated.len(),
+        result.frontier.len(),
+        result.sim_wall_millis,
+        result.cache,
+        result_table(result).to_markdown()
+    )
+}
+
+/// Writes `dse-<workload>.{json,csv,md}` under `dir`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_all(result: &SearchResult, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let stem = format!("dse-{}", result.workload);
+    let json = dir.join(format!("{stem}.json"));
+    std::fs::write(&json, serde::json::to_string(result))?;
+    let csv = result_table(result).write(dir, &stem)?;
+    let md = dir.join(format!("{stem}.md"));
+    std::fs::write(&md, to_markdown(result))?;
+    Ok(vec![json, csv, md])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::EvaluatedPoint;
+    use isosceles::IsoscelesConfig;
+    use isosceles_bench::engine::CacheStats;
+
+    fn tiny_result() -> SearchResult {
+        let mk = |label: &str, cycles: u64, area: f64| EvaluatedPoint {
+            label: label.into(),
+            config: IsoscelesConfig::default(),
+            cycles,
+            est_cycles: cycles as f64 * 1.1,
+            area_mm2: area,
+            energy_mj: 0.5,
+            speedup_vs_default: 100.0 / cycles as f64,
+        };
+        SearchResult {
+            workload: "G58".into(),
+            screened: 4,
+            over_budget: 1,
+            evaluated: vec![mk("fast", 100, 30.0), mk("small", 200, 10.0)],
+            frontier: vec![0, 1],
+            cache: CacheStats { hits: 1, misses: 1 },
+            sim_wall_millis: 12.0,
+        }
+    }
+
+    #[test]
+    fn table_marks_frontier_rows() {
+        let t = result_table(&tiny_result());
+        let csv = t.to_csv();
+        assert!(csv.starts_with("label,cycles,"));
+        assert!(csv.contains("fast,100,1.000,30.000,0.5000,110,10.0%,*"));
+    }
+
+    #[test]
+    fn markdown_summarizes_counts() {
+        let md = to_markdown(&tiny_result());
+        assert!(md.contains("Screened 4 points"));
+        assert!(md.contains("1 over the area budget"));
+        assert!(md.contains("| label |"));
+        assert!(md.contains("1 hits / 1 misses"));
+    }
+
+    #[test]
+    fn write_all_emits_three_files() {
+        let dir = std::env::temp_dir().join(format!("isos-dse-report-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let paths = write_all(&tiny_result(), &dir).unwrap();
+        assert_eq!(paths.len(), 3);
+        for p in &paths {
+            assert!(p.exists(), "{p:?} missing");
+        }
+        // JSON round-trips.
+        let text = std::fs::read_to_string(&paths[0]).unwrap();
+        let back: SearchResult = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, tiny_result());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

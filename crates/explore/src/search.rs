@@ -1,0 +1,240 @@
+//! The search driver: analytically screen every enumerated design point,
+//! then dispatch the survivors to the cycle-level simulator through the
+//! parallel, cached suite engine.
+
+use crate::model::{area_mm2, estimate_network, NetworkEstimate};
+use crate::pareto::pareto_indices;
+use crate::space::{DesignPoint, DesignSpace};
+use isos_nn::models::Workload;
+use isos_sim::energy::{energy_of, EnergyParams};
+use isosceles::accel::Accelerator;
+use isosceles::IsoscelesConfig;
+use isosceles_bench::engine::{CacheStats, SuiteEngine};
+use serde::{Deserialize, Serialize};
+
+/// One analytically screened design point.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScreenedPoint {
+    /// The candidate.
+    pub point: DesignPoint,
+    /// Analytical estimate for the workload.
+    pub estimate: NetworkEstimate,
+    /// Total area in mm² at 45 nm.
+    pub area_mm2: f64,
+    /// Estimated energy per inference in millijoules.
+    pub energy_mj: f64,
+}
+
+/// Screens every point of `space` against `workload` analytically —
+/// thousands of points cost milliseconds, no simulation — sorted by
+/// estimated cycles ascending.
+pub fn screen(workload: &Workload, space: &DesignSpace) -> Vec<ScreenedPoint> {
+    let mut screened: Vec<ScreenedPoint> = space
+        .enumerate()
+        .into_iter()
+        .map(|point| {
+            let estimate = estimate_network(&workload.network, &point.config);
+            let area_mm2 = area_mm2(&point.config);
+            let energy_mj = estimate.energy_mj(&point.config);
+            ScreenedPoint {
+                point,
+                estimate,
+                area_mm2,
+                energy_mj,
+            }
+        })
+        .collect();
+    screened.sort_by(|a, b| a.estimate.cycles.total_cmp(&b.estimate.cycles));
+    screened
+}
+
+/// Search parameters.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SearchOptions {
+    /// How many screened survivors to simulate cycle-level.
+    pub top_k: usize,
+    /// Area budget in mm² at 45 nm; screened points above it are
+    /// discarded before the top-K cut (the paper-default reference point
+    /// is always simulated regardless, so speedups stay anchored).
+    pub budget_mm2: Option<f64>,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        Self {
+            top_k: 8,
+            budget_mm2: None,
+        }
+    }
+}
+
+/// One cycle-level-simulated design point.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EvaluatedPoint {
+    /// Label from the design space (`paper-default` for the anchor).
+    pub label: String,
+    /// The full configuration.
+    pub config: IsoscelesConfig,
+    /// Cycle-level simulated cycles.
+    pub cycles: u64,
+    /// Analytical estimate, for model-error reporting.
+    pub est_cycles: f64,
+    /// Total area in mm² at 45 nm.
+    pub area_mm2: f64,
+    /// Simulated energy per inference in millijoules.
+    pub energy_mj: f64,
+    /// Speedup over the paper-default configuration (>1 = faster).
+    pub speedup_vs_default: f64,
+}
+
+impl EvaluatedPoint {
+    /// Relative error of the analytical estimate vs the simulation.
+    pub fn model_error(&self) -> f64 {
+        (self.est_cycles - self.cycles as f64).abs() / self.cycles as f64
+    }
+}
+
+/// A finished search.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SearchResult {
+    /// Workload id (`"R96"`, ...).
+    pub workload: String,
+    /// Points analytically screened.
+    pub screened: usize,
+    /// Points discarded by the area budget.
+    pub over_budget: usize,
+    /// Simulated points, sorted by simulated cycles ascending.
+    pub evaluated: Vec<EvaluatedPoint>,
+    /// Indices into `evaluated` of the (cycles, area, energy) Pareto
+    /// frontier, minimizing all three.
+    pub frontier: Vec<usize>,
+    /// Engine cache counters for the simulation batch.
+    pub cache: CacheStats,
+    /// Wall time of the simulation batch in milliseconds.
+    pub sim_wall_millis: f64,
+}
+
+impl SearchResult {
+    /// The frontier as evaluated points.
+    pub fn frontier_points(&self) -> Vec<&EvaluatedPoint> {
+        self.frontier.iter().map(|&i| &self.evaluated[i]).collect()
+    }
+}
+
+/// Runs the full screen-then-simulate search for one workload.
+///
+/// The analytical model ranks every point in `space`; the area budget
+/// (if any) and the top-K cut pick the survivors; the suite engine
+/// simulates them — in parallel, memoized across repeated searches — and
+/// the Pareto frontier is extracted from the simulated (cycles, mm², mJ).
+pub fn search(
+    engine: &SuiteEngine,
+    workload: &Workload,
+    space: &DesignSpace,
+    opts: &SearchOptions,
+    seed: u64,
+) -> SearchResult {
+    let screened = screen(workload, space);
+    let total = screened.len();
+    let within: Vec<ScreenedPoint> = screened
+        .into_iter()
+        .filter(|s| opts.budget_mm2.is_none_or(|b| s.area_mm2 <= b))
+        .collect();
+    let over_budget = total - within.len();
+
+    // Survivors: best-estimated K, plus the paper default as the anchor
+    // every speedup is measured against.
+    let mut survivors: Vec<DesignPoint> = within
+        .into_iter()
+        .take(opts.top_k.max(1))
+        .map(|s| s.point)
+        .collect();
+    let default_cfg = IsoscelesConfig::default();
+    if !survivors.iter().any(|p| p.config == default_cfg) {
+        survivors.push(DesignPoint {
+            label: "paper-default".into(),
+            config: default_cfg,
+        });
+    }
+
+    let accels: Vec<&dyn Accelerator> = survivors
+        .iter()
+        .map(|p| &p.config as &dyn Accelerator)
+        .collect();
+    let (grid, stats) = engine.run_matrix(std::slice::from_ref(workload), &accels, seed);
+    let metrics = &grid[0];
+
+    let default_cycles = survivors
+        .iter()
+        .zip(metrics)
+        .find(|(p, _)| p.config == default_cfg)
+        .map(|(_, m)| m.total.cycles)
+        .expect("default anchor always simulated");
+
+    let mut evaluated: Vec<EvaluatedPoint> = survivors
+        .iter()
+        .zip(metrics)
+        .map(|(p, m)| {
+            let est = estimate_network(&workload.network, &p.config);
+            let energy = energy_of(&m.total.activity, &EnergyParams::default());
+            EvaluatedPoint {
+                label: p.label.clone(),
+                config: p.config,
+                cycles: m.total.cycles,
+                est_cycles: est.cycles,
+                area_mm2: area_mm2(&p.config),
+                energy_mj: energy.total_mj(),
+                speedup_vs_default: default_cycles as f64 / m.total.cycles as f64,
+            }
+        })
+        .collect();
+    evaluated.sort_by_key(|e| e.cycles);
+
+    let objectives: Vec<Vec<f64>> = evaluated
+        .iter()
+        .map(|e| vec![e.cycles as f64, e.area_mm2, e.energy_mj])
+        .collect();
+    let frontier = pareto_indices(&objectives);
+
+    SearchResult {
+        workload: workload.id.to_string(),
+        screened: total,
+        over_budget,
+        evaluated,
+        frontier,
+        cache: stats.cache(),
+        sim_wall_millis: stats.wall_millis,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isos_nn::models::suite_workload;
+
+    #[test]
+    fn screen_orders_by_estimated_cycles_and_keeps_every_point() {
+        let w = suite_workload("G58", 1);
+        let space = DesignSpace::smoke();
+        let screened = screen(&w, &space);
+        assert_eq!(screened.len(), space.len());
+        assert!(screened
+            .windows(2)
+            .all(|p| p[0].estimate.cycles <= p[1].estimate.cycles));
+        assert!(screened.iter().all(|s| s.area_mm2 > 0.0));
+        assert!(screened.iter().all(|s| s.energy_mj > 0.0));
+    }
+
+    #[test]
+    fn budget_filter_discards_large_points() {
+        let w = suite_workload("G58", 1);
+        let space = DesignSpace::smoke();
+        let screened = screen(&w, &space);
+        let min_area = screened
+            .iter()
+            .map(|s| s.area_mm2)
+            .fold(f64::INFINITY, f64::min);
+        let max_area = screened.iter().map(|s| s.area_mm2).fold(0.0, f64::max);
+        assert!(min_area < max_area, "smoke space should span areas");
+    }
+}

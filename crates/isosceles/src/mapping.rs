@@ -9,6 +9,8 @@
 //! single layers whose weights exceed the filter buffer are tiled on `K`
 //! (Sec. IV-C).
 
+use std::fmt;
+
 use crate::config::IsoscelesConfig;
 use isos_nn::graph::{Network, NodeId};
 use isos_nn::layer::LayerKind;
@@ -40,6 +42,39 @@ pub struct PipelineGroup {
 }
 
 impl PipelineGroup {
+    /// Builds a group from an explicit layer set, deriving the name (the
+    /// paper's convention: the first conv layer, else the first layer) and
+    /// the `P`/`K` tiling the mapper would choose for these members.
+    ///
+    /// This is the building block design-space explorers use to construct
+    /// pipeline partitions other than the greedy mapper's; use
+    /// [`Mapping::from_partitions`] to build (and validate) a whole plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or contains an out-of-range id.
+    pub fn from_layers(net: &Network, cfg: &IsoscelesConfig, layers: Vec<NodeId>) -> Self {
+        assert!(!layers.is_empty(), "pipeline group must have layers");
+        let first_conv = layers
+            .iter()
+            .copied()
+            .find(|&id| {
+                matches!(
+                    net.layer(id).kind,
+                    LayerKind::Conv { .. } | LayerKind::DwConv { .. }
+                )
+            })
+            .unwrap_or(layers[0]);
+        let name = net.layer(first_conv).name.clone();
+        let (p_tiles, k_tiles) = tiling_for(net, cfg, &layers);
+        Self {
+            name,
+            layers,
+            p_tiles,
+            k_tiles,
+        }
+    }
+
     /// Number of convolutional layers in the group (the paper's "L"
     /// column in Table IV counts convs, not adds).
     pub fn conv_count(&self, net: &Network) -> usize {
@@ -67,7 +102,169 @@ pub struct Mapping {
     pub groups: Vec<PipelineGroup>,
 }
 
+/// Why an explicit partition is not a valid execution plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MappingError {
+    /// The partition list was empty while the network has layers.
+    Empty,
+    /// Partition `group` has no members.
+    EmptyGroup {
+        /// Index of the offending partition.
+        group: usize,
+    },
+    /// A member id is not a node of the network.
+    UnknownLayer {
+        /// Index of the offending partition.
+        group: usize,
+        /// The out-of-range id.
+        layer: NodeId,
+    },
+    /// A layer appears in more than one partition.
+    DuplicateLayer(NodeId),
+    /// A layer appears in no partition.
+    MissingLayer(NodeId),
+    /// Flattened execution order is not topological (node ids must be
+    /// strictly increasing across the whole plan, since groups run
+    /// sequentially and consumers need their producers' outputs).
+    OutOfOrder {
+        /// Index of the offending partition.
+        group: usize,
+        /// The layer breaking the order.
+        layer: NodeId,
+    },
+    /// A multi-layer partition contains a layer ISOSceles cannot pipeline
+    /// (pooling and FC layers are pipeline boundaries, Sec. V).
+    NotPipelineable {
+        /// Index of the offending partition.
+        group: usize,
+        /// The non-pipelineable layer.
+        layer: NodeId,
+    },
+    /// A partition pipelines more layers than the hardware has contexts.
+    TooManyContexts {
+        /// Index of the offending partition.
+        group: usize,
+        /// Members in the partition.
+        len: usize,
+        /// `cfg.max_contexts`.
+        max: usize,
+    },
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MappingError::Empty => write!(f, "no partitions for a non-empty network"),
+            MappingError::EmptyGroup { group } => write!(f, "partition {group} is empty"),
+            MappingError::UnknownLayer { group, layer } => {
+                write!(f, "partition {group} names unknown layer {layer}")
+            }
+            MappingError::DuplicateLayer(l) => write!(f, "layer {l} mapped more than once"),
+            MappingError::MissingLayer(l) => write!(f, "layer {l} not mapped"),
+            MappingError::OutOfOrder { group, layer } => {
+                write!(
+                    f,
+                    "partition {group}: layer {layer} breaks topological order"
+                )
+            }
+            MappingError::NotPipelineable { group, layer } => {
+                write!(
+                    f,
+                    "partition {group} pipelines non-pipelineable layer {layer}"
+                )
+            }
+            MappingError::TooManyContexts { group, len, max } => {
+                write!(
+                    f,
+                    "partition {group} has {len} layers but only {max} contexts exist"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
 impl Mapping {
+    /// Builds a validated execution plan from explicit partitions: each
+    /// inner `Vec<NodeId>` becomes one [`PipelineGroup`], in order.
+    ///
+    /// This is the entry point for design-space exploration over
+    /// alternative pipeline groupings (the greedy [`map_network`] is just
+    /// one point in that space). Validation enforces what the hardware and
+    /// the execution model require — every layer exactly once, strictly
+    /// increasing (topological) order, only pipelineable kinds inside
+    /// multi-layer groups, and at most `cfg.max_contexts` members — but
+    /// deliberately *not* the greedy mapper's buffer-fit heuristics:
+    /// oversubscribed partitions are legal to construct, and the cycle
+    /// model charges their traffic honestly.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`MappingError`] found.
+    pub fn from_partitions(
+        net: &Network,
+        cfg: &IsoscelesConfig,
+        partitions: &[Vec<NodeId>],
+    ) -> Result<Self, MappingError> {
+        if partitions.is_empty() && !net.is_empty() {
+            return Err(MappingError::Empty);
+        }
+        let mut seen = vec![false; net.len()];
+        let mut prev: Option<NodeId> = None;
+        for (gi, part) in partitions.iter().enumerate() {
+            if part.is_empty() {
+                return Err(MappingError::EmptyGroup { group: gi });
+            }
+            if part.len() > cfg.max_contexts {
+                return Err(MappingError::TooManyContexts {
+                    group: gi,
+                    len: part.len(),
+                    max: cfg.max_contexts,
+                });
+            }
+            for &id in part {
+                if id >= net.len() {
+                    return Err(MappingError::UnknownLayer {
+                        group: gi,
+                        layer: id,
+                    });
+                }
+                if seen[id] {
+                    return Err(MappingError::DuplicateLayer(id));
+                }
+                seen[id] = true;
+                if prev.is_some_and(|p| id <= p) {
+                    return Err(MappingError::OutOfOrder {
+                        group: gi,
+                        layer: id,
+                    });
+                }
+                prev = Some(id);
+                if part.len() > 1 && !net.layer(id).kind.is_pipelineable() {
+                    return Err(MappingError::NotPipelineable {
+                        group: gi,
+                        layer: id,
+                    });
+                }
+            }
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(MappingError::MissingLayer(missing));
+        }
+        let groups = partitions
+            .iter()
+            .map(|part| PipelineGroup::from_layers(net, cfg, part.clone()))
+            .collect();
+        Ok(Self { groups })
+    }
+
+    /// The plan's partitions as plain layer-id lists (the inverse of
+    /// [`Mapping::from_partitions`]).
+    pub fn partitions(&self) -> Vec<Vec<NodeId>> {
+        self.groups.iter().map(|g| g.layers.clone()).collect()
+    }
+
     /// Maximum number of layers pipelined together.
     pub fn max_group_len(&self) -> usize {
         self.groups
@@ -442,6 +639,107 @@ mod tests {
             .find(|g| net.layer(g.layers[0]).name == "classifier.0")
             .unwrap();
         assert!(g.k_tiles > 1, "k_tiles {}", g.k_tiles);
+    }
+
+    #[test]
+    fn explicit_partitions_round_trip_the_greedy_mapping() {
+        for net in [resnet50(0.96, 1), mobilenet_v1(0.89, 1), vgg16(0.68, 1)] {
+            let mapping = map_network(&net, &cfg(), ExecMode::Pipelined);
+            let rebuilt = Mapping::from_partitions(&net, &cfg(), &mapping.partitions())
+                .expect("greedy mapping is a valid partition");
+            assert_eq!(rebuilt, mapping, "{}", net.name);
+        }
+    }
+
+    #[test]
+    fn from_partitions_rejects_bad_plans() {
+        let net = resnet50(0.96, 1);
+        let c = cfg();
+        let good = map_network(&net, &c, ExecMode::Pipelined).partitions();
+
+        assert_eq!(
+            Mapping::from_partitions(&net, &c, &[]),
+            Err(MappingError::Empty)
+        );
+
+        // Repeat the leading conv of a pipelined block inside its own
+        // partition: the duplicate is caught before the order check.
+        let mut dup = good.clone();
+        let gi = good
+            .iter()
+            .position(|p| p.len() > 1)
+            .expect("a pipelined partition");
+        let repeated = dup[gi][0];
+        dup[gi].insert(1, repeated);
+        assert_eq!(
+            Mapping::from_partitions(&net, &c, &dup),
+            Err(MappingError::DuplicateLayer(repeated))
+        );
+
+        let mut missing = good.clone();
+        missing.pop();
+        assert!(matches!(
+            Mapping::from_partitions(&net, &c, &missing),
+            Err(MappingError::MissingLayer(_))
+        ));
+
+        let mut unordered = good.clone();
+        unordered.swap(0, 1);
+        assert!(matches!(
+            Mapping::from_partitions(&net, &c, &unordered),
+            Err(MappingError::OutOfOrder { .. })
+        ));
+
+        let mut empty = good.clone();
+        empty.push(Vec::new());
+        let err = Mapping::from_partitions(&net, &c, &empty).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                MappingError::EmptyGroup { .. } | MappingError::MissingLayer(_)
+            ),
+            "{err}"
+        );
+
+        let tight = IsoscelesConfig {
+            max_contexts: 1,
+            ..c
+        };
+        assert!(matches!(
+            Mapping::from_partitions(&net, &tight, &good),
+            Err(MappingError::TooManyContexts { .. })
+        ));
+    }
+
+    #[test]
+    fn from_partitions_rejects_pipelined_pool() {
+        let net = vgg16(0.68, 1);
+        let c = cfg();
+        // Glue everything into one giant partition: some member is a pool
+        // or FC layer, which cannot be pipelined.
+        let all: Vec<usize> = (0..net.len()).collect();
+        let wide = IsoscelesConfig {
+            max_contexts: net.len(),
+            ..c
+        };
+        assert!(matches!(
+            Mapping::from_partitions(&net, &wide, &[all]),
+            Err(MappingError::NotPipelineable { .. })
+        ));
+    }
+
+    #[test]
+    fn group_from_layers_names_first_conv() {
+        let net = resnet50(0.96, 1);
+        let c = cfg();
+        let mapping = map_network(&net, &c, ExecMode::Pipelined);
+        let block = mapping
+            .groups
+            .iter()
+            .find(|g| g.layers.len() > 3)
+            .expect("a pipelined block");
+        let rebuilt = PipelineGroup::from_layers(&net, &c, block.layers.clone());
+        assert_eq!(rebuilt, *block);
     }
 
     #[test]

@@ -1,0 +1,25 @@
+//! Compatibility test: the deprecated `arch::pipeline::simulate_network`
+//! wrapper remains callable at its defining path and agrees exactly with
+//! `run_network` / the [`Accelerator`] trait. This is the only remaining
+//! call site; internal code uses the trait.
+
+#![allow(deprecated)]
+
+use isosceles::accel::Accelerator;
+use isosceles::arch::pipeline::simulate_network;
+use isosceles::arch::run_network;
+use isosceles::mapping::ExecMode;
+use isosceles::IsoscelesConfig;
+
+#[test]
+fn deprecated_simulate_network_matches_run_network_and_trait() {
+    let net = isos_nn::models::googlenet_inception3a(0.58, 1);
+    let cfg = IsoscelesConfig::default();
+    let seed = 7;
+    let wrapped = simulate_network(&net, &cfg, ExecMode::Pipelined, seed);
+    assert_eq!(wrapped, run_network(&net, &cfg, ExecMode::Pipelined, seed));
+    assert_eq!(wrapped, cfg.simulate(&net, seed));
+
+    let single = simulate_network(&net, &cfg, ExecMode::SingleLayer, seed);
+    assert_eq!(single, run_network(&net, &cfg, ExecMode::SingleLayer, seed));
+}

@@ -1,0 +1,126 @@
+//! Golden pins for the analytic area and energy models.
+//!
+//! The in-crate unit tests check the models against the paper's coarse
+//! numbers (Table II totals, Fig. 17 bands); these tests pin the exact
+//! per-component values the default parameters produce, so any parameter
+//! or formula change shows up as an explicit diff against this file
+//! rather than a silent drift inside a tolerance band.
+
+use isos_sim::area::{area_of, AreaConfig, AreaParams};
+use isos_sim::energy::{energy_of, Activity, EnergyParams};
+
+fn close(actual: f64, expected: f64, what: &str) {
+    assert!(
+        (actual - expected).abs() < 1e-9,
+        "{what}: got {actual}, pinned {expected}"
+    );
+}
+
+#[test]
+fn table2_breakdown_is_pinned_per_component() {
+    let a = area_of(&AreaConfig::isosceles_default(), &AreaParams::default());
+    // Table II, 45 nm: 64 lanes × (64 MACs, 16 mergers, 16 KB SRAM,
+    // fetcher, crossbar port, misc) + 1 MB shared filter buffer.
+    close(a.macs_mm2, 64.0 * 0.069, "macs");
+    close(a.mergers_mm2, 64.0 * 0.060, "mergers");
+    close(a.lane_buffers_mm2, 64.0 * 0.121, "lane buffers");
+    close(a.fetchers_mm2, 64.0 * 0.010, "fetchers");
+    close(a.crossbar_mm2, 64.0 * 0.021, "crossbar");
+    close(a.others_mm2, 64.0 * 0.007, "others");
+    close(a.filter_buffer_mm2, 7.5, "filter buffer");
+    close(a.lanes_mm2(), 18.432, "all lanes");
+    close(a.per_lane_mm2(64), 0.288, "per lane");
+    close(a.total_mm2(), 25.932, "total");
+}
+
+#[test]
+fn area_16nm_scale_factor_is_pinned() {
+    let p = AreaParams::default();
+    close(p.scale_to_16nm, 4.7 / 26.0, "16nm scale factor");
+    let a = area_of(&AreaConfig::isosceles_default(), &p);
+    close(
+        a.total_mm2() * p.scale_to_16nm,
+        25.932 * 4.7 / 26.0,
+        "16nm total",
+    );
+}
+
+#[test]
+fn energy_breakdown_is_pinned_for_unit_activity() {
+    // One of everything: 1 B DRAM, 1 B shared SRAM, 1 B local SRAM, 1 MAC.
+    let a = Activity {
+        dram_bytes: 1.0,
+        shared_sram_bytes: 1.0,
+        local_sram_bytes: 1.0,
+        macs: 1.0,
+    };
+    let e = energy_of(&a, &EnergyParams::default());
+    const PJ: f64 = 1e-9; // pJ -> mJ
+    close(e.dram_mj, 31.2 * PJ, "dram");
+    close(e.sram_mj, (0.45 + 0.20) * PJ, "sram");
+    close(e.compute_mj, 0.25 * PJ, "compute");
+    // "Other" is 10% of on-chip dynamic energy (SRAM + compute), not DRAM.
+    close(e.other_mj, 0.10 * (0.65 + 0.25) * PJ, "other");
+    close(e.total_mj(), (31.2 + 0.65 + 0.25 + 0.09) * PJ, "total");
+}
+
+#[test]
+fn energy_of_realistic_inference_is_pinned() {
+    // ResNet-50-scale sparse inference: 12 MB DRAM, 40/25 MB SRAM, 180 M MACs.
+    let a = Activity {
+        dram_bytes: 12e6,
+        shared_sram_bytes: 40e6,
+        local_sram_bytes: 25e6,
+        macs: 180e6,
+    };
+    let e = energy_of(&a, &EnergyParams::default());
+    close(e.dram_mj, 0.3744, "dram mJ");
+    close(e.sram_mj, 0.023, "sram mJ");
+    close(e.compute_mj, 0.045, "compute mJ");
+    close(e.other_mj, 0.0068, "other mJ");
+    close(e.total_mj(), 0.4492, "total mJ");
+}
+
+#[test]
+fn activity_merge_is_commutative_and_associative() {
+    let x = Activity {
+        dram_bytes: 1.5,
+        shared_sram_bytes: 2.25,
+        local_sram_bytes: 0.5,
+        macs: 10.0,
+    };
+    let y = Activity {
+        dram_bytes: 4.0,
+        shared_sram_bytes: 0.75,
+        local_sram_bytes: 8.5,
+        macs: 3.0,
+    };
+    let z = Activity {
+        dram_bytes: 0.25,
+        shared_sram_bytes: 16.0,
+        local_sram_bytes: 1.0,
+        macs: 7.5,
+    };
+
+    // Commutativity: x+y == y+x.
+    let mut xy = x;
+    xy.merge(&y);
+    let mut yx = y;
+    yx.merge(&x);
+    assert_eq!(xy, yx);
+
+    // Associativity: (x+y)+z == x+(y+z). The fields above are exactly
+    // representable in binary, so equality is exact.
+    let mut xy_z = xy;
+    xy_z.merge(&z);
+    let mut yz = y;
+    yz.merge(&z);
+    let mut x_yz = x;
+    x_yz.merge(&yz);
+    assert_eq!(xy_z, x_yz);
+
+    // Identity: merging the default is a no-op.
+    let mut xi = x;
+    xi.merge(&Activity::default());
+    assert_eq!(xi, x);
+}

@@ -13,4 +13,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> dse --smoke (design-space exploration fast path)"
+ISOS_CACHE_DIR="${TMPDIR:-/tmp}/isos-check-dse-cache" cargo run --release -q -p isos-explore --bin dse -- \
+  --smoke --net G58 --out "${TMPDIR:-/tmp}/isos-check-dse" >/dev/null
+
 echo "All checks passed."
