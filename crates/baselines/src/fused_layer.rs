@@ -12,8 +12,9 @@
 
 use isos_nn::graph::{Network, NodeId};
 
+use isos_sim::harness::MemHarness;
+use isos_sim::metrics::{apportion_capped, apportion_cycles, NetworkMetrics, RunMetrics};
 use isosceles::accel::{stable_key, Accelerator};
-use isosceles::metrics::{NetworkMetrics, RunMetrics};
 use serde::{Deserialize, Serialize};
 
 /// Fused-Layer system configuration (paper Sec. V).
@@ -76,9 +77,16 @@ fn fuse_groups(net: &Network, cfg: &FusedLayerConfig) -> Vec<Vec<NodeId>> {
     groups
 }
 
+/// One fused group's totals plus its per-layer breakdown.
+struct FusedGroupRun {
+    metrics: RunMetrics,
+    layers: Vec<(String, RunMetrics)>,
+}
+
 /// Simulates one fused group.
-fn simulate_group(net: &Network, group: &[NodeId], cfg: &FusedLayerConfig) -> RunMetrics {
+fn simulate_group(net: &Network, group: &[NodeId], cfg: &FusedLayerConfig) -> FusedGroupRun {
     let mut m = RunMetrics::default();
+    let mut mem = MemHarness::new(cfg.dram_bytes_per_cycle);
     let first = net.layer(group[0]);
     let last = net.layer(*group.last().unwrap());
 
@@ -98,13 +106,12 @@ fn simulate_group(net: &Network, group: &[NodeId], cfg: &FusedLayerConfig) -> Ru
         .iter()
         .map(|&id| net.layer(id).weight_dense_bytes())
         .sum();
-    m.act_traffic = input_bytes + output_bytes;
-    m.weight_traffic = weight_bytes;
 
     // Dense compute with halo recomputation: a layer at depth d in the
     // group recomputes the halo ring needed by the layers after it. The
     // ring grows by (R-1) per remaining downstream layer (paper Fig. 2).
     let mut macs = 0.0;
+    let mut macs_per_layer: Vec<f64> = Vec::with_capacity(group.len());
     for (pos, &id) in group.iter().enumerate() {
         let layer = net.layer(id);
         let ext: usize = group[pos + 1..]
@@ -112,24 +119,77 @@ fn simulate_group(net: &Network, group: &[NodeId], cfg: &FusedLayerConfig) -> Ru
             .map(|&j| net.layer(j).kind.kernel().0.saturating_sub(1))
             .sum();
         let halo_factor = ((tile + ext as f64) / tile).powi(2);
-        macs += layer.dense_macs() * halo_factor;
+        let layer_macs = layer.dense_macs() * halo_factor;
+        macs += layer_macs;
+        macs_per_layer.push(layer_macs);
     }
     m.effectual_macs = macs;
 
     let compute_cycles = macs / (cfg.total_macs as f64 * cfg.compute_efficiency);
-    let memory_cycles = m.total_traffic() / cfg.dram_bytes_per_cycle;
+    let memory_cycles = (weight_bytes + (input_bytes + output_bytes)) / cfg.dram_bytes_per_cycle;
     m.cycles = compute_cycles.max(memory_cycles).ceil().max(1.0) as u64;
     m.mac_util.add(
         (macs / cfg.total_macs as f64).min(m.cycles as f64),
         m.cycles,
     );
-    m.bw_util
-        .add(m.total_traffic() / cfg.dram_bytes_per_cycle, m.cycles);
-    m.activity.dram_bytes = m.total_traffic();
-    m.activity.shared_sram_bytes = macs;
-    m.activity.local_sram_bytes = macs * 4.0;
-    m.activity.macs = macs;
-    m
+    mem.transfer(weight_bytes, input_bytes, output_bytes, m.cycles);
+    mem.finish(&mut m);
+    // 4 local bytes per MAC: a 16-bit partial read-modify-write.
+    m.charge_compute_activity(macs, 4.0);
+
+    // Per-layer breakdown: each fused layer moves its own dense weights;
+    // the group's input (with its halo) enters at the first layer, the
+    // group's output leaves at the last; cycles — a group-shared resource
+    // — are apportioned by each layer's (halo-inflated) MACs, and the
+    // group's busy MAC/DRAM time by MAC/traffic share, water-filled
+    // against the layer's own cycles so the breakdown sums to the group
+    // totals.
+    let layer_cycles = apportion_cycles(m.cycles, &macs_per_layer);
+    let caps: Vec<f64> = layer_cycles.iter().map(|&c| c as f64).collect();
+    let traffic_per_layer: Vec<f64> = group
+        .iter()
+        .enumerate()
+        .map(|(pos, &id)| {
+            let mut t = net.layer(id).weight_dense_bytes();
+            if pos == 0 {
+                t += input_bytes;
+            }
+            if pos == group.len() - 1 {
+                t += output_bytes;
+            }
+            t
+        })
+        .collect();
+    let mac_busy = apportion_capped(m.mac_util.busy(), &macs_per_layer, &caps);
+    let bw_busy = apportion_capped(m.bw_util.busy(), &traffic_per_layer, &caps);
+    let layers = group
+        .iter()
+        .zip(&macs_per_layer)
+        .zip(&layer_cycles)
+        .enumerate()
+        .map(|(pos, ((&id, &layer_macs), &cycles))| {
+            let layer = net.layer(id);
+            let mut lm = RunMetrics {
+                cycles,
+                weight_traffic: layer.weight_dense_bytes(),
+                act_traffic: 0.0,
+                effectual_macs: layer_macs,
+                ..Default::default()
+            };
+            if pos == 0 {
+                lm.act_traffic += input_bytes;
+            }
+            if pos == group.len() - 1 {
+                lm.act_traffic += output_bytes;
+            }
+            lm.mac_util.add(mac_busy[pos], cycles);
+            lm.bw_util.add(bw_busy[pos], cycles);
+            lm.activity.dram_bytes = lm.total_traffic();
+            lm.charge_compute_activity(layer_macs, 4.0);
+            (layer.name.clone(), lm)
+        })
+        .collect();
+    FusedGroupRun { metrics: m, layers }
 }
 
 impl Accelerator for FusedLayerConfig {
@@ -146,22 +206,12 @@ impl Accelerator for FusedLayerConfig {
     fn simulate(&self, net: &Network, _seed: u64) -> NetworkMetrics {
         let mut out = NetworkMetrics::default();
         for group in fuse_groups(net, self) {
-            let m = simulate_group(net, &group, self);
-            out.total.accumulate(&m);
+            let run = simulate_group(net, &group, self);
             let name = net.layer(group[0]).name.clone();
-            out.groups.push((name, m));
+            out.push_group(name, run.metrics, run.layers);
         }
         out
     }
-}
-
-/// Simulates a whole network under Fused-Layer.
-#[deprecated(
-    since = "0.1.0",
-    note = "use the `Accelerator` impl on `FusedLayerConfig`"
-)]
-pub fn simulate_fused_layer(net: &Network, cfg: &FusedLayerConfig) -> NetworkMetrics {
-    cfg.simulate(net, 0)
 }
 
 /// Layer ids per fused group, exposed for per-pipeline comparisons
@@ -225,8 +275,25 @@ mod tests {
         let deep = simulate_group(&net, &[2, 3, 4], &cfg);
         let shallow: f64 = [2usize, 3, 4]
             .iter()
-            .map(|&id| simulate_group(&net, &[id], &cfg).effectual_macs)
+            .map(|&id| simulate_group(&net, &[id], &cfg).metrics.effectual_macs)
             .sum();
-        assert!(deep.effectual_macs > shallow);
+        assert!(deep.metrics.effectual_macs > shallow);
+    }
+
+    #[test]
+    fn fused_group_layer_breakdown_conserves_totals() {
+        let net = resnet50(0.9, 1);
+        let cfg = FusedLayerConfig::default();
+        let run = simulate_group(&net, &[2, 3, 4], &cfg);
+        assert_eq!(run.layers.len(), 3);
+        let mut sum = RunMetrics::default();
+        for (_, m) in &run.layers {
+            sum.accumulate(m);
+        }
+        assert_eq!(sum.cycles, run.metrics.cycles);
+        let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1.0);
+        assert!(rel(sum.weight_traffic, run.metrics.weight_traffic) < 1e-6);
+        assert!(rel(sum.act_traffic, run.metrics.act_traffic) < 1e-6);
+        assert!(rel(sum.effectual_macs, run.metrics.effectual_macs) < 1e-6);
     }
 }

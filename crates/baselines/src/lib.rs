@@ -38,8 +38,3 @@ pub mod sparten;
 pub use fused_layer::{fused_groups, FusedLayerConfig};
 pub use single::IsoscelesSingleConfig;
 pub use sparten::SpartenConfig;
-
-// The deprecated `simulate_*` free functions are intentionally NOT
-// re-exported at the crate root: all internal call sites use the
-// `Accelerator` trait, and only the compatibility test (`tests/compat.rs`)
-// exercises the wrappers at their defining paths.

@@ -36,19 +36,6 @@ impl Accelerator for IsoscelesSingleConfig {
     }
 }
 
-/// Simulates a network on ISOSceles hardware, layer by layer.
-#[deprecated(
-    since = "0.1.0",
-    note = "use the `Accelerator` impl on `IsoscelesSingleConfig`"
-)]
-pub fn simulate_isosceles_single(
-    net: &Network,
-    cfg: &IsoscelesConfig,
-    seed: u64,
-) -> NetworkMetrics {
-    IsoscelesSingleConfig(*cfg).simulate(net, seed)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,6 +70,18 @@ mod tests {
             single.total.cycles
         );
         assert!(full.total.total_traffic() < single.total.total_traffic());
+    }
+
+    #[test]
+    fn trait_impl_is_single_layer_run_network() {
+        // The trait impl must be exactly `run_network` in SingleLayer mode
+        // on the wrapped hardware config (formerly asserted by the
+        // deprecated free-function compat test).
+        let net = resnet50(0.9, 1);
+        let cfg = IsoscelesConfig::default();
+        let via_trait = IsoscelesSingleConfig(cfg).simulate(&net, 7);
+        let direct = run_network(&net, &cfg, ExecMode::SingleLayer, 7);
+        assert_eq!(via_trait, direct);
     }
 
     #[test]

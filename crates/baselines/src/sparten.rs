@@ -14,8 +14,9 @@
 
 use isos_nn::graph::Network;
 use isos_nn::layer::{Layer, LayerKind};
+use isos_sim::harness::MemHarness;
+use isos_sim::metrics::{NetworkMetrics, RunMetrics};
 use isosceles::accel::{stable_key, Accelerator};
-use isosceles::metrics::{NetworkMetrics, RunMetrics};
 use serde::{Deserialize, Serialize};
 
 /// SparTen system configuration (paper Table III).
@@ -81,8 +82,14 @@ fn bitmask_weight_bytes(layer: &Layer) -> f64 {
 }
 
 /// Per-layer traffic and cycles under the SparTen model.
+///
+/// The closed-form byte totals are pushed through the shared
+/// [`MemHarness`] over the layer's modeled cycle count, so the traffic
+/// split, bandwidth utilization, and DRAM energy activity are accounted
+/// exactly as in the cycle-level models.
 fn simulate_layer(layer: &Layer, cfg: &SpartenConfig) -> RunMetrics {
     let mut m = RunMetrics::default();
+    let mut mem = MemHarness::new(cfg.dram_bytes_per_cycle);
     let in_elems = layer.input.volume() as f64;
     let out_elems = layer.output.volume() as f64;
 
@@ -91,20 +98,19 @@ fn simulate_layer(layer: &Layer, cfg: &SpartenConfig) -> RunMetrics {
             // The paper fuses the skip connection into the preceding conv:
             // the skip operand is fetched once more from DRAM, the sum is
             // written as that conv's output (already counted there).
-            m.act_traffic = bitmask_act_bytes(in_elems, layer.in_act_density);
-            m.cycles = (m.act_traffic / cfg.dram_bytes_per_cycle).ceil() as u64;
-            m.bw_util.add(m.cycles as f64, m.cycles.max(1));
-            m.activity.dram_bytes = m.act_traffic;
+            let read = bitmask_act_bytes(in_elems, layer.in_act_density);
+            m.cycles = (read / cfg.dram_bytes_per_cycle).ceil() as u64;
+            mem.transfer(0.0, read, 0.0, m.cycles.max(1));
+            mem.finish(&mut m);
             return m;
         }
         LayerKind::MaxPool { .. } | LayerKind::GlobalAvgPool => {
             // Streaming pass: read input, write output.
             let read = bitmask_act_bytes(in_elems, layer.in_act_density);
             let write = bitmask_act_bytes(out_elems, layer.out_act_density);
-            m.act_traffic = read + write;
-            m.cycles = (m.act_traffic / cfg.dram_bytes_per_cycle).ceil() as u64;
-            m.bw_util.add(m.cycles as f64, m.cycles.max(1));
-            m.activity.dram_bytes = m.act_traffic;
+            m.cycles = ((read + write) / cfg.dram_bytes_per_cycle).ceil() as u64;
+            mem.transfer(0.0, read, write, m.cycles.max(1));
+            mem.finish(&mut m);
             return m;
         }
         _ => {}
@@ -134,22 +140,19 @@ fn simulate_layer(layer: &Layer, cfg: &SpartenConfig) -> RunMetrics {
     let output_write = bitmask_act_bytes(out_elems, layer.out_act_density);
     let weight_read = bitmask_weight_bytes(layer);
 
-    m.act_traffic = input_read + output_write;
-    m.weight_traffic = weight_read;
     m.effectual_macs = layer.effectual_macs();
 
     let compute_cycles = m.effectual_macs / (cfg.total_macs() as f64 * cfg.compute_efficiency);
-    let memory_cycles = m.total_traffic() / cfg.dram_bytes_per_cycle;
+    let memory_cycles = (weight_read + (input_read + output_write)) / cfg.dram_bytes_per_cycle;
     let cycles = compute_cycles.max(memory_cycles).ceil().max(1.0);
     m.cycles = cycles as u64;
     m.mac_util
         .add(m.effectual_macs / cfg.total_macs() as f64, m.cycles);
-    m.bw_util
-        .add(m.total_traffic() / cfg.dram_bytes_per_cycle, m.cycles);
-    m.activity.dram_bytes = m.total_traffic();
-    m.activity.shared_sram_bytes = m.effectual_macs;
-    m.activity.local_sram_bytes = m.effectual_macs * 4.0;
-    m.activity.macs = m.effectual_macs;
+    mem.transfer(weight_read, input_read, output_write, m.cycles);
+    mem.finish(&mut m);
+    // 4 local bytes per MAC: a 16-bit partial read-modify-write in the
+    // cluster buffer.
+    m.charge_compute_activity(m.effectual_macs, 4.0);
     m
 }
 
@@ -163,25 +166,16 @@ impl Accelerator for SpartenConfig {
     }
 
     /// Simulates a whole network layer by layer under SparTen. The model
-    /// is analytic, so the seed does not enter.
+    /// is analytic, so the seed does not enter. Each layer is its own
+    /// "group", so the group and layer breakdowns coincide.
     fn simulate(&self, net: &Network, _seed: u64) -> NetworkMetrics {
         let mut out = NetworkMetrics::default();
         for node in net.nodes() {
             let m = simulate_layer(&node.layer, self);
-            out.total.accumulate(&m);
-            out.groups.push((node.layer.name.clone(), m));
+            out.push_group(node.layer.name.clone(), m, Vec::new());
         }
         out
     }
-}
-
-/// Simulates a whole network layer by layer under SparTen.
-#[deprecated(
-    since = "0.1.0",
-    note = "use the `Accelerator` impl on `SpartenConfig`"
-)]
-pub fn simulate_sparten(net: &Network, cfg: &SpartenConfig) -> NetworkMetrics {
-    cfg.simulate(net, 0)
 }
 
 #[cfg(test)]
@@ -267,7 +261,10 @@ mod tests {
         let net = resnet50(0.9, 1);
         let r = SpartenConfig::default().simulate(&net, 0);
         assert_eq!(r.groups.len(), net.len());
+        // Layer-by-layer accelerator: layers and groups coincide.
+        assert_eq!(r.layers.len(), net.len());
         let sum: u64 = r.groups.iter().map(|(_, m)| m.cycles).sum();
         assert_eq!(sum, r.total.cycles);
+        assert_eq!(r.layer_sum().cycles, r.total.cycles);
     }
 }

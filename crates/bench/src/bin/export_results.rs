@@ -3,13 +3,19 @@
 
 use isos_sim::energy::{energy_of, EnergyParams};
 use isosceles_bench::engine::SuiteEngine;
-use isosceles_bench::report::CsvTable;
+use isosceles_bench::report::{CsvTable, Report};
 use isosceles_bench::suite::SEED;
 use std::path::Path;
 
 fn main() {
     let rows = SuiteEngine::from_env().run_suite(SEED).rows;
     let dir = Path::new("results");
+
+    let report = Report::new(rows);
+    for path in report.write_all(dir).expect("write report tables") {
+        println!("wrote {}", path.display());
+    }
+    let rows = report.rows;
 
     let mut fig14a = CsvTable::new(&["net", "sparten_speedup", "isosceles_speedup"]);
     let mut fig14b = CsvTable::new(&["net", "fused_cycles", "sparten_cycles", "isosceles_cycles"]);

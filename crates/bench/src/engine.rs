@@ -38,8 +38,8 @@ use std::time::Instant;
 
 use isos_baselines::{FusedLayerConfig, IsoscelesSingleConfig, SpartenConfig};
 use isos_nn::models::{paper_suite, Workload};
+use isos_sim::metrics::NetworkMetrics;
 use isosceles::accel::Accelerator;
-use isosceles::metrics::NetworkMetrics;
 use isosceles::IsoscelesConfig;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -49,7 +49,9 @@ use crate::suite::SuiteRow;
 /// Version of the cache entry layout. Bump on any change to
 /// [`NetworkMetrics`] serialization or to the key derivation; old entries
 /// then read as stale and are recomputed.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: `NetworkMetrics` gained the per-layer breakdown (`layers`).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Owned workload identifier (`"R96"`, `"M75"`, ...).
 ///
@@ -751,6 +753,25 @@ mod tests {
         keys.sort_unstable();
         keys.dedup();
         assert_eq!(keys.len(), 44, "cache key collision in standard matrix");
+    }
+
+    #[test]
+    fn run_suite_rows_follow_paper_figure_order() {
+        let dir = scratch_dir("suiteorder");
+        let eng = quiet_engine(dir, 8, true);
+        let run = eng.run_suite(SEED);
+        let ids: Vec<&str> = run.rows.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            ["R81", "R90", "R95", "R96", "R98", "R99", "V68", "V90", "G58", "M75", "M89"],
+            "suite rows must match the paper's figure order"
+        );
+        // Every row carries the full per-layer breakdown for all models.
+        for r in &run.rows {
+            for (accel, m) in r.models() {
+                assert!(!m.layers.is_empty(), "{}/{accel}: no layers", r.id);
+            }
+        }
     }
 
     #[test]

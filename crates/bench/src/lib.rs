@@ -3,9 +3,12 @@
 //! [`engine`] is the shared suite driver: it fans the paper's 11-CNN ×
 //! 4-accelerator evaluation matrix (ISOSceles, ISOSceles-single,
 //! SparTen(+GoSPA), Fused-Layer) out over a worker pool and memoizes
-//! results in an on-disk cache; [`suite`] holds the result data model.
-//! The binaries under `src/bin/` each regenerate one table or figure from
-//! those results (see DESIGN.md's experiment index).
+//! results in an on-disk cache; [`suite`] holds the result data model
+//! (built on `isos_sim::metrics`, with per-group *and* per-layer
+//! breakdowns); [`report`] derives the standard CSV/markdown tables,
+//! including the per-layer traffic split. The binaries under `src/bin/`
+//! each regenerate one table or figure from those results (see
+//! DESIGN.md's experiment index).
 
 #![warn(missing_docs)]
 

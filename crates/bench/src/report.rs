@@ -1,11 +1,16 @@
-//! CSV export of experiment results.
+//! CSV/markdown export of experiment results.
 //!
-//! Every figure harness prints human-readable tables; this module writes
-//! the same data as CSV under `results/` so plots can be regenerated with
-//! any external tool (`cargo run -p isosceles-bench --bin export_results`).
+//! Every figure harness prints human-readable tables; [`CsvTable`] writes
+//! the same data as CSV (or markdown) under `results/` so plots can be
+//! regenerated with any external tool (`cargo run -p isosceles-bench
+//! --bin export_results`). [`Report`] wraps a finished suite run and
+//! derives the standard tables from it, including the per-layer traffic
+//! split behind the paper's Fig. 14-style analyses.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+
+use crate::suite::SuiteRow;
 
 /// A CSV table in memory.
 #[derive(Clone, Debug, Default)]
@@ -130,6 +135,92 @@ impl CsvTable {
     }
 }
 
+/// A finished suite run plus the standard derived tables.
+///
+/// The whole-network tables repeat what the figure binaries print; the
+/// per-layer table is new with the shared metrics layer: one row per
+/// `(workload, accelerator, layer)` with the layer's cycle and traffic
+/// split, exported as both CSV and markdown by [`Report::write_all`].
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// One row per suite workload, in paper figure order.
+    pub rows: Vec<SuiteRow>,
+}
+
+impl Report {
+    /// Wraps finished suite rows.
+    pub fn new(rows: Vec<SuiteRow>) -> Self {
+        Self { rows }
+    }
+
+    /// Whole-network summary: speedups and traffic ratios per workload.
+    pub fn summary_table(&self) -> CsvTable {
+        let mut t = CsvTable::new(&[
+            "net",
+            "isosceles_speedup_vs_sparten",
+            "isosceles_speedup_vs_fused",
+            "sparten_traffic_ratio",
+        ]);
+        for r in &self.rows {
+            t.push_row(vec![
+                r.id.to_string(),
+                format!("{:.3}", r.speedup_vs_sparten()),
+                format!("{:.3}", r.speedup_vs_fused()),
+                format!("{:.3}", r.sparten_traffic_ratio()),
+            ]);
+        }
+        t
+    }
+
+    /// Per-layer traffic split (the Fig. 14c decomposition at layer
+    /// granularity): one row per `(workload, accelerator, layer)` with
+    /// cycles, weight/activation bytes, and each layer's share of its
+    /// network's total traffic.
+    pub fn layer_traffic_table(&self) -> CsvTable {
+        let mut t = CsvTable::new(&[
+            "net",
+            "accel",
+            "layer",
+            "cycles",
+            "weight_bytes",
+            "act_bytes",
+            "traffic_share",
+        ]);
+        for r in &self.rows {
+            for (accel, metrics) in r.models() {
+                let net_total = metrics.total.total_traffic().max(f64::MIN_POSITIVE);
+                for (layer, m) in &metrics.layers {
+                    t.push_row(vec![
+                        r.id.to_string(),
+                        accel.to_string(),
+                        layer.clone(),
+                        m.cycles.to_string(),
+                        format!("{:.1}", m.weight_traffic),
+                        format!("{:.1}", m.act_traffic),
+                        format!("{:.5}", m.total_traffic() / net_total),
+                    ]);
+                }
+            }
+        }
+        t
+    }
+
+    /// Writes every derived table to `dir` as CSV, plus the per-layer
+    /// traffic table as markdown; returns the written paths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_all(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        Ok(vec![
+            self.summary_table().write(dir, "suite_summary")?,
+            self.layer_traffic_table().write(dir, "layer_traffic")?,
+            self.layer_traffic_table()
+                .write_markdown(dir, "layer_traffic")?,
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +282,53 @@ mod tests {
         t.push(&[1]);
         let path = t.write(&dir, "t").unwrap();
         assert_eq!(std::fs::read_to_string(path).unwrap(), "x\n1\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn report_exports_per_layer_rows_for_every_model() {
+        use crate::engine::WorkloadId;
+        use crate::suite::SEED;
+        use isos_baselines::{FusedLayerConfig, IsoscelesSingleConfig, SpartenConfig};
+        use isosceles::accel::Accelerator;
+        use isosceles::IsoscelesConfig;
+
+        let w = isos_nn::models::suite_workload("G58", SEED);
+        let row = SuiteRow {
+            id: WorkloadId::new(w.id),
+            isosceles: IsoscelesConfig::default().simulate(&w.network, SEED),
+            single: IsoscelesSingleConfig::default().simulate(&w.network, SEED),
+            sparten: SpartenConfig::default().simulate(&w.network, SEED),
+            fused: FusedLayerConfig::default().simulate(&w.network, SEED),
+        };
+        let report = Report::new(vec![row]);
+
+        assert_eq!(report.summary_table().len(), 1);
+        let layers = report.layer_traffic_table();
+        let expected: usize = report.rows[0]
+            .models()
+            .iter()
+            .map(|(_, m)| m.layers.len())
+            .sum();
+        assert_eq!(layers.len(), expected);
+        assert!(expected >= 4, "each model contributes layer rows");
+
+        // Per model, the traffic shares sum to ~1.
+        let csv = layers.to_csv();
+        for accel in ["isosceles", "sparten", "fused-layer"] {
+            let share: f64 = csv
+                .lines()
+                .filter(|l| l.contains(&format!(",{accel},")))
+                .map(|l| l.rsplit(',').next().unwrap().parse::<f64>().unwrap())
+                .sum();
+            assert!((share - 1.0).abs() < 1e-2, "{accel} shares sum to {share}");
+        }
+
+        let dir = std::env::temp_dir().join("isos-report-perlayer-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let paths = report.write_all(&dir).unwrap();
+        assert_eq!(paths.len(), 3);
+        assert!(paths.iter().all(|p| p.exists()));
         let _ = std::fs::remove_dir_all(dir);
     }
 }

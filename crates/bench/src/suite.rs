@@ -2,11 +2,10 @@
 //! four accelerator models, as produced by the
 //! [`engine`](crate::engine)'s parallel, cached driver.
 
-use isosceles::accel::Accelerator;
-use isosceles::metrics::NetworkMetrics;
+use isos_sim::metrics::NetworkMetrics;
 use serde::{Deserialize, Serialize};
 
-use crate::engine::{EngineOptions, SuiteEngine, WorkloadId};
+use crate::engine::WorkloadId;
 
 /// Default RNG seed for all synthetic sparsity profiles.
 pub const SEED: u64 = 20230225; // HPCA 2023 conference date
@@ -51,44 +50,17 @@ impl SuiteRow {
     pub fn sparten_traffic_ratio(&self) -> f64 {
         self.sparten.total.total_traffic() / self.isosceles.total.total_traffic()
     }
-}
 
-/// A serial, cache-less engine for the deprecated wrappers: keeps the old
-/// free functions pure (no disk writes, no threads) while routing them
-/// through the same code path as everything else.
-fn compat_engine() -> SuiteEngine {
-    SuiteEngine::new(EngineOptions {
-        threads: 1,
-        use_cache: false,
-        quiet: true,
-        ..EngineOptions::default()
-    })
-}
-
-/// Runs one workload on all four models.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `engine::SuiteEngine` (parallel, cached, and instrumented)"
-)]
-pub fn run_workload(w: &isos_nn::models::Workload, seed: u64) -> SuiteRow {
-    use isos_baselines::{FusedLayerConfig, IsoscelesSingleConfig, SpartenConfig};
-    use isosceles::IsoscelesConfig;
-    SuiteRow {
-        id: WorkloadId::new(w.id),
-        isosceles: IsoscelesConfig::default().simulate(&w.network, seed),
-        single: IsoscelesSingleConfig::default().simulate(&w.network, seed),
-        sparten: SpartenConfig::default().simulate(&w.network, seed),
-        fused: FusedLayerConfig::default().simulate(&w.network, seed),
+    /// The four `(accelerator name, metrics)` pairs of this row, in the
+    /// standard figure order (for exporters that iterate models).
+    pub fn models(&self) -> [(&'static str, &NetworkMetrics); 4] {
+        [
+            ("isosceles", &self.isosceles),
+            ("isosceles-single", &self.single),
+            ("sparten", &self.sparten),
+            ("fused-layer", &self.fused),
+        ]
     }
-}
-
-/// Runs the full 11-CNN suite, in the paper's figure order.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `engine::SuiteEngine::run_suite` (parallel, cached, and instrumented)"
-)]
-pub fn run_suite(seed: u64) -> Vec<SuiteRow> {
-    compat_engine().run_suite(seed).rows
 }
 
 /// Formats a bar-style text row for harness output.
@@ -101,15 +73,29 @@ pub fn fmt_row(label: &str, values: &[(&str, f64)]) -> String {
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use isos_baselines::{FusedLayerConfig, IsoscelesSingleConfig, SpartenConfig};
     use isos_nn::models::suite_workload;
+    use isosceles::accel::Accelerator;
+    use isosceles::IsoscelesConfig;
+
+    /// One workload run directly through the `Accelerator` trait (the
+    /// engine does the same per job, minus caching/threads).
+    fn trait_row(id: &str) -> SuiteRow {
+        let w = suite_workload(id, SEED);
+        SuiteRow {
+            id: WorkloadId::new(w.id),
+            isosceles: IsoscelesConfig::default().simulate(&w.network, SEED),
+            single: IsoscelesSingleConfig::default().simulate(&w.network, SEED),
+            sparten: SpartenConfig::default().simulate(&w.network, SEED),
+            fused: FusedLayerConfig::default().simulate(&w.network, SEED),
+        }
+    }
 
     #[test]
     fn workload_row_has_consistent_relations() {
-        let w = suite_workload("G58", SEED);
-        let row = run_workload(&w, SEED);
+        let row = trait_row("G58");
         // Cross-metric identities.
         assert!(
             (row.speedup_vs_fused() / row.sparten_speedup_vs_fused() - row.speedup_vs_sparten())
@@ -121,35 +107,23 @@ mod tests {
     }
 
     #[test]
-    fn suite_order_matches_paper_figures() {
-        let rows = run_suite(SEED);
-        let ids: Vec<&str> = rows.iter().map(|r| r.id.as_str()).collect();
+    fn models_iterates_figure_order() {
+        let row = trait_row("G58");
+        let names: Vec<&str> = row.models().iter().map(|(n, _)| *n).collect();
         assert_eq!(
-            ids,
-            vec!["R81", "R90", "R95", "R96", "R98", "R99", "V68", "V90", "G58", "M75", "M89"]
+            names,
+            vec!["isosceles", "isosceles-single", "sparten", "fused-layer"]
         );
-    }
-
-    #[test]
-    fn deprecated_wrapper_matches_engine_row() {
-        let w = suite_workload("G58", SEED);
-        let direct = run_workload(&w, SEED);
-        let engine = compat_engine().run_suite(SEED);
-        let from_engine = engine
-            .rows
-            .iter()
-            .find(|r| r.id.as_str() == "G58")
-            .expect("G58 in suite");
-        assert_eq!(
-            serde::json::to_string(&direct),
-            serde::json::to_string(from_engine)
-        );
+        assert_eq!(row.models()[0].1.total, row.isosceles.total);
+        // Every model populated the per-layer breakdown.
+        for (name, m) in row.models() {
+            assert!(!m.layers.is_empty(), "{name} has no layer breakdown");
+        }
     }
 
     #[test]
     fn suite_row_roundtrips_through_json() {
-        let w = suite_workload("G58", SEED);
-        let row = run_workload(&w, SEED);
+        let row = trait_row("G58");
         let text = serde::json::to_string(&row);
         let back: SuiteRow = serde::json::from_str(&text).expect("parse");
         assert_eq!(text, serde::json::to_string(&back));

@@ -8,7 +8,7 @@
 //!   energy, and area for any [`IsoscelesConfig`](isosceles::IsoscelesConfig)
 //!   and workload — no simulation, validated within 25% of the
 //!   cycle-level model on the paper's 11-CNN suite;
-//! - [`space`] + [`search`]: an enumerator over lane count, filter-buffer
+//! - [`space`] + [`mod@search`]: an enumerator over lane count, filter-buffer
 //!   capacity, merger radix, and pipeline partitioning, with a driver
 //!   that screens every point analytically and dispatches the top-K
 //!   survivors to the cycle-level simulator through the parallel, cached

@@ -42,6 +42,34 @@ use isosceles::mapping::{map_network, ExecMode, Mapping, PipelineGroup};
 use isosceles::IsoscelesConfig;
 use serde::{Deserialize, Serialize};
 
+/// Analytical estimate for one layer of a pipeline group.
+///
+/// Mirrors the simulator's per-layer breakdown
+/// (`NetworkMetrics::layers`): weights and boundary-crossing activations
+/// are attributed to the layer that streams them, and the group's cycles
+/// are split in proportion to each layer's effectual MACs.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LayerEstimate {
+    /// Layer name (matches the simulated breakdown's key).
+    pub name: String,
+    /// Estimated cycles attributed to this layer.
+    pub cycles: f64,
+    /// Off-chip weight traffic in bytes (exact: weights stream once).
+    pub weight_bytes: f64,
+    /// Off-chip activation traffic crossing the group boundary at this
+    /// layer (its external inputs plus its group-leaving outputs).
+    pub act_bytes: f64,
+    /// Effectual MACs.
+    pub macs: f64,
+}
+
+impl LayerEstimate {
+    /// Total off-chip traffic in bytes.
+    pub fn total_bytes(&self) -> f64 {
+        self.weight_bytes + self.act_bytes
+    }
+}
+
 /// Analytical estimate for one pipeline group.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct GroupEstimate {
@@ -55,6 +83,9 @@ pub struct GroupEstimate {
     pub act_bytes: f64,
     /// Effectual MACs (exact: the dataflow executes all of them).
     pub macs: f64,
+    /// Per-member-layer estimates, in group order; their components sum
+    /// back to the group totals.
+    pub layers: Vec<LayerEstimate>,
 }
 
 impl GroupEstimate {
@@ -99,6 +130,12 @@ impl NetworkEstimate {
     pub fn energy_mj(&self, cfg: &IsoscelesConfig) -> f64 {
         self.energy(cfg, &EnergyParams::default()).total_mj()
     }
+
+    /// Flattened per-layer estimates across all groups, in execution
+    /// order (the analytical mirror of `NetworkMetrics::layers`).
+    pub fn layers(&self) -> impl Iterator<Item = &LayerEstimate> {
+        self.groups.iter().flat_map(|g| g.layers.iter())
+    }
 }
 
 /// Estimates one pipeline group analytically.
@@ -116,11 +153,14 @@ pub fn estimate_group(
     let mut in_bytes = 0.0;
     let mut out_bytes = 0.0;
     let mut seen_ext: Vec<usize> = Vec::new();
+    let mut layer_ests: Vec<LayerEstimate> = Vec::with_capacity(group.layers.len());
 
     for &id in &group.layers {
         let layer = net.layer(id);
-        weight_bytes += layer.weight_csf_bytes();
-        macs += layer.effectual_macs();
+        let layer_weight = layer.weight_csf_bytes();
+        let layer_macs = layer.effectual_macs();
+        weight_bytes += layer_weight;
+        macs += layer_macs;
 
         // External input streams, deduplicated per producer exactly as the
         // simulator's `ext_index` does (network inputs get a synthetic key
@@ -133,22 +173,33 @@ pub fn estimate_group(
         };
         let scale = group.k_tiles as f64 * (1.0 + halo_frac);
         let inputs = &net.nodes()[id].inputs;
+        let mut layer_act = 0.0;
         if inputs.is_empty() && !seen_ext.contains(&(id + 1_000_000)) {
             seen_ext.push(id + 1_000_000);
-            in_bytes += layer.in_act_csf_bytes() * scale;
+            layer_act += layer.in_act_csf_bytes() * scale;
         }
         for &p in inputs {
             if !group.layers.contains(&p) && !seen_ext.contains(&p) {
                 seen_ext.push(p);
-                in_bytes += layer.in_act_csf_bytes() * scale;
+                layer_act += layer.in_act_csf_bytes() * scale;
             }
         }
+        in_bytes += layer_act;
 
         // Outputs leaving the group write back to DRAM.
         let consumers = net.consumers(id);
         if consumers.is_empty() || consumers.iter().any(|c| !group.layers.contains(c)) {
-            out_bytes += layer.out_act_csf_bytes();
+            let leaving = layer.out_act_csf_bytes();
+            out_bytes += leaving;
+            layer_act += leaving;
         }
+        layer_ests.push(LayerEstimate {
+            name: layer.name.clone(),
+            cycles: 0.0,
+            weight_bytes: layer_weight,
+            act_bytes: layer_act,
+            macs: layer_macs,
+        });
     }
 
     let act_bytes = in_bytes + out_bytes;
@@ -166,12 +217,24 @@ pub fn estimate_group(
         interval * (FILL_BASE_INTERVALS + FILL_PER_LAYER_INTERVALS * group.layers.len() as f64);
     let cycles = steady + fill;
 
+    // Attribute the group's cycles to its layers by MAC share, mirroring
+    // the simulator's apportionment of its interval-loop cycles.
+    let n = layer_ests.len().max(1) as f64;
+    for l in &mut layer_ests {
+        l.cycles = if macs > 0.0 {
+            cycles * (l.macs / macs)
+        } else {
+            cycles / n
+        };
+    }
+
     GroupEstimate {
         name: group.name.clone(),
         cycles,
         weight_bytes,
         act_bytes,
         macs,
+        layers: layer_ests,
     }
 }
 
@@ -245,6 +308,27 @@ mod tests {
         assert!((est.dram_bytes - group_bytes).abs() < 1e-6);
         let group_cycles: f64 = est.groups.iter().map(|g| g.cycles).sum();
         assert!((est.cycles - group_cycles).abs() < 1e-6);
+    }
+
+    #[test]
+    fn layer_estimates_sum_to_group_totals() {
+        let net = suite_workload("R96", 1).network;
+        let cfg = IsoscelesConfig::default();
+        let est = estimate_network(&net, &cfg);
+        for g in &est.groups {
+            assert!(!g.layers.is_empty(), "group {} has layers", g.name);
+            let cycles: f64 = g.layers.iter().map(|l| l.cycles).sum();
+            let weight: f64 = g.layers.iter().map(|l| l.weight_bytes).sum();
+            let act: f64 = g.layers.iter().map(|l| l.act_bytes).sum();
+            let macs: f64 = g.layers.iter().map(|l| l.macs).sum();
+            assert!((cycles - g.cycles).abs() / g.cycles.max(1.0) < 1e-9);
+            assert!((weight - g.weight_bytes).abs() / g.weight_bytes.max(1.0) < 1e-9);
+            assert!((act - g.act_bytes).abs() / g.act_bytes.max(1.0) < 1e-9);
+            assert!((macs - g.macs).abs() / g.macs.max(1.0) < 1e-9);
+        }
+        let flat: usize = est.layers().count();
+        let per_group: usize = est.groups.iter().map(|g| g.layers.len()).sum();
+        assert_eq!(flat, per_group);
     }
 
     #[test]

@@ -54,6 +54,41 @@ fn analytical_traffic_tracks_simulated_traffic() {
 }
 
 #[test]
+fn per_layer_estimates_track_simulated_layer_breakdown() {
+    // The shared metrics layer reports per-layer results from the
+    // simulator; the analytical model mirrors them layer by layer. Weight
+    // bytes are modeled from the same CSF counts the simulator streams,
+    // so they must agree tightly per layer; MACs agree up to the
+    // simulator's stochastic work wobble.
+    let cfg = IsoscelesConfig::default();
+    for id in ["R96", "G58"] {
+        let w = isos_nn::models::suite_workload(id, SEED);
+        let sim = cfg.simulate(&w.network, SEED);
+        let est = estimate_network(&w.network, &cfg);
+        let est_layers: Vec<_> = est.layers().collect();
+        assert_eq!(
+            sim.layers.len(),
+            est_layers.len(),
+            "{id}: layer count mismatch"
+        );
+        for ((sim_name, sim_m), est_l) in sim.layers.iter().zip(&est_layers) {
+            assert_eq!(sim_name, &est_l.name, "{id}: layer order mismatch");
+            let werr =
+                (est_l.weight_bytes - sim_m.weight_traffic).abs() / sim_m.weight_traffic.max(1.0);
+            assert!(werr < 1e-6, "{id}/{sim_name}: weight err {:.2e}", werr);
+            if est_l.macs > 0.0 {
+                let merr = (est_l.macs - sim_m.effectual_macs).abs() / est_l.macs;
+                assert!(
+                    merr < 0.05,
+                    "{id}/{sim_name}: macs err {:.1}%",
+                    merr * 100.0
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn estimates_are_deterministic() {
     let cfg = IsoscelesConfig::default();
     let net = isos_nn::models::suite_workload("V90", SEED).network;

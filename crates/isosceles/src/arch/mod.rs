@@ -12,13 +12,8 @@ pub mod pipeline;
 pub mod scheduler;
 
 pub use microsim::{build_chain, simulate_micro, MicroLayer, MicroResult};
-pub use pipeline::{run_network, simulate_group, simulate_mapping};
+pub use pipeline::{run_network, simulate_group, simulate_mapping, GroupRun};
 pub use scheduler::DynamicScheduler;
-
-// The deprecated `pipeline::simulate_network` wrapper is intentionally NOT
-// re-exported here: internal code goes through the `accel::Accelerator`
-// trait (or `run_network`), and only the compatibility test exercises the
-// wrapper at its defining path.
 
 #[cfg(test)]
 mod tests {
@@ -138,8 +133,32 @@ mod tests {
             .iter()
             .find(|g| g.layers.len() > 3)
             .expect("some pipelined block");
-        let m = simulate_group(&net, &cfg, block_group, 1);
-        assert!(m.cycles > 0);
+        let run = simulate_group(&net, &cfg, block_group, 1);
+        assert!(run.metrics.cycles > 0);
+    }
+
+    #[test]
+    fn group_layer_breakdown_conserves_totals() {
+        let net = models::resnet50(0.96, 1);
+        let cfg = IsoscelesConfig::default();
+        let mapping = map_network(&net, &cfg, ExecMode::Pipelined);
+        let group = mapping
+            .groups
+            .iter()
+            .find(|g| g.layers.len() > 3)
+            .expect("some pipelined block");
+        let run = simulate_group(&net, &cfg, group, 1);
+        assert_eq!(run.layers.len(), group.layers.len());
+        let mut sum = crate::metrics::RunMetrics::default();
+        for (_, m) in &run.layers {
+            sum.accumulate(m);
+        }
+        assert_eq!(sum.cycles, run.metrics.cycles);
+        let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1.0);
+        assert!(rel(sum.weight_traffic, run.metrics.weight_traffic) < 1e-6);
+        assert!(rel(sum.act_traffic, run.metrics.act_traffic) < 1e-6);
+        assert!(rel(sum.effectual_macs, run.metrics.effectual_macs) < 1e-6);
+        assert!(rel(sum.activity.dram_bytes, run.metrics.activity.dram_bytes) < 1e-6);
     }
 
     #[test]
@@ -191,8 +210,8 @@ mod tiling_tests {
     fn k_tiling_multiplies_input_traffic_not_weights() {
         let net = one_layer_net(32, 64);
         let cfg = IsoscelesConfig::default();
-        let base = super::simulate_group(&net, &cfg, &group(1, 1), 1);
-        let tiled = super::simulate_group(&net, &cfg, &group(1, 4), 1);
+        let base = super::simulate_group(&net, &cfg, &group(1, 1), 1).metrics;
+        let tiled = super::simulate_group(&net, &cfg, &group(1, 4), 1).metrics;
         // Inputs re-read once per K tile; outputs and weights unchanged.
         let input_bytes = net.layer(0).in_act_csf_bytes();
         let expected = base.act_traffic + 3.0 * input_bytes;
@@ -209,8 +228,8 @@ mod tiling_tests {
     fn p_tiling_adds_halo_traffic_only() {
         let net = one_layer_net(128, 16);
         let cfg = IsoscelesConfig::default();
-        let base = super::simulate_group(&net, &cfg, &group(1, 1), 1);
-        let tiled = super::simulate_group(&net, &cfg, &group(2, 1), 1);
+        let base = super::simulate_group(&net, &cfg, &group(1, 1), 1).metrics;
+        let tiled = super::simulate_group(&net, &cfg, &group(2, 1), 1).metrics;
         // One tile boundary re-fetches (R-1)=2 of 128 input rows: ~1.6%.
         let ratio = tiled.act_traffic / base.act_traffic;
         assert!(ratio > 1.0 && ratio < 1.05, "halo overhead ratio {ratio}");
@@ -220,8 +239,8 @@ mod tiling_tests {
     fn tiling_preserves_mac_work() {
         let net = one_layer_net(64, 32);
         let cfg = IsoscelesConfig::default();
-        let base = super::simulate_group(&net, &cfg, &group(1, 1), 1);
-        let tiled = super::simulate_group(&net, &cfg, &group(2, 2), 1);
+        let base = super::simulate_group(&net, &cfg, &group(1, 1), 1).metrics;
+        let tiled = super::simulate_group(&net, &cfg, &group(2, 2), 1).metrics;
         assert!((base.effectual_macs - tiled.effectual_macs).abs() / base.effectual_macs < 1e-9);
     }
 }

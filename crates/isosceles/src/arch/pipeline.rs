@@ -13,10 +13,12 @@
 use super::scheduler::DynamicScheduler;
 use crate::config::IsoscelesConfig;
 use crate::mapping::{map_network, ExecMode, Mapping, PipelineGroup};
-use crate::metrics::{NetworkMetrics, RunMetrics};
+use crate::metrics::{apportion_capped, apportion_cycles, NetworkMetrics, RunMetrics};
 use isos_nn::graph::{Network, NodeId};
 use isos_nn::work::{layer_work, LayerWork};
-use isos_sim::dram::{arbitrate, Dram};
+use isos_sim::dram::arbitrate;
+use isos_sim::harness::{MemClient, MemHarness};
+use isos_sim::stats::Utilization;
 
 /// Where a simulated layer's input comes from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,6 +38,8 @@ struct SimLayer {
     producers: Vec<Source>,
     writes_extern: bool,
     weight_left: f64,
+    /// Weight bytes granted so far (per-layer traffic attribution).
+    weight_streamed: f64,
     cols_done: usize,
     col_progress: f64,
     produced_bytes: f64,
@@ -53,6 +57,11 @@ struct ExtStream {
     byte_progress: f64,
     /// Traffic multiplier: K-tiling re-reads and P-tiling halos.
     scale: f64,
+    /// Group-local index of the consumer layer the stream feeds (its
+    /// granted bytes are attributed to that layer's breakdown).
+    owner: usize,
+    /// Bytes granted so far (per-layer traffic attribution).
+    granted: f64,
 }
 
 impl ExtStream {
@@ -83,6 +92,17 @@ impl ExtStream {
     }
 }
 
+/// Result of simulating one pipeline group: the group totals plus the
+/// per-layer breakdown behind them (Fig. 12-16 report layers).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GroupRun {
+    /// Group totals.
+    pub metrics: RunMetrics,
+    /// Per-member-layer metrics in group order; they accumulate back to
+    /// `metrics` (exactly for cycles, to float association for the rest).
+    pub layers: Vec<(String, RunMetrics)>,
+}
+
 /// Simulates one pipeline group to completion.
 ///
 /// # Panics
@@ -94,16 +114,13 @@ pub fn simulate_group(
     cfg: &IsoscelesConfig,
     group: &PipelineGroup,
     seed: u64,
-) -> RunMetrics {
+) -> GroupRun {
     let (mut layers, mut ext_streams) = build_group_state(net, cfg, group, seed);
     let interval = cfg.scheduler_interval;
     let total_macs = cfg.total_macs() as f64;
-    let mut dram = Dram::new(cfg.dram_bytes_per_cycle);
+    let mut mem = MemHarness::new(cfg.dram_bytes_per_cycle);
     let mut sched = DynamicScheduler::new(total_macs);
     let mut metrics = RunMetrics::default();
-    let mut weight_read = 0.0f64;
-    let mut act_read = 0.0f64;
-    let mut act_write = 0.0f64;
 
     let safety_cycles: u64 = 500_000_000_000;
     let mut stalled_intervals = 0u32;
@@ -172,41 +189,20 @@ pub fn simulate_group(
             }
         }
 
-        // 3. DRAM: weight fetches, input prefetch, output writeback.
-        let mut read_demands: Vec<f64> = Vec::new();
-        // Weight streams first (same order every interval).
-        for l in &layers {
-            read_demands.push(l.weight_left.min(dram.capacity(interval)));
-        }
-        // External input streams: prefetch a few columns ahead of the
-        // consumers (the decoupled fetcher FSMs of Sec. IV-A).
+        // 3. DRAM: weight fetches, input prefetch, output writeback, all
+        // through the shared memory harness (demand → grant → throttle →
+        // accumulate). Weight streams first (same order every interval),
+        // then the external input streams, prefetching a few columns ahead
+        // of the consumers (the decoupled fetcher FSMs of Sec. IV-A).
         let prefetch = 8usize;
-        for s in &ext_streams {
-            let target = s.fetched_cols + prefetch;
-            read_demands.push(s.remaining_bytes_to(target).min(dram.capacity(interval)));
-        }
-        let write_demand: f64 = layers
-            .iter()
-            .filter(|l| l.writes_extern)
-            .map(|l| l.produced_bytes - l.written_bytes)
-            .sum();
-        let total_read: f64 = read_demands.iter().sum();
-        let (granted_read, granted_write) = dram.grant(
-            total_read,
-            write_demand.min(dram.capacity(interval)),
-            interval,
-        );
-        let shares = arbitrate(&read_demands, granted_read);
-        for (i, l) in layers.iter_mut().enumerate() {
-            l.weight_left = (l.weight_left - shares[i]).max(0.0);
-            weight_read += shares[i];
-        }
-        for (e, s) in ext_streams.iter_mut().enumerate() {
-            let g = shares[layers.len() + e];
-            s.advance(g);
-            act_read += g;
-        }
-        // Writeback distributed proportionally across sinks.
+        let clients: Vec<MemClient> =
+            layers
+                .iter()
+                .map(|l| MemClient::weight(l.weight_left))
+                .chain(ext_streams.iter().map(|s| {
+                    MemClient::activation(s.remaining_bytes_to(s.fetched_cols + prefetch))
+                }))
+                .collect();
         let write_pending: Vec<f64> = layers
             .iter()
             .map(|l| {
@@ -217,10 +213,19 @@ pub fn simulate_group(
                 }
             })
             .collect();
-        let wshares = arbitrate(&write_pending, granted_write);
-        for (l, w) in layers.iter_mut().zip(&wshares) {
+        let grants = mem.step(&clients, &write_pending, interval);
+        for (i, l) in layers.iter_mut().enumerate() {
+            l.weight_left = (l.weight_left - grants.reads[i]).max(0.0);
+            l.weight_streamed += grants.reads[i];
+        }
+        for (e, s) in ext_streams.iter_mut().enumerate() {
+            let g = grants.reads[layers.len() + e];
+            s.advance(g);
+            s.granted += g;
+        }
+        // Writeback distributed proportionally across sinks.
+        for (l, w) in layers.iter_mut().zip(&grants.writes) {
             l.written_bytes += w;
-            act_write += w;
         }
 
         // 4. Bookkeeping.
@@ -239,7 +244,7 @@ pub fn simulate_group(
         // demand, so a layer that just became ready legitimately idles for
         // one interval (the fragmentation loss of Sec. VI-B). Only a
         // sustained stall is a model bug.
-        let moved = executed_total > 1e-9 || granted_read > 1e-6 || granted_write > 1e-6;
+        let moved = executed_total > 1e-9 || grants.moved();
         stalled_intervals = if moved { 0 } else { stalled_intervals + 1 };
         assert!(
             stalled_intervals <= 3,
@@ -262,18 +267,59 @@ pub fn simulate_group(
         assert!(metrics.cycles < safety_cycles, "runaway simulation");
     }
 
-    metrics.bw_util = dram.utilization();
-    metrics.weight_traffic = weight_read;
-    metrics.act_traffic = act_read + act_write;
-    metrics.activity.dram_bytes = metrics.total_traffic();
+    mem.finish(&mut metrics);
     // Each MAC reads one weight byte from the shared filter buffer
     // (amortized over wide words) and read-modify-writes a 16-bit partial
     // in the lane-local context array.
-    metrics.activity.shared_sram_bytes = metrics.effectual_macs;
-    metrics.activity.local_sram_bytes =
-        metrics.effectual_macs * 2.0 * cfg.accumulator_bytes() as f64;
-    metrics.activity.macs = metrics.effectual_macs;
-    metrics
+    let local_bytes_per_mac = 2.0 * cfg.accumulator_bytes() as f64;
+    metrics.charge_compute_activity(metrics.effectual_macs, local_bytes_per_mac);
+
+    // Per-layer breakdown. The interval loop attributes traffic to the
+    // stream that moved it; cycles (a group-shared resource) are
+    // apportioned by each layer's executed MACs, and the group's busy
+    // MAC/DRAM time by each layer's share of its MACs/traffic —
+    // water-filled against the layer's own cycles so clamping cannot
+    // drop busy mass and the breakdown still sums to the group totals.
+    let macs_per_layer: Vec<f64> = layers.iter().map(|l| l.macs_executed).collect();
+    let layer_cycles = apportion_cycles(metrics.cycles, &macs_per_layer);
+    let caps: Vec<f64> = layer_cycles.iter().map(|&c| c as f64).collect();
+    let mut ext_read = vec![0.0f64; layers.len()];
+    for s in &ext_streams {
+        ext_read[s.owner] += s.granted;
+    }
+    let traffic_per_layer: Vec<f64> = layers
+        .iter()
+        .zip(&ext_read)
+        .map(|(l, &acts_in)| l.weight_streamed + acts_in + l.written_bytes)
+        .collect();
+    let mac_busy = apportion_capped(metrics.mac_util.busy(), &macs_per_layer, &caps);
+    let bw_busy = apportion_capped(metrics.bw_util.busy(), &traffic_per_layer, &caps);
+    let per_layer: Vec<(String, RunMetrics)> = layers
+        .iter()
+        .zip(&layer_cycles)
+        .zip(&ext_read)
+        .enumerate()
+        .map(|(i, ((l, &cycles), &acts_in))| {
+            let mut m = RunMetrics {
+                cycles,
+                weight_traffic: l.weight_streamed,
+                act_traffic: acts_in + l.written_bytes,
+                effectual_macs: l.macs_executed,
+                ..Default::default()
+            };
+            m.mac_util = Utilization::new();
+            m.mac_util.add(mac_busy[i], cycles);
+            m.bw_util = Utilization::new();
+            m.bw_util.add(bw_busy[i], cycles);
+            m.activity.dram_bytes = m.total_traffic();
+            m.charge_compute_activity(l.macs_executed, local_bytes_per_mac);
+            (l.work.name.clone(), m)
+        })
+        .collect();
+    GroupRun {
+        metrics,
+        layers: per_layer,
+    }
 }
 
 /// Simulates a whole network: maps it into groups and runs them in order
@@ -292,20 +338,6 @@ pub fn run_network(
     simulate_mapping(net, cfg, &mapping, seed)
 }
 
-/// Simulates a whole network in the given execution mode.
-#[deprecated(
-    since = "0.1.0",
-    note = "use the `accel::Accelerator` trait (or `run_network` when an explicit `ExecMode` is needed)"
-)]
-pub fn simulate_network(
-    net: &Network,
-    cfg: &IsoscelesConfig,
-    mode: ExecMode,
-    seed: u64,
-) -> NetworkMetrics {
-    run_network(net, cfg, mode, seed)
-}
-
 /// Simulates a network under a precomputed mapping.
 pub fn simulate_mapping(
     net: &Network,
@@ -315,9 +347,8 @@ pub fn simulate_mapping(
 ) -> NetworkMetrics {
     let mut out = NetworkMetrics::default();
     for group in &mapping.groups {
-        let m = simulate_group(net, cfg, group, seed);
-        out.total.accumulate(&m);
-        out.groups.push((group.name.clone(), m));
+        let run = simulate_group(net, cfg, group, seed);
+        out.push_group(group.name.clone(), run.metrics, run.layers);
     }
     out
 }
@@ -391,6 +422,7 @@ fn build_group_state(
         let scale = group.k_tiles as f64 * (1.0 + halo_frac);
 
         let inputs = &net.nodes()[id].inputs;
+        let owner = layers.len();
         let mut producers: Vec<Source> = Vec::new();
         if inputs.is_empty() {
             // Network input: one stream shaped like this layer's input.
@@ -400,6 +432,8 @@ fn build_group_state(
                     fetched_cols: 0,
                     byte_progress: 0.0,
                     scale,
+                    owner,
+                    granted: 0.0,
                 });
                 ext_streams.len() - 1
             });
@@ -415,6 +449,8 @@ fn build_group_state(
                         fetched_cols: 0,
                         byte_progress: 0.0,
                         scale,
+                        owner,
+                        granted: 0.0,
                     });
                     ext_streams.len() - 1
                 });
@@ -455,6 +491,7 @@ fn build_group_state(
             producers,
             writes_extern,
             weight_left,
+            weight_streamed: 0.0,
             cols_done: 0,
             col_progress: 0.0,
             produced_bytes: 0.0,

@@ -1,101 +1,11 @@
-//! Result types shared by the ISOSceles model and the baselines.
+//! Result types for simulation runs — re-exported from
+//! [`isos_sim::metrics`].
+//!
+//! The types used to be defined here, which forced every crate that
+//! merely *names* a result (`isos-baselines`, `isosceles-bench`,
+//! `isos-explore`) to depend on the ISOSceles model crate. They now live
+//! in the shared substrate; this module remains so existing
+//! `isosceles::metrics::{RunMetrics, NetworkMetrics}` paths keep
+//! working.
 
-use isos_sim::energy::Activity;
-use isos_sim::stats::Utilization;
-use serde::{Deserialize, Serialize};
-
-/// Metrics from simulating one pipeline group or one whole network.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
-pub struct RunMetrics {
-    /// Execution cycles.
-    pub cycles: u64,
-    /// Off-chip weight traffic in bytes (Fig. 14c split).
-    pub weight_traffic: f64,
-    /// Off-chip activation traffic in bytes (input + output + halo).
-    pub act_traffic: f64,
-    /// MAC array utilization (Fig. 16).
-    pub mac_util: Utilization,
-    /// Memory bandwidth utilization (Fig. 15).
-    pub bw_util: Utilization,
-    /// Activity for the energy model (Fig. 17).
-    pub activity: Activity,
-    /// Effectual MACs performed.
-    pub effectual_macs: f64,
-}
-
-impl RunMetrics {
-    /// Total off-chip traffic in bytes.
-    pub fn total_traffic(&self) -> f64 {
-        self.weight_traffic + self.act_traffic
-    }
-
-    /// Speedup of `self` relative to `other` (higher = `self` faster).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `self.cycles` is zero.
-    pub fn speedup_over(&self, other: &RunMetrics) -> f64 {
-        assert!(self.cycles > 0, "zero-cycle run");
-        other.cycles as f64 / self.cycles as f64
-    }
-
-    /// Accumulates another run executed sequentially after this one.
-    pub fn accumulate(&mut self, other: &RunMetrics) {
-        self.cycles += other.cycles;
-        self.weight_traffic += other.weight_traffic;
-        self.act_traffic += other.act_traffic;
-        self.mac_util.merge(&other.mac_util);
-        self.bw_util.merge(&other.bw_util);
-        self.activity.merge(&other.activity);
-        self.effectual_macs += other.effectual_macs;
-    }
-}
-
-/// Per-group breakdown of a network run (Fig. 18 reports these).
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
-pub struct NetworkMetrics {
-    /// Whole-network totals.
-    pub total: RunMetrics,
-    /// Per-pipeline-group results, in execution order.
-    pub groups: Vec<(String, RunMetrics)>,
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn accumulate_sums_components() {
-        let mut a = RunMetrics {
-            cycles: 100,
-            weight_traffic: 10.0,
-            act_traffic: 20.0,
-            effectual_macs: 1000.0,
-            ..Default::default()
-        };
-        let b = RunMetrics {
-            cycles: 50,
-            weight_traffic: 5.0,
-            act_traffic: 5.0,
-            effectual_macs: 500.0,
-            ..Default::default()
-        };
-        a.accumulate(&b);
-        assert_eq!(a.cycles, 150);
-        assert_eq!(a.total_traffic(), 40.0);
-        assert_eq!(a.effectual_macs, 1500.0);
-    }
-
-    #[test]
-    fn speedup_is_cycle_ratio() {
-        let fast = RunMetrics {
-            cycles: 100,
-            ..Default::default()
-        };
-        let slow = RunMetrics {
-            cycles: 400,
-            ..Default::default()
-        };
-        assert_eq!(fast.speedup_over(&slow), 4.0);
-    }
-}
+pub use isos_sim::metrics::{apportion_capped, apportion_cycles, NetworkMetrics, RunMetrics};

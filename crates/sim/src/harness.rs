@@ -1,0 +1,316 @@
+//! The shared interval-simulation memory harness.
+//!
+//! Every accelerator model in this workspace advances in scheduling
+//! intervals against the same DRAM interface, and every one of them used
+//! to hand-roll the same sequence: post per-requester read demand and
+//! pooled write demand, [`Dram::grant`] the interval's bandwidth,
+//! throttle the requesters proportionally with [`arbitrate`], and
+//! accumulate the granted bytes into traffic/utilization/energy
+//! accounting. [`MemHarness`] owns that sequence once:
+//!
+//! - the cycle-level ISOSceles pipeline calls [`MemHarness::step`] every
+//!   scheduler interval with one [`MemClient`] per weight stream and
+//!   external activation stream plus the per-sink writeback queue;
+//! - the analytic SparTen and Fused-Layer models call
+//!   [`MemHarness::transfer`] once per layer/group with the closed-form
+//!   byte totals and the layer's modeled cycle count.
+//!
+//! Either way, [`MemHarness::finish`] folds the accumulated traffic
+//! split, bandwidth utilization, and DRAM energy activity into a
+//! [`RunMetrics`], so the accounting tail is identical across models.
+//!
+//! # Examples
+//!
+//! ```
+//! use isos_sim::harness::{MemClient, MemHarness};
+//! use isos_sim::metrics::RunMetrics;
+//! let mut mem = MemHarness::new(128.0);
+//! // One 100-cycle interval: a weight stream and an activation stream
+//! // oversubscribe the 12.8 kB capacity and are throttled 2:1.
+//! let g = mem.step(
+//!     &[MemClient::weight(10_000.0), MemClient::activation(5_000.0)],
+//!     &[0.0],
+//!     100,
+//! );
+//! assert!((g.reads[0] / g.reads[1] - 2.0).abs() < 1e-9);
+//! let mut m = RunMetrics { cycles: 100, ..Default::default() };
+//! mem.finish(&mut m);
+//! assert_eq!(m.total_traffic(), 12_800.0);
+//! assert_eq!(m.bw_util.ratio(), 1.0);
+//! ```
+
+use crate::dram::{arbitrate, Dram, DramTraffic};
+use crate::metrics::RunMetrics;
+use crate::stats::Utilization;
+
+/// Accounting class of a memory client's granted reads (the Fig. 14c
+/// weight/activation traffic split).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrafficClass {
+    /// Compressed filter data.
+    Weight,
+    /// Input activations (outputs are always written as activations).
+    Activation,
+}
+
+/// One read-side requester on the memory interface for one interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemClient {
+    /// Class the granted bytes are accounted under.
+    pub class: TrafficClass,
+    /// Bytes the client wants to read this interval. Demand beyond the
+    /// interval's DRAM capacity is clamped before arbitration.
+    pub read: f64,
+}
+
+impl MemClient {
+    /// A weight-stream client.
+    pub fn weight(read: f64) -> Self {
+        Self {
+            class: TrafficClass::Weight,
+            read,
+        }
+    }
+
+    /// An activation-stream client.
+    pub fn activation(read: f64) -> Self {
+        Self {
+            class: TrafficClass::Activation,
+            read,
+        }
+    }
+}
+
+/// Byte totals granted so far, split by class and direction.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TrafficTotals {
+    /// Weight bytes read.
+    pub weight_read: f64,
+    /// Activation bytes read.
+    pub act_read: f64,
+    /// Activation bytes written back.
+    pub act_write: f64,
+}
+
+impl TrafficTotals {
+    /// Total bytes moved in either direction.
+    pub fn total(&self) -> f64 {
+        self.weight_read + self.act_read + self.act_write
+    }
+}
+
+/// Grants returned by one [`MemHarness::step`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Grants {
+    /// Granted read bytes, in client order.
+    pub reads: Vec<f64>,
+    /// Granted write bytes, in writer order.
+    pub writes: Vec<f64>,
+    /// Total granted read bytes this interval.
+    pub granted_read: f64,
+    /// Total granted write bytes this interval.
+    pub granted_write: f64,
+}
+
+impl Grants {
+    /// Whether any bytes moved this interval (the pipeline's liveness
+    /// check counts a granted transfer as forward progress).
+    pub fn moved(&self) -> bool {
+        self.granted_read > 1e-6 || self.granted_write > 1e-6
+    }
+}
+
+/// The shared post-demand → grant → throttle → accumulate harness. See
+/// the [module docs](self).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MemHarness {
+    dram: Dram,
+    traffic: TrafficTotals,
+}
+
+impl MemHarness {
+    /// Creates a harness over a DRAM with the given peak bandwidth in
+    /// bytes per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_cycle` is not positive.
+    pub fn new(bytes_per_cycle: f64) -> Self {
+        Self {
+            dram: Dram::new(bytes_per_cycle),
+            traffic: TrafficTotals::default(),
+        }
+    }
+
+    /// Maximum bytes transferable in `cycles`.
+    pub fn capacity(&self, cycles: u64) -> f64 {
+        self.dram.capacity(cycles)
+    }
+
+    /// The underlying DRAM model (read-only).
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+
+    /// One scheduling interval: posts every client's read demand (each
+    /// clamped to the interval capacity) plus the pooled write demand,
+    /// grants DRAM bandwidth for `cycles`, splits the granted reads and
+    /// writes proportionally, and accumulates the grants into the
+    /// harness's per-class traffic totals.
+    pub fn step(&mut self, clients: &[MemClient], writes: &[f64], cycles: u64) -> Grants {
+        let capacity = self.dram.capacity(cycles);
+        let demands: Vec<f64> = clients.iter().map(|c| c.read.min(capacity)).collect();
+        let total_read: f64 = demands.iter().sum();
+        let write_demand: f64 = writes.iter().sum();
+        let (granted_read, granted_write) =
+            self.dram
+                .grant(total_read, write_demand.min(capacity), cycles);
+        let reads = arbitrate(&demands, granted_read);
+        for (client, granted) in clients.iter().zip(&reads) {
+            match client.class {
+                TrafficClass::Weight => self.traffic.weight_read += granted,
+                TrafficClass::Activation => self.traffic.act_read += granted,
+            }
+        }
+        let writes = arbitrate(writes, granted_write);
+        for granted in &writes {
+            self.traffic.act_write += granted;
+        }
+        Grants {
+            reads,
+            writes,
+            granted_read,
+            granted_write,
+        }
+    }
+
+    /// Closed-form convenience for the analytic models: one weight
+    /// stream, one activation stream, and one writeback, granted over
+    /// `cycles` cycles.
+    ///
+    /// Callers size `cycles` at or above the memory time of the posted
+    /// bytes, so the grant is complete and the traffic totals equal the
+    /// posted demand exactly.
+    pub fn transfer(
+        &mut self,
+        weight_read: f64,
+        act_read: f64,
+        act_write: f64,
+        cycles: u64,
+    ) -> Grants {
+        self.step(
+            &[
+                MemClient::weight(weight_read),
+                MemClient::activation(act_read),
+            ],
+            &[act_write],
+            cycles,
+        )
+    }
+
+    /// Byte totals granted so far, split by class and direction.
+    pub fn traffic(&self) -> TrafficTotals {
+        self.traffic
+    }
+
+    /// Raw directional traffic recorded by the DRAM model.
+    pub fn dram_traffic(&self) -> DramTraffic {
+        self.dram.traffic()
+    }
+
+    /// Bandwidth utilization so far (paper Fig. 15).
+    pub fn utilization(&self) -> Utilization {
+        self.dram.utilization()
+    }
+
+    /// Folds the accumulated memory-side accounting into `m`: the
+    /// weight/activation traffic split, the bandwidth utilization, and
+    /// the DRAM byte activity for the energy model.
+    ///
+    /// Compute-side activity is recorded separately via
+    /// [`RunMetrics::charge_compute_activity`].
+    pub fn finish(&self, m: &mut RunMetrics) {
+        m.bw_util = self.dram.utilization();
+        m.weight_traffic = self.traffic.weight_read;
+        m.act_traffic = self.traffic.act_read + self.traffic.act_write;
+        m.activity.dram_bytes = m.total_traffic();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_grants_everything_under_capacity() {
+        let mut mem = MemHarness::new(128.0);
+        let g = mem.step(
+            &[MemClient::weight(1000.0), MemClient::activation(500.0)],
+            &[200.0, 0.0],
+            100,
+        );
+        assert_eq!(g.reads, vec![1000.0, 500.0]);
+        assert_eq!(g.writes, vec![200.0, 0.0]);
+        assert!(g.moved());
+        let t = mem.traffic();
+        assert_eq!(t.weight_read, 1000.0);
+        assert_eq!(t.act_read, 500.0);
+        assert_eq!(t.act_write, 200.0);
+        assert_eq!(t.total(), 1700.0);
+    }
+
+    #[test]
+    fn oversubscription_throttles_proportionally() {
+        let mut mem = MemHarness::new(10.0);
+        // Capacity 1000; read demand 1500, write demand 500 (each
+        // individual demand stays under the per-client capacity clamp).
+        let g = mem.step(
+            &[MemClient::weight(900.0), MemClient::activation(600.0)],
+            &[500.0],
+            100,
+        );
+        assert!((g.granted_read - 750.0).abs() < 1e-9);
+        assert!((g.granted_write - 250.0).abs() < 1e-9);
+        // Read split preserves the 900:600 ratio.
+        assert!((g.reads[0] / g.reads[1] - 1.5).abs() < 1e-9);
+        assert_eq!(mem.utilization().ratio(), 1.0);
+    }
+
+    #[test]
+    fn per_client_demand_is_clamped_to_capacity() {
+        let mut mem = MemHarness::new(1.0);
+        // One client asks for far more than the 10-byte interval.
+        let g = mem.step(&[MemClient::weight(1e9)], &[], 10);
+        assert_eq!(g.granted_read, 10.0);
+        assert!(!mem.step(&[MemClient::weight(0.0)], &[], 10).moved());
+    }
+
+    #[test]
+    fn finish_folds_the_accounting_tail() {
+        let mut mem = MemHarness::new(128.0);
+        mem.transfer(600.0, 300.0, 100.0, 100);
+        let mut m = RunMetrics {
+            cycles: 100,
+            ..Default::default()
+        };
+        mem.finish(&mut m);
+        assert_eq!(m.weight_traffic, 600.0);
+        assert_eq!(m.act_traffic, 400.0);
+        assert_eq!(m.activity.dram_bytes, 1000.0);
+        assert!((m.bw_util.ratio() - 1000.0 / 12800.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_matches_manual_step() {
+        let mut a = MemHarness::new(64.0);
+        let mut b = MemHarness::new(64.0);
+        let ga = a.transfer(500.0, 250.0, 125.0, 50);
+        let gb = b.step(
+            &[MemClient::weight(500.0), MemClient::activation(250.0)],
+            &[125.0],
+            50,
+        );
+        assert_eq!(ga, gb);
+        assert_eq!(a.traffic(), b.traffic());
+    }
+}

@@ -6,6 +6,10 @@
 //!
 //! - [`dram`]: a bandwidth-modeled 128 GB/s HBM interface with proportional
 //!   arbitration and utilization tracking (paper Fig. 15),
+//! - [`harness`]: the shared interval-simulation memory harness (post
+//!   demand → grant → throttle → accumulate) every accelerator runs on,
+//! - [`metrics`]: the result types ([`metrics::RunMetrics`],
+//!   [`metrics::NetworkMetrics`]) with per-group and per-layer breakdowns,
 //! - [`sram`]: banked on-chip buffers with coalescing and conflict
 //!   accounting (the shared filter buffer of Sec. IV-A),
 //! - [`queue`]: bounded decoupling FIFOs with occupancy statistics,
@@ -30,6 +34,11 @@
 pub mod area;
 pub mod dram;
 pub mod energy;
+pub mod harness;
+pub mod metrics;
 pub mod queue;
 pub mod sram;
 pub mod stats;
+
+pub use harness::{MemClient, MemHarness};
+pub use metrics::{NetworkMetrics, RunMetrics};

@@ -1,0 +1,404 @@
+//! Result types shared by every accelerator model in the workspace.
+//!
+//! The paper's evaluation is fundamentally per-layer (Fig. 12-16 all
+//! report layer-by-layer numbers), so the result types live here in the
+//! substrate crate rather than in any one accelerator model:
+//!
+//! - [`RunMetrics`]: cycles, traffic split, utilizations, and energy
+//!   activity for one simulated unit (a pipeline group or a layer);
+//! - [`NetworkMetrics`]: whole-network totals plus per-pipeline-group
+//!   *and* per-layer breakdowns, with the invariant that the breakdowns
+//!   sum back to the totals;
+//! - [`apportion_cycles`]: exact-sum integer apportionment used to split
+//!   a group's cycles over its member layers.
+//!
+//! `isosceles::metrics` re-exports these for backward compatibility, but
+//! downstream crates (`isos-baselines`, `isosceles-bench`,
+//! `isos-explore`) name them from here so that depending on a *result*
+//! does not require depending on the ISOSceles *model*.
+
+use crate::energy::Activity;
+use crate::stats::Utilization;
+use serde::{Deserialize, Serialize};
+
+/// Metrics from simulating one pipeline group, one layer, or one whole
+/// network.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Execution cycles.
+    pub cycles: u64,
+    /// Off-chip weight traffic in bytes (Fig. 14c split).
+    pub weight_traffic: f64,
+    /// Off-chip activation traffic in bytes (input + output + halo).
+    pub act_traffic: f64,
+    /// MAC array utilization (Fig. 16).
+    pub mac_util: Utilization,
+    /// Memory bandwidth utilization (Fig. 15).
+    pub bw_util: Utilization,
+    /// Activity for the energy model (Fig. 17).
+    pub activity: Activity,
+    /// Effectual MACs performed.
+    pub effectual_macs: f64,
+}
+
+impl RunMetrics {
+    /// Total off-chip traffic in bytes.
+    pub fn total_traffic(&self) -> f64 {
+        self.weight_traffic + self.act_traffic
+    }
+
+    /// Speedup of `self` relative to `other` (higher = `self` faster).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cycles` is zero.
+    pub fn speedup_over(&self, other: &RunMetrics) -> f64 {
+        assert!(self.cycles > 0, "zero-cycle run");
+        other.cycles as f64 / self.cycles as f64
+    }
+
+    /// Accumulates another run executed sequentially after this one.
+    pub fn accumulate(&mut self, other: &RunMetrics) {
+        self.cycles += other.cycles;
+        self.weight_traffic += other.weight_traffic;
+        self.act_traffic += other.act_traffic;
+        self.mac_util.merge(&other.mac_util);
+        self.bw_util.merge(&other.bw_util);
+        self.activity.merge(&other.activity);
+        self.effectual_macs += other.effectual_macs;
+    }
+
+    /// Records the compute-side energy activity: `macs` effectual MACs,
+    /// each reading one byte from the shared filter buffer and
+    /// `local_bytes_per_mac` bytes of lane-local SRAM (context arrays).
+    ///
+    /// The DRAM side of [`Activity`] is filled by
+    /// [`MemHarness::finish`](crate::harness::MemHarness::finish).
+    pub fn charge_compute_activity(&mut self, macs: f64, local_bytes_per_mac: f64) {
+        self.activity.shared_sram_bytes = macs;
+        self.activity.local_sram_bytes = macs * local_bytes_per_mac;
+        self.activity.macs = macs;
+    }
+}
+
+/// Per-group and per-layer breakdown of a network run.
+///
+/// `groups` carries one entry per pipeline group in execution order
+/// (Fig. 18 reports these); `layers` carries one entry per simulated
+/// layer, also in execution order (Fig. 12-16 report these). Both
+/// breakdowns satisfy the conservation invariant: accumulating their
+/// entries reproduces `total` (exactly for `cycles`, to floating-point
+/// accumulation order for the byte and MAC counts).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetworkMetrics {
+    /// Whole-network totals.
+    pub total: RunMetrics,
+    /// Per-pipeline-group results, in execution order.
+    pub groups: Vec<(String, RunMetrics)>,
+    /// Per-layer results, in execution order.
+    pub layers: Vec<(String, RunMetrics)>,
+}
+
+impl NetworkMetrics {
+    /// Appends one pipeline group with its per-layer breakdown,
+    /// accumulating the group into `total`.
+    ///
+    /// An empty `layers` means the group *is* a single layer (the common
+    /// case for layer-by-layer accelerators): the group metrics are then
+    /// recorded under `name` in the layer breakdown too.
+    pub fn push_group(
+        &mut self,
+        name: String,
+        group: RunMetrics,
+        layers: Vec<(String, RunMetrics)>,
+    ) {
+        self.total.accumulate(&group);
+        if layers.is_empty() {
+            self.layers.push((name.clone(), group));
+        } else {
+            self.layers.extend(layers);
+        }
+        self.groups.push((name, group));
+    }
+
+    /// Accumulates the per-group breakdown back into one [`RunMetrics`]
+    /// (for conservation checks against `total`).
+    pub fn group_sum(&self) -> RunMetrics {
+        let mut sum = RunMetrics::default();
+        for (_, m) in &self.groups {
+            sum.accumulate(m);
+        }
+        sum
+    }
+
+    /// Accumulates the per-layer breakdown back into one [`RunMetrics`]
+    /// (for conservation checks against `total`).
+    pub fn layer_sum(&self) -> RunMetrics {
+        let mut sum = RunMetrics::default();
+        for (_, m) in &self.layers {
+            sum.accumulate(m);
+        }
+        sum
+    }
+}
+
+/// Splits `total` cycles over weights with an exact sum (largest-
+/// remainder apportionment).
+///
+/// Used to attribute a pipeline group's cycles to its member layers in
+/// proportion to the work each executed; the returned counts always sum
+/// to exactly `total`. Non-finite or negative weights count as zero; if
+/// every weight is zero the split is uniform.
+pub fn apportion_cycles(total: u64, weights: &[f64]) -> Vec<u64> {
+    if weights.is_empty() {
+        return Vec::new();
+    }
+    let sanitized: Vec<f64> = weights
+        .iter()
+        .map(|&w| if w.is_finite() && w > 0.0 { w } else { 0.0 })
+        .collect();
+    let wsum: f64 = sanitized.iter().sum();
+    let shares: Vec<f64> = if wsum > 0.0 {
+        sanitized
+            .iter()
+            .map(|w| total as f64 * (w / wsum))
+            .collect()
+    } else {
+        vec![total as f64 / weights.len() as f64; weights.len()]
+    };
+    let mut out: Vec<u64> = shares.iter().map(|s| s.floor() as u64).collect();
+    let assigned: u64 = out.iter().sum();
+    // Hand the remaining cycles to the largest fractional remainders
+    // (ties broken by index, so the result is deterministic).
+    let mut order: Vec<usize> = (0..out.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = shares[a] - shares[a].floor();
+        let fb = shares[b] - shares[b].floor();
+        fb.total_cmp(&fa).then(a.cmp(&b))
+    });
+    let mut left = total.saturating_sub(assigned);
+    for &i in order.iter().cycle() {
+        if left == 0 {
+            break;
+        }
+        out[i] += 1;
+        left -= 1;
+    }
+    debug_assert_eq!(out.iter().sum::<u64>(), total);
+    out
+}
+
+/// Splits `total` over `weights` proportionally, never exceeding the
+/// per-entry `caps` (water-filling).
+///
+/// Overflow from capped entries is redistributed among the uncapped ones
+/// by weight until everything is placed or every positive-weight entry is
+/// saturated; any residual then spills into the remaining cap headroom of
+/// zero-weight entries. Used to attribute a group's busy time (a shared
+/// resource bounded per layer by that layer's cycles) to its member
+/// layers: a plain proportional split followed by clamping would
+/// silently drop the clamped mass and break the layers-sum-to-totals
+/// invariant. Only `total > caps.iter().sum()` leaves mass unplaced (and
+/// every entry comes back saturated).
+///
+/// # Panics
+///
+/// Panics if `weights` and `caps` differ in length.
+pub fn apportion_capped(total: f64, weights: &[f64], caps: &[f64]) -> Vec<f64> {
+    assert_eq!(weights.len(), caps.len(), "weights/caps length mismatch");
+    let mut out = vec![0.0f64; weights.len()];
+    if total <= 0.0 {
+        return out;
+    }
+    let sanitized: Vec<f64> = weights
+        .iter()
+        .map(|&w| if w.is_finite() && w > 0.0 { w } else { 0.0 })
+        .collect();
+    let mut left = total;
+    // Each pass either places everything or saturates at least one entry,
+    // so this terminates in at most `len` passes.
+    loop {
+        let active: Vec<usize> = (0..out.len())
+            .filter(|&i| sanitized[i] > 0.0 && out[i] < caps[i])
+            .collect();
+        let wsum: f64 = active.iter().map(|&i| sanitized[i]).sum();
+        if left <= total * 1e-12 || active.is_empty() || wsum <= 0.0 {
+            break;
+        }
+        let mut overflow = 0.0;
+        for &i in &active {
+            let share = left * sanitized[i] / wsum;
+            let take = share.min(caps[i] - out[i]);
+            out[i] += take;
+            overflow += share - take;
+        }
+        left = overflow;
+    }
+    // Every positive-weight entry is saturated (or there were none):
+    // spill the rest into whatever cap headroom remains, pro rata.
+    if left > total * 1e-12 {
+        let headroom: Vec<f64> = out
+            .iter()
+            .zip(caps)
+            .map(|(&o, &c)| (c - o).max(0.0))
+            .collect();
+        let room: f64 = headroom.iter().sum();
+        if room > 0.0 {
+            let spill = left.min(room);
+            for (o, h) in out.iter_mut().zip(&headroom) {
+                *o += spill * h / room;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_sums_components() {
+        let mut a = RunMetrics {
+            cycles: 100,
+            weight_traffic: 10.0,
+            act_traffic: 20.0,
+            effectual_macs: 1000.0,
+            ..Default::default()
+        };
+        let b = RunMetrics {
+            cycles: 50,
+            weight_traffic: 5.0,
+            act_traffic: 5.0,
+            effectual_macs: 500.0,
+            ..Default::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.cycles, 150);
+        assert_eq!(a.total_traffic(), 40.0);
+        assert_eq!(a.effectual_macs, 1500.0);
+    }
+
+    #[test]
+    fn speedup_is_cycle_ratio() {
+        let fast = RunMetrics {
+            cycles: 100,
+            ..Default::default()
+        };
+        let slow = RunMetrics {
+            cycles: 400,
+            ..Default::default()
+        };
+        assert_eq!(fast.speedup_over(&slow), 4.0);
+    }
+
+    #[test]
+    fn charge_compute_activity_mirrors_macs() {
+        let mut m = RunMetrics::default();
+        m.charge_compute_activity(1000.0, 4.0);
+        assert_eq!(m.activity.shared_sram_bytes, 1000.0);
+        assert_eq!(m.activity.local_sram_bytes, 4000.0);
+        assert_eq!(m.activity.macs, 1000.0);
+    }
+
+    #[test]
+    fn push_group_defaults_layers_to_the_group() {
+        let g = RunMetrics {
+            cycles: 10,
+            ..Default::default()
+        };
+        let mut n = NetworkMetrics::default();
+        n.push_group("conv1".into(), g, Vec::new());
+        assert_eq!(n.groups.len(), 1);
+        assert_eq!(n.layers.len(), 1);
+        assert_eq!(n.layers[0].0, "conv1");
+        assert_eq!(n.total.cycles, 10);
+    }
+
+    #[test]
+    fn push_group_keeps_explicit_layer_breakdown() {
+        let l1 = RunMetrics {
+            cycles: 6,
+            ..Default::default()
+        };
+        let l2 = RunMetrics {
+            cycles: 4,
+            ..Default::default()
+        };
+        let mut g = RunMetrics::default();
+        g.accumulate(&l1);
+        g.accumulate(&l2);
+        let mut n = NetworkMetrics::default();
+        n.push_group("g0".into(), g, vec![("a".into(), l1), ("b".into(), l2)]);
+        assert_eq!(n.groups.len(), 1);
+        assert_eq!(n.layers.len(), 2);
+        assert_eq!(n.layer_sum().cycles, n.total.cycles);
+        assert_eq!(n.group_sum().cycles, n.total.cycles);
+    }
+
+    #[test]
+    fn apportion_is_exact_and_proportional() {
+        let split = apportion_cycles(100, &[3.0, 1.0]);
+        assert_eq!(split, vec![75, 25]);
+        let uneven = apportion_cycles(10, &[1.0, 1.0, 1.0]);
+        assert_eq!(uneven.iter().sum::<u64>(), 10);
+        assert!(uneven.iter().all(|&c| (3..=4).contains(&c)));
+    }
+
+    #[test]
+    fn apportion_handles_degenerate_weights() {
+        assert_eq!(apportion_cycles(7, &[]), Vec::<u64>::new());
+        let zeros = apportion_cycles(7, &[0.0, 0.0]);
+        assert_eq!(zeros.iter().sum::<u64>(), 7);
+        let nan = apportion_cycles(9, &[f64::NAN, 1.0, -3.0]);
+        assert_eq!(nan.iter().sum::<u64>(), 9);
+        assert_eq!(nan[1], 9);
+    }
+
+    #[test]
+    fn apportion_zero_total_is_zeroes() {
+        assert_eq!(apportion_cycles(0, &[5.0, 1.0]), vec![0, 0]);
+    }
+
+    #[test]
+    fn apportion_capped_is_proportional_when_uncapped() {
+        let out = apportion_capped(100.0, &[3.0, 1.0], &[1e9, 1e9]);
+        assert!((out[0] - 75.0).abs() < 1e-9);
+        assert!((out[1] - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn apportion_capped_redistributes_overflow() {
+        // Entry 0 wants 75 but is capped at 10; its overflow spills to
+        // entry 1 so the sum is preserved.
+        let out = apportion_capped(100.0, &[3.0, 1.0], &[10.0, 1e9]);
+        assert_eq!(out[0], 10.0);
+        assert!((out.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn apportion_capped_saturates_when_total_exceeds_caps() {
+        let out = apportion_capped(100.0, &[1.0, 1.0], &[30.0, 40.0]);
+        assert_eq!(out, vec![30.0, 40.0]);
+    }
+
+    #[test]
+    fn apportion_capped_spills_into_zero_weight_headroom() {
+        // The weighted entry saturates at 4; the remaining 6 spill into
+        // the zero-weight entry's headroom instead of being dropped.
+        let out = apportion_capped(10.0, &[1.0, 0.0], &[4.0, 20.0]);
+        assert_eq!(out[0], 4.0);
+        assert!((out[1] - 6.0).abs() < 1e-9);
+        // No weights at all: everything is spill.
+        let even = apportion_capped(10.0, &[0.0, 0.0], &[5.0, 5.0]);
+        assert_eq!(even, vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn apportion_capped_handles_degenerate_inputs() {
+        assert_eq!(apportion_capped(0.0, &[1.0], &[5.0]), vec![0.0]);
+        let nan = apportion_capped(10.0, &[f64::NAN, 1.0], &[100.0, 100.0]);
+        assert_eq!(nan[0], 0.0);
+        assert!((nan[1] - 10.0).abs() < 1e-9);
+    }
+}

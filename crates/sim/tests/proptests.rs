@@ -51,6 +51,40 @@ proptest! {
     }
 
     #[test]
+    fn grant_oversubscription_scales_reads_and_writes_proportionally(
+        read in 0.0f64..1e7,
+        write in 0.0f64..1e7,
+        bytes_per_cycle in 1.0f64..512.0,
+        cycles in 1u64..10_000,
+    ) {
+        let mut dram = Dram::new(bytes_per_cycle);
+        let capacity = bytes_per_cycle * cycles as f64;
+        let (gr, gw) = dram.grant(read, write, cycles);
+
+        // Never grant more than demanded, never more than the interval
+        // capacity in total.
+        prop_assert!(gr >= 0.0 && gr <= read + 1e-6);
+        prop_assert!(gw >= 0.0 && gw <= write + 1e-6);
+        prop_assert!(gr + gw <= capacity + 1e-6);
+
+        let demand = read + write;
+        if demand <= capacity {
+            // Undersubscribed: grants are exact (scale factor is 1.0).
+            prop_assert_eq!(gr, read);
+            prop_assert_eq!(gw, write);
+        } else if read > 0.0 && write > 0.0 {
+            // Oversubscribed: the read/write split is preserved.
+            let ratio = read / write;
+            prop_assert!((gr / gw - ratio).abs() < 1e-6 * ratio.max(1.0));
+            // And the channel is saturated.
+            prop_assert!((gr + gw - capacity).abs() < 1e-6 * capacity);
+        }
+
+        let u = dram.utilization().ratio();
+        prop_assert!((0.0..=1.0).contains(&u));
+    }
+
+    #[test]
     fn queue_conserves_elements(ops in prop::collection::vec(prop::option::of(0u32..100), 0..200)) {
         let mut q = BoundedQueue::new(16);
         let mut pushed = 0u64;
