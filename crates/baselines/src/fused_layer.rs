@@ -12,8 +12,9 @@
 
 use isos_nn::graph::{Network, NodeId};
 
-use isos_sim::harness::MemHarness;
+use isos_sim::harness::{MemClient, MemHarness};
 use isos_sim::metrics::{apportion_capped, apportion_cycles, NetworkMetrics, RunMetrics};
+use isos_trace::{NullSink, StallKind, TraceEvent, TraceSink, UnitId, UnitKind};
 use isosceles::accel::{stable_key, Accelerator};
 use serde::{Deserialize, Serialize};
 
@@ -85,6 +86,26 @@ struct FusedGroupRun {
 
 /// Simulates one fused group.
 fn simulate_group(net: &Network, group: &[NodeId], cfg: &FusedLayerConfig) -> FusedGroupRun {
+    simulate_group_traced(net, group, cfg, 0, &mut NullSink)
+}
+
+/// [`simulate_group`] with trace emission. Every fused layer is one unit
+/// spanning the whole group run (the layers execute concurrently in the
+/// tile pipeline): its busy time is its ideal MAC share, the dense-array
+/// efficiency loss lands on `MergeBound`, waiting for the *other* fused
+/// layers' tile wavefronts on `InputStarved`, and whatever the memory
+/// bound stretches the group beyond its compute time on `DramThrottled`.
+fn simulate_group_traced(
+    net: &Network,
+    group: &[NodeId],
+    cfg: &FusedLayerConfig,
+    t0: u64,
+    sink: &mut dyn TraceSink,
+) -> FusedGroupRun {
+    let unit_ids: Vec<UnitId> = group
+        .iter()
+        .map(|&id| sink.unit(&net.layer(id).name, UnitKind::Layer))
+        .collect();
     let mut m = RunMetrics::default();
     let mut mem = MemHarness::new(cfg.dram_bytes_per_cycle);
     let first = net.layer(group[0]);
@@ -132,10 +153,51 @@ fn simulate_group(net: &Network, group: &[NodeId], cfg: &FusedLayerConfig) -> Fu
         (macs / cfg.total_macs as f64).min(m.cycles as f64),
         m.cycles,
     );
-    mem.transfer(weight_bytes, input_bytes, output_bytes, m.cycles);
+    // One weight stream per fused layer (each layer's filters are its
+    // own), the group input entering at the first layer, the group output
+    // leaving at the last. `cycles` covers the memory time, so every
+    // stream is granted in full and the totals match the posted bytes —
+    // splitting the weight stream only refines trace attribution.
+    let clients: Vec<MemClient> = group
+        .iter()
+        .zip(&unit_ids)
+        .map(|(&id, &unit)| MemClient::weight(net.layer(id).weight_dense_bytes()).for_unit(unit))
+        .chain(std::iter::once(
+            MemClient::activation(input_bytes).for_unit(unit_ids[0]),
+        ))
+        .collect();
+    mem.step_traced(
+        &clients,
+        &[output_bytes],
+        &unit_ids[unit_ids.len() - 1..],
+        m.cycles,
+        t0,
+        sink,
+    );
     mem.finish(&mut m);
     // 4 local bytes per MAC: a 16-bit partial read-modify-write.
     m.charge_compute_activity(macs, 4.0);
+
+    if sink.enabled() {
+        let t_f = m.cycles as f64;
+        for (&unit, &layer_macs) in unit_ids.iter().zip(&macs_per_layer) {
+            // This layer's ideal busy time and its share of the group's
+            // compute time (efficiency loss included).
+            let busy = layer_macs / cfg.total_macs as f64;
+            let compute_j = layer_macs / (cfg.total_macs as f64 * cfg.compute_efficiency);
+            let mut stalls = [0.0; 4];
+            stalls[StallKind::MergeBound.index()] = compute_j - busy;
+            stalls[StallKind::InputStarved.index()] = compute_cycles - compute_j;
+            stalls[StallKind::DramThrottled.index()] = t_f - compute_cycles;
+            sink.emit(TraceEvent::Compute {
+                unit,
+                t: t0,
+                cycles: m.cycles,
+                busy,
+                stalls,
+            });
+        }
+    }
 
     // Per-layer breakdown: each fused layer moves its own dense weights;
     // the group's input (with its halo) enters at the first layer, the
@@ -207,6 +269,25 @@ impl Accelerator for FusedLayerConfig {
         let mut out = NetworkMetrics::default();
         for group in fuse_groups(net, self) {
             let run = simulate_group(net, &group, self);
+            let name = net.layer(group[0]).name.clone();
+            out.push_group(name, run.metrics, run.layers);
+        }
+        out
+    }
+
+    /// Fused groups run one after another, so each group's events start
+    /// where the previous group's cycles ended.
+    fn simulate_traced(
+        &self,
+        net: &Network,
+        _seed: u64,
+        sink: &mut dyn TraceSink,
+    ) -> NetworkMetrics {
+        let mut out = NetworkMetrics::default();
+        let mut t0 = 0u64;
+        for group in fuse_groups(net, self) {
+            let run = simulate_group_traced(net, &group, self, t0, sink);
+            t0 += run.metrics.cycles;
             let name = net.layer(group[0]).name.clone();
             out.push_group(name, run.metrics, run.layers);
         }

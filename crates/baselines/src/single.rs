@@ -6,8 +6,9 @@
 //! gap between this and full ISOSceles isolates inter-layer pipelining's.
 
 use isos_nn::graph::Network;
+use isos_trace::TraceSink;
 use isosceles::accel::{stable_key, Accelerator};
-use isosceles::arch::run_network;
+use isosceles::arch::{run_network, run_network_traced};
 use isosceles::mapping::ExecMode;
 use isosceles::metrics::NetworkMetrics;
 use isosceles::IsoscelesConfig;
@@ -33,6 +34,15 @@ impl Accelerator for IsoscelesSingleConfig {
 
     fn simulate(&self, net: &Network, seed: u64) -> NetworkMetrics {
         run_network(net, &self.0, ExecMode::SingleLayer, seed)
+    }
+
+    fn simulate_traced(
+        &self,
+        net: &Network,
+        seed: u64,
+        sink: &mut dyn TraceSink,
+    ) -> NetworkMetrics {
+        run_network_traced(net, &self.0, ExecMode::SingleLayer, seed, sink)
     }
 }
 

@@ -16,6 +16,7 @@ use isos_nn::graph::Network;
 use isos_nn::layer::{Layer, LayerKind};
 use isos_sim::harness::MemHarness;
 use isos_sim::metrics::{NetworkMetrics, RunMetrics};
+use isos_trace::{NullSink, StallKind, TraceEvent, TraceSink, UnitKind};
 use isosceles::accel::{stable_key, Accelerator};
 use serde::{Deserialize, Serialize};
 
@@ -88,10 +89,38 @@ fn bitmask_weight_bytes(layer: &Layer) -> f64 {
 /// split, bandwidth utilization, and DRAM energy activity are accounted
 /// exactly as in the cycle-level models.
 fn simulate_layer(layer: &Layer, cfg: &SpartenConfig) -> RunMetrics {
+    simulate_layer_traced(layer, cfg, 0, &mut NullSink)
+}
+
+/// [`simulate_layer`] with trace emission: the layer becomes one unit
+/// whose single compute event spans its whole modeled run starting at
+/// `t0`. Busy is the effectual-MAC share of the span; intersection /
+/// load-balance inefficiency (`1 - compute_efficiency`) lands on
+/// `MergeBound`; whatever the memory bound adds on top (all of it, for
+/// the streaming Add/pool passes) is `DramThrottled`.
+fn simulate_layer_traced(
+    layer: &Layer,
+    cfg: &SpartenConfig,
+    t0: u64,
+    sink: &mut dyn TraceSink,
+) -> RunMetrics {
+    let unit = sink.unit(&layer.name, UnitKind::Layer);
     let mut m = RunMetrics::default();
     let mut mem = MemHarness::new(cfg.dram_bytes_per_cycle);
     let in_elems = layer.input.volume() as f64;
     let out_elems = layer.output.volume() as f64;
+
+    let emit_compute = |sink: &mut dyn TraceSink, m: &RunMetrics, busy: f64, stalls: [f64; 4]| {
+        if sink.enabled() {
+            sink.emit(TraceEvent::Compute {
+                unit,
+                t: t0,
+                cycles: m.cycles,
+                busy,
+                stalls,
+            });
+        }
+    };
 
     match layer.kind {
         LayerKind::Add => {
@@ -100,8 +129,11 @@ fn simulate_layer(layer: &Layer, cfg: &SpartenConfig) -> RunMetrics {
             // written as that conv's output (already counted there).
             let read = bitmask_act_bytes(in_elems, layer.in_act_density);
             m.cycles = (read / cfg.dram_bytes_per_cycle).ceil() as u64;
-            mem.transfer(0.0, read, 0.0, m.cycles.max(1));
+            mem.transfer_traced(0.0, read, 0.0, m.cycles.max(1), t0, unit, sink);
             mem.finish(&mut m);
+            let mut stalls = [0.0; 4];
+            stalls[StallKind::DramThrottled.index()] = m.cycles as f64;
+            emit_compute(sink, &m, 0.0, stalls);
             return m;
         }
         LayerKind::MaxPool { .. } | LayerKind::GlobalAvgPool => {
@@ -109,8 +141,11 @@ fn simulate_layer(layer: &Layer, cfg: &SpartenConfig) -> RunMetrics {
             let read = bitmask_act_bytes(in_elems, layer.in_act_density);
             let write = bitmask_act_bytes(out_elems, layer.out_act_density);
             m.cycles = ((read + write) / cfg.dram_bytes_per_cycle).ceil() as u64;
-            mem.transfer(0.0, read, write, m.cycles.max(1));
+            mem.transfer_traced(0.0, read, write, m.cycles.max(1), t0, unit, sink);
             mem.finish(&mut m);
+            let mut stalls = [0.0; 4];
+            stalls[StallKind::DramThrottled.index()] = m.cycles as f64;
+            emit_compute(sink, &m, 0.0, stalls);
             return m;
         }
         _ => {}
@@ -148,11 +183,27 @@ fn simulate_layer(layer: &Layer, cfg: &SpartenConfig) -> RunMetrics {
     m.cycles = cycles as u64;
     m.mac_util
         .add(m.effectual_macs / cfg.total_macs() as f64, m.cycles);
-    mem.transfer(weight_read, input_read, output_write, m.cycles);
+    mem.transfer_traced(
+        weight_read,
+        input_read,
+        output_write,
+        m.cycles,
+        t0,
+        unit,
+        sink,
+    );
     mem.finish(&mut m);
     // 4 local bytes per MAC: a 16-bit partial read-modify-write in the
     // cluster buffer.
     m.charge_compute_activity(m.effectual_macs, 4.0);
+    if sink.enabled() {
+        // Cycles an ideal 100%-efficient array would need: the busy time.
+        let ideal = m.effectual_macs / cfg.total_macs() as f64;
+        let mut stalls = [0.0; 4];
+        stalls[StallKind::MergeBound.index()] = compute_cycles - ideal;
+        stalls[StallKind::DramThrottled.index()] = m.cycles as f64 - compute_cycles;
+        emit_compute(sink, &m, ideal, stalls);
+    }
     m
 }
 
@@ -172,6 +223,24 @@ impl Accelerator for SpartenConfig {
         let mut out = NetworkMetrics::default();
         for node in net.nodes() {
             let m = simulate_layer(&node.layer, self);
+            out.push_group(node.layer.name.clone(), m, Vec::new());
+        }
+        out
+    }
+
+    /// Layers execute strictly one after another, so each layer's single
+    /// compute event starts where the previous layer's cycles ended.
+    fn simulate_traced(
+        &self,
+        net: &Network,
+        _seed: u64,
+        sink: &mut dyn TraceSink,
+    ) -> NetworkMetrics {
+        let mut out = NetworkMetrics::default();
+        let mut t0 = 0u64;
+        for node in net.nodes() {
+            let m = simulate_layer_traced(&node.layer, self, t0, sink);
+            t0 += m.cycles;
             out.push_group(node.layer.name.clone(), m, Vec::new());
         }
         out

@@ -1,10 +1,22 @@
 //! One-screen summary of the full evaluation: per-workload speedups,
 //! traffic, and utilizations, with the paper's headline gmeans.
+//!
+//! With `--trace`, additionally re-runs the whole 11 × 4 matrix with
+//! event tracing attached and writes `results/traces/stall_summary.md`:
+//! per-model aggregate stall shares (busy / input-starved /
+//! output-blocked / dram-throttled / merge-bound, cycle-weighted over
+//! every unit of every workload). Tracing is uncached and observes the
+//! same simulations, so the printed table is unaffected.
+use std::fmt::Write as _;
+
 use isos_sim::stats::geometric_mean;
+use isos_trace::StallKind;
 use isosceles_bench::engine::SuiteEngine;
 use isosceles_bench::suite::SEED;
+use isosceles_bench::trace::{accel_by_name, trace_workload, MODEL_NAMES, TRACE_DIR};
 
 fn main() {
+    let trace = std::env::args().skip(1).any(|a| a == "--trace");
     let rows = SuiteEngine::from_env().run_suite(SEED).rows;
     println!(
         "{:<5} {:>8} {:>8} {:>8} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8}",
@@ -33,4 +45,60 @@ fn main() {
     }
     println!("gmean IvsSparTen={:.2} (paper 4.3)  IvsFused={:.2} (paper 7.5)  traffic S/I={:.2} (paper 4.7)",
         geometric_mean(&vs_sparten), geometric_mean(&vs_fused), geometric_mean(&traffic));
+
+    if trace {
+        let ids: Vec<String> = rows.iter().map(|r| r.id.to_string()).collect();
+        match write_stall_summary(&ids) {
+            Ok(path) => eprintln!("stall summary written to {path}"),
+            Err(e) => {
+                eprintln!("error: failed to write stall summary: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Traces every workload on every model and writes the cycle-weighted
+/// per-model stall-share table. Returns the written path.
+fn write_stall_summary(ids: &[String]) -> std::io::Result<String> {
+    let mut md = String::from(
+        "# Suite stall attribution\n\n\
+         Cycle-weighted occupancy over every traced unit of every suite\n\
+         workload, per model (from `suite_summary --trace`).\n\n\
+         | model | unit-cycles | busy |",
+    );
+    for kind in StallKind::ALL {
+        let _ = write!(md, " {} |", kind.label().replace('_', "-"));
+    }
+    md.push_str("\n|---|---:|---:|---:|---:|---:|---:|\n");
+
+    for model in MODEL_NAMES {
+        let accel = accel_by_name(model).expect("known model");
+        let mut cycles = 0u64;
+        let mut busy = 0.0f64;
+        let mut stalls = [0.0f64; 4];
+        for id in ids {
+            let w = isos_nn::models::suite_workload(id, SEED);
+            let run = trace_workload(&w, accel.as_ref(), SEED);
+            for b in run.buffer.breakdowns() {
+                cycles += b.cycles;
+                busy += b.busy;
+                for (acc, s) in stalls.iter_mut().zip(&b.stalls) {
+                    *acc += s;
+                }
+            }
+            eprintln!("traced {model}/{id}");
+        }
+        let total = (cycles as f64).max(1.0);
+        let _ = write!(md, "| {model} | {cycles} | {:.1}% |", 100.0 * busy / total);
+        for kind in StallKind::ALL {
+            let _ = write!(md, " {:.1}% |", 100.0 * stalls[kind.index()] / total);
+        }
+        md.push('\n');
+    }
+
+    std::fs::create_dir_all(TRACE_DIR)?;
+    let path = format!("{TRACE_DIR}/stall_summary.md");
+    std::fs::write(&path, md)?;
+    Ok(path)
 }

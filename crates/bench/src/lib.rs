@@ -6,12 +6,14 @@
 //! results in an on-disk cache; [`suite`] holds the result data model
 //! (built on `isos_sim::metrics`, with per-group *and* per-layer
 //! breakdowns); [`report`] derives the standard CSV/markdown tables,
-//! including the per-layer traffic split. The binaries under `src/bin/`
-//! each regenerate one table or figure from those results (see
-//! DESIGN.md's experiment index).
+//! including the per-layer traffic split; [`trace`] runs any suite
+//! workload with event tracing attached and exports Perfetto/CSV/markdown
+//! timelines. The binaries under `src/bin/` each regenerate one table or
+//! figure from those results (see DESIGN.md's experiment index).
 
 #![warn(missing_docs)]
 
 pub mod engine;
 pub mod report;
 pub mod suite;
+pub mod trace;

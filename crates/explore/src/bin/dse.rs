@@ -19,10 +19,31 @@
 use isos_explore::report::{to_markdown, write_all};
 use isos_explore::search::{search, SearchOptions};
 use isos_explore::space::DesignSpace;
-use isos_nn::models::suite_workload;
+use isos_nn::models::{try_suite_workload, SUITE_IDS};
 use isosceles_bench::engine::SuiteEngine;
 use isosceles_bench::suite::SEED;
 use std::path::PathBuf;
+use std::process::exit;
+
+/// Prints the error and usage to stderr and exits with status 2.
+fn usage(error: &str) -> ! {
+    eprintln!("error: {error}");
+    eprintln!(
+        "usage: dse [--net ID] [--top-k N] [--budget-mm2 F] [--smoke]\n\
+         \u{20}          [--out DIR] [--seed N] [--threads N] [--no-cache]\n\
+         \n\
+         --net ID        workload to explore (default R96); one of {}\n\
+         --top-k N       survivors to simulate cycle-level (default 8)\n\
+         --budget-mm2 F  discard screened points above F mm\u{b2} at 45 nm\n\
+         --smoke         tiny 4-point space for CI\n\
+         --out DIR       output directory (default results/dse)\n\
+         --seed N        simulation seed (default {SEED})\n\
+         --threads N     engine worker threads (also ISOS_THREADS)\n\
+         --no-cache      disable the engine result cache (also ISOS_NO_CACHE)",
+        SUITE_IDS.join(", "),
+    );
+    exit(2);
+}
 
 fn main() {
     let mut net = "R96".to_string();
@@ -34,31 +55,40 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .unwrap_or_else(|| panic!("{name} needs a value"))
-                .clone()
+        let mut value = |name: &str| match it.next() {
+            Some(v) => v.clone(),
+            None => usage(&format!("{name} needs a value")),
         };
         match arg.as_str() {
             "--net" => net = value("--net"),
-            "--top-k" => opts.top_k = value("--top-k").parse().expect("--top-k N"),
-            "--budget-mm2" => {
-                opts.budget_mm2 = Some(value("--budget-mm2").parse().expect("--budget-mm2 F"));
-            }
+            "--top-k" => match value("--top-k").parse() {
+                Ok(n) => opts.top_k = n,
+                Err(_) => usage("--top-k needs an integer"),
+            },
+            "--budget-mm2" => match value("--budget-mm2").parse() {
+                Ok(f) => opts.budget_mm2 = Some(f),
+                Err(_) => usage("--budget-mm2 needs a number"),
+            },
             "--smoke" => smoke = true,
             "--out" => out = PathBuf::from(value("--out")),
-            "--seed" => seed = value("--seed").parse().expect("--seed N"),
+            "--seed" => match value("--seed").parse() {
+                Ok(n) => seed = n,
+                Err(_) => usage("--seed needs an integer"),
+            },
             // Engine flags (--threads, --no-cache) are parsed by
             // EngineOptions::from_env; everything else is rejected.
             "--threads" => {
                 let _ = value("--threads");
             }
             "--no-cache" => {}
-            other => panic!("unknown flag {other}; see the module docs"),
+            "--help" | "-h" => usage("help requested"),
+            other => usage(&format!("unknown flag {other}")),
         }
     }
 
-    let workload = suite_workload(&net, seed);
+    let Some(workload) = try_suite_workload(&net, seed) else {
+        usage(&format!("unknown workload id {net}"));
+    };
     let space = if smoke {
         DesignSpace::smoke()
     } else {

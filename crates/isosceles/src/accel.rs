@@ -23,6 +23,7 @@ use crate::mapping::ExecMode;
 use crate::metrics::NetworkMetrics;
 use crate::IsoscelesConfig;
 use isos_nn::graph::Network;
+use isos_trace::TraceSink;
 
 /// A cycle-level accelerator performance model.
 ///
@@ -47,6 +48,23 @@ pub trait Accelerator: Sync {
 
     /// Simulates `net` end to end and returns its metrics.
     fn simulate(&self, net: &Network, seed: u64) -> NetworkMetrics;
+
+    /// Simulates `net` while emitting trace events to `sink`.
+    ///
+    /// With a disabled sink this must return metrics bit-identical to
+    /// [`simulate`](Accelerator::simulate) — and instrumented models
+    /// keep that guarantee with an *enabled* sink too, since tracing
+    /// only observes the simulation. The default implementation ignores
+    /// the sink; every model in this workspace overrides it.
+    fn simulate_traced(
+        &self,
+        net: &Network,
+        seed: u64,
+        sink: &mut dyn TraceSink,
+    ) -> NetworkMetrics {
+        let _ = sink;
+        self.simulate(net, seed)
+    }
 }
 
 /// FNV-1a offset basis.
@@ -87,6 +105,15 @@ impl Accelerator for IsoscelesConfig {
 
     fn simulate(&self, net: &Network, seed: u64) -> NetworkMetrics {
         crate::arch::run_network(net, self, ExecMode::Pipelined, seed)
+    }
+
+    fn simulate_traced(
+        &self,
+        net: &Network,
+        seed: u64,
+        sink: &mut dyn TraceSink,
+    ) -> NetworkMetrics {
+        crate::arch::run_network_traced(net, self, ExecMode::Pipelined, seed, sink)
     }
 }
 

@@ -19,6 +19,7 @@ use isos_nn::work::{layer_work, LayerWork};
 use isos_sim::dram::arbitrate;
 use isos_sim::harness::{MemClient, MemHarness};
 use isos_sim::stats::Utilization;
+use isos_trace::{NullSink, StallKind, TraceEvent, TraceSink, UnitId, UnitKind};
 
 /// Where a simulated layer's input comes from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -115,6 +116,26 @@ pub fn simulate_group(
     group: &PipelineGroup,
     seed: u64,
 ) -> GroupRun {
+    simulate_group_traced(net, cfg, group, seed, 0, &mut NullSink)
+}
+
+/// [`simulate_group`] with trace emission.
+///
+/// When `sink` is enabled, every member layer becomes one trace unit and
+/// every scheduler interval emits one compute event per unit — effectual
+/// busy time plus the stall taxonomy, conserving the interval length —
+/// and one DRAM event per memory stream. `t0` offsets event timestamps
+/// so consecutive groups of a network land on one shared timeline.
+/// Tracing only observes the simulation: the returned metrics are
+/// bit-identical to the untraced run either way.
+pub fn simulate_group_traced(
+    net: &Network,
+    cfg: &IsoscelesConfig,
+    group: &PipelineGroup,
+    seed: u64,
+    t0: u64,
+    sink: &mut dyn TraceSink,
+) -> GroupRun {
     let (mut layers, mut ext_streams) = build_group_state(net, cfg, group, seed);
     let interval = cfg.scheduler_interval;
     let total_macs = cfg.total_macs() as f64;
@@ -122,12 +143,28 @@ pub fn simulate_group(
     let mut sched = DynamicScheduler::new(total_macs);
     let mut metrics = RunMetrics::default();
 
+    let tracing = sink.enabled();
+    let unit_ids: Vec<UnitId> = layers
+        .iter()
+        .map(|l| sink.unit(&l.work.name, UnitKind::Layer))
+        .collect();
+
     let safety_cycles: u64 = 500_000_000_000;
     let mut stalled_intervals = 0u32;
     loop {
+        let t_start = t0 + metrics.cycles;
         // 1. Wavefront-dependency analysis: how far may each layer run?
         let n = layers.len();
         let mut ready = vec![0usize; n];
+        // Stall-attribution observations (integer snapshots; free to
+        // compute, only read when tracing).
+        let mut r_inputs = vec![0usize; n];
+        let mut r_bps = vec![usize::MAX; n];
+        let mut gated = vec![false; n];
+        let done_before: Vec<bool> = layers
+            .iter()
+            .map(|l| l.cols_done >= l.work.out_cols)
+            .collect();
         for i in 0..n {
             let avail_in = layers[i]
                 .producers
@@ -138,9 +175,10 @@ pub fn simulate_group(
                 })
                 .min()
                 .unwrap_or(layers[i].work.in_cols);
-            let mut r = max_out_cols(&layers[i].work, avail_in);
+            let r_input = max_out_cols(&layers[i].work, avail_in);
             // Backpressure: don't run more than `ahead_cols` past the
             // slowest in-group consumer.
+            let mut r_bp = usize::MAX;
             for j in 0..n {
                 if layers[j].producers.contains(&Source::Local(i)) {
                     let consumed = if layers[j].cols_done >= layers[j].work.out_cols {
@@ -148,13 +186,19 @@ pub fn simulate_group(
                     } else {
                         layers[j].cols_done * layers[j].work.stride
                     };
-                    r = r.min(consumed.saturating_add(layers[i].ahead_cols));
+                    r_bp = r_bp.min(consumed.saturating_add(layers[i].ahead_cols));
                 }
             }
-            if layers[i].weight_left > 0.0 {
-                r = layers[i].cols_done;
-            }
+            let weight_gated = layers[i].weight_left > 0.0;
+            let r = if weight_gated {
+                layers[i].cols_done
+            } else {
+                r_input.min(r_bp)
+            };
             ready[i] = r.clamp(layers[i].cols_done, layers[i].work.out_cols);
+            r_inputs[i] = r_input;
+            r_bps[i] = r_bp;
+            gated[i] = weight_gated;
         }
 
         // 2. MAC demand and dynamic allocation.
@@ -169,9 +213,11 @@ pub fn simulate_group(
         let mut executed_total = 0.0;
         let mut leftover_pes = 0.0;
         let mut unmet: Vec<f64> = vec![0.0; n];
+        let mut used_per = vec![0.0f64; n];
         for i in 0..n {
             let budget = demand[i].min(alloc[i] * interval_capacity);
             let used = advance_layer(&mut layers[i], budget, ready[i]);
+            used_per[i] = used;
             executed_total += used;
             leftover_pes += (alloc[i] * interval_capacity - used) / interval_capacity;
             unmet[i] = (demand[i] - used).max(0.0);
@@ -180,11 +226,15 @@ pub fn simulate_group(
         // since the last interval pick up queued work from other contexts
         // (the scheduler reallocates shares only every interval, but idle
         // PEs still drain whatever is in their context queues).
+        let mut extra_share = vec![0.0f64; n];
         if leftover_pes > 0.0 {
             let extra = arbitrate(&unmet, leftover_pes * interval_capacity);
             for i in 0..n {
                 if extra[i] > 0.0 {
-                    executed_total += advance_layer(&mut layers[i], extra[i], ready[i]);
+                    let used = advance_layer(&mut layers[i], extra[i], ready[i]);
+                    used_per[i] += used;
+                    executed_total += used;
+                    extra_share[i] = extra[i];
                 }
             }
         }
@@ -194,15 +244,17 @@ pub fn simulate_group(
         // accumulate). Weight streams first (same order every interval),
         // then the external input streams, prefetching a few columns ahead
         // of the consumers (the decoupled fetcher FSMs of Sec. IV-A).
+        // Clients carry the trace unit of the layer their stream serves.
         let prefetch = 8usize;
-        let clients: Vec<MemClient> =
-            layers
-                .iter()
-                .map(|l| MemClient::weight(l.weight_left))
-                .chain(ext_streams.iter().map(|s| {
-                    MemClient::activation(s.remaining_bytes_to(s.fetched_cols + prefetch))
-                }))
-                .collect();
+        let clients: Vec<MemClient> = layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| MemClient::weight(l.weight_left).for_unit(unit_ids[i]))
+            .chain(ext_streams.iter().map(|s| {
+                MemClient::activation(s.remaining_bytes_to(s.fetched_cols + prefetch))
+                    .for_unit(unit_ids[s.owner])
+            }))
+            .collect();
         let write_pending: Vec<f64> = layers
             .iter()
             .map(|l| {
@@ -213,7 +265,7 @@ pub fn simulate_group(
                 }
             })
             .collect();
-        let grants = mem.step(&clients, &write_pending, interval);
+        let grants = mem.step_traced(&clients, &write_pending, &unit_ids, interval, t_start, sink);
         for (i, l) in layers.iter_mut().enumerate() {
             l.weight_left = (l.weight_left - grants.reads[i]).max(0.0);
             l.weight_streamed += grants.reads[i];
@@ -226,6 +278,73 @@ pub fn simulate_group(
         // Writeback distributed proportionally across sinks.
         for (l, w) in layers.iter_mut().zip(&grants.writes) {
             l.written_bytes += w;
+        }
+
+        // Per-unit occupancy attribution for this interval. Pure
+        // observation of the state the simulation already computed: busy
+        // is the effectual share of the PE time each context was offered,
+        // the intersection/merge inefficiency (`1 - pe_efficiency`) and
+        // scheduler-lag contention land on `MergeBound`, and idle time is
+        // classified by *why* the context could not run (weights still
+        // streaming, upstream wavefront missing, downstream queue budget,
+        // or writeback drain).
+        if tracing {
+            let t_f = interval as f64;
+            for i in 0..n {
+                let l = &layers[i];
+                let wb_now = l.writes_extern && l.produced_bytes - l.written_bytes >= 1.0;
+                let mut busy = 0.0;
+                let mut stalls = [0.0f64; 4];
+                if done_before[i] {
+                    // Compute finished in an earlier interval: the context
+                    // is either draining writeback or simply drained.
+                    let k = if wb_now {
+                        StallKind::DramThrottled
+                    } else {
+                        StallKind::InputStarved
+                    };
+                    stalls[k.index()] = t_f;
+                } else if gated[i] {
+                    // Weights still streaming from DRAM gate all issue.
+                    stalls[StallKind::DramThrottled.index()] = t_f;
+                } else {
+                    let offered = alloc[i] * interval_capacity + extra_share[i];
+                    let active = if offered > 1e-9 {
+                        (used_per[i] / offered).min(1.0) * t_f
+                    } else {
+                        0.0
+                    };
+                    busy = active * cfg.pe_efficiency;
+                    stalls[StallKind::MergeBound.index()] += active - busy;
+                    let idle = t_f - active;
+                    if idle > 0.0 {
+                        let k = if demand[i] - used_per[i] > 1e-9 {
+                            // Ready work left unserved: shared-array
+                            // contention / scheduler-interval lag.
+                            StallKind::MergeBound
+                        } else if ready[i] >= l.work.out_cols {
+                            // Finished mid-interval.
+                            if wb_now {
+                                StallKind::DramThrottled
+                            } else {
+                                StallKind::InputStarved
+                            }
+                        } else if r_bps[i] < r_inputs[i] {
+                            StallKind::OutputBlocked
+                        } else {
+                            StallKind::InputStarved
+                        };
+                        stalls[k.index()] += idle;
+                    }
+                }
+                sink.emit(TraceEvent::Compute {
+                    unit: unit_ids[i],
+                    t: t_start,
+                    cycles: interval,
+                    busy,
+                    stalls,
+                });
+            }
         }
 
         // 4. Bookkeeping.
@@ -338,6 +457,18 @@ pub fn run_network(
     simulate_mapping(net, cfg, &mapping, seed)
 }
 
+/// [`run_network`] with trace emission (see [`simulate_group_traced`]).
+pub fn run_network_traced(
+    net: &Network,
+    cfg: &IsoscelesConfig,
+    mode: ExecMode,
+    seed: u64,
+    sink: &mut dyn TraceSink,
+) -> NetworkMetrics {
+    let mapping = map_network(net, cfg, mode);
+    simulate_mapping_traced(net, cfg, &mapping, seed, sink)
+}
+
 /// Simulates a network under a precomputed mapping.
 pub fn simulate_mapping(
     net: &Network,
@@ -345,9 +476,25 @@ pub fn simulate_mapping(
     mapping: &Mapping,
     seed: u64,
 ) -> NetworkMetrics {
+    simulate_mapping_traced(net, cfg, mapping, seed, &mut NullSink)
+}
+
+/// [`simulate_mapping`] with trace emission. Groups run sequentially on
+/// the shared IS-OS block, so each group's events start where the
+/// previous group's cycles ended and the whole network lands on one
+/// timeline.
+pub fn simulate_mapping_traced(
+    net: &Network,
+    cfg: &IsoscelesConfig,
+    mapping: &Mapping,
+    seed: u64,
+    sink: &mut dyn TraceSink,
+) -> NetworkMetrics {
     let mut out = NetworkMetrics::default();
+    let mut t0 = 0u64;
     for group in &mapping.groups {
-        let run = simulate_group(net, cfg, group, seed);
+        let run = simulate_group_traced(net, cfg, group, seed, t0, sink);
+        t0 += run.metrics.cycles;
         out.push_group(group.name.clone(), run.metrics, run.layers);
     }
     out

@@ -61,16 +61,32 @@ pub fn paper_suite(seed: u64) -> Vec<Workload> {
     suite
 }
 
+/// The 11 suite workload ids, in paper figure order (what
+/// [`paper_suite`] returns and [`suite_workload`] accepts).
+pub const SUITE_IDS: [&str; 11] = [
+    "R81", "R90", "R95", "R96", "R98", "R99", "V68", "V90", "G58", "M75", "M89",
+];
+
+/// Looks up one suite workload by its short id; `None` for ids outside
+/// the suite.
+pub fn try_suite_workload(id: &str, seed: u64) -> Option<Workload> {
+    paper_suite(seed).into_iter().find(|w| w.id == id)
+}
+
 /// Looks up one suite workload by its short id.
 ///
 /// # Panics
 ///
-/// Panics if `id` is not one of the 11 suite ids.
+/// Panics if `id` is not one of the 11 suite ids ([`SUITE_IDS`]); the
+/// message lists the valid ids. CLI code that wants to recover should
+/// use [`try_suite_workload`] instead.
 pub fn suite_workload(id: &str, seed: u64) -> Workload {
-    paper_suite(seed)
-        .into_iter()
-        .find(|w| w.id == id)
-        .unwrap_or_else(|| panic!("unknown workload id {id}"))
+    try_suite_workload(id, seed).unwrap_or_else(|| {
+        panic!(
+            "unknown workload id {id:?}: valid suite ids are {}",
+            SUITE_IDS.join(", ")
+        )
+    })
 }
 
 #[cfg(test)]
@@ -100,5 +116,28 @@ mod tests {
     #[should_panic(expected = "unknown workload")]
     fn unknown_id_panics() {
         suite_workload("X42", 1);
+    }
+
+    #[test]
+    fn try_lookup_covers_exactly_the_suite_ids() {
+        for id in SUITE_IDS {
+            let w = try_suite_workload(id, 1).expect(id);
+            assert_eq!(w.id, id);
+        }
+        assert!(try_suite_workload("X42", 1).is_none());
+        assert!(try_suite_workload("", 1).is_none());
+    }
+
+    #[test]
+    fn panic_message_lists_valid_ids() {
+        let err = std::panic::catch_unwind(|| suite_workload("X42", 1))
+            .expect_err("must panic on unknown id");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic payload is a String");
+        assert!(msg.contains("unknown workload id \"X42\""), "{msg}");
+        for id in SUITE_IDS {
+            assert!(msg.contains(id), "message misses {id}: {msg}");
+        }
     }
 }

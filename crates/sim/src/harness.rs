@@ -42,6 +42,7 @@
 use crate::dram::{arbitrate, Dram, DramTraffic};
 use crate::metrics::RunMetrics;
 use crate::stats::Utilization;
+use isos_trace::{emit_dram, DramClass, TraceSink, UnitId};
 
 /// Accounting class of a memory client's granted reads (the Fig. 14c
 /// weight/activation traffic split).
@@ -61,6 +62,9 @@ pub struct MemClient {
     /// Bytes the client wants to read this interval. Demand beyond the
     /// interval's DRAM capacity is clamped before arbitration.
     pub read: f64,
+    /// Trace unit the client's stream serves; [`UnitId::NONE`] (the
+    /// constructor default) when the caller does not trace.
+    pub unit: UnitId,
 }
 
 impl MemClient {
@@ -69,6 +73,7 @@ impl MemClient {
         Self {
             class: TrafficClass::Weight,
             read,
+            unit: UnitId::NONE,
         }
     }
 
@@ -77,7 +82,14 @@ impl MemClient {
         Self {
             class: TrafficClass::Activation,
             read,
+            unit: UnitId::NONE,
         }
+    }
+
+    /// Tags the client's granted bytes with a trace unit.
+    pub fn for_unit(mut self, unit: UnitId) -> Self {
+        self.unit = unit;
+        self
     }
 }
 
@@ -184,6 +196,47 @@ impl MemHarness {
         }
     }
 
+    /// [`step`](Self::step) plus trace emission: after granting, posts
+    /// one [DRAM event](isos_trace::TraceEvent::Dram) per client (and per
+    /// writer) to `sink`, carrying the raw posted demand against the
+    /// arbitrated grant. `write_units` tags the writeback queues, in
+    /// writer order (shorter slices leave the tail untagged). The grant
+    /// math is `step`'s, untouched — a disabled sink skips emission
+    /// entirely.
+    pub fn step_traced(
+        &mut self,
+        clients: &[MemClient],
+        writes: &[f64],
+        write_units: &[UnitId],
+        cycles: u64,
+        t: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Grants {
+        let grants = self.step(clients, writes, cycles);
+        if sink.enabled() {
+            for (client, &granted) in clients.iter().zip(&grants.reads) {
+                let class = match client.class {
+                    TrafficClass::Weight => DramClass::WeightRead,
+                    TrafficClass::Activation => DramClass::ActivationRead,
+                };
+                emit_dram(sink, client.unit, t, cycles, class, client.read, granted);
+            }
+            for (i, (&demand, &granted)) in writes.iter().zip(&grants.writes).enumerate() {
+                let unit = write_units.get(i).copied().unwrap_or(UnitId::NONE);
+                emit_dram(
+                    sink,
+                    unit,
+                    t,
+                    cycles,
+                    DramClass::ActivationWrite,
+                    demand,
+                    granted,
+                );
+            }
+        }
+        grants
+    }
+
     /// Closed-form convenience for the analytic models: one weight
     /// stream, one activation stream, and one writeback, granted over
     /// `cycles` cycles.
@@ -205,6 +258,32 @@ impl MemHarness {
             ],
             &[act_write],
             cycles,
+        )
+    }
+
+    /// [`transfer`](Self::transfer) plus trace emission, attributing all
+    /// three streams to `unit` at start cycle `t`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn transfer_traced(
+        &mut self,
+        weight_read: f64,
+        act_read: f64,
+        act_write: f64,
+        cycles: u64,
+        t: u64,
+        unit: UnitId,
+        sink: &mut dyn TraceSink,
+    ) -> Grants {
+        self.step_traced(
+            &[
+                MemClient::weight(weight_read).for_unit(unit),
+                MemClient::activation(act_read).for_unit(unit),
+            ],
+            &[act_write],
+            &[unit],
+            cycles,
+            t,
+            sink,
         )
     }
 
@@ -298,6 +377,52 @@ mod tests {
         assert_eq!(m.act_traffic, 400.0);
         assert_eq!(m.activity.dram_bytes, 1000.0);
         assert!((m.bw_util.ratio() - 1000.0 / 12800.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traced_step_matches_untraced_and_records_grants() {
+        use isos_trace::{EventBuffer, NullSink, TraceEvent, UnitKind};
+        let clients = [
+            MemClient::weight(900.0).for_unit(UnitId(0)),
+            MemClient::activation(600.0).for_unit(UnitId(1)),
+        ];
+        let mut plain = MemHarness::new(10.0);
+        let gp = plain.step(&clients, &[500.0], 100);
+
+        let mut nulled = MemHarness::new(10.0);
+        let gn = nulled.step_traced(&clients, &[500.0], &[UnitId(1)], 100, 0, &mut NullSink);
+        assert_eq!(gp, gn);
+        assert_eq!(plain.traffic(), nulled.traffic());
+
+        let mut traced = MemHarness::new(10.0);
+        let mut buf = EventBuffer::new();
+        buf.unit("a", UnitKind::Layer);
+        buf.unit("b", UnitKind::Layer);
+        let gt = traced.step_traced(&clients, &[500.0], &[UnitId(1)], 100, 700, &mut buf);
+        assert_eq!(gp, gt);
+        // One event per client plus the writer, demand vs. grant intact.
+        assert_eq!(buf.len(), 3);
+        match buf.events()[0] {
+            TraceEvent::Dram {
+                unit,
+                t,
+                class,
+                demand,
+                granted,
+                ..
+            } => {
+                assert_eq!(unit, UnitId(0));
+                assert_eq!(t, 700);
+                assert_eq!(class, DramClass::WeightRead);
+                assert_eq!(demand, 900.0);
+                assert_eq!(granted, gp.reads[0]);
+            }
+            _ => panic!("expected DRAM event"),
+        }
+        let totals = buf.dram_totals();
+        assert_eq!(totals.granted(DramClass::WeightRead), gp.reads[0]);
+        assert_eq!(totals.granted(DramClass::ActivationRead), gp.reads[1]);
+        assert_eq!(totals.granted(DramClass::ActivationWrite), gp.writes[0]);
     }
 
     #[test]

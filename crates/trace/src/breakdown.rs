@@ -1,0 +1,191 @@
+//! Per-unit aggregation of the event stream: stall breakdowns and DRAM
+//! demand/grant totals.
+//!
+//! [`StallBreakdown`] carries the conservation invariant at the heart of
+//! the trace subsystem: for every traced unit, `busy + Σ stalls` equals
+//! the unit's recorded cycles (to float rounding), exactly mirroring the
+//! per-layer `RunMetrics` discipline where breakdowns must sum back to
+//! totals. A trace that drops or double-counts an interval is visible as
+//! a conservation violation, not as a silently wrong timeline.
+
+use crate::event::{DramClass, StallKind, UnitId, UnitKind};
+
+/// Aggregated occupancy of one unit over a whole run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StallBreakdown {
+    /// The unit's id in its buffer.
+    pub unit: UnitId,
+    /// The unit's display name.
+    pub name: String,
+    /// What the unit models.
+    pub kind: UnitKind,
+    /// Total cycles covered by the unit's compute events.
+    pub cycles: u64,
+    /// Effectual-work cycles.
+    pub busy: f64,
+    /// Stall cycles by [`StallKind::index`].
+    pub stalls: [f64; 4],
+}
+
+impl StallBreakdown {
+    /// An empty breakdown for `unit`.
+    pub fn new(unit: UnitId, name: String, kind: UnitKind) -> Self {
+        Self {
+            unit,
+            name,
+            kind,
+            cycles: 0,
+            busy: 0.0,
+            stalls: [0.0; 4],
+        }
+    }
+
+    /// Folds one compute event into the aggregate.
+    pub fn add(&mut self, cycles: u64, busy: f64, stalls: &[f64; 4]) {
+        self.cycles += cycles;
+        self.busy += busy;
+        for (acc, s) in self.stalls.iter_mut().zip(stalls) {
+            *acc += s;
+        }
+    }
+
+    /// Total stall cycles across the taxonomy.
+    pub fn stall_total(&self) -> f64 {
+        self.stalls.iter().sum()
+    }
+
+    /// `busy + Σ stalls` — equals [`cycles`](Self::cycles) (to float
+    /// rounding) for any conserving emitter.
+    pub fn accounted(&self) -> f64 {
+        self.busy + self.stall_total()
+    }
+
+    /// Busy fraction of the unit's cycles (0 when the unit never ran).
+    pub fn busy_frac(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.busy / self.cycles as f64
+        }
+    }
+
+    /// Fraction of the unit's cycles lost to `kind`.
+    pub fn stall_frac(&self, kind: StallKind) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.stalls[kind.index()] / self.cycles as f64
+        }
+    }
+
+    /// The dominant state label: `"busy"` or the largest stall kind.
+    /// Ties break toward `busy`, then taxonomy order.
+    pub fn dominant(&self) -> &'static str {
+        dominant_state(self.busy, &self.stalls)
+    }
+}
+
+/// The dominant state of a busy/stall split: `"busy"` if busy is at
+/// least every stall component, else the largest stall's label (first in
+/// taxonomy order on ties).
+pub fn dominant_state(busy: f64, stalls: &[f64; 4]) -> &'static str {
+    let mut best = "busy";
+    let mut best_v = busy;
+    for kind in StallKind::ALL {
+        let v = stalls[kind.index()];
+        if v > best_v {
+            best = kind.label();
+            best_v = v;
+        }
+    }
+    best
+}
+
+/// Per-class DRAM demand and grant totals.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DramTotals {
+    demand: [f64; 3],
+    granted: [f64; 3],
+}
+
+impl DramTotals {
+    /// Folds one demand/grant observation into the totals.
+    pub fn add(&mut self, class: DramClass, demand: f64, granted: f64) {
+        let i = class as usize;
+        self.demand[i] += demand;
+        self.granted[i] += granted;
+    }
+
+    /// Bytes demanded under `class`.
+    pub fn demand(&self, class: DramClass) -> f64 {
+        self.demand[class as usize]
+    }
+
+    /// Bytes granted under `class`.
+    pub fn granted(&self, class: DramClass) -> f64 {
+        self.granted[class as usize]
+    }
+
+    /// Granted bytes over all classes and directions.
+    pub fn total_granted(&self) -> f64 {
+        self.granted.iter().sum()
+    }
+
+    /// Granted activation bytes, read plus write (the `act_traffic`
+    /// convention of `RunMetrics`).
+    pub fn act_granted(&self) -> f64 {
+        self.granted(DramClass::ActivationRead) + self.granted(DramClass::ActivationWrite)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_accumulates_and_fractions() {
+        let mut b = StallBreakdown::new(UnitId(0), "conv".into(), UnitKind::Layer);
+        b.add(100, 40.0, &[10.0, 20.0, 30.0, 0.0]);
+        b.add(100, 60.0, &[0.0, 0.0, 40.0, 0.0]);
+        assert_eq!(b.cycles, 200);
+        assert_eq!(b.busy, 100.0);
+        assert_eq!(b.stall_total(), 100.0);
+        assert_eq!(b.accounted(), 200.0);
+        assert_eq!(b.busy_frac(), 0.5);
+        assert_eq!(b.stall_frac(StallKind::DramThrottled), 0.35);
+        assert_eq!(b.dominant(), "busy");
+    }
+
+    #[test]
+    fn empty_breakdown_has_zero_fractions() {
+        let b = StallBreakdown::new(UnitId(0), "x".into(), UnitKind::Group);
+        assert_eq!(b.busy_frac(), 0.0);
+        assert_eq!(b.stall_frac(StallKind::MergeBound), 0.0);
+        assert_eq!(b.dominant(), "busy");
+    }
+
+    #[test]
+    fn dominant_prefers_busy_on_ties_and_finds_max_stall() {
+        assert_eq!(dominant_state(10.0, &[10.0, 10.0, 10.0, 10.0]), "busy");
+        assert_eq!(
+            dominant_state(1.0, &[0.0, 5.0, 9.0, 2.0]),
+            StallKind::DramThrottled.label()
+        );
+        assert_eq!(
+            dominant_state(0.0, &[4.0, 4.0, 0.0, 0.0]),
+            StallKind::InputStarved.label()
+        );
+    }
+
+    #[test]
+    fn dram_totals_index_by_class() {
+        let mut t = DramTotals::default();
+        t.add(DramClass::WeightRead, 10.0, 8.0);
+        t.add(DramClass::ActivationRead, 4.0, 4.0);
+        t.add(DramClass::ActivationWrite, 2.0, 1.0);
+        assert_eq!(t.demand(DramClass::WeightRead), 10.0);
+        assert_eq!(t.granted(DramClass::WeightRead), 8.0);
+        assert_eq!(t.act_granted(), 5.0);
+        assert_eq!(t.total_granted(), 13.0);
+    }
+}

@@ -1,0 +1,279 @@
+//! The trace event model: units, stall taxonomy, and the two event kinds
+//! every accelerator model emits.
+//!
+//! A *unit* is one timeline in the trace — a pipeline stage (layer
+//! context) or a whole group. Models register units on a
+//! [`TraceSink`](crate::sink::TraceSink) and then emit interval-scoped
+//! events against them:
+//!
+//! - [`TraceEvent::Compute`]: one unit's occupancy over one interval,
+//!   split into effectual-busy time plus the four-way stall taxonomy of
+//!   [`StallKind`]. Within every event `busy + stalls` sums to the
+//!   interval length, so per-unit aggregates conserve cycles by
+//!   construction (the same discipline as the per-layer `RunMetrics`
+//!   breakdowns).
+//! - [`TraceEvent::Dram`]: one memory client's posted demand versus the
+//!   bytes the DRAM actually granted it this interval, classed by
+//!   direction and data kind. Granted bytes aggregate exactly to the
+//!   run's traffic totals because they are the *same* grants the memory
+//!   harness accumulates into `RunMetrics`.
+
+use std::fmt;
+
+/// Handle to one registered trace unit (a timeline).
+///
+/// Unit ids are dense indices assigned by the sink at registration; the
+/// reserved [`UnitId::NONE`] tags events (or memory clients) that belong
+/// to no registered unit, e.g. when tracing is disabled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UnitId(pub u32);
+
+impl UnitId {
+    /// The "no unit" sentinel returned by disabled sinks.
+    pub const NONE: UnitId = UnitId(u32::MAX);
+
+    /// Whether this id refers to a real registered unit.
+    pub fn is_some(self) -> bool {
+        self != Self::NONE
+    }
+
+    /// The id as a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`UnitId::NONE`].
+    pub fn index(self) -> usize {
+        assert!(self.is_some(), "UnitId::NONE has no index");
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for UnitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_some() {
+            write!(f, "u{}", self.0)
+        } else {
+            f.write_str("u-none")
+        }
+    }
+}
+
+/// What a registered unit models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnitKind {
+    /// One layer's execution context (a pipeline stage).
+    Layer,
+    /// A whole pipeline / fusion group.
+    Group,
+}
+
+impl UnitKind {
+    /// Stable lowercase label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            UnitKind::Layer => "layer",
+            UnitKind::Group => "group",
+        }
+    }
+}
+
+/// Why a unit was not doing effectual work during some slice of an
+/// interval.
+///
+/// The taxonomy follows the paper's bottleneck vocabulary (Sec. VI):
+/// pipeline stages *starve* when the upstream wavefront has not arrived,
+/// *block* when downstream queues exert backpressure, wait on *DRAM*
+/// for weights or writeback drain, and lose issue slots to the
+/// *merge/intersection* machinery (including scheduler-granularity
+/// fragmentation and shared-array contention, which are likewise
+/// compute-side losses).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StallKind {
+    /// Upstream has not produced the input wavefront this unit needs
+    /// (also: the unit drained early and has no work left in its group).
+    InputStarved,
+    /// Downstream backpressure: the consumer's decoupling queue budget
+    /// (`ahead_cols`) forbids running further ahead.
+    OutputBlocked,
+    /// Waiting on DRAM: weights not yet resident, input stream behind,
+    /// or produced output still draining to memory.
+    DramThrottled,
+    /// Compute-side loss: merge/intersection overhead while active, plus
+    /// scheduler fragmentation and shared-MAC-array contention.
+    MergeBound,
+}
+
+impl StallKind {
+    /// All four kinds, in canonical (export-column) order.
+    pub const ALL: [StallKind; 4] = [
+        StallKind::InputStarved,
+        StallKind::OutputBlocked,
+        StallKind::DramThrottled,
+        StallKind::MergeBound,
+    ];
+
+    /// Dense index of this kind inside per-event stall arrays.
+    pub fn index(self) -> usize {
+        match self {
+            StallKind::InputStarved => 0,
+            StallKind::OutputBlocked => 1,
+            StallKind::DramThrottled => 2,
+            StallKind::MergeBound => 3,
+        }
+    }
+
+    /// Stable snake_case label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            StallKind::InputStarved => "input_starved",
+            StallKind::OutputBlocked => "output_blocked",
+            StallKind::DramThrottled => "dram_throttled",
+            StallKind::MergeBound => "merge_bound",
+        }
+    }
+}
+
+impl fmt::Display for StallKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Accounting class of one DRAM demand/grant event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DramClass {
+    /// Compressed (or dense, for Fused-Layer) filter reads.
+    WeightRead,
+    /// Input-activation reads.
+    ActivationRead,
+    /// Output-activation writeback.
+    ActivationWrite,
+}
+
+impl DramClass {
+    /// All three classes, in canonical order.
+    pub const ALL: [DramClass; 3] = [
+        DramClass::WeightRead,
+        DramClass::ActivationRead,
+        DramClass::ActivationWrite,
+    ];
+
+    /// Stable snake_case label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            DramClass::WeightRead => "weight_read",
+            DramClass::ActivationRead => "act_read",
+            DramClass::ActivationWrite => "act_write",
+        }
+    }
+}
+
+impl fmt::Display for DramClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One traced observation. See the [module docs](self) for the model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// One unit's occupancy over `[t, t + cycles)`: `busy` effectual
+    /// cycles plus the four stall components, indexed by
+    /// [`StallKind::index`]. Emitters keep `busy + stalls.sum()` equal to
+    /// `cycles` (to float rounding).
+    Compute {
+        /// The unit this slice belongs to.
+        unit: UnitId,
+        /// Interval start, in cycles since the start of the network run.
+        t: u64,
+        /// Interval length in cycles.
+        cycles: u64,
+        /// Effectual-work cycles inside the interval.
+        busy: f64,
+        /// Stall cycles by [`StallKind::index`].
+        stalls: [f64; 4],
+    },
+    /// One memory client's interval on the DRAM interface: what it asked
+    /// for versus what the arbitrated grant gave it.
+    Dram {
+        /// The unit whose stream this client serves.
+        unit: UnitId,
+        /// Interval start, in cycles since the start of the network run.
+        t: u64,
+        /// Interval length in cycles.
+        cycles: u64,
+        /// Traffic class of the stream.
+        class: DramClass,
+        /// Bytes the client wanted to move this interval.
+        demand: f64,
+        /// Bytes the DRAM granted (what traffic accounting accumulates).
+        granted: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The unit the event is attributed to.
+    pub fn unit(&self) -> UnitId {
+        match *self {
+            TraceEvent::Compute { unit, .. } | TraceEvent::Dram { unit, .. } => unit,
+        }
+    }
+
+    /// The interval start cycle.
+    pub fn t(&self) -> u64 {
+        match *self {
+            TraceEvent::Compute { t, .. } | TraceEvent::Dram { t, .. } => t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_kind_indices_are_dense_and_ordered() {
+        for (i, k) in StallKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        let labels: Vec<&str> = StallKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "input_starved",
+                "output_blocked",
+                "dram_throttled",
+                "merge_bound"
+            ]
+        );
+    }
+
+    #[test]
+    fn unit_id_sentinel_behaves() {
+        assert!(!UnitId::NONE.is_some());
+        assert!(UnitId(0).is_some());
+        assert_eq!(UnitId(3).index(), 3);
+        assert_eq!(UnitId(3).to_string(), "u3");
+        assert_eq!(UnitId::NONE.to_string(), "u-none");
+    }
+
+    #[test]
+    #[should_panic(expected = "no index")]
+    fn none_unit_has_no_index() {
+        UnitId::NONE.index();
+    }
+
+    #[test]
+    fn event_accessors() {
+        let e = TraceEvent::Dram {
+            unit: UnitId(2),
+            t: 400,
+            cycles: 100,
+            class: DramClass::WeightRead,
+            demand: 10.0,
+            granted: 5.0,
+        };
+        assert_eq!(e.unit(), UnitId(2));
+        assert_eq!(e.t(), 400);
+    }
+}

@@ -1,0 +1,398 @@
+//! Exporters: Chrome/Perfetto trace-event JSON, occupancy-timeline CSV,
+//! and a markdown stall summary.
+//!
+//! The Perfetto export uses the legacy Chrome trace-event JSON format
+//! (`{"traceEvents": [...]}`), which <https://ui.perfetto.dev> opens
+//! directly. Timestamps are reported with **1 µs = 1 cycle**: a 100-cycle
+//! scheduler interval renders as a 100 µs slice. Each traced unit becomes
+//! one named thread track carrying complete (`"ph":"X"`) slices labeled
+//! by the interval's dominant state (`busy` or the largest stall);
+//! consecutive intervals in the same dominant state are run-length merged
+//! so multi-million-cycle runs stay openable, with the exact busy/stall
+//! split preserved in the slice `args`. DRAM demand and grant appear as
+//! counter (`"ph":"C"`) tracks in bytes/cycle per traffic class.
+
+use crate::breakdown::dominant_state;
+use crate::event::{DramClass, StallKind, TraceEvent};
+use crate::sink::EventBuffer;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Formats an `f64` as a JSON/CSV-safe number (non-finite values become
+/// `0`, which JSON cannot represent otherwise).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One in-progress run-length-merged slice on a unit track.
+struct OpenSlice {
+    state: &'static str,
+    t: u64,
+    cycles: u64,
+    busy: f64,
+    stalls: [f64; 4],
+}
+
+impl OpenSlice {
+    fn flush_into(&self, out: &mut String, tid: u32) {
+        let _ = write!(
+            out,
+            concat!(
+                r#"{{"name":"{}","cat":"compute","ph":"X","pid":1,"tid":{},"#,
+                r#""ts":{},"dur":{},"args":{{"busy":{}"#
+            ),
+            self.state,
+            tid + 1,
+            self.t,
+            self.cycles,
+            num(self.busy),
+        );
+        for kind in StallKind::ALL {
+            let _ = write!(
+                out,
+                r#","{}":{}"#,
+                kind.label(),
+                num(self.stalls[kind.index()])
+            );
+        }
+        out.push_str("}},\n");
+    }
+}
+
+/// Renders the buffer as Chrome/Perfetto trace-event JSON.
+///
+/// `process_name` labels the single process track (conventionally
+/// `"<model> on <workload>"`).
+pub fn perfetto_json(buf: &EventBuffer, process_name: &str) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let _ = write!(
+        out,
+        concat!(
+            r#"{{"name":"process_name","ph":"M","pid":1,"tid":0,"#,
+            r#""args":{{"name":"{}"}}}},"#,
+            "\n"
+        ),
+        json_escape(process_name)
+    );
+    for (i, meta) in buf.units().iter().enumerate() {
+        let _ = write!(
+            out,
+            concat!(
+                r#"{{"name":"thread_name","ph":"M","pid":1,"tid":{},"#,
+                r#""args":{{"name":"{} [{}]"}}}},"#,
+                "\n"
+            ),
+            i + 1,
+            json_escape(&meta.name),
+            meta.kind.label()
+        );
+    }
+
+    // Compute slices: run-length merge consecutive same-dominant-state
+    // intervals per unit. Events arrive in time order per unit, so one
+    // open slice per unit suffices.
+    let mut open: Vec<Option<OpenSlice>> = (0..buf.units().len()).map(|_| None).collect();
+    // DRAM counters: aggregate per (t, class) across clients.
+    let mut counters: BTreeMap<(u64, usize), (f64, f64, u64)> = BTreeMap::new();
+
+    for ev in buf.events() {
+        match *ev {
+            TraceEvent::Compute {
+                unit,
+                t,
+                cycles,
+                busy,
+                stalls,
+            } => {
+                if !unit.is_some() || unit.index() >= open.len() {
+                    continue;
+                }
+                let state = dominant_state(busy, &stalls);
+                let slot = &mut open[unit.index()];
+                match slot {
+                    Some(s) if s.state == state && s.t + s.cycles == t => {
+                        s.cycles += cycles;
+                        s.busy += busy;
+                        for (acc, v) in s.stalls.iter_mut().zip(&stalls) {
+                            *acc += v;
+                        }
+                    }
+                    _ => {
+                        if let Some(s) = slot.take() {
+                            s.flush_into(&mut out, unit.0);
+                        }
+                        *slot = Some(OpenSlice {
+                            state,
+                            t,
+                            cycles,
+                            busy,
+                            stalls,
+                        });
+                    }
+                }
+            }
+            TraceEvent::Dram {
+                t,
+                cycles,
+                class,
+                demand,
+                granted,
+                ..
+            } => {
+                let e = counters
+                    .entry((t, class as usize))
+                    .or_insert((0.0, 0.0, cycles));
+                e.0 += demand;
+                e.1 += granted;
+            }
+        }
+    }
+    for (i, slot) in open.into_iter().enumerate() {
+        if let Some(s) = slot {
+            s.flush_into(&mut out, i as u32);
+        }
+    }
+    for ((t, class), (demand, granted, cycles)) in counters {
+        let per_cycle = 1.0 / cycles.max(1) as f64;
+        let _ = write!(
+            out,
+            concat!(
+                r#"{{"name":"dram.{}","ph":"C","pid":1,"tid":0,"ts":{},"#,
+                r#""args":{{"granted_B_per_cycle":{},"demand_B_per_cycle":{}}}}},"#,
+                "\n"
+            ),
+            DramClass::ALL[class].label(),
+            t,
+            num(granted * per_cycle),
+            num(demand * per_cycle),
+        );
+    }
+
+    // Closing metadata event avoids a trailing comma.
+    out.push_str(r#"{"name":"trace_end","ph":"M","pid":1,"tid":0,"args":{}}"#);
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Renders every compute event as one CSV row:
+/// `t,unit,kind,cycles,busy,input_starved,output_blocked,dram_throttled,merge_bound`.
+pub fn timeline_csv(buf: &EventBuffer) -> String {
+    let mut out = String::from("t,unit,kind,cycles,busy");
+    for kind in StallKind::ALL {
+        let _ = write!(out, ",{}", kind.label());
+    }
+    out.push('\n');
+    for ev in buf.events() {
+        if let TraceEvent::Compute {
+            unit,
+            t,
+            cycles,
+            busy,
+            stalls,
+        } = *ev
+        {
+            let kind = if unit.is_some() && unit.index() < buf.units().len() {
+                buf.units()[unit.index()].kind.label()
+            } else {
+                "?"
+            };
+            let _ = write!(
+                out,
+                "{},{},{},{},{}",
+                t,
+                csv_field(buf.unit_name(unit)),
+                kind,
+                cycles,
+                num(busy)
+            );
+            for k in StallKind::ALL {
+                let _ = write!(out, ",{}", num(stalls[k.index()]));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Quotes a CSV field when it contains a delimiter or quote.
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Renders the per-unit stall breakdown as a markdown table.
+pub fn stall_summary_md(buf: &EventBuffer, title: &str) -> String {
+    let mut out = format!("## Stall attribution — {title}\n\n");
+    out.push_str("| unit | kind | cycles | busy |");
+    for kind in StallKind::ALL {
+        let _ = write!(out, " {} |", kind.label().replace('_', "-"));
+    }
+    out.push_str(" dominant |\n|---|---|---:|---:|---:|---:|---:|---:|---|\n");
+    for b in buf.breakdowns() {
+        if b.cycles == 0 {
+            continue;
+        }
+        let _ = write!(
+            out,
+            "| {} | {} | {} | {:.1}% |",
+            b.name,
+            b.kind.label(),
+            b.cycles,
+            100.0 * b.busy_frac()
+        );
+        for kind in StallKind::ALL {
+            let _ = write!(out, " {:.1}% |", 100.0 * b.stall_frac(kind));
+        }
+        let _ = writeln!(out, " {} |", b.dominant());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::UnitKind;
+    use crate::sink::{emit_dram, TraceSink};
+
+    fn sample_buffer() -> EventBuffer {
+        let mut b = EventBuffer::new();
+        let u = b.unit("conv1", UnitKind::Layer);
+        let v = b.unit("conv2", UnitKind::Layer);
+        for (i, busy) in [90.0, 85.0, 10.0].iter().enumerate() {
+            b.emit(TraceEvent::Compute {
+                unit: u,
+                t: i as u64 * 100,
+                cycles: 100,
+                busy: *busy,
+                stalls: [100.0 - busy, 0.0, 0.0, 0.0],
+            });
+        }
+        b.emit(TraceEvent::Compute {
+            unit: v,
+            t: 0,
+            cycles: 300,
+            busy: 30.0,
+            stalls: [0.0, 0.0, 270.0, 0.0],
+        });
+        emit_dram(&mut b, u, 0, 100, DramClass::WeightRead, 256.0, 128.0);
+        emit_dram(&mut b, v, 0, 100, DramClass::WeightRead, 128.0, 64.0);
+        emit_dram(&mut b, v, 100, 100, DramClass::ActivationWrite, 64.0, 64.0);
+        b
+    }
+
+    /// A tiny structural JSON validator: balanced braces/brackets outside
+    /// strings, and no trailing comma before a closer.
+    fn assert_json_shaped(s: &str) {
+        let mut depth: i64 = 0;
+        let mut in_str = false;
+        let mut esc = false;
+        let mut prev_non_ws = ' ';
+        for c in s.chars() {
+            if in_str {
+                if esc {
+                    esc = false;
+                } else if c == '\\' {
+                    esc = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => {
+                    assert_ne!(prev_non_ws, ',', "trailing comma before closer");
+                    depth -= 1;
+                    assert!(depth >= 0, "unbalanced closer");
+                }
+                _ => {}
+            }
+            if !c.is_whitespace() {
+                prev_non_ws = c;
+            }
+        }
+        assert_eq!(depth, 0, "unbalanced JSON");
+        assert!(!in_str, "unterminated string");
+    }
+
+    #[test]
+    fn perfetto_export_is_json_shaped_and_merges_runs() {
+        let b = sample_buffer();
+        let json = perfetto_json(&b, "demo on G58");
+        assert_json_shaped(&json);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("demo on G58"));
+        assert!(json.contains("conv1 [layer]"));
+        // conv1's first two intervals are both dominant-busy and
+        // contiguous: they merge into one 200-cycle slice.
+        assert!(json.contains(
+            r#""name":"busy","cat":"compute","ph":"X","pid":1,"tid":1,"ts":0,"dur":200"#
+        ));
+        // The third flips to input_starved.
+        assert!(json.contains(r#""name":"input_starved"#));
+        // conv2 is dram_throttled-dominant.
+        assert!(json.contains(r#""name":"dram_throttled"#));
+        // DRAM counters aggregate the two t=0 weight clients.
+        assert!(json.contains(r#""name":"dram.weight_read","ph":"C","pid":1,"tid":0,"ts":0"#));
+        assert!(json.contains(r#""granted_B_per_cycle":1.92"#)); // (128+64)/100
+        assert!(json.contains(r#""name":"dram.act_write"#));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+        assert_eq!(num(f64::NAN), "0");
+        assert_eq!(num(1.5), "1.5");
+    }
+
+    #[test]
+    fn csv_has_one_row_per_compute_event() {
+        let b = sample_buffer();
+        let csv = timeline_csv(&b);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "t,unit,kind,cycles,busy,input_starved,output_blocked,dram_throttled,merge_bound"
+        );
+        // 4 compute events; DRAM events are not rows.
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[1], "0,conv1,layer,100,90,10,0,0,0");
+        assert!(lines[4].starts_with("0,conv2,layer,300,30,"));
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+    }
+
+    #[test]
+    fn markdown_summary_lists_units_with_percentages() {
+        let b = sample_buffer();
+        let md = stall_summary_md(&b, "demo");
+        assert!(md.contains("## Stall attribution — demo"));
+        assert!(md.contains("| conv1 | layer | 300 | 61.7% |"));
+        assert!(md.contains("| conv2 | layer | 300 | 10.0% |"));
+        assert!(md.contains("dram_throttled |"));
+    }
+}

@@ -1,0 +1,30 @@
+//! Event tracing, stall attribution, and timeline export for the
+//! ISOSceles accelerator models.
+//!
+//! The crate is the observability layer of the simulator: accelerator
+//! models are threaded with a [`TraceSink`] and, when one is enabled,
+//! emit interval-scoped [`TraceEvent`]s — per-unit compute occupancy
+//! split into effectual-busy time plus a four-way stall taxonomy
+//! ([`StallKind`]), and per-client DRAM demand versus arbitrated grant
+//! ([`DramClass`]). The default [`NullSink`] is disabled, so untraced
+//! runs skip all event construction and stay bit-identical to the
+//! pre-trace simulator.
+//!
+//! Recorded streams land in an [`EventBuffer`], which aggregates them
+//! into per-unit [`StallBreakdown`]s (conserving `busy + Σ stalls ==
+//! cycles`) and [`DramTotals`] (granted bytes equal the run's traffic
+//! accounting). Three exporters render a buffer for humans:
+//! [`export::perfetto_json`] (Chrome/Perfetto trace-event JSON,
+//! 1 cycle = 1 µs), [`export::timeline_csv`], and
+//! [`export::stall_summary_md`].
+
+#![warn(missing_docs)]
+
+pub mod breakdown;
+pub mod event;
+pub mod export;
+pub mod sink;
+
+pub use breakdown::{dominant_state, DramTotals, StallBreakdown};
+pub use event::{DramClass, StallKind, TraceEvent, UnitId, UnitKind};
+pub use sink::{emit_dram, EventBuffer, NullSink, TraceSink, UnitMeta};

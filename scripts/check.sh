@@ -20,4 +20,22 @@ echo "==> dse --smoke (design-space exploration fast path)"
 ISOS_CACHE_DIR="${TMPDIR:-/tmp}/isos-check-dse-cache" cargo run --release -q -p isos-explore --bin dse -- \
   --smoke --net G58 --out "${TMPDIR:-/tmp}/isos-check-dse" >/dev/null
 
+echo "==> trace_run smoke (G58 timeline export)"
+TRACE_OUT="${TMPDIR:-/tmp}/isos-check-traces"
+cargo run --release -q -p isosceles-bench --bin trace_run -- \
+  --net G58 --model isosceles --out "$TRACE_OUT" >/dev/null
+TRACE_JSON="$TRACE_OUT/G58-isosceles.trace.json"
+[ -s "$TRACE_JSON" ] || { echo "trace smoke: $TRACE_JSON missing or empty" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$TRACE_JSON" <<'PY'
+import json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+assert events, "trace JSON has no events"
+assert any(e["ph"] == "X" for e in events), "trace JSON has no slices"
+PY
+else
+  grep -q '"traceEvents"' "$TRACE_JSON" && grep -q '"ph":"X"' "$TRACE_JSON" \
+    || { echo "trace smoke: $TRACE_JSON malformed" >&2; exit 1; }
+fi
+
 echo "All checks passed."
