@@ -51,7 +51,7 @@ fn bench_csf(c: &mut Criterion) {
 
 fn bench_mergers(c: &mut Criterion) {
     let mut g = c.benchmark_group("mergers");
-    for &radix in &[4usize, 64, 256] {
+    for &radix in &[4usize, 32, 256] {
         let streams: Vec<Vec<(u32, f32)>> = (0..radix)
             .map(|i| {
                 (0..256u32)
@@ -99,6 +99,51 @@ fn bench_isos_layer(c: &mut Criterion) {
     g.finish();
 }
 
+/// `execute_conv` on a real R81 (ResNet-50 at 81% density) layer: shapes
+/// and densities come straight from the suite workload, so this tracks the
+/// executor cost the full-suite runs actually pay.
+fn bench_r81_layer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("isos_dataflow");
+    g.sample_size(10);
+    let net = isos_nn::models::resnet50(0.81, 42);
+    // layer2.0.conv2: a 3x3 conv at 28x28x128, mid-network scale.
+    let (id, layer) = net
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (i, &n.layer))
+        .find(|(_, l)| {
+            matches!(l.kind, isos_nn::layer::LayerKind::Conv { r: 3, .. }) && l.input.h == 28
+        })
+        .expect("R81 has a 3x3 conv at 28x28");
+    let (r, s) = layer.kind.kernel();
+    let input = gen::random_csf(
+        vec![layer.input.h, layer.input.w, layer.input.c].into(),
+        layer.in_act_density,
+        3,
+    );
+    let filter = gen::random_csf(
+        vec![layer.input.c, r, layer.output.c, s].into(),
+        layer.weight_density,
+        4,
+    );
+    let stride = layer.kind.stride();
+    let pad = layer.kind.pad();
+    let pou = Pou::relu(layer.output.c);
+    g.bench_function(BenchmarkId::new("conv_r81", format!("l{id}")), |b| {
+        b.iter(|| {
+            black_box(execute_conv(
+                black_box(&input),
+                black_box(&filter),
+                stride,
+                pad,
+                &pou,
+            ))
+        })
+    });
+    g.finish();
+}
+
 fn bench_group_sim(c: &mut Criterion) {
     let mut g = c.benchmark_group("cycle_sim");
     g.sample_size(10);
@@ -118,6 +163,7 @@ criterion_group!(
     bench_csf,
     bench_mergers,
     bench_isos_layer,
+    bench_r81_layer,
     bench_group_sim
 );
 criterion_main!(benches);

@@ -1,0 +1,169 @@
+//! Wall-clock performance report over the workload × model matrix.
+//!
+//! ```text
+//! perf_report [--smoke] [--out BENCH_5.json] [--seed N] [--threads N]
+//! ```
+//!
+//! Times every suite workload on every accelerator model through the
+//! shared [`SuiteEngine`] with the result cache *disabled*, so every
+//! job's `millis` is a real simulation, and writes the per-job timings as
+//! JSON. Committed at the repo root as `BENCH_<PR>.json`, these reports
+//! form the perf trajectory of the codebase: compare the same cell across
+//! reports to see a kernel change's effect on end-to-end suite time.
+//! Absolute numbers are machine-dependent; the trajectory (and the
+//! within-report ratios between models) is the signal.
+//!
+//! `--smoke` runs only the smallest workload (G58) so CI can validate the
+//! schema in seconds without gating on timings.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use isos_nn::models::{paper_suite, suite_workload};
+use isosceles_bench::engine::{EngineOptions, SuiteEngine};
+use isosceles_bench::suite::SEED;
+use isosceles_bench::trace::{accel_by_name, MODEL_NAMES};
+use serde::{Deserialize, Serialize};
+
+/// Schema tag stored in the report so downstream tooling can detect
+/// incompatible layout changes.
+pub const REPORT_SCHEMA: &str = "isosceles-perf-report/v1";
+
+/// Default output path (repo root, named after this PR's bench file).
+const DEFAULT_OUT: &str = "BENCH_5.json";
+
+/// One timed `(workload, model)` simulation.
+#[derive(Debug, Serialize, Deserialize)]
+struct Timing {
+    /// Suite workload id (e.g. `R81`).
+    workload: String,
+    /// Accelerator model name (e.g. `isosceles`).
+    model: String,
+    /// Wall time of the simulation in milliseconds.
+    millis: f64,
+}
+
+/// The full report as serialized to disk.
+#[derive(Debug, Serialize, Deserialize)]
+struct Report {
+    /// Layout tag ([`REPORT_SCHEMA`]).
+    schema: String,
+    /// Sparsity-pattern seed the matrix ran with.
+    seed: u64,
+    /// Worker threads used (timings of parallel jobs share cores).
+    threads: usize,
+    /// Whether this was a `--smoke` run (subset of workloads).
+    smoke: bool,
+    /// Per-job wall-clock timings, workload-major in suite order.
+    timings: Vec<Timing>,
+    /// End-to-end wall time of the whole matrix in milliseconds.
+    total_millis: f64,
+}
+
+/// Prints usage to stderr and exits with status 2.
+fn usage(error: &str) -> ! {
+    eprintln!("error: {error}");
+    eprintln!(
+        "usage: perf_report [--smoke] [--out PATH] [--seed N] [--threads N]\n\
+         \n\
+         --smoke       time only G58 (schema check; not a perf baseline)\n\
+         --out PATH    output JSON path (default {DEFAULT_OUT})\n\
+         --seed N      sparsity-pattern seed (default {SEED})\n\
+         --threads N   worker threads (default: all cores)"
+    );
+    exit(2);
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = PathBuf::from(DEFAULT_OUT);
+    let mut seed = SEED;
+    // Flags shared with the engine (--threads) are parsed by both; the
+    // engine ignores what it does not know.
+    let mut opts = EngineOptions::from_env();
+    opts.use_cache = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(v) => out = PathBuf::from(v),
+                None => usage("--out needs a value"),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => seed = n,
+                None => usage("--seed needs an integer"),
+            },
+            "--threads" => {
+                // Already consumed by EngineOptions::from_env; skip the value.
+                it.next();
+            }
+            "--no-cache" => {}
+            "--help" | "-h" => usage("help requested"),
+            other if other.starts_with("--threads=") => {}
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    let workloads = if smoke {
+        vec![suite_workload("G58", seed)]
+    } else {
+        paper_suite(seed)
+    };
+    let models: Vec<_> = MODEL_NAMES
+        .iter()
+        .map(|name| accel_by_name(name).expect("model table entry resolves"))
+        .collect();
+    let accel_refs: Vec<&dyn isosceles::accel::Accelerator> =
+        models.iter().map(AsRef::as_ref).collect();
+
+    eprintln!(
+        "perf_report: timing {} workloads x {} models (cache disabled, {} threads)",
+        workloads.len(),
+        accel_refs.len(),
+        opts.threads
+    );
+    let engine = SuiteEngine::new(opts);
+    let (_, stats) = engine.run_matrix(&workloads, &accel_refs, seed);
+
+    // run_matrix records jobs workload-major in matrix order.
+    let timings: Vec<Timing> = stats
+        .jobs
+        .iter()
+        .map(|j| {
+            assert!(!j.cache_hit, "perf_report must run with the cache off");
+            Timing {
+                workload: j.workload.as_str().to_string(),
+                model: j.accel.clone(),
+                millis: j.millis,
+            }
+        })
+        .collect();
+    let report = Report {
+        schema: REPORT_SCHEMA.to_string(),
+        seed,
+        threads: stats.threads,
+        smoke,
+        timings,
+        total_millis: stats.wall_millis,
+    };
+
+    if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("perf_report: cannot create {}: {e}", dir.display());
+            exit(1);
+        }
+    }
+    if let Err(e) = std::fs::write(&out, serde::json::to_string(&report)) {
+        eprintln!("perf_report: cannot write {}: {e}", out.display());
+        exit(1);
+    }
+    eprintln!(
+        "perf_report: wrote {} ({} timings, {:.0} ms total)",
+        out.display(),
+        report.timings.len(),
+        report.total_millis
+    );
+}

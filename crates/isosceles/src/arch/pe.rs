@@ -67,14 +67,19 @@ impl PeStats {
 /// assert_eq!(pe.partial(0, 0, 0), Some(10.0));
 /// assert_eq!(pe.partial(0, 1, 1), Some(15.0));
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct CoarsePe {
     width: usize,
-    /// Partial-result registers keyed by (r, k, s). A real PE holds `S`
-    /// live columns per (r, k); keeping the full map here lets tests
-    /// inspect everything, while [`CoarsePe::drain_column`] models the
-    /// S-deep sliding window.
-    partials: std::collections::BTreeMap<(u16, u16, u16), f32>,
+    /// Partial-result registers, one sorted `(r, k)` run per filter column
+    /// `s`. A real PE holds `S` live columns of registers; storing each
+    /// column as a sorted run makes [`CoarsePe::drain_column`] (the S-deep
+    /// sliding-window retirement) a buffer swap instead of a tree walk,
+    /// and accumulation a binary search in a short contiguous run instead
+    /// of a pointer-chasing map lookup.
+    columns: Vec<Vec<((u16, u16), f32)>>,
+    /// Live register count across all columns (zeros stay live until
+    /// drained).
+    live: usize,
     stats: PeStats,
 }
 
@@ -88,9 +93,24 @@ impl CoarsePe {
         assert!(width > 0, "PE needs at least one MAC");
         Self {
             width,
-            partials: Default::default(),
+            columns: Vec::new(),
+            live: 0,
             stats: PeStats::default(),
         }
+    }
+
+    /// Creates a PE pre-sized for a mapping: `s_extent` filter columns,
+    /// each expected to hold about `rk_hint` live `(r, k)` registers.
+    /// Behaves identically to [`CoarsePe::new`]; the geometry only
+    /// pre-allocates the register file so hot loops never reallocate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn with_geometry(width: usize, s_extent: usize, rk_hint: usize) -> Self {
+        let mut pe = Self::new(width);
+        pe.columns = (0..s_extent).map(|_| Vec::with_capacity(rk_hint)).collect();
+        pe
     }
 
     /// MAC units in this PE.
@@ -110,14 +130,28 @@ impl CoarsePe {
         self.stats.macs += weights.len() as u64;
         self.stats.idle_slots += cycles * self.width as u64 - weights.len() as u64;
         for w in weights {
-            *self.partials.entry((w.r, w.k, w.s)).or_insert(0.0) += input * w.value;
+            let s = w.s as usize;
+            if s >= self.columns.len() {
+                self.columns.resize_with(s + 1, Vec::new);
+            }
+            let col = &mut self.columns[s];
+            match col.binary_search_by_key(&(w.r, w.k), |&(rk, _)| rk) {
+                Ok(i) => col[i].1 += input * w.value,
+                Err(i) => {
+                    col.insert(i, ((w.r, w.k), input * w.value));
+                    self.live += 1;
+                }
+            }
         }
         cycles
     }
 
     /// Reads a partial register.
     pub fn partial(&self, r: u16, k: u16, s: u16) -> Option<f32> {
-        self.partials.get(&(r, k, s)).copied()
+        let col = self.columns.get(s as usize)?;
+        col.binary_search_by_key(&(r, k), |&(rk, _)| rk)
+            .ok()
+            .map(|i| col[i].1)
     }
 
     /// Pops every completed partial for filter column `s` (the register
@@ -125,30 +159,41 @@ impl CoarsePe {
     /// by `(r, k)`. Zero-valued partials are dropped, as the hardware only
     /// emits nonzeros.
     pub fn drain_column(&mut self, s: u16) -> Vec<((u16, u16), f32)> {
-        let keys: Vec<(u16, u16, u16)> = self
-            .partials
-            .keys()
-            .filter(|&&(_, _, ps)| ps == s)
-            .copied()
-            .collect();
-        let mut out = Vec::with_capacity(keys.len());
-        for key in keys {
-            let v = self.partials.remove(&key).unwrap();
-            if v != 0.0 {
-                out.push(((key.0, key.1), v));
-            }
-        }
+        let Some(col) = self.columns.get_mut(s as usize) else {
+            return Vec::new();
+        };
+        self.live -= col.len();
+        let out = col.iter().copied().filter(|&(_, v)| v != 0.0).collect();
+        col.clear();
         out
     }
 
     /// Number of live partial registers.
     pub fn live_partials(&self) -> usize {
-        self.partials.len()
+        self.live
     }
 
     /// Throughput counters.
     pub fn stats(&self) -> PeStats {
         self.stats
+    }
+}
+
+impl PartialEq for CoarsePe {
+    /// Compares logical PE state: width, counters, and live registers.
+    /// Column storage that was allocated but drained (or pre-sized via
+    /// [`CoarsePe::with_geometry`]) does not affect equality.
+    fn eq(&self, other: &Self) -> bool {
+        self.width == other.width && self.stats == other.stats && self.live == other.live && {
+            let flat = |pe: &Self| {
+                pe.columns
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(s, col)| col.iter().map(move |&((r, k), v)| ((r, k, s), v)))
+                    .collect::<Vec<_>>()
+            };
+            flat(self) == flat(other)
+        }
     }
 }
 
@@ -270,6 +315,23 @@ mod tests {
         let mut pe = CoarsePe::new(8);
         assert_eq!(pe.issue(1.0, &[]), 0);
         assert_eq!(pe.stats().busy_cycles, 0);
+    }
+
+    #[test]
+    fn with_geometry_behaves_like_new() {
+        let mut a = CoarsePe::new(8);
+        let mut b = CoarsePe::with_geometry(8, 3, 8);
+        for i in 0..20 {
+            let v = ops(i % 9 + 1);
+            a.issue(i as f32, &v);
+            b.issue(i as f32, &v);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.live_partials(), b.live_partials());
+        assert_eq!(a.drain_column(1), b.drain_column(1));
+        assert_eq!(a, b);
+        // A fresh pre-sized PE equals a fresh default PE.
+        assert_eq!(CoarsePe::with_geometry(4, 5, 16), CoarsePe::new(4));
     }
 
     #[test]

@@ -265,6 +265,12 @@ pub fn simulate_group_traced(
                 }
             })
             .collect();
+        if tracing {
+            // One compute event per layer plus at most one DRAM event per
+            // memory stream this interval; reserving up front keeps the
+            // sink from growing its buffer mid-stream.
+            sink.hint_events(n + clients.len() + write_pending.len());
+        }
         let grants = mem.step_traced(&clients, &write_pending, &unit_ids, interval, t_start, sink);
         for (i, l) in layers.iter_mut().enumerate() {
             l.weight_left = (l.weight_left - grants.reads[i]).max(0.0);

@@ -66,14 +66,20 @@ pub fn run_backend(
 ) -> BackendOutput {
     assert!(pou.channels() >= k_dim, "POU channels < k_dim");
     let mut stats = BackendStats::default();
-    let mut entries: Vec<(Point, f32)> = Vec::new();
+    // Outputs are bounded by both the partial count and the dense volume.
+    let mut entries: Vec<(Point, f32)> =
+        Vec::with_capacity(partials.total_partials().min(p_dim * q_dim * k_dim));
+    // Per-channel reduced runs: allocated once, reused across output rows.
+    let mut per_k: Vec<Vec<(u64, f32)>> = vec![Vec::new(); k_dim];
 
     for p in 0..p_dim {
         // Per output channel: R-merge + reduce.
-        let mut per_k_streams: Vec<std::vec::IntoIter<(u64, f32)>> = Vec::with_capacity(k_dim);
-        for k in 0..k_dim {
-            // Collect the R partial streams feeding this (p, k).
-            let mut r_streams: Vec<std::vec::IntoIter<(Coord, f32)>> = Vec::with_capacity(r_dim);
+        for (k, reduced) in per_k.iter_mut().enumerate() {
+            reduced.clear();
+            // Borrow the R partial streams feeding this (p, k) in place —
+            // the merger streams straight off the frontend's buffers.
+            let mut r_streams: Vec<std::iter::Copied<std::slice::Iter<'_, (Coord, f32)>>> =
+                Vec::with_capacity(r_dim);
             for r in 0..r_dim {
                 let Some(h) = (p * stride + r).checked_sub(pad).filter(|&h| h < h_dim) else {
                     continue;
@@ -81,17 +87,15 @@ pub fn run_backend(
                 let s = partials.stream(h as Coord, r as Coord, k as Coord);
                 if !s.is_empty() {
                     stats.partials_consumed += s.len() as u64;
-                    r_streams.push(Vec::from(s).into_iter());
+                    r_streams.push(s.iter().copied());
                 }
             }
             if r_streams.is_empty() {
-                per_k_streams.push(Vec::new().into_iter());
                 continue;
             }
             // R-merger (comparator tree) + reducer: complete the
             // convolution for row p, channel k.
             let mut merger = merge_reduce(r_streams);
-            let mut reduced: Vec<(u64, f32)> = Vec::new();
             for (q, v) in merger.by_ref() {
                 if v != 0.0 {
                     // Key packs (q, k) so the K-merger emits K innermost.
@@ -102,12 +106,11 @@ pub fn run_backend(
             stats.r_merged += mstats.emitted;
             stats.merger_comparisons += mstats.comparisons;
             stats.reductions += mstats.emitted.saturating_sub(reduced.len() as u64);
-            per_k_streams.push(reduced.into_iter());
         }
 
         // K-merger (pipelined min-heap, radix K): serialize channels so K
         // is the innermost output rank.
-        let mut k_merger = HeapMerger::new(per_k_streams);
+        let mut k_merger = HeapMerger::new(per_k.iter().map(|v| v.iter().copied()).collect());
         for (key, v) in k_merger.by_ref() {
             let q = (key >> 24) as Coord;
             let k = (key & 0xFF_FFFF) as Coord;

@@ -126,14 +126,13 @@ pub fn execute_fc(input: &Csf, weights: &Csf, pou: &Pou) -> LayerExec {
             acc[k as usize] += x * wv;
         }
     }
-    let entries: Vec<(Point, f32)> = acc
-        .into_iter()
-        .enumerate()
-        .filter_map(|(k, v)| {
-            let v = pou.apply(k, v);
-            (v != 0.0).then(|| (Point::from_slice(&[0, 0, k as Coord]), v))
-        })
-        .collect();
+    let mut entries: Vec<(Point, f32)> = Vec::with_capacity(k_dim);
+    for (k, v) in acc.into_iter().enumerate() {
+        let v = pou.apply(k, v);
+        if v != 0.0 {
+            entries.push((Point::from_slice(&[0, 0, k as Coord]), v));
+        }
+    }
     stats.backend.outputs_emitted = entries.len() as u64;
     LayerExec {
         output: Csf::from_sorted_unique(Shape::new(vec![1, 1, k_dim]), entries),
@@ -151,19 +150,18 @@ pub fn execute_fc(input: &Csf, weights: &Csf, pou: &Pou) -> LayerExec {
 pub fn execute_add(a: &Csf, b: &Csf, pou: &Pou) -> LayerExec {
     assert_eq!(a.shape(), b.shape(), "add shape mismatch");
     let mut stats = LayerExecStats::default();
-    // A 2-way merge + reduce over identical coordinate spaces.
-    let merged = isos_tensor::merge::merge_reduce(vec![
-        a.iter().collect::<Vec<_>>().into_iter(),
-        b.iter().collect::<Vec<_>>().into_iter(),
-    ]);
+    // A 2-way merge + reduce over identical coordinate spaces, streaming
+    // straight off the CSF walkers — no materialized copies of the inputs.
+    let merged = isos_tensor::merge::merge_reduce(vec![a.iter(), b.iter()]);
     let k_rank = a.ndim() - 1;
-    let entries: Vec<(Point, f32)> = merged
-        .filter_map(|(p, v)| {
-            stats.backend.reductions += 1;
-            let v = pou.apply(p[k_rank] as usize, v);
-            (v != 0.0).then_some((p, v))
-        })
-        .collect();
+    let mut entries: Vec<(Point, f32)> = Vec::with_capacity(a.nnz() + b.nnz());
+    for (p, v) in merged {
+        stats.backend.reductions += 1;
+        let v = pou.apply(p[k_rank] as usize, v);
+        if v != 0.0 {
+            entries.push((p, v));
+        }
+    }
     stats.backend.outputs_emitted = entries.len() as u64;
     LayerExec {
         output: Csf::from_sorted_unique(a.shape().clone(), entries),

@@ -106,10 +106,13 @@ impl Csf {
     #[allow(clippy::needless_range_loop)] // parallel arrays indexed by rank
     pub fn from_sorted_unique(shape: Shape, entries: Vec<(Point, f32)>) -> Self {
         let ndim = shape.ndim();
+        // The innermost rank holds exactly one coordinate per entry; outer
+        // ranks hold at most that many. Pre-sizing keeps the streaming
+        // producers (backend, executors) from reallocating mid-build.
         let mut ranks: Vec<CsfRank> = (0..ndim)
             .map(|_| CsfRank {
                 segs: vec![0],
-                coords: Vec::new(),
+                coords: Vec::with_capacity(entries.len()),
             })
             .collect();
         let mut vals = Vec::with_capacity(entries.len());

@@ -9,9 +9,16 @@
 //! This module implements both as iterator adapters with cost accounting
 //! ([`MergerStats`]), so the architecture model can charge cycles and the
 //! functional dataflow can reuse the exact same structures.
+//!
+//! Both mergers share one software engine: a *loser tree* (the private
+//! `LoserTree`). Where a naive tournament replays the whole bracket (O(k) per
+//! element), a loser tree stores, at each internal node, the contender that
+//! *lost* there; the overall winner sits at the root. Emitting the winner
+//! then only requires replaying its root-to-leaf path against the stored
+//! losers — `ceil(log2(k))` comparisons — which matches the comparator
+//! cost the hardware model already charges per element.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::cmp::Ordering;
 
 /// Cost counters for a merger.
 ///
@@ -25,12 +32,125 @@ pub struct MergerStats {
     pub comparisons: u64,
 }
 
+/// Comparator levels charged per emission for a radix-`k` merger.
+fn comparator_levels(radix: usize) -> u32 {
+    (radix.max(2) as u32).next_power_of_two().trailing_zeros()
+}
+
+/// The shared k-way merge engine: a loser tree over `width` virtual leaves
+/// (`width` = radix rounded up to a power of two, min 2).
+///
+/// Layout: leaf `l` occupies tree position `width + l`; internal node `n`
+/// (for `1 <= n < width`) stores the leaf index that lost the match at that
+/// node, and `nodes[0]` holds the overall winner. Exhausted (or padding)
+/// leaves hold `None`, which compares greater than every real element, so
+/// they sink to the losers and never win while data remains. Ties break
+/// toward the lower leaf index, making the merge stable.
+#[derive(Debug)]
+struct LoserTree<K, I>
+where
+    I: Iterator<Item = (K, f32)>,
+{
+    inputs: Vec<I>,
+    /// One head per virtual leaf; leaves `>= inputs.len()` are permanent
+    /// `None` padding and are never refilled.
+    heads: Vec<Option<(K, f32)>>,
+    /// `nodes[0]` = winning leaf; `nodes[1..width]` = loser leaf per node.
+    nodes: Vec<u32>,
+    width: usize,
+}
+
+impl<K, I> LoserTree<K, I>
+where
+    K: Ord + Copy,
+    I: Iterator<Item = (K, f32)>,
+{
+    fn new(mut inputs: Vec<I>) -> Self {
+        assert!(!inputs.is_empty(), "merger needs at least one input");
+        let width = inputs.len().next_power_of_two().max(2);
+        let mut heads: Vec<Option<(K, f32)>> = inputs.iter_mut().map(Iterator::next).collect();
+        heads.resize_with(width, || None);
+        let mut tree = Self {
+            inputs,
+            heads,
+            nodes: vec![0; width],
+            width,
+        };
+        tree.build();
+        tree
+    }
+
+    /// `heads[a] < heads[b]` under the merge order: keys ascending, `None`
+    /// as +infinity, ties toward the lower leaf index (stability).
+    fn less(&self, a: usize, b: usize) -> bool {
+        match (&self.heads[a], &self.heads[b]) {
+            (Some((ka, _)), Some((kb, _))) => match ka.cmp(kb) {
+                Ordering::Less => true,
+                Ordering::Greater => false,
+                Ordering::Equal => a < b,
+            },
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => a < b,
+        }
+    }
+
+    /// Plays every match bottom-up, recording losers; O(k).
+    fn build(&mut self) {
+        let width = self.width;
+        // winners[n] = winning leaf of the subtree rooted at tree position n.
+        let mut winners = vec![0u32; 2 * width];
+        for (l, w) in winners[width..].iter_mut().enumerate() {
+            *w = l as u32;
+        }
+        for n in (1..width).rev() {
+            let a = winners[2 * n];
+            let b = winners[2 * n + 1];
+            let (win, lose) = if self.less(a as usize, b as usize) {
+                (a, b)
+            } else {
+                (b, a)
+            };
+            winners[n] = win;
+            self.nodes[n] = lose;
+        }
+        self.nodes[0] = winners[1];
+    }
+
+    /// Emits the current winner, refills its leaf, and replays its path to
+    /// the root; O(log k).
+    fn pop(&mut self) -> Option<(K, f32)> {
+        let w = self.nodes[0] as usize;
+        let item = self.heads[w].take()?;
+        if w < self.inputs.len() {
+            self.heads[w] = self.inputs[w].next();
+        }
+        let mut cur = w as u32;
+        let mut n = (self.width + w) >> 1;
+        while n >= 1 {
+            let loser = self.nodes[n];
+            if self.less(loser as usize, cur as usize) {
+                self.nodes[n] = cur;
+                cur = loser;
+            }
+            n >>= 1;
+        }
+        self.nodes[0] = cur;
+        Some(item)
+    }
+
+    fn radix(&self) -> usize {
+        self.inputs.len()
+    }
+}
+
 /// A k-way merger built as a tournament (comparator) tree.
 ///
 /// Models the low-radix R-mergers: the tree is combinational, so each
 /// emitted element costs `ceil(log2(k))` comparisons and one cycle.
 /// Ties between inputs break toward the lower input index, making the merge
-/// stable.
+/// stable. Internally backed by a loser tree, so the software cost per
+/// element matches the charged comparator cost (O(log k), not O(k)).
 ///
 /// # Examples
 ///
@@ -47,8 +167,7 @@ pub struct TournamentMerger<K, I>
 where
     I: Iterator<Item = (K, f32)>,
 {
-    inputs: Vec<I>,
-    heads: Vec<Option<(K, f32)>>,
+    tree: LoserTree<K, I>,
     stats: MergerStats,
     levels: u32,
 }
@@ -64,15 +183,9 @@ where
     ///
     /// Panics if `inputs` is empty.
     pub fn new(inputs: Vec<I>) -> Self {
-        assert!(!inputs.is_empty(), "merger needs at least one input");
-        let mut inputs = inputs;
-        let heads = inputs.iter_mut().map(Iterator::next).collect::<Vec<_>>();
-        let levels = (inputs.len().max(2) as u32)
-            .next_power_of_two()
-            .trailing_zeros();
+        let levels = comparator_levels(inputs.len());
         Self {
-            inputs,
-            heads,
+            tree: LoserTree::new(inputs),
             stats: MergerStats::default(),
             levels,
         }
@@ -85,7 +198,7 @@ where
 
     /// The radix (number of input streams).
     pub fn radix(&self) -> usize {
-        self.inputs.len()
+        self.tree.radix()
     }
 }
 
@@ -97,27 +210,9 @@ where
     type Item = (K, f32);
 
     fn next(&mut self) -> Option<Self::Item> {
-        // Find the minimum head (the tournament winner). A real comparator
-        // tree does this in log2(k) levels; we charge that cost.
-        let mut winner: Option<usize> = None;
-        for (i, head) in self.heads.iter().enumerate() {
-            if let Some((k, _)) = head {
-                match winner {
-                    None => winner = Some(i),
-                    Some(w) => {
-                        let (wk, _) = self.heads[w].as_ref().unwrap();
-                        if k < wk {
-                            winner = Some(i);
-                        }
-                    }
-                }
-            }
-        }
-        let w = winner?;
+        let item = self.tree.pop()?;
         self.stats.comparisons += self.levels as u64;
         self.stats.emitted += 1;
-        let item = self.heads[w].take().unwrap();
-        self.heads[w] = self.inputs[w].next();
         Some(item)
     }
 }
@@ -126,7 +221,11 @@ where
 ///
 /// Models the radix-256 K-mergers [Bhagwan & Lin]: each emitted element
 /// costs one cycle (the heap is pipelined) and `ceil(log2(k))` comparisons
-/// along the sift path.
+/// along the sift path. The software implementation shares the loser-tree
+/// engine with [`TournamentMerger`] — a loser tree is exactly a k-way merge
+/// heap with a fixed leaf per input, and it avoids the push/pop churn of a
+/// binary heap — while the emitted order and the cost accounting are
+/// unchanged.
 ///
 /// # Examples
 ///
@@ -144,20 +243,12 @@ where
 #[derive(Debug)]
 pub struct HeapMerger<K, I>
 where
-    K: Ord,
     I: Iterator<Item = (K, f32)>,
 {
-    inputs: Vec<I>,
-    // Reverse for a min-heap; (key, input index) orders ties stably by
-    // input index.
-    heap: BinaryHeap<Reverse<(K, usize, FloatBits)>>,
+    tree: LoserTree<K, I>,
     stats: MergerStats,
     levels: u32,
 }
-
-/// f32 carried through the heap as bits (f32 is not `Ord`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
-struct FloatBits(u32);
 
 impl<K, I> HeapMerger<K, I>
 where
@@ -170,20 +261,9 @@ where
     ///
     /// Panics if `inputs` is empty.
     pub fn new(inputs: Vec<I>) -> Self {
-        assert!(!inputs.is_empty(), "merger needs at least one input");
-        let mut inputs = inputs;
-        let mut heap = BinaryHeap::with_capacity(inputs.len());
-        for (i, input) in inputs.iter_mut().enumerate() {
-            if let Some((k, v)) = input.next() {
-                heap.push(Reverse((k, i, FloatBits(v.to_bits()))));
-            }
-        }
-        let levels = (inputs.len().max(2) as u32)
-            .next_power_of_two()
-            .trailing_zeros();
+        let levels = comparator_levels(inputs.len());
         Self {
-            inputs,
-            heap,
+            tree: LoserTree::new(inputs),
             stats: MergerStats::default(),
             levels,
         }
@@ -196,7 +276,7 @@ where
 
     /// The radix (number of input streams).
     pub fn radix(&self) -> usize {
-        self.inputs.len()
+        self.tree.radix()
     }
 }
 
@@ -208,13 +288,10 @@ where
     type Item = (K, f32);
 
     fn next(&mut self) -> Option<Self::Item> {
-        let Reverse((k, i, bits)) = self.heap.pop()?;
-        if let Some((nk, nv)) = self.inputs[i].next() {
-            self.heap.push(Reverse((nk, i, FloatBits(nv.to_bits()))));
-        }
+        let item = self.tree.pop()?;
         self.stats.emitted += 1;
         self.stats.comparisons += self.levels as u64;
-        Some((k, f32::from_bits(bits.0)))
+        Some(item)
     }
 }
 
@@ -380,5 +457,43 @@ mod tests {
         let s = vec![(1u32, 1.0f32), (2, 2.0)];
         let out: Vec<_> = TournamentMerger::new(vec![s.clone().into_iter()]).collect();
         assert_eq!(out, s);
+    }
+
+    #[test]
+    fn non_power_of_two_radix_merges_stably() {
+        // Radix 3 pads to width 4; values tag the source stream so tie
+        // order (lower input index first) is observable.
+        let a = vec![(1u32, 10.0f32), (5, 10.0)];
+        let b = vec![(1u32, 20.0f32), (2, 20.0)];
+        let c = vec![(1u32, 30.0f32), (5, 30.0)];
+        let mk = || {
+            vec![
+                a.clone().into_iter(),
+                b.clone().into_iter(),
+                c.clone().into_iter(),
+            ]
+        };
+        let expect = vec![
+            (1, 10.0),
+            (1, 20.0),
+            (1, 30.0),
+            (2, 20.0),
+            (5, 10.0),
+            (5, 30.0),
+        ];
+        let t: Vec<_> = TournamentMerger::new(mk()).collect();
+        let h: Vec<_> = HeapMerger::new(mk()).collect();
+        assert_eq!(t, expect);
+        assert_eq!(h, expect);
+    }
+
+    #[test]
+    fn all_empty_inputs_emit_nothing() {
+        let streams: Vec<std::vec::IntoIter<(u32, f32)>> =
+            (0..5).map(|_| Vec::new().into_iter()).collect();
+        let mut m = TournamentMerger::new(streams);
+        assert_eq!(m.next(), None);
+        assert_eq!(m.stats().emitted, 0);
+        assert_eq!(m.stats().comparisons, 0);
     }
 }

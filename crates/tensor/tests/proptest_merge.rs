@@ -1,0 +1,202 @@
+//! Equivalence suite for the loser-tree mergers.
+//!
+//! The mergers were rewritten from an O(k) linear scan (tournament) and a
+//! `BinaryHeap` (K-merger) to a shared loser tree. Their observable
+//! semantics must be unchanged, and this suite pins them against two
+//! independent oracles on random sorted streams:
+//!
+//! 1. [`LinearScanMerger`] — a verbatim copy of the pre-rewrite linear
+//!    scan, including its `MergerStats` accounting;
+//! 2. a sort-then-[`reduce_sorted`] oracle — flatten every stream, stable
+//!    sort by `(key, input index)`, which is the specified merge order.
+//!
+//! Values are tagged with `(input index, position)` so the checks cover
+//! not just keys but *stability on ties*: equal keys must be emitted in
+//! input-index order.
+
+use isos_tensor::merge::{reduce_sorted, HeapMerger, MergerStats, TournamentMerger};
+use proptest::prelude::*;
+
+/// The pre-rewrite `TournamentMerger`: O(k) scan for the minimum head,
+/// ties to the lowest input index, `ceil(log2(max(k,2)))` comparisons
+/// charged per emission.
+struct LinearScanMerger {
+    inputs: Vec<std::vec::IntoIter<(u32, f32)>>,
+    heads: Vec<Option<(u32, f32)>>,
+    stats: MergerStats,
+    levels: u32,
+}
+
+impl LinearScanMerger {
+    fn new(inputs: Vec<Vec<(u32, f32)>>) -> Self {
+        assert!(!inputs.is_empty());
+        let mut inputs: Vec<_> = inputs.into_iter().map(Vec::into_iter).collect();
+        let heads = inputs.iter_mut().map(Iterator::next).collect::<Vec<_>>();
+        let levels = (inputs.len().max(2) as u32)
+            .next_power_of_two()
+            .trailing_zeros();
+        Self {
+            inputs,
+            heads,
+            stats: MergerStats::default(),
+            levels,
+        }
+    }
+}
+
+impl Iterator for LinearScanMerger {
+    type Item = (u32, f32);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut winner: Option<usize> = None;
+        for (i, head) in self.heads.iter().enumerate() {
+            if let Some((k, _)) = head {
+                match winner {
+                    None => winner = Some(i),
+                    Some(w) => {
+                        let (wk, _) = self.heads[w].as_ref().unwrap();
+                        if k < wk {
+                            winner = Some(i);
+                        }
+                    }
+                }
+            }
+        }
+        let w = winner?;
+        self.stats.comparisons += self.levels as u64;
+        self.stats.emitted += 1;
+        let item = self.heads[w].take().unwrap();
+        self.heads[w] = self.inputs[w].next();
+        Some(item)
+    }
+}
+
+/// Random sorted streams whose values encode `(input index, position)`,
+/// making every element distinguishable (stability is observable).
+fn tagged_streams() -> impl Strategy<Value = Vec<Vec<(u32, f32)>>> {
+    prop::collection::vec(prop::collection::vec(0u32..24, 0..24), 1..9).prop_map(|keysets| {
+        keysets
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut keys)| {
+                keys.sort_unstable();
+                keys.iter()
+                    .enumerate()
+                    .map(|(j, &k)| (k, (i * 1000 + j) as f32))
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+/// The specified merge order: all elements, stable-sorted by
+/// `(key, input index)`. Per-stream order is preserved because the sort is
+/// stable and streams are individually sorted.
+fn sorted_oracle(streams: &[Vec<(u32, f32)>]) -> Vec<(u32, f32)> {
+    let mut all: Vec<(u32, usize, f32)> = streams
+        .iter()
+        .enumerate()
+        .flat_map(|(i, s)| s.iter().map(move |&(k, v)| (k, i, v)))
+        .collect();
+    all.sort_by_key(|&(k, i, _)| (k, i));
+    all.into_iter().map(|(k, _, v)| (k, v)).collect()
+}
+
+/// `(output, stats)` for the tournament, heap, and linear-scan mergers.
+type AllRuns = (
+    Vec<(u32, f32)>,
+    Vec<(u32, f32)>,
+    Vec<(u32, f32)>,
+    MergerStats,
+    MergerStats,
+    MergerStats,
+);
+
+fn run_all(streams: &[Vec<(u32, f32)>]) -> AllRuns {
+    let mk = || {
+        streams
+            .iter()
+            .map(|s| s.clone().into_iter())
+            .collect::<Vec<_>>()
+    };
+    let mut t = TournamentMerger::new(mk());
+    let t_out: Vec<_> = t.by_ref().collect();
+    let mut h = HeapMerger::new(mk());
+    let h_out: Vec<_> = h.by_ref().collect();
+    let mut l = LinearScanMerger::new(streams.to_vec());
+    let l_out: Vec<_> = l.by_ref().collect();
+    (t_out, h_out, l_out, t.stats(), h.stats(), l.stats)
+}
+
+proptest! {
+    /// Loser tree == old linear scan == stable-sort oracle, element for
+    /// element (keys and source-tagged values), with identical stats.
+    #[test]
+    fn mergers_match_linear_scan_and_sorted_oracle(streams in tagged_streams()) {
+        let (t_out, h_out, l_out, t_stats, h_stats, l_stats) = run_all(&streams);
+        let oracle = sorted_oracle(&streams);
+        prop_assert_eq!(&t_out, &oracle);
+        prop_assert_eq!(&h_out, &oracle);
+        prop_assert_eq!(&l_out, &oracle);
+        prop_assert_eq!(t_stats, l_stats);
+        prop_assert_eq!(h_stats, l_stats);
+        let total: u64 = streams.iter().map(|s| s.len() as u64).sum();
+        prop_assert_eq!(t_stats.emitted, total);
+        let levels = (streams.len().max(2) as u64).next_power_of_two().trailing_zeros() as u64;
+        prop_assert_eq!(t_stats.comparisons, total * levels);
+    }
+
+    /// Merging then reducing equals reducing the sorted oracle: the
+    /// R-merger + reducer lane is order-insensitive only if the merge
+    /// order is exactly the specified one.
+    #[test]
+    fn merge_reduce_matches_reduce_of_sorted_oracle(streams in tagged_streams()) {
+        let merged = isos_tensor::merge::merge_reduce(
+            streams.iter().map(|s| s.clone().into_iter()).collect::<Vec<_>>(),
+        );
+        let got: Vec<(u32, f32)> = merged.collect();
+        let want: Vec<(u32, f32)> =
+            reduce_sorted(sorted_oracle(&streams).into_iter()).collect();
+        // Same accumulation order -> bit-identical sums.
+        prop_assert_eq!(got, want);
+    }
+
+    /// Radix 1 is the identity and charges one comparator level per
+    /// element (the hardware still routes through one comparator stage).
+    #[test]
+    fn radix_one_is_identity(mut keys in prop::collection::vec(0u32..64, 0..32)) {
+        keys.sort_unstable();
+        let s: Vec<(u32, f32)> = keys.iter().enumerate().map(|(j, &k)| (k, j as f32)).collect();
+        let (t_out, h_out, l_out, t_stats, h_stats, l_stats) = run_all(std::slice::from_ref(&s));
+        prop_assert_eq!(&t_out, &s);
+        prop_assert_eq!(&h_out, &s);
+        prop_assert_eq!(&l_out, &s);
+        prop_assert_eq!(t_stats, l_stats);
+        prop_assert_eq!(h_stats, l_stats);
+        prop_assert_eq!(t_stats.emitted, s.len() as u64);
+        prop_assert_eq!(t_stats.comparisons, s.len() as u64);
+    }
+
+    /// Any mix of empty streams — including all-empty — merges correctly.
+    #[test]
+    fn empty_streams_are_harmless(n in 1usize..9, mask in 0u32..256) {
+        let streams: Vec<Vec<(u32, f32)>> = (0..n)
+            .map(|i| {
+                if mask & (1 << i) != 0 {
+                    Vec::new()
+                } else {
+                    (0..4u32).map(|k| (k, (i * 10 + k as usize) as f32)).collect()
+                }
+            })
+            .collect();
+        let (t_out, h_out, l_out, t_stats, _, l_stats) = run_all(&streams);
+        let oracle = sorted_oracle(&streams);
+        prop_assert_eq!(&t_out, &oracle);
+        prop_assert_eq!(&h_out, &oracle);
+        prop_assert_eq!(&l_out, &oracle);
+        prop_assert_eq!(t_stats, l_stats);
+        if streams.iter().all(Vec::is_empty) {
+            prop_assert_eq!(t_stats, MergerStats::default());
+        }
+    }
+}

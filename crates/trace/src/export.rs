@@ -18,14 +18,27 @@ use crate::sink::EventBuffer;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// Formats an `f64` as a JSON/CSV-safe number (non-finite values become
-/// `0`, which JSON cannot represent otherwise).
-fn num(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "0".to_string()
+/// A JSON/CSV-safe number: displays as the `f64` itself, or `0` for
+/// non-finite values (which JSON cannot represent otherwise). Being a
+/// `Display` wrapper, it formats straight into the output buffer — the
+/// exporters' per-event loops never allocate intermediate strings.
+struct Num(f64);
+
+impl std::fmt::Display for Num {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0.is_finite() {
+            write!(f, "{}", self.0)
+        } else {
+            f.write_str("0")
+        }
     }
+}
+
+/// Formats an `f64` as a JSON/CSV-safe number (allocating convenience
+/// wrapper around [`Num`]).
+#[cfg(test)]
+fn num(v: f64) -> String {
+    Num(v).to_string()
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -65,14 +78,14 @@ impl OpenSlice {
             tid + 1,
             self.t,
             self.cycles,
-            num(self.busy),
+            Num(self.busy),
         );
         for kind in StallKind::ALL {
             let _ = write!(
                 out,
                 r#","{}":{}"#,
                 kind.label(),
-                num(self.stalls[kind.index()])
+                Num(self.stalls[kind.index()])
             );
         }
         out.push_str("}},\n");
@@ -183,8 +196,8 @@ pub fn perfetto_json(buf: &EventBuffer, process_name: &str) -> String {
             ),
             DramClass::ALL[class].label(),
             t,
-            num(granted * per_cycle),
-            num(demand * per_cycle),
+            Num(granted * per_cycle),
+            Num(demand * per_cycle),
         );
     }
 
@@ -216,17 +229,11 @@ pub fn timeline_csv(buf: &EventBuffer) -> String {
             } else {
                 "?"
             };
-            let _ = write!(
-                out,
-                "{},{},{},{},{}",
-                t,
-                csv_field(buf.unit_name(unit)),
-                kind,
-                cycles,
-                num(busy)
-            );
+            let _ = write!(out, "{t},");
+            write_csv_field(&mut out, buf.unit_name(unit));
+            let _ = write!(out, ",{},{},{}", kind, cycles, Num(busy));
             for k in StallKind::ALL {
-                let _ = write!(out, ",{}", num(stalls[k.index()]));
+                let _ = write!(out, ",{}", Num(stalls[k.index()]));
             }
             out.push('\n');
         }
@@ -234,13 +241,30 @@ pub fn timeline_csv(buf: &EventBuffer) -> String {
     out
 }
 
-/// Quotes a CSV field when it contains a delimiter or quote.
-fn csv_field(s: &str) -> String {
+/// Appends a CSV field, quoting it when it contains a delimiter or quote;
+/// the common unquoted case is a straight copy into `out`.
+fn write_csv_field(out: &mut String, s: &str) {
     if s.contains(',') || s.contains('"') || s.contains('\n') {
-        format!("\"{}\"", s.replace('"', "\"\""))
+        out.push('"');
+        for c in s.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
     } else {
-        s.to_string()
+        out.push_str(s);
     }
+}
+
+/// Quotes a CSV field (allocating convenience wrapper around
+/// [`write_csv_field`]).
+#[cfg(test)]
+fn csv_field(s: &str) -> String {
+    let mut out = String::new();
+    write_csv_field(&mut out, s);
+    out
 }
 
 /// Renders the per-unit stall breakdown as a markdown table.

@@ -14,6 +14,8 @@
 
 use crate::breakdown::{DramTotals, StallBreakdown};
 use crate::event::{DramClass, TraceEvent, UnitId, UnitKind};
+use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Receiver for trace events. See the [module docs](self).
 pub trait TraceSink {
@@ -30,6 +32,11 @@ pub trait TraceSink {
 
     /// Delivers one event.
     fn emit(&mut self, event: TraceEvent);
+
+    /// Advises the sink that about `additional` more events are coming
+    /// (e.g. one scheduler interval's worth), so buffering sinks can
+    /// reserve instead of growing mid-stream. Default: no-op.
+    fn hint_events(&mut self, _additional: usize) {}
 }
 
 /// The zero-overhead default sink: records nothing.
@@ -51,8 +58,9 @@ impl TraceSink for NullSink {
 /// One registered unit's metadata.
 #[derive(Clone, Debug, PartialEq)]
 pub struct UnitMeta {
-    /// Display name (layer or group name).
-    pub name: String,
+    /// Display name (layer or group name). Interned: units registered
+    /// under the same label share one allocation.
+    pub name: Arc<str>,
     /// What the unit models.
     pub kind: UnitKind,
 }
@@ -62,12 +70,25 @@ pub struct UnitMeta {
 pub struct EventBuffer {
     units: Vec<UnitMeta>,
     events: Vec<TraceEvent>,
+    /// Label interner: repeated registrations of the same name (e.g.
+    /// `"c0"` across every group of a sweep) reuse one allocation.
+    names: BTreeSet<Arc<str>>,
 }
 
 impl EventBuffer {
     /// Creates an empty buffer.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a buffer with pre-reserved space for `units` units and
+    /// `events` events.
+    pub fn with_capacity(units: usize, events: usize) -> Self {
+        Self {
+            units: Vec::with_capacity(units),
+            events: Vec::with_capacity(events),
+            names: BTreeSet::new(),
+        }
     }
 
     /// The registered units, indexed by [`UnitId::index`].
@@ -96,7 +117,7 @@ impl EventBuffer {
         if unit.is_some() {
             self.units
                 .get(unit.index())
-                .map(|m| m.name.as_str())
+                .map(|m| &*m.name)
                 .unwrap_or("?")
         } else {
             "?"
@@ -111,7 +132,7 @@ impl EventBuffer {
             .units
             .iter()
             .enumerate()
-            .map(|(i, m)| StallBreakdown::new(UnitId(i as u32), m.name.clone(), m.kind))
+            .map(|(i, m)| StallBreakdown::new(UnitId(i as u32), m.name.to_string(), m.kind))
             .collect();
         for ev in &self.events {
             if let TraceEvent::Compute {
@@ -171,15 +192,24 @@ impl EventBuffer {
 impl TraceSink for EventBuffer {
     fn unit(&mut self, name: &str, kind: UnitKind) -> UnitId {
         let id = UnitId(self.units.len() as u32);
-        self.units.push(UnitMeta {
-            name: name.to_string(),
-            kind,
-        });
+        let name: Arc<str> = match self.names.get(name) {
+            Some(interned) => Arc::clone(interned),
+            None => {
+                let fresh: Arc<str> = Arc::from(name);
+                self.names.insert(Arc::clone(&fresh));
+                fresh
+            }
+        };
+        self.units.push(UnitMeta { name, kind });
         id
     }
 
     fn emit(&mut self, event: TraceEvent) {
         self.events.push(event);
+    }
+
+    fn hint_events(&mut self, additional: usize) {
+        self.events.reserve(additional);
     }
 }
 
@@ -235,6 +265,41 @@ mod tests {
         assert_eq!(b.unit_name(UnitId::NONE), "?");
         assert_eq!(b.units().len(), 2);
         assert!(b.is_empty());
+    }
+
+    #[test]
+    fn repeated_labels_share_one_interned_allocation() {
+        let mut b = EventBuffer::new();
+        let ids: Vec<UnitId> = (0..4)
+            .map(|g| b.unit(if g % 2 == 0 { "c0" } else { "c1" }, UnitKind::Layer))
+            .collect();
+        assert_eq!(ids, vec![UnitId(0), UnitId(1), UnitId(2), UnitId(3)]);
+        // Same label -> same Arc, not a fresh String per registration.
+        assert!(Arc::ptr_eq(&b.units()[0].name, &b.units()[2].name));
+        assert!(Arc::ptr_eq(&b.units()[1].name, &b.units()[3].name));
+        assert!(!Arc::ptr_eq(&b.units()[0].name, &b.units()[1].name));
+        assert_eq!(b.unit_name(ids[2]), "c0");
+    }
+
+    #[test]
+    fn hint_events_reserves_capacity() {
+        let mut b = EventBuffer::with_capacity(2, 8);
+        b.hint_events(100);
+        let before = b.events.capacity();
+        assert!(before >= 100);
+        for t in 0..100u64 {
+            b.emit(TraceEvent::Compute {
+                unit: UnitId(0),
+                t,
+                cycles: 1,
+                busy: 1.0,
+                stalls: [0.0; 4],
+            });
+        }
+        assert_eq!(b.events.capacity(), before);
+        assert_eq!(b.len(), 100);
+        // NullSink accepts hints and stays inert.
+        NullSink.hint_events(1 << 20);
     }
 
     #[test]

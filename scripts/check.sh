@@ -38,4 +38,29 @@ else
     || { echo "trace smoke: $TRACE_JSON malformed" >&2; exit 1; }
 fi
 
+echo "==> perf_report --smoke (schema check, no timing gate)"
+PERF_JSON="${TMPDIR:-/tmp}/isos-check-perf/BENCH_smoke.json"
+cargo run --release -q -p isosceles-bench --bin perf_report -- \
+  --smoke --out "$PERF_JSON" 2>/dev/null
+[ -s "$PERF_JSON" ] || { echo "perf smoke: $PERF_JSON missing or empty" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$PERF_JSON" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["schema"].startswith("isosceles-perf-report/"), r["schema"]
+assert r["timings"], "no timings recorded"
+models = {"isosceles", "isosceles-single", "sparten", "fused-layer"}
+suite = {"R81", "R90", "R95", "R96", "R98", "R99", "V68", "V90", "G58", "M75", "M89"}
+for t in r["timings"]:
+    assert t["workload"] in suite, f"unknown workload {t['workload']}"
+    assert t["model"] in models, f"unknown model {t['model']}"
+    assert t["millis"] > 0, f"non-positive timing {t}"
+assert r["total_millis"] > 0
+PY
+else
+  grep -q '"schema":"isosceles-perf-report/' "$PERF_JSON" \
+    && grep -q '"millis"' "$PERF_JSON" \
+    || { echo "perf smoke: $PERF_JSON malformed" >&2; exit 1; }
+fi
+
 echo "All checks passed."
