@@ -1,0 +1,769 @@
+//! The sharded, LRU-bounded persistent result store.
+//!
+//! Replaces the flat `results/cache/<hash>.json` layout: entries now
+//! live in 16 shard directories keyed by the top nibble of the job
+//! hash, and each shard carries a `manifest.json` tracking entry sizes
+//! and last-access order. The store is the single persistence layer
+//! behind both the CLI [`SuiteEngine`](crate::engine::SuiteEngine) and
+//! the long-running `isos-serve` server, so its guarantees matter:
+//!
+//! - **Atomic writes**: entries and manifests are written to a temp
+//!   file and renamed into place, so concurrent writers (threads of one
+//!   process, or a server and a CLI run racing on the same directory)
+//!   never expose half-written JSON.
+//! - **LRU byte bound**: an optional `--cache-bytes` / `ISOS_CACHE_BYTES`
+//!   budget is split evenly across the 16 shards; a store that pushes a
+//!   shard over its slice evicts least-recently-used entries until it
+//!   fits, so total on-disk bytes never exceed the budget.
+//! - **Quarantine, not silent overwrite**: corrupt, truncated, or
+//!   unknown-schema entry files are renamed to `*.bad` and recomputed
+//!   once; the store self-heals instead of re-tripping on (or silently
+//!   clobbering) the same poisoned file every run.
+//! - **Migration + adoption**: legacy flat-layout entries found at the
+//!   store root are moved into their shard on open, and valid entry
+//!   files missing from a manifest (e.g. written by a crashed process)
+//!   are adopted on first touch — warm caches stay warm across layouts
+//!   and processes.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use isos_sim::metrics::NetworkMetrics;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{WorkloadId, SCHEMA_VERSION};
+
+/// Number of shard directories (`0/` through `f/`, by top hash nibble).
+pub const SHARD_COUNT: usize = 16;
+
+/// Version of the per-shard manifest layout.
+const MANIFEST_SCHEMA: u32 = 1;
+
+/// The key fields an entry must match to count as a hit. Stored inside
+/// every entry file and revalidated on load, so a hash collision or a
+/// stale configuration degrades to a recompute instead of wrong numbers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EntryMeta {
+    /// Accelerator model name.
+    pub accel: String,
+    /// Stable hash of the accelerator configuration.
+    pub accel_key: u64,
+    /// Workload the metrics belong to.
+    pub workload: WorkloadId,
+    /// RNG seed of the run.
+    pub seed: u64,
+}
+
+/// On-disk layout of one memoized job result.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct EntryFile {
+    schema: u32,
+    accel: String,
+    accel_key: u64,
+    workload: WorkloadId,
+    seed: u64,
+    metrics: NetworkMetrics,
+}
+
+/// One manifest record: `(key, bytes, last_access)`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct ManifestEntry {
+    key: String,
+    bytes: u64,
+    last_access: u64,
+}
+
+/// Per-shard manifest as persisted in `<shard>/manifest.json`.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+struct Manifest {
+    schema: u32,
+    entries: Vec<ManifestEntry>,
+}
+
+/// Lifetime operation counters for one store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreCounters {
+    /// Loads that returned valid metrics.
+    pub hits: u64,
+    /// Loads that found nothing usable.
+    pub misses: u64,
+    /// Entries written (including overwrites).
+    pub writes: u64,
+    /// Corrupt/unknown-schema files renamed to `*.bad`.
+    pub quarantined: u64,
+    /// Valid files adopted into a manifest that had lost track of them.
+    pub adopted: u64,
+    /// Entries evicted to hold the byte bound.
+    pub evicted_entries: u64,
+    /// Bytes reclaimed by eviction.
+    pub evicted_bytes: u64,
+}
+
+/// Current on-disk footprint of a store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreUsage {
+    /// Live entries across all shards.
+    pub entries: usize,
+    /// Bytes those entries occupy (as recorded in the manifests).
+    pub bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct AtomicCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    quarantined: AtomicU64,
+    adopted: AtomicU64,
+    evicted_entries: AtomicU64,
+    evicted_bytes: AtomicU64,
+}
+
+/// The sharded, LRU-bounded persistent cache. See the [module docs](self).
+#[derive(Debug)]
+pub struct CacheStore {
+    root: PathBuf,
+    /// Total byte budget; `None` = unbounded.
+    byte_limit: Option<u64>,
+    /// Per-shard slice of the budget (`byte_limit / SHARD_COUNT`).
+    shard_limit: Option<u64>,
+    /// One lock per shard serializing manifest read-modify-write cycles.
+    locks: [Mutex<()>; SHARD_COUNT],
+    /// Monotonic logical clock ordering accesses for LRU.
+    clock: AtomicU64,
+    counters: AtomicCounters,
+}
+
+impl CacheStore {
+    /// Opens (creating if needed) a store rooted at `root`, bounded to
+    /// `byte_limit` total bytes (`None` = unbounded). Legacy flat-layout
+    /// entry files found directly under `root` are migrated into their
+    /// shards.
+    pub fn open(root: impl Into<PathBuf>, byte_limit: Option<u64>) -> Self {
+        let root = root.into();
+        let store = Self {
+            root,
+            byte_limit,
+            shard_limit: byte_limit.map(|b| b / SHARD_COUNT as u64),
+            locks: std::array::from_fn(|_| Mutex::new(())),
+            clock: AtomicU64::new(1),
+            counters: AtomicCounters::default(),
+        };
+        let _ = std::fs::create_dir_all(&store.root);
+        store.migrate_flat_layout();
+        store.init_clock();
+        store
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The total byte budget, if bounded.
+    pub fn byte_limit(&self) -> Option<u64> {
+        self.byte_limit
+    }
+
+    /// Snapshot of the lifetime operation counters.
+    pub fn counters(&self) -> StoreCounters {
+        StoreCounters {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            writes: self.counters.writes.load(Ordering::Relaxed),
+            quarantined: self.counters.quarantined.load(Ordering::Relaxed),
+            adopted: self.counters.adopted.load(Ordering::Relaxed),
+            evicted_entries: self.counters.evicted_entries.load(Ordering::Relaxed),
+            evicted_bytes: self.counters.evicted_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Loads the entry for `key`, validating it against `expect`.
+    ///
+    /// A hit refreshes the entry's last-access stamp. Corrupt or
+    /// unknown-schema files are quarantined (renamed `*.bad`); key-field
+    /// mismatches (hash collision or stale config) read as a plain miss
+    /// and are overwritten by the subsequent store.
+    pub fn load(&self, key: u64, expect: &EntryMeta) -> Option<NetworkMetrics> {
+        let shard = shard_of(key);
+        let _guard = self.locks[shard].lock().expect("shard lock poisoned");
+        let dir = self.shard_dir(shard);
+        let path = dir.join(entry_file_name(key));
+        let mut manifest = self.read_manifest(shard);
+
+        let loaded = self.read_entry(&path, &mut manifest, key);
+        let hit = match loaded {
+            Some(entry)
+                if entry.accel == expect.accel
+                    && entry.accel_key == expect.accel_key
+                    && entry.workload == expect.workload
+                    && entry.seed == expect.seed =>
+            {
+                let stamp = self.tick();
+                if let Some(rec) = manifest_entry_mut(&mut manifest, key) {
+                    rec.last_access = stamp;
+                }
+                Some(entry.metrics)
+            }
+            _ => None,
+        };
+        self.write_manifest(shard, &manifest);
+        if hit.is_some() {
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Persists `metrics` under `key`, evicting least-recently-used
+    /// entries if the shard's byte slice would be exceeded. Failures are
+    /// swallowed: the cache is an optimization, not a correctness
+    /// requirement.
+    pub fn store(&self, key: u64, meta: &EntryMeta, metrics: &NetworkMetrics) {
+        let entry = EntryFile {
+            schema: SCHEMA_VERSION,
+            accel: meta.accel.clone(),
+            accel_key: meta.accel_key,
+            workload: meta.workload.clone(),
+            seed: meta.seed,
+            metrics: metrics.clone(),
+        };
+        let text = serde::json::to_string(&entry);
+        let bytes = text.len() as u64;
+
+        let shard = shard_of(key);
+        let _guard = self.locks[shard].lock().expect("shard lock poisoned");
+        let dir = self.shard_dir(shard);
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join(entry_file_name(key));
+        if !atomic_write(&path, text.as_bytes()) {
+            return;
+        }
+        self.counters.writes.fetch_add(1, Ordering::Relaxed);
+
+        let mut manifest = self.read_manifest(shard);
+        let stamp = self.tick();
+        match manifest_entry_mut(&mut manifest, key) {
+            Some(rec) => {
+                rec.bytes = bytes;
+                rec.last_access = stamp;
+            }
+            None => manifest.entries.push(ManifestEntry {
+                key: format!("{key:016x}"),
+                bytes,
+                last_access: stamp,
+            }),
+        }
+        self.evict_over_limit(&dir, &mut manifest);
+        self.write_manifest(shard, &manifest);
+    }
+
+    /// Live entry count and byte total, summed over all shard manifests.
+    pub fn usage(&self) -> StoreUsage {
+        let mut usage = StoreUsage::default();
+        for shard in 0..SHARD_COUNT {
+            let _guard = self.locks[shard].lock().expect("shard lock poisoned");
+            let manifest = self.read_manifest(shard);
+            usage.entries += manifest.entries.len();
+            usage.bytes += manifest.entries.iter().map(|e| e.bytes).sum::<u64>();
+        }
+        usage
+    }
+
+    /// Integrity check for tests and tooling: every manifest record must
+    /// point at an existing file of the recorded size, and every bounded
+    /// shard must hold its byte slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn verify(&self) -> Result<StoreUsage, String> {
+        let mut usage = StoreUsage::default();
+        for shard in 0..SHARD_COUNT {
+            let _guard = self.locks[shard].lock().expect("shard lock poisoned");
+            let dir = self.shard_dir(shard);
+            let manifest = self.read_manifest(shard);
+            let mut shard_bytes = 0u64;
+            for rec in &manifest.entries {
+                let path = dir.join(format!("{}.json", rec.key));
+                let meta = std::fs::metadata(&path)
+                    .map_err(|_| format!("manifest references missing file {}", path.display()))?;
+                if meta.len() != rec.bytes {
+                    return Err(format!(
+                        "manifest records {} bytes for {} but the file holds {}",
+                        rec.bytes,
+                        path.display(),
+                        meta.len()
+                    ));
+                }
+                shard_bytes += rec.bytes;
+            }
+            if let Some(limit) = self.shard_limit {
+                if shard_bytes > limit {
+                    return Err(format!(
+                        "shard {shard:x} holds {shard_bytes} bytes, over its {limit}-byte slice"
+                    ));
+                }
+            }
+            usage.entries += manifest.entries.len();
+            usage.bytes += shard_bytes;
+        }
+        Ok(usage)
+    }
+
+    /// Path the entry for `key` lives at (whether or not it exists).
+    pub fn entry_path(&self, key: u64) -> PathBuf {
+        self.shard_dir(shard_of(key)).join(entry_file_name(key))
+    }
+
+    /// Reads and validates the entry file at `path`, quarantining it on
+    /// corruption or schema mismatch, adopting it into `manifest` if it
+    /// was untracked. Returns the parsed entry if structurally valid.
+    fn read_entry(&self, path: &Path, manifest: &mut Manifest, key: u64) -> Option<EntryFile> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(_) => {
+                // File gone (evicted by a peer, or never written): make
+                // sure the manifest does not keep referencing it.
+                manifest_remove(manifest, key);
+                return None;
+            }
+        };
+        let parsed: Result<EntryFile, _> = serde::json::from_str(&text);
+        let entry = match parsed {
+            Ok(e) if e.schema == SCHEMA_VERSION => e,
+            // Corrupt, truncated, or from an unknown schema version:
+            // quarantine so the next run does not trip on it again.
+            _ => {
+                self.quarantine(path);
+                manifest_remove(manifest, key);
+                return None;
+            }
+        };
+        if manifest_entry_mut(manifest, key).is_none() {
+            manifest.entries.push(ManifestEntry {
+                key: format!("{key:016x}"),
+                bytes: text.len() as u64,
+                last_access: 0,
+            });
+            self.counters.adopted.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(entry)
+    }
+
+    /// Renames a poisoned entry to `<name>.bad` (best effort).
+    fn quarantine(&self, path: &Path) {
+        let bad = path.with_extension("json.bad");
+        if std::fs::rename(path, &bad).is_ok() {
+            self.counters.quarantined.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Evicts least-recently-used entries until the shard fits its byte
+    /// slice. The freshly written entry is eligible too: a bound smaller
+    /// than one entry means the store holds nothing, not "a bit over".
+    fn evict_over_limit(&self, dir: &Path, manifest: &mut Manifest) {
+        let Some(limit) = self.shard_limit else {
+            return;
+        };
+        let mut total: u64 = manifest.entries.iter().map(|e| e.bytes).sum();
+        while total > limit && !manifest.entries.is_empty() {
+            let (idx, _) = manifest
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_access)
+                .expect("non-empty manifest");
+            let victim = manifest.entries.swap_remove(idx);
+            let _ = std::fs::remove_file(dir.join(format!("{}.json", victim.key)));
+            total -= victim.bytes;
+            self.counters
+                .evicted_entries
+                .fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .evicted_bytes
+                .fetch_add(victim.bytes, Ordering::Relaxed);
+        }
+    }
+
+    fn shard_dir(&self, shard: usize) -> PathBuf {
+        self.root.join(format!("{shard:x}"))
+    }
+
+    /// Reads a shard manifest; a missing or unreadable manifest rebuilds
+    /// itself from the entry files present in the directory (all marked
+    /// least-recently-used), so a lost manifest degrades to a cold-ish
+    /// shard instead of an unusable one.
+    fn read_manifest(&self, shard: usize) -> Manifest {
+        let dir = self.shard_dir(shard);
+        let path = dir.join("manifest.json");
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(m) = serde::json::from_str::<Manifest>(&text) {
+                if m.schema == MANIFEST_SCHEMA {
+                    return m;
+                }
+            }
+        }
+        let mut manifest = Manifest {
+            schema: MANIFEST_SCHEMA,
+            entries: Vec::new(),
+        };
+        if let Ok(dir_iter) = std::fs::read_dir(&dir) {
+            for file in dir_iter.flatten() {
+                let name = file.file_name();
+                let Some(key) = entry_key_of(&name.to_string_lossy()) else {
+                    continue;
+                };
+                let Ok(meta) = file.metadata() else { continue };
+                manifest.entries.push(ManifestEntry {
+                    key: format!("{key:016x}"),
+                    bytes: meta.len(),
+                    last_access: 0,
+                });
+            }
+        }
+        manifest
+    }
+
+    fn write_manifest(&self, shard: usize, manifest: &Manifest) {
+        let dir = self.shard_dir(shard);
+        let _ = std::fs::create_dir_all(&dir);
+        atomic_write(
+            &dir.join("manifest.json"),
+            serde::json::to_string(manifest).as_bytes(),
+        );
+    }
+
+    /// Next logical-clock stamp.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Starts the logical clock past every stamp already on disk, so
+    /// fresh accesses sort after entries from previous processes.
+    fn init_clock(&self) {
+        let mut max = 0;
+        for shard in 0..SHARD_COUNT {
+            let manifest = self.read_manifest(shard);
+            for rec in &manifest.entries {
+                max = max.max(rec.last_access);
+            }
+        }
+        self.clock.store(max + 1, Ordering::Relaxed);
+    }
+
+    /// Moves legacy flat-layout entries (`<root>/<hash>.json`) into
+    /// their shard directories so pre-sharding caches stay warm.
+    fn migrate_flat_layout(&self) {
+        let Ok(dir_iter) = std::fs::read_dir(&self.root) else {
+            return;
+        };
+        let mut moved: HashMap<usize, Vec<(u64, u64)>> = HashMap::new();
+        for file in dir_iter.flatten() {
+            if !file.file_type().map(|t| t.is_file()).unwrap_or(false) {
+                continue;
+            }
+            let name = file.file_name();
+            let Some(key) = entry_key_of(&name.to_string_lossy()) else {
+                continue;
+            };
+            let shard = shard_of(key);
+            let dest_dir = self.shard_dir(shard);
+            let _ = std::fs::create_dir_all(&dest_dir);
+            let dest = dest_dir.join(entry_file_name(key));
+            if let Ok(meta) = file.metadata() {
+                if std::fs::rename(file.path(), &dest).is_ok() {
+                    moved.entry(shard).or_default().push((key, meta.len()));
+                }
+            }
+        }
+        for (shard, entries) in moved {
+            let _guard = self.locks[shard].lock().expect("shard lock poisoned");
+            let mut manifest = self.read_manifest(shard);
+            for (key, bytes) in entries {
+                if manifest_entry_mut(&mut manifest, key).is_none() {
+                    manifest.entries.push(ManifestEntry {
+                        key: format!("{key:016x}"),
+                        bytes,
+                        last_access: 0,
+                    });
+                }
+            }
+            self.write_manifest(shard, &manifest);
+        }
+    }
+}
+
+impl fmt::Display for StoreCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses / {} writes / {} evicted / {} quarantined",
+            self.hits, self.misses, self.writes, self.evicted_entries, self.quarantined
+        )
+    }
+}
+
+/// Shard index of a key: its top hex nibble.
+fn shard_of(key: u64) -> usize {
+    (key >> 60) as usize
+}
+
+/// File name of an entry (`<016x>.json`).
+fn entry_file_name(key: u64) -> String {
+    format!("{key:016x}.json")
+}
+
+/// Parses `<016x>.json` back into its key; `None` for anything else
+/// (manifests, quarantined files, temp files).
+fn entry_key_of(name: &str) -> Option<u64> {
+    let hex = name.strip_suffix(".json")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+fn manifest_entry_mut(manifest: &mut Manifest, key: u64) -> Option<&mut ManifestEntry> {
+    let hex = format!("{key:016x}");
+    manifest.entries.iter_mut().find(|e| e.key == hex)
+}
+
+fn manifest_remove(manifest: &mut Manifest, key: u64) {
+    let hex = format!("{key:016x}");
+    manifest.entries.retain(|e| e.key != hex);
+}
+
+/// Writes `bytes` to `path` via a uniquely named temp file and an atomic
+/// rename; returns whether the write landed.
+fn atomic_write(path: &Path, bytes: &[u8]) -> bool {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let tmp = path.with_extension(format!("tmp.{}.{}", std::process::id(), seq));
+    if std::fs::write(&tmp, bytes).is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return false;
+    }
+    if std::fs::rename(&tmp, path).is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return false;
+    }
+    true
+}
+
+/// Parses a byte-size string: plain bytes, or with a `k`/`m`/`g` suffix
+/// (optionally followed by `b`), case-insensitive: `65536`, `64k`,
+/// `512MB`, `2g`.
+pub fn parse_byte_size(text: &str) -> Option<u64> {
+    let t = text.trim().to_ascii_lowercase();
+    let (digits, mult) = if let Some(d) = t.strip_suffix("kb").or_else(|| t.strip_suffix('k')) {
+        (d, 1u64 << 10)
+    } else if let Some(d) = t.strip_suffix("mb").or_else(|| t.strip_suffix('m')) {
+        (d, 1 << 20)
+    } else if let Some(d) = t.strip_suffix("gb").or_else(|| t.strip_suffix('g')) {
+        (d, 1 << 30)
+    } else {
+        (t.as_str(), 1)
+    };
+    let n: u64 = digits.trim().parse().ok()?;
+    n.checked_mul(mult)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isos_sim::metrics::{NetworkMetrics, RunMetrics};
+    use std::sync::atomic::AtomicU32;
+
+    fn scratch_root(tag: &str) -> PathBuf {
+        static NONCE: AtomicU32 = AtomicU32::new(0);
+        let n = NONCE.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("isos-cache-{}-{tag}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn meta(i: u64) -> EntryMeta {
+        EntryMeta {
+            accel: "testaccel".into(),
+            accel_key: 42,
+            workload: WorkloadId::new(format!("W{i}")),
+            seed: 7,
+        }
+    }
+
+    fn metrics(cycles: u64) -> NetworkMetrics {
+        NetworkMetrics {
+            total: RunMetrics {
+                cycles,
+                ..RunMetrics::default()
+            },
+            ..NetworkMetrics::default()
+        }
+    }
+
+    #[test]
+    fn store_load_roundtrip_and_counters() {
+        let store = CacheStore::open(scratch_root("roundtrip"), None);
+        let m = metrics(123);
+        store.store(0xabcd, &meta(1), &m);
+        assert_eq!(store.load(0xabcd, &meta(1)), Some(m));
+        // Different expectation (other workload): miss, no quarantine.
+        assert_eq!(store.load(0xabcd, &meta(2)), None);
+        let c = store.counters();
+        assert_eq!((c.hits, c.misses, c.writes, c.quarantined), (1, 1, 1, 0));
+        assert_eq!(store.usage().entries, 1);
+    }
+
+    #[test]
+    fn keys_spread_across_shard_directories() {
+        let root = scratch_root("shards");
+        let store = CacheStore::open(&root, None);
+        for i in 0..SHARD_COUNT as u64 {
+            let key = i << 60 | 0x1111;
+            store.store(key, &meta(i), &metrics(i));
+        }
+        for shard in 0..SHARD_COUNT {
+            let dir = root.join(format!("{shard:x}"));
+            assert!(dir.join("manifest.json").is_file(), "shard {shard:x}");
+            let entries = std::fs::read_dir(&dir)
+                .unwrap()
+                .filter(|f| {
+                    entry_key_of(&f.as_ref().unwrap().file_name().to_string_lossy()).is_some()
+                })
+                .count();
+            assert_eq!(entries, 1, "shard {shard:x} holds exactly its key");
+        }
+        assert_eq!(store.verify().unwrap().entries, SHARD_COUNT);
+    }
+
+    #[test]
+    fn corrupt_entry_is_quarantined_and_store_self_heals() {
+        let store = CacheStore::open(scratch_root("quarantine"), None);
+        let key = 0x7777;
+        store.store(key, &meta(1), &metrics(9));
+        let path = store.entry_path(key);
+        std::fs::write(&path, "{ truncated garb").unwrap();
+
+        // First load: quarantined, miss.
+        assert_eq!(store.load(key, &meta(1)), None);
+        assert!(!path.exists(), "poisoned entry removed from its slot");
+        assert!(
+            path.with_extension("json.bad").exists(),
+            "poisoned entry preserved as *.bad"
+        );
+        assert_eq!(store.counters().quarantined, 1);
+        store
+            .verify()
+            .expect("manifest consistent after quarantine");
+
+        // Recompute-once: a single store heals the slot for good.
+        store.store(key, &meta(1), &metrics(9));
+        assert_eq!(store.load(key, &meta(1)), Some(metrics(9)));
+        assert_eq!(store.counters().quarantined, 1, "no re-quarantine");
+    }
+
+    #[test]
+    fn unknown_schema_entry_is_quarantined() {
+        let store = CacheStore::open(scratch_root("schema"), None);
+        let key = 0x1234_5678;
+        store.store(key, &meta(1), &metrics(1));
+        let path = store.entry_path(key);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let future = text.replacen(
+            &format!("\"schema\":{SCHEMA_VERSION}"),
+            &format!("\"schema\":{}", SCHEMA_VERSION + 9),
+            1,
+        );
+        assert_ne!(future, text);
+        std::fs::write(&path, future).unwrap();
+        assert_eq!(store.load(key, &meta(1)), None);
+        assert!(path.with_extension("json.bad").exists());
+        assert_eq!(store.counters().quarantined, 1);
+    }
+
+    #[test]
+    fn lru_eviction_holds_the_byte_bound() {
+        // One entry is ~160 bytes; a 16 KiB budget gives each shard a
+        // 1 KiB slice, so a few entries per shard force evictions.
+        let store = CacheStore::open(scratch_root("lru"), Some(16 * 1024));
+        let shard_keys: Vec<u64> = (0..40).map(|i| (3u64 << 60) | i).collect();
+        for (i, &key) in shard_keys.iter().enumerate() {
+            store.store(key, &meta(i as u64), &metrics(i as u64));
+        }
+        let usage = store.verify().expect("bound + manifest invariants hold");
+        assert!(usage.bytes <= 16 * 1024);
+        assert!(store.counters().evicted_entries > 0, "evictions happened");
+        // The most recently written key survived; the oldest did not.
+        assert!(store.load(*shard_keys.last().unwrap(), &meta(39)).is_some());
+        assert!(store.load(shard_keys[0], &meta(0)).is_none());
+    }
+
+    #[test]
+    fn hits_refresh_recency() {
+        // 4 KiB per shard ≈ 11 entries of ~345 bytes each.
+        let store = CacheStore::open(scratch_root("recency"), Some(64 * 1024));
+        let keyed = |i: u64| (5u64 << 60) | i;
+        // Fill with 0..4, then keep touching key 0 while inserting more:
+        // key 0 must survive the evictions that claim its cohort.
+        for i in 0..4 {
+            store.store(keyed(i), &meta(i), &metrics(i));
+        }
+        for i in 4..24 {
+            assert!(store.load(keyed(0), &meta(0)).is_some(), "insert {i}");
+            store.store(keyed(i), &meta(i), &metrics(i));
+        }
+        assert!(store.load(keyed(0), &meta(0)).is_some());
+        assert!(store.load(keyed(1), &meta(1)).is_none(), "LRU victim");
+    }
+
+    #[test]
+    fn flat_layout_entries_migrate_on_open() {
+        let root = scratch_root("migrate");
+        // Write through one store, then flatten its file back to the
+        // legacy location and reopen.
+        let store = CacheStore::open(&root, None);
+        let key = 0xfeed_beef_dead_c0de;
+        store.store(key, &meta(1), &metrics(77));
+        let sharded = store.entry_path(key);
+        let flat = root.join(entry_file_name(key));
+        std::fs::rename(&sharded, &flat).unwrap();
+        drop(store);
+
+        let reopened = CacheStore::open(&root, None);
+        assert!(!flat.exists(), "flat file moved into its shard");
+        assert_eq!(reopened.load(key, &meta(1)), Some(metrics(77)));
+        reopened.verify().expect("migrated store is consistent");
+    }
+
+    #[test]
+    fn untracked_valid_file_is_adopted() {
+        let root = scratch_root("adopt");
+        let store = CacheStore::open(&root, None);
+        let key = 0x42;
+        store.store(key, &meta(1), &metrics(5));
+        // Simulate a peer process that wrote the entry but whose
+        // manifest update was lost.
+        let manifest = root.join("0").join("manifest.json");
+        std::fs::write(&manifest, "{\"schema\":1,\"entries\":[]}").unwrap();
+        assert_eq!(store.load(key, &meta(1)), Some(metrics(5)));
+        assert_eq!(store.counters().adopted, 1);
+        store.verify().expect("adopted entry is tracked");
+    }
+
+    #[test]
+    fn byte_size_parsing() {
+        assert_eq!(parse_byte_size("65536"), Some(65536));
+        assert_eq!(parse_byte_size("64k"), Some(64 << 10));
+        assert_eq!(parse_byte_size("64KB"), Some(64 << 10));
+        assert_eq!(parse_byte_size("3m"), Some(3 << 20));
+        assert_eq!(parse_byte_size("2G"), Some(2 << 30));
+        assert_eq!(parse_byte_size(" 8 k "), Some(8 << 10));
+        assert_eq!(parse_byte_size("x"), None);
+        assert_eq!(parse_byte_size(""), None);
+    }
+}

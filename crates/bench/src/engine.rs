@@ -10,15 +10,22 @@
 //!   `ISOS_THREADS` worker threads (default: available parallelism).
 //!   Results are assembled by job index, so output is bit-identical to a
 //!   serial run regardless of completion order.
-//! - **Caching**: each job's metrics land in
-//!   `results/cache/<hash>.json`, keyed by a stable FNV-1a hash of the
-//!   accelerator's [`cache_key`](Accelerator::cache_key), the workload
-//!   id, the seed, and [`SCHEMA_VERSION`]. Entries self-describe those
-//!   key fields and are revalidated on load; corrupt or stale files are
-//!   recomputed and rewritten. Disable with `--no-cache` /
-//!   `ISOS_NO_CACHE`, relocate with `ISOS_CACHE_DIR`.
-//! - **Accounting**: per-job wall time plus hit/miss counters, printed
-//!   as a one-line summary on stderr after each run.
+//! - **Caching**: each job's metrics land in the sharded, LRU-bounded
+//!   [`CacheStore`] under `results/cache/`,
+//!   keyed by a stable FNV-1a hash of the accelerator's
+//!   [`cache_key`](Accelerator::cache_key), the workload id, the seed,
+//!   and [`SCHEMA_VERSION`]. Entries self-describe those key fields and
+//!   are revalidated on load; corrupt or stale files are quarantined
+//!   and recomputed. Disable with `--no-cache` / `ISOS_NO_CACHE`,
+//!   relocate with `ISOS_CACHE_DIR`, bound with `--cache-bytes` /
+//!   `ISOS_CACHE_BYTES`.
+//! - **Single-flight dedup**: concurrent identical jobs (same
+//!   accelerator config, workload, and seed) cost exactly one
+//!   simulation — the first claimant computes, every other racer waits
+//!   on the in-flight slot and receives the same metrics, recorded as
+//!   `deduped` rather than recomputed.
+//! - **Accounting**: per-job wall time plus hit/miss/dedup counters,
+//!   printed as a one-line summary on stderr after each run.
 //!
 //! # Examples
 //!
@@ -30,10 +37,11 @@
 //! eprintln!("{}", run.stats.summary());
 //! ```
 
+use std::collections::HashMap;
 use std::fmt;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, OnceLock};
 use std::time::Instant;
 
 use isos_baselines::{FusedLayerConfig, IsoscelesSingleConfig, SpartenConfig};
@@ -44,6 +52,7 @@ use isosceles::IsoscelesConfig;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
+use crate::cache::{parse_byte_size, CacheStore, EntryMeta};
 use crate::suite::SuiteRow;
 
 /// Version of the cache entry layout. Bump on any change to
@@ -107,6 +116,8 @@ pub struct EngineOptions {
     pub use_cache: bool,
     /// Cache directory (default `results/cache`).
     pub cache_dir: PathBuf,
+    /// Total byte budget for the on-disk cache (`None` = unbounded).
+    pub cache_bytes: Option<u64>,
     /// Suppress the end-of-run summary line on stderr.
     pub quiet: bool,
 }
@@ -117,6 +128,7 @@ impl Default for EngineOptions {
             threads: default_threads(),
             use_cache: true,
             cache_dir: PathBuf::from("results/cache"),
+            cache_bytes: None,
             quiet: false,
         }
     }
@@ -137,7 +149,9 @@ impl EngineOptions {
     /// - `--threads N` / `--threads=N`, else `ISOS_THREADS`, else
     ///   available parallelism;
     /// - `--no-cache`, else `ISOS_NO_CACHE` (any value but `0` or empty);
-    /// - `ISOS_CACHE_DIR` overrides the `results/cache` location.
+    /// - `ISOS_CACHE_DIR` overrides the `results/cache` location;
+    /// - `--cache-bytes N[k|m|g]`, else `ISOS_CACHE_BYTES`, bounds the
+    ///   store (unbounded when unset).
     ///
     /// Unrecognized arguments are ignored so binaries keep their own
     /// flags.
@@ -160,6 +174,11 @@ impl EngineOptions {
                 opts.cache_dir = PathBuf::from(dir);
             }
         }
+        if let Ok(v) = std::env::var("ISOS_CACHE_BYTES") {
+            if let Some(n) = parse_byte_size(&v) {
+                opts.cache_bytes = Some(n);
+            }
+        }
 
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -172,6 +191,14 @@ impl EngineOptions {
             } else if let Some(v) = arg.strip_prefix("--threads=") {
                 if let Ok(n) = v.parse::<usize>() {
                     opts.threads = n.max(1);
+                }
+            } else if arg == "--cache-bytes" {
+                if let Some(n) = it.next().and_then(|v| parse_byte_size(v)) {
+                    opts.cache_bytes = Some(n);
+                }
+            } else if let Some(v) = arg.strip_prefix("--cache-bytes=") {
+                if let Some(n) = parse_byte_size(v) {
+                    opts.cache_bytes = Some(n);
                 }
             }
         }
@@ -190,6 +217,9 @@ pub struct JobRecord {
     pub millis: f64,
     /// Whether the result came from the cache.
     pub cache_hit: bool,
+    /// Whether the result came from another in-flight identical job
+    /// (single-flight dedup) rather than the cache or a fresh simulation.
+    pub deduped: bool,
 }
 
 /// Cache hit/miss counters, either for one run ([`EngineStats::cache`])
@@ -244,6 +274,8 @@ pub struct EngineStats {
     pub hits: usize,
     /// Jobs simulated.
     pub misses: usize,
+    /// Jobs served by waiting on an identical in-flight job.
+    pub deduped: usize,
     /// Worker threads used.
     pub threads: usize,
     /// End-to-end wall time in milliseconds.
@@ -255,7 +287,7 @@ pub struct EngineStats {
 impl EngineStats {
     /// Total job count.
     pub fn jobs_total(&self) -> usize {
-        self.hits + self.misses
+        self.hits + self.misses + self.deduped
     }
 
     /// This run's cache counters as a standalone struct.
@@ -276,8 +308,13 @@ impl EngineStats {
             Some(j) => format!(", slowest {}/{} {:.0} ms", j.accel, j.workload, j.millis),
             None => String::new(),
         };
+        let deduped = if self.deduped > 0 {
+            format!(", {} deduped", self.deduped)
+        } else {
+            String::new()
+        };
         format!(
-            "suite engine: {} jobs ({} cache hits, {} misses) on {} thread{} in {:.0} ms{}",
+            "suite engine: {} jobs ({} cache hits, {} misses{deduped}) on {} thread{} in {:.0} ms{}",
             self.jobs_total(),
             self.hits,
             self.misses,
@@ -298,21 +335,6 @@ pub struct SuiteRun {
     pub stats: EngineStats,
 }
 
-/// One memoized job result as stored on disk.
-///
-/// The key fields are stored alongside the metrics and revalidated on
-/// load, so a hash collision, a schema bump, or a hand-edited file all
-/// degrade to a recompute instead of silently wrong numbers.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-struct CacheEntry {
-    schema: u32,
-    accel: String,
-    accel_key: u64,
-    workload: WorkloadId,
-    seed: u64,
-    metrics: NetworkMetrics,
-}
-
 /// FNV-1a fold, matching [`isosceles::accel::stable_key`]'s primitive.
 fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
     bytes.iter().fold(state, |h, &b| {
@@ -329,22 +351,158 @@ pub fn job_key(accel: &dyn Accelerator, workload: &WorkloadId, seed: u64) -> u64
     fnv1a(h, &seed.to_le_bytes())
 }
 
-/// Cumulative cache counters shared by an engine and all its clones.
+/// Cumulative job counters shared by an engine and all its clones.
 #[derive(Debug, Default)]
 struct LifetimeCounters {
     hits: AtomicUsize,
     misses: AtomicUsize,
+    deduped: AtomicUsize,
+    computes: AtomicUsize,
+}
+
+/// State of one in-flight single-flight slot.
+#[derive(Debug)]
+enum SlotState {
+    /// The leader is simulating.
+    Running,
+    /// The leader finished; waiters clone this result.
+    Done(NetworkMetrics),
+    /// The leader panicked; waiters must not hang.
+    Poisoned,
+}
+
+/// One in-flight job that waiters can subscribe to.
+#[derive(Debug)]
+struct InflightSlot {
+    state: std::sync::Mutex<SlotState>,
+    ready: Condvar,
+}
+
+impl InflightSlot {
+    fn new() -> Self {
+        Self {
+            state: std::sync::Mutex::new(SlotState::Running),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the leader resolves the slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the leader panicked; the panic then propagates through
+    /// the waiter exactly as the leader's would have.
+    fn wait(&self) -> NetworkMetrics {
+        let mut state = self.state.lock().expect("inflight slot poisoned");
+        loop {
+            match &*state {
+                SlotState::Running => {
+                    state = self.ready.wait(state).expect("inflight slot poisoned");
+                }
+                SlotState::Done(metrics) => return metrics.clone(),
+                SlotState::Poisoned => panic!("single-flight leader panicked"),
+            }
+        }
+    }
+
+    fn resolve(&self, state: SlotState) {
+        *self.state.lock().expect("inflight slot poisoned") = state;
+        self.ready.notify_all();
+    }
+}
+
+/// The process-local single-flight table: at most one simulation per
+/// [`job_key`] is in flight at a time; every other claimant of the same
+/// key subscribes to the leader's slot.
+#[derive(Debug, Default)]
+struct InflightTable {
+    slots: std::sync::Mutex<HashMap<u64, Arc<InflightSlot>>>,
+}
+
+/// Outcome of claiming a key in the [`InflightTable`].
+enum Claim<'a> {
+    /// This caller computes; completing (or unwinding) releases the key.
+    Leader(LeaderToken<'a>),
+    /// An identical job is already in flight; wait on its slot.
+    Waiter(Arc<InflightSlot>),
+}
+
+/// RAII leadership of one in-flight key. Dropping the token without
+/// [`complete`](Self::complete) (i.e. a panicking leader) poisons the
+/// slot so waiters unwind too instead of hanging.
+struct LeaderToken<'a> {
+    table: &'a InflightTable,
+    key: u64,
+    slot: Arc<InflightSlot>,
+    completed: bool,
+}
+
+impl InflightTable {
+    fn claim(&self, key: u64) -> Claim<'_> {
+        let mut slots = self.slots.lock().expect("inflight table poisoned");
+        if let Some(slot) = slots.get(&key) {
+            return Claim::Waiter(Arc::clone(slot));
+        }
+        let slot = Arc::new(InflightSlot::new());
+        slots.insert(key, Arc::clone(&slot));
+        Claim::Leader(LeaderToken {
+            table: self,
+            key,
+            slot,
+            completed: false,
+        })
+    }
+
+    fn len(&self) -> usize {
+        self.slots.lock().expect("inflight table poisoned").len()
+    }
+
+    fn release(&self, key: u64) {
+        self.slots
+            .lock()
+            .expect("inflight table poisoned")
+            .remove(&key);
+    }
+}
+
+impl LeaderToken<'_> {
+    /// Publishes the result to every waiter and releases the key.
+    fn complete(mut self, metrics: NetworkMetrics) {
+        self.completed = true;
+        self.slot.resolve(SlotState::Done(metrics));
+        self.table.release(self.key);
+    }
+}
+
+impl Drop for LeaderToken<'_> {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.slot.resolve(SlotState::Poisoned);
+            self.table.release(self.key);
+        }
+    }
+}
+
+/// Engine state shared across clones: counters, the single-flight
+/// table, and the lazily opened cache store.
+#[derive(Debug, Default)]
+struct EngineShared {
+    lifetime: LifetimeCounters,
+    inflight: InflightTable,
+    store: OnceLock<Option<Arc<CacheStore>>>,
 }
 
 /// The parallel, cached suite driver. See the [module docs](self).
 ///
-/// Cloning an engine shares its lifetime cache counters, so a driver can
-/// hand clones to helpers and still read one cumulative
-/// [`lifetime_cache`](Self::lifetime_cache) total.
+/// Cloning an engine shares its lifetime counters, its single-flight
+/// table, and its cache store, so a driver can hand clones to helpers
+/// and still read one cumulative [`lifetime_cache`](Self::lifetime_cache)
+/// total — and concurrent identical jobs on any clone dedupe against
+/// each other.
 #[derive(Clone, Debug, Default)]
 pub struct SuiteEngine {
     opts: EngineOptions,
-    lifetime: Arc<LifetimeCounters>,
+    shared: Arc<EngineShared>,
 }
 
 impl SuiteEngine {
@@ -352,7 +510,7 @@ impl SuiteEngine {
     pub fn new(opts: EngineOptions) -> Self {
         Self {
             opts,
-            lifetime: Arc::default(),
+            shared: Arc::default(),
         }
     }
 
@@ -368,12 +526,47 @@ impl SuiteEngine {
     }
 
     /// Cache counters accumulated over every `run_*` call on this engine
-    /// and its clones.
+    /// and its clones. Deduped jobs count toward neither side.
     pub fn lifetime_cache(&self) -> CacheStats {
         CacheStats {
-            hits: self.lifetime.hits.load(Ordering::Relaxed),
-            misses: self.lifetime.misses.load(Ordering::Relaxed),
+            hits: self.shared.lifetime.hits.load(Ordering::Relaxed),
+            misses: self.shared.lifetime.misses.load(Ordering::Relaxed),
         }
+    }
+
+    /// Number of actual simulations performed by this engine and its
+    /// clones — the count that single-flight dedup and caching exist to
+    /// minimize. `N` identical concurrent requests increment this once.
+    pub fn lifetime_computes(&self) -> usize {
+        self.shared.lifetime.computes.load(Ordering::Relaxed)
+    }
+
+    /// Jobs served by subscribing to an identical in-flight job, over
+    /// the engine's lifetime.
+    pub fn lifetime_deduped(&self) -> usize {
+        self.shared.lifetime.deduped.load(Ordering::Relaxed)
+    }
+
+    /// Number of jobs currently being simulated (single-flight slots in
+    /// flight).
+    pub fn inflight_len(&self) -> usize {
+        self.shared.inflight.len()
+    }
+
+    /// The engine's persistent cache store, if caching is enabled.
+    /// Opened lazily on first use; clones share the instance.
+    pub fn cache_store(&self) -> Option<Arc<CacheStore>> {
+        self.shared
+            .store
+            .get_or_init(|| {
+                self.opts.use_cache.then(|| {
+                    Arc::new(CacheStore::open(
+                        self.opts.cache_dir.clone(),
+                        self.opts.cache_bytes,
+                    ))
+                })
+            })
+            .clone()
     }
 
     /// Runs the paper's 11-CNN suite on all four accelerator models and
@@ -425,11 +618,6 @@ impl SuiteEngine {
             .flat_map(|w| (0..accels.len()).map(move |a| (w, a)))
             .collect();
 
-        if self.opts.use_cache {
-            // Best-effort: a failure here surfaces naturally on write.
-            let _ = std::fs::create_dir_all(&self.opts.cache_dir);
-        }
-
         let slots: Mutex<Vec<Option<(NetworkMetrics, JobRecord)>>> =
             Mutex::new((0..jobs.len()).map(|_| None).collect());
         let next = AtomicUsize::new(0);
@@ -458,6 +646,8 @@ impl SuiteEngine {
             let (metrics, record) = slot.expect("all jobs completed");
             if record.cache_hit {
                 stats.hits += 1;
+            } else if record.deduped {
+                stats.deduped += 1;
             } else {
                 stats.misses += 1;
             }
@@ -465,14 +655,23 @@ impl SuiteEngine {
             grid[w].push(metrics);
         }
         stats.wall_millis = started.elapsed().as_secs_f64() * 1e3;
-        self.lifetime.hits.fetch_add(stats.hits, Ordering::Relaxed);
-        self.lifetime
-            .misses
-            .fetch_add(stats.misses, Ordering::Relaxed);
         if !self.opts.quiet {
             eprintln!("{}", stats.summary());
         }
         (grid, stats)
+    }
+
+    /// Runs (or recalls) one job through the full cache + single-flight
+    /// pipeline, updating the lifetime counters. This is the unit the
+    /// `isos-serve` dispatcher schedules: concurrent identical calls on
+    /// this engine (or its clones) cost exactly one simulation.
+    pub fn run_one(
+        &self,
+        workload: &Workload,
+        accel: &dyn Accelerator,
+        seed: u64,
+    ) -> (NetworkMetrics, JobRecord) {
+        self.run_job(workload, accel, seed)
     }
 
     /// Runs (or recalls) a single job.
@@ -484,87 +683,58 @@ impl SuiteEngine {
     ) -> (NetworkMetrics, JobRecord) {
         let id = WorkloadId::new(workload.id);
         let job_started = Instant::now();
-        let path = self.entry_path(accel, &id, seed);
+        let key = job_key(accel, &id, seed);
+        let meta = EntryMeta {
+            accel: accel.name().to_string(),
+            accel_key: accel.cache_key(),
+            workload: id.clone(),
+            seed,
+        };
+        let record = |cache_hit: bool, deduped: bool, started: Instant| JobRecord {
+            accel: accel.name().to_string(),
+            workload: id.clone(),
+            millis: started.elapsed().as_secs_f64() * 1e3,
+            cache_hit,
+            deduped,
+        };
+        let lifetime = &self.shared.lifetime;
 
-        if let Some(path) = &path {
-            if let Some(metrics) = load_entry(path, accel, &id, seed) {
-                let record = JobRecord {
-                    accel: accel.name().to_string(),
-                    workload: id,
-                    millis: job_started.elapsed().as_secs_f64() * 1e3,
-                    cache_hit: true,
-                };
-                return (metrics, record);
+        let store = self.cache_store();
+        if let Some(store) = &store {
+            if let Some(metrics) = store.load(key, &meta) {
+                lifetime.hits.fetch_add(1, Ordering::Relaxed);
+                return (metrics, record(true, false, job_started));
             }
         }
 
-        let metrics = accel.simulate(&workload.network, seed);
-        if let Some(path) = &path {
-            store_entry(path, accel, &id, seed, &metrics);
+        match self.shared.inflight.claim(key) {
+            Claim::Waiter(slot) => {
+                let metrics = slot.wait();
+                lifetime.deduped.fetch_add(1, Ordering::Relaxed);
+                (metrics, record(false, true, job_started))
+            }
+            Claim::Leader(token) => {
+                // Double-check the cache under leadership: a previous
+                // leader may have stored the entry between our miss and
+                // our claim, and a hit here keeps "identical concurrent
+                // requests cost exactly one simulation" airtight.
+                if let Some(store) = &store {
+                    if let Some(metrics) = store.load(key, &meta) {
+                        token.complete(metrics.clone());
+                        lifetime.hits.fetch_add(1, Ordering::Relaxed);
+                        return (metrics, record(true, false, job_started));
+                    }
+                }
+                let metrics = accel.simulate(&workload.network, seed);
+                lifetime.computes.fetch_add(1, Ordering::Relaxed);
+                if let Some(store) = &store {
+                    store.store(key, &meta, &metrics);
+                }
+                token.complete(metrics.clone());
+                lifetime.misses.fetch_add(1, Ordering::Relaxed);
+                (metrics, record(false, false, job_started))
+            }
         }
-        let record = JobRecord {
-            accel: accel.name().to_string(),
-            workload: id,
-            millis: job_started.elapsed().as_secs_f64() * 1e3,
-            cache_hit: false,
-        };
-        (metrics, record)
-    }
-
-    /// Cache file for a job, or `None` when caching is off.
-    fn entry_path(
-        &self,
-        accel: &dyn Accelerator,
-        workload: &WorkloadId,
-        seed: u64,
-    ) -> Option<PathBuf> {
-        self.opts.use_cache.then(|| {
-            self.opts
-                .cache_dir
-                .join(format!("{:016x}.json", job_key(accel, workload, seed)))
-        })
-    }
-}
-
-/// Loads and validates a cache entry; any mismatch or parse failure is a
-/// miss.
-fn load_entry(
-    path: &Path,
-    accel: &dyn Accelerator,
-    workload: &WorkloadId,
-    seed: u64,
-) -> Option<NetworkMetrics> {
-    let text = std::fs::read_to_string(path).ok()?;
-    let entry: CacheEntry = serde::json::from_str(&text).ok()?;
-    let valid = entry.schema == SCHEMA_VERSION
-        && entry.accel == accel.name()
-        && entry.accel_key == accel.cache_key()
-        && entry.workload == *workload
-        && entry.seed == seed;
-    valid.then_some(entry.metrics)
-}
-
-/// Persists a finished job. Written to a temp file then renamed, so a
-/// concurrent reader never sees a half-written entry; failures are
-/// ignored (the cache is an optimization, not a correctness requirement).
-fn store_entry(
-    path: &Path,
-    accel: &dyn Accelerator,
-    workload: &WorkloadId,
-    seed: u64,
-    metrics: &NetworkMetrics,
-) {
-    let entry = CacheEntry {
-        schema: SCHEMA_VERSION,
-        accel: accel.name().to_string(),
-        accel_key: accel.cache_key(),
-        workload: workload.clone(),
-        seed,
-        metrics: metrics.clone(),
-    };
-    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    if std::fs::write(&tmp, serde::json::to_string(&entry)).is_ok() {
-        let _ = std::fs::rename(&tmp, path);
     }
 }
 
@@ -592,6 +762,7 @@ mod tests {
             use_cache,
             cache_dir,
             quiet: true,
+            ..EngineOptions::default()
         })
     }
 
@@ -629,12 +800,20 @@ mod tests {
         let eng = quiet_engine(dir.clone(), 1, true);
 
         let (real, _) = eng.run_matrix(&workloads, &accels, SEED);
-        let path = eng
-            .entry_path(&sparten, &WorkloadId::new("G58"), SEED)
-            .unwrap();
+        let store = eng.cache_store().unwrap();
+        let key = job_key(&sparten, &WorkloadId::new("G58"), SEED);
         let mut doctored = real[0][0].clone();
         doctored.total.cycles += 12345;
-        store_entry(&path, &sparten, &WorkloadId::new("G58"), SEED, &doctored);
+        store.store(
+            key,
+            &EntryMeta {
+                accel: sparten.name().to_string(),
+                accel_key: sparten.cache_key(),
+                workload: WorkloadId::new("G58"),
+                seed: SEED,
+            },
+            &doctored,
+        );
 
         let (again, stats) = eng.run_matrix(&workloads, &accels, SEED);
         assert_eq!((stats.hits, stats.misses), (1, 0));
@@ -665,9 +844,10 @@ mod tests {
 
         // Stale schema version in an otherwise-matching file: the key
         // matches (same path) but validation rejects it.
-        let path = eng
-            .entry_path(&sparten, &WorkloadId::new("G58"), SEED)
-            .unwrap();
+        let path =
+            eng.cache_store()
+                .unwrap()
+                .entry_path(job_key(&sparten, &WorkloadId::new("G58"), SEED));
         let text = std::fs::read_to_string(&path).unwrap();
         let stale = text.replacen(
             &format!("\"schema\":{SCHEMA_VERSION}"),
@@ -688,17 +868,75 @@ mod tests {
         let eng = quiet_engine(dir.clone(), 1, true);
         let (clean, _) = eng.run_matrix(&workloads, &accels, SEED);
 
-        let path = eng
-            .entry_path(&sparten, &WorkloadId::new("G58"), SEED)
-            .unwrap();
+        let path =
+            eng.cache_store()
+                .unwrap()
+                .entry_path(job_key(&sparten, &WorkloadId::new("G58"), SEED));
         std::fs::write(&path, "{ not json !!").unwrap();
 
         let (recomputed, s) = eng.run_matrix(&workloads, &accels, SEED);
         assert_eq!((s.hits, s.misses), (0, 1));
         assert_eq!(recomputed, clean);
-        // The corrupt file was replaced by a valid entry.
+        // The corrupt file was quarantined, not silently clobbered, and
+        // the slot healed with a valid entry.
+        assert!(path.with_extension("json.bad").exists());
         let (_, s) = eng.run_matrix(&workloads, &accels, SEED);
         assert_eq!((s.hits, s.misses), (1, 0));
+        assert_eq!(eng.cache_store().unwrap().counters().quarantined, 1);
+    }
+
+    #[test]
+    fn racing_identical_cold_jobs_simulate_exactly_once() {
+        // Satellite: two engine clones race the same cold job through
+        // run_one; single-flight must guarantee one compute, and both
+        // callers must observe bit-identical metrics.
+        let dir = scratch_dir("singleflight");
+        let (workloads, sparten, _) = small_inputs();
+        let eng = quiet_engine(dir, 2, true);
+
+        let barrier = std::sync::Barrier::new(2);
+        let results: Vec<(NetworkMetrics, JobRecord)> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let eng = eng.clone();
+                    let barrier = &barrier;
+                    let w = &workloads[0];
+                    let sparten = &sparten;
+                    s.spawn(move |_| {
+                        barrier.wait();
+                        eng.run_one(w, sparten, SEED)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+
+        assert_eq!(eng.lifetime_computes(), 1, "exactly one simulation ran");
+        assert_eq!(results[0].0, results[1].0, "both callers see one result");
+        let total = eng.lifetime_cache().total() + eng.lifetime_deduped();
+        assert_eq!(total, 2, "every job accounted for");
+        assert_eq!(eng.inflight_len(), 0, "no slot leaked");
+
+        // A later identical request is a plain cache hit.
+        let (_, rec) = eng.run_one(&workloads[0], &sparten, SEED);
+        assert!(rec.cache_hit && !rec.deduped);
+    }
+
+    #[test]
+    fn run_matrix_dedupes_duplicate_jobs() {
+        // The CLI path: a matrix listing the same (workload, accel) twice
+        // must not simulate twice even when both jobs run cold.
+        let dir = scratch_dir("matrixdedup");
+        let (mut workloads, sparten, _) = small_inputs();
+        workloads.push(workloads[0].clone());
+        let accels: [&dyn Accelerator; 1] = [&sparten];
+
+        let eng = quiet_engine(dir, 2, true);
+        let (grid, stats) = eng.run_matrix(&workloads, &accels, SEED);
+        assert_eq!(eng.lifetime_computes(), 1, "duplicate job deduped");
+        assert_eq!(stats.jobs_total(), 2);
+        assert_eq!(grid[0], grid[1], "duplicates got identical metrics");
     }
 
     #[test]
@@ -822,6 +1060,7 @@ mod tests {
         let stats = EngineStats {
             hits: 40,
             misses: 4,
+            deduped: 0,
             threads: 8,
             wall_millis: 1234.5,
             jobs: vec![JobRecord {
@@ -829,14 +1068,23 @@ mod tests {
                 workload: WorkloadId::new("R99"),
                 millis: 600.0,
                 cache_hit: false,
+                deduped: false,
             }],
         };
         let line = stats.summary();
         assert!(line.contains("44 jobs"));
         assert!(line.contains("40 cache hits"));
         assert!(line.contains("4 misses"));
+        assert!(!line.contains("deduped"), "deduped omitted when zero");
         assert!(line.contains("8 threads"));
         assert!(line.contains("isosceles/R99"));
         assert!(!line.contains('\n'));
+
+        let with_dedup = EngineStats {
+            deduped: 3,
+            ..stats
+        };
+        assert!(with_dedup.summary().contains("3 deduped"));
+        assert_eq!(with_dedup.jobs_total(), 47);
     }
 }

@@ -2,8 +2,10 @@
 //!
 //! [`engine`] is the shared suite driver: it fans the paper's 11-CNN ×
 //! 4-accelerator evaluation matrix (ISOSceles, ISOSceles-single,
-//! SparTen(+GoSPA), Fused-Layer) out over a worker pool and memoizes
-//! results in an on-disk cache; [`suite`] holds the result data model
+//! SparTen(+GoSPA), Fused-Layer) out over a worker pool, deduplicates
+//! concurrent identical jobs (single-flight), and memoizes results in
+//! [`cache`] — a sharded, LRU-bounded on-disk store shared with the
+//! `isos-serve` server; [`suite`] holds the result data model
 //! (built on `isos_sim::metrics`, with per-group *and* per-layer
 //! breakdowns); [`report`] derives the standard CSV/markdown tables,
 //! including the per-layer traffic split; [`trace`] runs any suite
@@ -13,6 +15,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod engine;
 pub mod report;
 pub mod suite;

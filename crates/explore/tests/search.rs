@@ -21,6 +21,7 @@ fn scratch_engine(tag: &str) -> (SuiteEngine, PathBuf) {
         use_cache: true,
         cache_dir: dir.clone(),
         quiet: true,
+        ..EngineOptions::default()
     });
     (engine, dir)
 }

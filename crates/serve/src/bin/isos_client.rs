@@ -1,0 +1,229 @@
+//! Command-line client for the `serve` daemon.
+//!
+//! ```text
+//! isos-client --addr HOST:PORT --ping
+//! isos-client --addr HOST:PORT --stats
+//! isos-client --addr HOST:PORT --shutdown
+//! isos-client --addr HOST:PORT --net R96[,G58,...] --model isosceles[,sparten,...]
+//!             [--seed N] [--trace]
+//! isos-client --addr HOST:PORT --net R96 --config point.json [--seed N]
+//! ```
+//!
+//! Emits the server's NDJSON responses verbatim on stdout, one line per
+//! row, so output pipes straight into `jq` or a results file. Exits 1
+//! if any response is an `error`, 2 on usage or connection problems.
+//!
+//! `--config FILE` sends the file's JSON as an inline configuration: a
+//! bare `IsoscelesConfig` object or a labeled DSE design point
+//! (`{"label":...,"config":{...}}`), exactly what `isos-explore`
+//! emits for frontier points.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use serde::json::Value;
+
+struct Args {
+    addr: String,
+    nets: Vec<String>,
+    models: Vec<String>,
+    config: Option<String>,
+    seed: Option<u64>,
+    trace: bool,
+    ping: bool,
+    stats: bool,
+    shutdown: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: isos-client [--addr HOST:PORT] (--ping | --stats | --shutdown | \
+         --net IDS [--model NAMES | --config FILE] [--seed N] [--trace])"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:9377".to_string(),
+        nets: Vec::new(),
+        models: Vec::new(),
+        config: None,
+        seed: None,
+        trace: false,
+        ping: false,
+        stats: false,
+        shutdown: false,
+    };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = raw.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |flag: &str| -> Option<String> {
+            if let Some(v) = arg.strip_prefix(&format!("{flag}=")) {
+                Some(v.to_string())
+            } else if arg == flag {
+                it.next().cloned()
+            } else {
+                None
+            }
+        };
+        if let Some(v) = take("--addr") {
+            args.addr = v;
+        } else if let Some(v) = take("--net") {
+            args.nets = v.split(',').map(|s| s.trim().to_string()).collect();
+        } else if let Some(v) = take("--model") {
+            args.models = v.split(',').map(|s| s.trim().to_string()).collect();
+        } else if let Some(v) = take("--config") {
+            args.config = Some(v);
+        } else if let Some(v) = take("--seed") {
+            match v.parse() {
+                Ok(n) => args.seed = Some(n),
+                Err(_) => usage(),
+            }
+        } else if arg == "--trace" {
+            args.trace = true;
+        } else if arg == "--ping" {
+            args.ping = true;
+        } else if arg == "--stats" {
+            args.stats = true;
+        } else if arg == "--shutdown" {
+            args.shutdown = true;
+        } else {
+            usage();
+        }
+    }
+    args
+}
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Builds the request line from the parsed flags.
+fn build_request(args: &Args) -> Result<String, String> {
+    if args.ping {
+        return Ok(r#"{"type":"ping"}"#.to_string());
+    }
+    if args.stats {
+        return Ok(r#"{"type":"stats"}"#.to_string());
+    }
+    if args.shutdown {
+        return Ok(r#"{"type":"shutdown"}"#.to_string());
+    }
+    if args.nets.is_empty() {
+        return Err("nothing to do: pass --net, --ping, --stats, or --shutdown".to_string());
+    }
+
+    let inline: Option<Value> = match &args.config {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            Some(serde::json::parse(&text).map_err(|e| format!("bad JSON in {path}: {e}"))?)
+        }
+        None => None,
+    };
+    if inline.is_some() && !args.models.is_empty() {
+        return Err("--model and --config are mutually exclusive".to_string());
+    }
+    if inline.is_none() && args.models.is_empty() {
+        return Err("pass --model NAMES or --config FILE with --net".to_string());
+    }
+
+    let mut pairs: Vec<(&str, Value)> = Vec::new();
+    let single = args.nets.len() == 1 && (inline.is_some() || args.models.len() == 1);
+    if single {
+        pairs.push(("type", Value::Str("run".to_string())));
+        pairs.push(("workload", Value::Str(args.nets[0].clone())));
+        match &inline {
+            Some(config) => pairs.push(("config", config.clone())),
+            None => pairs.push(("model", Value::Str(args.models[0].clone()))),
+        }
+    } else {
+        pairs.push(("type", Value::Str("matrix".to_string())));
+        pairs.push((
+            "workloads",
+            Value::Arr(args.nets.iter().cloned().map(Value::Str).collect()),
+        ));
+        let models = match &inline {
+            Some(config) => vec![config.clone()],
+            None => args.models.iter().cloned().map(Value::Str).collect(),
+        };
+        pairs.push(("models", Value::Arr(models)));
+    }
+    if let Some(seed) = args.seed {
+        pairs.push(("seed", Value::U64(seed)));
+    }
+    if args.trace {
+        pairs.push(("trace", Value::Bool(true)));
+    }
+    Ok(obj(pairs).render())
+}
+
+fn main() {
+    let args = parse_args();
+    let request = match build_request(&args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("isos-client: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let stream = match TcpStream::connect(&args.addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("isos-client: cannot connect to {}: {e}", args.addr);
+            std::process::exit(2);
+        }
+    };
+    let mut writer = match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("isos-client: {e}");
+            std::process::exit(2);
+        }
+    };
+    if writer.write_all(format!("{request}\n").as_bytes()).is_err() {
+        eprintln!("isos-client: send failed");
+        std::process::exit(2);
+    }
+
+    // Requests that end in a single terminal line vs. a row stream.
+    let terminal: &[&str] = if args.ping {
+        &["pong"]
+    } else if args.stats {
+        &["stats"]
+    } else if args.shutdown {
+        &["bye"]
+    } else {
+        &["done"]
+    };
+
+    let mut saw_error = false;
+    for line in BufReader::new(stream).lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("isos-client: recv failed: {e}");
+                std::process::exit(2);
+            }
+        };
+        println!("{line}");
+        let kind = serde::json::parse(&line)
+            .ok()
+            .and_then(|v| {
+                v.field("type")
+                    .ok()
+                    .map(|t| t.as_str().unwrap_or("").to_string())
+            })
+            .unwrap_or_default();
+        if kind == "error" {
+            saw_error = true;
+        }
+        if terminal.contains(&kind.as_str()) {
+            std::process::exit(i32::from(saw_error));
+        }
+    }
+    eprintln!("isos-client: connection closed before the final response");
+    std::process::exit(2);
+}

@@ -1,0 +1,243 @@
+//! The simulation daemon.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--workers N] [--idle-timeout-secs S]
+//!       [--threads N] [--no-cache] [--cache-bytes N[k|m|g]] [--smoke]
+//! ```
+//!
+//! Prints a `{"type":"listening","addr":...}` line to stdout once the
+//! socket is bound (scripts parse it to discover ephemeral ports), then
+//! serves until a `shutdown` request or SIGINT/SIGTERM, draining
+//! in-flight jobs before exiting.
+//!
+//! `--smoke` binds an ephemeral port, runs one suite request, one
+//! inline-config request, and a stats query against itself, validates
+//! the responses, shuts down cleanly, and exits 0/1 — the self-check
+//! `scripts/check.sh` runs.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use isos_serve::protocol::Response;
+use isos_serve::{Server, ServerOptions};
+use isosceles_bench::engine::EngineOptions;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = ServerOptions {
+        addr: "127.0.0.1:9377".to_string(),
+        engine: EngineOptions {
+            quiet: true,
+            ..EngineOptions::from_env()
+        },
+        ..ServerOptions::default()
+    };
+    let mut smoke = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |flag: &str| -> Option<String> {
+            if let Some(v) = arg.strip_prefix(&format!("{flag}=")) {
+                Some(v.to_string())
+            } else if arg == flag {
+                it.next().cloned()
+            } else {
+                None
+            }
+        };
+        if let Some(v) = take("--addr") {
+            opts.addr = v;
+        } else if let Some(v) = take("--workers") {
+            match v.parse::<usize>() {
+                Ok(n) if n >= 1 => opts.workers = n,
+                _ => die(&format!("invalid --workers value `{v}`")),
+            }
+        } else if let Some(v) = take("--idle-timeout-secs") {
+            match v.parse::<u64>() {
+                Ok(s) if s >= 1 => opts.idle_timeout = Duration::from_secs(s),
+                _ => die(&format!("invalid --idle-timeout-secs value `{v}`")),
+            }
+        } else if arg == "--smoke" {
+            smoke = true;
+        }
+        // --threads / --no-cache / --cache-bytes are consumed by
+        // EngineOptions::from_env(); anything else is ignored, matching
+        // the other harness binaries.
+    }
+
+    if smoke {
+        opts.addr = "127.0.0.1:0".to_string();
+        std::process::exit(run_smoke(opts));
+    }
+
+    let server = match Server::bind(opts) {
+        Ok(s) => s,
+        Err(e) => die(&format!("bind failed: {e}")),
+    };
+    println!("{}", Response::listening(&server.local_addr().to_string()));
+    let _ = std::io::stdout().flush();
+
+    install_signal_bridge(server.stop_flag());
+    server.run();
+    eprintln!("serve: drained and stopped");
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("serve: {msg}");
+    std::process::exit(2);
+}
+
+/// Routes SIGINT/SIGTERM to the server's stop flag so `run()` drains
+/// in-flight jobs instead of the process dying mid-write.
+#[cfg(unix)]
+fn install_signal_bridge(stop: std::sync::Arc<dyn Fn() + Send + Sync>) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SIGNALED: AtomicBool = AtomicBool::new(false);
+    extern "C" fn on_signal(_sig: i32) {
+        SIGNALED.store(true, Ordering::SeqCst);
+    }
+    // The platform libc is already linked by std; declaring `signal`
+    // directly avoids depending on a libc crate the vendor tree lacks.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+    std::thread::spawn(move || loop {
+        if SIGNALED.load(Ordering::SeqCst) {
+            stop();
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    });
+}
+
+#[cfg(not(unix))]
+fn install_signal_bridge(_stop: std::sync::Arc<dyn Fn() + Send + Sync>) {}
+
+/// One line out, one or more lines back (until `stop_at` matches a
+/// response `type`). Returns the collected response lines.
+fn roundtrip(addr: &str, request: &str, stop_at: &[&str]) -> Result<Vec<String>, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+    writer
+        .write_all(format!("{request}\n").as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut lines = Vec::new();
+    for line in BufReader::new(stream).lines() {
+        let line = line.map_err(|e| format!("recv: {e}"))?;
+        let value = serde::json::parse(&line).map_err(|e| format!("bad response JSON: {e}"))?;
+        let kind = value
+            .field("type")
+            .ok()
+            .and_then(serde::json::Value::as_str)
+            .ok_or("response without a type")?
+            .to_string();
+        lines.push(line);
+        if kind == "error" {
+            return Err(format!("server error: {}", lines.last().unwrap()));
+        }
+        if stop_at.contains(&kind.as_str()) {
+            return Ok(lines);
+        }
+    }
+    Err("connection closed before the final response".to_string())
+}
+
+/// The `--smoke` self-check. Returns the process exit code.
+fn run_smoke(opts: ServerOptions) -> i32 {
+    let server = match Server::bind(opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("smoke: bind failed: {e}");
+            return 1;
+        }
+    };
+    let addr = server.local_addr().to_string();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let checks = || -> Result<(), String> {
+        // 1. A suite request by name.
+        let rows = roundtrip(
+            &addr,
+            r#"{"type":"run","workload":"M75","model":"isosceles"}"#,
+            &["done"],
+        )?;
+        if rows.len() != 2 {
+            return Err(format!("expected row + done, got {} lines", rows.len()));
+        }
+        let row = serde::json::parse(&rows[0]).map_err(|e| e.to_string())?;
+        let cycles = row
+            .field("metrics")
+            .and_then(|m| m.field("total"))
+            .and_then(|t| t.field("cycles"))
+            .and_then(serde::json::Value::as_u64)
+            .map_err(|e| format!("row without total cycles: {e}"))?;
+        if cycles == 0 {
+            return Err("suite run reported zero cycles".to_string());
+        }
+
+        // 2. An inline-config request (the paper default, relabeled).
+        let config = serde::json::to_string(&isosceles::IsoscelesConfig::default());
+        let request = format!(
+            r#"{{"type":"run","workload":"M75","config":{{"label":"smoke-point","config":{config}}}}}"#
+        );
+        let rows = roundtrip(&addr, &request, &["done"])?;
+        let row = serde::json::parse(&rows[0]).map_err(|e| e.to_string())?;
+        let label = row
+            .field("label")
+            .ok()
+            .and_then(serde::json::Value::as_str)
+            .unwrap_or_default()
+            .to_string();
+        if label != "smoke-point" {
+            return Err(format!("inline run echoed label `{label}`"));
+        }
+
+        // 3. Stats reflect the two requests.
+        let stats = roundtrip(&addr, r#"{"type":"stats"}"#, &["stats"])?;
+        let stats = serde::json::parse(&stats[0]).map_err(|e| e.to_string())?;
+        let computes = stats
+            .field("computes")
+            .and_then(serde::json::Value::as_u64)
+            .map_err(|e| format!("stats without computes: {e}"))?;
+        let hits = stats
+            .field("hits")
+            .and_then(serde::json::Value::as_u64)
+            .map_err(|e| format!("stats without hits: {e}"))?;
+        // Both runs share one job key, so with a cold cache one compute
+        // and one hit; with a warm cache zero computes and two hits.
+        if computes + hits < 2 {
+            return Err(format!(
+                "stats did not account for both requests: computes={computes} hits={hits}"
+            ));
+        }
+        Ok(())
+    };
+    let result = checks();
+
+    // Clean shutdown either way.
+    let bye = roundtrip(&addr, r#"{"type":"shutdown"}"#, &["bye"]);
+    let _ = server_thread.join();
+
+    match (result, bye) {
+        (Ok(()), Ok(_)) => {
+            eprintln!("smoke: ok");
+            0
+        }
+        (Err(e), _) => {
+            eprintln!("smoke: FAILED: {e}");
+            1
+        }
+        (_, Err(e)) => {
+            eprintln!("smoke: shutdown FAILED: {e}");
+            1
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! Multi-tenant simulation service for the ISOSceles reproduction.
+//!
+//! A long-running server on [`std::net::TcpListener`] speaking
+//! newline-delimited JSON ([`protocol`]): clients request suite
+//! workloads or inline DSE configuration points, and a worker pool
+//! ([`dispatch`]) funnels every job through one shared
+//! [`SuiteEngine`], so all connections benefit from — and contribute
+//! to — the same persistent sharded cache and single-flight dedup
+//! table. `N` concurrent identical requests cost exactly one
+//! simulation, no matter how many clients sent them.
+//!
+//! The server is deliberately plain: blocking sockets with short read
+//! timeouts, one thread per connection, no async runtime. The heavy
+//! lifting (scheduling, dedup, caching) lives in `isosceles-bench`;
+//! this crate is the wire format and the lifecycle (graceful drain on
+//! shutdown, idle-timeout for abandoned connections, structured errors
+//! for malformed requests).
+//!
+//! Binaries: `serve` (the daemon, plus a self-checking `--smoke` mode
+//! used by `scripts/check.sh`) and `isos-client` (one-shot queries,
+//! matrix requests, stats).
+
+#![warn(missing_docs)]
+
+pub mod dispatch;
+pub mod protocol;
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::unbounded;
+use isosceles_bench::engine::{EngineOptions, SuiteEngine};
+use serde::json::Value;
+
+use dispatch::{stalls_value, JobOutcome, WorkerPool};
+use protocol::{parse_request, JobSpec, Request, Response};
+
+/// How the server is configured.
+#[derive(Clone, Debug)]
+pub struct ServerOptions {
+    /// Listen address (`127.0.0.1:0` for an ephemeral port).
+    pub addr: String,
+    /// Worker threads simulating jobs.
+    pub workers: usize,
+    /// Close connections silent for this long.
+    pub idle_timeout: Duration,
+    /// Engine options (cache directory, byte bound, ...).
+    pub engine: EngineOptions,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            idle_timeout: Duration::from_secs(300),
+            engine: EngineOptions {
+                quiet: true,
+                ..EngineOptions::default()
+            },
+        }
+    }
+}
+
+/// Shared state every connection handler sees.
+struct Shared {
+    engine: SuiteEngine,
+    pool: WorkerPool,
+    stop: AtomicBool,
+    idle_timeout: Duration,
+    started: Instant,
+    connections: std::sync::atomic::AtomicU64,
+}
+
+/// The server: bind, then [`run`](Server::run) until a shutdown request
+/// or the stop flag.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+/// Granularity of the accept loop's stop-flag checks and of connection
+/// read timeouts.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+impl Server {
+    /// Binds the listen socket and spawns the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address cannot be bound.
+    pub fn bind(opts: ServerOptions) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let engine = SuiteEngine::new(opts.engine);
+        let pool = WorkerPool::new(engine.clone(), opts.workers);
+        Ok(Self {
+            listener,
+            local_addr,
+            shared: Arc::new(Shared {
+                engine,
+                pool,
+                stop: AtomicBool::new(false),
+                idle_timeout: opts.idle_timeout,
+                started: Instant::now(),
+                connections: std::sync::atomic::AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A handle that makes [`run`](Server::run) drain and return when
+    /// set — wire it to a signal handler for graceful SIGTERM/ctrl-c
+    /// shutdown.
+    pub fn stop_flag(&self) -> Arc<dyn Fn() + Send + Sync> {
+        let shared = Arc::clone(&self.shared);
+        Arc::new(move || shared.stop.store(true, Ordering::SeqCst))
+    }
+
+    /// The engine every connection shares (for smoke checks and tests).
+    pub fn engine(&self) -> &SuiteEngine {
+        &self.shared.engine
+    }
+
+    /// Accepts connections until a `shutdown` request arrives or the
+    /// stop flag is set, then drains: connection threads finish their
+    /// in-flight request, workers finish queued jobs, and everything is
+    /// joined before returning.
+    pub fn run(self) {
+        let handles: Mutex<Vec<std::thread::JoinHandle<()>>> = Mutex::new(Vec::new());
+        while !self.shared.stop.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&self.shared);
+                    shared.connections.fetch_add(1, Ordering::Relaxed);
+                    let handle = std::thread::spawn(move || handle_connection(stream, &shared));
+                    handles.lock().expect("handle list lock").push(handle);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(_) => std::thread::sleep(POLL_INTERVAL),
+            }
+        }
+        // Drain: connections observe the stop flag at their next read
+        // timeout and close after finishing the request in hand.
+        for handle in handles.into_inner().expect("handle list lock") {
+            let _ = handle.join();
+        }
+        self.shared.pool.shutdown();
+    }
+}
+
+/// Why a blocking `read_line` round ended without a full line.
+enum ReadStatus {
+    /// A full line was read.
+    Line,
+    /// The read timed out with no (or only partial) data.
+    Timeout,
+    /// The peer closed the connection or it broke.
+    Closed,
+}
+
+/// One `read_line` attempt against a stream with a short read timeout.
+/// Partial lines accumulate in `buf` across timeouts.
+fn read_line_step(reader: &mut BufReader<TcpStream>, buf: &mut String) -> ReadStatus {
+    match reader.read_line(buf) {
+        Ok(0) => ReadStatus::Closed,
+        Ok(_) if buf.ends_with('\n') => ReadStatus::Line,
+        // EOF in the middle of an unterminated final line.
+        Ok(_) => ReadStatus::Closed,
+        Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+            ReadStatus::Timeout
+        }
+        Err(e) if e.kind() == ErrorKind::Interrupted => ReadStatus::Timeout,
+        Err(_) => ReadStatus::Closed,
+    }
+}
+
+fn send_line(stream: &mut TcpStream, line: &str) -> bool {
+    stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .is_ok()
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut buf = String::new();
+    let mut last_activity = Instant::now();
+
+    loop {
+        match read_line_step(&mut reader, &mut buf) {
+            ReadStatus::Line => {
+                let line = std::mem::take(&mut buf);
+                let line = line.trim();
+                last_activity = Instant::now();
+                if line.is_empty() {
+                    continue;
+                }
+                match parse_request(line) {
+                    Err(message) => {
+                        if !send_line(&mut writer, &Response::error(&message, None)) {
+                            return;
+                        }
+                    }
+                    Ok(Request::Ping) => {
+                        if !send_line(&mut writer, &Response::pong()) {
+                            return;
+                        }
+                    }
+                    Ok(Request::Stats) => {
+                        if !send_line(&mut writer, &stats_line(shared)) {
+                            return;
+                        }
+                    }
+                    Ok(Request::Shutdown) => {
+                        shared.stop.store(true, Ordering::SeqCst);
+                        let _ = send_line(&mut writer, &Response::bye("shutdown"));
+                        return;
+                    }
+                    Ok(Request::Run(spec)) => {
+                        if !serve_jobs(&mut writer, shared, vec![spec]) {
+                            return;
+                        }
+                    }
+                    Ok(Request::Matrix(jobs)) => {
+                        if !serve_jobs(&mut writer, shared, jobs) {
+                            return;
+                        }
+                    }
+                }
+            }
+            ReadStatus::Timeout => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    let _ = send_line(&mut writer, &Response::bye("shutdown"));
+                    return;
+                }
+                if last_activity.elapsed() >= shared.idle_timeout {
+                    let _ = send_line(&mut writer, &Response::bye("idle-timeout"));
+                    return;
+                }
+            }
+            ReadStatus::Closed => return,
+        }
+    }
+}
+
+/// Submits `jobs` to the pool and streams rows back in completion
+/// order, followed by a `done` summary. Returns `false` when the
+/// connection broke and the handler should stop.
+fn serve_jobs(writer: &mut TcpStream, shared: &Shared, jobs: Vec<JobSpec>) -> bool {
+    let started = Instant::now();
+    let (reply_tx, reply_rx) = unbounded::<JobOutcome>();
+    let specs: Vec<JobSpec> = jobs;
+    let mut submitted = 0usize;
+    for (index, spec) in specs.iter().enumerate() {
+        if shared.pool.submit(index, spec.clone(), reply_tx.clone()) {
+            submitted += 1;
+        } else {
+            // Pool already shut down; report instead of hanging.
+            if !send_line(
+                writer,
+                &Response::error("server is shutting down", Some(index)),
+            ) {
+                return false;
+            }
+        }
+    }
+    drop(reply_tx);
+
+    let (mut hits, mut misses, mut deduped, mut errors) = (0usize, 0usize, 0usize, 0usize);
+    let mut alive = true;
+    for _ in 0..submitted {
+        // recv cannot block forever: every submitted job sends exactly
+        // one outcome, even on worker panic.
+        let Ok(outcome) = reply_rx.recv() else { break };
+        let line = match outcome.result {
+            Ok(done) => {
+                if done.cache_hit {
+                    hits += 1;
+                } else if done.deduped {
+                    deduped += 1;
+                } else {
+                    misses += 1;
+                }
+                Response::row(
+                    outcome.index,
+                    &specs[outcome.index],
+                    &done.model,
+                    done.cache_hit,
+                    done.deduped,
+                    done.millis,
+                    &done.metrics,
+                    done.stalls.as_deref().map(stalls_value),
+                )
+            }
+            Err(message) => {
+                errors += 1;
+                Response::error(&message, Some(outcome.index))
+            }
+        };
+        // Keep draining outcomes even if the peer is gone, so workers
+        // never block on a dead connection's channel (it is unbounded,
+        // but the counters should still be consistent).
+        if alive && !send_line(writer, &line) {
+            alive = false;
+        }
+    }
+    let jobs_done = hits + misses + deduped + errors;
+    alive
+        && send_line(
+            writer,
+            &Response::done(
+                jobs_done,
+                hits,
+                misses,
+                deduped,
+                started.elapsed().as_secs_f64() * 1e3,
+            ),
+        )
+}
+
+/// Builds the `stats` response from the engine, store, and pool.
+fn stats_line(shared: &Shared) -> String {
+    let cache = shared.engine.lifetime_cache();
+    let mut pairs: Vec<(&str, Value)> = vec![
+        (
+            "uptime_millis",
+            Value::F64(shared.started.elapsed().as_secs_f64() * 1e3),
+        ),
+        (
+            "connections",
+            Value::U64(shared.connections.load(Ordering::Relaxed)),
+        ),
+        ("hits", Value::U64(cache.hits as u64)),
+        ("misses", Value::U64(cache.misses as u64)),
+        (
+            "deduped",
+            Value::U64(shared.engine.lifetime_deduped() as u64),
+        ),
+        (
+            "computes",
+            Value::U64(shared.engine.lifetime_computes() as u64),
+        ),
+        ("in_flight", Value::U64(shared.engine.inflight_len() as u64)),
+    ];
+    if let Some(store) = shared.engine.cache_store() {
+        let usage = store.usage();
+        let counters = store.counters();
+        pairs.push((
+            "store",
+            Value::Obj(vec![
+                (
+                    "root".to_string(),
+                    Value::Str(store.root().display().to_string()),
+                ),
+                (
+                    "byte_limit".to_string(),
+                    match store.byte_limit() {
+                        Some(b) => Value::U64(b),
+                        None => Value::Null,
+                    },
+                ),
+                ("entries".to_string(), Value::U64(usage.entries as u64)),
+                ("bytes".to_string(), Value::U64(usage.bytes)),
+                (
+                    "counters".to_string(),
+                    serde::Serialize::to_value(&counters),
+                ),
+            ]),
+        ));
+    }
+    let workers = shared.pool.worker_stats();
+    pairs.push((
+        "workers",
+        Value::Arr(
+            workers
+                .iter()
+                .map(|w| {
+                    Value::Obj(vec![
+                        ("jobs".to_string(), Value::U64(w.jobs)),
+                        ("busy_millis".to_string(), Value::F64(w.busy_millis)),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    Response::stats(pairs)
+}

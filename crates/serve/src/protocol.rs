@@ -1,0 +1,447 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! Every request is one line holding a JSON object with a `"type"`
+//! field; every response is one line holding a JSON object with a
+//! `"type"` field. Requests are parsed tolerantly by hand from the
+//! [`Value`] tree (optional fields get defaults; anything structurally
+//! wrong produces a [`Response::error`] instead of a dropped
+//! connection), and responses are built as `Value` trees directly so
+//! the wire format is owned by this module, not by derive expansion.
+//!
+//! Request types:
+//!
+//! - `{"type":"run","workload":"R96","model":"isosceles","seed":...,"trace":false}`
+//!   — one job. `"model"` names a default-configured suite model;
+//!   `"config"` instead carries an inline [`IsoscelesConfig`] object or
+//!   a full DSE [`DesignPoint`] (`{"label":...,"config":{...}}`).
+//! - `{"type":"matrix","workloads":[...],"models":[...]}` — the cross
+//!   product, streamed as `row` responses in completion order. Omitted
+//!   `workloads`/`models` default to the full paper suite and all four
+//!   models.
+//! - `{"type":"stats"}` — lifetime engine, store, and worker counters.
+//! - `{"type":"ping"}` / `{"type":"shutdown"}`.
+
+use isos_explore::space::DesignPoint;
+use isosceles::IsoscelesConfig;
+use serde::json::Value;
+use serde::Deserialize;
+
+/// Default request seed: the paper suite seed.
+pub const DEFAULT_SEED: u64 = isosceles_bench::suite::SEED;
+
+/// Which accelerator a job should run on.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ModelSpec {
+    /// A default-configured suite model, by name (`"isosceles"`,
+    /// `"sparten"`, ...).
+    Named(String),
+    /// An inline DSE configuration point.
+    Inline(DesignPoint),
+}
+
+impl ModelSpec {
+    /// The label reported back in `row` responses.
+    pub fn label(&self) -> &str {
+        match self {
+            ModelSpec::Named(name) => name,
+            ModelSpec::Inline(point) => &point.label,
+        }
+    }
+}
+
+/// One simulation job as requested on the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Suite workload id (`"R96"`, ...).
+    pub workload: String,
+    /// Accelerator to run it on.
+    pub model: ModelSpec,
+    /// RNG seed.
+    pub seed: u64,
+    /// Attach an event trace and return per-unit stall breakdowns.
+    /// Traced jobs always simulate (the cache stores metrics only).
+    pub trace: bool,
+}
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Run one job and stream its row.
+    Run(JobSpec),
+    /// Run a workloads × models matrix, streaming rows as they finish.
+    Matrix(Vec<JobSpec>),
+    /// Report lifetime server statistics.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Drain in-flight jobs and stop the server.
+    Shutdown,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed JSON, a missing or
+/// unknown `"type"`, or structurally invalid fields. The caller wraps
+/// it in a [`Response::error`] line; the connection stays usable.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value = serde::json::parse(line).map_err(|e| format!("malformed request: {e}"))?;
+    let kind = value
+        .field("type")
+        .ok()
+        .and_then(Value::as_str)
+        .ok_or("request must be an object with a string `type` field")?;
+    match kind {
+        "run" => Ok(Request::Run(parse_job(&value)?)),
+        "matrix" => parse_matrix(&value),
+        "stats" => Ok(Request::Stats),
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!(
+            "unknown request type `{other}` (expected run, matrix, stats, ping, or shutdown)"
+        )),
+    }
+}
+
+/// Parses the seed/trace fields shared by `run` and `matrix`.
+fn parse_common(value: &Value) -> Result<(u64, bool), String> {
+    let seed = match value.field("seed") {
+        Ok(v) => v.as_u64().map_err(|e| format!("bad `seed`: {e}"))?,
+        Err(_) => DEFAULT_SEED,
+    };
+    let trace = match value.field("trace") {
+        Ok(v) => v.as_bool().map_err(|e| format!("bad `trace`: {e}"))?,
+        Err(_) => false,
+    };
+    Ok((seed, trace))
+}
+
+fn parse_job(value: &Value) -> Result<JobSpec, String> {
+    let workload = value
+        .field("workload")
+        .ok()
+        .and_then(Value::as_str)
+        .ok_or("`run` needs a string `workload` field")?
+        .to_string();
+    let model = parse_model(value)?;
+    let (seed, trace) = parse_common(value)?;
+    Ok(JobSpec {
+        workload,
+        model,
+        seed,
+        trace,
+    })
+}
+
+/// Resolves a job's accelerator: a `"model"` name, or an inline
+/// `"config"` object (either a bare [`IsoscelesConfig`] or a labeled
+/// [`DesignPoint`]).
+fn parse_model(value: &Value) -> Result<ModelSpec, String> {
+    if let Ok(config) = value.field("config") {
+        return parse_inline(config);
+    }
+    let name = value
+        .field("model")
+        .ok()
+        .and_then(Value::as_str)
+        .ok_or("job needs a string `model` name or an inline `config` object")?;
+    Ok(ModelSpec::Named(name.to_string()))
+}
+
+fn parse_inline(config: &Value) -> Result<ModelSpec, String> {
+    // A labeled DSE point ({"label":...,"config":{...}}) or a bare
+    // IsoscelesConfig object.
+    if config.field("label").is_ok() {
+        let point =
+            DesignPoint::from_value(config).map_err(|e| format!("bad design point: {e}"))?;
+        return Ok(ModelSpec::Inline(point));
+    }
+    let config = IsoscelesConfig::from_value(config)
+        .map_err(|e| format!("bad inline config (all IsoscelesConfig fields required): {e}"))?;
+    Ok(ModelSpec::Inline(DesignPoint {
+        label: "inline".to_string(),
+        config,
+    }))
+}
+
+fn parse_matrix(value: &Value) -> Result<Request, String> {
+    let (seed, trace) = parse_common(value)?;
+    let workloads: Vec<String> = match value.field("workloads") {
+        Ok(v) => v
+            .as_arr()
+            .map_err(|e| format!("bad `workloads`: {e}"))?
+            .iter()
+            .map(|w| {
+                w.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("bad workload id: expected string, got {}", w.kind()))
+            })
+            .collect::<Result<_, _>>()?,
+        Err(_) => isos_nn::models::SUITE_IDS
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    };
+    let models: Vec<ModelSpec> = match value.field("models") {
+        Ok(v) => v
+            .as_arr()
+            .map_err(|e| format!("bad `models`: {e}"))?
+            .iter()
+            .map(|m| match m {
+                Value::Str(name) => Ok(ModelSpec::Named(name.clone())),
+                Value::Obj(_) => parse_inline(m),
+                other => Err(format!(
+                    "bad model: expected name or config object, got {}",
+                    other.kind()
+                )),
+            })
+            .collect::<Result<_, _>>()?,
+        Err(_) => isosceles_bench::trace::MODEL_NAMES
+            .iter()
+            .map(|s| ModelSpec::Named(s.to_string()))
+            .collect(),
+    };
+    if workloads.is_empty() || models.is_empty() {
+        return Err("matrix needs at least one workload and one model".to_string());
+    }
+    let jobs = workloads
+        .iter()
+        .flat_map(|w| {
+            models.iter().map(move |m| JobSpec {
+                workload: w.clone(),
+                model: m.clone(),
+                seed,
+                trace,
+            })
+        })
+        .collect();
+    Ok(Request::Matrix(jobs))
+}
+
+/// Response line builders. Each returns the serialized JSON (without
+/// the trailing newline the connection handler appends).
+pub struct Response;
+
+/// Builds a JSON object from `(key, value)` pairs.
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn str_value(s: &str) -> Value {
+    Value::Str(s.to_string())
+}
+
+impl Response {
+    /// `{"type":"error","message":...}` (+ `index` inside a matrix).
+    pub fn error(message: &str, index: Option<usize>) -> String {
+        let mut pairs = vec![
+            ("type", str_value("error")),
+            ("message", str_value(message)),
+        ];
+        if let Some(i) = index {
+            pairs.push(("index", Value::U64(i as u64)));
+        }
+        obj(pairs).render()
+    }
+
+    /// `{"type":"pong"}`.
+    pub fn pong() -> String {
+        obj(vec![("type", str_value("pong"))]).render()
+    }
+
+    /// `{"type":"bye","reason":...}` — the connection's last line.
+    pub fn bye(reason: &str) -> String {
+        obj(vec![
+            ("type", str_value("bye")),
+            ("reason", str_value(reason)),
+        ])
+        .render()
+    }
+
+    /// `{"type":"listening","addr":...}` — printed by the `serve` bin so
+    /// scripts can discover an ephemeral port.
+    pub fn listening(addr: &str) -> String {
+        obj(vec![
+            ("type", str_value("listening")),
+            ("addr", str_value(addr)),
+        ])
+        .render()
+    }
+
+    /// One finished job. `stalls` rows are attached for traced jobs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn row(
+        index: usize,
+        spec: &JobSpec,
+        model: &str,
+        cache_hit: bool,
+        deduped: bool,
+        millis: f64,
+        metrics: &Value,
+        stalls: Option<Value>,
+    ) -> String {
+        let mut pairs = vec![
+            ("type", str_value("row")),
+            ("index", Value::U64(index as u64)),
+            ("workload", str_value(&spec.workload)),
+            ("model", str_value(model)),
+            ("label", str_value(spec.model.label())),
+            ("seed", Value::U64(spec.seed)),
+            ("cache_hit", Value::Bool(cache_hit)),
+            ("deduped", Value::Bool(deduped)),
+            ("millis", Value::F64(millis)),
+            ("metrics", metrics.clone()),
+        ];
+        if let Some(stalls) = stalls {
+            pairs.push(("stalls", stalls));
+        }
+        obj(pairs).render()
+    }
+
+    /// End-of-request summary after all rows of a `run`/`matrix`.
+    pub fn done(
+        jobs: usize,
+        hits: usize,
+        misses: usize,
+        deduped: usize,
+        wall_millis: f64,
+    ) -> String {
+        obj(vec![
+            ("type", str_value("done")),
+            ("jobs", Value::U64(jobs as u64)),
+            ("hits", Value::U64(hits as u64)),
+            ("misses", Value::U64(misses as u64)),
+            ("deduped", Value::U64(deduped as u64)),
+            ("wall_millis", Value::F64(wall_millis)),
+        ])
+        .render()
+    }
+
+    /// `{"type":"stats",...}` from pre-built sections.
+    pub fn stats(pairs: Vec<(&str, Value)>) -> String {
+        let mut all = vec![("type", str_value("stats"))];
+        all.extend(pairs);
+        obj(all).render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_request_with_defaults() {
+        let req = parse_request(r#"{"type":"run","workload":"R96","model":"sparten"}"#).unwrap();
+        let Request::Run(spec) = req else {
+            panic!("expected run")
+        };
+        assert_eq!(spec.workload, "R96");
+        assert_eq!(spec.model, ModelSpec::Named("sparten".into()));
+        assert_eq!(spec.seed, DEFAULT_SEED);
+        assert!(!spec.trace);
+    }
+
+    #[test]
+    fn run_request_with_inline_config() {
+        let config = IsoscelesConfig {
+            lanes: 32,
+            ..IsoscelesConfig::default()
+        };
+        let line = format!(
+            r#"{{"type":"run","workload":"G58","config":{},"seed":7}}"#,
+            serde::json::to_string(&config)
+        );
+        let Request::Run(spec) = parse_request(&line).unwrap() else {
+            panic!("expected run")
+        };
+        assert_eq!(spec.seed, 7);
+        let ModelSpec::Inline(point) = spec.model else {
+            panic!("expected inline model")
+        };
+        assert_eq!(point.label, "inline");
+        assert_eq!(point.config, config);
+    }
+
+    #[test]
+    fn run_request_with_labeled_design_point() {
+        let point = DesignPoint {
+            label: "l32".into(),
+            config: IsoscelesConfig {
+                lanes: 32,
+                ..IsoscelesConfig::default()
+            },
+        };
+        let line = format!(
+            r#"{{"type":"run","workload":"G58","config":{}}}"#,
+            serde::json::to_string(&point)
+        );
+        let Request::Run(spec) = parse_request(&line).unwrap() else {
+            panic!("expected run")
+        };
+        assert_eq!(spec.model, ModelSpec::Inline(point));
+    }
+
+    #[test]
+    fn matrix_request_expands_the_cross_product() {
+        let req = parse_request(
+            r#"{"type":"matrix","workloads":["R96","G58"],"models":["isosceles","sparten"],"seed":3}"#,
+        )
+        .unwrap();
+        let Request::Matrix(jobs) = req else {
+            panic!("expected matrix")
+        };
+        assert_eq!(jobs.len(), 4);
+        assert_eq!(jobs[0].workload, "R96");
+        assert_eq!(jobs[0].model.label(), "isosceles");
+        assert_eq!(jobs[3].workload, "G58");
+        assert_eq!(jobs[3].model.label(), "sparten");
+        assert!(jobs.iter().all(|j| j.seed == 3));
+    }
+
+    #[test]
+    fn matrix_defaults_to_the_full_suite() {
+        let Request::Matrix(jobs) = parse_request(r#"{"type":"matrix"}"#).unwrap() else {
+            panic!("expected matrix")
+        };
+        assert_eq!(
+            jobs.len(),
+            isos_nn::models::SUITE_IDS.len() * isosceles_bench::trace::MODEL_NAMES.len()
+        );
+    }
+
+    #[test]
+    fn malformed_lines_return_messages_not_panics() {
+        assert!(parse_request("not json").unwrap_err().contains("malformed"));
+        assert!(parse_request("[1,2]").unwrap_err().contains("type"));
+        assert!(parse_request(r#"{"type":"dance"}"#)
+            .unwrap_err()
+            .contains("unknown request type"));
+        assert!(parse_request(r#"{"type":"run"}"#)
+            .unwrap_err()
+            .contains("workload"));
+        assert!(parse_request(r#"{"type":"run","workload":"R96"}"#)
+            .unwrap_err()
+            .contains("model"));
+        assert!(
+            parse_request(r#"{"type":"run","workload":"R96","config":{"lanes":64}}"#)
+                .unwrap_err()
+                .contains("inline config")
+        );
+    }
+
+    #[test]
+    fn responses_are_single_line_json_with_a_type() {
+        for line in [
+            Response::error("boom", Some(3)),
+            Response::pong(),
+            Response::bye("shutdown"),
+            Response::listening("127.0.0.1:9"),
+            Response::done(4, 1, 2, 1, 12.5),
+        ] {
+            assert!(!line.contains('\n'));
+            let v = serde::json::parse(&line).unwrap();
+            assert!(v.field("type").unwrap().as_str().is_some(), "{line}");
+        }
+    }
+}

@@ -1,0 +1,433 @@
+//! End-to-end tests of the simulation service over real TCP sockets:
+//! single-flight dedup across concurrent clients, matrix streaming,
+//! inline-config equivalence, malformed-request recovery, idle
+//! timeouts, and graceful SIGTERM drain of the `serve` binary.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+use isos_serve::{Server, ServerOptions};
+use isosceles_bench::engine::EngineOptions;
+use serde::json::Value;
+use serde::Serialize;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    static NONCE: AtomicU32 = AtomicU32::new(0);
+    let n = NONCE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("isos-serve-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A bound server on an ephemeral port with a scratch cache.
+fn test_server(tag: &str, workers: usize) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let server = Server::bind(ServerOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        idle_timeout: Duration::from_secs(60),
+        engine: EngineOptions {
+            threads: 2,
+            use_cache: true,
+            cache_dir: scratch_dir(tag),
+            quiet: true,
+            ..EngineOptions::default()
+        },
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let writer = stream.try_clone().expect("clone");
+        Self {
+            writer,
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send");
+    }
+
+    fn recv(&mut self) -> Value {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("recv");
+        assert!(line.ends_with('\n'), "connection closed mid-response");
+        serde::json::parse(line.trim()).expect("response JSON")
+    }
+
+    /// Sends a request and collects responses through the first line
+    /// whose type is in `terminal`.
+    fn roundtrip(&mut self, request: &str, terminal: &[&str]) -> Vec<Value> {
+        self.send(request);
+        let mut out = Vec::new();
+        loop {
+            let v = self.recv();
+            let kind = kind_of(&v);
+            out.push(v);
+            if terminal.contains(&kind.as_str()) {
+                return out;
+            }
+        }
+    }
+}
+
+fn kind_of(v: &Value) -> String {
+    v.field("type")
+        .expect("typed response")
+        .as_str()
+        .expect("string type")
+        .to_string()
+}
+
+fn u64_field(v: &Value, name: &str) -> u64 {
+    v.field(name)
+        .unwrap_or_else(|e| panic!("field {name}: {e}"))
+        .as_u64()
+        .unwrap_or_else(|e| panic!("field {name}: {e}"))
+}
+
+#[test]
+fn eight_concurrent_cold_clients_cost_exactly_one_simulation() {
+    let (addr, handle) = test_server("dedup", 8);
+    const CLIENTS: usize = 8;
+    let request = r#"{"type":"run","workload":"G58","model":"isosceles","seed":99}"#;
+
+    let barrier = std::sync::Barrier::new(CLIENTS);
+    let rows: Vec<Value> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let barrier = &barrier;
+                s.spawn(move |_| {
+                    let mut client = Client::connect(addr);
+                    barrier.wait();
+                    client.roundtrip(request, &["done"])
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                let mut lines = h.join().expect("client thread");
+                assert_eq!(kind_of(&lines[0]), "row");
+                assert_eq!(kind_of(&lines[1]), "done");
+                lines.swap_remove(0)
+            })
+            .collect()
+    })
+    .expect("client scope");
+
+    // Bit-identical metrics on every connection: the serialized JSON
+    // trees must match exactly, not just approximately.
+    let reference = rows[0].field("metrics").unwrap().render();
+    assert!(!reference.is_empty());
+    for row in &rows {
+        assert_eq!(row.field("metrics").unwrap().render(), reference);
+        assert_eq!(u64_field(row, "seed"), 99);
+    }
+
+    // Exactly one simulation happened; the other seven clients were
+    // deduped against it or hit the cache it populated.
+    let mut client = Client::connect(addr);
+    let stats = client
+        .roundtrip(r#"{"type":"stats"}"#, &["stats"])
+        .remove(0);
+    assert_eq!(u64_field(&stats, "computes"), 1, "{}", stats.render());
+    assert_eq!(
+        u64_field(&stats, "hits") + u64_field(&stats, "deduped") + u64_field(&stats, "misses"),
+        CLIENTS as u64,
+        "{}",
+        stats.render()
+    );
+    assert_eq!(u64_field(&stats, "misses"), 1);
+    assert_eq!(u64_field(&stats, "in_flight"), 0);
+
+    // A warm repeat is a pure cache hit.
+    let row = client.roundtrip(request, &["done"]).remove(0);
+    assert!(row.field("cache_hit").unwrap().as_bool().unwrap());
+    assert_eq!(row.field("metrics").unwrap().render(), reference);
+
+    client.roundtrip(r#"{"type":"shutdown"}"#, &["bye"]);
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn matrix_streams_every_row_and_a_done_summary() {
+    let (addr, handle) = test_server("matrix", 4);
+    let mut client = Client::connect(addr);
+    let lines = client.roundtrip(
+        r#"{"type":"matrix","workloads":["G58","M75"],"models":["isosceles","sparten"]}"#,
+        &["done"],
+    );
+    assert_eq!(lines.len(), 5, "4 rows + done");
+    let mut indexes: Vec<u64> = lines[..4]
+        .iter()
+        .map(|row| {
+            assert_eq!(kind_of(row), "row");
+            u64_field(row, "index")
+        })
+        .collect();
+    indexes.sort_unstable();
+    assert_eq!(indexes, vec![0, 1, 2, 3]);
+    let done = &lines[4];
+    assert_eq!(u64_field(done, "jobs"), 4);
+    assert_eq!(
+        u64_field(done, "hits") + u64_field(done, "misses") + u64_field(done, "deduped"),
+        4
+    );
+
+    // Row fields carry the right workload/model pairing per index:
+    // index = workload-major, model-minor.
+    for row in &lines[..4] {
+        let index = u64_field(row, "index");
+        let workload = row.field("workload").unwrap().as_str().unwrap().to_string();
+        let model = row.field("model").unwrap().as_str().unwrap().to_string();
+        assert_eq!(workload, ["G58", "G58", "M75", "M75"][index as usize]);
+        assert_eq!(
+            model,
+            ["isosceles", "sparten", "isosceles", "sparten"][index as usize]
+        );
+    }
+
+    client.roundtrip(r#"{"type":"shutdown"}"#, &["bye"]);
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn malformed_lines_get_structured_errors_and_the_connection_survives() {
+    let (addr, handle) = test_server("malformed", 2);
+    let mut client = Client::connect(addr);
+
+    let err = client.roundtrip("this is not json", &["error"]).remove(0);
+    assert!(err
+        .field("message")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("malformed"));
+
+    // Job-level failures come back as an error row followed by `done`;
+    // read through `done` so the stream stays aligned.
+    let err = client
+        .roundtrip(
+            r#"{"type":"run","workload":"NOPE","model":"isosceles"}"#,
+            &["done"],
+        )
+        .remove(0);
+    assert_eq!(kind_of(&err), "error");
+    assert!(err
+        .field("message")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("unknown workload"));
+
+    let err = client
+        .roundtrip(
+            r#"{"type":"run","workload":"G58","model":"eyeriss"}"#,
+            &["done"],
+        )
+        .remove(0);
+    assert_eq!(kind_of(&err), "error");
+    assert!(err
+        .field("message")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("unknown model"));
+
+    // Same connection still works.
+    let pong = client.roundtrip(r#"{"type":"ping"}"#, &["pong"]).remove(0);
+    assert_eq!(kind_of(&pong), "pong");
+
+    client.roundtrip(r#"{"type":"shutdown"}"#, &["bye"]);
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn unknown_job_errors_still_end_with_done_inside_a_matrix() {
+    let (addr, handle) = test_server("mixed", 2);
+    let mut client = Client::connect(addr);
+    let lines = client.roundtrip(
+        r#"{"type":"matrix","workloads":["G58","NOPE"],"models":["isosceles"]}"#,
+        &["done"],
+    );
+    assert_eq!(lines.len(), 3, "row + error + done");
+    let kinds: Vec<String> = lines.iter().map(kind_of).collect();
+    assert!(kinds.contains(&"row".to_string()));
+    assert!(kinds.contains(&"error".to_string()));
+    assert_eq!(kinds.last().unwrap(), "done");
+    let error = lines.iter().find(|l| kind_of(l) == "error").unwrap();
+    assert_eq!(u64_field(error, "index"), 1, "second workload, only model");
+
+    client.roundtrip(r#"{"type":"shutdown"}"#, &["bye"]);
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn inline_config_run_matches_a_direct_simulation() {
+    use isosceles::accel::Accelerator;
+
+    let (addr, handle) = test_server("inline", 2);
+    let config = isosceles::IsoscelesConfig {
+        lanes: 32,
+        ..isosceles::IsoscelesConfig::default()
+    };
+    let seed = 5u64;
+    let workload = isos_nn::models::suite_workload("G58", seed);
+    let expected = config.simulate(&workload.network, seed).to_value().render();
+
+    let mut client = Client::connect(addr);
+    let request = format!(
+        r#"{{"type":"run","workload":"G58","config":{{"label":"l32","config":{}}},"seed":{seed}}}"#,
+        serde::json::to_string(&config)
+    );
+    let row = client.roundtrip(&request, &["done"]).remove(0);
+    assert_eq!(kind_of(&row), "row");
+    assert_eq!(row.field("label").unwrap().as_str().unwrap(), "l32");
+    assert_eq!(row.field("metrics").unwrap().render(), expected);
+
+    // The same point again is served from the cache under the config's
+    // own cache key.
+    let row = client.roundtrip(&request, &["done"]).remove(0);
+    assert!(row.field("cache_hit").unwrap().as_bool().unwrap());
+    assert_eq!(row.field("metrics").unwrap().render(), expected);
+
+    client.roundtrip(r#"{"type":"shutdown"}"#, &["bye"]);
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn traced_runs_attach_stall_rows_with_identical_metrics() {
+    let (addr, handle) = test_server("trace", 2);
+    let mut client = Client::connect(addr);
+
+    let plain = client
+        .roundtrip(
+            r#"{"type":"run","workload":"G58","model":"isosceles"}"#,
+            &["done"],
+        )
+        .remove(0);
+    let traced = client
+        .roundtrip(
+            r#"{"type":"run","workload":"G58","model":"isosceles","trace":true}"#,
+            &["done"],
+        )
+        .remove(0);
+
+    assert_eq!(
+        traced.field("metrics").unwrap().render(),
+        plain.field("metrics").unwrap().render(),
+        "traced metrics are bit-identical to untraced ones"
+    );
+    let stalls = traced.field("stalls").unwrap().as_arr().unwrap();
+    assert!(!stalls.is_empty(), "traced run reports per-unit breakdowns");
+    for unit in stalls {
+        assert!(unit.field("unit").unwrap().as_str().is_some());
+        assert!(unit.field("busy").unwrap().as_f64().is_ok());
+        assert!(unit.field("merge_bound").unwrap().as_f64().is_ok());
+    }
+    assert!(plain.field("stalls").is_err(), "untraced rows omit stalls");
+
+    client.roundtrip(r#"{"type":"shutdown"}"#, &["bye"]);
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn idle_connections_are_closed_with_a_bye() {
+    let server = Server::bind(ServerOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        idle_timeout: Duration::from_millis(200),
+        engine: EngineOptions {
+            threads: 1,
+            use_cache: false,
+            cache_dir: scratch_dir("idle"),
+            quiet: true,
+            ..EngineOptions::default()
+        },
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(addr);
+    // Say nothing; the server must hang up with an idle-timeout bye.
+    let bye = client.recv();
+    assert_eq!(kind_of(&bye), "bye");
+    assert_eq!(
+        bye.field("reason").unwrap().as_str().unwrap(),
+        "idle-timeout"
+    );
+
+    let mut client = Client::connect(addr);
+    client.roundtrip(r#"{"type":"shutdown"}"#, &["bye"]);
+    handle.join().expect("server thread");
+}
+
+/// SIGTERM on the real `serve` binary: the in-flight request completes
+/// and the process exits cleanly instead of dying mid-write.
+#[test]
+#[cfg(unix)]
+fn sigterm_drains_the_serve_binary() {
+    use std::process::{Command, Stdio};
+
+    let cache = scratch_dir("sigterm");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_serve"))
+        .args(["--addr", "127.0.0.1:0", "--workers", "2", "--threads", "2"])
+        .env("ISOS_CACHE_DIR", &cache)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn serve");
+
+    // Discover the ephemeral port from the listening line.
+    let mut stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("listening line");
+    let listening = serde::json::parse(line.trim()).expect("listening JSON");
+    assert_eq!(kind_of(&listening), "listening");
+    let addr = listening
+        .field("addr")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+
+    // Park an in-flight request, then deliver SIGTERM while the
+    // simulation runs.
+    let mut client = Client::connect(addr.parse().expect("addr"));
+    client.send(r#"{"type":"run","workload":"G58","model":"isosceles"}"#);
+    // Give the handler a beat to pick the request up, so the stop flag
+    // cannot win the race against a line already on the wire.
+    std::thread::sleep(Duration::from_millis(150));
+    let status = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill -TERM");
+    assert!(status.success());
+
+    // The request still completes: a row and a done line arrive.
+    let row = client.recv();
+    assert_eq!(kind_of(&row), "row");
+    let done = client.recv();
+    assert_eq!(kind_of(&done), "done");
+
+    let status = child.wait().expect("serve exit status");
+    assert!(status.success(), "serve exited with {status:?}");
+    let _ = std::fs::remove_dir_all(cache);
+}

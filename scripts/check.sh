@@ -63,4 +63,8 @@ else
     || { echo "perf smoke: $PERF_JSON malformed" >&2; exit 1; }
 fi
 
+echo "==> serve --smoke (simulation service self-check)"
+ISOS_CACHE_DIR="${TMPDIR:-/tmp}/isos-check-serve-cache" cargo run --release -q -p isos-serve --bin serve -- \
+  --smoke
+
 echo "All checks passed."
