@@ -79,14 +79,26 @@ fn fuse_groups(net: &Network, cfg: &FusedLayerConfig) -> Vec<Vec<NodeId>> {
 }
 
 /// One fused group's totals plus its per-layer breakdown.
-struct FusedGroupRun {
-    metrics: RunMetrics,
-    layers: Vec<(String, RunMetrics)>,
+#[derive(Debug)]
+pub struct FusedGroupRun {
+    /// Group totals.
+    pub metrics: RunMetrics,
+    /// Per-member-layer breakdown, in group order; sums to `metrics`.
+    pub layers: Vec<(String, RunMetrics)>,
 }
 
 /// Simulates one fused group.
-fn simulate_group(net: &Network, group: &[NodeId], cfg: &FusedLayerConfig) -> FusedGroupRun {
+///
+/// Public as the description-referenceable form of the model: the
+/// declarative-architecture interpreter lowers fused-tile descriptions
+/// onto exactly this closed form.
+pub fn group_metrics(net: &Network, group: &[NodeId], cfg: &FusedLayerConfig) -> FusedGroupRun {
     simulate_group_traced(net, group, cfg, 0, &mut NullSink)
+}
+
+/// Internal alias kept for the model's own call sites.
+fn simulate_group(net: &Network, group: &[NodeId], cfg: &FusedLayerConfig) -> FusedGroupRun {
+    group_metrics(net, group, cfg)
 }
 
 /// [`simulate_group`] with trace emission. Every fused layer is one unit

@@ -38,3 +38,8 @@ pub mod sparten;
 pub use fused_layer::{fused_groups, FusedLayerConfig};
 pub use single::IsoscelesSingleConfig;
 pub use sparten::SpartenConfig;
+
+// Description-referenceable closed forms: the declarative-architecture
+// interpreter in `isos-explore` lowers onto these exact functions.
+pub use fused_layer::{group_metrics as fused_group_metrics, FusedGroupRun};
+pub use sparten::layer_metrics as sparten_layer_metrics;

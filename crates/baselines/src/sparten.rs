@@ -72,12 +72,16 @@ impl SpartenConfig {
 
 /// Bytes of a bitmask-compressed activation tensor: one mask bit per
 /// element plus one byte per nonzero (SparTen's format).
-fn bitmask_act_bytes(elements: f64, density: f64) -> f64 {
+///
+/// Public so declarative architecture descriptions (`isos-explore`'s
+/// `arch` module) reference the exact format constant this model uses.
+pub fn bitmask_act_bytes(elements: f64, density: f64) -> f64 {
     elements / 8.0 + elements * density
 }
 
-/// Bytes of bitmask-compressed weights.
-fn bitmask_weight_bytes(layer: &Layer) -> f64 {
+/// Bytes of bitmask-compressed weights (same format as
+/// [`bitmask_act_bytes`], over the dense weight volume).
+pub fn bitmask_weight_bytes(layer: &Layer) -> f64 {
     let dense = layer.dense_weights() as f64;
     dense / 8.0 + dense * layer.weight_density
 }
@@ -88,8 +92,17 @@ fn bitmask_weight_bytes(layer: &Layer) -> f64 {
 /// [`MemHarness`] over the layer's modeled cycle count, so the traffic
 /// split, bandwidth utilization, and DRAM energy activity are accounted
 /// exactly as in the cycle-level models.
-fn simulate_layer(layer: &Layer, cfg: &SpartenConfig) -> RunMetrics {
+///
+/// Public as the description-referenceable form of the model: the
+/// declarative-architecture interpreter lowers output-stationary
+/// descriptions onto exactly this closed form.
+pub fn layer_metrics(layer: &Layer, cfg: &SpartenConfig) -> RunMetrics {
     simulate_layer_traced(layer, cfg, 0, &mut NullSink)
+}
+
+/// Internal alias kept for the model's own call sites.
+fn simulate_layer(layer: &Layer, cfg: &SpartenConfig) -> RunMetrics {
+    layer_metrics(layer, cfg)
 }
 
 /// [`simulate_layer`] with trace emission: the layer becomes one unit

@@ -1,0 +1,244 @@
+//! Reference descriptions of the paper's machines.
+//!
+//! These constructors are the in-code source of truth for the TOML
+//! files shipped under `configs/arch/`: the validation suite asserts
+//! that each shipped file parses to exactly the corresponding
+//! constructor, and that each constructor lowers to exactly the
+//! hand-written model configuration it describes
+//! ([`IsoscelesConfig::default`](isosceles::IsoscelesConfig),
+//! [`SpartenConfig::default`](isos_baselines::SpartenConfig),
+//! [`FusedLayerConfig::default`](isos_baselines::FusedLayerConfig)).
+
+use super::schema::{
+    ArchDesc, BufferLevel, ComputeDesc, DataflowDesc, DataflowStyle, Gating, MemoryDesc,
+    PipelinePolicy, TensorBinding, TensorFormat, TensorKind,
+};
+
+fn binding(
+    tensor: TensorKind,
+    format: TensorFormat,
+    skipping: bool,
+    gating: Gating,
+) -> TensorBinding {
+    TensorBinding {
+        tensor,
+        format,
+        skipping,
+        gating,
+    }
+}
+
+fn nest(dims: &[&str]) -> Vec<String> {
+    dims.iter().map(|d| d.to_string()).collect()
+}
+
+/// The full ISOSceles machine (Table I) with inter-layer pipelining.
+pub fn isosceles() -> ArchDesc {
+    ArchDesc {
+        name: "isosceles".into(),
+        compute: ComputeDesc {
+            lanes: 64,
+            macs_per_lane: 64,
+            efficiency: 0.95,
+            mergers_per_lane: 16,
+            merger_radix: 256,
+            contexts: 16,
+        },
+        memory: MemoryDesc {
+            dram_bytes_per_cycle: 128.0,
+        },
+        levels: vec![
+            BufferLevel {
+                name: "filter-buffer".into(),
+                bytes: 1 << 20,
+                banks: 64,
+                per_lane: false,
+                alloc_overhead: 1.5,
+                stores: vec![binding(
+                    TensorKind::Weights,
+                    TensorFormat::Csf,
+                    true,
+                    Gating::None,
+                )],
+            },
+            BufferLevel {
+                name: "context-arrays".into(),
+                bytes: 8 << 10,
+                banks: 1,
+                per_lane: true,
+                alloc_overhead: 1.0,
+                stores: vec![binding(
+                    TensorKind::Outputs,
+                    TensorFormat::Csf,
+                    false,
+                    Gating::None,
+                )],
+            },
+            BufferLevel {
+                name: "queues".into(),
+                bytes: 8 << 10,
+                banks: 1,
+                per_lane: true,
+                alloc_overhead: 1.0,
+                stores: vec![binding(
+                    TensorKind::Inputs,
+                    TensorFormat::Csf,
+                    true,
+                    Gating::None,
+                )],
+            },
+        ],
+        dataflow: DataflowDesc {
+            style: DataflowStyle::IsOs,
+            loop_nest: nest(&["K", "C", "P", "Q", "R", "S"]),
+            pipeline: PipelinePolicy::InterLayer,
+        },
+    }
+}
+
+/// ISOSceles hardware run layer by layer (the Fig. 18 ablation).
+pub fn isosceles_single() -> ArchDesc {
+    let mut desc = isosceles();
+    desc.name = "isosceles-single".into();
+    desc.dataflow.pipeline = PipelinePolicy::None;
+    desc
+}
+
+/// SparTen with GoSPA filtering (Table III).
+pub fn sparten() -> ArchDesc {
+    ArchDesc {
+        name: "sparten".into(),
+        compute: ComputeDesc {
+            lanes: 64,
+            macs_per_lane: 64,
+            efficiency: 0.35,
+            mergers_per_lane: 0,
+            merger_radix: 256,
+            contexts: 1,
+        },
+        memory: MemoryDesc {
+            dram_bytes_per_cycle: 128.0,
+        },
+        levels: vec![
+            BufferLevel {
+                name: "filter-buffer".into(),
+                bytes: 1 << 20,
+                banks: 64,
+                per_lane: false,
+                alloc_overhead: 1.0,
+                stores: vec![binding(
+                    TensorKind::Weights,
+                    TensorFormat::Bitmask,
+                    true,
+                    Gating::None,
+                )],
+            },
+            BufferLevel {
+                name: "cluster-buffers".into(),
+                bytes: 64 << 10,
+                banks: 1,
+                per_lane: true,
+                alloc_overhead: 1.0,
+                stores: vec![
+                    binding(
+                        TensorKind::Inputs,
+                        TensorFormat::Bitmask,
+                        true,
+                        Gating::Gospa,
+                    ),
+                    binding(
+                        TensorKind::Outputs,
+                        TensorFormat::Bitmask,
+                        false,
+                        Gating::None,
+                    ),
+                ],
+            },
+        ],
+        dataflow: DataflowDesc {
+            style: DataflowStyle::OutputStationary,
+            loop_nest: nest(&["K/64", "P", "Q", "C", "R", "S"]),
+            pipeline: PipelinePolicy::None,
+        },
+    }
+}
+
+/// Fused-Layer: dense tiled inter-layer pipelining (Sec. V sizing).
+pub fn fused_layer() -> ArchDesc {
+    ArchDesc {
+        name: "fused-layer".into(),
+        compute: ComputeDesc {
+            lanes: 64,
+            macs_per_lane: 64,
+            efficiency: 0.95,
+            mergers_per_lane: 0,
+            merger_radix: 256,
+            contexts: 1,
+        },
+        memory: MemoryDesc {
+            dram_bytes_per_cycle: 128.0,
+        },
+        levels: vec![
+            BufferLevel {
+                name: "filter-buffer".into(),
+                bytes: 5 << 19,
+                banks: 64,
+                per_lane: false,
+                alloc_overhead: 1.0,
+                stores: vec![binding(
+                    TensorKind::Weights,
+                    TensorFormat::Dense,
+                    false,
+                    Gating::None,
+                )],
+            },
+            BufferLevel {
+                name: "tile-buffer".into(),
+                bytes: 512 << 10,
+                banks: 8,
+                per_lane: false,
+                alloc_overhead: 1.0,
+                stores: vec![
+                    binding(TensorKind::Inputs, TensorFormat::Dense, false, Gating::None),
+                    binding(
+                        TensorKind::Outputs,
+                        TensorFormat::Dense,
+                        false,
+                        Gating::None,
+                    ),
+                ],
+            },
+        ],
+        dataflow: DataflowDesc {
+            style: DataflowStyle::FusedTile,
+            loop_nest: nest(&["P/32", "Q/32", "K", "C", "R", "S"]),
+            pipeline: PipelinePolicy::None,
+        },
+    }
+}
+
+/// All four reference descriptions.
+pub fn all() -> Vec<ArchDesc> {
+    vec![isosceles(), isosceles_single(), sparten(), fused_layer()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_reference_validates() {
+        for desc in all() {
+            assert!(desc.validate().is_ok(), "{}", desc.name);
+        }
+    }
+
+    #[test]
+    fn references_round_trip_through_toml() {
+        for desc in all() {
+            let toml = desc.to_toml();
+            let back = ArchDesc::from_config_str(&toml).unwrap();
+            assert_eq!(back, desc, "TOML round trip for {}:\n{toml}", desc.name);
+        }
+    }
+}

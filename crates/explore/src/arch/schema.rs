@@ -1,0 +1,1037 @@
+//! The declarative architecture-description schema.
+//!
+//! An [`ArchDesc`] specifies a sparse-CNN accelerator *as data*, in the
+//! style of Sparseloop: a compute array, a buffer hierarchy with
+//! per-level sparse-acceleration features (compression format, compute
+//! skipping, gating), and a dataflow (loop nest + pipelining policy).
+//! Descriptions load from TOML or JSON (see [`super::toml`] and
+//! [`ArchDesc::from_value`]), are checked by [`ArchDesc::validate`], and
+//! lower onto the shared simulation substrate through [`super::lower()`].
+//!
+//! (De)serialization is hand-written rather than derived so malformed
+//! descriptions are rejected with *actionable* messages: unknown fields,
+//! unknown sparsity features, and type mismatches all name the offending
+//! key and list the accepted values.
+
+use serde::json::{Error as JsonError, Value};
+use serde::{Deserialize, Serialize};
+
+/// A schema or semantic error in an architecture description.
+///
+/// The message is human-actionable: it names the offending field or
+/// level and states what was expected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArchError(String);
+
+impl ArchError {
+    /// Wraps a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for ArchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+impl From<JsonError> for ArchError {
+    fn from(e: JsonError) -> Self {
+        Self(e.to_string())
+    }
+}
+
+/// A complete declarative accelerator description.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArchDesc {
+    /// Description name; becomes the model label (`arch:<name>`).
+    pub name: String,
+    /// The compute array.
+    pub compute: ComputeDesc,
+    /// The off-chip memory interface.
+    pub memory: MemoryDesc,
+    /// The on-chip buffer hierarchy, outermost (DRAM-facing) first.
+    pub levels: Vec<BufferLevel>,
+    /// The dataflow: loop nest plus pipelining policy.
+    pub dataflow: DataflowDesc,
+}
+
+/// The compute array of a description.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ComputeDesc {
+    /// Parallel lanes (clusters).
+    pub lanes: usize,
+    /// MAC units per lane.
+    pub macs_per_lane: usize,
+    /// Sustained fraction of peak MAC throughput on scheduled work.
+    pub efficiency: f64,
+    /// Hardware mergers per lane (0 = the machine has no mergers).
+    pub mergers_per_lane: usize,
+    /// Merger radix (ignored when `mergers_per_lane` is 0).
+    pub merger_radix: usize,
+    /// Layer contexts the compute array can time-multiplex.
+    pub contexts: usize,
+}
+
+/// The off-chip memory interface of a description.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemoryDesc {
+    /// DRAM bandwidth in bytes per cycle.
+    pub dram_bytes_per_cycle: f64,
+}
+
+/// One level of the on-chip buffer hierarchy.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BufferLevel {
+    /// Level name (e.g. `"filter-buffer"`).
+    pub name: String,
+    /// Capacity in bytes (per instance: total if shared, per lane if
+    /// `per_lane`).
+    pub bytes: u64,
+    /// Bank count (wide-word parallelism; informational for analytics).
+    pub banks: usize,
+    /// Whether each lane has a private instance of this level.
+    pub per_lane: bool,
+    /// Effective bytes consumed per stored byte (allocation padding and
+    /// bank alignment; 1.0 = none).
+    pub alloc_overhead: f64,
+    /// Tensors bound at this level, with their sparsity features.
+    pub stores: Vec<TensorBinding>,
+}
+
+/// One tensor bound at a buffer level, with its sparse-acceleration
+/// features (Sparseloop's compression / skipping / gating taxonomy).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TensorBinding {
+    /// Which tensor.
+    pub tensor: TensorKind,
+    /// Storage format at (and below) this level.
+    pub format: TensorFormat,
+    /// Whether ineffectual computation on this operand is *skipped*
+    /// (saves cycles: only effectual MACs are scheduled).
+    pub skipping: bool,
+    /// Whether ineffectual *fetches* of this operand are gated.
+    pub gating: Gating,
+}
+
+/// The tensors a buffer level can bind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TensorKind {
+    /// Filter weights.
+    Weights,
+    /// Input activations.
+    Inputs,
+    /// Output activations / partial sums.
+    Outputs,
+}
+
+impl TensorKind {
+    /// The wire spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            TensorKind::Weights => "weights",
+            TensorKind::Inputs => "inputs",
+            TensorKind::Outputs => "outputs",
+        }
+    }
+}
+
+/// Compressed tensor formats the substrate models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TensorFormat {
+    /// Uncompressed.
+    Dense,
+    /// One mask bit per element plus one byte per nonzero (SparTen).
+    Bitmask,
+    /// Compressed sparse fiber (ISOSceles).
+    Csf,
+}
+
+impl TensorFormat {
+    /// The wire spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            TensorFormat::Dense => "dense",
+            TensorFormat::Bitmask => "bitmask",
+            TensorFormat::Csf => "csf",
+        }
+    }
+}
+
+/// Fetch-gating features.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Gating {
+    /// No gating.
+    None,
+    /// GoSPA-style implicit intersection: input elements whose positions
+    /// can never meet a nonzero weight are not fetched.
+    Gospa,
+}
+
+impl Gating {
+    /// The wire spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            Gating::None => "none",
+            Gating::Gospa => "gospa",
+        }
+    }
+}
+
+/// The dataflow of a description.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DataflowDesc {
+    /// Dataflow family.
+    pub style: DataflowStyle,
+    /// Loop nest, outermost first. Each entry is a dimension from
+    /// `{N, K, P, Q, C, R, S}`, optionally tiled as `"K/64"`.
+    pub loop_nest: Vec<String>,
+    /// Inter-layer pipelining policy.
+    pub pipeline: PipelinePolicy,
+}
+
+/// The dataflow families the interpreter can lower.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DataflowStyle {
+    /// The paper's two-phase input-stationary / output-stationary
+    /// streaming dataflow (requires mergers).
+    IsOs,
+    /// Output-stationary with a tiled K loop: inputs are re-read once
+    /// per K tile (SparTen's regime).
+    OutputStationary,
+    /// Dense 2-D-tiled pipeline with halo recomputation (Fused-Layer's
+    /// regime); requires matching P and Q tiles.
+    FusedTile,
+}
+
+impl DataflowStyle {
+    /// The wire spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            DataflowStyle::IsOs => "is-os",
+            DataflowStyle::OutputStationary => "output-stationary",
+            DataflowStyle::FusedTile => "fused-tile",
+        }
+    }
+}
+
+/// Inter-layer pipelining policies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PipelinePolicy {
+    /// Layers run one at a time, spilling activations between them.
+    None,
+    /// Consecutive layers stream through on-chip queues (ISOSceles).
+    InterLayer,
+}
+
+impl PipelinePolicy {
+    /// The wire spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            PipelinePolicy::None => "none",
+            PipelinePolicy::InterLayer => "inter-layer",
+        }
+    }
+}
+
+/// The dimensions a loop nest may name, in canonical order.
+pub const LOOP_DIMS: [&str; 7] = ["N", "K", "P", "Q", "C", "R", "S"];
+
+/// One parsed loop-nest entry: dimension plus optional tile bound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LoopDim {
+    /// Dimension letter, one of [`LOOP_DIMS`].
+    pub dim: &'static str,
+    /// Tile bound, if the entry was written `"DIM/TILE"`.
+    pub tile: Option<u64>,
+}
+
+impl DataflowDesc {
+    /// Parses the loop nest into `(dim, tile)` entries.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown dimensions, duplicates (a rank mismatch: each
+    /// dimension may appear at most once), bad tile syntax, and an
+    /// empty nest.
+    pub fn parsed_loop_nest(&self) -> Result<Vec<LoopDim>, ArchError> {
+        if self.loop_nest.is_empty() {
+            return Err(ArchError::new(
+                "dataflow rank mismatch: `loop_nest` is empty (list dimensions outermost first, \
+                 e.g. [\"K/64\", \"P\", \"Q\", \"C\", \"R\", \"S\"])",
+            ));
+        }
+        let mut seen: Vec<&'static str> = Vec::new();
+        let mut out = Vec::with_capacity(self.loop_nest.len());
+        for entry in &self.loop_nest {
+            let (dim_str, tile) = match entry.split_once('/') {
+                Some((d, t)) => {
+                    let tile: u64 = t.parse().map_err(|_| {
+                        ArchError::new(format!(
+                            "bad loop tile `{entry}`: the part after `/` must be a positive \
+                             integer"
+                        ))
+                    })?;
+                    if tile == 0 {
+                        return Err(ArchError::new(format!(
+                            "bad loop tile `{entry}`: tile bound must be at least 1"
+                        )));
+                    }
+                    (d, Some(tile))
+                }
+                None => (entry.as_str(), None),
+            };
+            let Some(&dim) = LOOP_DIMS.iter().find(|&&d| d == dim_str) else {
+                return Err(ArchError::new(format!(
+                    "dataflow rank mismatch: unknown dimension `{dim_str}` in loop_nest \
+                     (expected one of {})",
+                    LOOP_DIMS.join(", ")
+                )));
+            };
+            if seen.contains(&dim) {
+                return Err(ArchError::new(format!(
+                    "dataflow rank mismatch: dimension `{dim}` appears more than once in \
+                     loop_nest"
+                )));
+            }
+            seen.push(dim);
+            out.push(LoopDim { dim, tile });
+        }
+        Ok(out)
+    }
+
+    /// The tile bound of dimension `dim`, if the loop nest tiles it.
+    pub fn tile_of(&self, dim: &str) -> Option<u64> {
+        self.parsed_loop_nest()
+            .ok()?
+            .into_iter()
+            .find(|l| l.dim == dim)
+            .and_then(|l| l.tile)
+    }
+}
+
+impl ArchDesc {
+    /// The first (outermost) level binding `tensor`, restricted to
+    /// shared (`!per_lane`) levels.
+    pub fn shared_level_for(&self, tensor: TensorKind) -> Option<&BufferLevel> {
+        self.levels
+            .iter()
+            .find(|l| !l.per_lane && l.stores.iter().any(|b| b.tensor == tensor))
+    }
+
+    /// The first per-lane level binding `tensor`.
+    pub fn per_lane_level_for(&self, tensor: TensorKind) -> Option<&BufferLevel> {
+        self.levels
+            .iter()
+            .find(|l| l.per_lane && l.stores.iter().any(|b| b.tensor == tensor))
+    }
+
+    /// The DRAM-facing storage format of `tensor`: the format at the
+    /// outermost level binding it ([`TensorFormat::Dense`] if unbound).
+    pub fn dram_format(&self, tensor: TensorKind) -> TensorFormat {
+        self.levels
+            .iter()
+            .flat_map(|l| l.stores.iter())
+            .find(|b| b.tensor == tensor)
+            .map(|b| b.format)
+            .unwrap_or(TensorFormat::Dense)
+    }
+
+    /// Whether any level skips ineffectual compute on `tensor`.
+    pub fn skips(&self, tensor: TensorKind) -> bool {
+        self.levels
+            .iter()
+            .flat_map(|l| l.stores.iter())
+            .any(|b| b.tensor == tensor && b.skipping)
+    }
+
+    /// Whether any input binding enables GoSPA-style gating.
+    pub fn gospa_gating(&self) -> bool {
+        self.levels
+            .iter()
+            .flat_map(|l| l.stores.iter())
+            .any(|b| b.tensor == TensorKind::Inputs && b.gating == Gating::Gospa)
+    }
+
+    /// Checks the description's semantic invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ArchError`] whose message names the offending field
+    /// and what the interpreter needs instead. Structural problems
+    /// (unknown fields, unknown sparsity features, wrong types) are
+    /// caught earlier, at deserialization.
+    pub fn validate(&self) -> Result<(), ArchError> {
+        if self.name.trim().is_empty() {
+            return Err(ArchError::new("description `name` must be non-empty"));
+        }
+        if self.compute.lanes == 0 {
+            return Err(ArchError::new("compute.lanes must be at least 1"));
+        }
+        if self.compute.macs_per_lane == 0 {
+            return Err(ArchError::new("compute.macs_per_lane must be at least 1"));
+        }
+        if !(self.compute.efficiency > 0.0 && self.compute.efficiency <= 1.0) {
+            return Err(ArchError::new(format!(
+                "compute.efficiency must be in (0, 1], got {}",
+                self.compute.efficiency
+            )));
+        }
+        if self.compute.contexts == 0 {
+            return Err(ArchError::new("compute.contexts must be at least 1"));
+        }
+        if self.compute.mergers_per_lane > 0 && self.compute.merger_radix < 2 {
+            return Err(ArchError::new(
+                "compute.merger_radix must be at least 2 when the machine has mergers",
+            ));
+        }
+        // NaN must fail too, so compare for "not strictly positive".
+        if self.memory.dram_bytes_per_cycle.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(ArchError::new(
+                "memory.dram_bytes_per_cycle must be positive",
+            ));
+        }
+        if self.levels.is_empty() {
+            return Err(ArchError::new(
+                "a description needs at least one buffer level",
+            ));
+        }
+        for level in &self.levels {
+            if level.bytes == 0 {
+                return Err(ArchError::new(format!(
+                    "buffer level `{}` has zero size; give it a positive `bytes`",
+                    level.name
+                )));
+            }
+            if level.banks == 0 {
+                return Err(ArchError::new(format!(
+                    "buffer level `{}`: `banks` must be at least 1",
+                    level.name
+                )));
+            }
+            if level.alloc_overhead < 1.0 {
+                return Err(ArchError::new(format!(
+                    "buffer level `{}`: `alloc_overhead` must be at least 1.0",
+                    level.name
+                )));
+            }
+            for binding in &level.stores {
+                if binding.gating == Gating::Gospa && binding.tensor != TensorKind::Inputs {
+                    return Err(ArchError::new(format!(
+                        "buffer level `{}`: gospa gating applies to the `inputs` tensor, not \
+                         `{}`",
+                        level.name,
+                        binding.tensor.label()
+                    )));
+                }
+            }
+        }
+        let nest = self.dataflow.parsed_loop_nest()?;
+        if self.shared_level_for(TensorKind::Weights).is_none() {
+            return Err(ArchError::new(
+                "no shared buffer level stores `weights`; the interpreter needs a filter buffer \
+                 to size dataflow groups against",
+            ));
+        }
+        match self.dataflow.style {
+            DataflowStyle::IsOs => {
+                if self.compute.mergers_per_lane == 0 {
+                    return Err(ArchError::new(
+                        "is-os dataflow needs mergers: set compute.mergers_per_lane (and \
+                         merger_radix)",
+                    ));
+                }
+                if self.per_lane_level_for(TensorKind::Outputs).is_none() {
+                    return Err(ArchError::new(
+                        "is-os dataflow needs a per-lane level storing `outputs` (the context \
+                         arrays)",
+                    ));
+                }
+                if self.per_lane_level_for(TensorKind::Inputs).is_none() {
+                    return Err(ArchError::new(
+                        "is-os dataflow needs a per-lane level storing `inputs` (the stream \
+                         queues)",
+                    ));
+                }
+            }
+            DataflowStyle::OutputStationary => {
+                if self.dataflow.pipeline != PipelinePolicy::None {
+                    return Err(ArchError::new(
+                        "output-stationary dataflow runs layer by layer; set dataflow.pipeline \
+                         = \"none\"",
+                    ));
+                }
+                if !nest.iter().any(|l| l.dim == "K" && l.tile.is_some()) {
+                    return Err(ArchError::new(
+                        "output-stationary dataflow needs a tiled K loop (e.g. \"K/64\") to set \
+                         the output channels per input pass",
+                    ));
+                }
+            }
+            DataflowStyle::FusedTile => {
+                if self.dataflow.pipeline != PipelinePolicy::None {
+                    return Err(ArchError::new(
+                        "fused-tile dataflow pipelines through its 2-D tiling; set \
+                         dataflow.pipeline = \"none\"",
+                    ));
+                }
+                let p = nest.iter().find(|l| l.dim == "P").and_then(|l| l.tile);
+                let q = nest.iter().find(|l| l.dim == "Q").and_then(|l| l.tile);
+                match (p, q) {
+                    (Some(p), Some(q)) if p == q => {}
+                    _ => {
+                        return Err(ArchError::new(
+                            "fused-tile dataflow needs matching P and Q tiles (e.g. \"P/32\", \
+                             \"Q/32\") to set the output tile edge",
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads a description from TOML or JSON text, picking the parser by
+    /// whether the trimmed text starts with `{`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parser's or schema's actionable message.
+    pub fn from_config_str(text: &str) -> Result<Self, ArchError> {
+        let value = if text.trim_start().starts_with('{') {
+            serde::json::parse(text).map_err(|e| ArchError::new(format!("bad JSON: {e}")))?
+        } else {
+            super::toml::toml_to_value(text)?
+        };
+        let desc = ArchDesc::from_value(&value)?;
+        desc.validate()?;
+        Ok(desc)
+    }
+
+    /// Renders the description as TOML (the inverse of the TOML loader).
+    pub fn to_toml(&self) -> String {
+        super::toml::value_to_toml(&self.to_value())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hand-written (de)serialization with actionable errors.
+// ---------------------------------------------------------------------
+
+/// Returns the object's pairs, rejecting non-objects and unknown keys.
+fn obj_fields<'a>(
+    value: &'a Value,
+    ctx: &str,
+    allowed: &[&str],
+) -> Result<&'a [(String, Value)], JsonError> {
+    let Value::Obj(pairs) = value else {
+        return Err(JsonError::new(format!(
+            "{ctx}: expected an object, got {}",
+            value.kind()
+        )));
+    };
+    for (key, _) in pairs {
+        if !allowed.contains(&key.as_str()) {
+            return Err(JsonError::new(format!(
+                "{ctx}: unknown field `{key}` (expected {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(pairs)
+}
+
+fn get<'a>(pairs: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn req<'a>(pairs: &'a [(String, Value)], ctx: &str, key: &str) -> Result<&'a Value, JsonError> {
+    get(pairs, key).ok_or_else(|| JsonError::new(format!("{ctx}: missing required field `{key}`")))
+}
+
+fn as_count(value: &Value, ctx: &str, key: &str) -> Result<usize, JsonError> {
+    value
+        .as_u64()
+        .map(|n| n as usize)
+        .map_err(|_| JsonError::new(format!("{ctx}: `{key}` must be a non-negative integer")))
+}
+
+fn as_bytes(value: &Value, ctx: &str, key: &str) -> Result<u64, JsonError> {
+    value
+        .as_u64()
+        .map_err(|_| JsonError::new(format!("{ctx}: `{key}` must be a non-negative integer")))
+}
+
+fn as_number(value: &Value, ctx: &str, key: &str) -> Result<f64, JsonError> {
+    value
+        .as_f64()
+        .map_err(|_| JsonError::new(format!("{ctx}: `{key}` must be a number")))
+}
+
+fn as_flag(value: &Value, ctx: &str, key: &str) -> Result<bool, JsonError> {
+    value
+        .as_bool()
+        .map_err(|_| JsonError::new(format!("{ctx}: `{key}` must be a boolean")))
+}
+
+fn as_text(value: &Value, ctx: &str, key: &str) -> Result<String, JsonError> {
+    value
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| JsonError::new(format!("{ctx}: `{key}` must be a string")))
+}
+
+fn tensor_kind_from(value: &Value, ctx: &str) -> Result<TensorKind, JsonError> {
+    match value.as_str() {
+        Some("weights") => Ok(TensorKind::Weights),
+        Some("inputs") => Ok(TensorKind::Inputs),
+        Some("outputs") => Ok(TensorKind::Outputs),
+        Some(other) => Err(JsonError::new(format!(
+            "{ctx}: unknown tensor `{other}` (expected weights, inputs, or outputs)"
+        ))),
+        None => Err(JsonError::new(format!("{ctx}: `tensor` must be a string"))),
+    }
+}
+
+fn format_from(value: &Value, ctx: &str) -> Result<TensorFormat, JsonError> {
+    match value.as_str() {
+        Some("dense") => Ok(TensorFormat::Dense),
+        Some("bitmask") => Ok(TensorFormat::Bitmask),
+        Some("csf") => Ok(TensorFormat::Csf),
+        Some(other) => Err(JsonError::new(format!(
+            "{ctx}: unknown sparsity format `{other}` (expected dense, bitmask, or csf)"
+        ))),
+        None => Err(JsonError::new(format!("{ctx}: `format` must be a string"))),
+    }
+}
+
+fn gating_from(value: &Value, ctx: &str) -> Result<Gating, JsonError> {
+    match value.as_str() {
+        Some("none") => Ok(Gating::None),
+        Some("gospa") => Ok(Gating::Gospa),
+        Some(other) => Err(JsonError::new(format!(
+            "{ctx}: unknown gating feature `{other}` (expected none or gospa)"
+        ))),
+        None => Err(JsonError::new(format!("{ctx}: `gating` must be a string"))),
+    }
+}
+
+fn style_from(value: &Value, ctx: &str) -> Result<DataflowStyle, JsonError> {
+    match value.as_str() {
+        Some("is-os") => Ok(DataflowStyle::IsOs),
+        Some("output-stationary") => Ok(DataflowStyle::OutputStationary),
+        Some("fused-tile") => Ok(DataflowStyle::FusedTile),
+        Some(other) => Err(JsonError::new(format!(
+            "{ctx}: unknown dataflow style `{other}` (expected is-os, output-stationary, or \
+             fused-tile)"
+        ))),
+        None => Err(JsonError::new(format!("{ctx}: `style` must be a string"))),
+    }
+}
+
+fn pipeline_from(value: &Value, ctx: &str) -> Result<PipelinePolicy, JsonError> {
+    match value.as_str() {
+        Some("none") => Ok(PipelinePolicy::None),
+        Some("inter-layer") => Ok(PipelinePolicy::InterLayer),
+        Some(other) => Err(JsonError::new(format!(
+            "{ctx}: unknown pipeline policy `{other}` (expected none or inter-layer)"
+        ))),
+        None => Err(JsonError::new(format!(
+            "{ctx}: `pipeline` must be a string"
+        ))),
+    }
+}
+
+fn compute_from(value: &Value) -> Result<ComputeDesc, JsonError> {
+    let ctx = "compute";
+    let pairs = obj_fields(
+        value,
+        ctx,
+        &[
+            "lanes",
+            "macs_per_lane",
+            "efficiency",
+            "mergers_per_lane",
+            "merger_radix",
+            "contexts",
+        ],
+    )?;
+    Ok(ComputeDesc {
+        lanes: as_count(req(pairs, ctx, "lanes")?, ctx, "lanes")?,
+        macs_per_lane: as_count(req(pairs, ctx, "macs_per_lane")?, ctx, "macs_per_lane")?,
+        efficiency: as_number(req(pairs, ctx, "efficiency")?, ctx, "efficiency")?,
+        mergers_per_lane: match get(pairs, "mergers_per_lane") {
+            Some(v) => as_count(v, ctx, "mergers_per_lane")?,
+            None => 0,
+        },
+        merger_radix: match get(pairs, "merger_radix") {
+            Some(v) => as_count(v, ctx, "merger_radix")?,
+            None => 256,
+        },
+        contexts: match get(pairs, "contexts") {
+            Some(v) => as_count(v, ctx, "contexts")?,
+            None => 1,
+        },
+    })
+}
+
+fn memory_from(value: &Value) -> Result<MemoryDesc, JsonError> {
+    let ctx = "memory";
+    let pairs = obj_fields(value, ctx, &["dram_bytes_per_cycle"])?;
+    Ok(MemoryDesc {
+        dram_bytes_per_cycle: as_number(
+            req(pairs, ctx, "dram_bytes_per_cycle")?,
+            ctx,
+            "dram_bytes_per_cycle",
+        )?,
+    })
+}
+
+fn binding_from(value: &Value, ctx: &str) -> Result<TensorBinding, JsonError> {
+    let pairs = obj_fields(value, ctx, &["tensor", "format", "skipping", "gating"])?;
+    Ok(TensorBinding {
+        tensor: tensor_kind_from(req(pairs, ctx, "tensor")?, ctx)?,
+        format: match get(pairs, "format") {
+            Some(v) => format_from(v, ctx)?,
+            None => TensorFormat::Dense,
+        },
+        skipping: match get(pairs, "skipping") {
+            Some(v) => as_flag(v, ctx, "skipping")?,
+            None => false,
+        },
+        gating: match get(pairs, "gating") {
+            Some(v) => gating_from(v, ctx)?,
+            None => Gating::None,
+        },
+    })
+}
+
+fn level_from(value: &Value, index: usize) -> Result<BufferLevel, JsonError> {
+    let ctx = format!("levels[{index}]");
+    let pairs = obj_fields(
+        value,
+        &ctx,
+        &[
+            "name",
+            "bytes",
+            "banks",
+            "per_lane",
+            "alloc_overhead",
+            "stores",
+        ],
+    )?;
+    let name = as_text(req(pairs, &ctx, "name")?, &ctx, "name")?;
+    let ctx = format!("level `{name}`");
+    let stores = match get(pairs, "stores") {
+        Some(v) => {
+            let arr = v
+                .as_arr()
+                .map_err(|_| JsonError::new(format!("{ctx}: `stores` must be an array")))?;
+            arr.iter()
+                .map(|b| binding_from(b, &format!("{ctx} stores entry")))
+                .collect::<Result<Vec<_>, _>>()?
+        }
+        None => Vec::new(),
+    };
+    Ok(BufferLevel {
+        bytes: as_bytes(req(pairs, &ctx, "bytes")?, &ctx, "bytes")?,
+        banks: match get(pairs, "banks") {
+            Some(v) => as_count(v, &ctx, "banks")?,
+            None => 1,
+        },
+        per_lane: match get(pairs, "per_lane") {
+            Some(v) => as_flag(v, &ctx, "per_lane")?,
+            None => false,
+        },
+        alloc_overhead: match get(pairs, "alloc_overhead") {
+            Some(v) => as_number(v, &ctx, "alloc_overhead")?,
+            None => 1.0,
+        },
+        stores,
+        name,
+    })
+}
+
+fn dataflow_from(value: &Value) -> Result<DataflowDesc, JsonError> {
+    let ctx = "dataflow";
+    let pairs = obj_fields(value, ctx, &["style", "loop_nest", "pipeline"])?;
+    let nest_value = req(pairs, ctx, "loop_nest")?;
+    let nest = nest_value
+        .as_arr()
+        .map_err(|_| JsonError::new(format!("{ctx}: `loop_nest` must be an array of strings")))?
+        .iter()
+        .map(|v| {
+            v.as_str().map(str::to_string).ok_or_else(|| {
+                JsonError::new(format!(
+                    "{ctx}: loop_nest entries must be strings like \"K/64\", got {}",
+                    v.kind()
+                ))
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(DataflowDesc {
+        style: style_from(req(pairs, ctx, "style")?, ctx)?,
+        loop_nest: nest,
+        pipeline: match get(pairs, "pipeline") {
+            Some(v) => pipeline_from(v, ctx)?,
+            None => PipelinePolicy::None,
+        },
+    })
+}
+
+impl Deserialize for ArchDesc {
+    fn from_value(value: &Value) -> Result<Self, JsonError> {
+        let ctx = "arch description";
+        let pairs = obj_fields(
+            value,
+            ctx,
+            &["name", "compute", "memory", "levels", "dataflow"],
+        )?;
+        let levels = req(pairs, ctx, "levels")?
+            .as_arr()
+            .map_err(|_| JsonError::new(format!("{ctx}: `levels` must be an array")))?
+            .iter()
+            .enumerate()
+            .map(|(i, v)| level_from(v, i))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ArchDesc {
+            name: as_text(req(pairs, ctx, "name")?, ctx, "name")?,
+            compute: compute_from(req(pairs, ctx, "compute")?)?,
+            memory: memory_from(req(pairs, ctx, "memory")?)?,
+            levels,
+            dataflow: dataflow_from(req(pairs, ctx, "dataflow")?)?,
+        })
+    }
+}
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+impl Serialize for ArchDesc {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("name", Value::Str(self.name.clone())),
+            (
+                "compute",
+                obj(vec![
+                    ("lanes", Value::U64(self.compute.lanes as u64)),
+                    (
+                        "macs_per_lane",
+                        Value::U64(self.compute.macs_per_lane as u64),
+                    ),
+                    ("efficiency", Value::F64(self.compute.efficiency)),
+                    (
+                        "mergers_per_lane",
+                        Value::U64(self.compute.mergers_per_lane as u64),
+                    ),
+                    ("merger_radix", Value::U64(self.compute.merger_radix as u64)),
+                    ("contexts", Value::U64(self.compute.contexts as u64)),
+                ]),
+            ),
+            (
+                "memory",
+                obj(vec![(
+                    "dram_bytes_per_cycle",
+                    Value::F64(self.memory.dram_bytes_per_cycle),
+                )]),
+            ),
+            (
+                "levels",
+                Value::Arr(
+                    self.levels
+                        .iter()
+                        .map(|l| {
+                            obj(vec![
+                                ("name", Value::Str(l.name.clone())),
+                                ("bytes", Value::U64(l.bytes)),
+                                ("banks", Value::U64(l.banks as u64)),
+                                ("per_lane", Value::Bool(l.per_lane)),
+                                ("alloc_overhead", Value::F64(l.alloc_overhead)),
+                                (
+                                    "stores",
+                                    Value::Arr(
+                                        l.stores
+                                            .iter()
+                                            .map(|b| {
+                                                obj(vec![
+                                                    ("tensor", Value::Str(b.tensor.label().into())),
+                                                    ("format", Value::Str(b.format.label().into())),
+                                                    ("skipping", Value::Bool(b.skipping)),
+                                                    ("gating", Value::Str(b.gating.label().into())),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "dataflow",
+                obj(vec![
+                    ("style", Value::Str(self.dataflow.style.label().into())),
+                    (
+                        "loop_nest",
+                        Value::Arr(
+                            self.dataflow
+                                .loop_nest
+                                .iter()
+                                .cloned()
+                                .map(Value::Str)
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "pipeline",
+                        Value::Str(self.dataflow.pipeline.label().into()),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::reference;
+
+    #[test]
+    fn references_round_trip_through_json_values() {
+        for desc in reference::all() {
+            let value = desc.to_value();
+            let back = ArchDesc::from_value(&value).unwrap();
+            assert_eq!(back, desc);
+            assert!(back.validate().is_ok(), "{}", desc.name);
+        }
+    }
+
+    #[test]
+    fn zero_size_level_is_rejected_with_the_level_name() {
+        let mut desc = reference::sparten();
+        desc.levels[0].bytes = 0;
+        let err = desc.validate().unwrap_err();
+        assert!(err.message().contains("zero size"), "{err}");
+        assert!(err.message().contains(&desc.levels[0].name), "{err}");
+    }
+
+    #[test]
+    fn duplicate_and_unknown_loop_dims_are_rank_mismatches() {
+        let mut desc = reference::sparten();
+        desc.dataflow.loop_nest = vec!["K/64".into(), "K".into()];
+        let err = desc.validate().unwrap_err();
+        assert!(err.message().contains("rank mismatch"), "{err}");
+        assert!(err.message().contains("more than once"), "{err}");
+
+        desc.dataflow.loop_nest = vec!["Z".into()];
+        let err = desc.validate().unwrap_err();
+        assert!(err.message().contains("unknown dimension `Z`"), "{err}");
+    }
+
+    #[test]
+    fn unknown_sparsity_feature_is_rejected_with_alternatives() {
+        let mut value = reference::sparten().to_value();
+        // Patch the first binding's format to an unknown feature.
+        let Value::Obj(pairs) = &mut value else {
+            panic!()
+        };
+        let levels = pairs.iter_mut().find(|(k, _)| k == "levels").unwrap();
+        let Value::Arr(levels) = &mut levels.1 else {
+            panic!()
+        };
+        let Value::Obj(level) = &mut levels[0] else {
+            panic!()
+        };
+        let stores = level.iter_mut().find(|(k, _)| k == "stores").unwrap();
+        let Value::Arr(stores) = &mut stores.1 else {
+            panic!()
+        };
+        let Value::Obj(binding) = &mut stores[0] else {
+            panic!()
+        };
+        let format = binding.iter_mut().find(|(k, _)| k == "format").unwrap();
+        format.1 = Value::Str("runlength".into());
+        let err = ArchDesc::from_value(&value).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown sparsity format `runlength`"), "{msg}");
+        assert!(msg.contains("dense, bitmask, or csf"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_fields_name_the_context() {
+        let mut text = serde::json::to_string(&reference::fused_layer());
+        text = text.replacen("\"lanes\"", "\"lane\"", 1);
+        let err = ArchDesc::from_config_str(&text).unwrap_err();
+        assert!(err.message().contains("unknown field `lane`"), "{err}");
+        assert!(err.message().contains("compute"), "{err}");
+    }
+
+    #[test]
+    fn missing_required_fields_are_named() {
+        let err = ArchDesc::from_config_str("{\"name\":\"x\"}").unwrap_err();
+        assert!(
+            err.message().contains("missing required field `levels`"),
+            "{err}"
+        );
+        let err = ArchDesc::from_config_str("{\"name\":\"x\",\"levels\":[]}").unwrap_err();
+        assert!(
+            err.message().contains("missing required field `compute`"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn os_without_k_tile_and_fused_without_pq_tiles_are_rejected() {
+        let mut os = reference::sparten();
+        os.dataflow.loop_nest = vec!["K".into(), "P".into(), "Q".into()];
+        let err = os.validate().unwrap_err();
+        assert!(err.message().contains("tiled K loop"), "{err}");
+
+        let mut fused = reference::fused_layer();
+        fused.dataflow.loop_nest = vec!["P/32".into(), "Q/16".into(), "K".into()];
+        let err = fused.validate().unwrap_err();
+        assert!(err.message().contains("matching P and Q tiles"), "{err}");
+    }
+
+    #[test]
+    fn is_os_needs_mergers_and_lane_levels() {
+        let mut desc = reference::isosceles_single();
+        desc.compute.mergers_per_lane = 0;
+        let err = desc.validate().unwrap_err();
+        assert!(err.message().contains("needs mergers"), "{err}");
+    }
+
+    #[test]
+    fn gospa_on_weights_is_rejected() {
+        let mut desc = reference::sparten();
+        for level in &mut desc.levels {
+            for b in &mut level.stores {
+                if b.tensor == TensorKind::Weights {
+                    b.gating = Gating::Gospa;
+                }
+            }
+        }
+        let err = desc.validate().unwrap_err();
+        assert!(err.message().contains("gospa gating"), "{err}");
+    }
+
+    #[test]
+    fn loop_nest_helpers_expose_tiles() {
+        let desc = reference::sparten();
+        assert_eq!(desc.dataflow.tile_of("K"), Some(64));
+        assert_eq!(desc.dataflow.tile_of("P"), None);
+        let nest = desc.dataflow.parsed_loop_nest().unwrap();
+        assert_eq!(nest[0].dim, "K");
+    }
+}

@@ -1,0 +1,454 @@
+//! A minimal TOML reader/writer for architecture descriptions.
+//!
+//! The workspace vendors a JSON-only serde stand-in, so this module
+//! implements the TOML subset the shipped descriptions use and maps it
+//! onto [`serde::json::Value`]: comments, `[table]` headers, dotted
+//! header paths, `[[array-of-tables]]` headers, and single-line values
+//! (strings with escapes, integers with `_` separators, floats,
+//! booleans, arrays, inline tables). Errors carry the 1-based line
+//! number and an actionable message.
+//!
+//! [`value_to_toml`] is the inverse used by round-trip tests and by
+//! tooling that wants to print a description back out.
+
+use super::schema::ArchError;
+use serde::json::Value;
+
+/// Parses TOML text into a JSON value tree.
+///
+/// # Errors
+///
+/// Returns an [`ArchError`] naming the offending line.
+pub fn toml_to_value(text: &str) -> Result<Value, ArchError> {
+    let mut root: Vec<(String, Value)> = Vec::new();
+    let mut current_path: Vec<String> = Vec::new();
+    for (index, raw) in text.lines().enumerate() {
+        let line_no = index + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let inner = rest
+                .strip_suffix("]]")
+                .ok_or_else(|| at(line_no, "array-of-tables header must end with `]]`".into()))?;
+            let path = parse_path(inner, line_no)?;
+            append_array_table(&mut root, &path, line_no)?;
+            current_path = path;
+        } else if let Some(rest) = line.strip_prefix('[') {
+            let inner = rest
+                .strip_suffix(']')
+                .ok_or_else(|| at(line_no, "table header must end with `]`".into()))?;
+            let path = parse_path(inner, line_no)?;
+            open_table(&mut root, &path, line_no)?;
+            current_path = path;
+        } else {
+            let (key, rest) = line
+                .split_once('=')
+                .ok_or_else(|| at(line_no, format!("expected `key = value`, got `{line}`")))?;
+            let key = parse_key(key.trim(), line_no)?;
+            let (value, rest) = parse_value(rest.trim(), line_no)?;
+            if !rest.trim().is_empty() {
+                return Err(at(
+                    line_no,
+                    format!("unexpected trailing text `{}` after value", rest.trim()),
+                ));
+            }
+            let table = resolve(&mut root, &current_path, line_no)?;
+            if table.iter().any(|(k, _)| *k == key) {
+                return Err(at(line_no, format!("duplicate key `{key}`")));
+            }
+            table.push((key, value));
+        }
+    }
+    Ok(Value::Obj(root))
+}
+
+fn at(line: usize, msg: String) -> ArchError {
+    ArchError::new(format!("TOML line {line}: {msg}"))
+}
+
+/// Drops a trailing `# comment`, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_key(raw: &str, line: usize) -> Result<String, ArchError> {
+    if raw.is_empty() {
+        return Err(at(line, "empty key before `=`".into()));
+    }
+    if let Some(inner) = raw.strip_prefix('"') {
+        let inner = inner
+            .strip_suffix('"')
+            .ok_or_else(|| at(line, format!("unterminated quoted key `{raw}`")))?;
+        return Ok(inner.to_string());
+    }
+    if raw
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        Ok(raw.to_string())
+    } else {
+        Err(at(line, format!("invalid key `{raw}`")))
+    }
+}
+
+fn parse_path(raw: &str, line: usize) -> Result<Vec<String>, ArchError> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Err(at(line, "empty table header".into()));
+    }
+    raw.split('.')
+        .map(|seg| parse_key(seg.trim(), line))
+        .collect()
+}
+
+/// Walks `path`, descending into the last element of any
+/// array-of-tables along the way, creating missing tables.
+fn resolve<'a>(
+    root: &'a mut Vec<(String, Value)>,
+    path: &[String],
+    line: usize,
+) -> Result<&'a mut Vec<(String, Value)>, ArchError> {
+    let mut current = root;
+    for seg in path {
+        if !current.iter().any(|(k, _)| k == seg) {
+            current.push((seg.clone(), Value::Obj(Vec::new())));
+        }
+        let slot = current
+            .iter_mut()
+            .find(|(k, _)| k == seg)
+            .map(|(_, v)| v)
+            .expect("just ensured present");
+        current = match slot {
+            Value::Obj(pairs) => pairs,
+            Value::Arr(items) => match items.last_mut() {
+                Some(Value::Obj(pairs)) => pairs,
+                _ => {
+                    return Err(at(
+                        line,
+                        format!("`{seg}` is not a table or array of tables"),
+                    ))
+                }
+            },
+            _ => return Err(at(line, format!("`{seg}` is not a table"))),
+        };
+    }
+    Ok(current)
+}
+
+fn open_table(
+    root: &mut Vec<(String, Value)>,
+    path: &[String],
+    line: usize,
+) -> Result<(), ArchError> {
+    resolve(root, path, line).map(|_| ())
+}
+
+fn append_array_table(
+    root: &mut Vec<(String, Value)>,
+    path: &[String],
+    line: usize,
+) -> Result<(), ArchError> {
+    let (last, parent) = path.split_last().expect("parse_path rejects empty paths");
+    let parent = resolve(root, parent, line)?;
+    match parent.iter_mut().find(|(k, _)| k == last) {
+        None => {
+            parent.push((last.clone(), Value::Arr(vec![Value::Obj(Vec::new())])));
+            Ok(())
+        }
+        Some((_, Value::Arr(items))) => {
+            items.push(Value::Obj(Vec::new()));
+            Ok(())
+        }
+        Some(_) => Err(at(
+            line,
+            format!("`{last}` already holds a non-array value"),
+        )),
+    }
+}
+
+/// Parses one value from the front of `s`; returns it plus the rest.
+fn parse_value(s: &str, line: usize) -> Result<(Value, &str), ArchError> {
+    let s = s.trim_start();
+    let Some(first) = s.chars().next() else {
+        return Err(at(line, "expected a value".into()));
+    };
+    match first {
+        '"' => parse_string(s, line),
+        '[' => parse_array(s, line),
+        '{' => parse_inline_table(s, line),
+        _ => parse_scalar(s, line),
+    }
+}
+
+fn parse_string(s: &str, line: usize) -> Result<(Value, &str), ArchError> {
+    let mut out = String::new();
+    let mut chars = s.char_indices().skip(1);
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '\\' => match chars.next() {
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, other)) => {
+                    return Err(at(line, format!("unknown string escape `\\{other}`")))
+                }
+                None => return Err(at(line, "unterminated string".into())),
+            },
+            '"' => return Ok((Value::Str(out), &s[i + 1..])),
+            _ => out.push(c),
+        }
+    }
+    Err(at(line, "unterminated string".into()))
+}
+
+fn parse_array(s: &str, line: usize) -> Result<(Value, &str), ArchError> {
+    let mut rest = s[1..].trim_start();
+    let mut items = Vec::new();
+    loop {
+        if let Some(after) = rest.strip_prefix(']') {
+            return Ok((Value::Arr(items), after));
+        }
+        let (value, after) = parse_value(rest, line)?;
+        items.push(value);
+        rest = after.trim_start();
+        if let Some(after) = rest.strip_prefix(',') {
+            rest = after.trim_start();
+        } else if !rest.starts_with(']') {
+            return Err(at(line, "expected `,` or `]` in array".into()));
+        }
+    }
+}
+
+fn parse_inline_table(s: &str, line: usize) -> Result<(Value, &str), ArchError> {
+    let mut rest = s[1..].trim_start();
+    let mut pairs: Vec<(String, Value)> = Vec::new();
+    loop {
+        if let Some(after) = rest.strip_prefix('}') {
+            return Ok((Value::Obj(pairs), after));
+        }
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| at(line, "expected `key = value` in inline table".into()))?;
+        let key = parse_key(rest[..eq].trim(), line)?;
+        let (value, after) = parse_value(rest[eq + 1..].trim_start(), line)?;
+        pairs.push((key, value));
+        rest = after.trim_start();
+        if let Some(after) = rest.strip_prefix(',') {
+            rest = after.trim_start();
+        } else if !rest.starts_with('}') {
+            return Err(at(line, "expected `,` or `}` in inline table".into()));
+        }
+    }
+}
+
+fn parse_scalar(s: &str, line: usize) -> Result<(Value, &str), ArchError> {
+    let end = s
+        .find(|c: char| matches!(c, ',' | ']' | '}') || c.is_whitespace())
+        .unwrap_or(s.len());
+    let (token, rest) = s.split_at(end);
+    if token.is_empty() {
+        return Err(at(line, "expected a value".into()));
+    }
+    match token {
+        "true" => return Ok((Value::Bool(true), rest)),
+        "false" => return Ok((Value::Bool(false), rest)),
+        _ => {}
+    }
+    let digits: String = token.chars().filter(|&c| c != '_').collect();
+    let value = if digits.contains('.') || digits.contains('e') || digits.contains('E') {
+        digits
+            .parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| at(line, format!("invalid number `{token}`")))?
+    } else if digits.starts_with('-') {
+        digits
+            .parse::<i64>()
+            .map(Value::I64)
+            .map_err(|_| at(line, format!("invalid number `{token}`")))?
+    } else {
+        digits
+            .parse::<u64>()
+            .map(Value::U64)
+            .map_err(|_| at(line, format!("invalid value `{token}`")))?
+    };
+    Ok((value, rest))
+}
+
+// ---------------------------------------------------------------------
+// Emission
+// ---------------------------------------------------------------------
+
+/// Renders a value tree (top-level object) as TOML text.
+///
+/// Scalars and scalar arrays render inline; nested objects become
+/// `[table]` sections and arrays of objects `[[table]]` sections, so
+/// the output parses back to the same tree via [`toml_to_value`].
+pub fn value_to_toml(value: &Value) -> String {
+    let mut out = String::new();
+    if let Value::Obj(pairs) = value {
+        emit_table(&mut out, pairs, &mut Vec::new());
+    }
+    out
+}
+
+fn is_section(value: &Value) -> bool {
+    match value {
+        Value::Obj(_) => true,
+        Value::Arr(items) => !items.is_empty() && items.iter().all(|v| matches!(v, Value::Obj(_))),
+        _ => false,
+    }
+}
+
+fn emit_table(out: &mut String, pairs: &[(String, Value)], path: &mut Vec<String>) {
+    for (key, value) in pairs.iter().filter(|(_, v)| !is_section(v)) {
+        out.push_str(key);
+        out.push_str(" = ");
+        emit_inline(out, value);
+        out.push('\n');
+    }
+    for (key, value) in pairs.iter().filter(|(_, v)| is_section(v)) {
+        path.push(key.clone());
+        match value {
+            Value::Obj(nested) => {
+                out.push_str(&format!("\n[{}]\n", path.join(".")));
+                emit_table(out, nested, path);
+            }
+            Value::Arr(items) => {
+                for item in items {
+                    if let Value::Obj(nested) = item {
+                        out.push_str(&format!("\n[[{}]]\n", path.join(".")));
+                        emit_table(out, nested, path);
+                    }
+                }
+            }
+            _ => unreachable!("is_section admits only objects and object arrays"),
+        }
+        path.pop();
+    }
+}
+
+fn emit_inline(out: &mut String, value: &Value) {
+    match value {
+        Value::Null => out.push_str("\"\""),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => {
+            if f.fract() == 0.0 && f.is_finite() && f.abs() < 1e15 {
+                out.push_str(&format!("{f:.1}"));
+            } else {
+                out.push_str(&format!("{f}"));
+            }
+        }
+        Value::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    _ => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                emit_inline(out, item);
+            }
+            out.push(']');
+        }
+        Value::Obj(pairs) => {
+            out.push('{');
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(k);
+                out.push_str(" = ");
+                emit_inline(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_arrays_and_scalars() {
+        let text = r#"
+# top comment
+name = "demo"
+count = 1_024
+ratio = 0.95
+flag = true
+list = [1, 2, 3]
+
+[compute]
+lanes = 64 # trailing comment
+
+[[levels]]
+name = "fb"
+stores = [{tensor = "weights", format = "bitmask"}]
+
+[[levels]]
+name = "q"
+"#;
+        let value = toml_to_value(text).unwrap();
+        assert_eq!(value.field("name").unwrap().as_str(), Some("demo"));
+        assert_eq!(value.field("count").unwrap().as_u64().unwrap(), 1024);
+        assert_eq!(value.field("ratio").unwrap().as_f64().unwrap(), 0.95);
+        assert!(value.field("flag").unwrap().as_bool().unwrap());
+        let levels = value.field("levels").unwrap().as_arr().unwrap();
+        assert_eq!(levels.len(), 2);
+        let stores = levels[0].field("stores").unwrap().as_arr().unwrap();
+        assert_eq!(stores[0].field("tensor").unwrap().as_str(), Some("weights"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = toml_to_value("ok = 1\nbroken").unwrap_err();
+        assert!(err.message().contains("line 2"), "{err}");
+        let err = toml_to_value("x = \"unterminated").unwrap_err();
+        assert!(err.message().contains("unterminated"), "{err}");
+    }
+
+    #[test]
+    fn emitted_toml_round_trips() {
+        let text = "a = 1\nb = \"two\"\n\n[t]\nc = 0.5\n\n[[arr]]\nd = true\n";
+        let value = toml_to_value(text).unwrap();
+        let emitted = value_to_toml(&value);
+        assert_eq!(toml_to_value(&emitted).unwrap(), value);
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let value = toml_to_value("s = \"a # b\"").unwrap();
+        assert_eq!(value.field("s").unwrap().as_str(), Some("a # b"));
+    }
+}

@@ -1,41 +1,57 @@
 //! Design-space exploration driver.
 //!
-//! Screens the full design space analytically, simulates the top-K
-//! survivors cycle-level through the parallel cached suite engine, and
-//! writes the (cycles, mm², mJ) Pareto frontier as JSON + CSV + markdown.
+//! Screens a design space analytically, simulates the top-K survivors
+//! through the parallel cached suite engine, and writes the (cycles,
+//! mm², mJ) Pareto frontier as JSON + CSV + markdown.
+//!
+//! Three spaces are available: the default [`IsoscelesConfig`] sweep,
+//! an explicit set of declarative architecture descriptions
+//! (`--arch FILE|DIR`), or the built-in described-architecture family
+//! space spanning IS-OS, output-stationary, and fused-tile machines
+//! (`--arch-space`, 10,800 points).
 //!
 //! ```text
 //! cargo run --release -p isos-explore --bin dse -- [flags]
 //!   --net ID          workload to explore (default R96)
+//!   --arch PATH       explore the .toml/.json description(s) at PATH
+//!   --arch-space      explore the built-in described-architecture space
 //!   --top-k N         survivors to simulate cycle-level (default 8)
 //!   --budget-mm2 F    discard screened points above F mm² at 45 nm
-//!   --smoke           tiny 4-point space for CI
+//!   --smoke           tiny space for CI (and default net G58 in arch mode)
 //!   --out DIR         output directory (default results/dse)
 //!   --seed N          simulation seed (default the suite seed)
 //!   --threads N       engine worker threads (also ISOS_THREADS)
 //!   --no-cache        disable the engine result cache (also ISOS_NO_CACHE)
 //! ```
+//!
+//! [`IsoscelesConfig`]: isosceles::IsoscelesConfig
 
-use isos_explore::report::{to_markdown, write_all};
-use isos_explore::search::{search, SearchOptions};
-use isos_explore::space::DesignSpace;
+use isos_explore::arch::{load_dir, load_path};
+use isos_explore::report::{arch_to_markdown, to_markdown, write_all, write_all_arch};
+use isos_explore::search::{search, search_arch, SearchOptions};
+use isos_explore::space::{ArchPoint, ArchSpace, DesignSpace};
 use isos_nn::models::{try_suite_workload, SUITE_IDS};
 use isosceles_bench::engine::SuiteEngine;
 use isosceles_bench::suite::SEED;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::exit;
 
 /// Prints the error and usage to stderr and exits with status 2.
 fn usage(error: &str) -> ! {
     eprintln!("error: {error}");
     eprintln!(
-        "usage: dse [--net ID] [--top-k N] [--budget-mm2 F] [--smoke]\n\
-         \u{20}          [--out DIR] [--seed N] [--threads N] [--no-cache]\n\
+        "usage: dse [--net ID] [--arch PATH | --arch-space] [--top-k N]\n\
+         \u{20}          [--budget-mm2 F] [--smoke] [--out DIR] [--seed N]\n\
+         \u{20}          [--threads N] [--no-cache]\n\
          \n\
          --net ID        workload to explore (default R96); one of {}\n\
+         --arch PATH     explore declarative description(s): a .toml/.json\n\
+         \u{20}               file or a directory of them\n\
+         --arch-space    explore the built-in described-architecture family\n\
+         \u{20}               space (IS-OS / output-stationary / fused-tile)\n\
          --top-k N       survivors to simulate cycle-level (default 8)\n\
          --budget-mm2 F  discard screened points above F mm\u{b2} at 45 nm\n\
-         --smoke         tiny 4-point space for CI\n\
+         --smoke         tiny space for CI (arch mode: default net G58)\n\
          --out DIR       output directory (default results/dse)\n\
          --seed N        simulation seed (default {SEED})\n\
          --threads N     engine worker threads (also ISOS_THREADS)\n\
@@ -45,12 +61,36 @@ fn usage(error: &str) -> ! {
     exit(2);
 }
 
+/// Loads described points from a file or directory of descriptions.
+fn arch_points_from(path: &Path) -> Vec<ArchPoint> {
+    let descs = if path.is_dir() {
+        match load_dir(path) {
+            Ok(d) => d,
+            Err(e) => usage(&format!("{e}")),
+        }
+    } else {
+        match load_path(path) {
+            Ok(d) => vec![d],
+            Err(e) => usage(&format!("{e}")),
+        }
+    };
+    descs
+        .into_iter()
+        .map(|desc| ArchPoint {
+            label: desc.name.clone(),
+            desc,
+        })
+        .collect()
+}
+
 fn main() {
-    let mut net = "R96".to_string();
+    let mut net: Option<String> = None;
     let mut opts = SearchOptions::default();
     let mut smoke = false;
     let mut out = PathBuf::from("results/dse");
     let mut seed = SEED;
+    let mut arch_path: Option<PathBuf> = None;
+    let mut arch_space = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -60,7 +100,9 @@ fn main() {
             None => usage(&format!("{name} needs a value")),
         };
         match arg.as_str() {
-            "--net" => net = value("--net"),
+            "--net" => net = Some(value("--net")),
+            "--arch" => arch_path = Some(PathBuf::from(value("--arch"))),
+            "--arch-space" => arch_space = true,
             "--top-k" => match value("--top-k").parse() {
                 Ok(n) => opts.top_k = n,
                 Err(_) => usage("--top-k needs an integer"),
@@ -85,10 +127,65 @@ fn main() {
             other => usage(&format!("unknown flag {other}")),
         }
     }
+    if arch_path.is_some() && arch_space {
+        usage("--arch and --arch-space are mutually exclusive");
+    }
 
+    let arch_mode = arch_path.is_some() || arch_space;
+    // In arch mode the smoke gate favors the fastest suite workload so
+    // the CI check stays quick; otherwise R96 is the paper's headline.
+    let net = net.unwrap_or_else(|| {
+        if arch_mode && smoke {
+            "G58".to_string()
+        } else {
+            "R96".to_string()
+        }
+    });
     let Some(workload) = try_suite_workload(&net, seed) else {
         usage(&format!("unknown workload id {net}"));
     };
+
+    let engine = SuiteEngine::from_env();
+
+    if arch_mode {
+        let points = match &arch_path {
+            Some(path) => arch_points_from(path),
+            None => {
+                if smoke {
+                    ArchSpace::smoke().enumerate()
+                } else {
+                    ArchSpace::default().enumerate()
+                }
+            }
+        };
+        eprintln!(
+            "dse: exploring {} over {} described architectures (top-{} simulated{})",
+            workload.id,
+            points.len(),
+            opts.top_k,
+            opts.budget_mm2
+                .map(|b| format!(", budget {b} mm\u{b2}"))
+                .unwrap_or_default()
+        );
+        let result = match search_arch(&engine, &workload, &points, &opts, seed) {
+            Ok(r) => r,
+            Err(e) => usage(&format!("{e}")),
+        };
+        println!("{}", arch_to_markdown(&result));
+        match write_all_arch(&result, &out) {
+            Ok(paths) => {
+                for p in paths {
+                    eprintln!("dse: wrote {}", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("dse: failed to write reports under {}: {e}", out.display());
+                exit(1);
+            }
+        }
+        return;
+    }
+
     let space = if smoke {
         DesignSpace::smoke()
     } else {
@@ -104,7 +201,6 @@ fn main() {
             .unwrap_or_default()
     );
 
-    let engine = SuiteEngine::from_env();
     let result = search(&engine, &workload, &space, &opts, seed);
     println!("{}", to_markdown(&result));
     match write_all(&result, &out) {
@@ -115,7 +211,7 @@ fn main() {
         }
         Err(e) => {
             eprintln!("dse: failed to write reports under {}: {e}", out.display());
-            std::process::exit(1);
+            exit(1);
         }
     }
 }

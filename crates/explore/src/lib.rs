@@ -14,7 +14,12 @@
 //!   survivors to the cycle-level simulator through the parallel, cached
 //!   suite engine;
 //! - [`pareto`] + [`report`]: non-dominated frontier extraction over
-//!   (cycles, mm², mJ) and JSON/CSV/markdown export.
+//!   (cycles, mm², mJ) and JSON/CSV/markdown export;
+//! - [`arch`]: declarative accelerator descriptions — architectures
+//!   specified as TOML/JSON data (buffer hierarchy, sparsity features,
+//!   dataflow) and lowered onto the shared sim substrate, so whole
+//!   architecture *families* enumerate through the same screen-then-
+//!   simulate flow.
 //!
 //! The `dse` binary wires these together:
 //! `cargo run --release -p isos-explore --bin dse -- --net R96 --top-k 8`.
@@ -32,13 +37,15 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arch;
 pub mod model;
 pub mod pareto;
 pub mod report;
 pub mod search;
 pub mod space;
 
+pub use arch::{ArchAccel, ArchDesc, ArchError};
 pub use model::{area_mm2, estimate_mapping, estimate_network, NetworkEstimate};
 pub use pareto::pareto_indices;
-pub use search::{search, SearchOptions, SearchResult};
-pub use space::{DesignPoint, DesignSpace};
+pub use search::{search, search_arch, ArchSearchResult, SearchOptions, SearchResult};
+pub use space::{ArchPoint, ArchSpace, DesignPoint, DesignSpace};

@@ -1,7 +1,9 @@
 //! Exporting search results: JSON for tooling, markdown + CSV tables for
-//! humans, via the bench crate's [`CsvTable`].
+//! humans, via the bench crate's [`CsvTable`]. Config-sweep results
+//! ([`SearchResult`]) and described-architecture results
+//! ([`ArchSearchResult`]) get parallel exporters.
 
-use crate::search::SearchResult;
+use crate::search::{ArchSearchResult, SearchResult};
 use isosceles_bench::report::CsvTable;
 use std::path::{Path, PathBuf};
 
@@ -72,6 +74,77 @@ pub fn write_all(result: &SearchResult, dir: &Path) -> std::io::Result<Vec<PathB
     Ok(vec![json, csv, md])
 }
 
+/// Builds the per-point table of a described-architecture search (one
+/// row per simulated description, dataflow family and frontier
+/// membership marked).
+pub fn arch_result_table(result: &ArchSearchResult) -> CsvTable {
+    let mut t = CsvTable::new(&[
+        "label",
+        "dataflow",
+        "cycles",
+        "speedup_vs_default",
+        "area_mm2",
+        "energy_mj",
+        "est_cycles",
+        "model_error",
+        "pareto",
+    ]);
+    for (i, e) in result.evaluated.iter().enumerate() {
+        t.push_row(vec![
+            e.label.clone(),
+            e.desc.dataflow.style.label().to_string(),
+            e.cycles.to_string(),
+            format!("{:.3}", e.speedup_vs_default),
+            format!("{:.3}", e.area_mm2),
+            format!("{:.4}", e.energy_mj),
+            format!("{:.0}", e.est_cycles),
+            format!("{:.1}%", e.model_error() * 100.0),
+            if result.frontier.contains(&i) {
+                "*"
+            } else {
+                ""
+            }
+            .to_string(),
+        ]);
+    }
+    t
+}
+
+/// Renders the described-architecture markdown report.
+pub fn arch_to_markdown(result: &ArchSearchResult) -> String {
+    format!(
+        "# Architecture-space exploration: {}\n\n\
+         Screened {} described points analytically ({} over the area \
+         budget), simulated {} through the engine; {} on the (cycles, \
+         mm\u{b2}, mJ) Pareto frontier. Simulation batch: {:.0} ms, \
+         cache {}.\n\n{}",
+        result.workload,
+        result.screened,
+        result.over_budget,
+        result.evaluated.len(),
+        result.frontier.len(),
+        result.sim_wall_millis,
+        result.cache,
+        arch_result_table(result).to_markdown()
+    )
+}
+
+/// Writes `dse-arch-<workload>.{json,csv,md}` under `dir`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_all_arch(result: &ArchSearchResult, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let stem = format!("dse-arch-{}", result.workload);
+    let json = dir.join(format!("{stem}.json"));
+    std::fs::write(&json, serde::json::to_string(result))?;
+    let csv = arch_result_table(result).write(dir, &stem)?;
+    let md = dir.join(format!("{stem}.md"));
+    std::fs::write(&md, arch_to_markdown(result))?;
+    Ok(vec![json, csv, md])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +188,49 @@ mod tests {
         assert!(md.contains("1 over the area budget"));
         assert!(md.contains("| label |"));
         assert!(md.contains("1 hits / 1 misses"));
+    }
+
+    fn tiny_arch_result() -> ArchSearchResult {
+        let mk = |label: &str, cycles: u64, area: f64| crate::search::ArchEvaluatedPoint {
+            label: label.into(),
+            desc: crate::arch::reference::sparten(),
+            cycles,
+            est_cycles: cycles as f64,
+            area_mm2: area,
+            energy_mj: 0.4,
+            speedup_vs_default: 100.0 / cycles as f64,
+        };
+        ArchSearchResult {
+            workload: "G58".into(),
+            screened: 12,
+            over_budget: 2,
+            evaluated: vec![mk("os-fast", 100, 20.0), mk("os-small", 150, 12.0)],
+            frontier: vec![0, 1],
+            cache: CacheStats { hits: 2, misses: 0 },
+            sim_wall_millis: 3.0,
+        }
+    }
+
+    #[test]
+    fn arch_table_includes_dataflow_family() {
+        let t = arch_result_table(&tiny_arch_result());
+        let csv = t.to_csv();
+        assert!(csv.starts_with("label,dataflow,cycles,"));
+        assert!(csv.contains("os-fast,output-stationary,100,"));
+    }
+
+    #[test]
+    fn arch_markdown_and_files_round_trip() {
+        let md = arch_to_markdown(&tiny_arch_result());
+        assert!(md.contains("Screened 12 described points"));
+        let dir = std::env::temp_dir().join(format!("isos-dse-arch-report-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let paths = write_all_arch(&tiny_arch_result(), &dir).unwrap();
+        assert_eq!(paths.len(), 3);
+        let text = std::fs::read_to_string(&paths[0]).unwrap();
+        let back: ArchSearchResult = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, tiny_arch_result());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,10 +1,18 @@
 //! The search driver: analytically screen every enumerated design point,
 //! then dispatch the survivors to the cycle-level simulator through the
 //! parallel, cached suite engine.
+//!
+//! Two parallel flows share the pattern. [`search`] sweeps
+//! [`IsoscelesConfig`] points ([`DesignSpace`]); [`search_arch`] sweeps
+//! declarative [`ArchPoint`]s — descriptions of whole architecture
+//! families — screening each through its interpreter's
+//! [`ArchAccel::estimate`] and simulating survivors through the same
+//! cached engine (described points cache under their description hash).
 
+use crate::arch::{reference, ArchAccel, ArchError};
 use crate::model::{area_mm2, estimate_network, NetworkEstimate};
 use crate::pareto::pareto_indices;
-use crate::space::{DesignPoint, DesignSpace};
+use crate::space::{ArchPoint, DesignPoint, DesignSpace};
 use isos_nn::models::Workload;
 use isos_sim::energy::{energy_of, EnergyParams};
 use isosceles::accel::Accelerator;
@@ -207,6 +215,197 @@ pub fn search(
     }
 }
 
+/// One analytically screened described point.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ArchScreenedPoint {
+    /// The candidate description.
+    pub point: ArchPoint,
+    /// Analytical estimate for the workload (via the interpreter).
+    pub estimate: NetworkEstimate,
+    /// Total area in mm² at 45 nm, from the described hierarchy.
+    pub area_mm2: f64,
+    /// Estimated energy per inference in millijoules.
+    pub energy_mj: f64,
+}
+
+/// Screens described points against `workload` analytically, sorted by
+/// estimated cycles ascending.
+///
+/// # Errors
+///
+/// Fails on the first description that does not validate (points from
+/// [`crate::space::ArchSpace`] or `load_dir` are valid by
+/// construction).
+pub fn screen_arch(
+    workload: &Workload,
+    points: &[ArchPoint],
+) -> Result<Vec<ArchScreenedPoint>, ArchError> {
+    let mut screened = Vec::with_capacity(points.len());
+    for point in points {
+        let accel = ArchAccel::new(point.desc.clone())
+            .map_err(|e| ArchError::new(format!("point `{}`: {e}", point.label)))?;
+        let estimate = accel.estimate(&workload.network);
+        // All described datapaths use 16-bit accumulators (the schema
+        // does not parameterize precision), so the default conversion
+        // constants apply to every family.
+        let energy_mj = estimate.energy_mj(&IsoscelesConfig::default());
+        screened.push(ArchScreenedPoint {
+            point: point.clone(),
+            area_mm2: accel.area_mm2(),
+            energy_mj,
+            estimate,
+        });
+    }
+    screened.sort_by(|a, b| a.estimate.cycles.total_cmp(&b.estimate.cycles));
+    Ok(screened)
+}
+
+/// One simulated described point.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ArchEvaluatedPoint {
+    /// Label from the space (`paper-default` for the anchor).
+    pub label: String,
+    /// The full description.
+    pub desc: crate::arch::ArchDesc,
+    /// Simulated cycles (cycle-level for IS-OS machines, the exact
+    /// closed form for the analytic families).
+    pub cycles: u64,
+    /// Analytical screening estimate, for model-error reporting.
+    pub est_cycles: f64,
+    /// Total area in mm² at 45 nm.
+    pub area_mm2: f64,
+    /// Simulated energy per inference in millijoules.
+    pub energy_mj: f64,
+    /// Speedup over the paper-default ISOSceles description.
+    pub speedup_vs_default: f64,
+}
+
+impl ArchEvaluatedPoint {
+    /// Relative error of the analytical estimate vs the simulation.
+    pub fn model_error(&self) -> f64 {
+        (self.est_cycles - self.cycles as f64).abs() / self.cycles as f64
+    }
+}
+
+/// A finished described-architecture search.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ArchSearchResult {
+    /// Workload id.
+    pub workload: String,
+    /// Described points analytically screened.
+    pub screened: usize,
+    /// Points discarded by the area budget.
+    pub over_budget: usize,
+    /// Simulated points, sorted by simulated cycles ascending.
+    pub evaluated: Vec<ArchEvaluatedPoint>,
+    /// Indices into `evaluated` of the (cycles, mm², mJ) frontier.
+    pub frontier: Vec<usize>,
+    /// Engine cache counters for the simulation batch.
+    pub cache: CacheStats,
+    /// Wall time of the simulation batch in milliseconds.
+    pub sim_wall_millis: f64,
+}
+
+impl ArchSearchResult {
+    /// The frontier as evaluated points.
+    pub fn frontier_points(&self) -> Vec<&ArchEvaluatedPoint> {
+        self.frontier.iter().map(|&i| &self.evaluated[i]).collect()
+    }
+}
+
+/// Runs the screen-then-simulate search over described architectures.
+///
+/// Same shape as [`search`]: analytic ranking, optional area budget,
+/// top-K cut, engine simulation (parallel + cached: described points
+/// key the cache by their description hash), Pareto extraction. The
+/// anchor every speedup is measured against is the paper's ISOSceles
+/// description ([`reference::isosceles`]).
+///
+/// # Errors
+///
+/// Propagates [`screen_arch`]'s validation failures.
+pub fn search_arch(
+    engine: &SuiteEngine,
+    workload: &Workload,
+    points: &[ArchPoint],
+    opts: &SearchOptions,
+    seed: u64,
+) -> Result<ArchSearchResult, ArchError> {
+    let screened = screen_arch(workload, points)?;
+    let total = screened.len();
+    let within: Vec<ArchScreenedPoint> = screened
+        .into_iter()
+        .filter(|s| opts.budget_mm2.is_none_or(|b| s.area_mm2 <= b))
+        .collect();
+    let over_budget = total - within.len();
+
+    let mut survivors: Vec<ArchPoint> = within
+        .into_iter()
+        .take(opts.top_k.max(1))
+        .map(|s| s.point)
+        .collect();
+    let anchor_desc = reference::isosceles();
+    if !survivors.iter().any(|p| p.desc == anchor_desc) {
+        survivors.push(ArchPoint {
+            label: "paper-default".into(),
+            desc: anchor_desc.clone(),
+        });
+    }
+
+    let accels: Vec<ArchAccel> = survivors
+        .iter()
+        .map(|p| {
+            ArchAccel::new(p.desc.clone()).expect("survivors already validated during screening")
+        })
+        .collect();
+    let dyn_accels: Vec<&dyn Accelerator> = accels.iter().map(|a| a as &dyn Accelerator).collect();
+    let (grid, stats) = engine.run_matrix(std::slice::from_ref(workload), &dyn_accels, seed);
+    let metrics = &grid[0];
+
+    let default_cycles = survivors
+        .iter()
+        .zip(metrics)
+        .find(|(p, _)| p.desc == anchor_desc)
+        .map(|(_, m)| m.total.cycles)
+        .expect("anchor always simulated");
+
+    let mut evaluated: Vec<ArchEvaluatedPoint> = survivors
+        .iter()
+        .zip(&accels)
+        .zip(metrics)
+        .map(|((p, accel), m)| {
+            let est = accel.estimate(&workload.network);
+            let energy = energy_of(&m.total.activity, &EnergyParams::default());
+            ArchEvaluatedPoint {
+                label: p.label.clone(),
+                desc: p.desc.clone(),
+                cycles: m.total.cycles,
+                est_cycles: est.cycles,
+                area_mm2: accel.area_mm2(),
+                energy_mj: energy.total_mj(),
+                speedup_vs_default: default_cycles as f64 / m.total.cycles as f64,
+            }
+        })
+        .collect();
+    evaluated.sort_by_key(|e| e.cycles);
+
+    let objectives: Vec<Vec<f64>> = evaluated
+        .iter()
+        .map(|e| vec![e.cycles as f64, e.area_mm2, e.energy_mj])
+        .collect();
+    let frontier = pareto_indices(&objectives);
+
+    Ok(ArchSearchResult {
+        workload: workload.id.to_string(),
+        screened: total,
+        over_budget,
+        evaluated,
+        frontier,
+        cache: stats.cache(),
+        sim_wall_millis: stats.wall_millis,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +422,32 @@ mod tests {
             .all(|p| p[0].estimate.cycles <= p[1].estimate.cycles));
         assert!(screened.iter().all(|s| s.area_mm2 > 0.0));
         assert!(screened.iter().all(|s| s.energy_mj > 0.0));
+    }
+
+    #[test]
+    fn arch_screen_covers_families_and_orders_by_cycles() {
+        let w = suite_workload("G58", 1);
+        let points = crate::space::ArchSpace::smoke().enumerate();
+        let screened = screen_arch(&w, &points).unwrap();
+        assert_eq!(screened.len(), points.len());
+        assert!(screened
+            .windows(2)
+            .all(|p| p[0].estimate.cycles <= p[1].estimate.cycles));
+        assert!(screened.iter().all(|s| s.area_mm2 > 0.0));
+        assert!(screened.iter().all(|s| s.energy_mj > 0.0));
+    }
+
+    #[test]
+    fn arch_screen_reports_invalid_points_by_label() {
+        let w = suite_workload("G58", 1);
+        let mut bad = crate::space::ArchPoint {
+            label: "broken".into(),
+            desc: crate::arch::reference::sparten(),
+        };
+        bad.desc.levels[0].bytes = 0;
+        let err = screen_arch(&w, &[bad]).unwrap_err();
+        assert!(err.message().contains("broken"), "{err}");
+        assert!(err.message().contains("zero size"), "{err}");
     }
 
     #[test]

@@ -1,6 +1,16 @@
 //! Design-point enumeration: the swept architectural axes and the
 //! alternative pipeline-group partitions.
+//!
+//! Two enumerators live here. [`DesignSpace`] sweeps the hand-written
+//! ISOSceles configuration ([`IsoscelesConfig`]) directly.
+//! [`ArchSpace`] generalizes that to whole architecture *families*
+//! described as data: it stamps out declarative [`ArchDesc`] points
+//! across three dataflow templates (IS-OS, output-stationary,
+//! fused-tile), so a single sweep covers machines as different as
+//! ISOSceles, SparTen-likes, and Fused-Layer-likes — all screened by
+//! the same analytic flow and simulated through the same engine.
 
+use crate::arch::{reference, ArchDesc};
 use isos_nn::graph::Network;
 use isosceles::mapping::{map_network, ExecMode, Mapping};
 use isosceles::IsoscelesConfig;
@@ -98,6 +108,142 @@ impl DesignSpace {
     }
 }
 
+/// One candidate *described* architecture: a label plus the full
+/// declarative description it denotes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ArchPoint {
+    /// Short label encoding family and swept values,
+    /// e.g. `isos-l64-fb1024-bw128-r256-c16`.
+    pub label: String,
+    /// The description (also carries the label as its name).
+    pub desc: ArchDesc,
+}
+
+/// The swept axes of the declarative-architecture space.
+///
+/// Every combination is stamped into each applicable dataflow family's
+/// reference template ([`reference::isosceles`], [`reference::sparten`],
+/// [`reference::fused_layer`]): the merger/context axes apply only to
+/// the IS-OS family, the tile axis only to the output-stationary (K
+/// tile) and fused-tile (P/Q tile) families. The default space covers
+/// 10,800 points — large enough that only analytic screening makes it
+/// tractable.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ArchSpace {
+    /// Lane (cluster) counts.
+    pub lanes: Vec<usize>,
+    /// Shared weight-buffer capacities in KB.
+    pub shared_kb: Vec<u64>,
+    /// DRAM bandwidths in bytes per cycle.
+    pub dram_bytes_per_cycle: Vec<f64>,
+    /// Merger radices (IS-OS family only).
+    pub merger_radix: Vec<usize>,
+    /// Context counts (IS-OS family only).
+    pub contexts: Vec<usize>,
+    /// Tile bounds: the K tile of output-stationary points, the P/Q
+    /// tile of fused-tile points.
+    pub tiles: Vec<u64>,
+}
+
+impl Default for ArchSpace {
+    fn default() -> Self {
+        Self {
+            lanes: vec![8, 16, 24, 32, 48, 64, 96, 128, 192, 256],
+            shared_kb: vec![128, 256, 384, 512, 768, 1024, 1536, 2048, 3072, 4096],
+            dram_bytes_per_cycle: vec![64.0, 128.0, 256.0, 512.0],
+            merger_radix: vec![64, 128, 256],
+            contexts: vec![1, 2, 4, 8, 16],
+            tiles: vec![8, 16, 32, 64, 128, 256],
+        }
+    }
+}
+
+impl ArchSpace {
+    /// A ten-point space for CI smoke runs: the paper's sizing plus one
+    /// step along the lane and tile axes in each family.
+    pub fn smoke() -> Self {
+        Self {
+            lanes: vec![32, 64],
+            shared_kb: vec![1024],
+            dram_bytes_per_cycle: vec![128.0],
+            merger_radix: vec![256],
+            contexts: vec![16],
+            tiles: vec![32, 64],
+        }
+    }
+
+    /// Points per family and in total:
+    /// `(is_os, output_stationary, fused_tile)`.
+    pub fn family_sizes(&self) -> (usize, usize, usize) {
+        let base = self.lanes.len() * self.shared_kb.len() * self.dram_bytes_per_cycle.len();
+        (
+            base * self.merger_radix.len() * self.contexts.len(),
+            base * self.tiles.len(),
+            base * self.tiles.len(),
+        )
+    }
+
+    /// Number of points [`enumerate`](Self::enumerate) will yield.
+    pub fn len(&self) -> usize {
+        let (a, b, c) = self.family_sizes();
+        a + b + c
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materializes every combination as a labeled [`ArchPoint`].
+    ///
+    /// Every yielded description is valid by construction (asserted in
+    /// tests): the templates validate and the sweep only touches fields
+    /// validation constrains jointly with nothing else.
+    pub fn enumerate(&self) -> Vec<ArchPoint> {
+        let mut points = Vec::with_capacity(self.len());
+        for &lanes in &self.lanes {
+            for &kb in &self.shared_kb {
+                for &bw in &self.dram_bytes_per_cycle {
+                    for &radix in &self.merger_radix {
+                        for &ctx in &self.contexts {
+                            let mut desc = reference::isosceles();
+                            desc.compute.lanes = lanes;
+                            desc.compute.merger_radix = radix;
+                            desc.compute.contexts = ctx;
+                            desc.memory.dram_bytes_per_cycle = bw;
+                            desc.levels[0].bytes = kb * 1024;
+                            let label = format!("isos-l{lanes}-fb{kb}-bw{bw:.0}-r{radix}-c{ctx}");
+                            desc.name = label.clone();
+                            points.push(ArchPoint { label, desc });
+                        }
+                    }
+                    for &tile in &self.tiles {
+                        let mut desc = reference::sparten();
+                        desc.compute.lanes = lanes;
+                        desc.memory.dram_bytes_per_cycle = bw;
+                        desc.levels[0].bytes = kb * 1024;
+                        desc.dataflow.loop_nest[0] = format!("K/{tile}");
+                        let label = format!("os-l{lanes}-fb{kb}-bw{bw:.0}-k{tile}");
+                        desc.name = label.clone();
+                        points.push(ArchPoint { label, desc });
+
+                        let mut desc = reference::fused_layer();
+                        desc.compute.lanes = lanes;
+                        desc.memory.dram_bytes_per_cycle = bw;
+                        desc.levels[0].bytes = kb * 1024;
+                        desc.dataflow.loop_nest[0] = format!("P/{tile}");
+                        desc.dataflow.loop_nest[1] = format!("Q/{tile}");
+                        let label = format!("fused-l{lanes}-fb{kb}-bw{bw:.0}-t{tile}");
+                        desc.name = label.clone();
+                        points.push(ArchPoint { label, desc });
+                    }
+                }
+            }
+        }
+        points
+    }
+}
+
 /// Enumerates alternative pipeline partitions of `net` under one
 /// configuration: the greedy plan itself, the fully layer-by-layer plan,
 /// and every plan obtained by splitting one pipelined group in half.
@@ -166,6 +312,37 @@ mod tests {
         assert!(points
             .iter()
             .any(|p| p.config == IsoscelesConfig::default()));
+    }
+
+    #[test]
+    fn default_arch_space_exceeds_ten_thousand_points() {
+        let space = ArchSpace::default();
+        assert!(space.len() >= 10_000, "len {}", space.len());
+        let (isos, os, fused) = space.family_sizes();
+        assert_eq!(isos + os + fused, space.len());
+        assert!(isos > 0 && os > 0 && fused > 0);
+    }
+
+    #[test]
+    fn arch_space_enumeration_is_valid_and_uniquely_labeled() {
+        let points = ArchSpace::smoke().enumerate();
+        assert_eq!(points.len(), ArchSpace::smoke().len());
+        let mut labels: Vec<&str> = points.iter().map(|p| p.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), points.len());
+        for p in &points {
+            assert_eq!(p.desc.name, p.label);
+            assert!(p.desc.validate().is_ok(), "{}", p.label);
+        }
+    }
+
+    #[test]
+    fn full_arch_space_points_all_validate() {
+        // Validity by construction, asserted over the whole 10,800.
+        for p in ArchSpace::default().enumerate() {
+            assert!(p.desc.validate().is_ok(), "{}", p.label);
+        }
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Golden lock on the declarative-description interpreter.
+//!
+//! The lowered analytical estimates of the four reference descriptions
+//! are pinned as exact `f64` constants at the paper seed, alongside the
+//! 16 cycle-level goldens in `crates/bench/tests/golden_metrics.rs`.
+//! A change to the schema defaults, the lowering rules, or the
+//! analytical model that moves any of these values must regenerate the
+//! table (print the same fields) and update it in the same commit.
+
+use isos_explore::arch::{reference, ArchAccel};
+
+const SEED: u64 = 20230225;
+
+/// (workload, description, estimated cycles, estimated DRAM bytes)
+/// captured at `SEED` from the interpreter's analytical path.
+#[allow(clippy::excessive_precision)]
+const GOLDEN: &[(&str, &str, f64, f64)] = &[
+    ("R96", "isosceles", 88256.36578916082, 9163955.55969263),
+    ("V68", "isosceles", 957258.8522113009, 41416258.07479587),
+    ("G58", "isosceles", 12684.672149278991, 943361.7295373301),
+    ("M75", "isosceles", 45232.94911944284, 2433429.095313909),
+    (
+        "R96",
+        "isosceles-single",
+        230224.9471163762,
+        26562227.18794044,
+    ),
+    (
+        "V68",
+        "isosceles-single",
+        971991.3525209314,
+        48702216.01909095,
+    ),
+    (
+        "G58",
+        "isosceles-single",
+        15041.738601094497,
+        1054537.7825951567,
+    ),
+    (
+        "M75",
+        "isosceles-single",
+        80795.0428447359,
+        8316792.019097494,
+    ),
+    ("R96", "sparten", 483095.0, 60548362.22472269),
+    ("V68", "sparten", 2122523.0, 62404822.471524395),
+    ("G58", "sparten", 22717.0, 1205114.9217041375),
+    ("M75", "sparten", 137432.0, 16246915.345665257),
+    ("R96", "fused-layer", 1383101.0, 30504832.0),
+    ("V68", "fused-layer", 5130893.0, 156797370.0),
+    ("G58", "fused-layer", 44216.0, 896760.0),
+    ("M75", "fused-layer", 285727.0, 4942040.0),
+];
+
+#[test]
+fn lowered_estimates_are_bit_identical_to_the_golden_table() {
+    let accels: Vec<(String, ArchAccel)> = reference::all()
+        .into_iter()
+        .map(|desc| (desc.name.clone(), ArchAccel::new(desc).unwrap()))
+        .collect();
+    let mut checked = 0;
+    for &(id, name, cycles, dram_bytes) in GOLDEN {
+        let accel = &accels
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("unknown description {name}"))
+            .1;
+        let net = isos_nn::models::suite_workload(id, SEED).network;
+        let est = accel.estimate(&net);
+        assert_eq!(est.cycles, cycles, "{id}/{name}: cycles");
+        assert_eq!(est.dram_bytes, dram_bytes, "{id}/{name}: dram bytes");
+        checked += 1;
+    }
+    assert_eq!(checked, 16, "4 workloads x 4 descriptions");
+}

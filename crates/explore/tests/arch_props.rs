@@ -1,0 +1,130 @@
+//! Property-based tests for the declarative description schema: any
+//! valid description survives a serde round-trip through both wire
+//! formats (JSON and TOML) unchanged, and malformed descriptions are
+//! rejected with messages that name the offending field.
+
+use isos_explore::arch::{reference, ArchDesc};
+use proptest::prelude::*;
+
+/// A valid description: one of the four references with its tunable
+/// knobs perturbed across their legal ranges. The structural skeleton
+/// (level/store layout, loop nest) stays fixed so every generated value
+/// passes `validate()` and the round-trip can go through the same
+/// entry point real config files use.
+fn arb_desc() -> impl Strategy<Value = ArchDesc> {
+    (
+        0usize..4,
+        1u32..=1_000_000,
+        1usize..=512,
+        1usize..=256,
+        // Efficiency in (0, 1]: draw an open-ended fraction and clamp
+        // away from zero.
+        1u32..=1_000_000,
+        2usize..=512,
+        1usize..=32,
+        1.0f64..1024.0,
+        1u64..=(1 << 24),
+        1usize..=128,
+        1.0f64..4.0,
+    )
+        .prop_map(
+            |(
+                which,
+                name_tag,
+                lanes,
+                macs,
+                eff_millionths,
+                radix,
+                contexts,
+                dram,
+                bytes,
+                banks,
+                overhead,
+            )| {
+                let mut desc = reference::all().swap_remove(which);
+                desc.name = format!("arch-{name_tag}");
+                desc.compute.lanes = lanes;
+                desc.compute.macs_per_lane = macs;
+                desc.compute.efficiency = f64::from(eff_millionths) / 1e6;
+                desc.compute.merger_radix = radix;
+                desc.compute.contexts = contexts;
+                desc.memory.dram_bytes_per_cycle = dram;
+                desc.levels[0].bytes = bytes;
+                desc.levels[0].banks = banks;
+                desc.levels[0].alloc_overhead = overhead;
+                desc
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn json_round_trip_preserves_every_description(desc in arb_desc()) {
+        prop_assert_eq!(desc.validate(), Ok(()));
+        let json = serde::json::to_string(&desc);
+        let back: ArchDesc = serde::json::from_str(&json)
+            .map_err(|e| TestCaseError::fail(format!("reparse: {e}")))?;
+        prop_assert_eq!(back, desc);
+    }
+
+    #[test]
+    fn toml_round_trip_preserves_every_description(desc in arb_desc()) {
+        let toml = desc.to_toml();
+        // The same entry point `load_path` uses for .toml files,
+        // including validation.
+        let back = ArchDesc::from_config_str(&toml)
+            .map_err(|e| TestCaseError::fail(format!("reparse: {e}\n{toml}")))?;
+        prop_assert_eq!(back, desc);
+    }
+
+    #[test]
+    fn toml_and_json_parses_agree(desc in arb_desc()) {
+        let from_toml = ArchDesc::from_config_str(&desc.to_toml()).unwrap();
+        let from_json = ArchDesc::from_config_str(&serde::json::to_string(&desc)).unwrap();
+        prop_assert_eq!(from_toml, from_json);
+    }
+}
+
+/// Mutates the shipped TOML text itself, so the rejection path is the
+/// one a user editing a config file actually hits.
+fn parse_mutated(replace: &str, with: &str) -> String {
+    let toml = reference::sparten().to_toml();
+    assert!(toml.contains(replace), "fixture drifted: {replace}\n{toml}");
+    ArchDesc::from_config_str(&toml.replace(replace, with))
+        .expect_err("mutated description should be rejected")
+        .to_string()
+}
+
+#[test]
+fn rejects_zero_size_buffer_level_naming_the_level() {
+    let msg = parse_mutated("bytes = 1048576", "bytes = 0");
+    assert!(msg.contains("filter-buffer"), "{msg}");
+    assert!(msg.contains("zero size"), "{msg}");
+}
+
+#[test]
+fn rejects_dataflow_rank_mismatch_naming_the_dimension() {
+    let msg = parse_mutated(r#""K/64", "P""#, r#""K/64", "K""#);
+    assert!(msg.contains("rank mismatch"), "{msg}");
+    assert!(msg.contains("`K`"), "{msg}");
+
+    let msg = parse_mutated(r#""K/64", "P""#, r#""K/64", "Z""#);
+    assert!(msg.contains("rank mismatch"), "{msg}");
+    assert!(msg.contains("`Z`"), "{msg}");
+}
+
+#[test]
+fn rejects_unknown_sparsity_feature_listing_the_choices() {
+    let msg = parse_mutated(r#"format = "bitmask""#, r#"format = "blocked""#);
+    assert!(msg.contains("unknown sparsity format `blocked`"), "{msg}");
+    assert!(msg.contains("expected dense, bitmask, or csf"), "{msg}");
+
+    let msg = parse_mutated(r#"gating = "gospa""#, r#"gating = "magic""#);
+    assert!(msg.contains("unknown gating feature `magic`"), "{msg}");
+}
+
+#[test]
+fn rejects_unknown_fields_naming_the_field() {
+    let msg = parse_mutated("lanes = 64", "lames = 64");
+    assert!(msg.contains("unknown field `lames`"), "{msg}");
+}

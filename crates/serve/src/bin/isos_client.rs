@@ -7,6 +7,7 @@
 //! isos-client --addr HOST:PORT --net R96[,G58,...] --model isosceles[,sparten,...]
 //!             [--seed N] [--trace]
 //! isos-client --addr HOST:PORT --net R96 --config point.json [--seed N]
+//! isos-client --addr HOST:PORT --net R96 --arch arch.toml [--seed N]
 //! ```
 //!
 //! Emits the server's NDJSON responses verbatim on stdout, one line per
@@ -17,6 +18,12 @@
 //! bare `IsoscelesConfig` object or a labeled DSE design point
 //! (`{"label":...,"config":{...}}`), exactly what `isos-explore`
 //! emits for frontier points.
+//!
+//! `--arch FILE` sends a declarative architecture description inline
+//! (the `configs/arch/*.toml` schema; `.toml` or JSON, picked by
+//! extension). The server validates and lowers it; schema violations
+//! come back as structured `error` lines rather than a dropped
+//! connection.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -28,6 +35,7 @@ struct Args {
     nets: Vec<String>,
     models: Vec<String>,
     config: Option<String>,
+    arch: Option<String>,
     seed: Option<u64>,
     trace: bool,
     ping: bool,
@@ -38,7 +46,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: isos-client [--addr HOST:PORT] (--ping | --stats | --shutdown | \
-         --net IDS [--model NAMES | --config FILE] [--seed N] [--trace])"
+         --net IDS [--model NAMES | --config FILE | --arch FILE] [--seed N] [--trace])"
     );
     std::process::exit(2);
 }
@@ -49,6 +57,7 @@ fn parse_args() -> Args {
         nets: Vec::new(),
         models: Vec::new(),
         config: None,
+        arch: None,
         seed: None,
         trace: false,
         ping: false,
@@ -75,6 +84,8 @@ fn parse_args() -> Args {
             args.models = v.split(',').map(|s| s.trim().to_string()).collect();
         } else if let Some(v) = take("--config") {
             args.config = Some(v);
+        } else if let Some(v) = take("--arch") {
+            args.arch = Some(v);
         } else if let Some(v) = take("--seed") {
             match v.parse() {
                 Ok(n) => args.seed = Some(n),
@@ -122,21 +133,44 @@ fn build_request(args: &Args) -> Result<String, String> {
         }
         None => None,
     };
-    if inline.is_some() && !args.models.is_empty() {
-        return Err("--model and --config are mutually exclusive".to_string());
+    let arch: Option<Value> = match &args.arch {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            // TOML by extension; anything else is treated as JSON. The
+            // server validates the description either way.
+            if path.ends_with(".toml") {
+                Some(
+                    isos_explore::arch::toml_to_value(&text)
+                        .map_err(|e| format!("bad TOML in {path}: {e}"))?,
+                )
+            } else {
+                Some(serde::json::parse(&text).map_err(|e| format!("bad JSON in {path}: {e}"))?)
+            }
+        }
+        None => None,
+    };
+    let exclusive = usize::from(arch.is_some())
+        + usize::from(inline.is_some())
+        + usize::from(!args.models.is_empty());
+    if exclusive > 1 {
+        return Err("--model, --config, and --arch are mutually exclusive".to_string());
     }
-    if inline.is_none() && args.models.is_empty() {
-        return Err("pass --model NAMES or --config FILE with --net".to_string());
+    if exclusive == 0 {
+        return Err("pass --model NAMES, --config FILE, or --arch FILE with --net".to_string());
     }
 
     let mut pairs: Vec<(&str, Value)> = Vec::new();
-    let single = args.nets.len() == 1 && (inline.is_some() || args.models.len() == 1);
+    let single = args.nets.len() == 1 && args.models.len() <= 1;
     if single {
         pairs.push(("type", Value::Str("run".to_string())));
         pairs.push(("workload", Value::Str(args.nets[0].clone())));
-        match &inline {
-            Some(config) => pairs.push(("config", config.clone())),
-            None => pairs.push(("model", Value::Str(args.models[0].clone()))),
+        if let Some(desc) = &arch {
+            pairs.push(("arch", desc.clone()));
+        } else if let Some(config) = &inline {
+            pairs.push(("config", config.clone()));
+        } else {
+            pairs.push(("model", Value::Str(args.models[0].clone())));
         }
     } else {
         pairs.push(("type", Value::Str("matrix".to_string())));
@@ -144,9 +178,12 @@ fn build_request(args: &Args) -> Result<String, String> {
             "workloads",
             Value::Arr(args.nets.iter().cloned().map(Value::Str).collect()),
         ));
-        let models = match &inline {
-            Some(config) => vec![config.clone()],
-            None => args.models.iter().cloned().map(Value::Str).collect(),
+        let models = if let Some(desc) = &arch {
+            vec![obj(vec![("arch", desc.clone())])]
+        } else if let Some(config) = &inline {
+            vec![config.clone()]
+        } else {
+            args.models.iter().cloned().map(Value::Str).collect()
         };
         pairs.push(("models", Value::Arr(models)));
     }
@@ -209,8 +246,9 @@ fn main() {
             }
         };
         println!("{line}");
-        let kind = serde::json::parse(&line)
-            .ok()
+        let value = serde::json::parse(&line).ok();
+        let kind = value
+            .as_ref()
             .and_then(|v| {
                 v.field("type")
                     .ok()
@@ -219,6 +257,14 @@ fn main() {
             .unwrap_or_default();
         if kind == "error" {
             saw_error = true;
+            // An error without an `index` rejected the whole request
+            // (e.g. an invalid --arch description): the server keeps
+            // the connection open for the next request, but this
+            // one-shot client is done — no rows or `done` will follow.
+            let request_level = value.is_none_or(|v| v.field("index").is_err());
+            if request_level {
+                std::process::exit(1);
+            }
         }
         if terminal.contains(&kind.as_str()) {
             std::process::exit(i32::from(saw_error));

@@ -181,6 +181,10 @@ fn run_job(engine: &SuiteEngine, spec: &JobSpec) -> Result<JobDone, String> {
             )
         })?,
         ModelSpec::Inline(point) => Box::new(point.config),
+        ModelSpec::Arch(desc) => Box::new(
+            isos_explore::arch::ArchAccel::new((**desc).clone())
+                .map_err(|e| format!("invalid arch description: {e}"))?,
+        ),
     };
 
     if spec.trace {

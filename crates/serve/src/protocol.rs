@@ -13,14 +13,20 @@
 //! - `{"type":"run","workload":"R96","model":"isosceles","seed":...,"trace":false}`
 //!   — one job. `"model"` names a default-configured suite model;
 //!   `"config"` instead carries an inline [`IsoscelesConfig`] object or
-//!   a full DSE [`DesignPoint`] (`{"label":...,"config":{...}}`).
+//!   a full DSE [`DesignPoint`] (`{"label":...,"config":{...}}`);
+//!   `"arch"` instead carries a declarative [`ArchDesc`] object, which
+//!   the server lowers onto the sim substrate before running. Schema
+//!   violations come back as structured `error` lines naming the bad
+//!   field; the connection stays open.
 //! - `{"type":"matrix","workloads":[...],"models":[...]}` — the cross
-//!   product, streamed as `row` responses in completion order. Omitted
-//!   `workloads`/`models` default to the full paper suite and all four
-//!   models.
+//!   product, streamed as `row` responses in completion order. A model
+//!   entry is a name string, an inline config object, or an
+//!   `{"arch":{...}}` description. Omitted `workloads`/`models` default
+//!   to the full paper suite and all four models.
 //! - `{"type":"stats"}` — lifetime engine, store, and worker counters.
 //! - `{"type":"ping"}` / `{"type":"shutdown"}`.
 
+use isos_explore::arch::ArchDesc;
 use isos_explore::space::DesignPoint;
 use isosceles::IsoscelesConfig;
 use serde::json::Value;
@@ -37,6 +43,8 @@ pub enum ModelSpec {
     Named(String),
     /// An inline DSE configuration point.
     Inline(DesignPoint),
+    /// A declarative architecture description, lowered server-side.
+    Arch(Box<ArchDesc>),
 }
 
 impl ModelSpec {
@@ -45,6 +53,7 @@ impl ModelSpec {
         match self {
             ModelSpec::Named(name) => name,
             ModelSpec::Inline(point) => &point.label,
+            ModelSpec::Arch(desc) => &desc.name,
         }
     }
 }
@@ -134,19 +143,32 @@ fn parse_job(value: &Value) -> Result<JobSpec, String> {
     })
 }
 
-/// Resolves a job's accelerator: a `"model"` name, or an inline
-/// `"config"` object (either a bare [`IsoscelesConfig`] or a labeled
-/// [`DesignPoint`]).
+/// Resolves a job's accelerator: a `"model"` name, an inline `"config"`
+/// object (either a bare [`IsoscelesConfig`] or a labeled
+/// [`DesignPoint`]), or a declarative `"arch"` description.
 fn parse_model(value: &Value) -> Result<ModelSpec, String> {
+    if let Ok(arch) = value.field("arch") {
+        return parse_arch(arch);
+    }
     if let Ok(config) = value.field("config") {
         return parse_inline(config);
     }
-    let name = value
-        .field("model")
-        .ok()
-        .and_then(Value::as_str)
-        .ok_or("job needs a string `model` name or an inline `config` object")?;
+    let name = value.field("model").ok().and_then(Value::as_str).ok_or(
+        "job needs a string `model` name, an inline `config` object, or an `arch` description",
+    )?;
     Ok(ModelSpec::Named(name.to_string()))
+}
+
+/// Parses and validates a declarative [`ArchDesc`]. Both structural
+/// problems (unknown fields, wrong types) and semantic ones (zero-size
+/// buffers, dataflow rank mismatches) surface as error messages so the
+/// client sees a structured `error` line instead of a dropped
+/// connection.
+fn parse_arch(arch: &Value) -> Result<ModelSpec, String> {
+    let desc = ArchDesc::from_value(arch).map_err(|e| format!("bad arch description: {e}"))?;
+    desc.validate()
+        .map_err(|e| format!("invalid arch description: {e}"))?;
+    Ok(ModelSpec::Arch(Box::new(desc)))
 }
 
 fn parse_inline(config: &Value) -> Result<ModelSpec, String> {
@@ -190,9 +212,12 @@ fn parse_matrix(value: &Value) -> Result<Request, String> {
             .iter()
             .map(|m| match m {
                 Value::Str(name) => Ok(ModelSpec::Named(name.clone())),
-                Value::Obj(_) => parse_inline(m),
+                Value::Obj(_) => match m.field("arch") {
+                    Ok(arch) => parse_arch(arch),
+                    Err(_) => parse_inline(m),
+                },
                 other => Err(format!(
-                    "bad model: expected name or config object, got {}",
+                    "bad model: expected name, config object, or arch description, got {}",
                     other.kind()
                 )),
             })
@@ -380,6 +405,56 @@ mod tests {
             panic!("expected run")
         };
         assert_eq!(spec.model, ModelSpec::Inline(point));
+    }
+
+    #[test]
+    fn run_request_with_arch_description() {
+        let desc = isos_explore::arch::reference::sparten();
+        let line = format!(
+            r#"{{"type":"run","workload":"G58","arch":{}}}"#,
+            serde::json::to_string(&desc)
+        );
+        let Request::Run(spec) = parse_request(&line).unwrap() else {
+            panic!("expected run")
+        };
+        assert_eq!(spec.model.label(), "sparten");
+        assert_eq!(spec.model, ModelSpec::Arch(Box::new(desc)));
+    }
+
+    #[test]
+    fn arch_schema_violations_return_structured_messages() {
+        // Semantic violation: zero-size buffer level.
+        let mut desc = isos_explore::arch::reference::sparten();
+        desc.levels[0].bytes = 0;
+        let line = format!(
+            r#"{{"type":"run","workload":"G58","arch":{}}}"#,
+            serde::json::to_string(&desc)
+        );
+        let err = parse_request(&line).unwrap_err();
+        assert!(err.contains("invalid arch description"), "{err}");
+        assert!(err.contains("zero size"), "{err}");
+
+        // Structural violation: unknown field.
+        let err =
+            parse_request(r#"{"type":"run","workload":"G58","arch":{"nome":"x"}}"#).unwrap_err();
+        assert!(err.contains("bad arch description"), "{err}");
+        assert!(err.contains("unknown field"), "{err}");
+    }
+
+    #[test]
+    fn matrix_accepts_arch_model_entries() {
+        let desc = isos_explore::arch::reference::fused_layer();
+        let line = format!(
+            r#"{{"type":"matrix","workloads":["G58"],"models":["isosceles",{{"arch":{}}}]}}"#,
+            serde::json::to_string(&desc)
+        );
+        let Request::Matrix(jobs) = parse_request(&line).unwrap() else {
+            panic!("expected matrix")
+        };
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].model.label(), "isosceles");
+        assert_eq!(jobs[1].model.label(), "fused-layer");
+        assert!(matches!(jobs[1].model, ModelSpec::Arch(_)));
     }
 
     #[test]

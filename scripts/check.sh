@@ -20,6 +20,10 @@ echo "==> dse --smoke (design-space exploration fast path)"
 ISOS_CACHE_DIR="${TMPDIR:-/tmp}/isos-check-dse-cache" cargo run --release -q -p isos-explore --bin dse -- \
   --smoke --net G58 --out "${TMPDIR:-/tmp}/isos-check-dse" >/dev/null
 
+echo "==> dse --arch configs/arch --smoke (declarative descriptions)"
+ISOS_CACHE_DIR="${TMPDIR:-/tmp}/isos-check-dse-cache" cargo run --release -q -p isos-explore --bin dse -- \
+  --arch configs/arch --smoke --out "${TMPDIR:-/tmp}/isos-check-dse-arch" >/dev/null
+
 echo "==> trace_run smoke (G58 timeline export)"
 TRACE_OUT="${TMPDIR:-/tmp}/isos-check-traces"
 cargo run --release -q -p isosceles-bench --bin trace_run -- \
