@@ -32,6 +32,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use isos_sim::metrics::NetworkMetrics;
+use serde::json::Value;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::{WorkloadId, SCHEMA_VERSION};
@@ -58,14 +59,50 @@ pub struct EntryMeta {
 }
 
 /// On-disk layout of one memoized job result.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// `kind` discriminates what the `payload` tree decodes to (`"metrics"`
+/// for single-inference [`NetworkMetrics`] rows, `"stream"` for
+/// streaming rows), so heterogeneous row types share one store without
+/// one kind's entry ever decoding as another's. The payload stays an
+/// uninterpreted [`Value`] until a typed load asks for it, which is why
+/// the (de)serialization is hand-written rather than derived.
+#[derive(Clone, Debug)]
 struct EntryFile {
     schema: u32,
+    kind: String,
     accel: String,
     accel_key: u64,
     workload: WorkloadId,
     seed: u64,
-    metrics: NetworkMetrics,
+    payload: Value,
+}
+
+impl Serialize for EntryFile {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("schema".to_string(), self.schema.to_value()),
+            ("kind".to_string(), self.kind.to_value()),
+            ("accel".to_string(), self.accel.to_value()),
+            ("accel_key".to_string(), self.accel_key.to_value()),
+            ("workload".to_string(), self.workload.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("payload".to_string(), self.payload.clone()),
+        ])
+    }
+}
+
+impl Deserialize for EntryFile {
+    fn from_value(v: &Value) -> Result<Self, serde::json::Error> {
+        Ok(EntryFile {
+            schema: u32::from_value(v.field("schema")?)?,
+            kind: String::from_value(v.field("kind")?)?,
+            accel: String::from_value(v.field("accel")?)?,
+            accel_key: u64::from_value(v.field("accel_key")?)?,
+            workload: WorkloadId::from_value(v.field("workload")?)?,
+            seed: u64::from_value(v.field("seed")?)?,
+            payload: v.field("payload")?.clone(),
+        })
+    }
 }
 
 /// One manifest record: `(key, bytes, last_access)`.
@@ -181,13 +218,33 @@ impl CacheStore {
         }
     }
 
-    /// Loads the entry for `key`, validating it against `expect`.
+    /// Loads the single-inference metrics row for `key`, validating it
+    /// against `expect`. Shorthand for
+    /// [`load_payload`](Self::load_payload) with kind `"metrics"`.
+    pub fn load(&self, key: u64, expect: &EntryMeta) -> Option<NetworkMetrics> {
+        self.load_payload(key, "metrics", expect)
+    }
+
+    /// Persists a single-inference metrics row under `key`. Shorthand
+    /// for [`store_payload`](Self::store_payload) with kind `"metrics"`.
+    pub fn store(&self, key: u64, meta: &EntryMeta, metrics: &NetworkMetrics) {
+        self.store_payload(key, "metrics", meta, metrics);
+    }
+
+    /// Loads the entry for `key`, validating it against `kind` and
+    /// `expect` and decoding its payload as `T`.
     ///
     /// A hit refreshes the entry's last-access stamp. Corrupt or
-    /// unknown-schema files are quarantined (renamed `*.bad`); key-field
-    /// mismatches (hash collision or stale config) read as a plain miss
-    /// and are overwritten by the subsequent store.
-    pub fn load(&self, key: u64, expect: &EntryMeta) -> Option<NetworkMetrics> {
+    /// unknown-schema files are quarantined (renamed `*.bad`);
+    /// kind/key-field mismatches (hash collision or stale config) and
+    /// undecodable payloads read as a plain miss and are overwritten by
+    /// the subsequent store.
+    pub fn load_payload<T: Deserialize>(
+        &self,
+        key: u64,
+        kind: &str,
+        expect: &EntryMeta,
+    ) -> Option<T> {
         let shard = shard_of(key);
         let _guard = self.locks[shard].lock().expect("shard lock poisoned");
         let dir = self.shard_dir(shard);
@@ -197,16 +254,22 @@ impl CacheStore {
         let loaded = self.read_entry(&path, &mut manifest, key);
         let hit = match loaded {
             Some(entry)
-                if entry.accel == expect.accel
+                if entry.kind == kind
+                    && entry.accel == expect.accel
                     && entry.accel_key == expect.accel_key
                     && entry.workload == expect.workload
                     && entry.seed == expect.seed =>
             {
-                let stamp = self.tick();
-                if let Some(rec) = manifest_entry_mut(&mut manifest, key) {
-                    rec.last_access = stamp;
+                match T::from_value(&entry.payload) {
+                    Ok(payload) => {
+                        let stamp = self.tick();
+                        if let Some(rec) = manifest_entry_mut(&mut manifest, key) {
+                            rec.last_access = stamp;
+                        }
+                        Some(payload)
+                    }
+                    Err(_) => None,
                 }
-                Some(entry.metrics)
             }
             _ => None,
         };
@@ -219,18 +282,19 @@ impl CacheStore {
         hit
     }
 
-    /// Persists `metrics` under `key`, evicting least-recently-used
-    /// entries if the shard's byte slice would be exceeded. Failures are
-    /// swallowed: the cache is an optimization, not a correctness
-    /// requirement.
-    pub fn store(&self, key: u64, meta: &EntryMeta, metrics: &NetworkMetrics) {
+    /// Persists `payload` under `key` with the given row `kind`,
+    /// evicting least-recently-used entries if the shard's byte slice
+    /// would be exceeded. Failures are swallowed: the cache is an
+    /// optimization, not a correctness requirement.
+    pub fn store_payload<T: Serialize>(&self, key: u64, kind: &str, meta: &EntryMeta, payload: &T) {
         let entry = EntryFile {
             schema: SCHEMA_VERSION,
+            kind: kind.to_string(),
             accel: meta.accel.clone(),
             accel_key: meta.accel_key,
             workload: meta.workload.clone(),
             seed: meta.seed,
-            metrics: metrics.clone(),
+            payload: payload.to_value(),
         };
         let text = serde::json::to_string(&entry);
         let bytes = text.len() as u64;
@@ -753,6 +817,31 @@ mod tests {
         assert_eq!(store.load(key, &meta(1)), Some(metrics(5)));
         assert_eq!(store.counters().adopted, 1);
         store.verify().expect("adopted entry is tracked");
+    }
+
+    #[test]
+    fn payload_kinds_do_not_alias() {
+        let store = CacheStore::open(scratch_root("kinds"), None);
+        store.store_payload(0x99, "stream", &meta(1), &metrics(4));
+        // A metrics-kind load at the same key must not see the stream
+        // row, and vice versa.
+        assert_eq!(store.load(0x99, &meta(1)), None);
+        assert_eq!(
+            store.load_payload::<NetworkMetrics>(0x99, "stream", &meta(1)),
+            Some(metrics(4))
+        );
+        assert_eq!(store.counters().quarantined, 0, "mismatch is a miss");
+    }
+
+    #[test]
+    fn undecodable_payload_reads_as_a_miss() {
+        let store = CacheStore::open(scratch_root("badpayload"), None);
+        store.store_payload(0x55, "metrics", &meta(1), &42u64);
+        assert_eq!(store.load(0x55, &meta(1)), None);
+        assert_eq!(store.counters().quarantined, 0);
+        // The subsequent store heals the slot.
+        store.store(0x55, &meta(1), &metrics(6));
+        assert_eq!(store.load(0x55, &meta(1)), Some(metrics(6)));
     }
 
     #[test]

@@ -60,7 +60,10 @@ use crate::suite::SuiteRow;
 /// then read as stale and are recomputed.
 ///
 /// v2: `NetworkMetrics` gained the per-layer breakdown (`layers`).
-pub const SCHEMA_VERSION: u32 = 2;
+/// v3: entries gained the `kind` discriminant and `payload` envelope so
+/// streaming rows (`StreamMetrics`) share the store with
+/// single-inference rows.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Owned workload identifier (`"R96"`, `"M75"`, ...).
 ///
@@ -858,6 +861,50 @@ mod tests {
         std::fs::write(&path, stale).unwrap();
         let (_, s) = eng.run_matrix(&workloads, &accels, SEED);
         assert_eq!((s.hits, s.misses), (0, 1));
+    }
+
+    #[test]
+    fn old_schema_entry_is_quarantined_and_recomputed_once() {
+        // Satellite: entries written under a previous SCHEMA_VERSION
+        // (e.g. v2 rows without the kind/payload envelope) must be
+        // quarantined on first touch and recomputed exactly once, after
+        // which the slot is healthy again.
+        let dir = scratch_dir("oldschema");
+        let (workloads, sparten, _) = small_inputs();
+        let accels: [&dyn Accelerator; 1] = [&sparten];
+        let eng = quiet_engine(dir.clone(), 1, true);
+        let (clean, _) = eng.run_matrix(&workloads, &accels, SEED);
+
+        let path =
+            eng.cache_store()
+                .unwrap()
+                .entry_path(job_key(&sparten, &WorkloadId::new("G58"), SEED));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let old = text.replacen(
+            &format!("\"schema\":{SCHEMA_VERSION}"),
+            &format!("\"schema\":{}", SCHEMA_VERSION - 1),
+            1,
+        );
+        assert_ne!(old, text, "schema field not found in cache entry");
+        std::fs::write(&path, old).unwrap();
+
+        let computes_before = eng.lifetime_computes();
+        let (recomputed, s) = eng.run_matrix(&workloads, &accels, SEED);
+        assert_eq!((s.hits, s.misses), (0, 1));
+        assert_eq!(recomputed, clean, "recompute reproduces the metrics");
+        assert_eq!(eng.lifetime_computes(), computes_before + 1);
+        assert!(
+            path.with_extension("json.bad").exists(),
+            "old-schema entry preserved as *.bad"
+        );
+        assert_eq!(eng.cache_store().unwrap().counters().quarantined, 1);
+
+        // Recomputed once: the next run is a plain hit, no re-quarantine
+        // and no further simulation.
+        let (_, s) = eng.run_matrix(&workloads, &accels, SEED);
+        assert_eq!((s.hits, s.misses), (1, 0));
+        assert_eq!(eng.lifetime_computes(), computes_before + 1);
+        assert_eq!(eng.cache_store().unwrap().counters().quarantined, 1);
     }
 
     #[test]

@@ -10,13 +10,16 @@
 //! breakdowns); [`report`] derives the standard CSV/markdown tables,
 //! including the per-layer traffic split; [`trace`] runs any suite
 //! workload with event tracing attached and exports Perfetto/CSV/markdown
-//! timelines. The binaries under `src/bin/` each regenerate one table or
-//! figure from those results (see DESIGN.md's experiment index).
+//! timelines; [`stream`] runs `isos-stream` batched streaming-inference
+//! scenarios through the same engine cache and thread budget. The
+//! binaries under `src/bin/` each regenerate one table or figure from
+//! those results (see DESIGN.md's experiment index).
 
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod engine;
 pub mod report;
+pub mod stream;
 pub mod suite;
 pub mod trace;

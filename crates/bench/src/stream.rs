@@ -1,0 +1,305 @@
+//! Cached, parallel streaming-inference runs over the suite engine.
+//!
+//! `isos-stream` owns the request generator and the scheduler; this
+//! module supplies the engine-side glue: per-request simulations fan out
+//! over the engine's worker-thread budget (assembled by request index,
+//! so results are bit-identical regardless of thread count), and the
+//! assembled [`StreamMetrics`] row is memoized in the engine's
+//! [`CacheStore`](crate::cache::CacheStore) under the `"stream"` payload
+//! kind. Only the finished row is cached — a 256-request stream would
+//! otherwise dump hundreds of per-request entries into the store for a
+//! scenario nobody addresses by request.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use isos_stream::gen::{request_seed, request_workload};
+use isos_stream::{arrivals, schedule, StreamConfig, StreamMetrics};
+use isosceles::accel::Accelerator;
+use parking_lot::Mutex;
+
+use crate::cache::EntryMeta;
+use crate::engine::{SuiteEngine, WorkloadId, SCHEMA_VERSION};
+use crate::trace::{accel_by_name, MODEL_NAMES};
+use isos_sim::metrics::RunMetrics;
+
+/// Payload kind streaming rows are stored under.
+pub const STREAM_KIND: &str = "stream";
+
+/// FNV-1a fold, matching [`isosceles::accel::stable_key`]'s primitive.
+fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+    bytes.iter().fold(state, |h, &b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+/// Content hash addressing one `(accelerator, workload, scenario, seed)`
+/// streaming row under the current schema version. The `"stream"` tag
+/// keeps the key space disjoint from [`crate::engine::job_key`] even
+/// for `batch = 1` degenerate scenarios.
+pub fn stream_key(
+    accel: &dyn Accelerator,
+    workload: &WorkloadId,
+    cfg: &StreamConfig,
+    seed: u64,
+) -> u64 {
+    let h = fnv1a(0xcbf2_9ce4_8422_2325, &SCHEMA_VERSION.to_le_bytes());
+    let h = fnv1a(h, STREAM_KIND.as_bytes());
+    let h = fnv1a(h, &accel.cache_key().to_le_bytes());
+    let h = fnv1a(h, workload.as_str().as_bytes());
+    let h = fnv1a(h, &cfg.cache_key().to_le_bytes());
+    fnv1a(h, &seed.to_le_bytes())
+}
+
+/// Simulates every request of the stream, fanning out over `threads`
+/// workers; results are assembled by request index, so the output is
+/// independent of thread count and scheduling.
+///
+/// # Panics
+///
+/// Panics if `workload` is not a suite id.
+fn simulate_requests(
+    accel: &dyn Accelerator,
+    workload: &str,
+    seed: u64,
+    cfg: &StreamConfig,
+    threads: usize,
+) -> Vec<RunMetrics> {
+    let n = cfg.requests as usize;
+    let slots: Mutex<Vec<Option<RunMetrics>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    let threads = threads.clamp(1, n.max(1));
+
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = i as u64;
+                let w = request_workload(workload, seed, r)
+                    .unwrap_or_else(|| panic!("unknown workload id {workload:?}"));
+                let total = accel.simulate(&w.network, request_seed(seed, r)).total;
+                slots.lock()[i] = Some(total);
+            });
+        }
+    })
+    .expect("stream request worker panicked");
+
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|s| s.expect("all requests simulated"))
+        .collect()
+}
+
+/// Runs (or recalls) one streaming scenario through the engine's cache.
+///
+/// Returns the stream metrics and whether they came from the cache.
+///
+/// # Panics
+///
+/// Panics if `workload` is not a suite id or `cfg` fails validation.
+pub fn run_stream_cached(
+    engine: &SuiteEngine,
+    accel: &dyn Accelerator,
+    workload: &str,
+    seed: u64,
+    cfg: &StreamConfig,
+) -> (StreamMetrics, bool) {
+    cfg.validate()
+        .unwrap_or_else(|e| panic!("bad stream config: {e}"));
+    let id = WorkloadId::new(workload);
+    let key = stream_key(accel, &id, cfg, seed);
+    let meta = EntryMeta {
+        accel: accel.name().to_string(),
+        accel_key: accel.cache_key(),
+        workload: id,
+        seed,
+    };
+    let store = engine.cache_store();
+    if let Some(store) = &store {
+        if let Some(row) = store.load_payload::<StreamMetrics>(key, STREAM_KIND, &meta) {
+            return (row, true);
+        }
+    }
+    let singles = simulate_requests(accel, workload, seed, cfg, engine.options().threads);
+    let metrics = schedule(&singles, &arrivals(cfg, seed), cfg);
+    if let Some(store) = &store {
+        store.store_payload(key, STREAM_KIND, &meta, &metrics);
+    }
+    (metrics, false)
+}
+
+/// One suite workload's streaming results across the four paper models.
+#[derive(Clone, Debug)]
+pub struct StreamSuiteRow {
+    /// Workload id (`R81`, ..., `M89`).
+    pub id: WorkloadId,
+    /// Per-model stream metrics, in [`MODEL_NAMES`] order.
+    pub models: Vec<(String, StreamMetrics)>,
+}
+
+/// Runs the streaming scenario on all 11 suite workloads × 4 models.
+///
+/// # Panics
+///
+/// Panics if `cfg` fails validation.
+pub fn run_stream_suite(
+    engine: &SuiteEngine,
+    seed: u64,
+    cfg: &StreamConfig,
+) -> Vec<StreamSuiteRow> {
+    isos_nn::models::SUITE_IDS
+        .iter()
+        .map(|id| {
+            let models = MODEL_NAMES
+                .iter()
+                .map(|name| {
+                    let accel = accel_by_name(name).expect("paper model");
+                    let (metrics, _) = run_stream_cached(engine, accel.as_ref(), id, seed, cfg);
+                    (name.to_string(), metrics)
+                })
+                .collect();
+            StreamSuiteRow {
+                id: WorkloadId::new(*id),
+                models,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineOptions;
+    use crate::suite::SEED;
+    use isos_nn::models::suite_workload;
+    use isos_stream::{Arrival, BatchPolicy};
+    use isosceles::IsoscelesConfig;
+    use std::path::PathBuf;
+    use std::sync::atomic::AtomicU32;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static NONCE: AtomicU32 = AtomicU32::new(0);
+        let n = NONCE.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("isos-stream-{}-{}-{}", std::process::id(), tag, n));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn engine(threads: usize, use_cache: bool, tag: &str) -> SuiteEngine {
+        SuiteEngine::new(EngineOptions {
+            threads,
+            use_cache,
+            cache_dir: scratch_dir(tag),
+            quiet: true,
+            ..EngineOptions::default()
+        })
+    }
+
+    fn small_cfg(requests: u64, batch: u64) -> StreamConfig {
+        StreamConfig {
+            requests,
+            batch,
+            ..StreamConfig::default()
+        }
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical_across_thread_counts() {
+        // Satellite: the assembled stream (request order, spans, and
+        // metrics) must not depend on --threads.
+        let accel = IsoscelesConfig::default();
+        let cfg = StreamConfig {
+            requests: 6,
+            batch: 2,
+            arrival: Arrival::Poisson { mean: 50_000.0 },
+            policy: BatchPolicy::WaitFull,
+            ..StreamConfig::default()
+        };
+        let (serial, _) = run_stream_cached(&engine(1, false, "t1"), &accel, "G58", SEED, &cfg);
+        let (parallel, _) = run_stream_cached(&engine(4, false, "t4"), &accel, "G58", SEED, &cfg);
+        assert_eq!(serial, parallel);
+        // And the whole thing is a pure function of the seed.
+        let (replay, _) = run_stream_cached(&engine(3, false, "t3"), &accel, "G58", SEED, &cfg);
+        assert_eq!(serial, replay);
+        let (other, _) = run_stream_cached(&engine(3, false, "t5"), &accel, "G58", SEED + 1, &cfg);
+        assert_ne!(serial, other, "seed must actually matter");
+    }
+
+    #[test]
+    fn matches_the_serial_reference_implementation() {
+        let accel = IsoscelesConfig::default();
+        let cfg = small_cfg(4, 2);
+        let (engined, _) = run_stream_cached(&engine(4, false, "ref"), &accel, "G58", SEED, &cfg);
+        let reference = isos_stream::run_stream(&accel, "G58", SEED, &cfg);
+        assert_eq!(engined, reference);
+    }
+
+    #[test]
+    fn batch1_single_request_equals_accelerator_simulate() {
+        // Satellite: the degenerate stream is bit-identical to the
+        // single-inference path the golden metrics lock down.
+        let accel = IsoscelesConfig::default();
+        let cfg = small_cfg(1, 1);
+        let (s, _) = run_stream_cached(&engine(2, false, "golden"), &accel, "G58", SEED, &cfg);
+        let golden = accel.simulate(&suite_workload("G58", SEED).network, SEED);
+        assert_eq!(s.total, golden.total);
+        assert_eq!(s.requests[0].metrics, golden.total);
+        assert_eq!(s.busy_cycles, golden.total.cycles);
+        assert_eq!((s.idle_cycles, s.formation_cycles), (0, 0));
+    }
+
+    #[test]
+    fn stream_rows_are_cached_and_replayed() {
+        let accel = IsoscelesConfig::default();
+        let cfg = small_cfg(3, 2);
+        let eng = engine(2, true, "cache");
+        let (cold, hit) = run_stream_cached(&eng, &accel, "G58", SEED, &cfg);
+        assert!(!hit);
+        let (warm, hit) = run_stream_cached(&eng, &accel, "G58", SEED, &cfg);
+        assert!(hit, "second run must come from the cache");
+        assert_eq!(warm, cold);
+        // A different scenario misses: the config is part of the key.
+        let (_, hit) = run_stream_cached(&eng, &accel, "G58", SEED, &small_cfg(3, 3));
+        assert!(!hit);
+    }
+
+    #[test]
+    fn stream_and_job_keys_never_collide() {
+        let accel = IsoscelesConfig::default();
+        let id = WorkloadId::new("G58");
+        let jk = crate::engine::job_key(&accel, &id, SEED);
+        let sk = stream_key(&accel, &id, &small_cfg(1, 1), SEED);
+        assert_ne!(jk, sk);
+    }
+
+    #[test]
+    fn suite_streams_conserve_latency_on_every_workload_and_model() {
+        // Acceptance: per-request latency conservation (sum of span
+        // cycles == reported stream cycles for the default burst
+        // scenario) across all 11 workloads × 4 models.
+        let eng = engine(4, false, "suite");
+        let cfg = small_cfg(2, 2);
+        let rows = run_stream_suite(&eng, SEED, &cfg);
+        assert_eq!(rows.len(), 11);
+        for row in &rows {
+            assert_eq!(row.models.len(), 4);
+            for (model, s) in &row.models {
+                assert_eq!(s.requests.len(), 2, "{model}/{}", row.id.as_str());
+                assert_eq!(s.service_sum(), s.busy_cycles);
+                assert_eq!(
+                    s.busy_cycles + s.idle_cycles + s.formation_cycles,
+                    s.total.cycles
+                );
+                // Burst arrivals: the makespan is exactly the sum of
+                // span service cycles.
+                assert_eq!(s.service_sum(), s.total.cycles);
+                assert!(s.p99() >= s.p50());
+                assert!(s.throughput_imgs_per_cycle() > 0.0);
+            }
+        }
+    }
+}

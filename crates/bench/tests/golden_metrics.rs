@@ -176,6 +176,39 @@ fn simulate(accel: &str, net: &isos_nn::graph::Network) -> NetworkMetrics {
 }
 
 #[test]
+fn batch1_single_request_stream_reproduces_the_golden_metrics() {
+    // The degenerate streaming scenario (one request, batch = 1, burst
+    // arrival) must be the identity wrapper around the single-inference
+    // path: same cycles, traffic, MACs, and energy, to the bit.
+    let params = EnergyParams::default();
+    let cfg = isos_stream::StreamConfig {
+        requests: 1,
+        batch: 1,
+        ..isos_stream::StreamConfig::default()
+    };
+    let mut checked = 0;
+    for &(id, accel, cycles, weight, act, macs, energy_mj) in GOLDEN {
+        let accel_model = isosceles_bench::trace::accel_by_name(accel).expect(accel);
+        let s = isos_stream::run_stream(accel_model.as_ref(), id, SEED, &cfg);
+        let e = energy_of(&s.total.activity, &params).total_mj();
+        assert_eq!(s.total.cycles, cycles, "{id}/{accel}: stream cycles");
+        assert_eq!(
+            s.total.weight_traffic, weight,
+            "{id}/{accel}: stream weight traffic"
+        );
+        assert_eq!(s.total.act_traffic, act, "{id}/{accel}: stream act traffic");
+        assert_eq!(
+            s.total.effectual_macs, macs,
+            "{id}/{accel}: stream effectual macs"
+        );
+        assert_eq!(e, energy_mj, "{id}/{accel}: stream energy");
+        assert_eq!(s.p99(), cycles, "{id}/{accel}: sole latency is the run");
+        checked += 1;
+    }
+    assert_eq!(checked, 16, "4 workloads x 4 accelerators");
+}
+
+#[test]
 fn harness_refactor_is_bit_identical_to_pre_refactor_models() {
     let params = EnergyParams::default();
     let mut checked = 0;

@@ -27,10 +27,13 @@
 //! [`IsoscelesConfig`]: isosceles::IsoscelesConfig
 
 use isos_explore::arch::{load_dir, load_path};
-use isos_explore::report::{arch_to_markdown, to_markdown, write_all, write_all_arch};
-use isos_explore::search::{search, search_arch, SearchOptions};
+use isos_explore::report::{
+    arch_to_markdown, stream_to_markdown, to_markdown, write_all, write_all_arch, write_all_stream,
+};
+use isos_explore::search::{search, search_arch, search_stream, SearchOptions};
 use isos_explore::space::{ArchPoint, ArchSpace, DesignSpace};
 use isos_nn::models::{try_suite_workload, SUITE_IDS};
+use isos_stream::StreamConfig;
 use isosceles_bench::engine::SuiteEngine;
 use isosceles_bench::suite::SEED;
 use std::path::{Path, PathBuf};
@@ -42,6 +45,7 @@ fn usage(error: &str) -> ! {
     eprintln!(
         "usage: dse [--net ID] [--arch PATH | --arch-space] [--top-k N]\n\
          \u{20}          [--budget-mm2 F] [--smoke] [--out DIR] [--seed N]\n\
+         \u{20}          [--stream [--batches LIST] [--requests N]]\n\
          \u{20}          [--threads N] [--no-cache]\n\
          \n\
          --net ID        workload to explore (default R96); one of {}\n\
@@ -49,6 +53,10 @@ fn usage(error: &str) -> ! {
          \u{20}               file or a directory of them\n\
          --arch-space    explore the built-in described-architecture family\n\
          \u{20}               space (IS-OS / output-stationary / fused-tile)\n\
+         --stream        sweep the batch-size axis under a streaming\n\
+         \u{20}               scenario (p99 / cycles-per-image / mm\u{b2} frontier)\n\
+         --batches LIST  comma-separated batch sizes (default 1,2,4,8)\n\
+         --requests N    requests per streamed scenario (default 64)\n\
          --top-k N       survivors to simulate cycle-level (default 8)\n\
          --budget-mm2 F  discard screened points above F mm\u{b2} at 45 nm\n\
          --smoke         tiny space for CI (arch mode: default net G58)\n\
@@ -91,6 +99,9 @@ fn main() {
     let mut seed = SEED;
     let mut arch_path: Option<PathBuf> = None;
     let mut arch_space = false;
+    let mut stream = false;
+    let mut batches: Vec<u64> = vec![1, 2, 4, 8];
+    let mut requests: u64 = 64;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -103,6 +114,23 @@ fn main() {
             "--net" => net = Some(value("--net")),
             "--arch" => arch_path = Some(PathBuf::from(value("--arch"))),
             "--arch-space" => arch_space = true,
+            "--stream" => stream = true,
+            "--batches" => {
+                batches = value("--batches")
+                    .split(',')
+                    .map(|s| match s.trim().parse::<u64>() {
+                        Ok(b) if b >= 1 => b,
+                        _ => usage("--batches needs comma-separated integers >= 1"),
+                    })
+                    .collect();
+                if batches.is_empty() {
+                    usage("--batches needs at least one batch size");
+                }
+            }
+            "--requests" => match value("--requests").parse() {
+                Ok(n) if n >= 1 => requests = n,
+                _ => usage("--requests needs an integer >= 1"),
+            },
             "--top-k" => match value("--top-k").parse() {
                 Ok(n) => opts.top_k = n,
                 Err(_) => usage("--top-k needs an integer"),
@@ -130,6 +158,9 @@ fn main() {
     if arch_path.is_some() && arch_space {
         usage("--arch and --arch-space are mutually exclusive");
     }
+    if stream && (arch_path.is_some() || arch_space) {
+        usage("--stream explores the config space; it cannot combine with --arch/--arch-space");
+    }
 
     let arch_mode = arch_path.is_some() || arch_space;
     // In arch mode the smoke gate favors the fastest suite workload so
@@ -146,6 +177,44 @@ fn main() {
     };
 
     let engine = SuiteEngine::from_env();
+
+    if stream {
+        let space = if smoke {
+            requests = requests.min(4);
+            batches.truncate(2);
+            DesignSpace::smoke()
+        } else {
+            DesignSpace::default()
+        };
+        let base = StreamConfig {
+            requests,
+            ..StreamConfig::default()
+        };
+        eprintln!(
+            "dse: streaming {} requests over {} points x batches {:?} (top-{} simulated{})",
+            requests,
+            space.len(),
+            batches,
+            opts.top_k,
+            opts.budget_mm2
+                .map(|b| format!(", budget {b} mm\u{b2}"))
+                .unwrap_or_default()
+        );
+        let result = search_stream(&engine, &workload, &space, &opts, &batches, &base, seed);
+        println!("{}", stream_to_markdown(&result));
+        match write_all_stream(&result, &out) {
+            Ok(paths) => {
+                for p in paths {
+                    eprintln!("dse: wrote {}", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("dse: failed to write reports under {}: {e}", out.display());
+                exit(1);
+            }
+        }
+        return;
+    }
 
     if arch_mode {
         let points = match &arch_path {

@@ -3,7 +3,7 @@
 //! ([`SearchResult`]) and described-architecture results
 //! ([`ArchSearchResult`]) get parallel exporters.
 
-use crate::search::{ArchSearchResult, SearchResult};
+use crate::search::{ArchSearchResult, SearchResult, StreamSearchResult};
 use isosceles_bench::report::CsvTable;
 use std::path::{Path, PathBuf};
 
@@ -71,6 +71,78 @@ pub fn write_all(result: &SearchResult, dir: &Path) -> std::io::Result<Vec<PathB
     let csv = result_table(result).write(dir, &stem)?;
     let md = dir.join(format!("{stem}.md"));
     std::fs::write(&md, to_markdown(result))?;
+    Ok(vec![json, csv, md])
+}
+
+/// Builds the per-scenario table of a streaming search (one row per
+/// `(point, batch)` pair, frontier membership marked).
+pub fn stream_result_table(result: &StreamSearchResult) -> CsvTable {
+    let mut t = CsvTable::new(&[
+        "label",
+        "batch",
+        "cycles",
+        "imgs_per_sec",
+        "p50_cycles",
+        "p95_cycles",
+        "p99_cycles",
+        "area_mm2",
+        "energy_mj",
+        "pareto",
+    ]);
+    for (i, e) in result.evaluated.iter().enumerate() {
+        t.push_row(vec![
+            e.label.clone(),
+            e.batch.to_string(),
+            e.cycles.to_string(),
+            format!("{:.1}", e.throughput_imgs_per_sec),
+            e.p50_cycles.to_string(),
+            e.p95_cycles.to_string(),
+            e.p99_cycles.to_string(),
+            format!("{:.3}", e.area_mm2),
+            format!("{:.4}", e.energy_mj),
+            if result.frontier.contains(&i) {
+                "*"
+            } else {
+                ""
+            }
+            .to_string(),
+        ]);
+    }
+    t
+}
+
+/// Renders the streaming-search markdown report.
+pub fn stream_to_markdown(result: &StreamSearchResult) -> String {
+    format!(
+        "# Streaming design-space exploration: {}\n\n\
+         Screened {} points analytically ({} over the area budget), then \
+         streamed {} requests per scenario across batch sizes {:?}; {} \
+         scenarios simulated, {} on the (p99, cycles/img, mm\u{b2}) Pareto \
+         frontier.\n\n{}",
+        result.workload,
+        result.screened,
+        result.over_budget,
+        result.requests,
+        result.batches,
+        result.evaluated.len(),
+        result.frontier.len(),
+        stream_result_table(result).to_markdown()
+    )
+}
+
+/// Writes `dse-stream-<workload>.{json,csv,md}` under `dir`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_all_stream(result: &StreamSearchResult, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let stem = format!("dse-stream-{}", result.workload);
+    let json = dir.join(format!("{stem}.json"));
+    std::fs::write(&json, serde::json::to_string(result))?;
+    let csv = stream_result_table(result).write(dir, &stem)?;
+    let md = dir.join(format!("{stem}.md"));
+    std::fs::write(&md, stream_to_markdown(result))?;
     Ok(vec![json, csv, md])
 }
 
@@ -230,6 +302,57 @@ mod tests {
         let text = std::fs::read_to_string(&paths[0]).unwrap();
         let back: ArchSearchResult = serde::json::from_str(&text).unwrap();
         assert_eq!(back, tiny_arch_result());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn tiny_stream_result() -> StreamSearchResult {
+        let mk =
+            |label: &str, batch: u64, cycles: u64, p99: u64| crate::search::StreamEvaluatedPoint {
+                label: label.into(),
+                config: IsoscelesConfig::default(),
+                batch,
+                cycles,
+                p50_cycles: p99 / 2,
+                p95_cycles: p99 - 10,
+                p99_cycles: p99,
+                throughput_imgs_per_sec: 8.0 * 1e9 / cycles as f64,
+                area_mm2: 20.0,
+                energy_mj: 0.6,
+            };
+        StreamSearchResult {
+            workload: "G58".into(),
+            requests: 8,
+            batches: vec![1, 2],
+            screened: 4,
+            over_budget: 0,
+            evaluated: vec![mk("fast", 1, 900, 120), mk("fast", 2, 800, 200)],
+            frontier: vec![0, 1],
+        }
+    }
+
+    #[test]
+    fn stream_table_and_markdown_cover_the_batch_axis() {
+        let t = stream_result_table(&tiny_stream_result());
+        let csv = t.to_csv();
+        assert!(csv.starts_with("label,batch,cycles,imgs_per_sec,"));
+        assert!(csv.contains("fast,1,900,"));
+        assert!(csv.contains("fast,2,800,"));
+        let md = stream_to_markdown(&tiny_stream_result());
+        assert!(md.contains("streamed 8 requests"));
+        assert!(md.contains("batch sizes [1, 2]"));
+        assert!(md.contains("p99"));
+    }
+
+    #[test]
+    fn stream_files_round_trip() {
+        let dir =
+            std::env::temp_dir().join(format!("isos-dse-stream-report-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let paths = write_all_stream(&tiny_stream_result(), &dir).unwrap();
+        assert_eq!(paths.len(), 3);
+        let text = std::fs::read_to_string(&paths[0]).unwrap();
+        let back: StreamSearchResult = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, tiny_stream_result());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -15,9 +15,11 @@ use crate::pareto::pareto_indices;
 use crate::space::{ArchPoint, DesignPoint, DesignSpace};
 use isos_nn::models::Workload;
 use isos_sim::energy::{energy_of, EnergyParams};
+use isos_stream::StreamConfig;
 use isosceles::accel::Accelerator;
 use isosceles::IsoscelesConfig;
 use isosceles_bench::engine::{CacheStats, SuiteEngine};
+use isosceles_bench::stream::run_stream_cached;
 use serde::{Deserialize, Serialize};
 
 /// One analytically screened design point.
@@ -212,6 +214,157 @@ pub fn search(
         frontier,
         cache: stats.cache(),
         sim_wall_millis: stats.wall_millis,
+    }
+}
+
+/// One simulated `(design point, batch size)` streaming scenario.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StreamEvaluatedPoint {
+    /// Label from the design space (`paper-default` for the anchor).
+    pub label: String,
+    /// The full configuration.
+    pub config: IsoscelesConfig,
+    /// Batch size of this scenario.
+    pub batch: u64,
+    /// Stream makespan in cycles.
+    pub cycles: u64,
+    /// Median request latency in cycles.
+    pub p50_cycles: u64,
+    /// 95th-percentile request latency in cycles.
+    pub p95_cycles: u64,
+    /// 99th-percentile request latency in cycles.
+    pub p99_cycles: u64,
+    /// Throughput in images per second at the modeled clock.
+    pub throughput_imgs_per_sec: f64,
+    /// Total area in mm² at 45 nm.
+    pub area_mm2: f64,
+    /// Simulated energy for the whole stream in millijoules.
+    pub energy_mj: f64,
+}
+
+impl StreamEvaluatedPoint {
+    /// Average cycles per image (inverse throughput in cycle units).
+    pub fn cycles_per_image(&self, requests: u64) -> f64 {
+        self.cycles as f64 / requests.max(1) as f64
+    }
+}
+
+/// A finished streaming search over the `(design point, batch)` grid.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StreamSearchResult {
+    /// Workload id.
+    pub workload: String,
+    /// Requests per stream.
+    pub requests: u64,
+    /// Batch sizes swept.
+    pub batches: Vec<u64>,
+    /// Points analytically screened.
+    pub screened: usize,
+    /// Points discarded by the area budget.
+    pub over_budget: usize,
+    /// Simulated scenarios, sorted by cycles-per-image ascending.
+    pub evaluated: Vec<StreamEvaluatedPoint>,
+    /// Indices into `evaluated` of the (p99, cycles-per-image, mm²)
+    /// Pareto frontier — the latency-vs-throughput trade batching buys.
+    pub frontier: Vec<usize>,
+}
+
+impl StreamSearchResult {
+    /// The frontier as evaluated scenarios.
+    pub fn frontier_points(&self) -> Vec<&StreamEvaluatedPoint> {
+        self.frontier.iter().map(|&i| &self.evaluated[i]).collect()
+    }
+}
+
+/// Runs the screen-then-simulate search under a streaming scenario,
+/// adding the batch size as an explicit design axis.
+///
+/// Screening and survivor selection are identical to [`search`] (the
+/// arrival process does not change the per-image analytical ranking);
+/// each survivor then streams `base.requests` requests at every batch
+/// size in `batches`, and the Pareto frontier is extracted from
+/// (p99 latency, cycles-per-image, area) — batching trades tail
+/// latency against amortized weight traffic, so both must be
+/// objectives for the trade to be visible.
+pub fn search_stream(
+    engine: &SuiteEngine,
+    workload: &Workload,
+    space: &DesignSpace,
+    opts: &SearchOptions,
+    batches: &[u64],
+    base: &StreamConfig,
+    seed: u64,
+) -> StreamSearchResult {
+    let batches: Vec<u64> = if batches.is_empty() {
+        vec![base.batch]
+    } else {
+        batches.to_vec()
+    };
+    let screened = screen(workload, space);
+    let total = screened.len();
+    let within: Vec<ScreenedPoint> = screened
+        .into_iter()
+        .filter(|s| opts.budget_mm2.is_none_or(|b| s.area_mm2 <= b))
+        .collect();
+    let over_budget = total - within.len();
+
+    let mut survivors: Vec<DesignPoint> = within
+        .into_iter()
+        .take(opts.top_k.max(1))
+        .map(|s| s.point)
+        .collect();
+    let default_cfg = IsoscelesConfig::default();
+    if !survivors.iter().any(|p| p.config == default_cfg) {
+        survivors.push(DesignPoint {
+            label: "paper-default".into(),
+            config: default_cfg,
+        });
+    }
+
+    let mut evaluated: Vec<StreamEvaluatedPoint> = survivors
+        .iter()
+        .flat_map(|p| {
+            batches.iter().map(|&batch| {
+                let cfg = StreamConfig { batch, ..*base };
+                let (s, _) = run_stream_cached(engine, &p.config, workload.id, seed, &cfg);
+                let energy = energy_of(&s.total.activity, &EnergyParams::default());
+                StreamEvaluatedPoint {
+                    label: p.label.clone(),
+                    config: p.config,
+                    batch,
+                    cycles: s.total.cycles,
+                    p50_cycles: s.p50(),
+                    p95_cycles: s.p95(),
+                    p99_cycles: s.p99(),
+                    throughput_imgs_per_sec: s.throughput_imgs_per_sec(cfg.clock_ghz),
+                    area_mm2: area_mm2(&p.config),
+                    energy_mj: energy.total_mj(),
+                }
+            })
+        })
+        .collect();
+    evaluated.sort_by(|a, b| a.cycles.cmp(&b.cycles).then(a.batch.cmp(&b.batch)));
+
+    let objectives: Vec<Vec<f64>> = evaluated
+        .iter()
+        .map(|e| {
+            vec![
+                e.p99_cycles as f64,
+                e.cycles_per_image(base.requests),
+                e.area_mm2,
+            ]
+        })
+        .collect();
+    let frontier = pareto_indices(&objectives);
+
+    StreamSearchResult {
+        workload: workload.id.to_string(),
+        requests: base.requests,
+        batches,
+        screened: total,
+        over_budget,
+        evaluated,
+        frontier,
     }
 }
 
@@ -448,6 +601,65 @@ mod tests {
         let err = screen_arch(&w, &[bad]).unwrap_err();
         assert!(err.message().contains("broken"), "{err}");
         assert!(err.message().contains("zero size"), "{err}");
+    }
+
+    #[test]
+    fn stream_search_sweeps_the_batch_axis() {
+        use isosceles_bench::engine::{EngineOptions, SuiteEngine};
+
+        let w = suite_workload("G58", 1);
+        let space = DesignSpace::smoke();
+        let engine = SuiteEngine::new(EngineOptions {
+            threads: 2,
+            use_cache: false,
+            quiet: true,
+            ..EngineOptions::default()
+        });
+        let opts = SearchOptions {
+            top_k: 2,
+            budget_mm2: None,
+        };
+        let base = StreamConfig {
+            requests: 4,
+            ..StreamConfig::default()
+        };
+        let result = search_stream(&engine, &w, &space, &opts, &[1, 2], &base, 1);
+
+        // Every survivor (top-2 + the paper-default anchor) ran at both
+        // batch sizes.
+        assert_eq!(result.batches, vec![1, 2]);
+        assert_eq!(result.evaluated.len() % 2, 0);
+        assert!(result.evaluated.len() >= 4);
+        assert!(!result.frontier.is_empty());
+        // The paper-default anchor is always simulated, either as one of
+        // the space's own points or as the appended anchor.
+        assert!(result
+            .evaluated
+            .iter()
+            .any(|e| e.config == IsoscelesConfig::default()));
+
+        for e in &result.evaluated {
+            assert!(e.p50_cycles <= e.p95_cycles && e.p95_cycles <= e.p99_cycles);
+            assert!(e.throughput_imgs_per_sec > 0.0);
+            assert!(e.area_mm2 > 0.0 && e.energy_mj > 0.0);
+        }
+        // Batching amortizes weight traffic: for any fixed config, the
+        // batch-2 stream never has a longer makespan than batch-1.
+        for e in &result.evaluated {
+            if e.batch == 2 {
+                let b1 = result
+                    .evaluated
+                    .iter()
+                    .find(|o| o.batch == 1 && o.config == e.config)
+                    .expect("batch-1 twin");
+                assert!(
+                    e.cycles <= b1.cycles,
+                    "{}: batching slowed it down",
+                    e.label
+                );
+                assert!(e.throughput_imgs_per_sec >= b1.throughput_imgs_per_sec);
+            }
+        }
     }
 
     #[test]

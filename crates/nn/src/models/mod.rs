@@ -67,10 +67,34 @@ pub const SUITE_IDS: [&str; 11] = [
     "R81", "R90", "R95", "R96", "R98", "R99", "V68", "V90", "G58", "M75", "M89",
 ];
 
+/// Builds exactly one suite network by id, without constructing the
+/// other ten (the per-request hot path of the streaming engine builds
+/// thousands of single networks).
+fn build_suite_network(id: &str, seed: u64) -> Option<Network> {
+    Some(match id {
+        "R81" => resnet50(0.81, seed),
+        "R90" => resnet50(0.90, seed),
+        "R95" => resnet50(0.95, seed),
+        "R96" => resnet50(0.96, seed),
+        "R98" => resnet50(0.98, seed),
+        "R99" => resnet50(0.99, seed),
+        "V68" => vgg16(0.68, seed),
+        "V90" => vgg16(0.90, seed),
+        "G58" => googlenet_inception3a(0.58, seed),
+        "M75" => mobilenet_v1(0.75, seed),
+        "M89" => mobilenet_v1(0.89, seed),
+        _ => return None,
+    })
+}
+
 /// Looks up one suite workload by its short id; `None` for ids outside
 /// the suite.
 pub fn try_suite_workload(id: &str, seed: u64) -> Option<Workload> {
-    paper_suite(seed).into_iter().find(|w| w.id == id)
+    let id = SUITE_IDS.iter().copied().find(|&s| s == id)?;
+    Some(Workload {
+        id,
+        network: build_suite_network(id, seed)?,
+    })
 }
 
 /// Looks up one suite workload by its short id.
@@ -126,6 +150,15 @@ mod tests {
         }
         assert!(try_suite_workload("X42", 1).is_none());
         assert!(try_suite_workload("", 1).is_none());
+    }
+
+    #[test]
+    fn single_network_builder_matches_paper_suite() {
+        for (i, w) in paper_suite(7).into_iter().enumerate() {
+            let direct = try_suite_workload(SUITE_IDS[i], 7).expect(SUITE_IDS[i]);
+            assert_eq!(direct.id, w.id);
+            assert_eq!(direct.network, w.network, "{} diverged", w.id);
+        }
     }
 
     #[test]

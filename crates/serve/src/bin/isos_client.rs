@@ -8,6 +8,9 @@
 //!             [--seed N] [--trace]
 //! isos-client --addr HOST:PORT --net R96 --config point.json [--seed N]
 //! isos-client --addr HOST:PORT --net R96 --arch arch.toml [--seed N]
+//! isos-client --addr HOST:PORT --net R81 --model isosceles --stream
+//!             [--requests N] [--batch B] [--arrival burst|periodic:N|poisson:F]
+//!             [--policy greedy|waitfull]
 //! ```
 //!
 //! Emits the server's NDJSON responses verbatim on stdout, one line per
@@ -24,6 +27,11 @@
 //! extension). The server validates and lowers it; schema violations
 //! come back as structured `error` lines rather than a dropped
 //! connection.
+//!
+//! `--stream` turns each scenario into a batched streaming-inference
+//! run: rows report throughput and p50/p95/p99 tail latency. With
+//! several `--net`/`--model` values, the scenarios travel as one
+//! `batch` request so the server can dedup identical jobs in flight.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -41,12 +49,18 @@ struct Args {
     ping: bool,
     stats: bool,
     shutdown: bool,
+    stream: bool,
+    requests: Option<u64>,
+    batch: Option<u64>,
+    arrival: Option<String>,
+    policy: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: isos-client [--addr HOST:PORT] (--ping | --stats | --shutdown | \
-         --net IDS [--model NAMES | --config FILE | --arch FILE] [--seed N] [--trace])"
+         --net IDS [--model NAMES | --config FILE | --arch FILE] [--seed N] [--trace] \
+         [--stream [--requests N] [--batch B] [--arrival A] [--policy P]])"
     );
     std::process::exit(2);
 }
@@ -63,6 +77,11 @@ fn parse_args() -> Args {
         ping: false,
         stats: false,
         shutdown: false,
+        stream: false,
+        requests: None,
+        batch: None,
+        arrival: None,
+        policy: None,
     };
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut it = raw.iter();
@@ -91,6 +110,22 @@ fn parse_args() -> Args {
                 Ok(n) => args.seed = Some(n),
                 Err(_) => usage(),
             }
+        } else if let Some(v) = take("--requests") {
+            match v.parse() {
+                Ok(n) => args.requests = Some(n),
+                Err(_) => usage(),
+            }
+        } else if let Some(v) = take("--batch") {
+            match v.parse() {
+                Ok(n) => args.batch = Some(n),
+                Err(_) => usage(),
+            }
+        } else if let Some(v) = take("--arrival") {
+            args.arrival = Some(v);
+        } else if let Some(v) = take("--policy") {
+            args.policy = Some(v);
+        } else if arg == "--stream" {
+            args.stream = true;
         } else if arg == "--trace" {
             args.trace = true;
         } else if arg == "--ping" {
@@ -160,6 +195,18 @@ fn build_request(args: &Args) -> Result<String, String> {
         return Err("pass --model NAMES, --config FILE, or --arch FILE with --net".to_string());
     }
 
+    if !args.stream
+        && (args.requests.is_some()
+            || args.batch.is_some()
+            || args.arrival.is_some()
+            || args.policy.is_some())
+    {
+        return Err("--requests/--batch/--arrival/--policy need --stream".to_string());
+    }
+    if args.stream {
+        return Ok(build_stream_request(args, &inline, &arch));
+    }
+
     let mut pairs: Vec<(&str, Value)> = Vec::new();
     let single = args.nets.len() == 1 && args.models.len() <= 1;
     if single {
@@ -194,6 +241,63 @@ fn build_request(args: &Args) -> Result<String, String> {
         pairs.push(("trace", Value::Bool(true)));
     }
     Ok(obj(pairs).render())
+}
+
+/// Builds a `stream` request (one scenario) or a `batch` of `stream`
+/// jobs (workloads × models cross product in one request, so the
+/// server can dedup identical jobs in flight).
+fn build_stream_request(args: &Args, inline: &Option<Value>, arch: &Option<Value>) -> String {
+    let job = |net: &str, model: Option<&str>| -> Value {
+        let mut pairs: Vec<(&str, Value)> = vec![
+            ("type", Value::Str("stream".to_string())),
+            ("workload", Value::Str(net.to_string())),
+        ];
+        if let Some(desc) = arch {
+            pairs.push(("arch", desc.clone()));
+        } else if let Some(config) = inline {
+            pairs.push(("config", config.clone()));
+        } else if let Some(name) = model {
+            pairs.push(("model", Value::Str(name.to_string())));
+        }
+        if let Some(n) = args.requests {
+            pairs.push(("requests", Value::U64(n)));
+        }
+        if let Some(b) = args.batch {
+            pairs.push(("batch", Value::U64(b)));
+        }
+        if let Some(a) = &args.arrival {
+            pairs.push(("arrival", Value::Str(a.clone())));
+        }
+        if let Some(p) = &args.policy {
+            pairs.push(("policy", Value::Str(p.clone())));
+        }
+        if let Some(seed) = args.seed {
+            pairs.push(("seed", Value::U64(seed)));
+        }
+        if args.trace {
+            pairs.push(("trace", Value::Bool(true)));
+        }
+        obj(pairs)
+    };
+
+    if args.nets.len() == 1 && args.models.len() <= 1 {
+        return job(&args.nets[0], args.models.first().map(String::as_str)).render();
+    }
+    let models: Vec<Option<&str>> = if args.models.is_empty() {
+        vec![None]
+    } else {
+        args.models.iter().map(|m| Some(m.as_str())).collect()
+    };
+    let jobs: Vec<Value> = args
+        .nets
+        .iter()
+        .flat_map(|net| models.iter().map(|m| job(net, *m)))
+        .collect();
+    obj(vec![
+        ("type", Value::Str("batch".to_string())),
+        ("jobs", Value::Arr(jobs)),
+    ])
+    .render()
 }
 
 fn main() {

@@ -9,8 +9,11 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Sender};
+use isos_sim::metrics::StreamMetrics;
+use isos_stream::StreamConfig;
 use isos_trace::breakdown::StallBreakdown;
 use isosceles_bench::engine::SuiteEngine;
+use isosceles_bench::stream::run_stream_cached;
 use isosceles_bench::trace::{accel_by_name, trace_workload};
 use serde::json::Value;
 use serde::Serialize;
@@ -187,6 +190,10 @@ fn run_job(engine: &SuiteEngine, spec: &JobSpec) -> Result<JobDone, String> {
         ),
     };
 
+    if let Some(cfg) = &spec.stream {
+        return run_stream_job(engine, spec, accel.as_ref(), cfg);
+    }
+
     if spec.trace {
         // Traced runs bypass the cache: the event stream is not stored,
         // and the metrics are bit-identical to untraced ones anyway.
@@ -211,6 +218,71 @@ fn run_job(engine: &SuiteEngine, spec: &JobSpec) -> Result<JobDone, String> {
         metrics: metrics.to_value(),
         stalls: None,
     })
+}
+
+/// Runs one batched streaming scenario. Untraced streams go through
+/// the engine's persistent cache (`"stream"` payload kind); traced
+/// streams always simulate and attach per-request span breakdowns.
+fn run_stream_job(
+    engine: &SuiteEngine,
+    spec: &JobSpec,
+    accel: &dyn isosceles::accel::Accelerator,
+    cfg: &StreamConfig,
+) -> Result<JobDone, String> {
+    let started = Instant::now();
+    if spec.trace {
+        let mut buffer = isos_trace::EventBuffer::new();
+        let metrics =
+            isos_stream::run_stream_traced(accel, &spec.workload, spec.seed, cfg, &mut buffer);
+        return Ok(JobDone {
+            model: accel.name().to_string(),
+            cache_hit: false,
+            deduped: false,
+            millis: started.elapsed().as_secs_f64() * 1e3,
+            metrics: stream_value(&metrics, cfg),
+            stalls: Some(buffer.breakdowns()),
+        });
+    }
+    let (metrics, cache_hit) = run_stream_cached(engine, accel, &spec.workload, spec.seed, cfg);
+    Ok(JobDone {
+        model: accel.name().to_string(),
+        cache_hit,
+        deduped: false,
+        millis: started.elapsed().as_secs_f64() * 1e3,
+        metrics: stream_value(&metrics, cfg),
+        stalls: None,
+    })
+}
+
+/// Serializes a stream row for the wire: the latency/throughput summary
+/// plus the conserved totals, without the per-request span list (a
+/// 256-request stream would be kilobytes of spans per row).
+fn stream_value(s: &StreamMetrics, cfg: &StreamConfig) -> Value {
+    Value::Obj(vec![
+        ("requests".to_string(), Value::U64(s.requests.len() as u64)),
+        ("batch".to_string(), Value::U64(cfg.batch)),
+        ("cycles".to_string(), Value::U64(s.total.cycles)),
+        (
+            "throughput_imgs_per_sec".to_string(),
+            Value::F64(s.throughput_imgs_per_sec(cfg.clock_ghz)),
+        ),
+        ("p50_cycles".to_string(), Value::U64(s.p50())),
+        ("p95_cycles".to_string(), Value::U64(s.p95())),
+        ("p99_cycles".to_string(), Value::U64(s.p99())),
+        ("busy_cycles".to_string(), Value::U64(s.busy_cycles)),
+        ("idle_cycles".to_string(), Value::U64(s.idle_cycles)),
+        (
+            "formation_cycles".to_string(),
+            Value::U64(s.formation_cycles),
+        ),
+        ("batches".to_string(), Value::U64(s.batches)),
+        ("queue_max_depth".to_string(), Value::U64(s.queue.max_depth)),
+        (
+            "queue_mean_depth".to_string(),
+            Value::F64(s.queue.mean_depth),
+        ),
+        ("total".to_string(), s.total.to_value()),
+    ])
 }
 
 /// Best-effort text of a panic payload.

@@ -2,7 +2,10 @@
 //!
 //! A long-running server on [`std::net::TcpListener`] speaking
 //! newline-delimited JSON ([`protocol`]): clients request suite
-//! workloads or inline DSE configuration points, and a worker pool
+//! workloads, inline DSE configuration points, or batched
+//! streaming-inference scenarios (`stream`/`batch` request kinds,
+//! reporting throughput and p50/p95/p99 tail latency), and a worker
+//! pool
 //! ([`dispatch`]) funnels every job through one shared
 //! [`SuiteEngine`], so all connections benefit from — and contribute
 //! to — the same persistent sharded cache and single-flight dedup
@@ -235,11 +238,11 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                         return;
                     }
                     Ok(Request::Run(spec)) => {
-                        if !serve_jobs(&mut writer, shared, vec![spec]) {
+                        if !serve_jobs(&mut writer, shared, vec![*spec]) {
                             return;
                         }
                     }
-                    Ok(Request::Matrix(jobs)) => {
+                    Ok(Request::Matrix(jobs)) | Ok(Request::Batch(jobs)) => {
                         if !serve_jobs(&mut writer, shared, jobs) {
                             return;
                         }

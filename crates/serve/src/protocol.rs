@@ -23,11 +23,22 @@
 //!   entry is a name string, an inline config object, or an
 //!   `{"arch":{...}}` description. Omitted `workloads`/`models` default
 //!   to the full paper suite and all four models.
+//! - `{"type":"stream","workload":...,"model":...,"requests":256,
+//!   "batch":4,"arrival":"poisson:50000","policy":"greedy"}` — one
+//!   batched streaming-inference scenario ([`StreamConfig`] fields all
+//!   optional); the row's `metrics` carry throughput, p50/p95/p99
+//!   latency, and queue depth next to the conserved totals.
+//! - `{"type":"batch","jobs":[{...},{...}]}` — heterogeneous scenarios
+//!   (each entry a `run`- or `stream`-shaped object, discriminated by
+//!   its own `"type"`, default `run`) submitted as one request;
+//!   identical concurrent jobs are deduplicated through the engine's
+//!   single-flight table, so duplicates cost one simulation.
 //! - `{"type":"stats"}` — lifetime engine, store, and worker counters.
 //! - `{"type":"ping"}` / `{"type":"shutdown"}`.
 
 use isos_explore::arch::ArchDesc;
 use isos_explore::space::DesignPoint;
+use isos_stream::{Arrival, BatchPolicy, StreamConfig};
 use isosceles::IsoscelesConfig;
 use serde::json::Value;
 use serde::Deserialize;
@@ -70,15 +81,22 @@ pub struct JobSpec {
     /// Attach an event trace and return per-unit stall breakdowns.
     /// Traced jobs always simulate (the cache stores metrics only).
     pub trace: bool,
+    /// `Some` turns the job into a batched streaming-inference
+    /// scenario ([`isosceles_bench::stream`]) instead of one
+    /// single-image simulation.
+    pub stream: Option<StreamConfig>,
 }
 
 /// A parsed request line.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// Run one job and stream its row.
-    Run(JobSpec),
+    Run(Box<JobSpec>),
     /// Run a workloads × models matrix, streaming rows as they finish.
     Matrix(Vec<JobSpec>),
+    /// Run an explicit list of heterogeneous jobs (single-inference and
+    /// streaming scenarios mixed) as one request.
+    Batch(Vec<JobSpec>),
     /// Report lifetime server statistics.
     Stats,
     /// Liveness probe.
@@ -102,13 +120,16 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         .and_then(Value::as_str)
         .ok_or("request must be an object with a string `type` field")?;
     match kind {
-        "run" => Ok(Request::Run(parse_job(&value)?)),
+        "run" => Ok(Request::Run(Box::new(parse_job(&value)?))),
+        "stream" => Ok(Request::Run(Box::new(parse_stream_job(&value)?))),
         "matrix" => parse_matrix(&value),
+        "batch" => parse_batch(&value),
         "stats" => Ok(Request::Stats),
         "ping" => Ok(Request::Ping),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!(
-            "unknown request type `{other}` (expected run, matrix, stats, ping, or shutdown)"
+            "unknown request type `{other}` (expected run, stream, matrix, batch, stats, ping, \
+             or shutdown)"
         )),
     }
 }
@@ -140,7 +161,74 @@ fn parse_job(value: &Value) -> Result<JobSpec, String> {
         model,
         seed,
         trace,
+        stream: None,
     })
+}
+
+/// Parses a `stream` job: a `run`-shaped object plus the optional
+/// [`StreamConfig`] fields (`requests`, `batch`, `arrival`, `policy`).
+fn parse_stream_job(value: &Value) -> Result<JobSpec, String> {
+    let mut spec = parse_job(value)?;
+    spec.stream = Some(parse_stream_cfg(value)?);
+    Ok(spec)
+}
+
+/// Extracts a validated [`StreamConfig`] from a request object; every
+/// field is optional and defaults to [`StreamConfig::default`].
+fn parse_stream_cfg(value: &Value) -> Result<StreamConfig, String> {
+    let mut cfg = StreamConfig::default();
+    if let Ok(v) = value.field("requests") {
+        cfg.requests = v.as_u64().map_err(|e| format!("bad `requests`: {e}"))?;
+    }
+    if let Ok(v) = value.field("batch") {
+        cfg.batch = v.as_u64().map_err(|e| format!("bad `batch`: {e}"))?;
+    }
+    if let Ok(v) = value.field("arrival") {
+        let spelled = v
+            .as_str()
+            .ok_or_else(|| format!("bad `arrival`: expected string, got {}", v.kind()))?;
+        cfg.arrival = Arrival::parse(spelled).map_err(|e| format!("bad `arrival`: {e}"))?;
+    }
+    if let Ok(v) = value.field("policy") {
+        let spelled = v
+            .as_str()
+            .ok_or_else(|| format!("bad `policy`: expected string, got {}", v.kind()))?;
+        cfg.policy = BatchPolicy::parse(spelled).map_err(|e| format!("bad `policy`: {e}"))?;
+    }
+    cfg.validate()
+        .map_err(|e| format!("bad stream config: {e}"))?;
+    Ok(cfg)
+}
+
+/// Parses a `batch` request: an explicit `jobs` array of heterogeneous
+/// `run`/`stream` objects, discriminated by each entry's own `"type"`.
+fn parse_batch(value: &Value) -> Result<Request, String> {
+    let jobs = value
+        .field("jobs")
+        .map_err(|_| "`batch` needs a `jobs` array".to_string())?
+        .as_arr()
+        .map_err(|e| format!("bad `jobs`: {e}"))?;
+    if jobs.is_empty() {
+        return Err("batch needs at least one job".to_string());
+    }
+    jobs.iter()
+        .enumerate()
+        .map(|(i, job)| {
+            let kind = match job.field("type") {
+                Ok(t) => t
+                    .as_str()
+                    .ok_or_else(|| format!("job {i}: `type` must be a string"))?,
+                Err(_) => "run",
+            };
+            match kind {
+                "run" => parse_job(job),
+                "stream" => parse_stream_job(job),
+                other => Err(format!("job {i}: unknown job type `{other}`")),
+            }
+            .map_err(|e| format!("job {i}: {e}"))
+        })
+        .collect::<Result<Vec<_>, _>>()
+        .map(Request::Batch)
 }
 
 /// Resolves a job's accelerator: a `"model"` name, an inline `"config"`
@@ -238,6 +326,7 @@ fn parse_matrix(value: &Value) -> Result<Request, String> {
                 model: m.clone(),
                 seed,
                 trace,
+                stream: None,
             })
         })
         .collect();
@@ -483,6 +572,71 @@ mod tests {
             jobs.len(),
             isos_nn::models::SUITE_IDS.len() * isosceles_bench::trace::MODEL_NAMES.len()
         );
+    }
+
+    #[test]
+    fn stream_request_carries_a_validated_scenario() {
+        let req = parse_request(
+            r#"{"type":"stream","workload":"G58","model":"isosceles","requests":16,"batch":4,
+                "arrival":"poisson:50000","policy":"waitfull","seed":9}"#,
+        )
+        .unwrap();
+        let Request::Run(spec) = req else {
+            panic!("expected run-shaped job")
+        };
+        assert_eq!(spec.workload, "G58");
+        assert_eq!(spec.seed, 9);
+        let cfg = spec.stream.expect("stream scenario");
+        assert_eq!((cfg.requests, cfg.batch), (16, 4));
+        assert_eq!(cfg.arrival, Arrival::Poisson { mean: 50000.0 });
+        assert_eq!(cfg.policy, BatchPolicy::WaitFull);
+
+        // All scenario fields are optional.
+        let Request::Run(spec) =
+            parse_request(r#"{"type":"stream","workload":"G58","model":"sparten"}"#).unwrap()
+        else {
+            panic!("expected run-shaped job")
+        };
+        assert_eq!(spec.stream, Some(StreamConfig::default()));
+
+        // But present fields are validated.
+        let err =
+            parse_request(r#"{"type":"stream","workload":"G58","model":"isosceles","requests":0}"#)
+                .unwrap_err();
+        assert!(err.contains("bad stream config"), "{err}");
+        let err = parse_request(
+            r#"{"type":"stream","workload":"G58","model":"isosceles","arrival":"fibonacci"}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("bad `arrival`"), "{err}");
+    }
+
+    #[test]
+    fn batch_request_mixes_run_and_stream_jobs() {
+        let req = parse_request(
+            r#"{"type":"batch","jobs":[
+                {"workload":"G58","model":"isosceles","seed":3},
+                {"type":"stream","workload":"M75","model":"sparten","requests":8,"batch":2}
+            ]}"#,
+        )
+        .unwrap();
+        let Request::Batch(jobs) = req else {
+            panic!("expected batch")
+        };
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].workload, "G58");
+        assert!(jobs[0].stream.is_none(), "untyped entries default to run");
+        assert_eq!(jobs[1].workload, "M75");
+        assert_eq!(jobs[1].stream.map(|c| (c.requests, c.batch)), Some((8, 2)));
+
+        let err = parse_request(r#"{"type":"batch","jobs":[]}"#).unwrap_err();
+        assert!(err.contains("at least one job"), "{err}");
+        let err = parse_request(r#"{"type":"batch"}"#).unwrap_err();
+        assert!(err.contains("jobs"), "{err}");
+        let err = parse_request(r#"{"type":"batch","jobs":[{"type":"dance","workload":"G58"}]}"#)
+            .unwrap_err();
+        assert!(err.contains("job 0"), "{err}");
+        assert!(err.contains("unknown job type"), "{err}");
     }
 
     #[test]

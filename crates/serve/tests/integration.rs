@@ -348,6 +348,174 @@ fn traced_runs_attach_stall_rows_with_identical_metrics() {
 }
 
 #[test]
+fn stream_requests_report_tail_latency_and_replay_from_the_cache() {
+    let (addr, handle) = test_server("stream", 2);
+    let mut client = Client::connect(addr);
+
+    let request = r#"{"type":"stream","workload":"G58","model":"isosceles","requests":6,"batch":2,"arrival":"poisson:50000","seed":11}"#;
+    let row = client.roundtrip(request, &["done"]).remove(0);
+    assert_eq!(kind_of(&row), "row");
+    let metrics = row.field("metrics").unwrap();
+    assert_eq!(u64_field(metrics, "requests"), 6);
+    assert_eq!(u64_field(metrics, "batch"), 2);
+    let (p50, p95, p99) = (
+        u64_field(metrics, "p50_cycles"),
+        u64_field(metrics, "p95_cycles"),
+        u64_field(metrics, "p99_cycles"),
+    );
+    assert!(p50 <= p95 && p95 <= p99 && p50 > 0);
+    assert!(
+        metrics
+            .field("throughput_imgs_per_sec")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            > 0.0
+    );
+    // Server-time conservation survives serialization.
+    assert_eq!(
+        u64_field(metrics, "busy_cycles")
+            + u64_field(metrics, "idle_cycles")
+            + u64_field(metrics, "formation_cycles"),
+        u64_field(metrics, "cycles")
+    );
+
+    // The identical scenario replays bit-identically from the cache.
+    let replay = client.roundtrip(request, &["done"]).remove(0);
+    assert!(replay.field("cache_hit").unwrap().as_bool().unwrap());
+    assert_eq!(replay.field("metrics").unwrap().render(), metrics.render());
+
+    client.roundtrip(r#"{"type":"shutdown"}"#, &["bye"]);
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn batch_requests_mix_kinds_and_dedup_identical_jobs() {
+    let (addr, handle) = test_server("batch", 4);
+    let mut client = Client::connect(addr);
+
+    // Two identical run jobs plus one stream job in a single request:
+    // the duplicates must cost one simulation (single-flight dedup or a
+    // cache hit, depending on timing), never two.
+    let lines = client.roundtrip(
+        concat!(
+            r#"{"type":"batch","jobs":["#,
+            r#"{"workload":"G58","model":"isosceles","seed":42},"#,
+            r#"{"workload":"G58","model":"isosceles","seed":42},"#,
+            r#"{"type":"stream","workload":"G58","model":"isosceles","requests":4,"batch":2,"seed":42}"#,
+            r#"]}"#
+        ),
+        &["done"],
+    );
+    assert_eq!(lines.len(), 4, "3 rows + done");
+    let done = lines.last().unwrap();
+    assert_eq!(u64_field(done, "jobs"), 3);
+    assert!(
+        u64_field(done, "hits") + u64_field(done, "deduped") >= 1,
+        "duplicate run jobs must dedup: {}",
+        done.render()
+    );
+    let rows: Vec<&Value> = lines[..3].iter().collect();
+    let stream_rows: Vec<&&Value> = rows
+        .iter()
+        .filter(|r| r.field("metrics").unwrap().field("p99_cycles").is_ok())
+        .collect();
+    assert_eq!(stream_rows.len(), 1, "exactly one stream row");
+    let run_rows: Vec<&&Value> = rows
+        .iter()
+        .filter(|r| r.field("metrics").unwrap().field("p99_cycles").is_err())
+        .collect();
+    assert_eq!(run_rows.len(), 2);
+    assert_eq!(
+        run_rows[0].field("metrics").unwrap().render(),
+        run_rows[1].field("metrics").unwrap().render(),
+        "deduped duplicates are bit-identical"
+    );
+
+    // The engine computed at most one single-inference job for the two
+    // duplicates (the stream job simulates its own requests).
+    let stats = client
+        .roundtrip(r#"{"type":"stats"}"#, &["stats"])
+        .remove(0);
+    assert_eq!(u64_field(&stats, "misses"), 1, "{}", stats.render());
+
+    client.roundtrip(r#"{"type":"shutdown"}"#, &["bye"]);
+    handle.join().expect("server thread");
+}
+
+/// The real `isos-client` binary with `--stream`: rows print to stdout
+/// as NDJSON and carry the latency summary.
+#[test]
+fn isos_client_streams_against_a_live_server() {
+    use std::process::Command;
+
+    let (addr, handle) = test_server("client-stream", 2);
+    let output = Command::new(env!("CARGO_BIN_EXE_isos-client"))
+        .args([
+            "--addr",
+            &addr.to_string(),
+            "--net",
+            "G58",
+            "--model",
+            "isosceles",
+            "--stream",
+            "--requests",
+            "4",
+            "--batch",
+            "2",
+            "--policy",
+            "waitfull",
+        ])
+        .output()
+        .expect("run isos-client");
+    assert!(
+        output.status.success(),
+        "isos-client failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("utf8 stdout");
+    let lines: Vec<Value> = stdout
+        .lines()
+        .map(|l| serde::json::parse(l).expect("NDJSON line"))
+        .collect();
+    assert_eq!(lines.len(), 2, "row + done: {stdout}");
+    assert_eq!(kind_of(&lines[0]), "row");
+    let metrics = lines[0].field("metrics").unwrap();
+    assert_eq!(u64_field(metrics, "requests"), 4);
+    assert!(u64_field(metrics, "p99_cycles") >= u64_field(metrics, "p50_cycles"));
+    assert_eq!(kind_of(&lines[1]), "done");
+    assert_eq!(u64_field(&lines[1], "jobs"), 1);
+
+    // Multiple workloads ride as one batch request.
+    let output = Command::new(env!("CARGO_BIN_EXE_isos-client"))
+        .args([
+            "--addr",
+            &addr.to_string(),
+            "--net",
+            "G58,M75",
+            "--model",
+            "isosceles",
+            "--stream",
+            "--requests",
+            "2",
+        ])
+        .output()
+        .expect("run isos-client");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).expect("utf8 stdout");
+    let lines: Vec<Value> = stdout
+        .lines()
+        .map(|l| serde::json::parse(l).expect("NDJSON line"))
+        .collect();
+    assert_eq!(lines.len(), 3, "2 rows + done: {stdout}");
+    assert_eq!(u64_field(lines.last().unwrap(), "jobs"), 2);
+
+    let mut client = Client::connect(addr);
+    client.roundtrip(r#"{"type":"shutdown"}"#, &["bye"]);
+    handle.join().expect("server thread");
+}
+
+#[test]
 fn idle_connections_are_closed_with_a_bye() {
     let server = Server::bind(ServerOptions {
         addr: "127.0.0.1:0".to_string(),

@@ -41,4 +41,4 @@ pub mod sram;
 pub mod stats;
 
 pub use harness::{MemClient, MemHarness};
-pub use metrics::{NetworkMetrics, RunMetrics};
+pub use metrics::{NetworkMetrics, RequestSpan, RunMetrics, StreamMetrics};

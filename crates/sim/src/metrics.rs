@@ -142,6 +142,152 @@ impl NetworkMetrics {
     }
 }
 
+/// One inference request's journey through a stream run.
+///
+/// Cycle counts are on the modeled accelerator clock. The span satisfies
+/// `arrival <= start <= completion` and
+/// `completion - start == formation-free service`, i.e. `service` is the
+/// cycles the accelerator actually spent on this request (reduced below
+/// the single-inference cycle count for batch followers whose weight
+/// fetch was amortized away).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RequestSpan {
+    /// Position in the generated request stream (0-based).
+    pub index: u64,
+    /// Cycle at which the request entered the queue.
+    pub arrival: u64,
+    /// Cycle at which the accelerator started this request.
+    pub start: u64,
+    /// Cycle at which the request completed.
+    pub completion: u64,
+    /// Cycles of accelerator service time (`completion - start`).
+    pub service: u64,
+    /// Index of the batch this request was dispatched in (0-based).
+    pub batch: u64,
+    /// Whether this request led its batch (leaders pay the weight
+    /// traffic; followers reuse the leader's resident weights).
+    pub leader: bool,
+    /// Queue-wait cycles spent while the server was forming a batch.
+    pub formation_wait: u64,
+    /// Queue-wait cycles spent while the server was busy with earlier
+    /// work.
+    pub busy_wait: u64,
+    /// Per-request traffic/energy/utilization totals (after batch
+    /// amortization).
+    pub metrics: RunMetrics,
+}
+
+impl RequestSpan {
+    /// End-to-end latency in cycles (`completion - arrival`).
+    pub fn latency(&self) -> u64 {
+        self.completion - self.arrival
+    }
+
+    /// Cycles spent queued before service began (`start - arrival`).
+    pub fn queue_wait(&self) -> u64 {
+        self.start - self.arrival
+    }
+}
+
+/// Queue-depth statistics over a stream run.
+///
+/// Depth counts requests that have arrived but not yet entered service
+/// (batch followers queue behind their leader); `mean_depth` is
+/// time-weighted over the makespan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueueStats {
+    /// Largest instantaneous queue depth observed.
+    pub max_depth: u64,
+    /// Time-weighted mean queue depth over the makespan.
+    pub mean_depth: f64,
+}
+
+/// Metrics from streaming a sequence of inference requests through one
+/// accelerator.
+///
+/// `total` plays the same role as [`NetworkMetrics::total`]: its traffic,
+/// utilization, and energy activity are the sums over all request spans
+/// (so the existing conservation and energy machinery applies
+/// unchanged), but its `cycles` field is the stream **makespan** — the
+/// cycle at which the last request completed — not the sum of per-request
+/// cycles. The server-time identity
+/// `busy_cycles + idle_cycles + formation_cycles == total.cycles`
+/// holds exactly, as does `service_sum() == busy_cycles`.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamMetrics {
+    /// Summed request metrics, with `cycles` = stream makespan.
+    pub total: RunMetrics,
+    /// Cycles the accelerator spent servicing requests.
+    pub busy_cycles: u64,
+    /// Cycles the accelerator sat idle with an empty queue.
+    pub idle_cycles: u64,
+    /// Cycles the accelerator deliberately waited to form a fuller
+    /// batch while requests were queued.
+    pub formation_cycles: u64,
+    /// Number of batches dispatched.
+    pub batches: u64,
+    /// Queue-depth statistics.
+    pub queue: QueueStats,
+    /// Per-request spans, in arrival order.
+    pub requests: Vec<RequestSpan>,
+}
+
+impl StreamMetrics {
+    /// Per-request end-to-end latencies, ascending.
+    pub fn latencies_sorted(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.requests.iter().map(RequestSpan::latency).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Nearest-rank latency percentile in cycles (`p` in `(0, 100]`).
+    ///
+    /// Returns 0 for an empty stream.
+    pub fn latency_percentile(&self, p: f64) -> u64 {
+        let sorted = self.latencies_sorted();
+        if sorted.is_empty() {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.max(1) - 1]
+    }
+
+    /// Median (p50) latency in cycles.
+    pub fn p50(&self) -> u64 {
+        self.latency_percentile(50.0)
+    }
+
+    /// 95th-percentile latency in cycles.
+    pub fn p95(&self) -> u64 {
+        self.latency_percentile(95.0)
+    }
+
+    /// 99th-percentile tail latency in cycles.
+    pub fn p99(&self) -> u64 {
+        self.latency_percentile(99.0)
+    }
+
+    /// Throughput in images per cycle (requests / makespan).
+    pub fn throughput_imgs_per_cycle(&self) -> f64 {
+        if self.total.cycles == 0 {
+            return 0.0;
+        }
+        self.requests.len() as f64 / self.total.cycles as f64
+    }
+
+    /// Throughput in images per second at a `clock_ghz` GHz clock.
+    pub fn throughput_imgs_per_sec(&self, clock_ghz: f64) -> f64 {
+        self.throughput_imgs_per_cycle() * clock_ghz * 1e9
+    }
+
+    /// Sum of per-request service cycles (for conservation checks
+    /// against `busy_cycles`).
+    pub fn service_sum(&self) -> u64 {
+        self.requests.iter().map(|r| r.service).sum()
+    }
+}
+
 /// Splits `total` cycles over weights with an exact sum (largest-
 /// remainder apportionment).
 ///
@@ -334,6 +480,78 @@ mod tests {
         assert_eq!(n.layers.len(), 2);
         assert_eq!(n.layer_sum().cycles, n.total.cycles);
         assert_eq!(n.group_sum().cycles, n.total.cycles);
+    }
+
+    fn span(index: u64, arrival: u64, start: u64, service: u64) -> RequestSpan {
+        RequestSpan {
+            index,
+            arrival,
+            start,
+            completion: start + service,
+            service,
+            metrics: RunMetrics {
+                cycles: service,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn stream_percentiles_use_nearest_rank() {
+        let mut s = StreamMetrics::default();
+        for i in 0..100 {
+            // Latencies 1..=100.
+            s.requests.push(span(i, 0, i + 1 - i, 0));
+            s.requests[i as usize].completion = i + 1;
+        }
+        assert_eq!(s.p50(), 50);
+        assert_eq!(s.p95(), 95);
+        assert_eq!(s.p99(), 99);
+        assert_eq!(s.latency_percentile(100.0), 100);
+        assert_eq!(s.latency_percentile(0.0), 1);
+    }
+
+    #[test]
+    fn stream_percentiles_on_empty_stream_are_zero() {
+        let s = StreamMetrics::default();
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.throughput_imgs_per_cycle(), 0.0);
+    }
+
+    #[test]
+    fn stream_throughput_is_requests_over_makespan() {
+        let mut s = StreamMetrics {
+            busy_cycles: 150,
+            idle_cycles: 50,
+            ..Default::default()
+        };
+        s.requests.push(span(0, 0, 0, 100));
+        s.requests.push(span(1, 150, 150, 50));
+        s.total.cycles = 200;
+        assert_eq!(s.throughput_imgs_per_cycle(), 0.01);
+        assert_eq!(s.throughput_imgs_per_sec(1.0), 1e7);
+        assert_eq!(s.service_sum(), s.busy_cycles);
+        assert_eq!(
+            s.busy_cycles + s.idle_cycles + s.formation_cycles,
+            s.total.cycles
+        );
+    }
+
+    #[test]
+    fn request_span_latency_accounting() {
+        let r = RequestSpan {
+            arrival: 10,
+            start: 25,
+            completion: 40,
+            service: 15,
+            formation_wait: 5,
+            busy_wait: 10,
+            ..Default::default()
+        };
+        assert_eq!(r.latency(), 30);
+        assert_eq!(r.queue_wait(), 15);
+        assert_eq!(r.formation_wait + r.busy_wait, r.queue_wait());
     }
 
     #[test]

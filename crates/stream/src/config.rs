@@ -1,0 +1,268 @@
+//! Stream scenario configuration: request count, batch size, arrival
+//! process, and batching policy.
+
+use serde::{Deserialize, Serialize};
+
+/// How requests arrive at the accelerator's queue.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Arrival {
+    /// All requests are queued at cycle 0 (offline / saturation mode;
+    /// what the paper's single-inference figures correspond to).
+    Burst,
+    /// One request every `period` cycles (deterministic open loop).
+    Periodic {
+        /// Inter-arrival gap in cycles.
+        period: u64,
+    },
+    /// Poisson process: exponentially distributed inter-arrival gaps
+    /// with the given mean, drawn from the stream seed by inverse
+    /// transform.
+    Poisson {
+        /// Mean inter-arrival gap in cycles.
+        mean: f64,
+    },
+}
+
+impl Arrival {
+    /// Parses the CLI/protocol spelling: `burst`, `periodic:N`, or
+    /// `poisson:F`.
+    pub fn parse(s: &str) -> Result<Arrival, String> {
+        if s == "burst" {
+            return Ok(Arrival::Burst);
+        }
+        if let Some(v) = s.strip_prefix("periodic:") {
+            let period: u64 = v
+                .parse()
+                .map_err(|_| format!("bad periodic gap {v:?} (want cycles)"))?;
+            if period == 0 {
+                return Err("periodic gap must be >= 1 cycle".to_string());
+            }
+            return Ok(Arrival::Periodic { period });
+        }
+        if let Some(v) = s.strip_prefix("poisson:") {
+            let mean: f64 = v
+                .parse()
+                .map_err(|_| format!("bad poisson mean {v:?} (want cycles)"))?;
+            if !mean.is_finite() || mean <= 0.0 {
+                return Err("poisson mean must be a positive cycle count".to_string());
+            }
+            return Ok(Arrival::Poisson { mean });
+        }
+        Err(format!(
+            "unknown arrival process {s:?}: want burst, periodic:N, or poisson:F"
+        ))
+    }
+
+    /// The CLI/protocol spelling accepted by [`Arrival::parse`].
+    pub fn spell(&self) -> String {
+        match *self {
+            Arrival::Burst => "burst".to_string(),
+            Arrival::Periodic { period } => format!("periodic:{period}"),
+            Arrival::Poisson { mean } => format!("poisson:{mean}"),
+        }
+    }
+}
+
+/// When the server starts a batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BatchPolicy {
+    /// Dispatch as soon as the server is free and at least one request
+    /// is queued, with however many requests (up to `batch`) are queued
+    /// at that instant. Minimizes latency; batches may run underfull.
+    Greedy,
+    /// Wait until `batch` requests are queued (or the stream is
+    /// exhausted) before dispatching. Maximizes weight-traffic
+    /// amortization; the wait is accounted as batch-formation time.
+    WaitFull,
+}
+
+impl BatchPolicy {
+    /// Parses the CLI/protocol spelling: `greedy` or `waitfull`.
+    pub fn parse(s: &str) -> Result<BatchPolicy, String> {
+        match s {
+            "greedy" => Ok(BatchPolicy::Greedy),
+            "waitfull" => Ok(BatchPolicy::WaitFull),
+            _ => Err(format!(
+                "unknown batch policy {s:?}: want greedy or waitfull"
+            )),
+        }
+    }
+
+    /// The CLI/protocol spelling accepted by [`BatchPolicy::parse`].
+    pub fn spell(&self) -> &'static str {
+        match self {
+            BatchPolicy::Greedy => "greedy",
+            BatchPolicy::WaitFull => "waitfull",
+        }
+    }
+}
+
+/// One streaming scenario: how many requests, how they arrive, and how
+/// they are batched.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Number of requests in the stream.
+    pub requests: u64,
+    /// Maximum batch size (`1` = unbatched).
+    pub batch: u64,
+    /// Arrival process.
+    pub arrival: Arrival,
+    /// Batch-formation policy.
+    pub policy: BatchPolicy,
+    /// Modeled clock in GHz, for img/s conversion only (cycles are the
+    /// primary unit; Table I models 1 GHz).
+    pub clock_ghz: f64,
+    /// DRAM bandwidth in bytes per cycle, used to convert a follower's
+    /// amortized weight traffic into saved cycles (128 B/cyc = the
+    /// paper's 128 GB/s HBM at 1 GHz).
+    pub dram_bytes_per_cycle: f64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            requests: 256,
+            batch: 1,
+            arrival: Arrival::Burst,
+            policy: BatchPolicy::Greedy,
+            clock_ghz: 1.0,
+            dram_bytes_per_cycle: 128.0,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Checks the configuration for nonsensical values; the scheduler
+    /// assumes a validated configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.requests == 0 {
+            return Err("stream needs at least one request".to_string());
+        }
+        if self.batch == 0 {
+            return Err("batch size must be >= 1".to_string());
+        }
+        if !self.clock_ghz.is_finite() || self.clock_ghz <= 0.0 {
+            return Err("clock_ghz must be positive".to_string());
+        }
+        if !self.dram_bytes_per_cycle.is_finite() || self.dram_bytes_per_cycle <= 0.0 {
+            return Err("dram_bytes_per_cycle must be positive".to_string());
+        }
+        match self.arrival {
+            Arrival::Periodic { period: 0 } => Err("periodic gap must be >= 1 cycle".to_string()),
+            Arrival::Poisson { mean } if !mean.is_finite() || mean <= 0.0 => {
+                Err("poisson mean must be a positive cycle count".to_string())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Stable content hash of this scenario, mixed into cache keys so a
+    /// cached streaming row can never be confused with a different
+    /// scenario (or with a plain single-inference row).
+    pub fn cache_key(&self) -> u64 {
+        isosceles::accel::stable_key("stream", self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_parse_round_trips() {
+        for s in ["burst", "periodic:5000", "poisson:2500"] {
+            let a = Arrival::parse(s).expect(s);
+            assert_eq!(a.spell(), s);
+            assert_eq!(Arrival::parse(&a.spell()).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn arrival_parse_rejects_garbage() {
+        assert!(Arrival::parse("uniform").is_err());
+        assert!(Arrival::parse("periodic:0").is_err());
+        assert!(Arrival::parse("periodic:x").is_err());
+        assert!(Arrival::parse("poisson:-1").is_err());
+        assert!(Arrival::parse("poisson:nan").is_err());
+    }
+
+    #[test]
+    fn policy_parse_round_trips() {
+        for s in ["greedy", "waitfull"] {
+            let p = BatchPolicy::parse(s).expect(s);
+            assert_eq!(p.spell(), s);
+        }
+        assert!(BatchPolicy::parse("lazy").is_err());
+    }
+
+    #[test]
+    fn default_config_validates() {
+        StreamConfig::default().validate().expect("default valid");
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_values() {
+        let base = StreamConfig::default();
+        for bad in [
+            StreamConfig {
+                requests: 0,
+                ..base
+            },
+            StreamConfig { batch: 0, ..base },
+            StreamConfig {
+                dram_bytes_per_cycle: 0.0,
+                ..base
+            },
+            StreamConfig {
+                arrival: Arrival::Poisson { mean: 0.0 },
+                ..base
+            },
+        ] {
+            assert!(bad.validate().is_err());
+        }
+    }
+
+    #[test]
+    fn cache_key_tracks_every_scenario_field() {
+        let base = StreamConfig::default();
+        let mut seen = vec![base.cache_key()];
+        for cfg in [
+            StreamConfig {
+                requests: 128,
+                ..base
+            },
+            StreamConfig { batch: 4, ..base },
+            StreamConfig {
+                arrival: Arrival::Periodic { period: 100_000 },
+                ..base
+            },
+            StreamConfig {
+                policy: BatchPolicy::WaitFull,
+                ..base
+            },
+            StreamConfig {
+                dram_bytes_per_cycle: 64.0,
+                ..base
+            },
+        ] {
+            let key = cfg.cache_key();
+            assert!(!seen.contains(&key), "key collision for {cfg:?}");
+            seen.push(key);
+        }
+        assert_eq!(base.cache_key(), StreamConfig::default().cache_key());
+    }
+
+    #[test]
+    fn config_serde_round_trips() {
+        let cfg = StreamConfig {
+            requests: 64,
+            batch: 8,
+            arrival: Arrival::Poisson { mean: 90000.0 },
+            policy: BatchPolicy::WaitFull,
+            ..StreamConfig::default()
+        };
+        let v = serde::Serialize::to_value(&cfg);
+        let back = <StreamConfig as serde::Deserialize>::from_value(&v).expect("round trip");
+        assert_eq!(back, cfg);
+    }
+}

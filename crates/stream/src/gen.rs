@@ -1,0 +1,120 @@
+//! Deterministic request generation: per-request seeds and arrival
+//! cycles.
+//!
+//! Everything here is a pure function of `(config, seed)`, so the same
+//! stream scenario always produces a bit-identical request sequence —
+//! the property the engine-level determinism tests lock down.
+
+use crate::config::{Arrival, StreamConfig};
+use isos_nn::models::{try_suite_workload, Workload};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Salt separating the arrival-process RNG stream from every other
+/// consumer of the scenario seed.
+const ARRIVAL_SALT: u64 = 0x5EED_0A44_11A1_0001;
+
+/// Seed for request `index` of a stream with base seed `base`.
+///
+/// Request 0 uses the base seed itself, so a single-request stream
+/// exercises exactly the canonical single-inference network and its
+/// golden metrics.
+pub fn request_seed(base: u64, index: u64) -> u64 {
+    base.wrapping_add(index)
+}
+
+/// Builds the network request `index` runs: the suite workload rebuilt
+/// with [`request_seed`], i.e. the same pruned weights with a freshly
+/// seeded activation-sparsity profile (per-image variation).
+pub fn request_workload(id: &str, base: u64, index: u64) -> Option<Workload> {
+    try_suite_workload(id, request_seed(base, index))
+}
+
+/// Arrival cycle of every request, non-decreasing, derived from the
+/// scenario's arrival process and seed.
+pub fn arrivals(cfg: &StreamConfig, seed: u64) -> Vec<u64> {
+    let n = cfg.requests as usize;
+    match cfg.arrival {
+        Arrival::Burst => vec![0; n],
+        Arrival::Periodic { period } => (0..cfg.requests).map(|i| i * period).collect(),
+        Arrival::Poisson { mean } => {
+            let mut rng = SmallRng::seed_from_u64(seed ^ ARRIVAL_SALT);
+            let mut t = 0.0f64;
+            (0..n)
+                .map(|_| {
+                    // gen_range(0.0..1.0) is in [0, 1); 1 - u is in
+                    // (0, 1], so the log is finite (inverse-transform
+                    // sampling of the exponential gap).
+                    let u: f64 = rng.gen_range(0.0f64..1.0);
+                    t += -(1.0 - u).ln() * mean;
+                    t as u64
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BatchPolicy;
+
+    fn cfg(requests: u64, arrival: Arrival) -> StreamConfig {
+        StreamConfig {
+            requests,
+            batch: 1,
+            arrival,
+            policy: BatchPolicy::Greedy,
+            ..StreamConfig::default()
+        }
+    }
+
+    #[test]
+    fn burst_arrivals_are_all_zero() {
+        assert_eq!(arrivals(&cfg(4, Arrival::Burst), 9), vec![0; 4]);
+    }
+
+    #[test]
+    fn periodic_arrivals_are_evenly_spaced() {
+        let a = arrivals(&cfg(4, Arrival::Periodic { period: 10 }), 9);
+        assert_eq!(a, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn poisson_arrivals_are_seeded_and_monotone() {
+        let c = cfg(64, Arrival::Poisson { mean: 1000.0 });
+        let a = arrivals(&c, 42);
+        let b = arrivals(&c, 42);
+        assert_eq!(a, b, "same seed must reproduce the stream");
+        assert_ne!(a, arrivals(&c, 43), "different seed must perturb it");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "non-decreasing");
+        // The empirical mean gap should be in the right ballpark.
+        let mean_gap = *a.last().unwrap() as f64 / (a.len() - 1) as f64;
+        assert!(
+            (250.0..4000.0).contains(&mean_gap),
+            "mean gap {mean_gap} wildly off 1000"
+        );
+    }
+
+    #[test]
+    fn request_seed_zero_is_the_base_seed() {
+        assert_eq!(request_seed(20230225, 0), 20230225);
+        assert_ne!(request_seed(20230225, 1), 20230225);
+    }
+
+    #[test]
+    fn request_workloads_vary_only_in_activations() {
+        let a = request_workload("G58", 1, 0).expect("G58");
+        let b = request_workload("G58", 1, 1).expect("G58");
+        assert_eq!(a.id, b.id);
+        // Weights are pruned deterministically; the seed only reseeds
+        // activation occupancies.
+        assert!((a.network.weight_sparsity() - b.network.weight_sparsity()).abs() < 1e-12);
+        assert_ne!(a.network, b.network, "activation profiles must differ");
+    }
+
+    #[test]
+    fn unknown_workload_is_none() {
+        assert!(request_workload("X42", 1, 0).is_none());
+    }
+}

@@ -1,0 +1,66 @@
+//! Batched streaming-inference engine over any [`Accelerator`].
+//!
+//! Every scenario the rest of the workspace measures is one image
+//! through one network. This crate adds the missing axis (ROADMAP item
+//! 5a): a *stream* of inference requests arriving over time, serviced in
+//! batches of `batch >= 1` by a single accelerator, with throughput
+//! (img/s at the modeled clock), p50/p95/p99 tail latency, and
+//! queue-depth statistics reported alongside the existing conserved
+//! traffic/energy totals.
+//!
+//! The model has three deterministic stages:
+//!
+//! - [`gen`]: a seeded request generator. Request `r` of a stream over
+//!   suite workload `W` with base seed `s` runs `W` rebuilt with seed
+//!   `s + r` — the per-image activation-sparsity perturbation of the
+//!   `nn` profiles (weights are deterministic, so only activation
+//!   occupancy varies image to image, as in a deployed model). Arrival
+//!   cycles come from a seeded arrival process ([`Arrival`]).
+//! - batched execution: within a batch the *leader* pays the full
+//!   single-inference cycle and weight-traffic cost; *followers* reuse
+//!   the leader's DRAM-resident weights, so their weight traffic (and
+//!   the DRAM cycles it would have taken at the configured bandwidth)
+//!   is amortized away while activation traffic stays per-image.
+//! - [`sched`]: a discrete-event FIFO scheduler that turns per-request
+//!   single-inference results plus arrival times into a
+//!   [`StreamMetrics`], conserving server time exactly
+//!   (`busy + idle + formation == makespan`) and attributing every
+//!   queued cycle to batch formation or server occupancy.
+//!
+//! The `batch = 1`, single-request, burst-arrival degenerate case
+//! reproduces [`Accelerator::simulate`] bit for bit — locked by tests
+//! here and golden-metric tests in `isosceles-bench`.
+//!
+//! # Examples
+//!
+//! ```
+//! use isos_stream::{run_stream, StreamConfig};
+//! use isosceles::IsoscelesConfig;
+//!
+//! let cfg = StreamConfig {
+//!     requests: 4,
+//!     batch: 2,
+//!     ..StreamConfig::default()
+//! };
+//! let metrics = run_stream(&IsoscelesConfig::default(), "G58", 1, &cfg);
+//! assert_eq!(metrics.requests.len(), 4);
+//! assert_eq!(metrics.service_sum(), metrics.busy_cycles);
+//! assert!(metrics.p99() >= metrics.p50());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod gen;
+pub mod sched;
+
+pub use config::{Arrival, BatchPolicy, StreamConfig};
+pub use gen::{arrivals, request_seed};
+pub use sched::{run_stream, run_stream_traced, schedule, schedule_traced};
+
+// Re-exported so downstream crates name the result types from one place.
+pub use isos_sim::metrics::{QueueStats, RequestSpan, StreamMetrics};
+
+#[allow(unused_imports)]
+use isosceles::accel::Accelerator;

@@ -67,6 +67,31 @@ else
     || { echo "perf smoke: $PERF_JSON malformed" >&2; exit 1; }
 fi
 
+echo "==> stream_run --smoke (streaming tail-latency schema check)"
+STREAM_JSON="${TMPDIR:-/tmp}/isos-check-stream/stream_smoke.json"
+ISOS_CACHE_DIR="${TMPDIR:-/tmp}/isos-check-stream-cache" cargo run --release -q -p isosceles-bench --bin stream_run -- \
+  --smoke --out "$STREAM_JSON" 2>/dev/null
+[ -s "$STREAM_JSON" ] || { echo "stream smoke: $STREAM_JSON missing or empty" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$STREAM_JSON" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["schema"].startswith("isosceles-stream-report/"), r["schema"]
+assert r["rows"], "no stream rows"
+models = {"isosceles", "isosceles-single", "sparten", "fused-layer"}
+for row in r["rows"]:
+    assert row["model"] in models, f"unknown model {row['model']}"
+    assert row["p50_cycles"] <= row["p95_cycles"] <= row["p99_cycles"], row
+    assert row["throughput_imgs_per_sec"] > 0, row
+    busy = row["busy_cycles"] + row["idle_cycles"] + row["formation_cycles"]
+    assert busy == row["cycles"], f"server-time conservation broken: {row}"
+PY
+else
+  grep -q '"schema":"isosceles-stream-report/' "$STREAM_JSON" \
+    && grep -q '"p99_cycles"' "$STREAM_JSON" \
+    || { echo "stream smoke: $STREAM_JSON malformed" >&2; exit 1; }
+fi
+
 echo "==> serve --smoke (simulation service self-check)"
 ISOS_CACHE_DIR="${TMPDIR:-/tmp}/isos-check-serve-cache" cargo run --release -q -p isos-serve --bin serve -- \
   --smoke
