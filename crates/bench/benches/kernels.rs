@@ -3,9 +3,47 @@
 //! functional IS-OS layer executor, and the cycle-level group simulator.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use isos_tensor::bitmask::BitmaskVec;
 use isos_tensor::merge::{HeapMerger, TournamentMerger};
 use isos_tensor::{gen, Csf};
 use isosceles::dataflow::{execute_conv, Pou};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A random bitmask vector of `len` slots at the given nonzero density.
+fn random_bitmask(len: usize, density: f64, seed: u64) -> BitmaskVec {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pairs: Vec<(usize, f32)> = (0..len)
+        .filter(|_| rng.gen_bool(density))
+        .map(|i| (i, 1.0 + (i % 7) as f32))
+        .collect();
+    BitmaskVec::from_pairs(len, &pairs)
+}
+
+/// Word-level intersection kernels across the density range the suite
+/// workloads span: 1% (pruned nets) through 50% (dense-ish activations).
+/// The work per call is one popcount pass over the packed words plus a
+/// `trailing_zeros` walk of the common bits, so throughput should track
+/// the intersection size, not the vector length.
+fn bench_bitmask(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitmask");
+    const LEN: usize = 4096;
+    for &density in &[0.01, 0.1, 0.5] {
+        let a = random_bitmask(LEN, density, 11);
+        let b = random_bitmask(LEN, density, 12);
+        g.bench_with_input(
+            BenchmarkId::new("intersection_count", format!("d{density}")),
+            &(&a, &b),
+            |bench, (a, b)| bench.iter(|| black_box(a.intersection_count(black_box(b)))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("dot", format!("d{density}")),
+            &(&a, &b),
+            |bench, (a, b)| bench.iter(|| black_box(a.dot(black_box(b)))),
+        );
+    }
+    g.finish();
+}
 
 fn bench_csf(c: &mut Criterion) {
     let mut g = c.benchmark_group("csf");
@@ -74,6 +112,34 @@ fn bench_mergers(c: &mut Criterion) {
                 black_box(m.count())
             })
         });
+    }
+    g.finish();
+}
+
+/// The loser tree's batched leaf replay: when streams carry long sorted
+/// runs (block-partitioned keys), the winner's refilled head beats the
+/// cached challenger almost every pop, so the root-to-leaf replay is
+/// skipped and a pop is O(1). Contrast with `mergers/tournament`, whose
+/// round-robin interleaving defeats the fast path on every single pop.
+fn bench_batched_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mergers");
+    for &radix in &[4usize, 32, 256] {
+        // Stream i owns keys [i*256, (i+1)*256): maximal run length.
+        let streams: Vec<Vec<(u32, f32)>> = (0..radix)
+            .map(|i| (0..256u32).map(|j| (i as u32 * 256 + j, 1.0f32)).collect())
+            .collect();
+        g.bench_with_input(
+            BenchmarkId::new("tournament_runs", radix),
+            &streams,
+            |b, s| {
+                b.iter(|| {
+                    let m = TournamentMerger::new(
+                        s.iter().map(|v| v.clone().into_iter()).collect::<Vec<_>>(),
+                    );
+                    black_box(m.count())
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -161,7 +227,9 @@ fn bench_group_sim(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_csf,
+    bench_bitmask,
     bench_mergers,
+    bench_batched_replay,
     bench_isos_layer,
     bench_r81_layer,
     bench_group_sim

@@ -1,36 +1,83 @@
 //! Wall-clock performance report over the workload × model matrix.
 //!
 //! ```text
-//! perf_report [--smoke] [--out BENCH_5.json] [--seed N] [--threads N]
+//! perf_report [--smoke] [--out BENCH_10.json] [--seed N] [--threads N]
+//!             [--warmup N] [--repeat N] [--baseline BENCH_N.json]
+//!             [--regress-pct P]
 //! ```
 //!
-//! Times every suite workload on every accelerator model through the
-//! shared [`SuiteEngine`] with the result cache *disabled*, so every
-//! job's `millis` is a real simulation, and writes the per-job timings as
-//! JSON. Committed at the repo root as `BENCH_<PR>.json`, these reports
-//! form the perf trajectory of the codebase: compare the same cell across
-//! reports to see a kernel change's effect on end-to-end suite time.
-//! Absolute numbers are machine-dependent; the trajectory (and the
-//! within-report ratios between models) is the signal.
+//! Times every suite workload on every accelerator model and writes the
+//! per-job timings as JSON. Committed at the repo root as
+//! `BENCH_<PR>.json`, these reports form the perf trajectory of the
+//! codebase: compare the same cell across reports to see a kernel
+//! change's effect on end-to-end suite time. Absolute numbers are
+//! machine-dependent; the trajectory (and the within-report ratios
+//! between models) is the signal.
 //!
-//! `--smoke` runs only the smallest workload (G58) so CI can validate the
-//! schema in seconds without gating on timings.
+//! # Timing methodology (schema v2)
+//!
+//! Jobs run **sequentially** — never on the engine's worker pool — so a
+//! cell's wall time is uncontended even when `--threads` asks the
+//! simulations themselves for run-level parallelism. Each cell does
+//! `--warmup` untimed simulations (page in the code and the allocator),
+//! then reports the **minimum** over `--repeat` timed calls: the min is
+//! the standard noise-rejecting statistic for a deterministic
+//! computation, because scheduling interference only ever adds time.
+//! The timed region is exactly one `Accelerator::simulate` call — no
+//! cache-key hashing, metadata construction, or metrics cloning (the
+//! overheads the engine's per-job stats include).
+//!
+//! # Thread-pool semantics
+//!
+//! `--threads N` sets the *run-level* pool (`isos_sim::threads`), which
+//! parallelizes independent pipeline groups inside one simulation with a
+//! fixed-order merge, so metrics are bit-identical at any count. The
+//! request is capped at the machine's available cores: oversubscribed
+//! workers cannot speed a run up, and on a small machine they would
+//! poison the timings with contention. The engine-level pool (concurrent
+//! jobs) is deliberately *not* used here.
+//!
+//! `--smoke` runs only the smallest workload (G58) so CI can validate
+//! the schema in seconds without gating on timings.
+//!
+//! # Baseline comparison
+//!
+//! `--baseline BENCH_N.json` loads a prior report (v1 or v2) and prints
+//! per-row speedup ratios (`baseline millis / new millis`) for every
+//! matching `(workload, model)` cell, plus the geometric-mean speedup of
+//! the `isosceles` rows. The exit status is non-zero if any `isosceles`
+//! row regresses by more than `--regress-pct` percent (default 10), so
+//! `scripts/check.sh` can use a smoke run as a perf-regression gate.
 
 use std::path::PathBuf;
 use std::process::exit;
+use std::time::Instant;
 
 use isos_nn::models::{paper_suite, suite_workload};
-use isosceles_bench::engine::{EngineOptions, SuiteEngine};
+use isos_sim::threads::{available_cores, run_threads, set_run_threads};
 use isosceles_bench::suite::SEED;
 use isosceles_bench::trace::{accel_by_name, MODEL_NAMES};
 use serde::{Deserialize, Serialize};
 
 /// Schema tag stored in the report so downstream tooling can detect
-/// incompatible layout changes.
-pub const REPORT_SCHEMA: &str = "isosceles-perf-report/v1";
+/// incompatible layout changes. `v2` switched from engine-pool job
+/// timings to sequential min-of-`--repeat` simulate-only timings.
+pub const REPORT_SCHEMA: &str = "isosceles-perf-report/v2";
 
 /// Default output path (repo root, named after this PR's bench file).
-const DEFAULT_OUT: &str = "BENCH_5.json";
+const DEFAULT_OUT: &str = "BENCH_10.json";
+
+/// Untimed simulations per cell before measurement starts.
+const DEFAULT_WARMUP: usize = 1;
+
+/// Timed simulations per cell; the minimum is reported.
+const DEFAULT_REPEAT: usize = 5;
+
+/// Allowed slowdown on `isosceles` rows before `--baseline` fails.
+const DEFAULT_REGRESS_PCT: f64 = 10.0;
+
+/// The model whose rows the baseline gate and geomean apply to.
+const GATED_MODEL: &str = "isosceles";
 
 /// One timed `(workload, model)` simulation.
 #[derive(Debug, Serialize, Deserialize)]
@@ -39,7 +86,7 @@ struct Timing {
     workload: String,
     /// Accelerator model name (e.g. `isosceles`).
     model: String,
-    /// Wall time of the simulation in milliseconds.
+    /// Minimum wall time of one simulation in milliseconds.
     millis: f64,
 }
 
@@ -50,14 +97,122 @@ struct Report {
     schema: String,
     /// Sparsity-pattern seed the matrix ran with.
     seed: u64,
-    /// Worker threads used (timings of parallel jobs share cores).
+    /// Requested `--threads` value (run-level pool request).
     threads: usize,
+    /// Effective run-level workers after the core-count cap — the pool
+    /// size the simulations actually ran with. Metrics are bit-identical
+    /// at any value; only wall-clock differs.
+    effective_threads: usize,
     /// Whether this was a `--smoke` run (subset of workloads).
     smoke: bool,
+    /// Untimed warmup simulations per cell.
+    warmup: usize,
+    /// Timed simulations per cell (minimum reported).
+    repeats: usize,
     /// Per-job wall-clock timings, workload-major in suite order.
     timings: Vec<Timing>,
-    /// End-to-end wall time of the whole matrix in milliseconds.
+    /// End-to-end wall time of the whole matrix in milliseconds
+    /// (warmups and repeats included).
     total_millis: f64,
+}
+
+/// A prior report's timings, keyed by `(workload, model)`.
+///
+/// Parsed from the JSON tree rather than a typed struct so both v1
+/// (engine timings) and v2 (min-of-k) layouts load; only `schema` and
+/// the `timings` rows are required.
+struct Baseline {
+    schema: String,
+    rows: Vec<(String, String, f64)>,
+}
+
+/// Loads a baseline report.
+///
+/// # Errors
+///
+/// Errors on unreadable files, malformed JSON, or a missing/foreign
+/// schema tag.
+fn load_baseline(path: &PathBuf) -> Result<Baseline, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let root = serde::json::parse(&text).map_err(|e| e.to_string())?;
+    let schema = root
+        .field("schema")
+        .ok()
+        .and_then(|v| v.as_str())
+        .ok_or("missing schema tag")?
+        .to_string();
+    if !schema.starts_with("isosceles-perf-report/") {
+        return Err(format!("not a perf report: schema `{schema}`"));
+    }
+    let timings = root.field("timings").map_err(|e| e.to_string())?;
+    let mut rows = Vec::new();
+    let mut i = 0;
+    while let Ok(row) = timings.index(i) {
+        let get = |name: &str| {
+            row.field(name)
+                .ok()
+                .and_then(|v| v.as_str())
+                .map(str::to_string)
+        };
+        let millis = row
+            .field("millis")
+            .and_then(|v| v.as_f64())
+            .map_err(|e| format!("row {i}: {e}"))?;
+        match (get("workload"), get("model")) {
+            (Some(w), Some(m)) => rows.push((w, m, millis)),
+            _ => return Err(format!("row {i}: missing workload/model")),
+        }
+        i += 1;
+    }
+    Ok(Baseline { schema, rows })
+}
+
+/// Compares `report` against `baseline` row by row.
+///
+/// Prints a speedup table and the `isosceles` geomean; returns the rows
+/// (workload ids) whose `isosceles` timing regressed past `regress_pct`.
+fn compare(report: &Report, baseline: &Baseline, regress_pct: f64) -> Vec<String> {
+    let limit = 1.0 + regress_pct / 100.0;
+    let mut regressed = Vec::new();
+    let mut log_sum = 0.0;
+    let mut gated = 0usize;
+    eprintln!("workload        model      baseline      new  speedup");
+    for t in &report.timings {
+        let base = baseline
+            .rows
+            .iter()
+            .find(|(w, m, _)| *w == t.workload && *m == t.model);
+        let Some((_, _, base_ms)) = base else {
+            eprintln!(
+                "{:<10} {:>12} {:>9} {:>8.3}        —",
+                t.workload, t.model, "—", t.millis
+            );
+            continue;
+        };
+        let speedup = base_ms / t.millis;
+        let flag = if t.model == GATED_MODEL && t.millis > base_ms * limit {
+            regressed.push(t.workload.clone());
+            "  REGRESSED"
+        } else {
+            ""
+        };
+        eprintln!(
+            "{:<10} {:>12} {:>9.3} {:>8.3} {:>7.2}x{flag}",
+            t.workload, t.model, base_ms, t.millis, speedup
+        );
+        if t.model == GATED_MODEL {
+            log_sum += speedup.ln();
+            gated += 1;
+        }
+    }
+    if gated > 0 {
+        eprintln!(
+            "geomean speedup ({GATED_MODEL}, {gated} rows) vs {}: {:.2}x",
+            baseline.schema,
+            (log_sum / gated as f64).exp()
+        );
+    }
+    regressed
 }
 
 /// Prints usage to stderr and exits with status 2.
@@ -65,11 +220,20 @@ fn usage(error: &str) -> ! {
     eprintln!("error: {error}");
     eprintln!(
         "usage: perf_report [--smoke] [--out PATH] [--seed N] [--threads N]\n\
+         \x20                  [--warmup N] [--repeat N] [--baseline PATH] [--regress-pct P]\n\
          \n\
-         --smoke       time only G58 (schema check; not a perf baseline)\n\
-         --out PATH    output JSON path (default {DEFAULT_OUT})\n\
-         --seed N      sparsity-pattern seed (default {SEED})\n\
-         --threads N   worker threads (default: all cores)"
+         --smoke          time only G58 (schema check; not a perf baseline)\n\
+         --out PATH       output JSON path (default {DEFAULT_OUT})\n\
+         --seed N         sparsity-pattern seed (default {SEED})\n\
+         --threads N      run-level workers inside each simulation, capped at the\n\
+         \x20                machine's cores (default: ISOS_THREADS, else 1). Jobs\n\
+         \x20                themselves always run sequentially so timings are\n\
+         \x20                uncontended; the engine-level job pool is not used.\n\
+         --warmup N       untimed simulations per cell (default {DEFAULT_WARMUP})\n\
+         --repeat N       timed simulations per cell, min reported (default {DEFAULT_REPEAT})\n\
+         --baseline PATH  compare against a prior report; exit 1 if any\n\
+         \x20                `{GATED_MODEL}` row slows down more than --regress-pct\n\
+         --regress-pct P  allowed `{GATED_MODEL}` slowdown percent (default {DEFAULT_REGRESS_PCT})"
     );
     exit(2);
 }
@@ -78,10 +242,11 @@ fn main() {
     let mut smoke = false;
     let mut out = PathBuf::from(DEFAULT_OUT);
     let mut seed = SEED;
-    // Flags shared with the engine (--threads) are parsed by both; the
-    // engine ignores what it does not know.
-    let mut opts = EngineOptions::from_env();
-    opts.use_cache = false;
+    let mut requested_threads: Option<usize> = None;
+    let mut warmup = DEFAULT_WARMUP;
+    let mut repeats = DEFAULT_REPEAT;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut regress_pct = DEFAULT_REGRESS_PCT;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -96,16 +261,45 @@ fn main() {
                 Some(n) => seed = n,
                 None => usage("--seed needs an integer"),
             },
-            "--threads" => {
-                // Already consumed by EngineOptions::from_env; skip the value.
-                it.next();
-            }
-            "--no-cache" => {}
+            "--threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                // Cap at real cores: extra workers cannot make a run
+                // faster, and on a small machine they would poison the
+                // timings with contention. Results are identical either
+                // way (the pool is bit-deterministic in worker count).
+                Some(n) if n >= 1 => {
+                    requested_threads = Some(n);
+                    set_run_threads(n.min(available_cores()));
+                }
+                _ => usage("--threads needs a positive integer"),
+            },
+            "--warmup" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => warmup = n,
+                None => usage("--warmup needs an integer"),
+            },
+            "--repeat" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => repeats = n,
+                _ => usage("--repeat needs a positive integer"),
+            },
+            "--baseline" => match it.next() {
+                Some(v) => baseline_path = Some(PathBuf::from(v)),
+                None => usage("--baseline needs a path"),
+            },
+            "--regress-pct" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(p) if p >= 0.0 => regress_pct = p,
+                _ => usage("--regress-pct needs a non-negative number"),
+            },
             "--help" | "-h" => usage("help requested"),
-            other if other.starts_with("--threads=") => {}
             other => usage(&format!("unknown flag {other}")),
         }
     }
+
+    let baseline = baseline_path.map(|p| match load_baseline(&p) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("perf_report: baseline {}: {e}", p.display());
+            exit(2);
+        }
+    });
 
     let workloads = if smoke {
         vec![suite_workload("G58", seed)]
@@ -116,38 +310,45 @@ fn main() {
         .iter()
         .map(|name| accel_by_name(name).expect("model table entry resolves"))
         .collect();
-    let accel_refs: Vec<&dyn isosceles::accel::Accelerator> =
-        models.iter().map(AsRef::as_ref).collect();
 
     eprintln!(
-        "perf_report: timing {} workloads x {} models (cache disabled, {} threads)",
+        "perf_report: timing {} workloads x {} models sequentially \
+         (warmup {warmup}, min of {repeats}, {} run-level threads)",
         workloads.len(),
-        accel_refs.len(),
-        opts.threads
+        models.len(),
+        run_threads()
     );
-    let engine = SuiteEngine::new(opts);
-    let (_, stats) = engine.run_matrix(&workloads, &accel_refs, seed);
 
-    // run_matrix records jobs workload-major in matrix order.
-    let timings: Vec<Timing> = stats
-        .jobs
-        .iter()
-        .map(|j| {
-            assert!(!j.cache_hit, "perf_report must run with the cache off");
-            Timing {
-                workload: j.workload.as_str().to_string(),
-                model: j.accel.clone(),
-                millis: j.millis,
+    let wall = Instant::now();
+    let mut timings = Vec::with_capacity(workloads.len() * models.len());
+    for w in &workloads {
+        for accel in &models {
+            for _ in 0..warmup {
+                std::hint::black_box(accel.simulate(&w.network, seed));
             }
-        })
-        .collect();
+            let mut best = f64::INFINITY;
+            for _ in 0..repeats {
+                let t = Instant::now();
+                std::hint::black_box(accel.simulate(&w.network, seed));
+                best = best.min(t.elapsed().as_secs_f64() * 1e3);
+            }
+            timings.push(Timing {
+                workload: w.id.to_string(),
+                model: accel.name().to_string(),
+                millis: best,
+            });
+        }
+    }
     let report = Report {
         schema: REPORT_SCHEMA.to_string(),
         seed,
-        threads: stats.threads,
+        threads: requested_threads.unwrap_or_else(run_threads),
+        effective_threads: run_threads(),
         smoke,
+        warmup,
+        repeats,
         timings,
-        total_millis: stats.wall_millis,
+        total_millis: wall.elapsed().as_secs_f64() * 1e3,
     };
 
     if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
@@ -166,4 +367,16 @@ fn main() {
         report.timings.len(),
         report.total_millis
     );
+
+    if let Some(b) = baseline {
+        let regressed = compare(&report, &b, regress_pct);
+        if !regressed.is_empty() {
+            eprintln!(
+                "perf_report: {} {GATED_MODEL} row(s) regressed >{regress_pct}%: {}",
+                regressed.len(),
+                regressed.join(", ")
+            );
+            exit(1);
+        }
+    }
 }

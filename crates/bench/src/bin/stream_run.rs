@@ -110,7 +110,14 @@ fn usage(error: &str) -> ! {
          --arrival A      arrival process (default burst)\n\
          --policy P       batch-formation policy (default greedy)\n\
          --seed N         base sparsity seed (default {SEED})\n\
-         --out PATH       write the JSON report here (default: stdout)"
+         --out PATH       write the JSON report here (default: stdout)\n\
+         --threads N      run-level worker threads (also ISOS_THREADS):\n\
+         \x20                 requests are simulated serially, but each\n\
+         \x20                 simulation spreads its pipeline groups over N\n\
+         \x20                 workers. (The suite engine's job pool reads the\n\
+         \x20                 same flag; stream rows are driven serially, so\n\
+         \x20                 here only the run-level pool applies.)\n\
+         --no-cache       disable the result cache (also ISOS_NO_CACHE)"
     );
     exit(2);
 }
@@ -166,13 +173,21 @@ fn main() {
                 Some(v) => out = Some(PathBuf::from(v)),
                 None => usage("--out needs a value"),
             },
-            // Engine flags, parsed by EngineOptions::from_env; skip values.
-            "--threads" => {
-                it.next();
-            }
+            // Also an engine flag (EngineOptions::from_env re-parses it);
+            // here it sizes the run-level pool inside each request's
+            // simulation — the only parallelism this serial driver has.
+            "--threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => isos_sim::threads::set_run_threads(n),
+                _ => usage("--threads needs an integer >= 1"),
+            },
             "--no-cache" => {}
             "--help" | "-h" => usage("help requested"),
-            other if other.starts_with("--threads=") => {}
+            other if other.starts_with("--threads=") => {
+                match other["--threads=".len()..].parse::<usize>() {
+                    Ok(n) if n >= 1 => isos_sim::threads::set_run_threads(n),
+                    _ => usage("--threads needs an integer >= 1"),
+                }
+            }
             other => usage(&format!("unknown flag {other}")),
         }
     }

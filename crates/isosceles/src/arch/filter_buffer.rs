@@ -68,6 +68,13 @@ pub struct FilterBuffer {
     sram: Sram,
     banks: u32,
     next_free: u64,
+    /// Packed per-channel seen-this-cycle mask, reused across [`serve`]
+    /// calls (bit `c` set once channel `c`'s request has been issued).
+    /// Distinct non-empty channels occupy distinct words, so channel-level
+    /// dedup is exactly request-level dedup.
+    ///
+    /// [`serve`]: FilterBuffer::serve
+    seen_words: Vec<u64>,
 }
 
 impl FilterBuffer {
@@ -78,6 +85,7 @@ impl FilterBuffer {
             sram: Sram::new("filter-buffer", capacity_bytes, word_bytes, banks),
             banks,
             next_free: 0,
+            seen_words: Vec::new(),
         }
     }
 
@@ -136,20 +144,27 @@ impl FilterBuffer {
 
     /// Serves one cycle of per-lane channel requests against `alloc`,
     /// coalescing duplicates and serializing bank conflicts.
+    ///
+    /// Duplicate detection is a packed `u64` bitmask over the channel
+    /// space — a bit test per lane instead of a linear scan of the
+    /// requests issued so far. Channel allocation is word-granular, so two
+    /// lanes coalesce exactly when they name the same channel.
     pub fn serve(&mut self, alloc: &FilterAllocation, lane_channels: &[Coord]) -> ServeResult {
         let mut requests: Vec<(u32, u64)> = Vec::with_capacity(lane_channels.len());
-        let mut seen: Vec<(u32, u64)> = Vec::new();
+        self.seen_words.clear();
+        self.seen_words
+            .resize(alloc.channel_words.len().div_ceil(64), 0);
         let mut coalesced = 0u64;
         for &c in lane_channels {
             let Some((bank_key, word, _len)) = alloc.locate(c) else {
                 continue;
             };
-            let req = (bank_key % self.banks, word);
-            if seen.contains(&req) {
+            let (w, bit) = (c as usize / 64, 1u64 << (c % 64));
+            if self.seen_words[w] & bit != 0 {
                 coalesced += 1;
             } else {
-                seen.push(req);
-                requests.push(req);
+                self.seen_words[w] |= bit;
+                requests.push((bank_key % self.banks, word));
             }
         }
         // Sram::serve_banked also detects coalescing; we pre-dedup so its

@@ -132,6 +132,10 @@ pub fn simulate_micro(layers: &[MicroLayer], cfg: &IsoscelesConfig) -> MicroResu
     let mut cycles: u64 = 0;
     let mut retired_macs: u64 = 0;
     let safety = 500_000_000u64;
+    // Packed drained-PE mask, reused every cycle: bit `h` set when lane
+    // `h`'s backlog is empty. The backend's readiness check tests bits
+    // instead of building a fresh `Vec<bool>` per layer per cycle.
+    let mut clear_words: Vec<u64> = Vec::new();
 
     loop {
         cycles += 1;
@@ -205,8 +209,13 @@ pub fn simulate_micro(layers: &[MicroLayer], cfg: &IsoscelesConfig) -> MicroResu
             }
 
             // --- Backend: emit ready output elements in wavefront order.
-            let backlog_clear: Vec<bool> =
-                states[li].lane_backlog.iter().map(|&b| b == 0).collect();
+            clear_words.clear();
+            clear_words.resize(lanes.div_ceil(64), 0);
+            for (h, &b) in states[li].lane_backlog.iter().enumerate() {
+                if b == 0 {
+                    clear_words[h / 64] |= 1 << (h % 64);
+                }
+            }
             let st = &mut states[li];
             for p in 0..st.out_rows {
                 let (ref mut col, ref mut emitted) = st.emit_cursor[p];
@@ -221,7 +230,8 @@ pub fn simulate_micro(layers: &[MicroLayer], cfg: &IsoscelesConfig) -> MicroResu
                         (0..st.r_dim).all(|r| match (p * st.stride + r).checked_sub(st.pad) {
                             Some(h) if h < st.lane_elems.len() => {
                                 st.in_cols_done[h] > need_w
-                                    || (st.in_cols_done[h] == st.in_cols_total && backlog_clear[h])
+                                    || (st.in_cols_done[h] == st.in_cols_total
+                                        && clear_words[h / 64] & (1 << (h % 64)) != 0)
                             }
                             _ => true,
                         });
@@ -331,14 +341,17 @@ fn build_state(layer: &MicroLayer) -> LayerState {
     let p_dim = (h_dim + 2 * layer.pad - r_dim) / layer.stride + 1;
     let q_dim = (w_dim + 2 * layer.pad - s_dim) / layer.stride + 1;
 
-    // Per-lane element streams with exact MAC costs.
+    // Per-lane element streams with exact MAC costs. The per-channel MAC
+    // cost is probed through a word-level index of the filter's root fiber
+    // (one popcount per input nonzero, no per-element bisection).
     let mut lane_elems: Vec<Vec<LaneElem>> = vec![Vec::new(); h_dim];
     let mut per_col_remaining: Vec<Vec<u32>> = vec![vec![0; w_dim]; h_dim];
     let froot = layer.filter.root();
+    let findex = froot.index();
     for (h, w_fiber) in layer.input.root().iter_children() {
         for (w, c_fiber) in w_fiber.iter_children() {
             for (c, _) in c_fiber.iter_leaf() {
-                let macs = froot.find(c).map_or(0, |f| f.nnz_below()) as u32;
+                let macs = findex.position(c).map_or(0, |i| froot.child(i).nnz_below()) as u32;
                 lane_elems[h as usize].push(LaneElem { w, macs });
                 per_col_remaining[h as usize][w as usize] += 1;
             }

@@ -16,9 +16,10 @@ use crate::mapping::{map_network, ExecMode, Mapping, PipelineGroup};
 use crate::metrics::{apportion_capped, apportion_cycles, NetworkMetrics, RunMetrics};
 use isos_nn::graph::{Network, NodeId};
 use isos_nn::work::{layer_work, LayerWork};
-use isos_sim::dram::arbitrate;
-use isos_sim::harness::{MemClient, MemHarness};
+use isos_sim::dram::{exact_recip, throttle};
+use isos_sim::harness::{Grants, MemClient, MemHarness};
 use isos_sim::stats::Utilization;
+use isos_sim::threads::run_threads;
 use isos_trace::{NullSink, StallKind, TraceEvent, TraceSink, UnitId, UnitKind};
 
 /// Where a simulated layer's input comes from.
@@ -51,27 +52,34 @@ struct SimLayer {
 }
 
 /// An input tensor streamed from DRAM.
+///
+/// The per-column byte profile is *not* stored here: it is exactly the
+/// owning consumer layer's `work.in_bytes_per_col` (streams are deduped
+/// on their first consumer), so the methods borrow that slice from the
+/// caller instead of each group simulation cloning it.
 #[derive(Debug)]
 struct ExtStream {
-    bytes_per_col: Vec<f64>,
+    /// Column count of the byte profile (for the deadlock diagnostics).
+    cols: usize,
     fetched_cols: usize,
     byte_progress: f64,
     /// Traffic multiplier: K-tiling re-reads and P-tiling halos.
     scale: f64,
     /// Group-local index of the consumer layer the stream feeds (its
-    /// granted bytes are attributed to that layer's breakdown).
+    /// granted bytes are attributed to that layer's breakdown, and its
+    /// `work.in_bytes_per_col` is this stream's byte profile).
     owner: usize,
     /// Bytes granted so far (per-layer traffic attribution).
     granted: f64,
 }
 
 impl ExtStream {
-    fn remaining_bytes_to(&self, target_col: usize) -> f64 {
-        let target = target_col.min(self.bytes_per_col.len());
+    fn remaining_bytes_to(&self, bytes_per_col: &[f64], target_col: usize) -> f64 {
+        let target = target_col.min(bytes_per_col.len());
         if self.fetched_cols >= target {
             return 0.0;
         }
-        let raw: f64 = self.bytes_per_col[self.fetched_cols..target].iter().sum();
+        let raw: f64 = bytes_per_col[self.fetched_cols..target].iter().sum();
         let rem = raw * self.scale - self.byte_progress;
         if rem < 1e-6 {
             0.0
@@ -80,10 +88,10 @@ impl ExtStream {
         }
     }
 
-    fn advance(&mut self, granted: f64) {
+    fn advance(&mut self, bytes_per_col: &[f64], granted: f64) {
         self.byte_progress += granted;
-        while self.fetched_cols < self.bytes_per_col.len() {
-            let need = self.bytes_per_col[self.fetched_cols] * self.scale;
+        while self.fetched_cols < bytes_per_col.len() {
+            let need = bytes_per_col[self.fetched_cols] * self.scale;
             if self.byte_progress + 1e-6 < need {
                 break;
             }
@@ -91,6 +99,49 @@ impl ExtStream {
             self.fetched_cols += 1;
         }
     }
+}
+
+/// Buffers reused across every interval of one group simulation.
+///
+/// The interval loop used to allocate a dozen short `Vec`s per interval;
+/// at sub-microsecond interval cost those allocations *were* the
+/// simulation time. One scratch set lives for the whole group instead,
+/// sized once to the member count, and every interval overwrites it in
+/// place — the loop body itself never touches the heap.
+#[derive(Default)]
+struct IntervalScratch {
+    ready: Vec<usize>,
+    r_inputs: Vec<usize>,
+    r_bps: Vec<usize>,
+    gated: Vec<bool>,
+    done_before: Vec<bool>,
+    demand: Vec<f64>,
+    alloc: Vec<f64>,
+    unmet: Vec<f64>,
+    used_per: Vec<f64>,
+    extra_share: Vec<f64>,
+    clients: Vec<MemClient>,
+    write_pending: Vec<f64>,
+    grants: Grants,
+    /// Untraced read-demand buffers, granted in place by
+    /// [`MemHarness::step_classed`]: per-layer weight demand and per-
+    /// external-stream activation demand (the traced path posts `clients`
+    /// and reads `grants` instead).
+    weight_reads: Vec<f64>,
+    act_reads: Vec<f64>,
+    /// Consumer adjacency (who reads layer `i`'s output), rebuilt per
+    /// group; the inner vectors keep their allocations across groups.
+    consumers: Vec<Vec<usize>>,
+    /// Trace unit ids per member layer, rebuilt per group.
+    unit_ids: Vec<UnitId>,
+}
+
+/// Resets a pooled buffer to `n` copies of `fill`, discarding whatever a
+/// previous group left behind (the clear makes reuse indistinguishable
+/// from a fresh allocation).
+fn clear_resize<T: Clone>(buf: &mut Vec<T>, n: usize, fill: T) {
+    buf.clear();
+    buf.resize(n, fill);
 }
 
 /// Result of simulating one pipeline group: the group totals plus the
@@ -136,6 +187,31 @@ pub fn simulate_group_traced(
     t0: u64,
     sink: &mut dyn TraceSink,
 ) -> GroupRun {
+    simulate_group_into(
+        net,
+        cfg,
+        group,
+        seed,
+        t0,
+        sink,
+        &mut IntervalScratch::default(),
+    )
+}
+
+/// [`simulate_group_traced`] writing through a caller-owned scratch, so
+/// the network executors pay the interval-buffer allocations once per
+/// run (or per worker) instead of once per group. The scratch carries no
+/// state between groups — every buffer is cleared and rebuilt — so the
+/// results are bit-identical to a fresh scratch.
+fn simulate_group_into(
+    net: &Network,
+    cfg: &IsoscelesConfig,
+    group: &PipelineGroup,
+    seed: u64,
+    t0: u64,
+    sink: &mut dyn TraceSink,
+    sc: &mut IntervalScratch,
+) -> GroupRun {
     let (mut layers, mut ext_streams) = build_group_state(net, cfg, group, seed);
     let interval = cfg.scheduler_interval;
     let total_macs = cfg.total_macs() as f64;
@@ -144,43 +220,84 @@ pub fn simulate_group_traced(
     let mut metrics = RunMetrics::default();
 
     let tracing = sink.enabled();
-    let unit_ids: Vec<UnitId> = layers
-        .iter()
-        .map(|l| sink.unit(&l.work.name, UnitKind::Layer))
-        .collect();
+    sc.unit_ids.clear();
+    sc.unit_ids.extend(
+        layers
+            .iter()
+            .map(|l| sink.unit(&l.work.name, UnitKind::Layer)),
+    );
 
     let safety_cycles: u64 = 500_000_000_000;
     let mut stalled_intervals = 0u32;
+    let n = layers.len();
+    // Consumer adjacency, precomputed once: the backpressure scan used to
+    // test every (producer, consumer) pair every interval.
+    for c in sc.consumers.iter_mut() {
+        c.clear();
+    }
+    if sc.consumers.len() < n {
+        sc.consumers.resize_with(n, Vec::new);
+    }
+    for (j, l) in layers.iter().enumerate() {
+        for s in &l.producers {
+            if let Source::Local(i) = *s {
+                sc.consumers[i].push(j);
+            }
+        }
+    }
+    clear_resize(&mut sc.ready, n, 0);
+    clear_resize(&mut sc.r_inputs, n, 0);
+    clear_resize(&mut sc.r_bps, n, usize::MAX);
+    clear_resize(&mut sc.gated, n, false);
+    clear_resize(&mut sc.done_before, n, false);
+    clear_resize(&mut sc.demand, n, 0.0);
+    clear_resize(&mut sc.unmet, n, 0.0);
+    clear_resize(&mut sc.used_per, n, 0.0);
+    clear_resize(&mut sc.extra_share, n, 0.0);
+    clear_resize(
+        &mut sc.clients,
+        n + ext_streams.len(),
+        MemClient::weight(0.0),
+    );
+    clear_resize(&mut sc.write_pending, n, 0.0);
+    clear_resize(&mut sc.weight_reads, n, 0.0);
+    clear_resize(&mut sc.act_reads, ext_streams.len(), 0.0);
+    let interval_capacity = interval as f64 * cfg.pe_efficiency;
+    // Table I's 4096 MACs are a power of two, so the per-interval
+    // utilization ratio can use a multiply (see `exact_recip`).
+    let inv_total_macs = exact_recip(total_macs);
     loop {
         let t_start = t0 + metrics.cycles;
         // 1. Wavefront-dependency analysis: how far may each layer run?
-        let n = layers.len();
-        let mut ready = vec![0usize; n];
-        // Stall-attribution observations (integer snapshots; free to
-        // compute, only read when tracing).
-        let mut r_inputs = vec![0usize; n];
-        let mut r_bps = vec![usize::MAX; n];
-        let mut gated = vec![false; n];
-        let done_before: Vec<bool> = layers
-            .iter()
-            .map(|l| l.cols_done >= l.work.out_cols)
-            .collect();
-        for i in 0..n {
-            let avail_in = layers[i]
-                .producers
-                .iter()
-                .map(|s| match *s {
-                    Source::External(e) => ext_streams[e].fetched_cols,
-                    Source::Local(j) => layers[j].cols_done,
-                })
-                .min()
-                .unwrap_or(layers[i].work.in_cols);
-            let r_input = max_out_cols(&layers[i].work, avail_in);
-            // Backpressure: don't run more than `ahead_cols` past the
-            // slowest in-group consumer.
-            let mut r_bp = usize::MAX;
-            for j in 0..n {
-                if layers[j].producers.contains(&Source::Local(i)) {
+        // (`r_inputs`/`r_bps`/`gated`/`done_before` are stall-attribution
+        // observations: integer snapshots, free to compute, only read
+        // when tracing.) A finished layer's readiness is trivial — its
+        // demand is zero and its attribution snapshots are never read
+        // (the trace block branches on `done_before` first) — so the
+        // drain phase of a group skips the producer/consumer scans.
+        if tracing {
+            for i in 0..n {
+                let done = layers[i].cols_done >= layers[i].work.out_cols;
+                sc.done_before[i] = done;
+                if done {
+                    sc.ready[i] = layers[i].work.out_cols;
+                    sc.demand[i] = 0.0;
+                    continue;
+                }
+                let avail_in = layers[i]
+                    .producers
+                    .iter()
+                    .map(|s| match *s {
+                        Source::External(e) => ext_streams[e].fetched_cols,
+                        Source::Local(j) => layers[j].cols_done,
+                    })
+                    .min()
+                    .unwrap_or(layers[i].work.in_cols);
+                let r_input = max_out_cols(&layers[i].work, avail_in);
+                // Backpressure: don't run more than `ahead_cols` past the
+                // slowest in-group consumer.
+                let mut r_bp = usize::MAX;
+                for &j in &sc.consumers[i] {
                     let consumed = if layers[j].cols_done >= layers[j].work.out_cols {
                         usize::MAX
                     } else {
@@ -188,53 +305,146 @@ pub fn simulate_group_traced(
                     };
                     r_bp = r_bp.min(consumed.saturating_add(layers[i].ahead_cols));
                 }
-            }
-            let weight_gated = layers[i].weight_left > 0.0;
-            let r = if weight_gated {
-                layers[i].cols_done
-            } else {
-                r_input.min(r_bp)
-            };
-            ready[i] = r.clamp(layers[i].cols_done, layers[i].work.out_cols);
-            r_inputs[i] = r_input;
-            r_bps[i] = r_bp;
-            gated[i] = weight_gated;
-        }
-
-        // 2. MAC demand and dynamic allocation.
-        let demand: Vec<f64> = (0..n)
-            .map(|i| {
+                let weight_gated = layers[i].weight_left > 0.0;
+                let r = if weight_gated {
+                    layers[i].cols_done
+                } else {
+                    r_input.min(r_bp)
+                };
+                sc.ready[i] = r.clamp(layers[i].cols_done, layers[i].work.out_cols);
+                sc.r_inputs[i] = r_input;
+                sc.r_bps[i] = r_bp;
+                sc.gated[i] = weight_gated;
+                // 2. MAC demand (zero for finished layers, folded above).
                 let l = &layers[i];
-                (l.cum_macs[ready[i]] - l.cum_macs[l.cols_done] - l.col_progress).max(0.0)
-            })
-            .collect();
-        let alloc = sched.allocate(&demand);
-        let interval_capacity = interval as f64 * cfg.pe_efficiency;
+                sc.demand[i] =
+                    (l.cum_macs[sc.ready[i]] - l.cum_macs[l.cols_done] - l.col_progress).max(0.0);
+            }
+        } else {
+            // Untraced twin of the loop above: the stall-attribution
+            // snapshots have no reader, so weight-gated layers skip the
+            // producer/consumer scans entirely (`ready` pins to `cols_done`
+            // and the demand expression collapses to the same
+            // `cum[c] - cum[c] - progress` value the full path computes),
+            // and the overwhelmingly common single-producer /
+            // single-consumer shapes dodge the iterator reductions.
+            for i in 0..n {
+                let l = &layers[i];
+                if l.cols_done >= l.work.out_cols {
+                    sc.ready[i] = l.work.out_cols;
+                    sc.demand[i] = 0.0;
+                    continue;
+                }
+                if l.weight_left > 0.0 {
+                    sc.ready[i] = l.cols_done;
+                    // `cum[c] - cum[c]` in the full path is exactly +0.0
+                    // (finite operands), so the literal keeps every bit.
+                    sc.demand[i] = (0.0 - l.col_progress).max(0.0);
+                    continue;
+                }
+                let avail_in = match l.producers.as_slice() {
+                    &[Source::Local(j)] => layers[j].cols_done,
+                    &[Source::External(e)] => ext_streams[e].fetched_cols,
+                    ps => ps
+                        .iter()
+                        .map(|s| match *s {
+                            Source::External(e) => ext_streams[e].fetched_cols,
+                            Source::Local(j) => layers[j].cols_done,
+                        })
+                        .min()
+                        .unwrap_or(l.work.in_cols),
+                };
+                let l = &layers[i];
+                let r_input = max_out_cols(&l.work, avail_in);
+                let r_bp = match sc.consumers[i].as_slice() {
+                    &[] => usize::MAX,
+                    &[j] => {
+                        let c = &layers[j];
+                        if c.cols_done >= c.work.out_cols {
+                            usize::MAX
+                        } else {
+                            (c.cols_done * c.work.stride).saturating_add(layers[i].ahead_cols)
+                        }
+                    }
+                    cs => {
+                        let mut r_bp = usize::MAX;
+                        for &j in cs {
+                            let consumed = if layers[j].cols_done >= layers[j].work.out_cols {
+                                usize::MAX
+                            } else {
+                                layers[j].cols_done * layers[j].work.stride
+                            };
+                            r_bp = r_bp.min(consumed.saturating_add(layers[i].ahead_cols));
+                        }
+                        r_bp
+                    }
+                };
+                let l = &layers[i];
+                let r = r_input.min(r_bp).clamp(l.cols_done, l.work.out_cols);
+                sc.ready[i] = r;
+                sc.demand[i] = (l.cum_macs[r] - l.cum_macs[l.cols_done] - l.col_progress).max(0.0);
+            }
+        }
+        sched.allocate_into(&sc.demand, &mut sc.alloc);
         let mut executed_total = 0.0;
-        let mut leftover_pes = 0.0;
-        let mut unmet: Vec<f64> = vec![0.0; n];
-        let mut used_per = vec![0.0f64; n];
-        for i in 0..n {
-            let budget = demand[i].min(alloc[i] * interval_capacity);
-            let used = advance_layer(&mut layers[i], budget, ready[i]);
-            used_per[i] = used;
+        let mut any_leftover = false;
+        let mut any_unmet = false;
+        for (((((l, &d), &a), &r), u), um) in layers
+            .iter_mut()
+            .zip(&sc.demand)
+            .zip(&sc.alloc)
+            .zip(&sc.ready)
+            .zip(&mut sc.used_per)
+            .zip(&mut sc.unmet)
+        {
+            let offered = a * interval_capacity;
+            // `advance_layer` with `ready == cols_done` is a strict no-op
+            // (zero-MAC columns only auto-advance when `ready` moved past
+            // them), so the call is skipped for idle and finished layers.
+            let used = if r > l.cols_done {
+                advance_layer(l, d.min(offered), r)
+            } else {
+                0.0
+            };
+            *u = used;
             executed_total += used;
-            leftover_pes += (alloc[i] * interval_capacity - used) / interval_capacity;
-            unmet[i] = (demand[i] - used).max(0.0);
+            // Every `offered - used` term is >= 0 (`used` never exceeds the
+            // `d.min(offered)` budget), so the sign of the leftover sum is
+            // just "did any layer leave PEs idle" — the division-heavy sum
+            // itself is only evaluated when the redistribution pass runs.
+            any_leftover |= offered - used > 0.0;
+            let unmet = (d - used).max(0.0);
+            *um = unmet;
+            any_unmet |= unmet > 0.0;
+        }
+        if tracing {
+            sc.extra_share.fill(0.0);
         }
         // Work-conserving pass: PEs freed by layers whose demand shrank
         // since the last interval pick up queued work from other contexts
         // (the scheduler reallocates shares only every interval, but idle
-        // PEs still drain whatever is in their context queues).
-        let mut extra_share = vec![0.0f64; n];
-        if leftover_pes > 0.0 {
-            let extra = arbitrate(&unmet, leftover_pes * interval_capacity);
-            for i in 0..n {
-                if extra[i] > 0.0 {
-                    let used = advance_layer(&mut layers[i], extra[i], ready[i]);
-                    used_per[i] += used;
+        // PEs still drain whatever is in their context queues). `unmet`
+        // is throttled in place into the extra grants — it has no reader
+        // after this pass. With every demand already served the pass is a
+        // no-op (throttling zeros and granting nothing), so it is skipped.
+        if any_leftover && any_unmet {
+            // Rebuilt exactly as the advance loop used to accumulate it:
+            // same terms, same left-to-right order, so the redistributed
+            // budget is bit-identical. `a * interval_capacity` re-rounds to
+            // the same `offered` the advance loop saw.
+            let mut leftover_pes = 0.0;
+            for (&a, &u) in sc.alloc.iter().zip(&sc.used_per) {
+                leftover_pes += (a * interval_capacity - u) / interval_capacity;
+            }
+            throttle(&mut sc.unmet, leftover_pes * interval_capacity);
+            for (i, l) in layers.iter_mut().enumerate() {
+                if sc.unmet[i] > 0.0 {
+                    let used = advance_layer(l, sc.unmet[i], sc.ready[i]);
+                    sc.used_per[i] += used;
                     executed_total += used;
-                    extra_share[i] = extra[i];
+                    if tracing {
+                        sc.extra_share[i] = sc.unmet[i];
+                    }
                 }
             }
         }
@@ -246,44 +456,102 @@ pub fn simulate_group_traced(
         // of the consumers (the decoupled fetcher FSMs of Sec. IV-A).
         // Clients carry the trace unit of the layer their stream serves.
         let prefetch = 8usize;
-        let clients: Vec<MemClient> = layers
-            .iter()
-            .enumerate()
-            .map(|(i, l)| MemClient::weight(l.weight_left).for_unit(unit_ids[i]))
-            .chain(ext_streams.iter().map(|s| {
-                MemClient::activation(s.remaining_bytes_to(s.fetched_cols + prefetch))
-                    .for_unit(unit_ids[s.owner])
-            }))
-            .collect();
-        let write_pending: Vec<f64> = layers
-            .iter()
-            .map(|l| {
-                if l.writes_extern {
+        let granted_read;
+        let granted_write;
+        if tracing {
+            for (((l, unit), c), wp) in layers
+                .iter()
+                .zip(&sc.unit_ids)
+                .zip(&mut sc.clients)
+                .zip(&mut sc.write_pending)
+            {
+                *c = MemClient::weight(l.weight_left).for_unit(*unit);
+                *wp = if l.writes_extern {
                     l.produced_bytes - l.written_bytes
                 } else {
                     0.0
-                }
-            })
-            .collect();
-        if tracing {
+                };
+            }
+            for (e, s) in ext_streams.iter().enumerate() {
+                sc.clients[n + e] = MemClient::activation(s.remaining_bytes_to(
+                    &layers[s.owner].work.in_bytes_per_col,
+                    s.fetched_cols + prefetch,
+                ))
+                .for_unit(sc.unit_ids[s.owner]);
+            }
             // One compute event per layer plus at most one DRAM event per
             // memory stream this interval; reserving up front keeps the
             // sink from growing its buffer mid-stream.
-            sink.hint_events(n + clients.len() + write_pending.len());
+            sink.hint_events(n + sc.clients.len() + sc.write_pending.len());
+            mem.step_traced_into(
+                &sc.clients,
+                &sc.write_pending,
+                &sc.unit_ids,
+                interval,
+                t_start,
+                sink,
+                &mut sc.grants,
+            );
+            granted_read = sc.grants.granted_read;
+            granted_write = sc.grants.granted_write;
+        } else {
+            // Untraced: post the class-split demand straight from layer
+            // state and let the harness grant it in place — no client
+            // structs, no grant buffers. Weight demand first, then the
+            // activation streams, matching the client order above, so the
+            // grants are bit-identical to the traced path's.
+            for ((l, wr), wp) in layers
+                .iter()
+                .zip(&mut sc.weight_reads)
+                .zip(&mut sc.write_pending)
+            {
+                *wr = l.weight_left;
+                *wp = if l.writes_extern {
+                    l.produced_bytes - l.written_bytes
+                } else {
+                    0.0
+                };
+            }
+            for (s, ar) in ext_streams.iter().zip(&mut sc.act_reads) {
+                *ar = s.remaining_bytes_to(
+                    &layers[s.owner].work.in_bytes_per_col,
+                    s.fetched_cols + prefetch,
+                );
+            }
+            let (gr, gw) = mem.step_classed(
+                &mut sc.weight_reads,
+                &mut sc.act_reads,
+                &mut sc.write_pending,
+                interval,
+            );
+            granted_read = gr;
+            granted_write = gw;
         }
-        let grants = mem.step_traced(&clients, &write_pending, &unit_ids, interval, t_start, sink);
-        for (i, l) in layers.iter_mut().enumerate() {
-            l.weight_left = (l.weight_left - grants.reads[i]).max(0.0);
-            l.weight_streamed += grants.reads[i];
-        }
-        for (e, s) in ext_streams.iter_mut().enumerate() {
-            let g = grants.reads[layers.len() + e];
-            s.advance(g);
-            s.granted += g;
-        }
-        // Writeback distributed proportionally across sinks.
-        for (l, w) in layers.iter_mut().zip(&grants.writes) {
+        let (read_grants_w, read_grants_a, write_grants): (&[f64], &[f64], &[f64]) = if tracing {
+            (
+                &sc.grants.reads[..n],
+                &sc.grants.reads[n..],
+                &sc.grants.writes,
+            )
+        } else {
+            (&sc.weight_reads, &sc.act_reads, &sc.write_pending)
+        };
+        // One fused pass applies the weight grants and the writeback (one
+        // writer per layer, distributed proportionally across sinks) and
+        // computes the termination check on the resulting state — the
+        // value is unchanged from checking after the trace block, which
+        // only observes.
+        let mut all_done = true;
+        for ((l, &g), &w) in layers.iter_mut().zip(read_grants_w).zip(write_grants) {
+            l.weight_left = (l.weight_left - g).max(0.0);
+            l.weight_streamed += g;
             l.written_bytes += w;
+            all_done &= l.cols_done >= l.work.out_cols
+                && (!l.writes_extern || l.produced_bytes - l.written_bytes < 1.0);
+        }
+        for (s, &g) in ext_streams.iter_mut().zip(read_grants_a) {
+            s.advance(&layers[s.owner].work.in_bytes_per_col, g);
+            s.granted += g;
         }
 
         // Per-unit occupancy attribution for this interval. Pure
@@ -296,12 +564,11 @@ pub fn simulate_group_traced(
         // or writeback drain).
         if tracing {
             let t_f = interval as f64;
-            for i in 0..n {
-                let l = &layers[i];
+            for (i, l) in layers.iter().enumerate() {
                 let wb_now = l.writes_extern && l.produced_bytes - l.written_bytes >= 1.0;
                 let mut busy = 0.0;
                 let mut stalls = [0.0f64; 4];
-                if done_before[i] {
+                if sc.done_before[i] {
                     // Compute finished in an earlier interval: the context
                     // is either draining writeback or simply drained.
                     let k = if wb_now {
@@ -310,13 +577,13 @@ pub fn simulate_group_traced(
                         StallKind::InputStarved
                     };
                     stalls[k.index()] = t_f;
-                } else if gated[i] {
+                } else if sc.gated[i] {
                     // Weights still streaming from DRAM gate all issue.
                     stalls[StallKind::DramThrottled.index()] = t_f;
                 } else {
-                    let offered = alloc[i] * interval_capacity + extra_share[i];
+                    let offered = sc.alloc[i] * interval_capacity + sc.extra_share[i];
                     let active = if offered > 1e-9 {
-                        (used_per[i] / offered).min(1.0) * t_f
+                        (sc.used_per[i] / offered).min(1.0) * t_f
                     } else {
                         0.0
                     };
@@ -324,18 +591,18 @@ pub fn simulate_group_traced(
                     stalls[StallKind::MergeBound.index()] += active - busy;
                     let idle = t_f - active;
                     if idle > 0.0 {
-                        let k = if demand[i] - used_per[i] > 1e-9 {
+                        let k = if sc.demand[i] - sc.used_per[i] > 1e-9 {
                             // Ready work left unserved: shared-array
                             // contention / scheduler-interval lag.
                             StallKind::MergeBound
-                        } else if ready[i] >= l.work.out_cols {
+                        } else if sc.ready[i] >= l.work.out_cols {
                             // Finished mid-interval.
                             if wb_now {
                                 StallKind::DramThrottled
                             } else {
                                 StallKind::InputStarved
                             }
-                        } else if r_bps[i] < r_inputs[i] {
+                        } else if sc.r_bps[i] < sc.r_inputs[i] {
                             StallKind::OutputBlocked
                         } else {
                             StallKind::InputStarved
@@ -344,7 +611,7 @@ pub fn simulate_group_traced(
                     }
                 }
                 sink.emit(TraceEvent::Compute {
-                    unit: unit_ids[i],
+                    unit: sc.unit_ids[i],
                     t: t_start,
                     cycles: interval,
                     busy,
@@ -355,26 +622,28 @@ pub fn simulate_group_traced(
 
         // 4. Bookkeeping.
         metrics.cycles += interval;
-        metrics.mac_util.add(executed_total / total_macs, interval);
+        let mac_ratio = match inv_total_macs {
+            Some(inv) => executed_total * inv,
+            None => executed_total / total_macs,
+        };
+        metrics.mac_util.add(mac_ratio, interval);
         metrics.effectual_macs += executed_total;
 
-        let done = layers.iter().all(|l| {
-            l.cols_done >= l.work.out_cols
-                && (!l.writes_extern || l.produced_bytes - l.written_bytes < 1.0)
-        });
-        if done {
+        if all_done {
             break;
         }
         // The proportional scheduler follows the *previous* interval's
         // demand, so a layer that just became ready legitimately idles for
         // one interval (the fragmentation loss of Sec. VI-B). Only a
         // sustained stall is a model bug.
-        let moved = executed_total > 1e-9 || grants.moved();
+        let moved = executed_total > 1e-9 || granted_read > 1e-6 || granted_write > 1e-6;
         stalled_intervals = if moved { 0 } else { stalled_intervals + 1 };
         assert!(
             stalled_intervals <= 3,
-            "pipeline deadlock in group {}: ready {ready:?} demand {demand:?} layers {:?} ext {:?}",
+            "pipeline deadlock in group {}: ready {:?} demand {:?} layers {:?} ext {:?}",
             group.name,
+            sc.ready,
+            sc.demand,
             layers
                 .iter()
                 .map(|l| (
@@ -386,7 +655,7 @@ pub fn simulate_group_traced(
                 .collect::<Vec<_>>(),
             ext_streams
                 .iter()
-                .map(|s| (s.fetched_cols, s.bytes_per_col.len(), s.byte_progress))
+                .map(|s| (s.fetched_cols, s.cols, s.byte_progress))
                 .collect::<Vec<_>>()
         );
         assert!(metrics.cycles < safety_cycles, "runaway simulation");
@@ -420,7 +689,7 @@ pub fn simulate_group_traced(
     let mac_busy = apportion_capped(metrics.mac_util.busy(), &macs_per_layer, &caps);
     let bw_busy = apportion_capped(metrics.bw_util.busy(), &traffic_per_layer, &caps);
     let per_layer: Vec<(String, RunMetrics)> = layers
-        .iter()
+        .iter_mut()
         .zip(&layer_cycles)
         .zip(&ext_read)
         .enumerate()
@@ -438,7 +707,9 @@ pub fn simulate_group_traced(
             m.bw_util.add(bw_busy[i], cycles);
             m.activity.dram_bytes = m.total_traffic();
             m.charge_compute_activity(l.macs_executed, local_bytes_per_mac);
-            (l.work.name.clone(), m)
+            // The layer state dies with this function; hand its name
+            // to the breakdown instead of cloning the string.
+            (std::mem::take(&mut l.work.name), m)
         })
         .collect();
     GroupRun {
@@ -475,21 +746,90 @@ pub fn run_network_traced(
     simulate_mapping_traced(net, cfg, &mapping, seed, sink)
 }
 
-/// Simulates a network under a precomputed mapping.
+/// Simulates a network under a precomputed mapping, running independent
+/// groups on the run-level worker pool
+/// ([`isos_sim::threads::run_threads`]).
 pub fn simulate_mapping(
     net: &Network,
     cfg: &IsoscelesConfig,
     mapping: &Mapping,
     seed: u64,
 ) -> NetworkMetrics {
-    simulate_mapping_traced(net, cfg, mapping, seed, &mut NullSink)
+    simulate_mapping_threads(net, cfg, mapping, seed, run_threads())
 }
 
-/// [`simulate_mapping`] with trace emission. Groups run sequentially on
-/// the shared IS-OS block, so each group's events start where the
-/// previous group's cycles ended and the whole network lands on one
-/// timeline.
+/// [`simulate_mapping`] with an explicit worker count, honored verbatim
+/// (no core-count clamp — determinism tests exercise exact counts).
+///
+/// Each group's simulation is a pure function of `(net, cfg, group,
+/// seed)`: groups time-share the physical IS-OS block, but no simulation
+/// state flows between them, so they can run on any worker in any order.
+/// Results are gathered into per-group slots and merged in mapping order,
+/// which makes the returned [`NetworkMetrics`] — including every
+/// float accumulation in the per-layer breakdowns — bit-identical at any
+/// `threads` value.
+pub fn simulate_mapping_threads(
+    net: &Network,
+    cfg: &IsoscelesConfig,
+    mapping: &Mapping,
+    seed: u64,
+    threads: usize,
+) -> NetworkMetrics {
+    let groups = &mapping.groups;
+    let workers = threads.max(1).min(groups.len().max(1));
+    if workers <= 1 {
+        return simulate_mapping_seq(net, cfg, mapping, seed, &mut NullSink);
+    }
+    let slots: Vec<std::sync::Mutex<Option<GroupRun>>> =
+        groups.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut sc = IntervalScratch::default();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(group) = groups.get(i) else { break };
+                    let run = simulate_group_into(net, cfg, group, seed, 0, &mut NullSink, &mut sc);
+                    *slots[i].lock().expect("group slot poisoned") = Some(run);
+                }
+            });
+        }
+    });
+    let mut out = NetworkMetrics::default();
+    for (group, slot) in groups.iter().zip(slots) {
+        let run = slot
+            .into_inner()
+            .expect("group slot poisoned")
+            .expect("worker filled every slot");
+        out.push_group(group.name.clone(), run.metrics, run.layers);
+    }
+    out
+}
+
+/// [`simulate_mapping`] with trace emission. With an enabled sink,
+/// groups run sequentially on the shared IS-OS block, so each group's
+/// events start where the previous group's cycles ended and the whole
+/// network lands on one timeline; a disabled sink takes the parallel
+/// path (tracing only observes the simulation, so the metrics are
+/// bit-identical either way).
 pub fn simulate_mapping_traced(
+    net: &Network,
+    cfg: &IsoscelesConfig,
+    mapping: &Mapping,
+    seed: u64,
+    sink: &mut dyn TraceSink,
+) -> NetworkMetrics {
+    if sink.enabled() {
+        simulate_mapping_seq(net, cfg, mapping, seed, sink)
+    } else {
+        simulate_mapping(net, cfg, mapping, seed)
+    }
+}
+
+/// The sequential executor: groups in mapping order on one thread, with
+/// trace timestamps chained across groups.
+fn simulate_mapping_seq(
     net: &Network,
     cfg: &IsoscelesConfig,
     mapping: &Mapping,
@@ -498,8 +838,9 @@ pub fn simulate_mapping_traced(
 ) -> NetworkMetrics {
     let mut out = NetworkMetrics::default();
     let mut t0 = 0u64;
+    let mut sc = IntervalScratch::default();
     for group in &mapping.groups {
-        let run = simulate_group_traced(net, cfg, group, seed, t0, sink);
+        let run = simulate_group_into(net, cfg, group, seed, t0, sink, &mut sc);
         t0 += run.metrics.cycles;
         out.push_group(group.name.clone(), run.metrics, run.layers);
     }
@@ -514,7 +855,16 @@ fn max_out_cols(work: &LayerWork, avail_in: usize) -> usize {
     if avail_in < work.s_kernel {
         return 0;
     }
-    (((avail_in - work.s_kernel) / work.stride) + 1).min(work.out_cols)
+    let lead = avail_in - work.s_kernel;
+    // Unit stride — the overwhelmingly common case — skips the integer
+    // division (a ~20-cycle instruction in a loop that runs per layer
+    // per interval); `lead / 1 == lead` exactly.
+    let cols = if work.stride == 1 {
+        lead
+    } else {
+        lead / work.stride
+    };
+    (cols + 1).min(work.out_cols)
 }
 
 /// Spends `budget` MACs advancing columns up to `ready`; returns MACs
@@ -550,15 +900,23 @@ fn build_group_state(
     group: &PipelineGroup,
     seed: u64,
 ) -> (Vec<SimLayer>, Vec<ExtStream>) {
-    let local_index: std::collections::HashMap<NodeId, usize> = group
+    // Groups hold at most a handful of layers, so membership lookups are
+    // linear scans rather than hash maps (hashing costs more than the
+    // scan at this size, and this runs once per group per simulation).
+    let local_index = |id: NodeId| group.layers.iter().position(|&l| l == id);
+    let mut ext_streams: Vec<ExtStream> = Vec::new();
+    let mut ext_ids: Vec<NodeId> = Vec::new();
+    let mut layers: Vec<SimLayer> = Vec::with_capacity(group.layers.len());
+
+    // Decoupling depth floor, shared by every member: it must exceed the
+    // longest pipeline lag inside the group (a skip connection's queue
+    // buffers the whole main branch's wavefront lag, Sec. IV-A /
+    // Fig. 13), or the group livelocks.
+    let min_ahead: usize = 1 + group
         .layers
         .iter()
-        .enumerate()
-        .map(|(i, &id)| (id, i))
-        .collect();
-    let mut ext_streams: Vec<ExtStream> = Vec::new();
-    let mut ext_index: std::collections::HashMap<NodeId, usize> = std::collections::HashMap::new();
-    let mut layers: Vec<SimLayer> = Vec::new();
+        .map(|&j| net.layer(j).kind.kernel().1)
+        .sum::<usize>();
 
     for &id in &group.layers {
         let layer = net.layer(id);
@@ -577,54 +935,39 @@ fn build_group_state(
         let inputs = &net.nodes()[id].inputs;
         let owner = layers.len();
         let mut producers: Vec<Source> = Vec::new();
+        let mut ext_stream_for = |key: NodeId, work: &LayerWork| -> usize {
+            if let Some(e) = ext_ids.iter().position(|&k| k == key) {
+                return e;
+            }
+            ext_streams.push(ExtStream {
+                cols: work.in_bytes_per_col.len(),
+                fetched_cols: 0,
+                byte_progress: 0.0,
+                scale,
+                owner,
+                granted: 0.0,
+            });
+            ext_ids.push(key);
+            ext_streams.len() - 1
+        };
         if inputs.is_empty() {
             // Network input: one stream shaped like this layer's input.
-            let e = *ext_index.entry(id + 1_000_000).or_insert_with(|| {
-                ext_streams.push(ExtStream {
-                    bytes_per_col: work.in_bytes_per_col.clone(),
-                    fetched_cols: 0,
-                    byte_progress: 0.0,
-                    scale,
-                    owner,
-                    granted: 0.0,
-                });
-                ext_streams.len() - 1
-            });
+            let e = ext_stream_for(id + 1_000_000, &work);
             producers.push(Source::External(e));
         }
         for &p in inputs {
-            if let Some(&j) = local_index.get(&p) {
+            if let Some(j) = local_index(p) {
                 producers.push(Source::Local(j));
             } else {
-                let e = *ext_index.entry(p).or_insert_with(|| {
-                    ext_streams.push(ExtStream {
-                        bytes_per_col: work.in_bytes_per_col.clone(),
-                        fetched_cols: 0,
-                        byte_progress: 0.0,
-                        scale,
-                        owner,
-                        granted: 0.0,
-                    });
-                    ext_streams.len() - 1
-                });
+                let e = ext_stream_for(p, &work);
                 producers.push(Source::External(e));
             }
         }
-        let writes_extern = net
-            .consumers(id)
-            .iter()
-            .any(|c| !local_index.contains_key(c))
+        let writes_extern = net.consumers(id).iter().any(|c| local_index(*c).is_none())
             || net.consumers(id).is_empty();
 
-        // Decoupling depth from the per-lane queue budget. The floor must
-        // exceed the longest pipeline lag inside a group (a skip
-        // connection's queue buffers the whole main branch's wavefront
-        // lag, Sec. IV-A / Fig. 13), or the group livelocks.
-        let min_ahead: usize = 1 + group
-            .layers
-            .iter()
-            .map(|&j| net.layer(j).kind.kernel().1)
-            .sum::<usize>();
+        // Decoupling depth from the per-lane queue budget, floored at the
+        // group-wide `min_ahead`.
         let rows = work.out_rows.max(1) as f64;
         let mean_col_bytes = (work.out_csf_bytes() / work.out_cols.max(1) as f64 / rows).max(1.0);
         let ahead_cols =

@@ -49,18 +49,58 @@ impl DynamicScheduler {
     /// zero PEs unless *all* history is zero, in which case shares are
     /// equal.
     pub fn allocate(&mut self, demand: &[f64]) -> Vec<f64> {
-        let shares = match &self.prev_demand {
-            Some(prev) if prev.len() == demand.len() && prev.iter().sum::<f64>() > 0.0 => {
-                let total: f64 = prev.iter().sum();
-                prev.iter().map(|d| self.total_pes * d / total).collect()
-            }
-            _ => {
-                let n = demand.len().max(1) as f64;
-                vec![self.total_pes / n; demand.len()]
-            }
-        };
-        self.prev_demand = Some(demand.to_vec());
+        let mut shares = Vec::new();
+        self.allocate_into(demand, &mut shares);
         shares
+    }
+
+    /// [`allocate`](Self::allocate) writing the shares into `out`
+    /// (cleared first) and recycling the history buffer, so the
+    /// cycle-level interval loop pays no allocation per call. The share
+    /// values are bit-identical to [`allocate`](Self::allocate)'s.
+    pub fn allocate_into(&mut self, demand: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        let total = match &self.prev_demand {
+            Some(prev) if prev.len() == demand.len() => prev.iter().sum::<f64>(),
+            _ => 0.0,
+        };
+        if total > 0.0 {
+            let prev = self.prev_demand.as_ref().expect("history checked above");
+            if prev.len() == 1
+                && isos_sim::dram::exact_recip(self.total_pes).is_some()
+                && (self.total_pes * prev[0]).is_finite()
+            {
+                // Single layer, power-of-two PE count: the share expression
+                // is `pes * d / d` with `pes * d` exact (a pure exponent
+                // shift that neither rounds nor overflows, per the guard),
+                // so the correctly-rounded quotient is exactly `pes` — no
+                // division needed.
+                out.push(self.total_pes);
+            } else {
+                // Zero-demand layers (gated, starved, or finished) get a
+                // share of exactly `pes * 0.0 / total == +0.0`; branching
+                // the division away is bit-identical and the drain/gated
+                // phases of a pipelined group are mostly zeros.
+                out.extend(prev.iter().map(|&d| {
+                    if d == 0.0 {
+                        0.0
+                    } else {
+                        self.total_pes * d / total
+                    }
+                }));
+            }
+        } else {
+            let n = demand.len().max(1) as f64;
+            out.resize(demand.len(), self.total_pes / n);
+        }
+        match &mut self.prev_demand {
+            Some(prev) if prev.len() == demand.len() => prev.copy_from_slice(demand),
+            Some(prev) => {
+                prev.clear();
+                prev.extend_from_slice(demand);
+            }
+            None => self.prev_demand = Some(demand.to_vec()),
+        }
     }
 
     /// Total PEs under management.

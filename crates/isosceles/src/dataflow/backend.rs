@@ -10,7 +10,7 @@
 
 use super::frontend::PartialStreams;
 use super::pou::Pou;
-use isos_tensor::merge::{merge_reduce, HeapMerger, MergerStats};
+use isos_tensor::merge::{comparator_levels, HeapMerger};
 use isos_tensor::{Coord, Csf, Point, Shape};
 use serde::{Deserialize, Serialize};
 
@@ -71,15 +71,23 @@ pub fn run_backend(
         Vec::with_capacity(partials.total_partials().min(p_dim * q_dim * k_dim));
     // Per-channel reduced runs: allocated once, reused across output rows.
     let mut per_k: Vec<Vec<(u64, f32)>> = vec![Vec::new(); k_dim];
+    // Word-level R-merge scratch, shared by every (p, k): partials
+    // accumulate into a dense per-column scratch, touched columns live in
+    // a packed `u64` bitmask, and the sorted run is replayed with
+    // `trailing_zeros`. Stream order (r ascending, stream-local order
+    // within a stream) matches the stable R-merger's emission order for
+    // equal keys, so the reduced values are bit-identical to the
+    // merge-reduce pair the hardware implements; the charged stats are
+    // the merger's exact arithmetic (`comparator_levels` per emission).
+    let mut scratch = vec![0.0f32; q_dim];
+    let mut touched = vec![0u64; q_dim.div_ceil(64)];
 
     for p in 0..p_dim {
         // Per output channel: R-merge + reduce.
         for (k, reduced) in per_k.iter_mut().enumerate() {
             reduced.clear();
-            // Borrow the R partial streams feeding this (p, k) in place —
-            // the merger streams straight off the frontend's buffers.
-            let mut r_streams: Vec<std::iter::Copied<std::slice::Iter<'_, (Coord, f32)>>> =
-                Vec::with_capacity(r_dim);
+            let mut streams = 0u64;
+            let mut elems = 0u64;
             for r in 0..r_dim {
                 let Some(h) = (p * stride + r).checked_sub(pad).filter(|&h| h < h_dim) else {
                     continue;
@@ -87,25 +95,42 @@ pub fn run_backend(
                 let s = partials.stream(h as Coord, r as Coord, k as Coord);
                 if !s.is_empty() {
                     stats.partials_consumed += s.len() as u64;
-                    r_streams.push(s.iter().copied());
+                    streams += 1;
+                    elems += s.len() as u64;
+                    for &(q, v) in s {
+                        let q = q as usize;
+                        let (w, bit) = (q / 64, 1u64 << (q % 64));
+                        if touched[w] & bit == 0 {
+                            touched[w] |= bit;
+                            scratch[q] = v;
+                        } else {
+                            scratch[q] += v;
+                        }
+                    }
                 }
             }
-            if r_streams.is_empty() {
+            if streams == 0 {
                 continue;
             }
-            // R-merger (comparator tree) + reducer: complete the
-            // convolution for row p, channel k.
-            let mut merger = merge_reduce(r_streams);
-            for (q, v) in merger.by_ref() {
-                if v != 0.0 {
-                    // Key packs (q, k) so the K-merger emits K innermost.
-                    reduced.push(((q as u64) << 24 | k as u64, v));
+            stats.r_merged += elems;
+            stats.merger_comparisons += elems * comparator_levels(streams as usize) as u64;
+            // Sorted replay; clear the scratch as it drains so the next
+            // (p, k) starts pristine.
+            for (w, word) in touched.iter_mut().enumerate() {
+                let mut bits = *word;
+                *word = 0;
+                while bits != 0 {
+                    let q = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let v = scratch[q];
+                    scratch[q] = 0.0;
+                    if v != 0.0 {
+                        // Key packs (q, k) so the K-merger emits K innermost.
+                        reduced.push(((q as u64) << 24 | k as u64, v));
+                    }
                 }
             }
-            let mstats: MergerStats = merger.into_inner().stats();
-            stats.r_merged += mstats.emitted;
-            stats.merger_comparisons += mstats.comparisons;
-            stats.reductions += mstats.emitted.saturating_sub(reduced.len() as u64);
+            stats.reductions += elems.saturating_sub(reduced.len() as u64);
         }
 
         // K-merger (pipelined min-heap, radix K): serialize channels so K

@@ -111,13 +111,16 @@ pub fn execute_fc(input: &Csf, weights: &Csf, pou: &Pou) -> LayerExec {
     let mut stats = LayerExecStats::default();
     let mut acc = vec![0.0f32; k_dim];
     let wroot = weights.root();
+    // Word-level row probes: one popcount lookup per input nonzero
+    // instead of a binary search over the weight root fiber.
+    let windex = wroot.index();
     // Flatten the input concordantly; each nonzero fetches one weight
     // sub-column, exactly like the FC mode where all lanes share the input.
     let in_shape = input.shape().clone();
     for (p, x) in input.iter() {
         stats.frontend.inputs_consumed += 1;
         let flat = in_shape.linear_index(&p) as Coord;
-        let Some(row) = wroot.find(flat) else {
+        let Some(row) = windex.position(flat).map(|i| wroot.child(i)) else {
             continue;
         };
         stats.frontend.filter_fetches += 1;

@@ -66,7 +66,8 @@ impl PipelineGroup {
             })
             .unwrap_or(layers[0]);
         let name = net.layer(first_conv).name.clone();
-        let (p_tiles, k_tiles) = tiling_for(net, cfg, &layers);
+        let occs: Vec<f64> = (0..net.len()).map(|id| weight_occupancy(net, id)).collect();
+        let (p_tiles, k_tiles) = tiling_for(net, cfg, &occs, &layers);
         Self {
             name,
             layers,
@@ -292,16 +293,27 @@ struct Unit {
 /// Builds the execution plan for `net` under `cfg`.
 pub fn map_network(net: &Network, cfg: &IsoscelesConfig, mode: ExecMode) -> Mapping {
     let units = collect_units(net);
+    // The greedy grower re-tests overlapping layer sets against the
+    // context constraint, and the per-layer accumulator occupancy behind
+    // it costs a `powf`; memoizing it per layer keeps the mapping
+    // identical while the constraint checks become table lookups.
+    let occs: Vec<f64> = (0..net.len()).map(|id| weight_occupancy(net, id)).collect();
     let mut groups: Vec<PipelineGroup> = Vec::new();
     let mut current: Vec<Unit> = Vec::new();
+    // Flat view of `current`'s members, maintained incrementally (the
+    // grower used to re-flatten the whole prefix for every candidate).
+    let mut current_flat: Vec<NodeId> = Vec::new();
+    let mut candidate: Vec<NodeId> = Vec::new();
 
-    let flush = |current: &mut Vec<Unit>, groups: &mut Vec<PipelineGroup>| {
+    let flush = |current: &mut Vec<Unit>,
+                 current_flat: &mut Vec<NodeId>,
+                 groups: &mut Vec<PipelineGroup>| {
         if current.is_empty() {
             return;
         }
-        let layers: Vec<NodeId> = current.iter().flat_map(|u| u.members.clone()).collect();
+        let layers = std::mem::take(current_flat);
         let name = current[0].name.clone();
-        let (p_tiles, k_tiles) = tiling_for(net, cfg, &layers);
+        let (p_tiles, k_tiles) = tiling_for(net, cfg, &occs, &layers);
         groups.push(PipelineGroup {
             name,
             layers,
@@ -314,25 +326,27 @@ pub fn map_network(net: &Network, cfg: &IsoscelesConfig, mode: ExecMode) -> Mapp
     for unit in units {
         let single_only = mode == ExecMode::SingleLayer;
         if !unit.pipelineable || single_only {
-            flush(&mut current, &mut groups);
-            push_decomposed(net, cfg, &unit.members, &mut groups);
+            flush(&mut current, &mut current_flat, &mut groups);
+            push_decomposed(net, cfg, &occs, &unit.members, &mut groups);
             continue;
         }
         // Would appending this unit violate a resource constraint?
-        let mut candidate: Vec<NodeId> = current.iter().flat_map(|u| u.members.clone()).collect();
+        candidate.clear();
+        candidate.extend_from_slice(&current_flat);
         candidate.extend_from_slice(&unit.members);
-        if !current.is_empty() && !fits(net, cfg, &candidate) {
-            flush(&mut current, &mut groups);
+        if !current.is_empty() && !fits(net, cfg, &occs, &candidate) {
+            flush(&mut current, &mut current_flat, &mut groups);
         }
         // A unit that doesn't even fit alone runs as single layers
         // (weights tiled on K as needed).
-        if !fits(net, cfg, &unit.members) && unit.members.len() > 1 {
-            push_decomposed(net, cfg, &unit.members, &mut groups);
+        if !fits(net, cfg, &occs, &unit.members) && unit.members.len() > 1 {
+            push_decomposed(net, cfg, &occs, &unit.members, &mut groups);
             continue;
         }
+        current_flat.extend_from_slice(&unit.members);
         current.push(unit);
     }
-    flush(&mut current, &mut groups);
+    flush(&mut current, &mut current_flat, &mut groups);
     Mapping { groups }
 }
 
@@ -342,6 +356,7 @@ pub fn map_network(net: &Network, cfg: &IsoscelesConfig, mode: ExecMode) -> Mapp
 fn push_decomposed(
     net: &Network,
     cfg: &IsoscelesConfig,
+    occs: &[f64],
     members: &[NodeId],
     groups: &mut Vec<PipelineGroup>,
 ) {
@@ -356,7 +371,7 @@ fn push_decomposed(
             continue;
         }
         let layers = vec![id];
-        let (p_tiles, k_tiles) = tiling_for(net, cfg, &layers);
+        let (p_tiles, k_tiles) = tiling_for(net, cfg, occs, &layers);
         groups.push(PipelineGroup {
             name: net.layer(id).name.clone(),
             layers,
@@ -417,7 +432,7 @@ fn block_display_name(net: &Network, first: NodeId, fallback: &str) -> String {
 
 /// Checks the three on-chip constraints for co-residency: filter buffer,
 /// per-lane context arrays, and context (layer) count.
-fn fits(net: &Network, cfg: &IsoscelesConfig, layers: &[NodeId]) -> bool {
+fn fits(net: &Network, cfg: &IsoscelesConfig, occs: &[f64], layers: &[NodeId]) -> bool {
     if layers.len() > cfg.max_contexts {
         return false;
     }
@@ -430,19 +445,37 @@ fn fits(net: &Network, cfg: &IsoscelesConfig, layers: &[NodeId]) -> bool {
     }
     // Context arrays: assume maximal P tiling is allowed to shrink the
     // requirement; check at the tiling the group would actually use.
-    let (p_tiles, _) = tiling_for(net, cfg, layers);
+    let (p_tiles, _) = tiling_for(net, cfg, occs, layers);
     let ctx: f64 = layers
         .iter()
-        .map(|&id| context_bytes_per_lane(net, cfg, id, p_tiles))
+        .map(|&id| context_bytes_per_lane(net, cfg, occs[id], id, p_tiles))
         .sum();
     ctx <= cfg.context_bytes_per_lane as f64
+}
+
+/// Accumulator occupancy of one layer's context array. A slot `(r, k, s)`
+/// is live only if any of the C input channels contributes a nonzero
+/// product, so occupancy falls with weight/activation sparsity — this is
+/// what lets sparser networks pipeline more layers (Sec. VI-A). Depends
+/// only on the layer (not the tiling), so [`map_network`] memoizes it.
+fn weight_occupancy(net: &Network, id: NodeId) -> f64 {
+    let layer = net.layer(id);
+    let c = layer.input.c.max(1) as f64;
+    let p_hit = (layer.weight_density * layer.in_act_density).clamp(0.0, 1.0);
+    (1.0 - (1.0 - p_hit).powf(c)).clamp(0.05, 1.0)
 }
 
 /// Per-lane context requirement of one layer (paper Sec. III-A: partial
 /// state is ~`K x R x S` accumulators per lane, double-buffered;
 /// Sec. IV-C: small layers split `K` across lanes, large layers stack
-/// rows per lane).
-fn context_bytes_per_lane(net: &Network, cfg: &IsoscelesConfig, id: NodeId, p_tiles: usize) -> f64 {
+/// rows per lane). `occupancy` is the layer's [`weight_occupancy`].
+fn context_bytes_per_lane(
+    net: &Network,
+    cfg: &IsoscelesConfig,
+    occupancy: f64,
+    id: NodeId,
+    p_tiles: usize,
+) -> f64 {
     let layer = net.layer(id);
     let k = layer.output.c;
     let p = layer.output.h;
@@ -462,19 +495,19 @@ fn context_bytes_per_lane(net: &Network, cfg: &IsoscelesConfig, id: NodeId, p_ti
     }
     let (r, s) = layer.kind.kernel();
     // Partial results are stored *compressed* in the context array
-    // (Sec. IV-A: T1 is never materialized dense). An accumulator slot
-    // (r, k, s) is live only if any of the C input channels contributes a
-    // nonzero product, so occupancy falls with weight/activation sparsity —
-    // this is what lets sparser networks pipeline more layers (Sec. VI-A).
-    let c = layer.input.c.max(1) as f64;
-    let p_hit = (layer.weight_density * layer.in_act_density).clamp(0.0, 1.0);
-    let occupancy = (1.0 - (1.0 - p_hit).powf(c)).clamp(0.05, 1.0);
-    // 1.5x covers coordinate metadata and staging slack.
+    // (Sec. IV-A: T1 is never materialized dense); see
+    // [`weight_occupancy`]. 1.5x covers coordinate metadata and staging
+    // slack.
     1.5 * occupancy * (k_per_lane * r * s * rows_per_lane) as f64 * acc
 }
 
 /// Chooses the `P` and `K` tiling for a group.
-fn tiling_for(net: &Network, cfg: &IsoscelesConfig, layers: &[NodeId]) -> (usize, usize) {
+fn tiling_for(
+    net: &Network,
+    cfg: &IsoscelesConfig,
+    occs: &[f64],
+    layers: &[NodeId],
+) -> (usize, usize) {
     // P tiling: required when rows exceed lanes, or to shrink contexts.
     let max_p = layers
         .iter()
@@ -490,7 +523,7 @@ fn tiling_for(net: &Network, cfg: &IsoscelesConfig, layers: &[NodeId]) -> (usize
         for _ in 0..8 {
             let ctx: f64 = layers
                 .iter()
-                .map(|&id| context_bytes_per_lane(net, cfg, id, p_tiles))
+                .map(|&id| context_bytes_per_lane(net, cfg, occs[id], id, p_tiles))
                 .sum();
             if ctx <= cfg.context_bytes_per_lane as f64 {
                 break;

@@ -10,8 +10,8 @@
 //! uses for transposition.
 
 use crate::metrics::RunMetrics;
-use isos_tensor::merge::{reduce_sorted, HeapMerger, MergerStats};
-use isos_tensor::{Coord, Csf, Point, Shape};
+use isos_tensor::merge::comparator_levels;
+use isos_tensor::{Csf, Point, Shape};
 use serde::{Deserialize, Serialize};
 
 /// Work counters for one SpGEMM.
@@ -44,8 +44,18 @@ pub struct SpgemmOutput {
 ///
 /// `a` is `[M, K]`, `b` is `[K, N]`; the result is `[M, N]`. Both inputs
 /// are traversed concordantly; per output row, the scaled `B` rows are
-/// merged by column with the radix-bounded K-merger and reduced — exactly
-/// the merge-reduce pattern of a backend lane.
+/// combined by column — the merge-reduce pattern of a backend lane.
+///
+/// The software engine runs the merge as a word-level scratch accumulator:
+/// scaled `B` rows accumulate into a dense per-row scratch, touched columns
+/// are tracked in a packed `u64` bitmask, and the sorted output is replayed
+/// with `trailing_zeros` iteration. Because each scaled row has unique
+/// columns and the K-merger's tie-break is stable (lower stream first), the
+/// scratch accumulates values in exactly the merge-emission order, so the
+/// output values are bit-identical to the merger's. The charged
+/// [`SpgemmStats`] are likewise identical: every scaled element is emitted
+/// once and costs [`comparator_levels`] of the stream radix, exactly what
+/// the radix-bounded K-merger charges.
 ///
 /// # Panics
 ///
@@ -60,41 +70,61 @@ pub fn spgemm(a: &Csf, b: &Csf) -> SpgemmOutput {
     let mut stats = SpgemmStats::default();
     let mut entries: Vec<(Point, f32)> = Vec::new();
     let b_root = b.root();
+    // Word-level row-fetch index: one popcount probe per A nonzero instead
+    // of a per-element binary search over B's root fiber.
+    let b_index = b_root.index();
+    // Per-output-row scratch, reused across rows; `touched` packs the
+    // columns written this row.
+    let mut scratch = vec![0.0f32; n];
+    let mut touched = vec![0u64; n.div_ceil(64)];
 
     for (i, a_row) in a.root().iter_children() {
         stats.a_rows += 1;
-        // One scaled B-row stream per A nonzero; each is already sorted by
-        // column, so the K-merger can serialize them.
-        let mut streams: Vec<std::vec::IntoIter<(Coord, f32)>> = Vec::new();
+        // Streams = scaled B rows, visited in A-nonzero order (the
+        // merger's stream order). Count them for the comparator charge.
+        let mut streams = 0u64;
+        let mut elems = 0u64;
         for (k, a_val) in a_row.iter_leaf() {
             stats.a_nnz += 1;
-            let Some(b_row) = b_root.find(k) else {
+            let Some(pos) = b_index.position(k) else {
                 continue;
             };
+            let b_row = b_root.child(pos);
             stats.b_row_fetches += 1;
-            let scaled: Vec<(Coord, f32)> = b_row
-                .iter_leaf()
-                .map(|(j, b_val)| {
-                    stats.macs += 1;
-                    (j, a_val * b_val)
-                })
-                .collect();
-            if !scaled.is_empty() {
-                streams.push(scaled.into_iter());
+            streams += 1;
+            for (j, b_val) in b_row.iter_leaf() {
+                stats.macs += 1;
+                elems += 1;
+                let j = j as usize;
+                let (w, bit) = (j / 64, 1u64 << (j % 64));
+                if touched[w] & bit == 0 {
+                    touched[w] |= bit;
+                    scratch[j] = a_val * b_val;
+                } else {
+                    scratch[j] += a_val * b_val;
+                }
             }
         }
-        if streams.is_empty() {
+        if streams == 0 {
             continue;
         }
-        let mut reducer = reduce_sorted(HeapMerger::new(streams));
-        for (j, v) in reducer.by_ref() {
-            if v != 0.0 {
-                entries.push((Point::from_slice(&[i, j]), v));
+        stats.merged += elems;
+        stats.merger_comparisons += elems * comparator_levels(streams as usize) as u64;
+        // Sorted replay of the touched columns; clear as we go so the
+        // scratch is pristine for the next row.
+        for (w, word) in touched.iter_mut().enumerate() {
+            let mut bits = *word;
+            *word = 0;
+            while bits != 0 {
+                let j = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let v = scratch[j];
+                scratch[j] = 0.0;
+                if v != 0.0 {
+                    entries.push((Point::from_slice(&[i, j as u32]), v));
+                }
             }
         }
-        let mstats: MergerStats = reducer.into_inner().stats();
-        stats.merged += mstats.emitted;
-        stats.merger_comparisons += mstats.comparisons;
     }
     SpgemmOutput {
         output: Csf::from_sorted_unique(Shape::new(vec![m, n]), entries),

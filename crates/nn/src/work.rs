@@ -108,9 +108,15 @@ fn wobbled_split(total: f64, n: usize, rng: &mut SmallRng) -> Vec<f64> {
     if n == 0 {
         return Vec::new();
     }
-    let factors: Vec<f64> = (0..n).map(|_| rng.gen_range(0.7..1.3)).collect();
-    let sum: f64 = factors.iter().sum();
-    factors.into_iter().map(|f| total * f / sum).collect()
+    // One buffer end to end: draw the factors, sum them, scale in place.
+    // The per-column values are exactly the `total * f / sum` of a
+    // separate factor pass (same draws, same sum, same expression).
+    let mut cols: Vec<f64> = (0..n).map(|_| rng.gen_range(0.7..1.3)).collect();
+    let sum: f64 = cols.iter().sum();
+    for f in cols.iter_mut() {
+        *f = total * *f / sum;
+    }
+    cols
 }
 
 /// Salt so layer-work RNG streams differ from other seeded generators.

@@ -45,6 +45,9 @@ pub struct Dram {
     bytes_per_cycle: f64,
     traffic: DramTraffic,
     utilization: Utilization,
+    /// Cached [`exact_recip`] of the bandwidth. Deterministic in
+    /// `bytes_per_cycle`, so serializing it round-trips exactly.
+    inv_bytes_per_cycle: Option<f64>,
 }
 
 impl Dram {
@@ -59,6 +62,7 @@ impl Dram {
             bytes_per_cycle,
             traffic: DramTraffic::default(),
             utilization: Utilization::new(),
+            inv_bytes_per_cycle: exact_recip(bytes_per_cycle),
         }
     }
 
@@ -89,7 +93,12 @@ impl Dram {
         let gw = write * scale;
         self.traffic.read_bytes += gr;
         self.traffic.write_bytes += gw;
-        let busy = ((gr + gw) / self.bytes_per_cycle).min(cycles as f64);
+        let moved = gr + gw;
+        let busy = match self.inv_bytes_per_cycle {
+            Some(inv) => moved * inv,
+            None => moved / self.bytes_per_cycle,
+        }
+        .min(cycles as f64);
         self.utilization.add(busy, cycles);
         (gr, gw)
     }
@@ -117,12 +126,55 @@ impl Dram {
 /// This is the arbitration the pipeline model uses when several layers or
 /// engines compete for the same interface in one interval.
 pub fn arbitrate(demands: &[f64], capacity: f64) -> Vec<f64> {
+    let mut out = demands.to_vec();
+    throttle(&mut out, capacity);
+    out
+}
+
+/// In-place [`arbitrate`]: scales `demands` down to `capacity`
+/// proportionally, leaving them untouched when they already fit.
+///
+/// The cycle-level interval loops call this on reused buffers so
+/// arbitration costs no allocation per interval; the grant values are
+/// bit-identical to [`arbitrate`]'s.
+pub fn throttle(demands: &mut [f64], capacity: f64) {
     let total: f64 = demands.iter().sum();
+    throttle_with_total(demands, total, capacity);
+}
+
+/// The exact reciprocal of `x`, when one exists: `Some(1.0 / x)` iff `x`
+/// is a positive power of two (normal, zero mantissa).
+///
+/// Dividing by such an `x` and multiplying by its reciprocal are the same
+/// correctly-rounded scaling of the exponent, so `y / x == y * recip`
+/// **bitwise** for every `y` (subnormal and infinite results included).
+/// The cycle-level loops divide by config constants (peak bandwidth, PE
+/// count) millions of times per simulation; when the constant is a power
+/// of two — as in the paper's Table I configuration — the hot loops hoist
+/// the reciprocal and replace each ~15-cycle division with a multiply
+/// without perturbing a single bit of the metrics.
+pub fn exact_recip(x: f64) -> Option<f64> {
+    const MANTISSA_MASK: u64 = (1u64 << 52) - 1;
+    if x > 0.0 && x.is_normal() && x.to_bits() & MANTISSA_MASK == 0 {
+        Some(1.0 / x)
+    } else {
+        None
+    }
+}
+
+/// [`throttle`] with the demand total precomputed by the caller.
+///
+/// `total` must equal `demands.iter().sum()` (same left-to-right
+/// accumulation). The memory harness already sums demand while posting
+/// it, so arbitration need not walk the slice a second time.
+pub fn throttle_with_total(demands: &mut [f64], total: f64, capacity: f64) {
     if total <= capacity || total == 0.0 {
-        return demands.to_vec();
+        return;
     }
     let scale = capacity / total;
-    demands.iter().map(|d| d * scale).collect()
+    for d in demands.iter_mut() {
+        *d *= scale;
+    }
 }
 
 #[cfg(test)]
@@ -171,5 +223,37 @@ mod tests {
     fn arbitrate_never_overgrants() {
         let grants = arbitrate(&[10.0, 20.0], 1000.0);
         assert_eq!(grants, vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn exact_recip_only_for_powers_of_two() {
+        assert_eq!(exact_recip(128.0), Some(1.0 / 128.0));
+        assert_eq!(exact_recip(4096.0), Some(1.0 / 4096.0));
+        assert_eq!(exact_recip(0.25), Some(4.0));
+        for x in [100.0, 3.0, 0.0, -2.0, f64::NAN, f64::INFINITY, 1e-320] {
+            assert_eq!(exact_recip(x), None, "{x}");
+        }
+        // The whole point: multiplying by the reciprocal is bit-identical
+        // to dividing, for every dividend.
+        let inv = exact_recip(128.0).unwrap();
+        for y in [0.0f64, 1.0, 3.7, 1e-300, 5e-324, 1e300, 12_345.678_9] {
+            assert_eq!((y / 128.0).to_bits(), (y * inv).to_bits(), "{y}");
+        }
+    }
+
+    #[test]
+    fn throttle_matches_arbitrate_bit_for_bit() {
+        for capacity in [0.0, 50.0, 200.0, 1e9] {
+            for demands in [
+                vec![],
+                vec![0.0, 0.0],
+                vec![300.0, 100.0],
+                vec![0.1, 0.2, 0.7],
+            ] {
+                let mut in_place = demands.clone();
+                throttle(&mut in_place, capacity);
+                assert_eq!(in_place, arbitrate(&demands, capacity));
+            }
+        }
     }
 }

@@ -4,7 +4,8 @@
 //! intervals against the same DRAM interface, and every one of them used
 //! to hand-roll the same sequence: post per-requester read demand and
 //! pooled write demand, [`Dram::grant`] the interval's bandwidth,
-//! throttle the requesters proportionally with [`arbitrate`], and
+//! throttle the requesters proportionally with
+//! [`arbitrate`](crate::dram::arbitrate), and
 //! accumulate the granted bytes into traffic/utilization/energy
 //! accounting. [`MemHarness`] owns that sequence once:
 //!
@@ -39,7 +40,7 @@
 //! assert_eq!(m.bw_util.ratio(), 1.0);
 //! ```
 
-use crate::dram::{arbitrate, Dram, DramTraffic};
+use crate::dram::{throttle_with_total, Dram, DramTraffic};
 use crate::metrics::RunMetrics;
 use crate::stats::Utilization;
 use isos_trace::{emit_dram, DramClass, TraceSink, UnitId};
@@ -170,30 +171,112 @@ impl MemHarness {
     /// writes proportionally, and accumulates the grants into the
     /// harness's per-class traffic totals.
     pub fn step(&mut self, clients: &[MemClient], writes: &[f64], cycles: u64) -> Grants {
+        let mut out = Grants::default();
+        self.step_into(clients, writes, cycles, &mut out);
+        out
+    }
+
+    /// [`step`](Self::step) writing the grants into `out`, whose buffers
+    /// are recycled across calls. The cycle-level interval loops hold one
+    /// [`Grants`] for a whole group simulation so the per-interval memory
+    /// path never allocates; the granted values are bit-identical to
+    /// [`step`](Self::step)'s.
+    pub fn step_into(
+        &mut self,
+        clients: &[MemClient],
+        writes: &[f64],
+        cycles: u64,
+        out: &mut Grants,
+    ) {
         let capacity = self.dram.capacity(cycles);
-        let demands: Vec<f64> = clients.iter().map(|c| c.read.min(capacity)).collect();
-        let total_read: f64 = demands.iter().sum();
+        out.reads.clear();
+        // Posting and summing in one pass keeps the accumulation order of
+        // the separate `iter().sum()` it replaces (left to right).
+        let mut total_read = 0.0;
+        out.reads.extend(clients.iter().map(|c| {
+            let d = c.read.min(capacity);
+            total_read += d;
+            d
+        }));
         let write_demand: f64 = writes.iter().sum();
         let (granted_read, granted_write) =
             self.dram
                 .grant(total_read, write_demand.min(capacity), cycles);
-        let reads = arbitrate(&demands, granted_read);
-        for (client, granted) in clients.iter().zip(&reads) {
+        throttle_with_total(&mut out.reads, total_read, granted_read);
+        for (client, granted) in clients.iter().zip(&out.reads) {
             match client.class {
                 TrafficClass::Weight => self.traffic.weight_read += granted,
                 TrafficClass::Activation => self.traffic.act_read += granted,
             }
         }
-        let writes = arbitrate(writes, granted_write);
-        for granted in &writes {
+        out.writes.clear();
+        out.writes.extend_from_slice(writes);
+        throttle_with_total(&mut out.writes, write_demand, granted_write);
+        for granted in &out.writes {
             self.traffic.act_write += granted;
         }
-        Grants {
-            reads,
-            writes,
-            granted_read,
-            granted_write,
+        out.granted_read = granted_read;
+        out.granted_write = granted_write;
+    }
+
+    /// [`step`](Self::step) for callers that hold their read demand
+    /// already split by traffic class, granted **in place**: on return
+    /// each slice element is the granted bytes for that requester, and
+    /// the result is `(granted_read, granted_write)` totals.
+    ///
+    /// The grants and traffic accumulation are bit-identical to a
+    /// [`step_into`](Self::step_into) call posting one weight client per
+    /// `weight_reads` element followed by one activation client per
+    /// `act_reads` element: clamping, the demand sum, and the per-class
+    /// accumulation all walk weights first then activations, left to
+    /// right, and both class slices are throttled by the same
+    /// total-demand scale. Untraced cycle-level loops use this to skip
+    /// building [`MemClient`]s and a [`Grants`] every interval.
+    pub fn step_classed(
+        &mut self,
+        weight_reads: &mut [f64],
+        act_reads: &mut [f64],
+        writes: &mut [f64],
+        cycles: u64,
+    ) -> (f64, f64) {
+        let capacity = self.dram.capacity(cycles);
+        let mut total_read = 0.0;
+        for d in weight_reads.iter_mut() {
+            *d = d.min(capacity);
+            total_read += *d;
         }
+        for d in act_reads.iter_mut() {
+            *d = d.min(capacity);
+            total_read += *d;
+        }
+        let write_demand: f64 = writes.iter().sum();
+        let (granted_read, granted_write) =
+            self.dram
+                .grant(total_read, write_demand.min(capacity), cycles);
+        // Both read classes share one demand total and one grant, hence
+        // one scale: computing the division once and applying it to both
+        // slices is element-for-element what two `throttle_with_total`
+        // calls would do.
+        if !(total_read <= granted_read || total_read == 0.0) {
+            let scale = granted_read / total_read;
+            for d in weight_reads.iter_mut() {
+                *d *= scale;
+            }
+            for d in act_reads.iter_mut() {
+                *d *= scale;
+            }
+        }
+        for granted in weight_reads.iter() {
+            self.traffic.weight_read += granted;
+        }
+        for granted in act_reads.iter() {
+            self.traffic.act_read += granted;
+        }
+        throttle_with_total(writes, write_demand, granted_write);
+        for granted in writes.iter() {
+            self.traffic.act_write += granted;
+        }
+        (granted_read, granted_write)
     }
 
     /// [`step`](Self::step) plus trace emission: after granting, posts
@@ -212,7 +295,27 @@ impl MemHarness {
         t: u64,
         sink: &mut dyn TraceSink,
     ) -> Grants {
-        let grants = self.step(clients, writes, cycles);
+        let mut out = Grants::default();
+        self.step_traced_into(clients, writes, write_units, cycles, t, sink, &mut out);
+        out
+    }
+
+    /// [`step_traced`](Self::step_traced) writing the grants into `out`
+    /// (see [`step_into`](Self::step_into) for the buffer-recycling
+    /// contract).
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_traced_into(
+        &mut self,
+        clients: &[MemClient],
+        writes: &[f64],
+        write_units: &[UnitId],
+        cycles: u64,
+        t: u64,
+        sink: &mut dyn TraceSink,
+        out: &mut Grants,
+    ) {
+        self.step_into(clients, writes, cycles, out);
+        let grants = out;
         if sink.enabled() {
             for (client, &granted) in clients.iter().zip(&grants.reads) {
                 let class = match client.class {
@@ -234,7 +337,6 @@ impl MemHarness {
                 );
             }
         }
-        grants
     }
 
     /// Closed-form convenience for the analytic models: one weight

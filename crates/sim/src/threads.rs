@@ -1,0 +1,85 @@
+//! Run-level (intra-simulation) worker-thread configuration.
+//!
+//! Two distinct pools exist in this workspace and they compose:
+//!
+//! - the **engine-level** pool (`SuiteEngine` in the bench crate) runs
+//!   whole `(workload, accelerator)` jobs concurrently;
+//! - the **run-level** pool (configured here) parallelizes *inside* one
+//!   simulation — independent pipeline groups of a single network fan
+//!   out over `run_threads()` workers with a fixed-order merge, so the
+//!   resulting [`NetworkMetrics`](crate::metrics::NetworkMetrics) are
+//!   bit-identical at any thread count.
+//!
+//! The run-level count resolves, in priority order:
+//!
+//! 1. an explicit [`set_run_threads`] call (used by binaries that own a
+//!    `--threads` flag, and by determinism tests that must exercise an
+//!    exact worker count — this value is honored verbatim);
+//! 2. the `ISOS_THREADS` environment variable, clamped to the machine's
+//!    available parallelism (extra workers past the core count cannot
+//!    speed a run up, but they do cost spawn overhead);
+//! 3. the default of 1 (sequential).
+//!
+//! Keeping the knob out of the accelerator config structs is deliberate:
+//! thread count must never reach a cache key or a serialized config,
+//! because it does not change results — only wall-clock.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Explicit override; 0 means "not set".
+static EXPLICIT: AtomicUsize = AtomicUsize::new(0);
+
+/// Lazily resolved environment default.
+static ENV_DEFAULT: OnceLock<usize> = OnceLock::new();
+
+/// Available hardware parallelism, falling back to 1 when undetectable.
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn env_default() -> usize {
+    *ENV_DEFAULT.get_or_init(|| {
+        std::env::var("ISOS_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .map(|n| n.min(available_cores()))
+            .unwrap_or(1)
+    })
+}
+
+/// The worker count the run-level pool uses for the next simulation.
+pub fn run_threads() -> usize {
+    match EXPLICIT.load(Ordering::Relaxed) {
+        0 => env_default(),
+        n => n,
+    }
+}
+
+/// Sets the run-level worker count explicitly (process-wide), bypassing
+/// both `ISOS_THREADS` and the core-count clamp. `0` clears the override
+/// back to the environment default.
+pub fn set_run_threads(n: usize) {
+    EXPLICIT.store(n, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_override_wins_and_clears() {
+        // Serialized through one test to avoid racing the global knob.
+        set_run_threads(7);
+        assert_eq!(run_threads(), 7);
+        set_run_threads(0);
+        let base = run_threads();
+        assert!(base >= 1);
+        // The env default is clamped to real cores; the explicit path
+        // is not (determinism tests rely on exact counts).
+        assert!(env_default() <= available_cores().max(1));
+    }
+}

@@ -94,6 +94,14 @@ impl BitmaskVec {
     /// multiply-accumulates actually performed (mask AND population count),
     /// which is the work metric of a SparTen PE.
     ///
+    /// Operand pairs are located word-by-word with running rank counters:
+    /// each operand's value index is its popcount prefix within the current
+    /// word plus the rank carried in from earlier words, so every pair
+    /// costs O(1) instead of re-scanning the mask prefix per coordinate.
+    /// This mirrors the prefix-sum circuit in the SparTen PE, and the
+    /// products accumulate in the same index order as a per-coordinate
+    /// scan, so the result is bit-identical.
+    ///
     /// # Panics
     ///
     /// Panics if the lengths differ.
@@ -101,15 +109,20 @@ impl BitmaskVec {
         assert_eq!(self.len, other.len, "length mismatch");
         let mut dot = 0.0;
         let mut pairs = 0u64;
-        for (w, (&a, &b)) in self.bits.iter().zip(&other.bits).enumerate() {
+        let mut rank_a = 0usize;
+        let mut rank_b = 0usize;
+        for (&a, &b) in self.bits.iter().zip(&other.bits) {
             let mut common = a & b;
             pairs += common.count_ones() as u64;
             while common != 0 {
-                let bit = common.trailing_zeros() as usize;
-                let idx = w * 64 + bit;
-                dot += self.vals[self.rank_of(idx)] * other.vals[other.rank_of(idx)];
+                let below = (1u64 << common.trailing_zeros()) - 1;
+                let ia = rank_a + (a & below).count_ones() as usize;
+                let ib = rank_b + (b & below).count_ones() as usize;
+                dot += self.vals[ia] * other.vals[ib];
                 common &= common - 1;
             }
+            rank_a += a.count_ones() as usize;
+            rank_b += b.count_ones() as usize;
         }
         (dot, pairs)
     }

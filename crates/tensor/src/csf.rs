@@ -378,7 +378,9 @@ impl<'a> Fiber<'a> {
     /// Looks up the child fiber at `coord` by binary search.
     ///
     /// This is a *discordant* access (paper Sec. II-B): hardware pays a
-    /// bisection, so callers on modeled hot paths should count it.
+    /// bisection, so callers on modeled hot paths should count it. Software
+    /// callers that probe the same fiber many times should build a
+    /// [`FiberIndex`] once and use [`Fiber::child`] instead.
     ///
     /// # Panics
     ///
@@ -394,6 +396,52 @@ impl<'a> Fiber<'a> {
             start: child.segs[i] as usize,
             end: child.segs[i + 1] as usize,
         })
+    }
+
+    /// The child fiber under the node at position `i` within this fiber.
+    ///
+    /// Positions come from [`FiberIndex::position`] (or any enumeration of
+    /// [`Fiber::coords`]); the returned fiber is identical to what
+    /// [`Fiber::find`] would return for the coordinate at that position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a leaf fiber or `i >= self.len()`.
+    pub fn child(&self, i: usize) -> Fiber<'a> {
+        assert!(!self.is_leaf(), "leaf fiber has no children");
+        assert!(i < self.len(), "child position {i} out of range");
+        let child = &self.csf.ranks[self.rank + 1];
+        Fiber {
+            csf: self.csf,
+            rank: self.rank + 1,
+            start: child.segs[self.start + i] as usize,
+            end: child.segs[self.start + i + 1] as usize,
+        }
+    }
+
+    /// Builds a word-level index of this fiber's coordinate set.
+    ///
+    /// The index packs coordinate presence into `u64` words and stores a
+    /// per-word popcount prefix, so repeated membership/position probes
+    /// cost O(1) each instead of a binary search — the software analogue
+    /// of a bitmask + prefix-sum lookup circuit. Building costs one pass
+    /// over the fiber; use it wherever a hot loop calls [`Fiber::find`] on
+    /// the same fiber per element (row fetches in SpGEMM, filter lookups
+    /// per input nonzero, FC weight-row probes).
+    pub fn index(&self) -> FiberIndex {
+        let coords = self.coords();
+        let extent = coords.last().map_or(0, |&c| c as usize + 1);
+        let mut words = vec![0u64; extent.div_ceil(64)];
+        for &c in coords {
+            words[c as usize / 64] |= 1 << (c % 64);
+        }
+        let mut ranks = Vec::with_capacity(words.len());
+        let mut rank = 0u32;
+        for &w in &words {
+            ranks.push(rank);
+            rank += w.count_ones();
+        }
+        FiberIndex { words, ranks }
     }
 
     /// Looks up a value in a leaf fiber by binary search (discordant).
@@ -423,6 +471,57 @@ impl<'a> Fiber<'a> {
             end = segs[end] as usize;
         }
         end - start
+    }
+}
+
+/// A word-level coordinate-set index over one fiber (see [`Fiber::index`]).
+///
+/// Stores the fiber's coordinates as packed `u64` presence words plus a
+/// per-word popcount prefix (`ranks[w]` = set bits in `words[..w]`), so a
+/// coordinate's position within the fiber is one bit test, one mask, and
+/// one `count_ones` — no per-coordinate scan, no bisection.
+///
+/// # Examples
+///
+/// ```
+/// use isos_tensor::{Csf, Point};
+/// let t = Csf::from_entries(
+///     vec![8, 4].into(),
+///     vec![
+///         (Point::from_slice(&[2, 1]), 1.0),
+///         (Point::from_slice(&[5, 0]), 2.0),
+///     ],
+/// );
+/// let root = t.root();
+/// let idx = root.index();
+/// assert_eq!(idx.position(5), Some(1));
+/// assert_eq!(idx.position(3), None);
+/// assert_eq!(root.child(1).coords(), &[0]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FiberIndex {
+    words: Vec<u64>,
+    ranks: Vec<u32>,
+}
+
+impl FiberIndex {
+    /// The position of `coord` within the indexed fiber, or `None` if the
+    /// fiber has no node there. Feed the position to [`Fiber::child`].
+    pub fn position(&self, coord: Coord) -> Option<usize> {
+        let w = coord as usize / 64;
+        let word = *self.words.get(w)?;
+        let bit = 1u64 << (coord % 64);
+        if word & bit == 0 {
+            return None;
+        }
+        Some(self.ranks[w] as usize + (word & (bit - 1)).count_ones() as usize)
+    }
+
+    /// Whether the indexed fiber has a node at `coord`.
+    pub fn contains(&self, coord: Coord) -> bool {
+        self.words
+            .get(coord as usize / 64)
+            .is_some_and(|w| w & (1 << (coord % 64)) != 0)
     }
 }
 
@@ -650,5 +749,56 @@ mod tests {
     #[should_panic(expected = "outside shape")]
     fn out_of_shape_entry_panics() {
         let _ = Csf::from_entries(vec![2, 2].into(), vec![(p(&[2, 0]), 1.0)]);
+    }
+
+    #[test]
+    fn fiber_index_agrees_with_find() {
+        let t = sample_3d();
+        let root = t.root();
+        let idx = root.index();
+        for c in 0..8u32 {
+            match idx.position(c) {
+                Some(i) => {
+                    let via_index = root.child(i);
+                    let via_find = root.find(c).expect("index says present");
+                    assert_eq!(via_index.coords(), via_find.coords(), "coord {c}");
+                    assert!(idx.contains(c));
+                }
+                None => {
+                    assert!(root.find(c).is_none(), "coord {c}");
+                    assert!(!idx.contains(c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fiber_index_spans_word_boundaries() {
+        let t = Csf::from_entries(
+            vec![200, 2].into(),
+            vec![
+                (p(&[0, 0]), 1.0),
+                (p(&[63, 1]), 2.0),
+                (p(&[64, 0]), 3.0),
+                (p(&[130, 1]), 4.0),
+            ],
+        );
+        let root = t.root();
+        let idx = root.index();
+        assert_eq!(idx.position(0), Some(0));
+        assert_eq!(idx.position(63), Some(1));
+        assert_eq!(idx.position(64), Some(2));
+        assert_eq!(idx.position(130), Some(3));
+        assert_eq!(idx.position(131), None);
+        assert_eq!(idx.position(199), None, "past last coord is absent");
+        assert_eq!(root.child(3).iter_leaf().next(), Some((1, 4.0)));
+    }
+
+    #[test]
+    fn empty_fiber_index_has_no_positions() {
+        let t = Csf::empty(vec![4, 4].into());
+        let idx = t.root().index();
+        assert_eq!(idx.position(0), None);
+        assert!(!idx.contains(3));
     }
 }

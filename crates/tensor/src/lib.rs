@@ -37,5 +37,5 @@ pub mod merge;
 pub mod wavefront;
 
 pub use coord::{Coord, Point, Shape, MAX_RANKS};
-pub use csf::{Csf, CsfRank, Fiber, Iter};
+pub use csf::{Csf, CsfRank, Fiber, FiberIndex, Iter};
 pub use dense::Dense;

@@ -16,7 +16,12 @@
 //! *lost* there; the overall winner sits at the root. Emitting the winner
 //! then only requires replaying its root-to-leaf path against the stored
 //! losers — `ceil(log2(k))` comparisons — which matches the comparator
-//! cost the hardware model already charges per element.
+//! cost the hardware model already charges per element. On top of that the
+//! tree caches the *challenger* (the best loser on the winner's path):
+//! while one input feeds a sorted run that keeps beating the challenger,
+//! consecutive emissions skip the replay altogether (*batched leaf
+//! replay*). The emitted order and the charged [`MergerStats`] are
+//! identical either way; only the software cost per element drops.
 
 use std::cmp::Ordering;
 
@@ -32,8 +37,16 @@ pub struct MergerStats {
     pub comparisons: u64,
 }
 
-/// Comparator levels charged per emission for a radix-`k` merger.
-fn comparator_levels(radix: usize) -> u32 {
+/// Comparator levels charged per emission for a radix-`k` merger:
+/// `ceil(log2(max(k, 2)))`.
+///
+/// This is the depth of the comparator tree the hardware pays per emitted
+/// element, so a merger that emits `e` elements always charges exactly
+/// `e * comparator_levels(k)` comparisons — regardless of how the software
+/// engine shortcuts the replay. Exported so analytic rewrites (e.g. the
+/// scratch-accumulator SpGEMM and backend paths) can charge the identical
+/// cost without instantiating a merger.
+pub fn comparator_levels(radix: usize) -> u32 {
     (radix.max(2) as u32).next_power_of_two().trailing_zeros()
 }
 
@@ -58,6 +71,15 @@ where
     /// `nodes[0]` = winning leaf; `nodes[1..width]` = loser leaf per node.
     nodes: Vec<u32>,
     width: usize,
+    /// The runner-up: the best (under [`LoserTree::less`]) loser on the
+    /// current winner's root-to-leaf path. Because each loser on that path
+    /// is the best element of the opposite subtree at its node, their
+    /// minimum is the best non-winner overall. While the winner's refilled
+    /// head still beats this challenger, consecutive pops come from the
+    /// same leaf and skip the path replay entirely — *batched leaf
+    /// replay*, which makes long sorted runs from one input cost O(1) per
+    /// element instead of O(log k).
+    challenger: u32,
 }
 
 impl<K, I> LoserTree<K, I>
@@ -75,8 +97,10 @@ where
             heads,
             nodes: vec![0; width],
             width,
+            challenger: 0,
         };
         tree.build();
+        tree.recompute_challenger();
         tree
     }
 
@@ -117,13 +141,40 @@ where
         self.nodes[0] = winners[1];
     }
 
-    /// Emits the current winner, refills its leaf, and replays its path to
-    /// the root; O(log k).
+    /// Recomputes the challenger by scanning the losers on the current
+    /// winner's root-to-leaf path; O(log k).
+    fn recompute_challenger(&mut self) {
+        let w = self.nodes[0] as usize;
+        let mut best: Option<usize> = None;
+        let mut n = (self.width + w) >> 1;
+        while n >= 1 {
+            let l = self.nodes[n] as usize;
+            best = Some(match best {
+                Some(b) if self.less(b, l) => b,
+                _ => l,
+            });
+            n >>= 1;
+        }
+        // width >= 2, so the path visits at least the root match.
+        self.challenger = best.expect("winner path has at least one match") as u32;
+    }
+
+    /// Emits the current winner, refills its leaf, and restores the
+    /// winner. When the refilled head still beats the cached challenger —
+    /// the common case while one input holds a sorted run — the tree is
+    /// untouched and the pop is O(1); otherwise the winner's path is
+    /// replayed in O(log k).
     fn pop(&mut self) -> Option<(K, f32)> {
         let w = self.nodes[0] as usize;
         let item = self.heads[w].take()?;
         if w < self.inputs.len() {
             self.heads[w] = self.inputs[w].next();
+        }
+        // `less` is a strict total order, so beating the best non-winner
+        // means beating every non-winner: the winner and the path losers
+        // (hence the challenger) are all unchanged.
+        if self.less(w, self.challenger as usize) {
+            return Some(item);
         }
         let mut cur = w as u32;
         let mut n = (self.width + w) >> 1;
@@ -136,6 +187,7 @@ where
             n >>= 1;
         }
         self.nodes[0] = cur;
+        self.recompute_challenger();
         Some(item)
     }
 

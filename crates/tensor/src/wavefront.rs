@@ -61,6 +61,14 @@ pub fn wavefronts(acts: &Csf, h: Coord) -> impl Iterator<Item = WavefrontElem> +
 pub struct WavyLine {
     rows: Vec<Vec<WavefrontElem>>,
     cursor: Vec<usize>,
+    /// Cached current column per row; meaningful only where the `active`
+    /// bit is set. Maintained incrementally on every consume so frontier
+    /// queries never re-deref the row streams.
+    front: Vec<Coord>,
+    /// Packed bitmask of unfinished rows: bit `h` of `active[h / 64]` is
+    /// set while row `h` still has elements. Frontier scans walk set bits
+    /// via `trailing_zeros`, skipping exhausted rows a word at a time.
+    active: Vec<u64>,
 }
 
 impl WavyLine {
@@ -75,19 +83,27 @@ impl WavyLine {
         let rows = (0..h_dim as Coord)
             .map(|h| wavefronts(acts, h).collect::<Vec<_>>())
             .collect::<Vec<_>>();
+        let mut front = vec![0; rows.len()];
+        let mut active = vec![0u64; rows.len().div_ceil(64)];
+        for (h, row) in rows.iter().enumerate() {
+            if let Some(&(w, _, _)) = row.first() {
+                front[h] = w;
+                active[h / 64] |= 1 << (h % 64);
+            }
+        }
         Self {
             cursor: vec![0; rows.len()],
             rows,
+            front,
+            active,
         }
     }
 
     /// The current column of each row's frontier (`None` once a row is
     /// exhausted) — the paper's wavy line, made inspectable.
     pub fn frontier(&self) -> Vec<Option<Coord>> {
-        self.rows
-            .iter()
-            .zip(&self.cursor)
-            .map(|(row, &c)| row.get(c).map(|&(w, _, _)| w))
+        (0..self.rows.len())
+            .map(|h| self.is_active(h).then(|| self.front[h]))
             .collect()
     }
 
@@ -95,30 +111,49 @@ impl WavyLine {
     pub fn consume_row(&mut self, h: usize) -> Option<WavefrontElem> {
         let elem = *self.rows.get(h)?.get(self.cursor[h])?;
         self.cursor[h] += 1;
+        match self.rows[h].get(self.cursor[h]) {
+            Some(&(w, _, _)) => self.front[h] = w,
+            None => self.active[h / 64] &= !(1 << (h % 64)),
+        }
         Some(elem)
     }
 
     /// Consumes the globally earliest element (lowest column, ties broken
     /// by row) — the most synchronized schedule possible.
     pub fn consume_earliest(&mut self) -> Option<(usize, WavefrontElem)> {
-        let h = self
-            .frontier()
-            .into_iter()
-            .enumerate()
-            .filter_map(|(h, w)| w.map(|w| (h, w)))
-            .min_by_key(|&(h, w)| (w, h))?
-            .0;
+        let mut best: Option<(Coord, usize)> = None;
+        for (wi, &word) in self.active.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let h = wi * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let w = self.front[h];
+                if best.is_none_or(|(bw, bh)| (w, h) < (bw, bh)) {
+                    best = Some((w, h));
+                }
+            }
+        }
+        let h = best?.1;
         self.consume_row(h).map(|e| (h, e))
     }
 
     /// How far apart the fastest and slowest unfinished rows are, in
     /// columns — the "waviness" that queues must absorb.
     pub fn skew(&self) -> Coord {
-        let cols: Vec<Coord> = self.frontier().into_iter().flatten().collect();
-        match (cols.iter().min(), cols.iter().max()) {
-            (Some(&lo), Some(&hi)) => hi - lo,
-            _ => 0,
+        let mut lo_hi: Option<(Coord, Coord)> = None;
+        for (wi, &word) in self.active.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let h = wi * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let w = self.front[h];
+                lo_hi = Some(match lo_hi {
+                    None => (w, w),
+                    Some((lo, hi)) => (lo.min(w), hi.max(w)),
+                });
+            }
         }
+        lo_hi.map_or(0, |(lo, hi)| hi - lo)
     }
 
     /// Elements not yet consumed.
@@ -128,6 +163,10 @@ impl WavyLine {
             .zip(&self.cursor)
             .map(|(row, &c)| row.len() - c)
             .sum()
+    }
+
+    fn is_active(&self, h: usize) -> bool {
+        self.active[h / 64] & (1 << (h % 64)) != 0
     }
 }
 

@@ -1,6 +1,7 @@
 //! Property-based tests for the sparse tensor substrate.
 
 use isos_tensor::merge::{reduce_sorted, HeapMerger, TournamentMerger};
+use isos_tensor::wavefront::{wavefronts, WavefrontElem, WavyLine};
 use isos_tensor::{bitmask::BitmaskVec, Csf, Dense, Point, Shape};
 use proptest::prelude::*;
 
@@ -139,6 +140,81 @@ proptest! {
         prop_assert!((dense_dot - sparse_dot).abs() < 1e-4);
         let true_pairs = a.iter().zip(&b).filter(|(x, y)| **x != 0.0 && **y != 0.0).count();
         prop_assert_eq!(pairs as usize, true_pairs);
+    }
+
+    /// The packed-word [`isos_tensor::FiberIndex`] must agree with the
+    /// scalar oracle: `position(c)` is `Some` exactly when a child with
+    /// coordinate `c` exists, and the returned position is the number of
+    /// children with smaller coordinates (the rank a binary search over
+    /// the coordinate array would return).
+    #[test]
+    fn fiber_index_matches_scalar_rank_oracle(
+        seed in 0u64..200,
+        dim in 1usize..200,
+    ) {
+        let csf = isos_tensor::gen::random_csf(vec![dim, 3].into(), 0.3, seed);
+        let root = csf.root();
+        let index = root.index();
+        let coords: Vec<u32> = root.iter_children().map(|(c, _)| c).collect();
+        for c in 0..(dim as u32 + 70) {
+            let oracle = coords.iter().position(|&x| x == c);
+            prop_assert_eq!(index.position(c), oracle);
+            prop_assert_eq!(index.contains(c), oracle.is_some());
+            if let Some(pos) = oracle {
+                prop_assert_eq!(
+                    root.child(pos).nnz_below(),
+                    root.find(c).unwrap().nnz_below()
+                );
+            }
+        }
+    }
+
+    /// The bitmask-scanning [`WavyLine`] must behave exactly like a naive
+    /// per-row cursor model under an arbitrary interleaving of frontier
+    /// queries, per-row consumes, and globally-earliest consumes.
+    #[test]
+    fn wavy_line_matches_naive_cursor_oracle(
+        seed in 0u64..100,
+        ops in prop::collection::vec((0u8..3, 0usize..8), 0..120),
+    ) {
+        let t = isos_tensor::gen::random_csf(vec![7, 9, 2].into(), 0.35, seed);
+        let mut line = WavyLine::new(&t);
+        let mut rows: Vec<Vec<WavefrontElem>> =
+            (0..7).map(|h| wavefronts(&t, h).collect()).collect();
+        let front = |rows: &[Vec<WavefrontElem>]| -> Vec<Option<u32>> {
+            rows.iter().map(|r| r.first().map(|&(w, _, _)| w)).collect()
+        };
+        for (op, h) in ops {
+            let oracle_front = front(&rows);
+            prop_assert_eq!(line.frontier(), oracle_front.clone());
+            let live: Vec<u32> = oracle_front.iter().flatten().copied().collect();
+            let oracle_skew = live.iter().max().map_or(0, |hi| hi - live.iter().min().unwrap());
+            prop_assert_eq!(line.skew(), oracle_skew);
+            match op {
+                0 => {
+                    // `h` may be out of range: consume_row tolerates it.
+                    let oracle = rows
+                        .get_mut(h)
+                        .filter(|r| !r.is_empty())
+                        .map(|r| r.remove(0));
+                    prop_assert_eq!(line.consume_row(h), oracle);
+                }
+                1 => {
+                    // Earliest = lowest (column, row) among row heads.
+                    let oracle = oracle_front
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(h, w)| w.map(|w| (w, h)))
+                        .min()
+                        .map(|(_, h)| (h, rows[h].remove(0)));
+                    prop_assert_eq!(line.consume_earliest(), oracle);
+                }
+                _ => {
+                    let oracle: usize = rows.iter().map(Vec::len).sum();
+                    prop_assert_eq!(line.remaining(), oracle);
+                }
+            }
+        }
     }
 
     #[test]

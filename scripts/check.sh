@@ -16,6 +16,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+# The run-level pool must be metrics-invisible: the whole suite passes
+# with any worker count, golden metrics included. One pass at 8 workers
+# (clamped to real cores by ISOS_THREADS handling) pins that.
+echo "==> cargo test --workspace -q (ISOS_THREADS=8)"
+ISOS_THREADS=8 cargo test --workspace -q
+
 echo "==> dse --smoke (design-space exploration fast path)"
 ISOS_CACHE_DIR="${TMPDIR:-/tmp}/isos-check-dse-cache" cargo run --release -q -p isos-explore --bin dse -- \
   --smoke --net G58 --out "${TMPDIR:-/tmp}/isos-check-dse" >/dev/null
@@ -42,10 +48,16 @@ else
     || { echo "trace smoke: $TRACE_JSON malformed" >&2; exit 1; }
 fi
 
-echo "==> perf_report --smoke (schema check, no timing gate)"
+echo "==> perf_report --smoke --baseline BENCH_10.json (schema + regression gate)"
 PERF_JSON="${TMPDIR:-/tmp}/isos-check-perf/BENCH_smoke.json"
+# Smoke-level perf gate: G58 only, compared against the committed report.
+# The committed numbers are min-of-24 from a quiet machine while smoke is
+# min-of-10, so the margin is wide (150%) — this catches order-of-magnitude
+# kernel regressions, not noise. Full-matrix gating is a manual run:
+#   perf_report --threads 8 --baseline BENCH_5.json
 cargo run --release -q -p isosceles-bench --bin perf_report -- \
-  --smoke --out "$PERF_JSON" 2>/dev/null
+  --smoke --repeat 10 --baseline BENCH_10.json --regress-pct 150 \
+  --out "$PERF_JSON"
 [ -s "$PERF_JSON" ] || { echo "perf smoke: $PERF_JSON missing or empty" >&2; exit 1; }
 if command -v python3 >/dev/null 2>&1; then
   python3 - "$PERF_JSON" <<'PY'
